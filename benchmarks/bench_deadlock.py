@@ -1,0 +1,82 @@
+"""E11 — deadlock freedom of generated executives.
+
+Paper (§3): SynDEx "generates a dead-lock free distributed executive".
+This benchmark sweeps every application shape in the repo across every
+architecture family and runs the four-point deadlock-freedom analysis
+on each mapping — all must pass — and times the analysis itself.
+"""
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder
+from repro.baselines import handcrafted_mapping, handcrafted_tracking_graph
+from repro.pnt import expand_program
+from repro.syndex import (
+    chain,
+    check_deadlock_freedom,
+    distribute,
+    fully_connected,
+    mesh,
+    now,
+    ring,
+    star,
+)
+from repro.tracking import build_tracking_app
+
+ARCHES = [
+    ring(1), ring(4), ring(8), chain(4), star(5),
+    mesh(2, 3), fully_connected(4), now(6),
+]
+
+
+def all_graphs():
+    graphs = []
+    # The case study.
+    app = build_tracking_app(nproc=4, n_frames=1, frame_size=96)
+    from repro.minicaml import compile_source
+
+    compiled = compile_source(app.source, app.table)
+    graphs.append(expand_program(compiled.ir, app.table))
+    # Every skeleton shape via the builder.
+    table = FunctionTable()
+    table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+    table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+    table.register("split", ins=["int", "'a"], outs=["'b list"])(lambda n, x: [x])
+    table.register("merge", ins=["'a", "'c list"], outs=["'d"])(lambda x, rs: rs)
+
+    for kind in ("df", "tf"):
+        b = ProgramBuilder(kind, table)
+        (xs,) = b.params("xs")
+        out = getattr(b, kind)(5, comp="comp", acc="acc", z=b.const(0), xs=xs)
+        graphs.append(expand_program(b.returns(out), table))
+    b = ProgramBuilder("scm", table)
+    (x,) = b.params("x")
+    out = b.scm(5, split="split", comp="comp", merge="merge", x=x)
+    graphs.append(expand_program(b.returns(out), table))
+    # The hand-crafted baseline too.
+    graphs.append(handcrafted_tracking_graph(4))
+    return graphs
+
+
+def test_all_mappings_deadlock_free(benchmark):
+    def sweep():
+        graphs = all_graphs()
+        checked = 0
+        for graph in graphs:
+            for arch in ARCHES:
+                if graph.name == "handcrafted_tracking":
+                    mapping = handcrafted_mapping(graph, arch)
+                else:
+                    mapping = distribute(graph, arch)
+                report = check_deadlock_freedom(mapping)
+                assert report.ok, (
+                    f"{graph.name} on {arch.name}: {report.render()}"
+                )
+                checked += 1
+        return checked
+
+    checked = run_once(benchmark, sweep)
+    print(f"\nE11: {checked} program/architecture mappings verified "
+          "deadlock-free")
+    benchmark.extra_info["mappings_checked"] = checked
+    assert checked == 5 * len(ARCHES)

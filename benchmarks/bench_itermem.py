@@ -1,0 +1,77 @@
+"""E4 (Fig. 4) — the ``itermem`` stream skeleton.
+
+Paper Fig. 4 defines itermem: results computed on image ``i`` feed the
+computation on image ``i+1`` through the MEM process.  This benchmark
+measures the skeleton's per-iteration overhead (the price of the
+INPUT/MEM/OUTPUT machinery over the loop body's own cost) and verifies
+the loop-carried-state semantics on the simulated machine.
+"""
+
+from conftest import run_once
+
+from repro import EndOfStream, FunctionTable, ProgramBuilder, T9000
+from repro.machine import simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+N_FRAMES = 50
+
+
+def make_stream(body_cost_us: float):
+    table = FunctionTable()
+    count = {"i": 0}
+
+    @table.register("read", ins=["unit"], outs=["int"], cost=100.0)
+    def read(_src):
+        i = count["i"]
+        count["i"] += 1
+        if i >= N_FRAMES:
+            raise EndOfStream
+        return i
+
+    table.register(
+        "work", ins=["int", "int"], outs=["int", "int"], cost=body_cost_us
+    )(lambda s, i: (s + i, s + i))
+    table.register("emit", ins=["int"], cost=50.0)(lambda y: None)
+
+    b = ProgramBuilder("stream", table)
+    state, item = b.params("state", "item")
+    s2, y = b.apply("work", state, item)
+    prog = b.stream(s2, y, inp="read", out="emit", init_value=0, source=None)
+    mapping = distribute(expand_program(prog, table), ring(1))
+    return table, mapping
+
+
+def test_itermem_overhead(benchmark):
+    def measure():
+        out = {}
+        for body_us in (0.0, 10_000.0):
+            table, mapping = make_stream(body_us)
+            report = simulate(mapping, table, T9000)
+            out[body_us] = report
+        return out
+
+    results = run_once(benchmark, measure)
+    empty = results[0.0]
+    loaded = results[10_000.0]
+    overhead_us = empty.makespan / len(empty.iterations)
+    per_iter_loaded = loaded.makespan / len(loaded.iterations)
+    print(f"\nE4: itermem per-iteration overhead: {overhead_us:.0f} us "
+          f"(body 0) vs {per_iter_loaded:.0f} us (body 10 ms)")
+    benchmark.extra_info["overhead_us"] = round(overhead_us, 1)
+    # The stream machinery costs well under a frame period...
+    assert overhead_us < 2_000.0
+    # ...and adds only its constant on top of the body.
+    assert per_iter_loaded - 10_000.0 == overhead_us
+
+
+def test_state_carried_across_iterations(benchmark):
+    table, mapping = make_stream(100.0)
+    report = run_once(benchmark, lambda: simulate(mapping, table, T9000))
+    # Running sums of 0..49: the loop-carried memory works.
+    expected, acc = [], 0
+    for i in range(N_FRAMES):
+        acc += i
+        expected.append(acc)
+    assert report.outputs == expected
+    assert report.final_state == acc

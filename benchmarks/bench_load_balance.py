@@ -1,0 +1,129 @@
+"""E8 — why ``df``: dynamic load balancing on irregular window lists.
+
+Paper (§2, §4): window lists "may vary in length ... and each window may
+itself vary widely in size", a "dynamic behaviour, involving a very
+uneven work load, [that] calls for a df skeleton".
+
+This benchmark compares the df farm against a static alternative (an
+``scm`` that deals windows round-robin to fixed workers) on two
+workloads: uniform window sizes (static should roughly tie) and heavily
+skewed sizes (dynamic dispatch should win clearly).
+"""
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder, T9000
+from repro.machine import simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+NPROC = 6
+
+
+def make_table():
+    table = FunctionTable()
+    # A "window" is just its pixel count; detection costs 2500 + 2/px,
+    # the tracking detector's calibrated cost model.
+    table.register(
+        "detect", ins=["window"], outs=["mark list"],
+        cost=lambda w: 2500.0 + 2.0 * w,
+    )(lambda w: [w])
+    table.register(
+        "concat", ins=["mark list", "mark list"], outs=["mark list"],
+        cost=lambda a, b: 20.0 + 5.0 * len(b),
+    )(lambda a, b: sorted(a + b))
+    def deal(n, ws):
+        """Static contiguous chunking — what a hand-coded geometric
+        assignment does, oblivious to per-window cost."""
+        base, extra = divmod(len(ws), n)
+        out, start = [], 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            out.append(ws[start : start + size])
+            start += size
+        return out
+
+    table.register(
+        "deal", ins=["int", "window list"], outs=["window list list"],
+        cost=500.0,
+    )(deal)
+    table.register(
+        "detect_chunk", ins=["window list"], outs=["mark list"],
+        cost=lambda ws: sum(2500.0 + 2.0 * w for w in ws),
+    )(lambda ws: sorted(m for w in ws for m in [w]))
+    table.register(
+        "collect", ins=["window list", "mark list list"], outs=["mark list"],
+        cost=lambda ws, parts: 100.0 + 5.0 * sum(len(p) for p in parts),
+    )(lambda _ws, parts: sorted(m for p in parts for m in p))
+    return table
+
+
+def dynamic_farm(table):
+    b = ProgramBuilder("df_version", table)
+    (ws,) = b.params("ws")
+    out = b.df(NPROC, comp="detect", acc="concat", z=b.const([]), xs=ws)
+    return b.returns(out)
+
+
+def static_split(table):
+    b = ProgramBuilder("static_version", table)
+    (ws,) = b.params("ws")
+    out = b.scm(NPROC, split="deal", comp="detect_chunk", merge="collect", x=ws)
+    return b.returns(out)
+
+
+UNIFORM = [4000] * 24
+# Same total pixel volume, but concentrated: a few huge windows.
+SKEWED = [30000, 30000, 24000, 2000, 2000] + [800] * 10
+
+
+def _makespan(prog, table, workload) -> float:
+    mapping = distribute(expand_program(prog, table), ring(NPROC))
+    report = simulate(mapping, table, T9000, args=(list(workload),))
+    return report.makespan / 1000
+
+
+def test_df_beats_static_split_on_skewed_loads(benchmark):
+    table = make_table()
+
+    def measure():
+        return {
+            ("df", "uniform"): _makespan(dynamic_farm(table), table, UNIFORM),
+            ("df", "skewed"): _makespan(dynamic_farm(table), table, SKEWED),
+            ("static", "uniform"): _makespan(static_split(table), table, UNIFORM),
+            ("static", "skewed"): _makespan(static_split(table), table, SKEWED),
+        }
+
+    results = run_once(benchmark, measure)
+    print("\nE8: dynamic farming vs static splitting (6 workers)")
+    print("  workload   df (dynamic)   scm (static)   static/df")
+    for workload in ("uniform", "skewed"):
+        df_ms = results[("df", workload)]
+        st_ms = results[("static", workload)]
+        print(f"  {workload:8} {df_ms:10.1f} ms {st_ms:12.1f} ms"
+              f"   {st_ms / df_ms:6.2f}x")
+        benchmark.extra_info[f"df_{workload}_ms"] = round(df_ms, 1)
+        benchmark.extra_info[f"static_{workload}_ms"] = round(st_ms, 1)
+
+    # Shape: roughly even on uniform loads (farm overhead <= 35%)...
+    assert results[("df", "uniform")] <= 1.35 * results[("static", "uniform")]
+    # ...clear win for dynamic dispatch on skewed loads.
+    assert results[("df", "skewed")] < 0.8 * results[("static", "skewed")]
+
+
+def test_results_identical_between_strategies(benchmark):
+    table = make_table()
+
+    def both():
+        mapping_df = distribute(
+            expand_program(dynamic_farm(table), table), ring(NPROC)
+        )
+        mapping_st = distribute(
+            expand_program(static_split(table), table), ring(NPROC)
+        )
+        a = simulate(mapping_df, table, T9000, args=(list(SKEWED),))
+        b = simulate(mapping_st, table, T9000, args=(list(SKEWED),))
+        return a, b
+
+    a, b = run_once(benchmark, both)
+    assert a.one_shot_results == b.one_shot_results

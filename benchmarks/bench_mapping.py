@@ -1,0 +1,76 @@
+"""E14 (extension) — what the AAA mapping stage buys.
+
+SynDEx's role in the pipeline is the "adequation": matching the
+algorithm graph to the architecture graph using measured costs.  This
+ablation maps the same tracking application three ways —
+
+* profiled AAA (measured compute times + edge payloads),
+* structural AAA (default kind weights, hop-count comm penalty),
+* naive round-robin placement,
+
+— and compares the simulated latencies.  The profiled mapping should
+dominate: it is the one that keeps the frame-sized edges processor-local.
+"""
+
+from conftest import run_once
+
+from repro import pipeline
+from repro.machine import Executive, T9000
+from repro.syndex import Mapping, distribute, ring, round_robin
+from repro.tracking import build_tracking_app
+
+NPROC = 8
+
+
+def _measure(strategy: str) -> dict:
+    app = build_tracking_app(nproc=NPROC, n_frames=8, frame_size=512,
+                             n_vehicles=3)
+    compiled = pipeline.compile_source(app.source, app.table)
+    graph = pipeline.expand(compiled.ir, app.table)
+    arch = ring(NPROC)
+    if strategy == "profiled":
+        prof = pipeline.profile(
+            graph, app.table, max_iterations=2, rewind=app.rewind
+        )
+        mapping = pipeline.map_onto(graph, arch, profile=prof)
+    elif strategy == "structural":
+        mapping = distribute(graph, arch)
+    else:
+        mapping = round_robin(graph, arch)
+    report = Executive(mapping, app.table, T9000, real_time=True).run()
+    stable = [r.latency for r in report.iterations[2:]]
+    return {
+        "reinit_ms": report.iterations[0].latency / 1000,
+        "tracking_ms": sum(stable) / len(stable) / 1000,
+    }
+
+
+def test_mapping_quality_ablation(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {s: _measure(s) for s in ("profiled", "structural", "naive")},
+    )
+    print("\nE14: mapping-strategy ablation (tracking app, ring of 8)")
+    print("  strategy     tracking     reinit")
+    for strategy in ("profiled", "structural", "naive"):
+        r = results[strategy]
+        print(f"  {strategy:10} {r['tracking_ms']:8.1f} ms {r['reinit_ms']:8.1f} ms")
+        benchmark.extra_info[f"{strategy}_tracking_ms"] = round(
+            r["tracking_ms"], 1
+        )
+        benchmark.extra_info[f"{strategy}_reinit_ms"] = round(r["reinit_ms"], 1)
+
+    # The measured-cost adequation dominates both ablations.
+    assert (
+        results["profiled"]["tracking_ms"]
+        <= results["structural"]["tracking_ms"] + 0.5
+    )
+    assert (
+        results["profiled"]["reinit_ms"]
+        <= results["structural"]["reinit_ms"] + 0.5
+    )
+    # And clearly beats naive placement on at least one phase.
+    assert (
+        results["profiled"]["tracking_ms"] < results["naive"]["tracking_ms"]
+        or results["profiled"]["reinit_ms"] < results["naive"]["reinit_ms"]
+    )

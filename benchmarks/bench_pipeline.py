@@ -1,0 +1,86 @@
+"""E2 (Fig. 2) — the complete environment, end to end.
+
+Paper Fig. 2 shows the whole dataflow: one .ml source feeds *both* the
+parallel implementation (custom caml compiler -> process graph ->
+SynDEx mapping -> macro-code -> target executable) and the sequential
+emulation.  This benchmark runs every stage on the case-study source
+and verifies the two paths produce identical results — then times the
+full "compile" (front end + expansion + mapping + code generation),
+which is what the paper's fast-prototyping claim rests on.
+"""
+
+from conftest import run_once
+
+from repro import build
+from repro.codegen import emit_all, generate_python, run_generated
+from repro.core import emulate
+from repro.minicaml import compile_source
+from repro.syndex import ring
+from repro.tracking import build_tracking_app
+
+NPROC = 4
+
+
+def test_full_pipeline_stages(benchmark):
+    """Time the spec -> executable pipeline; verify all three execution
+    paths (emulation, simulation, generated threads) agree."""
+
+    def compile_everything():
+        app = build_tracking_app(
+            nproc=NPROC, n_frames=3, frame_size=96, n_vehicles=1
+        )
+        built = build(app.source, app.table, ring(NPROC))
+        macro = emit_all(built.mapping)
+        source = generate_python(built.mapping)
+        return app, built, macro, source
+
+    app, built, macro, source = run_once(benchmark, compile_everything)
+    benchmark.extra_info.update(
+        {
+            "processes": len(built.graph),
+            "macro_lines": sum(len(m.splitlines()) for m in macro.values()),
+            "generated_lines": len(source.splitlines()),
+        }
+    )
+
+    # Path 1: sequential emulation.
+    seq = emulate(built.compiled.ir, app.table, call_sink=True)
+    seq_displayed = list(app.displayed)
+
+    # Path 2: discrete-event simulation.
+    app.rewind()
+    sim = built.run()
+    sim_displayed = list(app.displayed)
+
+    # Path 3: the generated thread executive.
+    app.rewind()
+    bb = run_generated(built.mapping, app.table)
+    gen_displayed = list(app.displayed)
+
+    assert seq_displayed == sim_displayed == gen_displayed
+    assert seq.final_state == sim.final_state == bb["final_state"]
+    print("\nE2: one source, three equivalent execution paths "
+          f"({len(seq_displayed)} frames each) "
+          f"— {benchmark.extra_info['generated_lines']} generated lines")
+
+
+def test_type_checking_rejects_bad_composition(benchmark):
+    """The front end's polymorphic type check is part of the pipeline:
+    swapping the farm's two functions must fail *before* any parallel
+    machinery runs."""
+    import pytest
+
+    from repro.minicaml import TypeError_
+
+    def check():
+        app = build_tracking_app(
+            nproc=NPROC, n_frames=1, frame_size=96, n_vehicles=1
+        )
+        bad = app.source.replace(
+            "df nproc detect_mark accum_marks", "df nproc accum_marks detect_mark"
+        )
+        with pytest.raises(TypeError_):
+            compile_source(bad, app.table)
+        return True
+
+    assert run_once(benchmark, check)

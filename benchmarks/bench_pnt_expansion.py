@@ -1,0 +1,64 @@
+"""E1 (Fig. 1) — process network template instantiation.
+
+Paper Fig. 1 draws the df PNT on a ring: a Master on P0, and on each of
+the n worker processors a Worker flanked by M->W and W->M router
+processes.  This benchmark regenerates that structure across degrees —
+checking the census (1 + 3n processes) and the ring wiring — and
+measures the wall-time cost of expansion + mapping, the "compile time"
+a SKiPPER user pays per rebuild.
+"""
+
+import pytest
+
+from repro import FunctionTable, ProgramBuilder
+from repro.pnt import ProcessKind, expand_program, instantiate_df, ProcessGraph
+from repro.syndex import distribute, ring
+
+
+def make_table():
+    table = FunctionTable()
+    table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+    table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+    return table
+
+
+@pytest.mark.parametrize("degree", [2, 8, 32])
+def test_df_template_census(benchmark, degree):
+    def stamp():
+        graph = ProcessGraph("fig1")
+        instantiate_df(graph, "df0", degree, "comp", "acc")
+        return graph
+
+    graph = benchmark(stamp)
+    assert len(graph.by_kind(ProcessKind.MASTER)) == 1
+    assert len(graph.by_kind(ProcessKind.WORKER)) == degree
+    assert len(graph.by_kind(ProcessKind.ROUTER_MW)) == degree
+    assert len(graph.by_kind(ProcessKind.ROUTER_WM)) == degree
+    assert len(graph) == 1 + 3 * degree  # the Fig. 1 census
+    benchmark.extra_info["processes"] = len(graph)
+
+
+@pytest.mark.parametrize("degree", [8])
+def test_expand_and_map_wall_time(benchmark, degree):
+    """Wall-clock cost of PNT expansion + AAA mapping at case-study size."""
+    table = make_table()
+
+    def build_and_map():
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        out = b.df(degree, comp="comp", acc="acc", z=b.const(0), xs=xs)
+        prog = b.returns(out)
+        graph = expand_program(prog, table)
+        return distribute(graph, ring(degree))
+
+    mapping = benchmark(build_and_map)
+    # Fig. 1 placement: master on the I/O processor, workers spread.
+    assert mapping.processor_of("df0.master") == "p0"
+    worker_homes = {mapping.processor_of(f"df0.worker{i}") for i in range(degree)}
+    assert len(worker_homes) == degree
+    # Routers ride with their workers, as drawn.
+    for i in range(degree):
+        assert (
+            mapping.processor_of(f"df0.mw{i}")
+            == mapping.processor_of(f"df0.worker{i}")
+        )

@@ -1,0 +1,99 @@
+"""E17 (extension, §4) — the road-following application.
+
+The paper lists "road-following by white line detection [6]" among the
+applications parallelised with SKiPPER.  This benchmark runs the
+packaged implementation (repro.roadfollow) on the simulated ring:
+real-time latency against the 25 Hz budget, steering-signal accuracy
+against the synthetic ground truth, and the sequential/parallel
+equivalence check.
+"""
+
+from conftest import run_once
+
+from repro import build
+from repro.core import emulate
+from repro.minicaml import compile_source
+from repro.roadfollow import RoadScene, build_road_app
+from repro.syndex import ring
+
+NBANDS = 4
+N_FRAMES = 50
+
+
+def _run():
+    app = build_road_app(nbands=NBANDS, n_frames=N_FRAMES)
+    built = build(
+        app.source, app.table, ring(NBANDS + 1),
+        profile_iterations=2, rewind=app.rewind,
+    )
+    report = built.run(real_time=True)
+    return app, report
+
+
+def test_road_following_realtime(benchmark):
+    app, report = run_once(benchmark, _run)
+    errors = [
+        abs(off - app.scene.lateral_offset(rec.frame_index))
+        for rec, off in zip(report.iterations, app.offsets)
+    ]
+    mean_err = sum(errors) / len(errors)
+    print("\nE17: road following on a 5-processor ring (25 Hz, 128x128)")
+    print(f"  mean latency      : {report.mean_latency / 1000:6.1f} ms "
+          f"(budget 40 ms)")
+    print(f"  frames skipped    : {report.total_frames_skipped}")
+    print(f"  steering error    : mean {mean_err:.2f} px, "
+          f"max {max(errors):.2f} px (drift amplitude "
+          f"{app.scene.drift_amplitude:.0f} px)")
+    benchmark.extra_info.update(
+        {
+            "mean_latency_ms": round(report.mean_latency / 1000, 1),
+            "mean_steering_error_px": round(mean_err, 2),
+            "max_steering_error_px": round(max(errors), 2),
+        }
+    )
+    # Real-time: every frame processed inside the budget.
+    assert report.total_frames_skipped == 0
+    assert report.mean_latency < 40_000.0
+    # The steering signal follows the wander to ~1 px on average.
+    assert mean_err < 2.0
+    assert max(errors) < 0.5 * app.scene.drift_amplitude
+
+
+def test_parallel_equals_sequential(benchmark):
+    def both():
+        app_seq = build_road_app(nbands=NBANDS, n_frames=10)
+        compiled = compile_source(app_seq.source, app_seq.table)
+        emulate(compiled.ir, app_seq.table, call_sink=True)
+
+        app_par = build_road_app(nbands=NBANDS, n_frames=10)
+        built = build(app_par.source, app_par.table, ring(NBANDS + 1))
+        built.run()
+        return app_seq, app_par
+
+    app_seq, app_par = run_once(benchmark, both)
+    assert app_par.offsets == app_seq.offsets
+
+
+def test_dashed_markings_still_followed(benchmark):
+    """Dashed lane markings (fewer votes, flickering with motion) must
+    not break the follower."""
+
+    def run_dashed():
+        scene = RoadScene(dashes=(8, 4), drift_amplitude=6.0)
+        app = build_road_app(nbands=NBANDS, n_frames=30, scene=scene)
+        built = build(
+            app.source, app.table, ring(NBANDS + 1),
+            profile_iterations=2, rewind=app.rewind,
+        )
+        report = built.run()
+        return app, report
+
+    app, report = run_once(benchmark, run_dashed)
+    errors = [
+        abs(off - app.scene.lateral_offset(rec.frame_index))
+        for rec, off in zip(report.iterations, app.offsets)
+    ]
+    # Allow larger error on dashes, but the lane must stay followed.
+    mean_err = sum(errors) / len(errors)
+    benchmark.extra_info["dashed_mean_error_px"] = round(mean_err, 2)
+    assert mean_err < 3.0

@@ -1,0 +1,66 @@
+"""E7 — scalability over processor count.
+
+Paper: "it was then almost instantaneous to get variant versions with
+different numbers of processors" (while the hand-crafted version "could
+not be scaled in a straightforward way").  The interesting *performance*
+shape: tracking latency falls as workers are added, then saturates when
+the per-window fixed costs, the master and the ring hops dominate.
+
+This benchmark rebuilds the tracking application for P in {1,2,4,8,16}
+(changing only the ``nproc`` constant, exactly as the paper describes)
+and reports the latency/speedup series.
+"""
+
+from conftest import run_once
+
+from repro import build
+from repro.syndex import ring
+from repro.tracking import build_tracking_app
+
+PROCESSOR_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _latency_for(nproc: int) -> dict:
+    app = build_tracking_app(
+        nproc=nproc, n_frames=6, frame_size=512, n_vehicles=3
+    )
+    built = build(
+        app.source, app.table, ring(nproc),
+        profile_iterations=2, rewind=app.rewind,
+    )
+    report = built.run()
+    stable = [r.latency for r in report.iterations[2:]]
+    return {
+        "reinit_ms": report.iterations[0].latency / 1000,
+        "tracking_ms": sum(stable) / len(stable) / 1000,
+    }
+
+
+def test_tracking_scales_with_processors(benchmark):
+    results = run_once(
+        benchmark, lambda: {p: _latency_for(p) for p in PROCESSOR_COUNTS}
+    )
+    print("\nE7: latency vs processor count (simulated T9000 ring)")
+    print("  P   tracking     reinit    speedup(track)  speedup(reinit)")
+    base_t = results[1]["tracking_ms"]
+    base_r = results[1]["reinit_ms"]
+    for p in PROCESSOR_COUNTS:
+        r = results[p]
+        print(
+            f"  {p:>2}  {r['tracking_ms']:7.1f} ms {r['reinit_ms']:7.1f} ms"
+            f"  {base_t / r['tracking_ms']:8.2f}x   {base_r / r['reinit_ms']:8.2f}x"
+        )
+        benchmark.extra_info[f"tracking_ms_p{p}"] = round(r["tracking_ms"], 1)
+        benchmark.extra_info[f"reinit_ms_p{p}"] = round(r["reinit_ms"], 1)
+
+    # Shape: more processors help both phases...
+    assert results[8]["tracking_ms"] < results[1]["tracking_ms"]
+    assert results[8]["reinit_ms"] < results[1]["reinit_ms"]
+    # ...reinit (8 equal bands) scales hard up to 8 processors...
+    assert results[8]["reinit_ms"] < 0.3 * results[1]["reinit_ms"]
+    # ...and the curve saturates: 16 processors buy little over 8 for the
+    # 9-window tracking phase (the farm has only 9 packets to spread).
+    gain_8_to_16 = results[8]["tracking_ms"] / results[16]["tracking_ms"]
+    gain_1_to_8 = results[1]["tracking_ms"] / results[8]["tracking_ms"]
+    assert gain_1_to_8 > 2.0
+    assert gain_8_to_16 < 1.5

@@ -1,0 +1,100 @@
+"""E9 — geometric data parallelism under ``scm``.
+
+Paper (§2): the first pattern class is "geometric processing of iconic
+data" — split the image, process sub-domains independently, merge.  Its
+canonical applications are regular low-level operators (convolution)
+and connected-component labelling [7].
+
+This benchmark sweeps the split degree for a convolution-style operator
+whose cost is proportional to band pixels (near-linear speedup
+expected) and for CCL whose merge cost grows with the number of seams
+(sublinear expected) — the classic shape of scm scaling.
+"""
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder, T9000
+from repro.machine import simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+ROWS, COLS = 512, 512
+DEGREES = (1, 2, 4, 8, 16)
+
+
+def make_table():
+    """Cost-model-driven substrate: data are (nrows, ncols) shapes."""
+    table = FunctionTable()
+    table.register(
+        "split_img", ins=["int", "img"], outs=["band list"],
+        cost=lambda n, im: 200.0 + 0.05 * im[0] * im[1],
+    )(lambda n, im: [(im[0] // n, im[1])] * n)
+    # Convolution: 9 taps/pixel at ~0.8 us each on the reference CPU.
+    table.register(
+        "convolve_band", ins=["band"], outs=["band"],
+        cost=lambda band: 500.0 + 7.0 * band[0] * band[1],
+    )(lambda band: band)
+    table.register(
+        "merge_img", ins=["img", "band list"], outs=["img"],
+        cost=lambda im, parts: 200.0 + 0.05 * im[0] * im[1],
+    )(lambda im, parts: im)
+    # CCL: ~4 us/pixel locally, plus a per-seam merge charged in merge.
+    table.register(
+        "label_band", ins=["band"], outs=["band"],
+        cost=lambda band: 500.0 + 4.0 * band[0] * band[1],
+    )(lambda band: band)
+    table.register(
+        "merge_labels", ins=["img", "band list"], outs=["img"],
+        cost=lambda im, parts: 200.0 + 60.0 * im[1] * max(0, len(parts) - 1),
+    )(lambda im, parts: im)
+    return table
+
+
+def scm_program(table, comp, merge, degree):
+    b = ProgramBuilder(f"scm_{comp}_{degree}", table)
+    (im,) = b.params("im")
+    out = b.scm(degree, split="split_img", comp=comp, merge=merge, x=im)
+    return b.returns(out)
+
+
+def _makespan(table, comp, merge, degree) -> float:
+    prog = scm_program(table, comp, merge, degree)
+    arch = ring(max(degree, 1))
+    mapping = distribute(expand_program(prog, table), arch)
+    report = simulate(mapping, table, T9000, args=((ROWS, COLS),))
+    return report.makespan / 1000
+
+
+def test_scm_scaling_convolution_vs_ccl(benchmark):
+    table = make_table()
+
+    def sweep():
+        out = {}
+        for degree in DEGREES:
+            out[("conv", degree)] = _makespan(
+                table, "convolve_band", "merge_img", degree
+            )
+            out[("ccl", degree)] = _makespan(
+                table, "label_band", "merge_labels", degree
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\nE9: scm scaling on a 512x512 frame (simulated T9000 ring)")
+    print("   P   convolution  speedup      CCL   speedup")
+    for degree in DEGREES:
+        conv = results[("conv", degree)]
+        ccl = results[("ccl", degree)]
+        s_conv = results[("conv", 1)] / conv
+        s_ccl = results[("ccl", 1)] / ccl
+        print(f"  {degree:>2}  {conv:9.1f} ms {s_conv:7.2f}x"
+              f" {ccl:9.1f} ms {s_ccl:7.2f}x")
+        benchmark.extra_info[f"conv_ms_p{degree}"] = round(conv, 1)
+        benchmark.extra_info[f"ccl_ms_p{degree}"] = round(ccl, 1)
+
+    conv_speedup_8 = results[("conv", 1)] / results[("conv", 8)]
+    ccl_speedup_8 = results[("ccl", 1)] / results[("ccl", 8)]
+    # Convolution scales near-linearly to 8 processors...
+    assert conv_speedup_8 > 5.0
+    # ...CCL scales too, but visibly worse (seam merging is serial).
+    assert 1.5 < ccl_speedup_8 < conv_speedup_8

@@ -1,0 +1,108 @@
+"""E10 — task farming for divide-and-conquer algorithms.
+
+Paper (§2): ``tf`` generalises ``df`` — "each worker can recursively
+generate new packets to be processed.  Its main use is for implementing
+the so-called divide-and-conquer algorithms."
+
+Workload: recursive quadtree splitting of an image region (the classic
+split-and-merge segmentation shape): homogeneous regions finish, mixed
+regions spawn their four quadrants.  The benchmark sweeps worker count
+and also shows tf beating a one-shot df over the *initial* regions only
+(df cannot exploit the recursively generated work).
+"""
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder, T9000, TaskOutcome
+from repro.machine import simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+DEGREES = (1, 2, 4, 8)
+MIN_LEAF = 64  # stop splitting below this size
+
+
+def _is_homogeneous(region) -> bool:
+    """Deterministic pseudo-content: a region is homogeneous when its
+    coordinates hash 'cleanly' — stands in for a pixel-variance test."""
+    row, col, size = region
+    return size <= MIN_LEAF or (row * 7 + col * 13 + size) % 3 == 0
+
+
+def make_table():
+    table = FunctionTable()
+
+    def examine(region):
+        row, col, size = region
+        if _is_homogeneous(region):
+            return TaskOutcome(results=[(row, col, size)])
+        half = size // 2
+        return TaskOutcome(
+            subtasks=[
+                (row, col, half),
+                (row, col + half, half),
+                (row + half, col, half),
+                (row + half, col + half, half),
+            ]
+        )
+
+    # Homogeneity test cost ~ area/4 sampled pixels at 2 us each.
+    table.register(
+        "examine", ins=["region"], outs=["outcome"],
+        cost=lambda r: 200.0 + 0.5 * r[2] * r[2],
+    )(examine)
+    table.register(
+        "collect", ins=["region list", "region"], outs=["region list"],
+        cost=lambda acc, r: 10.0,
+    )(lambda acc, r: sorted(acc + [r]))
+    return table
+
+
+def tf_program(table, degree):
+    b = ProgramBuilder(f"quadtree_{degree}", table)
+    (regions,) = b.params("regions")
+    out = b.tf(degree, comp="examine", acc="collect", z=b.const([]), xs=regions)
+    return b.returns(out)
+
+
+ROOT = [(0, 0, 512)]
+
+
+def _run(table, degree):
+    prog = tf_program(table, degree)
+    mapping = distribute(expand_program(prog, table), ring(max(degree, 1)))
+    return simulate(mapping, table, T9000, args=(list(ROOT),))
+
+
+def test_tf_quadtree_scaling(benchmark):
+    table = make_table()
+
+    def sweep():
+        return {degree: _run(table, degree) for degree in DEGREES}
+
+    results = run_once(benchmark, sweep)
+    leaves = results[1].one_shot_results[0]
+    print("\nE10: task-farm quadtree segmentation (512x512 region)")
+    print(f"  {len(leaves)} leaf regions")
+    print("   P   makespan   speedup")
+    for degree in DEGREES:
+        ms = results[degree].makespan / 1000
+        speedup = results[1].makespan / results[degree].makespan
+        print(f"  {degree:>2}  {ms:8.1f} ms {speedup:7.2f}x")
+        benchmark.extra_info[f"tf_ms_p{degree}"] = round(ms, 1)
+
+    # All degrees compute the same segmentation.
+    for degree in DEGREES:
+        assert results[degree].one_shot_results[0] == leaves
+    # Recursive work keeps the farm busy: real speedup at 4 workers.
+    assert results[1].makespan / results[4].makespan > 2.0
+
+
+def test_leaves_partition_the_root(benchmark):
+    table = make_table()
+    report = run_once(benchmark, lambda: _run(table, 4))
+    leaves = report.one_shot_results[0]
+    # The leaf areas tile the 512x512 root exactly.
+    assert sum(size * size for _r, _c, size in leaves) == 512 * 512
+    # Every leaf is homogeneous by the splitting rule.
+    assert all(_is_homogeneous(leaf) for leaf in leaves)

@@ -1,0 +1,134 @@
+"""E13 (extension, paper §6) — inter-skeleton transformation rules.
+
+The paper's conclusion names "inter-skeleton transformational rules" as
+the needed next step when "applications are built by composing ... a
+large number of skeletons".  This repo implements them
+(:mod:`repro.core.transform`); this benchmark is the ablation: a
+two-stage farm pipeline (filter-marks then measure-marks) simulated
+with and without farm fusion, plus degree clamping on an over-specified
+program.
+"""
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder, T9000
+from repro.core import emulate_once, optimize
+from repro.machine import simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+NPROC = 4
+
+
+def make_table():
+    """Two farm stages whose *intermediate* values are heavy.
+
+    Stage 1 turns a window id into a filtered 8 kB pixel block; stage 2
+    reduces each block to a scalar.  Unfused, every block crosses the
+    network twice (worker -> master, master -> worker); fused, blocks
+    live and die inside one worker — the communication saving is the
+    point of the rule.
+    """
+    table = FunctionTable()
+
+    def clean(x):
+        return bytes([x % 256]) * 8_192  # the filtered window
+
+    table.register("clean", ins=["int"], outs=["block"], cost=1_500.0)(clean)
+    table.register(
+        "cons", ins=["block list", "block"], outs=["block list"],
+        cost=20.0, properties=["append"],
+    )(lambda acc, y: sorted(acc + [y]))
+    table.register(
+        "measure", ins=["block"], outs=["int"], cost=1_500.0
+    )(lambda block: sum(block[:16]))
+    table.register(
+        "add", ins=["int", "int"], outs=["int"], cost=20.0,
+        properties=["commutative", "associative"],
+    )(lambda a, b: a + b)
+    return table
+
+
+def two_stage_program(table):
+    b = ProgramBuilder("two_farms", table)
+    (xs,) = b.params("xs")
+    cleaned = b.df(NPROC, comp="clean", acc="cons", z=b.const([]), xs=xs)
+    total = b.df(NPROC, comp="measure", acc="add", z=b.const(0), xs=cleaned)
+    return b.returns(total)
+
+
+WORKLOAD = list(range(24))
+
+
+def test_farm_fusion_ablation(benchmark):
+    def measure():
+        table = make_table()
+        original = two_stage_program(table)
+        fused, report = optimize(original, table)
+        assert len(fused.skeleton_instances()) == 1, report.render()
+
+        m_orig = distribute(expand_program(original, table), ring(NPROC))
+        m_fused = distribute(expand_program(fused, table), ring(NPROC))
+        r_orig = simulate(m_orig, table, T9000, args=(WORKLOAD,))
+        r_fused = simulate(m_fused, table, T9000, args=(WORKLOAD,))
+        expected = emulate_once(original, table, WORKLOAD)
+        return r_orig, r_fused, expected, m_orig, m_fused
+
+    r_orig, r_fused, expected, m_orig, m_fused = run_once(benchmark, measure)
+    orig_ms = r_orig.makespan / 1000
+    fused_ms = r_fused.makespan / 1000
+    print("\nE13: farm fusion ablation (two-stage pipeline, 4 workers)")
+    print(f"  unfused : {orig_ms:7.1f} ms "
+          f"({len(m_orig.graph)} processes)")
+    print(f"  fused   : {fused_ms:7.1f} ms "
+          f"({len(m_fused.graph)} processes)  "
+          f"{orig_ms / fused_ms:.2f}x faster")
+    benchmark.extra_info.update(
+        {
+            "unfused_ms": round(orig_ms, 1),
+            "fused_ms": round(fused_ms, 1),
+            "speedup": round(orig_ms / fused_ms, 2),
+        }
+    )
+    # Semantics preserved on both paths.
+    assert r_orig.one_shot_results == expected
+    assert r_fused.one_shot_results == expected
+    # Fusion removes a full dispatch/collect round-trip: >=25% faster
+    # and a strictly smaller process network.
+    assert fused_ms < 0.8 * orig_ms
+    assert len(m_fused.graph) < len(m_orig.graph)
+
+
+def test_degree_clamping_ablation(benchmark):
+    """A degree-16 farm on a 4-processor ring: clamping sheds the
+    useless workers and their routers."""
+
+    def measure():
+        table = make_table()
+        table.register("work", ins=["int"], outs=["int"], cost=1_500.0)(
+            lambda x: x * x
+        )
+        b = ProgramBuilder("over", table)
+        (xs,) = b.params("xs")
+        out = b.df(16, comp="work", acc="add", z=b.const(0), xs=xs)
+        original = b.returns(out)
+        clamped, _report = optimize(original, table, max_degree=4)
+        m_orig = distribute(expand_program(original, table), ring(4))
+        m_clamp = distribute(expand_program(clamped, table), ring(4))
+        r_orig = simulate(m_orig, table, T9000, args=(WORKLOAD,))
+        r_clamp = simulate(m_clamp, table, T9000, args=(WORKLOAD,))
+        return r_orig, r_clamp, m_orig, m_clamp
+
+    r_orig, r_clamp, m_orig, m_clamp = run_once(benchmark, measure)
+    assert r_orig.one_shot_results == r_clamp.one_shot_results
+    assert len(m_clamp.graph) < len(m_orig.graph)
+    orig_ms = r_orig.makespan / 1000
+    clamp_ms = r_clamp.makespan / 1000
+    print(f"\nE13b: degree clamping 16->4 on ring4: "
+          f"{orig_ms:.1f} ms -> {clamp_ms:.1f} ms, "
+          f"{len(m_orig.graph)} -> {len(m_clamp.graph)} processes")
+    benchmark.extra_info.update(
+        {"overdegree_ms": round(orig_ms, 1), "clamped_ms": round(clamp_ms, 1)}
+    )
+    # Sixteen workers time-sliced on 4 CPUs cannot beat 4 workers.
+    assert clamp_ms <= orig_ms * 1.02

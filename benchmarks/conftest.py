@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (see the
+experiment index in DESIGN.md) and stores its headline numbers in
+``benchmark.extra_info`` so they appear in the pytest-benchmark report;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with exactly one timed execution.
+
+    Most benchmarks here drive stateful stream sources (video) or build
+    whole applications; repeated timed rounds would re-consume state, so
+    each is measured once — the interesting output is the *simulated*
+    time recorded in extra_info, not the wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

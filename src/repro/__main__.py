@@ -1,0 +1,7 @@
+"""``python -m repro`` — the SKiPPER command-line driver."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,5 @@
+"""Hand-crafted baselines for the skeleton-vs-manual comparisons of section 4."""
+
+from .handcrafted import handcrafted_mapping, handcrafted_tracking_graph
+
+__all__ = ["handcrafted_tracking_graph", "handcrafted_mapping"]

@@ -1,0 +1,122 @@
+"""Hand-crafted parallel versions — the baseline of §4.
+
+"These performances are similar to the ones obtained by an existing
+hand-crafted parallel version of the algorithm" — and the hand-crafted
+version "required at least ten times longer to implement" and "could
+not be scaled in a straightforward way".
+
+This module is that counterpart: the same tracking pipeline written the
+way a parallel programmer would hand-code it, bypassing the compiler
+entirely — the process graph is wired by hand (no router processes: the
+programmer inlines routing into the worker loops) and the placement is
+a hard-coded assignment rather than the AAA heuristic.  Benchmarks
+compare its simulated performance against the skeleton-generated
+version (experiment E6), and ``scaling_effort`` quantifies the
+programmability claim (E12): rescaling the hand version means editing
+the graph, rescaling the SKiPPER version means changing one constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..pnt.graph import Process, ProcessGraph, ProcessKind
+from ..syndex.arch import Architecture
+from ..syndex.distribute import Mapping
+
+__all__ = ["handcrafted_tracking_graph", "handcrafted_mapping"]
+
+
+def handcrafted_tracking_graph(nproc: int) -> ProcessGraph:
+    """The tracking application's process network, written by hand.
+
+    Functionally identical to what the compiler produces from the
+    case-study spec, but with the farm's router processes inlined away
+    (master talks to workers directly) — the typical shortcut of a
+    hand-coded implementation, which saves a little forwarding overhead
+    and loses all the structure the tools rely on.
+    """
+    g = ProcessGraph("handcrafted_tracking")
+    g.add_process(
+        Process("grab", ProcessKind.INPUT, func="read_img", n_in=0, n_out=1,
+                params={"source": (512, 512)})
+    )
+    g.add_process(
+        Process("mem", ProcessKind.MEM, n_in=1, n_out=1,
+                params={"init_func": "init_state"})
+    )
+    g.add_process(
+        Process("nproc", ProcessKind.CONST, n_in=0, n_out=1,
+                params={"value": nproc})
+    )
+    g.add_process(
+        Process("empty", ProcessKind.CONST, n_in=0, n_out=1,
+                params={"value": []})
+    )
+    g.add_process(
+        Process("windows", ProcessKind.APPLY, func="get_windows", n_in=3, n_out=1)
+    )
+    g.add_process(
+        Process(
+            "farm",
+            ProcessKind.MASTER,
+            func="accum_marks",
+            n_in=2 + nproc,
+            n_out=1 + nproc,
+            skeleton="hand_farm",
+            params={"degree": nproc, "farm_kind": "df", "comp": "detect_mark"},
+        )
+    )
+    for i in range(nproc):
+        g.add_process(
+            Process(
+                f"det{i}",
+                ProcessKind.WORKER,
+                func="detect_mark",
+                skeleton="hand_farm",
+                params={"index": i, "farm_kind": "df"},
+            )
+        )
+    g.add_process(
+        Process("predict", ProcessKind.APPLY, func="predict", n_in=2, n_out=2)
+    )
+    g.add_process(
+        Process("show", ProcessKind.OUTPUT, func="display_marks", n_in=1, n_out=0)
+    )
+
+    g.add_edge("nproc", "windows", dst_port=0, type="int")
+    g.add_edge("mem", "windows", dst_port=1, type="state")
+    g.add_edge("grab", "windows", dst_port=2, type="img")
+    g.add_edge("empty", "farm", dst_port=0, type="mark list")
+    g.add_edge("windows", "farm", dst_port=1, type="window list")
+    for i in range(nproc):
+        # Hand-inlined routing: master <-> worker direct.
+        g.add_edge("farm", f"det{i}", src_port=1 + i, type="window")
+        g.add_edge(f"det{i}", "farm", dst_port=2 + i, type="mark list")
+    g.add_edge("mem", "predict", dst_port=0, type="state")
+    g.add_edge("farm", "predict", src_port=0, dst_port=1, type="mark list")
+    g.add_edge("predict", "show", src_port=0, type="mark list")
+    g.add_edge("predict", "mem", src_port=1, dst_port=0, type="state", loop=True)
+    g.validate()
+    return g
+
+
+def handcrafted_mapping(graph: ProcessGraph, arch: Architecture) -> Mapping:
+    """The hand placement: everything central on p0, one worker per
+    remaining processor (wrapping when workers outnumber processors) —
+    the layout a programmer would write down for the ring."""
+    procs = arch.processor_ids()
+    assignment: Dict[str, str] = {}
+    # Workers fill the non-I/O processors first, then share p0 and wrap.
+    worker_slots = (procs[1:] + [procs[0]]) if len(procs) > 1 else procs
+    worker_index = 0
+    for pid in sorted(graph.processes):
+        process = graph[pid]
+        if process.kind == ProcessKind.WORKER:
+            assignment[pid] = worker_slots[worker_index % len(worker_slots)]
+            worker_index += 1
+        else:
+            assignment[pid] = procs[0]
+    mapping = Mapping(graph, arch, assignment)
+    mapping.validate()
+    return mapping

@@ -1,0 +1,216 @@
+"""Command-line driver for the SKiPPER environment.
+
+The original system was driven by makefiles around the custom Caml
+compiler and SynDEx; this module is the equivalent front door::
+
+    python -m repro typecheck spec.ml --functions app:TABLE
+    python -m repro compile   spec.ml --functions app:TABLE --arch ring:8 --emit summary
+    python -m repro compile   spec.ml --functions app:TABLE --arch ring:8 --emit macro
+    python -m repro emulate   spec.ml --functions app:TABLE --max-iterations 5
+    python -m repro simulate  spec.ml --functions app:TABLE --arch ring:8 --gantt
+
+``--functions`` names the application's sequential-function table as
+``module:attribute`` (the attribute may be a
+:class:`~repro.core.functions.FunctionTable` or a zero-argument callable
+returning one); the module is imported from the current directory like
+any Python module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from .core.functions import FunctionTable
+from .machine.costs import T9000
+from .machine.executive import Executive
+from .minicaml.compile import compile_source, typecheck_source
+from .minicaml.types import type_to_str
+from .pipeline import build
+from .syndex import arch as arch_mod
+
+__all__ = ["main", "parse_architecture", "load_table"]
+
+
+def parse_architecture(spec: str):
+    """Parse ``ring:8``, ``now:4``, ``mesh:2x3``, ``full:5``, ``chain:3``."""
+    try:
+        kind, _, size = spec.partition(":")
+        if kind == "mesh":
+            rows, _, cols = size.partition("x")
+            return arch_mod.mesh(int(rows), int(cols))
+        builder = {
+            "ring": arch_mod.ring,
+            "chain": arch_mod.chain,
+            "star": arch_mod.star,
+            "full": arch_mod.fully_connected,
+            "now": arch_mod.now,
+        }[kind]
+        return builder(int(size))
+    except (KeyError, ValueError):
+        raise SystemExit(
+            f"error: bad architecture {spec!r} "
+            "(expected ring:N, chain:N, star:N, full:N, now:N or mesh:RxC)"
+        )
+
+
+def load_table(spec: str) -> FunctionTable:
+    """Import a function table from ``module:attribute``."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise SystemExit(
+            f"error: bad --functions {spec!r} (expected module:attribute)"
+        )
+    sys.path.insert(0, ".")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as err:
+        raise SystemExit(f"error: cannot import {module_name!r}: {err}")
+    try:
+        value = getattr(module, attr)
+    except AttributeError:
+        raise SystemExit(f"error: {module_name!r} has no attribute {attr!r}")
+    if callable(value) and not isinstance(value, FunctionTable):
+        value = value()
+    if not isinstance(value, FunctionTable):
+        raise SystemExit(
+            f"error: {spec!r} is not a FunctionTable (got {type(value).__name__})"
+        )
+    return value
+
+
+def _read_source(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as err:
+        raise SystemExit(f"error: cannot read {path!r}: {err}")
+
+
+def _cmd_typecheck(args) -> int:
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    schemes = typecheck_source(source, table)
+    for name, scheme in schemes.items():
+        print(f"val {name} : {type_to_str(scheme.instantiate())}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    built = build(
+        source, table, parse_architecture(args.arch), entry=args.entry,
+        profile_iterations=args.profile,
+    )
+    if args.emit == "summary":
+        print(built.graph.summary())
+        print(built.mapping.summary())
+        print(built.deadlock.render())
+    elif args.emit == "dot":
+        print(built.graph.to_dot())
+    elif args.emit == "macro":
+        from .codegen.macro import emit_all
+
+        for proc, text in emit_all(built.mapping).items():
+            print(f"# ================ {proc} ================")
+            print(text)
+    elif args.emit == "python":
+        from .codegen.pygen import generate_python
+
+        print(generate_python(built.mapping))
+    return 0
+
+
+def _cmd_emulate(args) -> int:
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    compiled = compile_source(source, table, entry=args.entry)
+    result = compiled.emulate(max_iterations=args.max_iterations)
+    print(f"final memory: {result!r}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    built = build(
+        source, table, parse_architecture(args.arch), entry=args.entry,
+        profile_iterations=args.profile,
+    )
+    executive = Executive(
+        built.mapping, table, T9000,
+        real_time=args.real_time, record_trace=args.gantt,
+    )
+    report = executive.run(args.max_iterations)
+    print(report.summary())
+    for proc, frac in sorted(report.utilisation().items()):
+        print(f"  {proc}: {100 * frac:5.1f}% busy")
+    if args.gantt and executive.trace is not None:
+        from .machine.trace import render_gantt
+
+        print(render_gantt(executive.trace, width=args.gantt_width))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SKiPPER: skeleton-based parallel programming environment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, arch=False):
+        p.add_argument("spec", help="the .ml specification file")
+        p.add_argument(
+            "--functions", required=True,
+            help="sequential-function table as module:attribute",
+        )
+        p.add_argument("--entry", default="main", help="entry binding")
+        if arch:
+            p.add_argument(
+                "--arch", default="ring:8",
+                help="target architecture (ring:N, now:N, mesh:RxC, ...)",
+            )
+            p.add_argument(
+                "--profile", type=int, default=0, metavar="N",
+                help="profile N iterations on one processor and use the "
+                     "measured costs for placement (AAA adequation); "
+                     "note: consumes N stream items",
+            )
+
+    p = sub.add_parser("typecheck", help="infer and print top-level types")
+    common(p)
+    p.set_defaults(fn=_cmd_typecheck)
+
+    p = sub.add_parser("compile", help="compile, map, and emit artefacts")
+    common(p, arch=True)
+    p.add_argument(
+        "--emit", choices=("summary", "dot", "macro", "python"),
+        default="summary",
+    )
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("emulate", help="run the sequential emulation")
+    common(p)
+    p.add_argument("--max-iterations", type=int, default=None)
+    p.set_defaults(fn=_cmd_emulate)
+
+    p = sub.add_parser("simulate", help="run on the simulated machine")
+    common(p, arch=True)
+    p.add_argument("--max-iterations", type=int, default=None)
+    p.add_argument("--real-time", action="store_true",
+                   help="25 Hz frame timing with frame skipping")
+    p.add_argument("--gantt", action="store_true",
+                   help="print a text Gantt chart of the run")
+    p.add_argument("--gantt-width", type=int, default=72)
+    p.set_defaults(fn=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Code generation: macro-code emission and the executable executive."""
+
+from .kernel import KERNEL_PRIMITIVES, Shutdown, Stop, ThreadKernel
+from .macro import emit_all, emit_macro
+from .pygen import generate_python, load_executive, run_generated
+
+__all__ = [
+    "KERNEL_PRIMITIVES",
+    "Stop",
+    "Shutdown",
+    "ThreadKernel",
+    "emit_macro",
+    "emit_all",
+    "generate_python",
+    "load_executive",
+    "run_generated",
+]

@@ -1,0 +1,148 @@
+"""The executive kernel: the only platform-dependent layer.
+
+"The code of these primitives — which basically support thread creation,
+communication and synchronisation and sequentialisation of user supplied
+computation functions and of inter-processor communications — is the
+only platform-dependent part of the programming environment, making it
+highly portable" (section 3).
+
+:data:`KERNEL_PRIMITIVES` documents the primitive set the macro-code is
+written against; :class:`ThreadKernel` is this repo's reference
+implementation (Python threads + bounded queues standing in for
+Transputer processes + channels).  Porting the generated executive to a
+different substrate means reimplementing exactly this class.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["KERNEL_PRIMITIVES", "Stop", "Shutdown", "ThreadKernel"]
+
+#: The kernel primitive set: name -> (signature, description).
+KERNEL_PRIMITIVES: Dict[str, Tuple[str, str]] = {
+    "spawn_": ("(name, body) -> thread", "create and start an executive thread"),
+    "send_": ("(edge, value) -> unit", "blocking send on a logical channel"),
+    "recv_": ("(edge) -> value", "blocking receive on a logical channel"),
+    "call_": ("(func, *args) -> value", "run a user sequential function"),
+    "stop_": ("(edge) -> unit", "propagate end-of-stream on a channel"),
+    "alt_": ("(edges) -> (edge, value)", "wait on several channels (ALT)"),
+    "join_": ("() -> unit", "wait for executive completion"),
+}
+
+
+class Stop:
+    """End-of-stream token, forwarded edge-to-edge to unwind the network."""
+
+    def __repr__(self) -> str:
+        return "<stop>"
+
+
+class Shutdown(Exception):
+    """Raised inside executive threads when the run is torn down."""
+
+
+@dataclass
+class _Channel:
+    """A logical point-to-point channel (one per process-graph edge)."""
+
+    q: "queue.Queue"
+
+
+class ThreadKernel:
+    """Threads-and-queues implementation of the kernel primitives.
+
+    Channels are bounded so constant sources self-throttle instead of
+    running arbitrarily ahead of the computation (the Transputer links
+    they model are rendezvous channels).
+    """
+
+    def __init__(self, *, queue_size: int = 4, poll_s: float = 0.05):
+        self._channels: Dict[str, _Channel] = {}
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._queue_size = queue_size
+        self._poll_s = poll_s
+        self.stop_token = Stop()
+        #: Scratch space the generated code uses for final results.
+        self.blackboard: Dict[str, Any] = {}
+
+    # -- primitives ------------------------------------------------------------
+
+    def channel(self, edge: str) -> _Channel:
+        if edge not in self._channels:
+            self._channels[edge] = _Channel(queue.Queue(maxsize=self._queue_size))
+        return self._channels[edge]
+
+    def spawn_(self, name: str, body: Callable[[], None]) -> threading.Thread:
+        def runner() -> None:
+            try:
+                body()
+            except Shutdown:
+                pass
+
+        thread = threading.Thread(target=runner, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def send_(self, edge: str, value: Any) -> None:
+        channel = self.channel(edge)
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                channel.q.put(value, timeout=self._poll_s)
+                return
+            except queue.Full:
+                continue
+
+    def recv_(self, edge: str) -> Any:
+        channel = self.channel(edge)
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                return channel.q.get(timeout=self._poll_s)
+            except queue.Empty:
+                continue
+
+    def stop_(self, edge: str) -> None:
+        self.send_(edge, self.stop_token)
+
+    def alt_(self, edges: List[str]) -> Tuple[str, Any]:
+        """Wait for a message on any of ``edges`` (the Transputer ALT)."""
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            for edge in edges:
+                try:
+                    return edge, self.channel(edge).q.get_nowait()
+                except queue.Empty:
+                    continue
+            # Sub-millisecond poll: ALT latency directly gates farm
+            # throughput (one poll per collected packet).
+            self._stop_event.wait(0.0002)
+
+    @staticmethod
+    def call_(func: Callable, *args: Any) -> Any:
+        return func(*args)
+
+    def join_(self, sinks: List[threading.Thread], timeout: float = 60.0) -> None:
+        """Wait for the sink threads, then tear everything down."""
+        for thread in sinks:
+            thread.join(timeout)
+            if thread.is_alive():
+                self._stop_event.set()
+                raise RuntimeError(
+                    f"executive thread {thread.name!r} did not terminate"
+                )
+        self._stop_event.set()
+        for thread in self._threads:
+            thread.join(1.0)
+
+    def is_stop(self, value: Any) -> bool:
+        return isinstance(value, Stop)

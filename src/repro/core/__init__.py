@@ -1,0 +1,55 @@
+"""Skeleton core: declarative semantics, program IR, builder and emulator."""
+
+from .semantics import EndOfStream, TaskOutcome, df, itermem, scm, tf
+from .functions import (
+    FunctionSpec,
+    FunctionTable,
+    check_declared_properties,
+    constant_cost,
+)
+from .ir import (
+    Apply,
+    Const,
+    IRError,
+    Program,
+    SKELETON_KINDS,
+    SKELETON_ROLES,
+    SkelApply,
+    StreamSpec,
+)
+from .builder import ProgramBuilder, Value
+from .emulate import EmulationResult, emulate, emulate_once, evaluate_body
+from .sizes import HEADER_BYTES, payload_bytes
+from .transform import TransformReport, compose_functions, optimize
+
+__all__ = [
+    "scm",
+    "df",
+    "tf",
+    "itermem",
+    "TaskOutcome",
+    "EndOfStream",
+    "FunctionSpec",
+    "FunctionTable",
+    "constant_cost",
+    "Const",
+    "Apply",
+    "SkelApply",
+    "StreamSpec",
+    "Program",
+    "IRError",
+    "SKELETON_KINDS",
+    "SKELETON_ROLES",
+    "ProgramBuilder",
+    "Value",
+    "EmulationResult",
+    "emulate",
+    "emulate_once",
+    "evaluate_body",
+    "HEADER_BYTES",
+    "payload_bytes",
+    "check_declared_properties",
+    "TransformReport",
+    "compose_functions",
+    "optimize",
+]

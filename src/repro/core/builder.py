@@ -1,0 +1,211 @@
+"""Fluent Python API for building skeletal programs.
+
+The mini-ML front-end is the paper-faithful way in; this builder is the
+pragmatic way — a downstream user who already lives in Python can wire
+the same IR directly:
+
+.. code-block:: python
+
+    b = ProgramBuilder("tracking", table)
+    state, im = b.params("state", "im")
+    ws = b.apply("get_windows", b.const(8, "nproc"), state, im)
+    marks = b.df(8, comp="detect_mark", acc="accum_marks",
+                 z=b.const([], "empty"), xs=ws)
+    ms, st = b.apply("predict", marks)
+    prog = b.stream(st, ms, inp="read_img", out="display_marks",
+                    init="init_state", source=(512, 512))
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from .functions import FunctionTable
+from .ir import Apply, Const, IRError, Program, SkelApply, StreamSpec
+
+__all__ = ["Value", "ProgramBuilder"]
+
+
+class Value:
+    """A handle to an SSA value inside a builder."""
+
+    __slots__ = ("name", "_builder")
+
+    def __init__(self, name: str, builder: "ProgramBuilder"):
+        self.name = name
+        self._builder = builder
+
+    def __repr__(self) -> str:
+        return f"Value({self.name!r})"
+
+
+class ProgramBuilder:
+    """Accumulates bindings and finalises them into a :class:`Program`."""
+
+    def __init__(self, name: str, table: Optional[FunctionTable] = None):
+        self.name = name
+        self.table = table
+        self._params: list = []
+        self._bindings: list = []
+        self._counter = itertools.count()
+        self._finalised = False
+
+    # -- value creation ------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        return f"{hint}_{next(self._counter)}"
+
+    def params(self, *names: str) -> Tuple[Value, ...]:
+        """Declare the body's formal parameters (call once, first)."""
+        if self._params:
+            raise IRError("parameters already declared")
+        if self._bindings:
+            raise IRError("declare parameters before any binding")
+        self._params = list(names)
+        return tuple(Value(n, self) for n in names)
+
+    def const(self, value: Any, name: Optional[str] = None) -> Value:
+        """Bind a literal value."""
+        out = name if name is not None else self._fresh("const")
+        self._bindings.append(Const(out, value))
+        return Value(out, self)
+
+    def _name_of(self, v: Union[Value, str]) -> str:
+        if isinstance(v, Value):
+            if v._builder is not self:
+                raise IRError(f"value {v.name!r} belongs to another builder")
+            return v.name
+        return v
+
+    def apply(
+        self, func: str, *args: Union[Value, str], outs: Optional[Sequence[str]] = None
+    ) -> Union[Value, Tuple[Value, ...]]:
+        """Call a sequential function.
+
+        The number of outputs is taken from the function table when one
+        was supplied (mirroring the C prototype's ``/*out*/`` count),
+        else from ``outs``, else assumed 1.  Returns a single
+        :class:`Value` or a tuple of them.
+        """
+        if outs is None:
+            n_outs = self.table[func].n_outs if self.table and func in self.table else 1
+            out_names = tuple(self._fresh(f"{func}_out") for _ in range(n_outs))
+        else:
+            out_names = tuple(outs)
+        arg_names = tuple(self._name_of(a) for a in args)
+        self._bindings.append(Apply(func, arg_names, out_names))
+        values = tuple(Value(o, self) for o in out_names)
+        return values[0] if len(values) == 1 else values
+
+    # -- skeletons -------------------------------------------------------
+
+    def scm(
+        self,
+        degree: int,
+        *,
+        split: str,
+        comp: str,
+        merge: str,
+        x: Union[Value, str],
+        out: Optional[str] = None,
+    ) -> Value:
+        """Instantiate the Split-Compute-Merge skeleton."""
+        out_name = out or self._fresh("scm_out")
+        self._bindings.append(
+            SkelApply(
+                "scm",
+                degree,
+                {"split": split, "comp": comp, "merge": merge},
+                (self._name_of(x),),
+                (out_name,),
+            )
+        )
+        return Value(out_name, self)
+
+    def df(
+        self,
+        degree: int,
+        *,
+        comp: str,
+        acc: str,
+        z: Union[Value, str],
+        xs: Union[Value, str],
+        out: Optional[str] = None,
+    ) -> Value:
+        """Instantiate the Data Farming skeleton."""
+        out_name = out or self._fresh("df_out")
+        self._bindings.append(
+            SkelApply(
+                "df",
+                degree,
+                {"comp": comp, "acc": acc},
+                (self._name_of(z), self._name_of(xs)),
+                (out_name,),
+            )
+        )
+        return Value(out_name, self)
+
+    def tf(
+        self,
+        degree: int,
+        *,
+        comp: str,
+        acc: str,
+        z: Union[Value, str],
+        xs: Union[Value, str],
+        out: Optional[str] = None,
+    ) -> Value:
+        """Instantiate the Task Farming skeleton."""
+        out_name = out or self._fresh("tf_out")
+        self._bindings.append(
+            SkelApply(
+                "tf",
+                degree,
+                {"comp": comp, "acc": acc},
+                (self._name_of(z), self._name_of(xs)),
+                (out_name,),
+            )
+        )
+        return Value(out_name, self)
+
+    # -- finalisation ------------------------------------------------------
+
+    def _finish(self, results, stream):
+        if self._finalised:
+            raise IRError("builder already finalised")
+        self._finalised = True
+        prog = Program(
+            name=self.name,
+            params=tuple(self._params),
+            bindings=list(self._bindings),
+            results=tuple(self._name_of(r) for r in results),
+            stream=stream,
+        )
+        prog.validate(self.table)
+        return prog
+
+    def returns(self, *results: Union[Value, str]) -> Program:
+        """Finalise a one-shot program returning ``results``."""
+        return self._finish(results, None)
+
+    def stream(
+        self,
+        new_state: Union[Value, str],
+        output: Union[Value, str],
+        *,
+        inp: str,
+        out: str,
+        init: Optional[str] = None,
+        init_value: Any = None,
+        source: Any = None,
+    ) -> Program:
+        """Finalise a stream (``itermem``) program.
+
+        The body must have exactly two parameters ``(state, item)``;
+        ``new_state`` and ``output`` are its ``(state', y)`` results.
+        """
+        spec = StreamSpec(
+            inp=inp, out=out, init=init, init_value=init_value, source=source
+        )
+        return self._finish((new_state, output), spec)

@@ -1,0 +1,162 @@
+"""Sequential emulation of skeletal programs.
+
+This is the left branch of the paper's Fig. 2: the same specification
+that drives the parallel implementation "can also be executed on any
+sequential platform to check the correctness of the parallel algorithm".
+The emulator interprets the program IR directly using the declarative
+skeleton semantics of :mod:`repro.core.semantics` — no process graph, no
+scheduling, just function application — and is the oracle for every
+functional-equivalence test of the parallel path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import semantics
+from .functions import FunctionTable
+from .ir import Apply, Const, IRError, Program, SkelApply
+
+__all__ = ["EmulationResult", "evaluate_body", "emulate_once", "emulate"]
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of emulating a stream program.
+
+    ``outputs`` holds the ``y`` value of every iteration (what the paper's
+    ``display_marks`` would have shown); ``final_state`` the last memory
+    value; ``iterations`` how many stream items were processed.
+    """
+
+    outputs: List[Any]
+    final_state: Any
+    iterations: int
+
+
+def _eval_skeleton(node: SkelApply, table: FunctionTable, env: Dict[str, Any]) -> Any:
+    """Evaluate one inner-skeleton instance declaratively."""
+    funcs = {role: table[name] for role, name in node.funcs.items()}
+    if node.kind == "scm":
+        (x,) = (env[a] for a in node.args)
+        return semantics.scm(
+            node.degree,
+            lambda n, v: funcs["split"](n, v),
+            lambda piece: funcs["comp"](piece),
+            lambda orig, results: funcs["merge"](orig, results),
+            x,
+        )
+    if node.kind == "df":
+        z, xs = (env[a] for a in node.args)
+        return semantics.df(
+            node.degree,
+            lambda v: funcs["comp"](v),
+            lambda acc, y: funcs["acc"](acc, y),
+            z,
+            xs,
+        )
+    if node.kind == "tf":
+        z, xs = (env[a] for a in node.args)
+        return semantics.tf(
+            node.degree,
+            lambda v: funcs["comp"](v),
+            lambda acc, y: funcs["acc"](acc, y),
+            z,
+            xs,
+        )
+    raise IRError(f"unknown skeleton kind {node.kind!r}")
+
+
+def evaluate_body(
+    program: Program, table: FunctionTable, args: Tuple[Any, ...]
+) -> Tuple[Any, ...]:
+    """Evaluate the program body once on ``args`` (one per parameter).
+
+    Returns the tuple of result values.
+    """
+    if len(args) != len(program.params):
+        raise IRError(
+            f"{program.name} takes {len(program.params)} argument(s), "
+            f"got {len(args)}"
+        )
+    env: Dict[str, Any] = dict(zip(program.params, args))
+    for binding in program.bindings:
+        if isinstance(binding, Const):
+            env[binding.out] = binding.value
+        elif isinstance(binding, Apply):
+            spec = table[binding.func]
+            result = spec(*(env[a] for a in binding.args))
+            if spec.n_outs == 1:
+                env[binding.outs[0]] = result
+            else:
+                if not isinstance(result, tuple) or len(result) != spec.n_outs:
+                    raise IRError(
+                        f"{binding.func} declared {spec.n_outs} outputs but "
+                        f"returned {type(result).__name__}"
+                    )
+                for name, value in zip(binding.outs, result):
+                    env[name] = value
+        elif isinstance(binding, SkelApply):
+            env[binding.outs[0]] = _eval_skeleton(binding, table, env)
+        else:
+            raise IRError(f"unknown binding {binding!r}")
+    return tuple(env[r] for r in program.results)
+
+
+def emulate_once(program: Program, table: FunctionTable, *args: Any) -> Tuple[Any, ...]:
+    """Emulate a one-shot program; returns its results tuple."""
+    if program.stream is not None:
+        raise IRError("use emulate() for stream programs")
+    program.validate(table)
+    return evaluate_body(program, table, args)
+
+
+def emulate(
+    program: Program,
+    table: FunctionTable,
+    *,
+    max_iterations: Optional[int] = None,
+    call_sink: bool = True,
+) -> EmulationResult:
+    """Emulate a stream (``itermem``) program sequentially.
+
+    Runs until the input function raises
+    :class:`~repro.core.semantics.EndOfStream` or ``max_iterations`` is
+    reached.  The per-iteration ``y`` values are collected in the result;
+    ``call_sink=False`` suppresses calling the registered output function
+    (useful when it has side effects such as printing).
+    """
+    if program.stream is None:
+        raise IRError("use emulate_once() for one-shot programs")
+    program.validate(table)
+    spec = program.stream
+
+    inp_fn = table[spec.inp]
+    out_fn = table[spec.out]
+    if spec.init is not None:
+        z = table[spec.init]()
+    else:
+        z = spec.init_value
+
+    outputs: List[Any] = []
+
+    def loop(state_and_item):
+        state, item = state_and_item
+        new_state, y = evaluate_body(program, table, (state, item))
+        return new_state, y
+
+    def out(y):
+        outputs.append(y)
+        if call_sink:
+            out_fn(y)
+
+    final_state = semantics.itermem(
+        lambda x: inp_fn(x),
+        loop,
+        out,
+        z,
+        spec.source,
+        max_iterations=max_iterations,
+    )
+    return EmulationResult(outputs, final_state, len(outputs))

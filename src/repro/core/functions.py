@@ -1,0 +1,218 @@
+"""Registry of application-specific sequential functions.
+
+In SKiPPER the application programmer supplies sequential C functions
+with ``/*in*/`` / ``/*out*/`` annotated prototypes; the coordination
+layer treats them as opaque kernels and only needs (a) the prototype, to
+type-check and wire the process graph, and (b) a cost estimate, for the
+SynDEx mapping heuristics and the machine simulator.
+
+A :class:`FunctionSpec` carries the Python callable plus that metadata;
+a :class:`FunctionTable` is the compilation unit's symbol table for
+external functions, consulted by the mini-ML front-end, the PNT expander
+and the executive generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "FunctionSpec",
+    "FunctionTable",
+    "constant_cost",
+    "check_declared_properties",
+]
+
+CostModel = Callable[..., float]
+
+
+def constant_cost(us: float) -> CostModel:
+    """A cost model charging a fixed number of microseconds per call."""
+
+    def cost(*_args) -> float:
+        return us
+
+    return cost
+
+
+@dataclass
+class FunctionSpec:
+    """An application-specific sequential function.
+
+    Attributes:
+        name: symbol used in the ML source and process-graph labels.
+        fn: the Python implementation.  It receives the ``ins`` values as
+            positional arguments and returns one value (or a tuple of
+            ``len(outs)`` values when the prototype declares several
+            ``/*out*/`` parameters).
+        ins: type names of the inputs (mini-ML type syntax, e.g.
+            ``["state", "img"]`` or ``["'a list"]``).
+        outs: type names of the outputs.
+        cost: simulated execution time in microseconds on the reference
+            processor, as a function of the actual argument values.
+            ``None`` means "measure nothing": the simulator falls back to
+            a default per-call cost.
+    """
+
+    name: str
+    fn: Callable
+    ins: Sequence[str]
+    outs: Sequence[str]
+    cost: Optional[CostModel] = None
+    doc: str = ""
+    #: Declared algebraic properties, used by the correctness checks and
+    #: the transformation rules of :mod:`repro.core.transform`:
+    #:
+    #: * ``"commutative"`` / ``"associative"`` — for binary accumulators
+    #:   (the paper's condition for df/tf accumulation order-insensitivity);
+    #: * ``"append"`` — the accumulator is list concatenation up to
+    #:   reordering (enables farm fusion);
+    #: * ``"identity"`` — unary function returning its argument.
+    properties: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.outs:
+            # C functions with no /*out*/ are effectful sinks; model a unit.
+            self.outs = ("unit",)
+        self.properties = frozenset(self.properties)
+
+    def has_property(self, name: str) -> bool:
+        return name in self.properties
+
+    @property
+    def arity(self) -> int:
+        return len(self.ins)
+
+    @property
+    def n_outs(self) -> int:
+        return len(self.outs)
+
+    def signature(self) -> str:
+        """Mini-ML type of the function, e.g. ``state * img -> mark list``."""
+        lhs = " * ".join(self.ins) if self.ins else "unit"
+        rhs = " * ".join(self.outs)
+        return f"{lhs} -> {rhs}"
+
+    def __call__(self, *args):
+        if len(args) != self.arity:
+            raise TypeError(
+                f"{self.name} expects {self.arity} argument(s), got {len(args)}"
+            )
+        return self.fn(*args)
+
+    def cost_of(self, *args) -> Optional[float]:
+        """Simulated cost in microseconds, or None when not modelled."""
+        if self.cost is None:
+            return None
+        return float(self.cost(*args))
+
+
+class FunctionTable:
+    """Symbol table of the application's sequential functions."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, FunctionSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        ins: Sequence[str],
+        outs: Sequence[str] = ("unit",),
+        cost: Optional[Union[CostModel, float]] = None,
+        doc: str = "",
+        properties: Sequence[str] = (),
+    ) -> Callable[[Callable], Callable]:
+        """Decorator registering ``fn`` under ``name`` with its prototype.
+
+        ``cost`` may be a float (constant microseconds) or a callable over
+        the argument values.  ``properties`` declares algebraic facts
+        (``"commutative"``, ``"associative"``, ``"append"``...) consumed
+        by the transformation rules; declare only what
+        :func:`check_declared_properties` can confirm on your data.
+        """
+        if isinstance(cost, (int, float)):
+            cost = constant_cost(float(cost))
+
+        def wrap(fn: Callable) -> Callable:
+            self.add(
+                FunctionSpec(
+                    name, fn, tuple(ins), tuple(outs), cost, doc,
+                    frozenset(properties),
+                )
+            )
+            return fn
+
+        return wrap
+
+    def add(self, spec: FunctionSpec) -> None:
+        if spec.name in self._specs:
+            raise ValueError(f"function {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+
+    def __getitem__(self, name: str) -> FunctionSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown sequential function {name!r}; registered: "
+                f"{sorted(self._specs)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[FunctionSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+
+def _multiset_key(values) -> list:
+    return sorted(values, key=repr)
+
+
+def check_declared_properties(
+    spec: FunctionSpec,
+    samples: Sequence[Tuple],
+) -> List[str]:
+    """Empirically test a spec's declared algebraic properties.
+
+    ``samples`` supplies test points: for binary properties each sample
+    is ``(z, a, b)`` (an accumulator seed and two elements); for unary
+    properties the first component is used.  Returns the list of
+    violated property names (empty = all declared properties held on
+    every sample).  This is the executable counterpart of the paper's
+    proof obligation that ``acc`` be insensitive to accumulation order.
+    """
+    violations: List[str] = []
+    if spec.has_property("identity"):
+        for sample in samples:
+            if spec.fn(sample[0]) != sample[0]:
+                violations.append("identity")
+                break
+    if spec.has_property("commutative"):
+        for z, a, b in samples:
+            if spec.fn(spec.fn(z, a), b) != spec.fn(spec.fn(z, b), a):
+                violations.append("commutative")
+                break
+    if spec.has_property("associative"):
+        for z, a, b in samples:
+            if spec.fn(spec.fn(z, a), b) != spec.fn(z, spec.fn(a, b)):
+                violations.append("associative")
+                break
+    if spec.has_property("append"):
+        for z, a, b in samples:
+            result = spec.fn(spec.fn(list(z), a), b)
+            flat = list(z)
+            for item in (a, b):
+                flat.extend(item if isinstance(item, list) else [item])
+            if _multiset_key(result) != _multiset_key(flat):
+                violations.append("append")
+                break
+    return violations

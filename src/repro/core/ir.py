@@ -1,0 +1,274 @@
+"""Dataflow intermediate representation of a skeletal program.
+
+Both front ends — the mini-ML compiler (:mod:`repro.minicaml`) and the
+Python builder API (:mod:`repro.core.builder`) — produce this IR.  It is
+the "annotated abstract syntax tree ... expanded into a (target
+independent) parallel process network" pivot of the paper's Fig. 2:
+downstream, :mod:`repro.pnt.expand` instantiates one process-network
+template per :class:`SkelApply` node to obtain the process graph.
+
+Shape of the IR
+---------------
+
+A :class:`Program` is a flat SSA-style list of bindings over named
+values:
+
+* :class:`Const` — a literal value;
+* :class:`Apply` — a call to a registered sequential function (possibly
+  with several outputs, mirroring multiple ``/*out*/`` C parameters);
+* :class:`SkelApply` — an instance of an inner skeleton (``scm``, ``df``
+  or ``tf``) parameterised by sequential function names.
+
+An optional :class:`StreamSpec` wraps the body in the ``itermem``
+skeleton: the body then has two distinguished parameters ``(state,
+item)`` and two distinguished results ``(state', y)``.  SKiPPER forbids
+free skeleton nesting (section 5); the IR enforces exactly the supported
+shape — one optional stream loop around a DAG of non-nested inner
+skeletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .functions import FunctionTable
+
+__all__ = [
+    "Const",
+    "Apply",
+    "SkelApply",
+    "StreamSpec",
+    "Program",
+    "IRError",
+    "SKELETON_KINDS",
+    "SKELETON_ROLES",
+]
+
+SKELETON_KINDS = ("scm", "df", "tf")
+
+#: Role names of each inner skeleton's sequential-function parameters,
+#: in declarative-argument order.
+SKELETON_ROLES: Dict[str, Tuple[str, ...]] = {
+    "scm": ("split", "comp", "merge"),
+    "df": ("comp", "acc"),
+    "tf": ("comp", "acc"),
+}
+
+#: Data (value) arguments of each inner skeleton, in order.
+SKELETON_DATA_ARGS: Dict[str, Tuple[str, ...]] = {
+    "scm": ("x",),
+    "df": ("z", "xs"),
+    "tf": ("z", "xs"),
+}
+
+
+class IRError(ValueError):
+    """A malformed program graph."""
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal binding: ``out = value``."""
+
+    out: str
+    value: Any
+
+    @property
+    def outs(self) -> Tuple[str, ...]:
+        return (self.out,)
+
+    @property
+    def args(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Apply:
+    """A sequential-function call: ``outs = func(args)``."""
+
+    func: str
+    args: Tuple[str, ...]
+    outs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.outs:
+            raise IRError(f"Apply({self.func}) must bind at least one output")
+
+
+@dataclass(frozen=True)
+class SkelApply:
+    """An inner-skeleton instance.
+
+    ``funcs`` maps role names (see :data:`SKELETON_ROLES`) to registered
+    function names; ``args`` are the data-argument value names (see
+    :data:`SKELETON_DATA_ARGS`); ``degree`` is the parallelism degree
+    (the ``n`` parameter of the paper's definitions).
+    """
+
+    kind: str
+    degree: int
+    funcs: Dict[str, str]
+    args: Tuple[str, ...]
+    outs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in SKELETON_KINDS:
+            raise IRError(f"unknown skeleton kind {self.kind!r}")
+        expected_roles = set(SKELETON_ROLES[self.kind])
+        if set(self.funcs) != expected_roles:
+            raise IRError(
+                f"{self.kind} requires roles {sorted(expected_roles)}, "
+                f"got {sorted(self.funcs)}"
+            )
+        expected_args = len(SKELETON_DATA_ARGS[self.kind])
+        if len(self.args) != expected_args:
+            raise IRError(
+                f"{self.kind} takes {expected_args} data argument(s), "
+                f"got {len(self.args)}"
+            )
+        if self.degree <= 0:
+            raise IRError(f"{self.kind} degree must be positive, got {self.degree}")
+        if len(self.outs) != 1:
+            raise IRError(f"{self.kind} produces exactly one result")
+
+
+Binding = Union[Const, Apply, SkelApply]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """The ``itermem`` wrapper around the program body.
+
+    Attributes:
+        inp: input function name (``'a -> 'b``), e.g. ``read_img``.
+        out: output function name (``'d -> unit``), e.g. ``display_marks``.
+        init: function name computing the initial memory (``unit -> 'c``),
+            e.g. ``init_state`` — or None when ``init_value`` is given.
+        init_value: literal initial memory (alternative to ``init``).
+        source: literal argument fed to ``inp`` each iteration (the
+            ``(512, 512)`` of the case study).
+    """
+
+    inp: str
+    out: str
+    init: Optional[str] = None
+    init_value: Any = None
+    source: Any = None
+
+    def __post_init__(self) -> None:
+        if self.init is None and self.init_value is None:
+            raise IRError("stream needs an init function or an init value")
+
+
+@dataclass
+class Program:
+    """A complete skeletal program.
+
+    ``params`` are the body's formal parameters.  For stream programs the
+    convention is ``params = (state, item)`` and ``results = (state',
+    y)``; for one-shot programs both are free-form.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    bindings: List[Binding]
+    results: Tuple[str, ...]
+    stream: Optional[StreamSpec] = None
+    types: Dict[str, str] = field(default_factory=dict)  # value -> type string
+
+    # -- structure queries ---------------------------------------------------
+
+    def skeleton_instances(self) -> List[SkelApply]:
+        return [b for b in self.bindings if isinstance(b, SkelApply)]
+
+    def function_names(self) -> List[str]:
+        """All sequential-function names the program references."""
+        names = []
+        for b in self.bindings:
+            if isinstance(b, Apply):
+                names.append(b.func)
+            elif isinstance(b, SkelApply):
+                names.extend(b.funcs.values())
+        if self.stream is not None:
+            names.append(self.stream.inp)
+            names.append(self.stream.out)
+            if self.stream.init is not None:
+                names.append(self.stream.init)
+        return names
+
+    def producers(self) -> Dict[str, Binding]:
+        """Map each value name to the binding that produces it."""
+        prod: Dict[str, Binding] = {}
+        for b in self.bindings:
+            for o in b.outs:
+                prod[o] = b
+        return prod
+
+    def consumers(self) -> Dict[str, List[Binding]]:
+        cons: Dict[str, List[Binding]] = {}
+        for b in self.bindings:
+            for a in b.args:
+                cons.setdefault(a, []).append(b)
+        return cons
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self, table: Optional[FunctionTable] = None) -> None:
+        """Check SSA form, def-before-use, result availability, and (when a
+        function table is given) that every referenced function exists with
+        a consistent arity.
+
+        Raises :class:`IRError` on the first violation.
+        """
+        defined = set(self.params)
+        if len(defined) != len(self.params):
+            raise IRError(f"duplicate parameter names in {self.params}")
+        for b in self.bindings:
+            for a in b.args:
+                if a not in defined:
+                    raise IRError(f"value {a!r} used before definition in {b}")
+            for o in b.outs:
+                if o in defined:
+                    raise IRError(f"value {o!r} bound twice (SSA violation)")
+                defined.add(o)
+        for r in self.results:
+            if r not in defined:
+                raise IRError(f"result {r!r} is never defined")
+        if self.stream is not None and len(self.results) != 2:
+            raise IRError(
+                "a stream program's body must return (state', y); "
+                f"got {len(self.results)} result(s)"
+            )
+        if self.stream is not None and len(self.params) != 2:
+            raise IRError(
+                "a stream program's body must take (state, item); "
+                f"got {len(self.params)} parameter(s)"
+            )
+        if table is not None:
+            self._check_against_table(table)
+
+    def _check_against_table(self, table: FunctionTable) -> None:
+        for name in self.function_names():
+            if name not in table:
+                raise IRError(f"function {name!r} not in the function table")
+        for b in self.bindings:
+            if isinstance(b, Apply):
+                spec = table[b.func]
+                if spec.arity != len(b.args):
+                    raise IRError(
+                        f"{b.func} has arity {spec.arity}, called with "
+                        f"{len(b.args)} argument(s)"
+                    )
+                if spec.n_outs != len(b.outs):
+                    raise IRError(
+                        f"{b.func} produces {spec.n_outs} output(s), "
+                        f"binding expects {len(b.outs)}"
+                    )
+
+    def __repr__(self) -> str:
+        kind = "stream" if self.stream else "one-shot"
+        return (
+            f"Program({self.name!r}, {kind}, {len(self.bindings)} bindings, "
+            f"{len(self.skeleton_instances())} skeleton(s))"
+        )

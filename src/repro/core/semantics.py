@@ -1,0 +1,183 @@
+"""Declarative (sequential) skeleton semantics.
+
+Each SKiPPER skeleton has two definitions (section 2 of the paper): a
+*declarative* one — an architecture-independent, purely applicative
+interpretation written in Caml — and an *operational* one (the process
+network template, :mod:`repro.pnt.templates`).  This module is the
+declarative side, transliterated from the paper's Caml:
+
+``let df n comp acc z xs = fold_left acc z (map comp xs)``
+
+These functions serve three purposes:
+
+* they *are* the sequential emulation that lets a programmer debug the
+  application on stock hardware (section 3);
+* they are the oracle against which the parallel execution is verified
+  (the implementor must "prove the equivalence" of the two definitions);
+* their signatures document the type constraints HM inference enforces
+  in :mod:`repro.minicaml.builtins`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["scm", "df", "tf", "itermem", "TaskOutcome", "EndOfStream"]
+
+A = TypeVar("A")
+B = TypeVar("B")
+C = TypeVar("C")
+D = TypeVar("D")
+
+
+def scm(
+    n: int,
+    split: Callable[[int, A], List[B]],
+    comp: Callable[[B], C],
+    merge: Callable[[A, List[C]], D],
+    x: A,
+) -> D:
+    """Split, Compute and Merge — regular data parallelism.
+
+    ``val scm : int -> (int -> 'a -> 'b list) -> ('b -> 'c)
+    -> ('a -> 'c list -> 'd) -> 'a -> 'd``
+
+    ``split n x`` decomposes the input into a list of sub-domains, each is
+    processed independently by ``comp``, and ``merge`` reassembles the
+    final result.  ``merge`` also receives the original input so it can
+    recover the global geometry (image shape etc.).
+    """
+    if n <= 0:
+        raise ValueError(f"scm degree must be positive, got {n}")
+    pieces = split(n, x)
+    results = [comp(piece) for piece in pieces]
+    return merge(x, results)
+
+
+def df(
+    n: int,
+    comp: Callable[[A], B],
+    acc: Callable[[C, B], C],
+    z: C,
+    xs: Iterable[A],
+) -> C:
+    """Data Farming — irregular data parallelism.
+
+    The paper's declarative definition, verbatim:
+
+    ``let df n comp acc z xs = fold_left acc z (map comp xs)``
+
+    ``val df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c``
+
+    ``n`` (the number of workers) only affects the operational definition.
+    For the parallel implementation to be equivalent, ``acc`` must be
+    insensitive to accumulation order (commutative/associative up to the
+    observed result) — the paper's correctness condition.
+    """
+    if n <= 0:
+        raise ValueError(f"df degree must be positive, got {n}")
+    result = z
+    for y in map(comp, xs):
+        result = acc(result, y)
+    return result
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What a task-farm worker produced for one packet.
+
+    ``results`` are finished values fed to the accumulator; ``subtasks``
+    are new packets recursively injected into the farm (the paper: "each
+    worker can recursively generate new packets to be processed").
+    """
+
+    results: Sequence = ()
+    subtasks: Sequence = ()
+
+
+def tf(
+    n: int,
+    comp: Callable[[A], TaskOutcome],
+    acc: Callable[[C, B], C],
+    z: C,
+    xs: Iterable[A],
+    *,
+    max_tasks: int = 1_000_000,
+) -> C:
+    """Task Farming — divide-and-conquer.
+
+    Generalises ``df``: the worker may return finished results and/or new
+    subtasks.  The declarative semantics processes the worklist in FIFO
+    order; as with ``df``, equivalence with the parallel version requires
+    an order-insensitive ``acc``.
+
+    ``max_tasks`` guards against non-terminating task generation (a purely
+    declarative stand-in for the farm's finite buffering).
+    """
+    if n <= 0:
+        raise ValueError(f"tf degree must be positive, got {n}")
+    result = z
+    queue = deque(xs)
+    processed = 0
+    while queue:
+        processed += 1
+        if processed > max_tasks:
+            raise RuntimeError(f"tf exceeded {max_tasks} tasks; diverging farm?")
+        outcome = comp(queue.popleft())
+        if not isinstance(outcome, TaskOutcome):
+            raise TypeError(
+                f"tf worker must return TaskOutcome, got {type(outcome).__name__}"
+            )
+        for y in outcome.results:
+            result = acc(result, y)
+        queue.extend(outcome.subtasks)
+    return result
+
+
+class EndOfStream(Exception):
+    """Raised by an ``itermem`` input function when the stream is over.
+
+    The paper's machine processes an endless 25 Hz video stream; in
+    emulation and simulation, finite streams signal exhaustion with this
+    exception.
+    """
+
+
+def itermem(
+    inp: Callable[[A], B],
+    loop: Callable[[Tuple[C, B]], Tuple[C, D]],
+    out: Callable[[D], None],
+    z: C,
+    x: A,
+    *,
+    max_iterations: Optional[int] = None,
+) -> C:
+    """Iterate with memory — the stream-level skeleton (paper Fig. 4).
+
+    ``val itermem : ('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit)
+    -> 'c -> 'a -> unit``
+
+    Repeatedly reads an input with ``inp x``, runs the loop body on
+    ``(state, input)`` producing ``(state', y)``, emits ``y`` via ``out``,
+    and carries ``state'`` to the next iteration — the "looping" pattern
+    of tracking algorithms where iteration ``i+1`` depends on results of
+    iteration ``i``.
+
+    The paper's definition recurses forever; here iteration stops when
+    ``inp`` raises :class:`EndOfStream` or after ``max_iterations``.
+    Returns the final memory value (useful for testing; the paper's
+    version returns ``unit``).
+    """
+    state = z
+    done = 0
+    while max_iterations is None or done < max_iterations:
+        try:
+            item = inp(x)
+        except EndOfStream:
+            break
+        state, y = loop((state, item))
+        out(y)
+        done += 1
+    return state

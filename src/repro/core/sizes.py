@@ -1,0 +1,60 @@
+"""Payload size estimation for communication cost models.
+
+The distributed executive ships values between processes; the machine
+simulator charges link time proportional to payload bytes.  This module
+estimates the wire size of the value types flowing through SKiPPER
+programs, approximating the packed C structs of the original system
+(fixed-size scalars, length-prefixed lists, raw pixel payloads).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_bytes", "HEADER_BYTES"]
+
+#: Per-message framing overhead (tag + length), matching a small C header.
+HEADER_BYTES = 8
+
+_SCALAR_BYTES = 4  # 32-bit ints/floats on the T9000
+_LIST_HEADER = 4  # length prefix
+
+
+def payload_bytes(value: Any) -> int:
+    """Wire size of ``value`` in bytes (excluding the message header).
+
+    Handles the data types SKiPPER applications exchange: scalars,
+    strings, tuples/lists, numpy arrays, Images/Windows/Marks/Rects (via
+    duck-typed ``nbytes``/``__dataclass_fields__``), and None/unit.
+    Unknown objects fall back to a conservative fixed size.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return _SCALAR_BYTES
+    if isinstance(value, complex):
+        return 2 * _SCALAR_BYTES
+    if isinstance(value, (str, bytes)):
+        return _LIST_HEADER + len(value)
+    if isinstance(value, np.ndarray):
+        return _LIST_HEADER + int(value.nbytes)
+    if isinstance(value, np.generic):
+        return int(value.nbytes)
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None and isinstance(nbytes, (int, np.integer)):
+        return _LIST_HEADER + int(nbytes)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _LIST_HEADER + sum(payload_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return _LIST_HEADER + sum(
+            payload_bytes(k) + payload_bytes(v) for k, v in value.items()
+        )
+    fields = getattr(value, "__dataclass_fields__", None)
+    if fields is not None:
+        return sum(payload_bytes(getattr(value, name)) for name in fields)
+    # Opaque object: charge a fixed conservative size.
+    return 64

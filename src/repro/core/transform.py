@@ -1,0 +1,356 @@
+"""Inter-skeleton transformation rules.
+
+The paper's stated next step (§6): "to study inter-skeleton
+transformational rules, which are needed when applications are built by
+composing and/or nesting a large number of skeletons".  This module
+implements that extension as a rewriting pass over the program IR.
+
+Every rule preserves the declarative semantics — the guarantee rests on
+the algebraic properties the programmer *declares* on the sequential
+functions (:attr:`repro.core.functions.FunctionSpec.properties`) and
+can spot-check with
+:func:`repro.core.functions.check_declared_properties`.  The test suite
+additionally verifies each rewrite by emulating original and
+transformed programs on random inputs.
+
+Rules
+-----
+
+``eliminate_dead_bindings``
+    Remove bindings whose outputs are never consumed (and are not
+    program results).  Always sound: the coordination layer is pure.
+
+``fuse_farms``
+    ``df n g cons [] xs`` feeding ``df n f acc z _`` (the inner farm's
+    only consumer) fuses into one farm ``df n (f . g) acc z xs``,
+    saving a full dispatch/collect round-trip and the intermediate
+    list.  Requires the inner accumulator to be declared ``append``
+    (its result is exactly the collected elements) and the outer
+    accumulator to be order-insensitive anyway (the df contract).  The
+    composed worker function is synthesised into the function table.
+
+``fuse_scm``
+    ``scm n split c2 merge (scm n split c1 glue x)`` with ``glue``
+    declared the *inverse* of ``split`` (via ``inverse_pairs``) fuses
+    into ``scm n split (c2 . c1) merge x``, eliminating a gather/
+    scatter round-trip.
+
+``clamp_degrees``
+    Cap every skeleton's parallelism degree at the target machine's
+    processor count (extra workers only add routing overhead).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .functions import FunctionSpec, FunctionTable
+from .ir import Apply, Const, Program, SkelApply
+
+__all__ = [
+    "TransformReport",
+    "compose_functions",
+    "eliminate_dead_bindings",
+    "merge_duplicate_applies",
+    "fuse_farms",
+    "fuse_scm",
+    "clamp_degrees",
+    "optimize",
+]
+
+
+class TransformReport:
+    """What a transformation pass did (for logs and tests)."""
+
+    def __init__(self) -> None:
+        self.applied: List[str] = []
+
+    def note(self, message: str) -> None:
+        self.applied.append(message)
+
+    def __bool__(self) -> bool:
+        return bool(self.applied)
+
+    def render(self) -> str:
+        if not self.applied:
+            return "no transformations applied"
+        return "\n".join(f"- {m}" for m in self.applied)
+
+
+def compose_functions(
+    table: FunctionTable, outer: str, inner: str, *, name: Optional[str] = None
+) -> str:
+    """Synthesise ``outer . inner`` into the table; returns its name.
+
+    The composition inherits ``inner``'s inputs and ``outer``'s outputs;
+    its cost model is the sum of the parts (the worker now does both
+    steps).  Idempotent per (outer, inner) pair.
+    """
+    f, g = table[outer], table[inner]
+    if g.n_outs != 1:
+        raise ValueError(f"cannot compose through multi-output {inner!r}")
+    if f.arity != 1:
+        raise ValueError(f"outer function {outer!r} must be unary")
+    composed_name = name or f"{outer}__o__{inner}"
+    if composed_name in table:
+        return composed_name
+
+    def composed(x):
+        return f.fn(g.fn(x))
+
+    def cost(x):
+        inner_cost = g.cost_of(x)
+        mid = g.fn(x)
+        outer_cost = f.cost_of(mid)
+        parts = [c for c in (inner_cost, outer_cost) if c is not None]
+        return sum(parts) if parts else None
+
+    table.add(
+        FunctionSpec(
+            composed_name,
+            composed,
+            tuple(g.ins),
+            tuple(f.outs),
+            cost if (f.cost or g.cost) else None,
+            doc=f"fused {outer} . {inner}",
+        )
+    )
+    return composed_name
+
+
+def eliminate_dead_bindings(
+    program: Program, table: FunctionTable, report: TransformReport
+) -> Program:
+    """Drop bindings none of whose outputs reach a use or a result."""
+    changed = True
+    bindings = list(program.bindings)
+    while changed:
+        changed = False
+        used: Set[str] = set(program.results)
+        for b in bindings:
+            used.update(b.args)
+        kept = []
+        for b in bindings:
+            if any(o in used for o in b.outs):
+                kept.append(b)
+            else:
+                report.note(f"removed dead binding of {', '.join(b.outs)}")
+                changed = True
+        bindings = kept
+    if len(bindings) == len(program.bindings):
+        return program
+    return replace(program, bindings=bindings)
+
+
+def _consumers_of(program: Program, value: str) -> List:
+    return [b for b in program.bindings if value in b.args]
+
+
+def merge_duplicate_applies(
+    program: Program, table: FunctionTable, report: TransformReport
+) -> Program:
+    """Common-subexpression elimination on sequential-function calls.
+
+    The coordination layer is pure (the paper's functional specification
+    discipline), so two calls of the same function on the same values
+    are one process.  Constants with equal values merge the same way.
+    """
+    rename: Dict[str, str] = {}
+    seen_applies: Dict[Tuple[str, Tuple[str, ...]], Apply] = {}
+    seen_consts: Dict[str, Const] = {}
+    bindings = []
+    changed = False
+    for b in program.bindings:
+        if isinstance(b, Const):
+            key = repr(b.value)
+            prior = seen_consts.get(key)
+            if prior is not None:
+                rename[b.out] = prior.out
+                report.note(f"merged duplicate constant {b.out}")
+                changed = True
+                continue
+            seen_consts[key] = b
+            bindings.append(b)
+        elif isinstance(b, Apply):
+            args = tuple(rename.get(a, a) for a in b.args)
+            key2 = (b.func, args)
+            prior = seen_applies.get(key2)
+            if prior is not None:
+                for mine, theirs in zip(b.outs, prior.outs):
+                    rename[mine] = theirs
+                report.note(f"merged duplicate call of {b.func}")
+                changed = True
+                continue
+            new = Apply(b.func, args, b.outs)
+            seen_applies[key2] = new
+            bindings.append(new)
+        elif isinstance(b, SkelApply):
+            # Farms are not merged (their degree is a resource decision),
+            # but their arguments still follow renamed values.
+            bindings.append(
+                replace(b, args=tuple(rename.get(a, a) for a in b.args))
+            )
+        else:
+            bindings.append(b)
+    if not changed:
+        return program
+    results = tuple(rename.get(r, r) for r in program.results)
+    return replace(program, bindings=bindings, results=results)
+
+
+def fuse_farms(
+    program: Program, table: FunctionTable, report: TransformReport
+) -> Program:
+    """Fuse producer/consumer df pairs (see module docstring)."""
+    bindings = list(program.bindings)
+    producers = program.producers()
+    for outer in bindings:
+        if not isinstance(outer, SkelApply) or outer.kind != "df":
+            continue
+        xs_value = outer.args[1]
+        inner = producers.get(xs_value)
+        if not isinstance(inner, SkelApply) or inner.kind != "df":
+            continue
+        if inner.degree != outer.degree:
+            continue
+        # The inner farm must feed only the outer farm.
+        if xs_value in program.results or len(_consumers_of(program, xs_value)) != 1:
+            continue
+        inner_acc = table[inner.funcs["acc"]]
+        if not inner_acc.has_property("append"):
+            continue
+        # The inner z must be the empty list constant.
+        inner_z = producers.get(inner.args[0])
+        if not isinstance(inner_z, Const) or inner_z.value != []:
+            continue
+        composed = compose_functions(
+            table, outer.funcs["comp"], inner.funcs["comp"]
+        )
+        fused = SkelApply(
+            "df",
+            outer.degree,
+            {"comp": composed, "acc": outer.funcs["acc"]},
+            (outer.args[0], inner.args[1]),
+            outer.outs,
+        )
+        idx = bindings.index(outer)
+        bindings[idx] = fused
+        bindings.remove(inner)
+        report.note(
+            f"fused df({inner.funcs['comp']}) into df({outer.funcs['comp']}) "
+            f"as {composed}"
+        )
+        return replace(program, bindings=bindings)
+    return program
+
+
+def fuse_scm(
+    program: Program,
+    table: FunctionTable,
+    report: TransformReport,
+    *,
+    inverse_pairs: FrozenSet[Tuple[str, str]] = frozenset(),
+) -> Program:
+    """Fuse scm pipelines whose merge/split boundary is declared inverse.
+
+    ``inverse_pairs`` holds ``(merge_name, split_name)`` pairs the
+    programmer certifies satisfy ``split n (merge x parts) == parts``
+    (e.g. band-merge followed by the same band-split).
+    """
+    bindings = list(program.bindings)
+    producers = program.producers()
+    for outer in bindings:
+        if not isinstance(outer, SkelApply) or outer.kind != "scm":
+            continue
+        x_value = outer.args[0]
+        inner = producers.get(x_value)
+        if not isinstance(inner, SkelApply) or inner.kind != "scm":
+            continue
+        if inner.degree != outer.degree:
+            continue
+        if (inner.funcs["merge"], outer.funcs["split"]) not in inverse_pairs:
+            continue
+        if x_value in program.results or len(_consumers_of(program, x_value)) != 1:
+            continue
+        composed = compose_functions(
+            table, outer.funcs["comp"], inner.funcs["comp"]
+        )
+        fused = SkelApply(
+            "scm",
+            outer.degree,
+            {
+                "split": inner.funcs["split"],
+                "comp": composed,
+                "merge": outer.funcs["merge"],
+            },
+            inner.args,
+            outer.outs,
+        )
+        idx = bindings.index(outer)
+        bindings[idx] = fused
+        bindings.remove(inner)
+        report.note(
+            f"fused scm({inner.funcs['comp']}) into scm({outer.funcs['comp']}) "
+            f"as {composed}"
+        )
+        return replace(program, bindings=bindings)
+    return program
+
+
+def clamp_degrees(
+    program: Program,
+    table: FunctionTable,
+    report: TransformReport,
+    *,
+    max_degree: Optional[int] = None,
+) -> Program:
+    """Cap skeleton degrees at the target's processor count."""
+    if max_degree is None:
+        return program
+    bindings = []
+    changed = False
+    for b in program.bindings:
+        if isinstance(b, SkelApply) and b.degree > max_degree:
+            bindings.append(replace(b, degree=max_degree))
+            report.note(
+                f"clamped {b.kind} degree {b.degree} -> {max_degree} "
+                f"(machine size)"
+            )
+            changed = True
+        else:
+            bindings.append(b)
+    if not changed:
+        return program
+    return replace(program, bindings=bindings)
+
+
+def optimize(
+    program: Program,
+    table: FunctionTable,
+    *,
+    max_degree: Optional[int] = None,
+    inverse_pairs: Sequence[Tuple[str, str]] = (),
+    max_passes: int = 20,
+) -> Tuple[Program, TransformReport]:
+    """Apply all rules to a fixpoint; returns (program, report).
+
+    The declarative semantics is preserved: degree changes are invisible
+    to it by definition (``n`` only affects the operational side), and
+    the fusion rules rely on the declared algebraic properties.
+    """
+    report = TransformReport()
+    pairs = frozenset(inverse_pairs)
+    current = program
+    for _ in range(max_passes):
+        before = len(report.applied)
+        current = clamp_degrees(current, table, report, max_degree=max_degree)
+        current = merge_duplicate_applies(current, table, report)
+        current = fuse_farms(current, table, report)
+        current = fuse_scm(current, table, report, inverse_pairs=pairs)
+        current = eliminate_dead_bindings(current, table, report)
+        if len(report.applied) == before:
+            break
+    current.validate(table)
+    return current, report

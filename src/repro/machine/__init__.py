@@ -1,0 +1,28 @@
+"""Simulated MIMD-DM machine: cost models and the distributed executive."""
+
+from .costs import FAST_TEST, T9000, CostModel
+from .executive import (
+    Executive,
+    ExecutiveError,
+    IterationRecord,
+    Profile,
+    RunReport,
+    simulate,
+)
+from .trace import Span, Trace, busy_statistics, render_gantt
+
+__all__ = [
+    "CostModel",
+    "T9000",
+    "FAST_TEST",
+    "Executive",
+    "ExecutiveError",
+    "Profile",
+    "IterationRecord",
+    "RunReport",
+    "simulate",
+    "Span",
+    "Trace",
+    "busy_statistics",
+    "render_gantt",
+]

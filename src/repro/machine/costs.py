@@ -1,0 +1,78 @@
+"""Cost models for the simulated MIMD-DM machine.
+
+The paper's testbench is the Transvision platform: a ring of T9000
+Transputers (20 MHz) with ~10 MB/s serial links, processing a 25 Hz
+512x512 video stream.  Absent the hardware, the simulator charges:
+
+* **compute** — each sequential function's registered cost model
+  (microseconds as a function of its actual arguments), scaled by the
+  processor's ``speed``; unmodelled functions get a default;
+* **control** — small constant overheads for the skeleton control
+  processes (master dispatch/accumulate bookkeeping, router forwarding,
+  memory update), representing the hand-written kernel primitives;
+* **communication** — per-channel ``latency + bytes / bandwidth``
+  (see :class:`repro.syndex.arch.Channel`), with store-and-forward
+  through intermediate hops and FIFO contention.
+
+``T9000`` is the calibration used by the case-study benchmarks; the
+per-pixel figures were chosen so an 8-worker ring reproduces the
+paper's 30 ms tracking / 110 ms reinitialisation latencies (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CostModel", "T9000", "FAST_TEST"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Control-process and default-cost parameters (times in µs)."""
+
+    #: Charged for a sequential function whose spec has no cost model.
+    default_func_cost: float = 50.0
+    #: Master bookkeeping per packet dispatched.
+    master_dispatch: float = 15.0
+    #: Master bookkeeping per result accumulated (before the acc function
+    #: itself, which is charged via its own cost model).
+    master_collect: float = 15.0
+    #: Router (M->W / W->M) store-and-forward CPU cost per message.
+    router_forward: float = 5.0
+    #: Memory-process state update per iteration.
+    mem_update: float = 2.0
+    #: Constant-source emission.
+    const_emit: float = 0.5
+    #: Local (same-processor) message delivery (a memcpy + queue op).
+    local_delivery: float = 1.0
+    #: Split/merge process bookkeeping per piece.
+    split_piece: float = 10.0
+    merge_piece: float = 10.0
+    #: Video frame period (µs); 25 Hz like the Transvision stream.
+    frame_period: float = 40_000.0
+
+    def scaled_cost(self, base_us: float, speed: float) -> float:
+        """A compute cost on a processor of relative ``speed``."""
+        if speed <= 0:
+            raise ValueError(f"processor speed must be positive, got {speed}")
+        return base_us / speed
+
+
+#: T9000-class calibration: the reference machine of the paper's §4.
+T9000 = CostModel()
+
+#: A near-zero-overhead model for functional (non-timing) tests.
+FAST_TEST = CostModel(
+    default_func_cost=1.0,
+    master_dispatch=0.1,
+    master_collect=0.1,
+    router_forward=0.1,
+    mem_update=0.1,
+    const_emit=0.1,
+    local_delivery=0.1,
+    split_piece=0.1,
+    merge_piece=0.1,
+    frame_period=1000.0,
+)

@@ -1,0 +1,109 @@
+"""Execution tracing and Gantt rendering.
+
+SynDEx generates "a dead-lock free distributed executive with optional
+real-time performance measurement" (§3).  This module is that
+measurement facility: the executive records every computation interval
+(process, processor, start, end) and every channel transfer, and the
+renderers turn a trace into a per-processor text Gantt chart or
+per-entity utilisation statistics — the view a SKiPPER user tunes a
+mapping with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Trace", "render_gantt", "busy_statistics"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One occupancy interval of a processor or channel (times in µs)."""
+
+    resource: str  # processor or channel id
+    owner: str  # process id (or "edge<i>" for transfers)
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """A recorded run: compute spans + transfer spans."""
+
+    compute: List[Span] = field(default_factory=list)
+    transfer: List[Span] = field(default_factory=list)
+
+    def add_compute(self, resource: str, owner: str, start: float, end: float) -> None:
+        if end > start:
+            self.compute.append(Span(resource, owner, start, end))
+
+    def add_transfer(self, resource: str, owner: str, start: float, end: float) -> None:
+        if end > start:
+            self.transfer.append(Span(resource, owner, start, end))
+
+    @property
+    def makespan(self) -> float:
+        spans = self.compute + self.transfer
+        return max((s.end for s in spans), default=0.0)
+
+    def window(self, t0: float, t1: float) -> "Trace":
+        """The sub-trace overlapping [t0, t1] (e.g. one iteration)."""
+        out = Trace()
+        out.compute = [s for s in self.compute if s.end > t0 and s.start < t1]
+        out.transfer = [s for s in self.transfer if s.end > t0 and s.start < t1]
+        return out
+
+
+def busy_statistics(trace: Trace) -> Dict[str, Tuple[float, int]]:
+    """Per-resource (busy µs, span count), computes and transfers merged."""
+    stats: Dict[str, Tuple[float, int]] = {}
+    for span in trace.compute + trace.transfer:
+        busy, count = stats.get(span.resource, (0.0, 0))
+        stats[span.resource] = (busy + span.duration, count + 1)
+    return stats
+
+
+def render_gantt(
+    trace: Trace,
+    *,
+    width: int = 72,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    include_transfers: bool = True,
+) -> str:
+    """A text Gantt chart: one row per resource, time left to right.
+
+    Each busy cell shows the first letter of the occupying process; idle
+    time is ``.``; overlapping owners in one cell show ``#``.
+    """
+    spans = trace.compute + (trace.transfer if include_transfers else [])
+    if not spans:
+        return "(empty trace)"
+    lo = min(s.start for s in spans) if t0 is None else t0
+    hi = max(s.end for s in spans) if t1 is None else t1
+    if hi <= lo:
+        return "(empty window)"
+    scale = width / (hi - lo)
+    resources = sorted({s.resource for s in spans})
+    label_w = max(len(r) for r in resources) + 1
+    lines = [
+        f"{'':<{label_w}}|{lo:>10.0f} us {'':>{max(0, width - 26)}}{hi:>10.0f} us"
+    ]
+    for resource in resources:
+        cells = ["."] * width
+        for span in spans:
+            if span.resource != resource:
+                continue
+            a = int((max(span.start, lo) - lo) * scale)
+            b = int((min(span.end, hi) - lo) * scale)
+            b = max(b, a + 1)
+            mark = span.owner.split(".")[-1][:1] or "?"
+            for i in range(a, min(b, width)):
+                cells[i] = mark if cells[i] == "." else "#"
+        lines.append(f"{resource:<{label_w}}|{''.join(cells)}|")
+    return "\n".join(lines)

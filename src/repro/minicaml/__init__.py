@@ -1,0 +1,64 @@
+"""Mini-ML front end: the custom Caml compiler of the SKiPPER pipeline.
+
+Lexer, parser, Hindley-Milner type inference, sequential interpreter and
+network extraction for the Caml subset SKiPPER specifications use.
+"""
+
+from .errors import LexError, Location, ParseError, SourceError, TypeError_
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_expr
+from .types import (
+    Scheme,
+    TArrow,
+    TCon,
+    TList,
+    TTuple,
+    TVar,
+    TypeEnv,
+    Unifier,
+    parse_type,
+    type_to_str,
+)
+from .builtins import initial_env, scheme_of_spec, skeleton_schemes
+from .infer import Inferencer, infer_expr, infer_program
+from .eval import EvalError, Interpreter, evaluate_program, run_main
+from .network import NetworkError, extract_network
+from .compile import CompiledProgram, compile_source, typecheck_source
+
+__all__ = [
+    "Location",
+    "SourceError",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "parse_expr",
+    "Scheme",
+    "TVar",
+    "TCon",
+    "TList",
+    "TTuple",
+    "TArrow",
+    "TypeEnv",
+    "Unifier",
+    "parse_type",
+    "type_to_str",
+    "initial_env",
+    "scheme_of_spec",
+    "skeleton_schemes",
+    "Inferencer",
+    "infer_expr",
+    "infer_program",
+    "EvalError",
+    "Interpreter",
+    "evaluate_program",
+    "run_main",
+    "NetworkError",
+    "extract_network",
+    "CompiledProgram",
+    "compile_source",
+    "typecheck_source",
+]

@@ -1,0 +1,190 @@
+"""Abstract syntax for the mini-ML specification language.
+
+Expressions carry their source :class:`~repro.minicaml.errors.Location`
+so inference and network-extraction errors point at the offending code.
+Patterns are restricted to what SKiPPER specs need: variables, wildcards
+and (nested) tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .errors import Location
+
+__all__ = [
+    "Pattern", "PVar", "PWild", "PTuple",
+    "Expr", "IntLit", "FloatLit", "BoolLit", "StringLit", "UnitLit",
+    "Var", "TupleExpr", "ListExpr", "If", "Apply", "Fun", "Let", "BinOp",
+    "TopLet", "Program",
+]
+
+
+# -- patterns ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PVar:
+    name: str
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class PWild:
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class PTuple:
+    elements: Tuple["Pattern", ...]
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+Pattern = Union[PVar, PWild, PTuple]
+
+
+def pattern_vars(p: Pattern) -> List[str]:
+    """Variable names bound by a pattern, left to right."""
+    if isinstance(p, PVar):
+        return [p.name]
+    if isinstance(p, PWild):
+        return []
+    out: List[str] = []
+    for sub in p.elements:
+        out.extend(pattern_vars(sub))
+    return out
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class UnitLit:
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class TupleExpr:
+    elements: Tuple["Expr", ...]
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class ListExpr:
+    elements: Tuple["Expr", ...]
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class If:
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class Apply:
+    """Function application ``fn arg`` (curried; juxtaposition)."""
+
+    fn: "Expr"
+    arg: "Expr"
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class Fun:
+    """``fun pattern -> body``."""
+
+    param: Pattern
+    body: "Expr"
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class Let:
+    """``let pattern = bound in body`` (non-recursive)."""
+
+    pattern: Pattern
+    bound: "Expr"
+    body: "Expr"
+    recursive: bool = False
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary operator application (kept distinct from Apply for printing)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+Expr = Union[
+    IntLit, FloatLit, BoolLit, StringLit, UnitLit,
+    Var, TupleExpr, ListExpr, If, Apply, Fun, Let, BinOp,
+]
+
+
+# -- top level -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopLet:
+    """A top-level phrase ``let pattern = expr;;``.
+
+    ``let f x y = e`` parses as ``let f = fun x -> fun y -> e``.
+    """
+
+    pattern: Pattern
+    expr: Expr
+    recursive: bool = False
+    loc: Location = field(default_factory=Location.unknown, compare=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed compilation unit: a sequence of top-level lets."""
+
+    phrases: Tuple[TopLet, ...]
+
+    def binding(self, name: str) -> Optional[TopLet]:
+        """The last top-level binding of ``name``, if any."""
+        found = None
+        for phrase in self.phrases:
+            if isinstance(phrase.pattern, PVar) and phrase.pattern.name == name:
+                found = phrase
+        return found

@@ -1,0 +1,159 @@
+"""The initial typing environment: skeletons, list builtins, externals.
+
+Section 2 of the paper gives each skeleton a Caml type signature; these
+are the exact schemes the type checker starts from.  The task-farm
+worker uses the *pair-of-lists* convention ``'a -> 'b list * 'a list``
+(finished results, new packets), which is the typed rendering of the
+recursive packet generation described in the paper.
+
+External (application-specific) functions enter the environment from a
+:class:`~repro.core.functions.FunctionTable`: a C prototype
+``void predict(/*in*/ markList*, /*out*/ markList*, /*out*/ state*)``
+becomes the curried ML type ``mark list -> mark list * state``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.functions import FunctionSpec, FunctionTable
+from .types import (
+    Scheme,
+    TArrow,
+    TList,
+    TTuple,
+    TVar,
+    Type,
+    TypeEnv,
+    parse_type,
+    t_bool,
+    t_int,
+    t_unit,
+)
+
+__all__ = [
+    "SKELETON_NAMES",
+    "skeleton_schemes",
+    "builtin_schemes",
+    "scheme_of_spec",
+    "initial_env",
+]
+
+SKELETON_NAMES = ("scm", "df", "tf", "itermem")
+
+
+def _arrows(*types: Type) -> Type:
+    result = types[-1]
+    for t in reversed(types[:-1]):
+        result = TArrow(t, result)
+    return result
+
+
+def _generalize_all(t: Type) -> Scheme:
+    from .types import free_vars
+
+    return Scheme(tuple(free_vars(t)), t)
+
+
+def skeleton_schemes() -> Dict[str, Scheme]:
+    """The polymorphic signatures of the four SKiPPER skeletons."""
+    # scm : int -> (int -> 'a -> 'b list) -> ('b -> 'c)
+    #       -> ('a -> 'c list -> 'd) -> 'a -> 'd
+    a, b, c, d = TVar("'a"), TVar("'b"), TVar("'c"), TVar("'d")
+    scm_t = _arrows(
+        t_int,
+        _arrows(t_int, a, TList(b)),
+        _arrows(b, c),
+        _arrows(a, TList(c), d),
+        a,
+        d,
+    )
+
+    # df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+    a2, b2, c2 = TVar("'a"), TVar("'b"), TVar("'c")
+    df_t = _arrows(
+        t_int, _arrows(a2, b2), _arrows(c2, b2, c2), c2, TList(a2), c2
+    )
+
+    # tf : int -> ('a -> 'b list * 'a list) -> ('c -> 'b -> 'c)
+    #      -> 'c -> 'a list -> 'c
+    a3, b3, c3 = TVar("'a"), TVar("'b"), TVar("'c")
+    tf_t = _arrows(
+        t_int,
+        _arrows(a3, TTuple((TList(b3), TList(a3)))),
+        _arrows(c3, b3, c3),
+        c3,
+        TList(a3),
+        c3,
+    )
+
+    # itermem : ('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit)
+    #           -> 'c -> 'a -> unit
+    a4, b4, c4, d4 = TVar("'a"), TVar("'b"), TVar("'c"), TVar("'d")
+    itermem_t = _arrows(
+        _arrows(a4, b4),
+        _arrows(TTuple((c4, b4)), TTuple((c4, d4))),
+        _arrows(d4, t_unit),
+        c4,
+        a4,
+        t_unit,
+    )
+
+    return {
+        "scm": _generalize_all(scm_t),
+        "df": _generalize_all(df_t),
+        "tf": _generalize_all(tf_t),
+        "itermem": _generalize_all(itermem_t),
+    }
+
+
+def builtin_schemes() -> Dict[str, Scheme]:
+    """List/tuple/bool builtins available to every specification."""
+    out: Dict[str, Scheme] = {}
+
+    def add(name: str, signature: str) -> None:
+        out[name] = _generalize_all(parse_type(signature))
+
+    add("map", "('a -> 'b) -> 'a list -> 'b list")
+    add("fold_left", "('a -> 'b -> 'a) -> 'a -> 'b list -> 'a")
+    add("length", "'a list -> int")
+    add("rev", "'a list -> 'a list")
+    add("hd", "'a list -> 'a")
+    add("tl", "'a list -> 'a list")
+    add("fst", "'a * 'b -> 'a")
+    add("snd", "'a * 'b -> 'b")
+    add("not", "bool -> bool")
+    add("min", "int -> int -> int")
+    add("max", "int -> int -> int")
+    add("abs", "int -> int")
+    add("ignore", "'a -> unit")
+    return out
+
+
+def scheme_of_spec(spec: FunctionSpec) -> Scheme:
+    """Turn a C-style prototype into a curried polymorphic ML scheme.
+
+    Type variables written ``'a`` in the prototype are shared between the
+    ins and outs of one function (so ``accum_marks : 'a list * 'a ->
+    'a list`` stays linked) but fresh across functions.
+    """
+    shared: Dict[str, TVar] = {}
+    ins = [parse_type(t, shared) for t in spec.ins]
+    outs = [parse_type(t, shared) for t in spec.outs]
+    result: Type = outs[0] if len(outs) == 1 else TTuple(tuple(outs))
+    if not ins:
+        full = TArrow(t_unit, result)
+    else:
+        full = _arrows(*ins, result)
+    return _generalize_all(full)
+
+
+def initial_env(table: Optional[FunctionTable] = None) -> TypeEnv:
+    """The typing environment a specification is checked in."""
+    bindings: Dict[str, Scheme] = {}
+    bindings.update(skeleton_schemes())
+    bindings.update(builtin_schemes())
+    if table is not None:
+        for spec in table:
+            bindings[spec.name] = scheme_of_spec(spec)
+    return TypeEnv(bindings)

@@ -1,0 +1,85 @@
+"""The front-end driver: parse → type-check → extract the network.
+
+Corresponds to the "custom CAML compiler" box of the paper's Fig. 2
+(parsing, polymorphic type checking, skeleton expansion into a process
+network), stopping at the target-independent program IR; the PNT
+instantiation, mapping and code generation stages live in
+:mod:`repro.pnt`, :mod:`repro.syndex` and :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.functions import FunctionTable
+from ..core.ir import Program as IRProgram
+from . import ast
+from .builtins import initial_env
+from .eval import run_main
+from .infer import infer_program
+from .network import extract_network
+from .parser import parse
+from .types import Scheme, type_to_str
+
+__all__ = ["CompiledProgram", "compile_source", "typecheck_source"]
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the front end knows about one specification."""
+
+    source: str
+    syntax: ast.Program
+    schemes: Dict[str, Scheme]
+    ir: IRProgram
+    table: FunctionTable
+
+    def type_of(self, name: str) -> str:
+        """The inferred Caml type of a top-level binding, rendered."""
+        if name not in self.schemes:
+            raise KeyError(f"no top-level binding named {name!r}")
+        return type_to_str(self.schemes[name].instantiate())
+
+    def emulate(self, *, max_iterations: Optional[int] = None) -> Any:
+        """Run the specification sequentially (the paper's emulation path)."""
+        return run_main(
+            self.syntax,
+            self.table,
+            max_iterations=max_iterations,
+            source=self.source,
+        )
+
+
+def typecheck_source(
+    source: str, table: Optional[FunctionTable] = None
+) -> Dict[str, Scheme]:
+    """Parse and type-check; returns the schemes of the top-level names.
+
+    Raises :class:`~repro.minicaml.errors.ParseError` or
+    :class:`~repro.minicaml.errors.TypeError_` on ill-formed input.
+    """
+    syntax = parse(source)
+    env = initial_env(table)
+    _env, schemes, _inf = infer_program(syntax, env, source)
+    return schemes
+
+
+def compile_source(
+    source: str,
+    table: FunctionTable,
+    *,
+    entry: str = "main",
+    name: Optional[str] = None,
+) -> CompiledProgram:
+    """Compile a mini-ML specification into a :class:`CompiledProgram`.
+
+    Runs the full front end: lexing/parsing, HM type inference against
+    the skeleton and external-function signatures, and network
+    extraction producing the program IR.
+    """
+    syntax = parse(source)
+    env = initial_env(table)
+    _env, schemes, _inf = infer_program(syntax, env, source)
+    ir = extract_network(syntax, table, entry=entry, name=name, source=source)
+    return CompiledProgram(source, syntax, schemes, ir, table)

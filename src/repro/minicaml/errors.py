@@ -1,0 +1,76 @@
+"""Located diagnostics for the mini-ML front-end.
+
+Every front-end error (lexical, syntactic, type) carries the source
+location it arose at and renders a compiler-style message with a caret
+pointing into the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Location", "SourceError", "LexError", "ParseError", "TypeError_"]
+
+
+@dataclass(frozen=True)
+class Location:
+    """A position in the source text (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+    @classmethod
+    def unknown(cls) -> "Location":
+        return cls(0, 0)
+
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0
+
+
+class SourceError(Exception):
+    """Base class for located front-end errors."""
+
+    kind = "error"
+
+    def __init__(self, message: str, loc: Optional[Location] = None,
+                 source: Optional[str] = None):
+        self.message = message
+        self.loc = loc or Location.unknown()
+        self.source = source
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        """Compiler-style message, with a source excerpt when available."""
+        head = (
+            f"{self.kind} at {self.loc}: {self.message}"
+            if self.loc.is_known
+            else f"{self.kind}: {self.message}"
+        )
+        if self.source is None or not self.loc.is_known:
+            return head
+        lines = self.source.splitlines()
+        if not (1 <= self.loc.line <= len(lines)):
+            return head
+        excerpt = lines[self.loc.line - 1]
+        caret = " " * (self.loc.column - 1) + "^"
+        return f"{head}\n  {excerpt}\n  {caret}"
+
+
+class LexError(SourceError):
+    kind = "lexical error"
+
+
+class ParseError(SourceError):
+    kind = "syntax error"
+
+
+class TypeError_(SourceError):
+    """A type-checking failure (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+    kind = "type error"

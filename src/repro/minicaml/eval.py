@@ -1,0 +1,358 @@
+"""Direct interpreter for mini-ML specifications.
+
+This is the "Sequential Emulation" branch of the paper's Fig. 2: the
+very same source file that drives the parallel implementation runs here
+as an ordinary functional program, with skeletons interpreted by their
+declarative semantics (:mod:`repro.core.semantics`) and external
+functions dispatched to their registered Python implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core import semantics
+from ..core.functions import FunctionSpec, FunctionTable
+from . import ast
+from .errors import SourceError
+
+__all__ = ["EvalError", "Interpreter", "run_main", "evaluate_program"]
+
+
+class EvalError(SourceError):
+    kind = "runtime error"
+
+
+@dataclass
+class Closure:
+    """A user function value."""
+
+    param: ast.Pattern
+    body: ast.Expr
+    env: Dict[str, Any]
+
+
+class _Curried:
+    """Partial application of an n-ary host (Python) function."""
+
+    __slots__ = ("fn", "arity", "args", "name")
+
+    def __init__(self, fn: Callable, arity: int, name: str, args: Tuple = ()):
+        self.fn = fn
+        self.arity = arity
+        self.name = name
+        self.args = args
+
+    def apply(self, arg: Any) -> Any:
+        args = self.args + (arg,)
+        if len(args) == self.arity:
+            return self.fn(*args)
+        return _Curried(self.fn, self.arity, self.name, args)
+
+    def __repr__(self) -> str:
+        return f"<{self.name}:{len(self.args)}/{self.arity}>"
+
+
+def _wrap_external(spec: FunctionSpec) -> Any:
+    """An external function as a curried value (unit-argument when nullary)."""
+    if spec.arity == 0:
+        return _Curried(lambda _unit: spec(), 1, spec.name)
+    return _Curried(lambda *args: spec(*args), spec.arity, spec.name)
+
+
+def _tf_comp_adapter(comp: Callable[[Any], Any]) -> Callable[[Any], semantics.TaskOutcome]:
+    """Adapt the ML pair-of-lists worker convention to TaskOutcome."""
+
+    def adapted(x: Any) -> semantics.TaskOutcome:
+        out = comp(x)
+        if isinstance(out, semantics.TaskOutcome):
+            return out
+        if isinstance(out, tuple) and len(out) == 2:
+            results, subtasks = out
+            return semantics.TaskOutcome(results=list(results), subtasks=list(subtasks))
+        raise TypeError(
+            "tf worker must return (results, subtasks) or TaskOutcome, "
+            f"got {type(out).__name__}"
+        )
+
+    return adapted
+
+
+class Interpreter:
+    """Evaluates expressions; owns the builtin/global environments."""
+
+    def __init__(
+        self,
+        table: Optional[FunctionTable] = None,
+        *,
+        max_iterations: Optional[int] = None,
+        source: Optional[str] = None,
+    ):
+        self.table = table
+        self.max_iterations = max_iterations
+        self.source = source
+        self.globals: Dict[str, Any] = self._builtin_values()
+        if table is not None:
+            for spec in table:
+                self.globals[spec.name] = _wrap_external(spec)
+
+    # -- builtins -----------------------------------------------------------
+
+    def _builtin_values(self) -> Dict[str, Any]:
+        def curried(name: str, arity: int, fn: Callable) -> _Curried:
+            return _Curried(fn, arity, name)
+
+        apply1 = self._apply_value
+
+        def ml_map(f, xs):
+            return [apply1(f, x) for x in xs]
+
+        def ml_fold_left(f, z, xs):
+            acc = z
+            for x in xs:
+                acc = apply1(apply1(f, acc), x)
+            return acc
+
+        def ml_scm(n, split, comp, merge, x):
+            return semantics.scm(
+                n,
+                lambda k, v: apply1(apply1(split, k), v),
+                lambda piece: apply1(comp, piece),
+                lambda orig, results: apply1(apply1(merge, orig), results),
+                x,
+            )
+
+        def ml_df(n, comp, acc, z, xs):
+            return semantics.df(
+                n,
+                lambda v: apply1(comp, v),
+                lambda c, y: apply1(apply1(acc, c), y),
+                z,
+                xs,
+            )
+
+        def ml_tf(n, comp, acc, z, xs):
+            return semantics.tf(
+                n,
+                _tf_comp_adapter(lambda v: apply1(comp, v)),
+                lambda c, y: apply1(apply1(acc, c), y),
+                z,
+                xs,
+            )
+
+        def ml_itermem(inp, loop, out, z, x):
+            return semantics.itermem(
+                lambda v: apply1(inp, v),
+                lambda state_item: apply1(loop, state_item),
+                lambda y: apply1(out, y),
+                z,
+                x,
+                max_iterations=self.max_iterations,
+            )
+
+        def ml_hd(xs):
+            if not xs:
+                raise EvalError("hd of empty list")
+            return xs[0]
+
+        def ml_tl(xs):
+            if not xs:
+                raise EvalError("tl of empty list")
+            return list(xs[1:])
+
+        return {
+            "map": curried("map", 2, ml_map),
+            "fold_left": curried("fold_left", 3, ml_fold_left),
+            "scm": curried("scm", 5, ml_scm),
+            "df": curried("df", 5, ml_df),
+            "tf": curried("tf", 5, ml_tf),
+            "itermem": curried("itermem", 5, ml_itermem),
+            "length": curried("length", 1, len),
+            "rev": curried("rev", 1, lambda xs: list(reversed(xs))),
+            "hd": curried("hd", 1, ml_hd),
+            "tl": curried("tl", 1, ml_tl),
+            "fst": curried("fst", 1, lambda p: p[0]),
+            "snd": curried("snd", 1, lambda p: p[1]),
+            "not": curried("not", 1, lambda b: not b),
+            "min": curried("min", 2, min),
+            "max": curried("max", 2, max),
+            "abs": curried("abs", 1, abs),
+            "ignore": curried("ignore", 1, lambda _x: None),
+        }
+
+    # -- core evaluation ------------------------------------------------------
+
+    def _apply_value(self, fn: Any, arg: Any) -> Any:
+        if isinstance(fn, Closure):
+            env = dict(fn.env)
+            self._bind(fn.param, arg, env)
+            return self.eval(fn.body, env)
+        if isinstance(fn, _Curried):
+            return fn.apply(arg)
+        raise EvalError(f"cannot apply non-function value {fn!r}")
+
+    def _bind(self, pattern: ast.Pattern, value: Any, env: Dict[str, Any]) -> None:
+        if isinstance(pattern, ast.PVar):
+            env[pattern.name] = value
+        elif isinstance(pattern, ast.PWild):
+            pass
+        else:
+            if not isinstance(value, tuple) or len(value) != len(pattern.elements):
+                raise EvalError(
+                    f"cannot destructure {value!r} with a "
+                    f"{len(pattern.elements)}-tuple pattern",
+                    pattern.loc,
+                    self.source,
+                )
+            for sub, v in zip(pattern.elements, value):
+                self._bind(sub, v, env)
+
+    def eval(self, expr: ast.Expr, env: Dict[str, Any]) -> Any:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.UnitLit):
+            return None
+        if isinstance(expr, ast.Var):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.globals:
+                return self.globals[expr.name]
+            raise EvalError(f"unbound identifier {expr.name!r}", expr.loc, self.source)
+        if isinstance(expr, ast.TupleExpr):
+            return tuple(self.eval(e, env) for e in expr.elements)
+        if isinstance(expr, ast.ListExpr):
+            return [self.eval(e, env) for e in expr.elements]
+        if isinstance(expr, ast.If):
+            if self.eval(expr.cond, env):
+                return self.eval(expr.then, env)
+            return self.eval(expr.otherwise, env)
+        if isinstance(expr, ast.Fun):
+            return Closure(expr.param, expr.body, dict(env))
+        if isinstance(expr, ast.Apply):
+            fn = self.eval(expr.fn, env)
+            arg = self.eval(expr.arg, env)
+            return self._apply_value(fn, arg)
+        if isinstance(expr, ast.Let):
+            value = self._eval_binding(expr, env)
+            inner = dict(env)
+            self._bind(expr.pattern, value, inner)
+            return self.eval(expr.body, inner)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, env)
+        raise AssertionError(f"unknown expression node {expr!r}")
+
+    def _eval_binding(self, let, env: Dict[str, Any]) -> Any:
+        bound = let.bound if isinstance(let, ast.Let) else let.expr
+        if not let.recursive:
+            return self.eval(bound, env)
+        if not isinstance(let.pattern, ast.PVar):
+            raise EvalError("let rec requires a simple name", let.loc, self.source)
+        # Tie the knot through the (shared, mutable) closure environment.
+        rec_env = dict(env)
+        value = self.eval(bound, rec_env)
+        if isinstance(value, Closure):
+            value.env[let.pattern.name] = value
+        rec_env[let.pattern.name] = value
+        return value
+
+    def _structural_compare(self, a: Any, b: Any) -> int:
+        """OCaml-style polymorphic comparison (-1 / 0 / +1).
+
+        Handles unit (None) — which Python cannot order natively — and
+        recurses through tuples and lists; comparing functional values
+        is a runtime error, as in OCaml.
+        """
+        if a is None and b is None:
+            return 0
+        if isinstance(a, (Closure, _Curried)) or isinstance(b, (Closure, _Curried)):
+            raise EvalError("cannot compare functional values")
+        if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+            for xa, xb in zip(a, b):
+                c = self._structural_compare(xa, xb)
+                if c != 0:
+                    return c
+            return (len(a) > len(b)) - (len(a) < len(b))
+        if a == b:
+            return 0
+        return -1 if a < b else 1
+
+    def _eval_binop(self, expr: ast.BinOp, env: Dict[str, Any]) -> Any:
+        lv = self.eval(expr.left, env)
+        rv = self.eval(expr.right, env)
+        op = expr.op
+        if op in ("+", "+."):
+            return lv + rv
+        if op in ("-", "-."):
+            return lv - rv
+        if op in ("*", "*."):
+            return lv * rv
+        if op == "/":
+            if rv == 0:
+                raise EvalError("division by zero", expr.loc, self.source)
+            return lv // rv if isinstance(lv, int) and isinstance(rv, int) else lv / rv
+        if op == "/.":
+            if rv == 0:
+                raise EvalError("division by zero", expr.loc, self.source)
+            return lv / rv
+        if op == "=":
+            return self._structural_compare(lv, rv) == 0
+        if op == "<>":
+            return self._structural_compare(lv, rv) != 0
+        if op == "<":
+            return self._structural_compare(lv, rv) < 0
+        if op == ">":
+            return self._structural_compare(lv, rv) > 0
+        if op == "<=":
+            return self._structural_compare(lv, rv) <= 0
+        if op == ">=":
+            return self._structural_compare(lv, rv) >= 0
+        if op == "::":
+            return [lv] + list(rv)
+        if op == "@":
+            return list(lv) + list(rv)
+        raise AssertionError(f"unknown operator {op!r}")
+
+
+def evaluate_program(
+    program: ast.Program,
+    table: Optional[FunctionTable] = None,
+    *,
+    max_iterations: Optional[int] = None,
+    source: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Evaluate every top-level phrase; returns the global value bindings."""
+    interp = Interpreter(table, max_iterations=max_iterations, source=source)
+    env: Dict[str, Any] = {}
+    for phrase in program.phrases:
+        value = interp._eval_binding(phrase, env)
+        interp._bind(phrase.pattern, value, env)
+    return env
+
+
+def run_main(
+    program: ast.Program,
+    table: Optional[FunctionTable] = None,
+    *,
+    max_iterations: Optional[int] = None,
+    entry: str = "main",
+    source: Optional[str] = None,
+) -> Any:
+    """Evaluate the program and return the value of its entry binding.
+
+    For the paper-style ``let main = itermem ...`` the stream runs during
+    evaluation (bounded by ``max_iterations``) and the returned value is
+    the final memory.
+    """
+    env = evaluate_program(
+        program, table, max_iterations=max_iterations, source=source
+    )
+    if entry not in env:
+        raise EvalError(f"no top-level binding named {entry!r}")
+    return env[entry]

@@ -1,0 +1,239 @@
+"""Hindley–Milner type inference (Algorithm J) for mini-ML.
+
+Implements the "polymorphic type-checking" stage of SKiPPER's custom
+Caml compiler (section 3): every specification is inferred against the
+skeleton schemes of :mod:`repro.minicaml.builtins`, so a composition
+whose sequential functions do not satisfy a skeleton's generic type
+constraints is rejected *before* any parallel machinery runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from . import ast
+from .errors import TypeError_
+from .types import (
+    Scheme,
+    TArrow,
+    TList,
+    TTuple,
+    TVar,
+    Type,
+    TypeEnv,
+    Unifier,
+    prune,
+    t_bool,
+    t_float,
+    t_int,
+    t_string,
+    t_unit,
+    type_to_str,
+)
+
+__all__ = ["Inferencer", "infer_program", "infer_expr"]
+
+_INT_OPS = ("+", "-", "*", "/")
+_FLOAT_OPS = ("+.", "-.", "*.", "/.")
+_COMPARE_OPS = ("=", "<>", "<", ">", "<=", ">=")
+
+
+class Inferencer:
+    """Stateful inference pass over one compilation unit."""
+
+    def __init__(self, source: Optional[str] = None):
+        self.source = source
+        self.unifier = Unifier(source)
+        #: Inferred type of every expression node (by identity), for the
+        #: network extractor and for tooling.
+        self.node_types: Dict[int, Type] = {}
+
+    # -- patterns -----------------------------------------------------------
+
+    def pattern_type(
+        self, pattern: ast.Pattern
+    ) -> Tuple[Type, Dict[str, Type]]:
+        """Fresh type + variable bindings for a binder pattern."""
+        if isinstance(pattern, ast.PVar):
+            t = TVar(pattern.name)
+            return t, {pattern.name: t}
+        if isinstance(pattern, ast.PWild):
+            return TVar(), {}
+        bindings: Dict[str, Type] = {}
+        element_types = []
+        for sub in pattern.elements:
+            t, bs = self.pattern_type(sub)
+            for name in bs:
+                if name in bindings:
+                    raise TypeError_(
+                        f"variable {name!r} bound twice in pattern",
+                        pattern.loc,
+                        self.source,
+                    )
+            bindings.update(bs)
+            element_types.append(t)
+        return TTuple(tuple(element_types)), bindings
+
+    # -- expressions -------------------------------------------------------
+
+    def infer(self, env: TypeEnv, expr: ast.Expr) -> Type:
+        t = self._infer(env, expr)
+        self.node_types[id(expr)] = t
+        return t
+
+    def _infer(self, env: TypeEnv, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return t_int
+        if isinstance(expr, ast.FloatLit):
+            return t_float
+        if isinstance(expr, ast.BoolLit):
+            return t_bool
+        if isinstance(expr, ast.StringLit):
+            return t_string
+        if isinstance(expr, ast.UnitLit):
+            return t_unit
+
+        if isinstance(expr, ast.Var):
+            scheme = env.lookup(expr.name)
+            if scheme is None:
+                raise TypeError_(
+                    f"unbound identifier {expr.name!r}", expr.loc, self.source
+                )
+            return scheme.instantiate()
+
+        if isinstance(expr, ast.TupleExpr):
+            return TTuple(tuple(self.infer(env, e) for e in expr.elements))
+
+        if isinstance(expr, ast.ListExpr):
+            element = TVar()
+            for e in expr.elements:
+                self.unifier.unify(self.infer(env, e), element, e.loc)
+            return TList(element)
+
+        if isinstance(expr, ast.If):
+            self.unifier.unify(self.infer(env, expr.cond), t_bool, expr.cond.loc)
+            t_then = self.infer(env, expr.then)
+            t_else = self.infer(env, expr.otherwise)
+            self.unifier.unify(t_then, t_else, expr.loc)
+            return t_then
+
+        if isinstance(expr, ast.Fun):
+            param_t, bindings = self.pattern_type(expr.param)
+            inner = env.extend_many(
+                [(n, Scheme.monomorphic(t)) for n, t in bindings.items()]
+            )
+            body_t = self.infer(inner, expr.body)
+            return TArrow(param_t, body_t)
+
+        if isinstance(expr, ast.Apply):
+            fn_t = self.infer(env, expr.fn)
+            arg_t = self.infer(env, expr.arg)
+            result = TVar()
+            try:
+                self.unifier.unify(fn_t, TArrow(arg_t, result), expr.loc)
+            except TypeError_ as err:
+                # Re-raise with a more helpful application-centric message.
+                raise TypeError_(
+                    f"ill-typed application: function has type "
+                    f"{type_to_str(fn_t)} but is applied to a value of type "
+                    f"{type_to_str(arg_t)} ({err.message})",
+                    expr.loc,
+                    self.source,
+                ) from None
+            return result
+
+        if isinstance(expr, ast.Let):
+            bound_t = self._infer_binding(env, expr)
+            return self._with_pattern(
+                env, expr.pattern, bound_t, lambda inner: self.infer(inner, expr.body)
+            )
+
+        if isinstance(expr, ast.BinOp):
+            return self._infer_binop(env, expr)
+
+        raise AssertionError(f"unknown expression node {expr!r}")
+
+    def _infer_binding(self, env: TypeEnv, let: "ast.Let | ast.TopLet") -> Type:
+        """Type of a let-bound expression, handling ``let rec``."""
+        if not let.recursive:
+            return self.infer(env, let.bound if isinstance(let, ast.Let) else let.expr)
+        if not isinstance(let.pattern, ast.PVar):
+            raise TypeError_(
+                "let rec requires a simple variable binding",
+                let.loc,
+                self.source,
+            )
+        self_t = TVar(let.pattern.name)
+        inner = env.extend(let.pattern.name, Scheme.monomorphic(self_t))
+        bound_expr = let.bound if isinstance(let, ast.Let) else let.expr
+        bound_t = self.infer(inner, bound_expr)
+        self.unifier.unify(self_t, bound_t, let.loc)
+        return bound_t
+
+    def _with_pattern(self, env: TypeEnv, pattern: ast.Pattern, t: Type, k):
+        """Run ``k`` in ``env`` extended by generalised pattern bindings."""
+        extended = self._bind_pattern(env, pattern, t)
+        return k(extended)
+
+    def _bind_pattern(self, env: TypeEnv, pattern: ast.Pattern, t: Type) -> TypeEnv:
+        if isinstance(pattern, ast.PVar):
+            return env.extend(pattern.name, env.generalize(t))
+        if isinstance(pattern, ast.PWild):
+            return env
+        element_types = tuple(TVar() for _ in pattern.elements)
+        self.unifier.unify(t, TTuple(element_types), pattern.loc)
+        for sub, sub_t in zip(pattern.elements, element_types):
+            env = self._bind_pattern(env, sub, sub_t)
+        return env
+
+    def _infer_binop(self, env: TypeEnv, expr: ast.BinOp) -> Type:
+        lt = self.infer(env, expr.left)
+        rt = self.infer(env, expr.right)
+        if expr.op in _INT_OPS:
+            self.unifier.unify(lt, t_int, expr.left.loc)
+            self.unifier.unify(rt, t_int, expr.right.loc)
+            return t_int
+        if expr.op in _FLOAT_OPS:
+            self.unifier.unify(lt, t_float, expr.left.loc)
+            self.unifier.unify(rt, t_float, expr.right.loc)
+            return t_float
+        if expr.op in _COMPARE_OPS:
+            self.unifier.unify(lt, rt, expr.loc)
+            return t_bool
+        if expr.op == "::":
+            self.unifier.unify(rt, TList(lt), expr.loc)
+            return rt
+        if expr.op == "@":
+            element = TVar()
+            self.unifier.unify(lt, TList(element), expr.left.loc)
+            self.unifier.unify(rt, TList(element), expr.right.loc)
+            return lt
+        raise AssertionError(f"unknown operator {expr.op!r}")
+
+
+def infer_program(
+    program: ast.Program,
+    env: TypeEnv,
+    source: Optional[str] = None,
+) -> Tuple[TypeEnv, Dict[str, Scheme], Inferencer]:
+    """Infer every top-level phrase in order.
+
+    Returns the final environment, the schemes of the top-level names
+    (last binding wins, as in Caml), and the inferencer (whose
+    ``node_types`` the network extractor reuses).
+    """
+    inf = Inferencer(source)
+    top: Dict[str, Scheme] = {}
+    for phrase in program.phrases:
+        bound_t = inf._infer_binding(env, phrase)
+        env = inf._bind_pattern(env, phrase.pattern, bound_t)
+        for name in ast.pattern_vars(phrase.pattern):
+            scheme = env.lookup(name)
+            assert scheme is not None
+            top[name] = scheme
+    return env, top, inf
+
+
+def infer_expr(expr: ast.Expr, env: TypeEnv, source: Optional[str] = None) -> Type:
+    """Infer the type of a standalone expression (testing convenience)."""
+    return Inferencer(source).infer(env, expr)

@@ -1,0 +1,185 @@
+"""Lexer for the mini-ML specification language.
+
+Tokenises the Caml subset SKiPPER specifications are written in: let
+bindings, lambdas, tuples, lists, arithmetic/comparison operators and the
+``;;`` phrase terminator.  Comments are Caml-style ``(* ... *)`` and may
+nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .errors import LexError, Location
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+
+class TokenKind:
+    """Token tags (plain strings; a tiny enum without the ceremony)."""
+
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    IDENT = "IDENT"  # lowercase identifiers
+    KEYWORD = "KEYWORD"
+    OP = "OP"  # operators and punctuation
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    ["let", "rec", "in", "fun", "if", "then", "else", "true", "false", "and"]
+)
+
+# Multi-character operators first so maximal munch works by ordering.
+_OPERATORS = [
+    ";;", "->", "<=", ">=", "<>", "::", "(", ")", "[", "]", ";", ",",
+    "+.", "-.", "*.", "/.", "+", "-", "*", "/", "=", "<", ">", "@", "_",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    loc: Location
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.loc.line}:{self.loc.column}"
+
+
+class _Scanner:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def loc(self) -> Location:
+        return Location(self.line, self.column)
+
+    def peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+
+def _skip_trivia(s: _Scanner) -> None:
+    """Skip whitespace and (possibly nested) comments."""
+    while not s.at_end():
+        ch = s.peek()
+        if ch in " \t\r\n":
+            s.advance()
+        elif ch == "(" and s.peek(1) == "*":
+            start = s.loc()
+            depth = 0
+            while not s.at_end():
+                if s.peek() == "(" and s.peek(1) == "*":
+                    depth += 1
+                    s.advance(2)
+                elif s.peek() == "*" and s.peek(1) == ")":
+                    depth -= 1
+                    s.advance(2)
+                    if depth == 0:
+                        break
+                else:
+                    s.advance()
+            else:
+                raise LexError("unterminated comment", start, s.source)
+        else:
+            return
+
+
+def _lex_number(s: _Scanner) -> Token:
+    loc = s.loc()
+    text = ""
+    while s.peek().isdigit():
+        text += s.advance()
+    # A '.' starts a float only when not part of an operator like '+.'
+    if s.peek() == "." and s.peek(1).isdigit():
+        text += s.advance()
+        while s.peek().isdigit():
+            text += s.advance()
+        return Token(TokenKind.FLOAT, text, loc)
+    if s.peek() == "." and not s.peek(1).isdigit() and s.peek(1) != ")":
+        # Trailing-dot float literal like "2." — accept it.
+        text += s.advance()
+        return Token(TokenKind.FLOAT, text, loc)
+    return Token(TokenKind.INT, text, loc)
+
+
+def _lex_string(s: _Scanner) -> Token:
+    loc = s.loc()
+    s.advance()  # opening quote
+    chars: List[str] = []
+    while True:
+        if s.at_end():
+            raise LexError("unterminated string literal", loc, s.source)
+        ch = s.advance()
+        if ch == '"':
+            break
+        if ch == "\\":
+            esc = s.advance()
+            mapping = {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}
+            if esc not in mapping:
+                raise LexError(f"unknown escape \\{esc}", s.loc(), s.source)
+            chars.append(mapping[esc])
+        else:
+            chars.append(ch)
+    return Token(TokenKind.STRING, "".join(chars), loc)
+
+
+def _lex_ident(s: _Scanner) -> Token:
+    loc = s.loc()
+    text = ""
+    # Note: peek() returns "" at end of input, and `"" in "_'"` would be
+    # True (empty-substring test) — hence the explicit truthiness guard.
+    while s.peek() and (s.peek().isalnum() or s.peek() in "_'"):
+        text += s.advance()
+    kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+    return Token(kind, text, loc)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise ``source``, appending a final EOF token.
+
+    Raises :class:`LexError` on unknown characters, unterminated strings
+    or comments.
+    """
+    s = _Scanner(source)
+    tokens: List[Token] = []
+    while True:
+        _skip_trivia(s)
+        if s.at_end():
+            tokens.append(Token(TokenKind.EOF, "", s.loc()))
+            return tokens
+        ch = s.peek()
+        if ch.isdigit():
+            tokens.append(_lex_number(s))
+        elif ch == '"':
+            tokens.append(_lex_string(s))
+        elif ch.isalpha() or ch == "_" and (s.peek(1).isalnum() or s.peek(1) == "_"):
+            tokens.append(_lex_ident(s))
+        else:
+            loc = s.loc()
+            for op in _OPERATORS:
+                if s.source.startswith(op, s.pos):
+                    s.advance(len(op))
+                    tokens.append(Token(TokenKind.OP, op, loc))
+                    break
+            else:
+                raise LexError(f"unexpected character {ch!r}", loc, s.source)

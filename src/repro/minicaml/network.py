@@ -1,0 +1,613 @@
+"""Network extraction: from a typed specification to the program IR.
+
+This is the "skeleton expansion" front half of SKiPPER's compiler: the
+annotated syntax tree is *symbolically executed* — user lets and
+lambdas are inlined, constants are folded — until only the coordination
+structure remains: applications of external sequential functions and of
+skeleton constructors.  Those become :class:`~repro.core.ir.Apply` and
+:class:`~repro.core.ir.SkelApply` bindings; a top-level ``itermem``
+becomes the :class:`~repro.core.ir.StreamSpec` wrapper.
+
+The extractor enforces SKiPPER's structural restrictions and reports
+violations as located errors:
+
+* inner skeletons (``scm``/``df``/``tf``) cannot nest (section 5:
+  "their skeletons can be freely nested, ours not");
+* ``itermem`` may only appear as the outermost construct;
+* skeleton function parameters must be *named sequential functions*
+  (they become process labels in the PNT);
+* data-dependent control flow and arithmetic must live inside
+  sequential functions — the coordination layer is static.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.functions import FunctionSpec, FunctionTable
+from ..core.ir import Apply, Const, Program, SkelApply, StreamSpec
+from . import ast
+from .errors import Location, SourceError
+
+__all__ = ["NetworkError", "extract_network"]
+
+_INNER_SKELETONS = ("scm", "df", "tf")
+_SKELETON_ARITY = {"scm": 5, "df": 5, "tf": 5, "itermem": 5}
+_UNSUPPORTED_BUILTINS = frozenset(
+    ["map", "fold_left", "length", "rev", "hd", "tl", "fst", "snd",
+     "not", "min", "max", "abs", "ignore"]
+)
+
+
+class NetworkError(SourceError):
+    kind = "network extraction error"
+
+
+# -- symbolic values -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymVal:
+    """A reference to an IR value produced inside the loop body."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstVal:
+    """A statically-known value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ExternVal:
+    """A reference to a registered sequential function."""
+
+    spec: FunctionSpec
+
+
+@dataclass(frozen=True)
+class PartialExtern:
+    """A partially applied external function."""
+
+    spec: FunctionSpec
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class BuiltinVal:
+    """A (possibly partially applied) skeleton or list builtin."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClosureVal:
+    """A user function, inlined at application time."""
+
+    param: ast.Pattern
+    body: ast.Expr
+    env: Dict[str, Any] = field(hash=False)
+
+
+@dataclass(frozen=True)
+class TupleVal:
+    items: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class InitCall:
+    """A nullary external call at top level (``let s0 = init_state ()``).
+
+    Only legal as the ``z`` argument of the top-level ``itermem``."""
+
+    spec: FunctionSpec
+
+
+# -- the extractor -------------------------------------------------------------
+
+
+class _Extractor:
+    _MAX_INLINE_DEPTH = 200
+
+    def __init__(self, table: FunctionTable, source: Optional[str] = None):
+        self.table = table
+        self.source = source
+        self.bindings: List[Union[Const, Apply, SkelApply]] = []
+        self.types: Dict[str, str] = {}
+        self._counter = itertools.count()
+        self._const_cache: Dict[int, str] = {}
+        self._in_body = False
+        self._depth = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def fail(self, message: str, loc: Optional[Location] = None) -> "NetworkError":
+        return NetworkError(message, loc, self.source)
+
+    def fresh(self, hint: str) -> str:
+        return f"{hint}_{next(self._counter)}"
+
+    def _materialize(self, value: Any, loc: Optional[Location]) -> str:
+        """Turn a symbolic value into an IR value name (Const if needed)."""
+        if isinstance(value, SymVal):
+            return value.name
+        if isinstance(value, ConstVal):
+            name = self.fresh("const")
+            self.bindings.append(Const(name, value.value))
+            return name
+        if isinstance(value, TupleVal):
+            # A tuple mixing constants and symbols cannot ship as one edge.
+            raise self.fail(
+                "cannot pass a tuple built in the coordination layer to a "
+                "sequential function; return it from a sequential function "
+                "instead",
+                loc,
+            )
+        raise self.fail(
+            f"cannot use {self._describe(value)} as a data value", loc
+        )
+
+    @staticmethod
+    def _describe(value: Any) -> str:
+        if isinstance(value, ClosureVal):
+            return "a user-defined function"
+        if isinstance(value, (ExternVal, PartialExtern)):
+            name = value.spec.name
+            return f"the sequential function {name!r}"
+        if isinstance(value, BuiltinVal):
+            return f"the builtin {value.name!r}"
+        if isinstance(value, InitCall):
+            return f"a top-level call of {value.spec.name!r}"
+        return repr(value)
+
+    # -- application dispatch ------------------------------------------------
+
+    def apply(self, fn: Any, arg: Any, loc: Optional[Location]) -> Any:
+        if isinstance(fn, ClosureVal):
+            self._depth += 1
+            if self._depth > self._MAX_INLINE_DEPTH:
+                raise self.fail(
+                    "inlining depth exceeded; recursive coordination "
+                    "functions are not expressible as a static process network",
+                    loc,
+                )
+            try:
+                env = dict(fn.env)
+                self._bind_pattern(fn.param, arg, env, loc)
+                return self.eval(fn.body, env)
+            finally:
+                self._depth -= 1
+        if isinstance(fn, ExternVal):
+            return self._apply_extern(fn.spec, (arg,), loc)
+        if isinstance(fn, PartialExtern):
+            return self._apply_extern(fn.spec, fn.args + (arg,), loc)
+        if isinstance(fn, BuiltinVal):
+            return self._apply_builtin(fn, arg, loc)
+        raise self.fail(f"cannot apply {self._describe(fn)}", loc)
+
+    def _apply_extern(
+        self, spec: FunctionSpec, args: Tuple[Any, ...], loc: Optional[Location]
+    ) -> Any:
+        arity = max(spec.arity, 1)  # nullary externals take a unit argument
+        if len(args) < arity:
+            return PartialExtern(spec, args)
+        if not self._in_body:
+            # Top level: only `let s0 = init_state ()` style calls are legal.
+            if spec.arity == 0:
+                return InitCall(spec)
+            raise self.fail(
+                f"sequential function {spec.name!r} called outside the "
+                "processing loop; only nullary initialisation calls are "
+                "allowed at top level",
+                loc,
+            )
+        call_args = () if spec.arity == 0 else args
+        arg_names = tuple(self._materialize(a, loc) for a in call_args)
+        outs = tuple(self.fresh(f"{spec.name}_out") for _ in range(spec.n_outs))
+        self.bindings.append(Apply(spec.name, arg_names, outs))
+        for name, t in zip(outs, spec.outs):
+            self.types[name] = t
+        if spec.n_outs == 1:
+            return SymVal(outs[0])
+        return TupleVal(tuple(SymVal(o) for o in outs))
+
+    def _apply_builtin(self, fn: BuiltinVal, arg: Any, loc: Optional[Location]) -> Any:
+        if fn.name in _UNSUPPORTED_BUILTINS:
+            raise self.fail(
+                f"builtin {fn.name!r} operates on runtime data and cannot "
+                "appear in the coordination layer; move it inside a "
+                "sequential function",
+                loc,
+            )
+        args = fn.args + (arg,)
+        arity = _SKELETON_ARITY[fn.name]
+        if len(args) < arity:
+            return BuiltinVal(fn.name, args)
+        if fn.name == "itermem":
+            return self._saturate_itermem(args, loc)
+        return self._emit_skeleton(fn.name, args, loc)
+
+    def _saturate_itermem(self, args: Tuple[Any, ...], loc) -> "_ItermemResult":
+        if self._in_body:
+            raise self.fail(
+                "itermem must be the outermost construct of the program", loc
+            )
+        inp, loop, out, z, x = args
+        if not isinstance(inp, ExternVal):
+            raise self.fail(
+                "the input function of itermem must be a named sequential "
+                f"function, got {self._describe(inp)}",
+                loc,
+            )
+        if not isinstance(out, ExternVal):
+            raise self.fail(
+                "the output function of itermem must be a named sequential "
+                f"function, got {self._describe(out)}",
+                loc,
+            )
+        if not isinstance(loop, ClosureVal):
+            raise self.fail(
+                "the loop of itermem must be a user-defined function, got "
+                f"{self._describe(loop)}",
+                loc,
+            )
+        return _ItermemResult(inp.spec, loop, out.spec, z, x)
+
+    # -- skeleton emission ------------------------------------------------------
+
+    def _skeleton_degree(self, value: Any, kind: str, loc) -> int:
+        if not isinstance(value, ConstVal) or not isinstance(value.value, int):
+            raise self.fail(
+                f"the degree of {kind!r} must be a static integer "
+                "(the process network is fixed at compile time)",
+                loc,
+            )
+        return value.value
+
+    def _skeleton_fn(self, value: Any, kind: str, role: str, loc) -> str:
+        if isinstance(value, ExternVal):
+            return value.spec.name
+        raise self.fail(
+            f"the {role!r} parameter of {kind!r} must be a named sequential "
+            f"function, got {self._describe(value)}",
+            loc,
+        )
+
+    def _emit_skeleton(self, kind: str, args: Tuple[Any, ...], loc) -> SymVal:
+        if not self._in_body:
+            raise self.fail(
+                f"skeleton {kind!r} used outside the processing loop", loc
+            )
+        out = self.fresh(f"{kind}_out")
+        if kind == "scm":
+            n, split, comp, merge, x = args
+            node = SkelApply(
+                "scm",
+                self._skeleton_degree(n, kind, loc),
+                {
+                    "split": self._skeleton_fn(split, kind, "split", loc),
+                    "comp": self._skeleton_fn(comp, kind, "comp", loc),
+                    "merge": self._skeleton_fn(merge, kind, "merge", loc),
+                },
+                (self._materialize(x, loc),),
+                (out,),
+            )
+        else:  # df / tf share the (n, comp, acc, z, xs) shape
+            n, comp, acc, z, xs = args
+            node = SkelApply(
+                kind,
+                self._skeleton_degree(n, kind, loc),
+                {
+                    "comp": self._skeleton_fn(comp, kind, "comp", loc),
+                    "acc": self._skeleton_fn(acc, kind, "acc", loc),
+                },
+                (self._materialize(z, loc), self._materialize(xs, loc)),
+                (out,),
+            )
+        self.bindings.append(node)
+        return SymVal(out)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _bind_pattern(
+        self, pattern: ast.Pattern, value: Any, env: Dict[str, Any], loc
+    ) -> None:
+        if isinstance(pattern, ast.PVar):
+            env[pattern.name] = value
+        elif isinstance(pattern, ast.PWild):
+            pass
+        else:
+            if isinstance(value, TupleVal):
+                items = value.items
+            elif isinstance(value, ConstVal) and isinstance(value.value, tuple):
+                items = tuple(ConstVal(v) for v in value.value)
+            else:
+                raise self.fail(
+                    f"cannot destructure {self._describe(value)} with a tuple "
+                    "pattern in the coordination layer",
+                    loc,
+                )
+            if len(items) != len(pattern.elements):
+                raise self.fail(
+                    f"tuple pattern of size {len(pattern.elements)} does not "
+                    f"match a {len(items)}-tuple",
+                    loc,
+                )
+            for sub, item in zip(pattern.elements, items):
+                self._bind_pattern(sub, item, env, loc)
+
+    def eval(self, expr: ast.Expr, env: Dict[str, Any]) -> Any:
+        if isinstance(expr, ast.IntLit):
+            return ConstVal(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return ConstVal(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return ConstVal(expr.value)
+        if isinstance(expr, ast.StringLit):
+            return ConstVal(expr.value)
+        if isinstance(expr, ast.UnitLit):
+            return ConstVal(None)
+        if isinstance(expr, ast.Var):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.table:
+                return ExternVal(self.table[expr.name])
+            if expr.name in _SKELETON_ARITY or expr.name in _UNSUPPORTED_BUILTINS:
+                return BuiltinVal(expr.name)
+            raise self.fail(f"unbound identifier {expr.name!r}", expr.loc)
+        if isinstance(expr, ast.TupleExpr):
+            items = tuple(self.eval(e, env) for e in expr.elements)
+            if all(isinstance(i, ConstVal) for i in items):
+                return ConstVal(tuple(i.value for i in items))
+            return TupleVal(items)
+        if isinstance(expr, ast.ListExpr):
+            items = [self.eval(e, env) for e in expr.elements]
+            if all(isinstance(i, ConstVal) for i in items):
+                return ConstVal([i.value for i in items])
+            raise self.fail(
+                "list expressions in the coordination layer must be "
+                "compile-time constants",
+                expr.loc,
+            )
+        if isinstance(expr, ast.If):
+            cond = self.eval(expr.cond, env)
+            if isinstance(cond, ConstVal):
+                branch = expr.then if cond.value else expr.otherwise
+                return self.eval(branch, env)
+            raise self.fail(
+                "data-dependent control flow cannot appear in the "
+                "coordination layer; move the conditional inside a "
+                "sequential function",
+                expr.loc,
+            )
+        if isinstance(expr, ast.Fun):
+            return ClosureVal(expr.param, expr.body, dict(env))
+        if isinstance(expr, ast.Apply):
+            fn = self.eval(expr.fn, env)
+            arg = self.eval(expr.arg, env)
+            return self.apply(fn, arg, expr.loc)
+        if isinstance(expr, ast.Let):
+            if expr.recursive:
+                raise self.fail(
+                    "recursive definitions cannot appear in the coordination "
+                    "layer",
+                    expr.loc,
+                )
+            value = self.eval(expr.bound, env)
+            inner = dict(env)
+            self._bind_pattern(expr.pattern, value, inner, expr.loc)
+            return self.eval(expr.body, inner)
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            if isinstance(left, ConstVal) and isinstance(right, ConstVal):
+                return ConstVal(self._fold_binop(expr.op, left.value, right.value, expr.loc))
+            raise self.fail(
+                "arithmetic on runtime data cannot appear in the coordination "
+                "layer; move it inside a sequential function",
+                expr.loc,
+            )
+        raise AssertionError(f"unknown expression node {expr!r}")
+
+    def _fold_binop(self, op: str, lv: Any, rv: Any, loc) -> Any:
+        try:
+            if op in ("+", "+."):
+                return lv + rv
+            if op in ("-", "-."):
+                return lv - rv
+            if op in ("*", "*."):
+                return lv * rv
+            if op in ("/", "/."):
+                if rv == 0:
+                    raise self.fail("division by zero in constant expression", loc)
+                return lv // rv if isinstance(lv, int) and isinstance(rv, int) else lv / rv
+            if op == "=":
+                return lv == rv
+            if op == "<>":
+                return lv != rv
+            if op == "<":
+                return lv < rv
+            if op == ">":
+                return lv > rv
+            if op == "<=":
+                return lv <= rv
+            if op == ">=":
+                return lv >= rv
+            if op == "::":
+                return [lv] + list(rv)
+            if op == "@":
+                return list(lv) + list(rv)
+        except TypeError:
+            raise self.fail(f"cannot fold {op!r} on {lv!r} and {rv!r}", loc)
+        raise AssertionError(f"unknown operator {op!r}")
+
+
+# -- top-level driver ----------------------------------------------------------
+
+
+def extract_network(
+    program: ast.Program,
+    table: FunctionTable,
+    *,
+    entry: str = "main",
+    name: Optional[str] = None,
+    source: Optional[str] = None,
+) -> Program:
+    """Extract the process-level program from a parsed specification.
+
+    ``entry`` names the top-level binding to compile (``main`` by
+    convention).  Returns the :class:`~repro.core.ir.Program` consumed by
+    :mod:`repro.pnt.expand`.
+    """
+    ex = _Extractor(table, source)
+
+    env: Dict[str, Any] = {}
+    entry_value: Any = None
+    for phrase in program.phrases:
+        value = ex.eval(phrase.expr, env)
+        ex._bind_pattern(phrase.pattern, value, env, phrase.loc)
+        if isinstance(phrase.pattern, ast.PVar) and phrase.pattern.name == entry:
+            entry_value = value
+    if entry not in env:
+        raise ex.fail(f"no top-level binding named {entry!r}")
+    entry_value = env[entry]
+
+    prog_name = name or entry
+
+    # Case 1: `let main = itermem inp loop out z x`.
+    if isinstance(entry_value, SymVal):
+        raise ex.fail("entry point must be a function or an itermem application")
+    if isinstance(entry_value, BuiltinVal) and entry_value.name == "itermem":
+        raise ex.fail(
+            f"itermem at the entry point is missing "
+            f"{_SKELETON_ARITY['itermem'] - len(entry_value.args)} argument(s)"
+        )
+    if isinstance(entry_value, _ItermemResult):
+        return _finish_stream(ex, entry_value, prog_name)
+
+    # Case 2: a one-shot function.
+    if isinstance(entry_value, ClosureVal):
+        return _finish_one_shot(ex, entry_value, prog_name)
+    if isinstance(entry_value, ExternVal):
+        raise ex.fail(
+            f"entry point {entry!r} is a plain sequential function; "
+            "compose at least one skeleton or wrap it in a function"
+        )
+    raise ex.fail(
+        f"entry point {entry!r} must be a function or an itermem "
+        f"application, got {ex._describe(entry_value)}"
+    )
+
+
+@dataclass(frozen=True)
+class _ItermemResult:
+    """Marker produced when the extractor saturates a top-level itermem."""
+
+    inp: FunctionSpec
+    loop: ClosureVal
+    out: FunctionSpec
+    z: Any
+    x: Any
+
+
+def _finish_stream(ex: _Extractor, it: _ItermemResult, name: str) -> Program:
+    # Initial memory: a constant or a nullary init function.
+    init_fn: Optional[str] = None
+    init_value: Any = None
+    if isinstance(it.z, InitCall):
+        init_fn = it.z.spec.name
+    elif isinstance(it.z, ConstVal):
+        init_value = it.z.value
+        if init_value is None:
+            init_value = ()
+    else:
+        raise ex.fail(
+            "the initial memory of itermem must be a constant or the result "
+            f"of a nullary initialisation call, got {ex._describe(it.z)}"
+        )
+    if not isinstance(it.x, ConstVal):
+        raise ex.fail(
+            "the source argument of itermem must be a compile-time constant"
+        )
+
+    ex._in_body = True
+    state = SymVal("state")
+    item = SymVal("item")
+    env = dict(it.loop.env)
+    ex._bind_pattern(it.loop.param, TupleVal((state, item)), env, it.loop.param.loc)
+    body = it.loop.body
+    # The loop may be curried `fun (state, im) -> ...` only (one param).
+    result = ex.eval(body, env)
+    if not isinstance(result, TupleVal) or len(result.items) != 2:
+        raise ex.fail(
+            "the itermem loop body must return a pair (new_state, output)"
+        )
+    new_state = ex._materialize(result.items[0], None)
+    output = ex._materialize(result.items[1], None)
+
+    prog = Program(
+        name=name,
+        params=("state", "item"),
+        bindings=ex.bindings,
+        results=(new_state, output),
+        stream=StreamSpec(
+            inp=it.inp.name,
+            out=it.out.name,
+            init=init_fn,
+            init_value=init_value,
+            source=it.x.value,
+        ),
+        types=ex.types,
+    )
+    prog.validate(ex.table)
+    return prog
+
+
+def _finish_one_shot(ex: _Extractor, closure: ClosureVal, name: str) -> Program:
+    ex._in_body = True
+    params: List[str] = []
+    env = dict(closure.env)
+    value: Any = closure
+    while isinstance(value, ClosureVal):
+        pattern = value.param
+        if isinstance(pattern, ast.PVar):
+            params.append(pattern.name)
+            env[pattern.name] = SymVal(pattern.name)
+        elif isinstance(pattern, ast.PTuple):
+            names = ast.pattern_vars(pattern)
+            params.extend(names)
+            ex._bind_pattern(
+                pattern,
+                TupleVal(tuple(SymVal(n) for n in names)),
+                env,
+                pattern.loc,
+            )
+        else:  # wildcard
+            fresh = ex.fresh("unused_param")
+            params.append(fresh)
+        body = value.body
+        if isinstance(body, ast.Fun):
+            value = ClosureVal(body.param, body.body, env)
+        else:
+            value = None
+            break
+    result = ex.eval(body, env)
+    if isinstance(result, TupleVal):
+        results = tuple(ex._materialize(i, None) for i in result.items)
+    else:
+        results = (ex._materialize(result, None),)
+    prog = Program(
+        name=name,
+        params=tuple(params),
+        bindings=ex.bindings,
+        results=results,
+        stream=None,
+        types=ex.types,
+    )
+    prog.validate(ex.table)
+    return prog

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for the mini-ML specification language.
+
+Grammar (precedence from loosest to tightest)::
+
+    program   := phrase* EOF
+    phrase    := 'let' ['rec'] lhs '=' expr [';;']
+    lhs       := IDENT param* | pattern
+    expr      := 'let' ['rec'] lhs '=' expr 'in' expr
+               | 'fun' param+ '->' expr
+               | 'if' expr 'then' expr 'else' expr
+               | tuple
+    tuple     := cons (',' cons)*
+    cons      := append ('::' cons)?
+    append    := compare ('@' compare)*
+    compare   := additive (('='|'<>'|'<'|'>'|'<='|'>=') additive)?
+    additive  := multiplicative (('+'|'-'|'+.'|'-.') multiplicative)*
+    multiplicative := unary (('*'|'/'|'*.'|'/.') unary)*
+    unary     := '-' unary | application
+    application := atom atom*
+    atom      := literal | IDENT | '(' ')' | '(' expr ')' | '[' items? ']'
+
+``let f x y = e`` desugars to ``let f = fun x -> fun y -> e``; parameters
+may be identifiers, ``_`` or parenthesised tuple patterns (as in the
+paper's ``let loop (state, im) = ...``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse", "parse_expr"]
+
+_COMPARE_OPS = ("=", "<>", "<", ">", "<=", ">=")
+_ADD_OPS = ("+", "-", "+.", "-.")
+_MUL_OPS = ("*", "/", "*.", "/.")
+
+#: Tokens that can begin an atom — used to detect application juxtaposition.
+_ATOM_STARTS = (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING, TokenKind.IDENT)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok.kind == TokenKind.OP and tok.text in ops
+
+    def check_kw(self, *kws: str) -> bool:
+        tok = self.peek()
+        return tok.kind == TokenKind.KEYWORD and tok.text in kws
+
+    def eat_op(self, op: str) -> Token:
+        if not self.check_op(op):
+            raise ParseError(
+                f"expected {op!r}, found {self.peek().text or 'end of input'!r}",
+                self.peek().loc,
+                self.source,
+            )
+        return self.advance()
+
+    def eat_kw(self, kw: str) -> Token:
+        if not self.check_kw(kw):
+            raise ParseError(
+                f"expected keyword {kw!r}, found {self.peek().text or 'end of input'!r}",
+                self.peek().loc,
+                self.source,
+            )
+        return self.advance()
+
+    def eat_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {tok.text or 'end of input'!r}",
+                tok.loc,
+                self.source,
+            )
+        return self.advance()
+
+    # -- patterns ------------------------------------------------------------
+
+    def parse_pattern(self) -> ast.Pattern:
+        """pattern := patom (',' patom)*"""
+        first = self.parse_pattern_atom()
+        if not self.check_op(","):
+            return first
+        elements = [first]
+        while self.check_op(","):
+            self.advance()
+            elements.append(self.parse_pattern_atom())
+        return ast.PTuple(tuple(elements), first.loc)
+
+    def parse_pattern_atom(self) -> ast.Pattern:
+        tok = self.peek()
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            return ast.PVar(tok.text, tok.loc)
+        if self.check_op("_"):
+            self.advance()
+            return ast.PWild(tok.loc)
+        if self.check_op("("):
+            self.advance()
+            if self.check_op(")"):
+                self.advance()
+                return ast.PWild(tok.loc)  # unit pattern binds nothing
+            inner = self.parse_pattern()
+            self.eat_op(")")
+            return inner
+        raise ParseError(
+            f"expected a pattern, found {tok.text or 'end of input'!r}",
+            tok.loc,
+            self.source,
+        )
+
+    def parse_param(self) -> Optional[ast.Pattern]:
+        """A function parameter, or None when the next token ends the list."""
+        tok = self.peek()
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            return ast.PVar(tok.text, tok.loc)
+        if self.check_op("_"):
+            self.advance()
+            return ast.PWild(tok.loc)
+        if self.check_op("("):
+            self.advance()
+            if self.check_op(")"):
+                self.advance()
+                return ast.PWild(tok.loc)
+            inner = self.parse_pattern()
+            self.eat_op(")")
+            return inner
+        return None
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        if self.check_kw("let"):
+            return self.parse_let_expr()
+        if self.check_kw("fun"):
+            return self.parse_fun()
+        if self.check_kw("if"):
+            return self.parse_if()
+        return self.parse_tuple()
+
+    def _parse_let_binding(self) -> Tuple[ast.Pattern, ast.Expr, bool]:
+        """Common part of let-phrases and let-in: lhs '=' expr."""
+        self.eat_kw("let")
+        recursive = False
+        if self.check_kw("rec"):
+            self.advance()
+            recursive = True
+        lhs = self.parse_pattern_atom() if not self.check_op("(") else None
+        if lhs is None:
+            # Starts with '(' — a tuple-pattern binding, no params possible.
+            pattern: ast.Pattern = self.parse_pattern_atom()
+            params: List[ast.Pattern] = []
+        else:
+            pattern = lhs
+            params = []
+            while True:
+                p = self.parse_param()
+                if p is None:
+                    break
+                params.append(p)
+            if not params and self.check_op(","):
+                # Unparenthesised tuple pattern: ``let ms, st = ...``.
+                elements = [pattern]
+                while self.check_op(","):
+                    self.advance()
+                    elements.append(self.parse_pattern_atom())
+                pattern = ast.PTuple(tuple(elements), elements[0].loc)
+        self.eat_op("=")
+        body = self.parse_expr()
+        if params:
+            if not isinstance(pattern, ast.PVar):
+                raise ParseError(
+                    "only a simple name can take parameters", pattern.loc, self.source
+                )
+            for p in reversed(params):
+                body = ast.Fun(p, body, pattern.loc)
+        return pattern, body, recursive
+
+    def parse_let_expr(self) -> ast.Expr:
+        loc = self.peek().loc
+        pattern, bound, recursive = self._parse_let_binding()
+        self.eat_kw("in")
+        body = self.parse_expr()
+        return ast.Let(pattern, bound, body, recursive, loc)
+
+    def parse_fun(self) -> ast.Expr:
+        loc = self.eat_kw("fun").loc
+        params = []
+        while True:
+            p = self.parse_param()
+            if p is None:
+                break
+            params.append(p)
+        if not params:
+            raise ParseError("fun requires at least one parameter", loc, self.source)
+        self.eat_op("->")
+        body = self.parse_expr()
+        for p in reversed(params):
+            body = ast.Fun(p, body, loc)
+        return body
+
+    def parse_if(self) -> ast.Expr:
+        loc = self.eat_kw("if").loc
+        cond = self.parse_expr()
+        self.eat_kw("then")
+        then = self.parse_expr()
+        self.eat_kw("else")
+        otherwise = self.parse_expr()
+        return ast.If(cond, then, otherwise, loc)
+
+    def parse_tuple(self) -> ast.Expr:
+        first = self.parse_cons()
+        if not self.check_op(","):
+            return first
+        elements = [first]
+        while self.check_op(","):
+            self.advance()
+            elements.append(self.parse_cons())
+        return ast.TupleExpr(tuple(elements), first.loc)
+
+    def parse_cons(self) -> ast.Expr:
+        left = self.parse_append()
+        if self.check_op("::"):
+            loc = self.advance().loc
+            right = self.parse_cons()  # right-associative
+            return ast.BinOp("::", left, right, loc)
+        return left
+
+    def parse_append(self) -> ast.Expr:
+        left = self.parse_compare()
+        while self.check_op("@"):
+            loc = self.advance().loc
+            right = self.parse_compare()
+            left = ast.BinOp("@", left, right, loc)
+        return left
+
+    def parse_compare(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.check_op(*_COMPARE_OPS):
+            tok = self.advance()
+            right = self.parse_additive()
+            return ast.BinOp(tok.text, left, right, tok.loc)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.check_op(*_ADD_OPS):
+            tok = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.BinOp(tok.text, left, right, tok.loc)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.check_op(*_MUL_OPS):
+            tok = self.advance()
+            right = self.parse_unary()
+            left = ast.BinOp(tok.text, left, right, tok.loc)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check_op("-"):
+            tok = self.advance()
+            operand = self.parse_unary()
+            return ast.BinOp("-", ast.IntLit(0, tok.loc), operand, tok.loc)
+        return self.parse_application()
+
+    def parse_application(self) -> ast.Expr:
+        fn = self.parse_atom()
+        while self._at_atom_start():
+            arg = self.parse_atom()
+            fn = ast.Apply(fn, arg, fn.loc)
+        return fn
+
+    def _at_atom_start(self) -> bool:
+        tok = self.peek()
+        if tok.kind in _ATOM_STARTS:
+            return True
+        if tok.kind == TokenKind.KEYWORD and tok.text in ("true", "false"):
+            return True
+        return tok.kind == TokenKind.OP and tok.text in ("(", "[")
+
+    def parse_atom(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == TokenKind.INT:
+            self.advance()
+            return ast.IntLit(int(tok.text), tok.loc)
+        if tok.kind == TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(float(tok.text), tok.loc)
+        if tok.kind == TokenKind.STRING:
+            self.advance()
+            return ast.StringLit(tok.text, tok.loc)
+        if tok.kind == TokenKind.KEYWORD and tok.text in ("true", "false"):
+            self.advance()
+            return ast.BoolLit(tok.text == "true", tok.loc)
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            return ast.Var(tok.text, tok.loc)
+        if self.check_op("("):
+            self.advance()
+            if self.check_op(")"):
+                self.advance()
+                return ast.UnitLit(tok.loc)
+            inner = self.parse_expr()
+            self.eat_op(")")
+            return inner
+        if self.check_op("["):
+            self.advance()
+            elements: List[ast.Expr] = []
+            if not self.check_op("]"):
+                elements.append(self.parse_cons())
+                while self.check_op(";"):
+                    self.advance()
+                    elements.append(self.parse_cons())
+            self.eat_op("]")
+            return ast.ListExpr(tuple(elements), tok.loc)
+        raise ParseError(
+            f"expected an expression, found {tok.text or 'end of input'!r}",
+            tok.loc,
+            self.source,
+        )
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        phrases: List[ast.TopLet] = []
+        while self.peek().kind != TokenKind.EOF:
+            loc = self.peek().loc
+            pattern, expr, recursive = self._parse_let_binding()
+            if self.check_op(";;"):
+                self.advance()
+            phrases.append(ast.TopLet(pattern, expr, recursive, loc))
+        return ast.Program(tuple(phrases))
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a compilation unit (sequence of top-level lets)."""
+    return _Parser(tokenize(source), source).parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (testing convenience)."""
+    parser = _Parser(tokenize(source), source)
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind != TokenKind.EOF:
+        raise ParseError(f"trailing input {tok.text!r}", tok.loc, source)
+    return expr

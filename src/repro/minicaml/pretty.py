@@ -1,0 +1,123 @@
+"""Pretty-printing of mini-ML syntax trees back to source text.
+
+Used by tooling (showing the programmer what the front end understood,
+rendering inlined/transformed specifications) and by the test suite's
+parse/print round-trip checks.  The printer inserts parentheses exactly
+where the grammar's precedence requires them, so
+``parse(pretty(e)) == e`` up to source locations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from . import ast
+
+__all__ = ["pretty_expr", "pretty_pattern", "pretty_program"]
+
+# Precedence levels, loosest to tightest (mirrors the parser).
+_LET = 0
+_TUPLE = 1
+_CONS = 2
+_APPEND = 3
+_COMPARE = 4
+_ADD = 5
+_MUL = 6
+_APP = 7
+_ATOM = 8
+
+_BINOP_LEVEL = {
+    "::": _CONS,
+    "@": _APPEND,
+    "=": _COMPARE, "<>": _COMPARE, "<": _COMPARE, ">": _COMPARE,
+    "<=": _COMPARE, ">=": _COMPARE,
+    "+": _ADD, "-": _ADD, "+.": _ADD, "-.": _ADD,
+    "*": _MUL, "/": _MUL, "*.": _MUL, "/.": _MUL,
+}
+
+#: Operators that associate to the right (printed without parens on the
+#: right operand at equal precedence).
+_RIGHT_ASSOC = {"::"}
+
+
+def pretty_pattern(pattern: ast.Pattern, *, top: bool = True) -> str:
+    if isinstance(pattern, ast.PVar):
+        return pattern.name
+    if isinstance(pattern, ast.PWild):
+        return "_"
+    inner = ", ".join(pretty_pattern(p, top=False) for p in pattern.elements)
+    return inner if top else f"({inner})"
+
+
+def _wrap(text: str, level: int, context: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def pretty_expr(expr: ast.Expr, context: int = _LET) -> str:
+    """Render ``expr``, parenthesising for a surrounding ``context`` level."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.UnitLit):
+        return "()"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.TupleExpr):
+        body = ", ".join(pretty_expr(e, _CONS) for e in expr.elements)
+        return _wrap(body, _TUPLE, context)
+    if isinstance(expr, ast.ListExpr):
+        return "[" + "; ".join(pretty_expr(e, _CONS) for e in expr.elements) + "]"
+    if isinstance(expr, ast.If):
+        body = (
+            f"if {pretty_expr(expr.cond)} then {pretty_expr(expr.then)} "
+            f"else {pretty_expr(expr.otherwise)}"
+        )
+        return _wrap(body, _LET, context)
+    if isinstance(expr, ast.Fun):
+        body = f"fun {pretty_pattern(expr.param, top=False)} -> {pretty_expr(expr.body)}"
+        return _wrap(body, _LET, context)
+    if isinstance(expr, ast.Let):
+        keyword = "let rec" if expr.recursive else "let"
+        body = (
+            f"{keyword} {pretty_pattern(expr.pattern)} = "
+            f"{pretty_expr(expr.bound)} in {pretty_expr(expr.body)}"
+        )
+        return _wrap(body, _LET, context)
+    if isinstance(expr, ast.Apply):
+        fn = pretty_expr(expr.fn, _APP)
+        arg = pretty_expr(expr.arg, _ATOM)
+        return _wrap(f"{fn} {arg}", _APP, context)
+    if isinstance(expr, ast.BinOp):
+        level = _BINOP_LEVEL[expr.op]
+        if expr.op in _RIGHT_ASSOC:
+            left = pretty_expr(expr.left, level + 1)
+            right = pretty_expr(expr.right, level)
+        elif level == _COMPARE:
+            # Comparisons are non-associative: both operands need to sit
+            # strictly tighter, else `a < b < c` would not reparse.
+            left = pretty_expr(expr.left, level + 1)
+            right = pretty_expr(expr.right, level + 1)
+        else:
+            left = pretty_expr(expr.left, level)
+            right = pretty_expr(expr.right, level + 1)
+        return _wrap(f"{left} {expr.op} {right}", level, context)
+    raise AssertionError(f"unknown expression node {expr!r}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a compilation unit, one phrase per line."""
+    phrases = []
+    for phrase in program.phrases:
+        keyword = "let rec" if phrase.recursive else "let"
+        phrases.append(
+            f"{keyword} {pretty_pattern(phrase.pattern)} = "
+            f"{pretty_expr(phrase.expr)};;"
+        )
+    return "\n".join(phrases)

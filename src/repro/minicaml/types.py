@@ -1,0 +1,400 @@
+"""The Hindley–Milner type system of the mini-ML front-end.
+
+SKiPPER's custom Caml compiler "performs parsing and polymorphic
+type-checking" (section 3); the skeleton signatures of section 2 are
+polymorphic schemes (``val df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) ->
+'c -> 'a list -> 'c``).  This module provides:
+
+* the type language: variables, base/opaque constructors, ``list``,
+  tuples and arrows;
+* destructive-substitution-free unification (via a union-find on type
+  variables) with the occurs check;
+* type schemes with generalisation/instantiation (let-polymorphism);
+* a parser for the mini-ML type syntax used in C-prototype declarations
+  (``"mark list"``, ``"'c -> 'b -> 'c"``, ``"int * int"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .errors import Location, TypeError_
+
+__all__ = [
+    "Type", "TVar", "TCon", "TList", "TTuple", "TArrow",
+    "Scheme", "TypeEnv", "Unifier", "parse_type", "type_to_str",
+    "t_int", "t_float", "t_bool", "t_string", "t_unit",
+]
+
+_fresh_ids = itertools.count()
+
+
+class TVar:
+    """A unifiable type variable (mutable reference cell)."""
+
+    __slots__ = ("id", "ref", "name")
+
+    def __init__(self, name: Optional[str] = None):
+        self.id = next(_fresh_ids)
+        self.ref: Optional["Type"] = None  # set by unification
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"TVar({self.name or self.id})"
+
+
+@dataclass(frozen=True)
+class TCon:
+    """A nullary type constructor: ``int``, ``img``, ``state``...
+
+    Any lowercase identifier is accepted — application-specific C types
+    (``img``, ``window``, ``markList``) are opaque constructors that only
+    unify with themselves, exactly the discipline SKiPPER needs.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TList:
+    element: "Type"
+
+
+@dataclass(frozen=True)
+class TTuple:
+    elements: Tuple["Type", ...]
+
+
+@dataclass(frozen=True)
+class TArrow:
+    arg: "Type"
+    result: "Type"
+
+
+Type = Union[TVar, TCon, TList, TTuple, TArrow]
+
+t_int = TCon("int")
+t_float = TCon("float")
+t_bool = TCon("bool")
+t_string = TCon("string")
+t_unit = TCon("unit")
+
+
+def prune(t: Type) -> Type:
+    """Follow variable references to the representative type."""
+    while isinstance(t, TVar) and t.ref is not None:
+        t = t.ref
+    return t
+
+
+def occurs_in(var: TVar, t: Type) -> bool:
+    t = prune(t)
+    if isinstance(t, TVar):
+        return t is var
+    if isinstance(t, TList):
+        return occurs_in(var, t.element)
+    if isinstance(t, TTuple):
+        return any(occurs_in(var, e) for e in t.elements)
+    if isinstance(t, TArrow):
+        return occurs_in(var, t.arg) or occurs_in(var, t.result)
+    return False
+
+
+def free_vars(t: Type) -> List[TVar]:
+    """Free type variables of ``t`` (in first-occurrence order)."""
+    t = prune(t)
+    if isinstance(t, TVar):
+        return [t]
+    if isinstance(t, TList):
+        return free_vars(t.element)
+    if isinstance(t, TTuple):
+        out: List[TVar] = []
+        for e in t.elements:
+            for v in free_vars(e):
+                if v not in out:
+                    out.append(v)
+        return out
+    if isinstance(t, TArrow):
+        out = free_vars(t.arg)
+        for v in free_vars(t.result):
+            if v not in out:
+                out.append(v)
+        return out
+    return []
+
+
+class Unifier:
+    """Unification with occurs check.
+
+    Stateless apart from the variable reference cells; kept as a class so
+    error messages can carry source context.
+    """
+
+    def __init__(self, source: Optional[str] = None):
+        self.source = source
+
+    def unify(self, a: Type, b: Type, loc: Optional[Location] = None) -> None:
+        a, b = prune(a), prune(b)
+        if a is b:
+            return
+        if isinstance(a, TVar):
+            if occurs_in(a, b):
+                raise TypeError_(
+                    f"occurs check: cannot construct the infinite type "
+                    f"{type_to_str(a)} = {type_to_str(b)}",
+                    loc,
+                    self.source,
+                )
+            a.ref = b
+            return
+        if isinstance(b, TVar):
+            self.unify(b, a, loc)
+            return
+        if isinstance(a, TCon) and isinstance(b, TCon):
+            if a.name != b.name:
+                self._mismatch(a, b, loc)
+            return
+        if isinstance(a, TList) and isinstance(b, TList):
+            self.unify(a.element, b.element, loc)
+            return
+        if isinstance(a, TTuple) and isinstance(b, TTuple):
+            if len(a.elements) != len(b.elements):
+                self._mismatch(a, b, loc)
+            for ea, eb in zip(a.elements, b.elements):
+                self.unify(ea, eb, loc)
+            return
+        if isinstance(a, TArrow) and isinstance(b, TArrow):
+            self.unify(a.arg, b.arg, loc)
+            self.unify(a.result, b.result, loc)
+            return
+        self._mismatch(a, b, loc)
+
+    def _mismatch(self, a: Type, b: Type, loc: Optional[Location]) -> None:
+        raise TypeError_(
+            f"type mismatch: {type_to_str(a)} vs {type_to_str(b)}",
+            loc,
+            self.source,
+        )
+
+
+@dataclass
+class Scheme:
+    """A polymorphic type scheme: ``forall quantified. body``."""
+
+    quantified: Tuple[TVar, ...]
+    body: Type
+
+    @classmethod
+    def monomorphic(cls, t: Type) -> "Scheme":
+        return cls((), t)
+
+    def instantiate(self) -> Type:
+        """A fresh copy of the body with quantified variables renamed."""
+        mapping: Dict[int, TVar] = {v.id: TVar(v.name) for v in self.quantified}
+
+        def copy(t: Type) -> Type:
+            t = prune(t)
+            if isinstance(t, TVar):
+                return mapping.get(t.id, t)
+            if isinstance(t, TList):
+                return TList(copy(t.element))
+            if isinstance(t, TTuple):
+                return TTuple(tuple(copy(e) for e in t.elements))
+            if isinstance(t, TArrow):
+                return TArrow(copy(t.arg), copy(t.result))
+            return t
+
+        return copy(self.body)
+
+
+class TypeEnv:
+    """A persistent-ish typing environment (copy-on-extend)."""
+
+    def __init__(self, bindings: Optional[Dict[str, Scheme]] = None):
+        self._bindings: Dict[str, Scheme] = dict(bindings or {})
+
+    def lookup(self, name: str) -> Optional[Scheme]:
+        return self._bindings.get(name)
+
+    def extend(self, name: str, scheme: Scheme) -> "TypeEnv":
+        child = TypeEnv(self._bindings)
+        child._bindings[name] = scheme
+        return child
+
+    def extend_many(self, items: Sequence[Tuple[str, Scheme]]) -> "TypeEnv":
+        child = TypeEnv(self._bindings)
+        for name, scheme in items:
+            child._bindings[name] = scheme
+        return child
+
+    def free_vars(self) -> List[TVar]:
+        out: List[TVar] = []
+        for scheme in self._bindings.values():
+            quantified = set(id(v) for v in scheme.quantified)
+            for v in free_vars(scheme.body):
+                if id(v) not in quantified and v not in out:
+                    out.append(v)
+        return out
+
+    def generalize(self, t: Type) -> Scheme:
+        """Quantify the variables of ``t`` not free in the environment."""
+        env_vars = {id(v) for v in self.free_vars()}
+        quantified = tuple(v for v in free_vars(t) if id(v) not in env_vars)
+        return Scheme(quantified, t)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+
+# -- pretty printing -----------------------------------------------------
+
+
+def type_to_str(t: Type) -> str:
+    """Render a type in Caml syntax, naming variables 'a, 'b, ... stably."""
+    names: Dict[int, str] = {}
+
+    def var_name(v: TVar) -> str:
+        if v.id not in names:
+            k = len(names)
+            suffix = "" if k < 26 else str(k // 26)
+            names[v.id] = f"'{chr(ord('a') + k % 26)}{suffix}"
+        return names[v.id]
+
+    def render(t: Type, *, arrow_lhs: bool = False, in_tuple: bool = False) -> str:
+        t = prune(t)
+        if isinstance(t, TVar):
+            return var_name(t)
+        if isinstance(t, TCon):
+            return t.name
+        if isinstance(t, TList):
+            inner = render(t.element, in_tuple=True)
+            return f"{inner} list"
+        if isinstance(t, TTuple):
+            body = " * ".join(render(e, arrow_lhs=True, in_tuple=True)
+                              for e in t.elements)
+            return f"({body})" if in_tuple or arrow_lhs else body
+        if isinstance(t, TArrow):
+            lhs = render(t.arg, arrow_lhs=True)
+            rhs = render(t.result)
+            body = f"{lhs} -> {rhs}"
+            return f"({body})" if arrow_lhs or in_tuple else body
+        raise AssertionError(f"unknown type {t!r}")
+
+    return render(t)
+
+
+# -- type syntax parser ---------------------------------------------------
+
+
+class _TypeParser:
+    """Parses ``'c -> 'b -> 'c``, ``mark list``, ``int * int``, etc."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+        self.vars: Dict[str, TVar] = {}
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens: List[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif text.startswith("->", i):
+                tokens.append("->")
+                i += 2
+            elif ch in "()*":
+                tokens.append(ch)
+                i += 1
+            elif ch == "'":
+                j = i + 1
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+            elif ch.isalpha() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+            else:
+                raise TypeError_(f"bad character {ch!r} in type {text!r}")
+        return tokens
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> str:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def parse(self) -> Type:
+        t = self.parse_arrow()
+        if self.peek() is not None:
+            raise TypeError_(f"trailing {self.peek()!r} in type {self.text!r}")
+        return t
+
+    def parse_arrow(self) -> Type:
+        left = self.parse_tuple()
+        if self.peek() == "->":
+            self.advance()
+            return TArrow(left, self.parse_arrow())
+        return left
+
+    def parse_tuple(self) -> Type:
+        first = self.parse_postfix()
+        if self.peek() != "*":
+            return first
+        elements = [first]
+        while self.peek() == "*":
+            self.advance()
+            elements.append(self.parse_postfix())
+        return TTuple(tuple(elements))
+
+    def parse_postfix(self) -> Type:
+        t = self.parse_atom()
+        while self.peek() == "list":
+            self.advance()
+            t = TList(t)
+        return t
+
+    def parse_atom(self) -> Type:
+        tok = self.peek()
+        if tok is None:
+            raise TypeError_(f"unexpected end of type {self.text!r}")
+        if tok == "(":
+            self.advance()
+            inner = self.parse_arrow()
+            if self.peek() != ")":
+                raise TypeError_(f"missing ')' in type {self.text!r}")
+            self.advance()
+            return inner
+        if tok.startswith("'"):
+            self.advance()
+            if tok not in self.vars:
+                self.vars[tok] = TVar(tok)
+            return self.vars[tok]
+        if tok == "list":
+            raise TypeError_(f"'list' needs an element type in {self.text!r}")
+        self.advance()
+        return TCon(tok)
+
+
+def parse_type(text: str, vars: Optional[Dict[str, TVar]] = None) -> Type:
+    """Parse mini-ML type syntax into a :class:`Type`.
+
+    Variables written ``'a`` are shared within one call; pass a ``vars``
+    dict to share them across several calls (e.g. the ins and outs of one
+    C prototype).
+    """
+    parser = _TypeParser(text)
+    if vars is not None:
+        parser.vars = vars
+    return parser.parse()

@@ -1,0 +1,25 @@
+"""Process network templates and skeleton expansion."""
+
+from .graph import Edge, GraphError, Process, ProcessGraph, ProcessKind
+from .templates import (
+    FarmPorts,
+    ScmPorts,
+    instantiate_df,
+    instantiate_scm,
+    instantiate_tf,
+)
+from .expand import expand_program
+
+__all__ = [
+    "Edge",
+    "GraphError",
+    "Process",
+    "ProcessGraph",
+    "ProcessKind",
+    "FarmPorts",
+    "ScmPorts",
+    "instantiate_df",
+    "instantiate_scm",
+    "instantiate_tf",
+    "expand_program",
+]

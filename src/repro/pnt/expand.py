@@ -1,0 +1,236 @@
+"""Skeleton expansion: program IR → flat process graph.
+
+The second half of SKiPPER's compiler front (Fig. 2): every
+:class:`~repro.core.ir.SkelApply` is replaced by an instance of its
+process network template, every :class:`~repro.core.ir.Apply` by a
+single sequential process, and the optional ``itermem`` wrapper by the
+INPUT/MEM/OUTPUT triple with the state feedback edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.functions import FunctionTable
+from ..core.ir import Apply, Const, IRError, Program, SkelApply
+from .graph import Edge, Process, ProcessGraph, ProcessKind
+from .templates import Port, instantiate_df, instantiate_scm, instantiate_tf
+
+__all__ = ["expand_program"]
+
+
+def _value_type(program: Program, name: str) -> str:
+    return program.types.get(name, "'a")
+
+
+def expand_program(
+    program: Program, table: Optional[FunctionTable] = None
+) -> ProcessGraph:
+    """Expand a validated program into its process network.
+
+    The result passes :meth:`~repro.pnt.graph.ProcessGraph.validate` and
+    is the input of the SynDEx mapping stage.
+    """
+    program.validate(table)
+    graph = ProcessGraph(program.name)
+    # Where each IR value is produced: value name -> (process, out port).
+    sources: Dict[str, Port] = {}
+
+    # -- endpoints ----------------------------------------------------------
+    if program.stream is not None:
+        spec = program.stream
+        inp = graph.add_process(
+            Process(
+                id="stream.input",
+                kind=ProcessKind.INPUT,
+                func=spec.inp,
+                n_in=0,
+                n_out=1,
+                params={"source": spec.source},
+            )
+        )
+        mem = graph.add_process(
+            Process(
+                id="stream.mem",
+                kind=ProcessKind.MEM,
+                n_in=1,
+                n_out=1,
+                params=(
+                    {"init_func": spec.init}
+                    if spec.init is not None
+                    else {"init_value": spec.init_value}
+                ),
+            )
+        )
+        state_name, item_name = program.params
+        sources[state_name] = (mem.id, 0)
+        sources[item_name] = (inp.id, 0)
+    else:
+        for param in program.params:
+            proc = graph.add_process(
+                Process(
+                    id=f"in.{param}",
+                    kind=ProcessKind.INPUT,
+                    n_in=0,
+                    n_out=1,
+                    params={"param": param},
+                )
+            )
+            sources[param] = (proc.id, 0)
+
+    # -- body ---------------------------------------------------------------
+    skel_counter = 0
+    for binding in program.bindings:
+        if isinstance(binding, Const):
+            proc = graph.add_process(
+                Process(
+                    id=f"const.{binding.out}",
+                    kind=ProcessKind.CONST,
+                    n_in=0,
+                    n_out=1,
+                    params={"value": binding.value},
+                )
+            )
+            sources[binding.out] = (proc.id, 0)
+        elif isinstance(binding, Apply):
+            proc = graph.add_process(
+                Process(
+                    id=f"fn.{binding.outs[0]}",
+                    kind=ProcessKind.APPLY,
+                    func=binding.func,
+                    n_in=len(binding.args),
+                    n_out=len(binding.outs),
+                )
+            )
+            for port, arg in enumerate(binding.args):
+                src, src_port = sources[arg]
+                graph.add_edge(
+                    src, proc.id,
+                    src_port=src_port, dst_port=port,
+                    type=_value_type(program, arg),
+                )
+            for port, out in enumerate(binding.outs):
+                sources[out] = (proc.id, port)
+        elif isinstance(binding, SkelApply):
+            sid = f"{binding.kind}{skel_counter}"
+            skel_counter += 1
+            out_name = binding.outs[0]
+            if binding.kind in ("df", "tf"):
+                stamp = instantiate_df if binding.kind == "df" else instantiate_tf
+                ports = stamp(
+                    graph,
+                    sid,
+                    binding.degree,
+                    binding.funcs["comp"],
+                    binding.funcs["acc"],
+                )
+                z_name, xs_name = binding.args
+                zsrc = sources[z_name]
+                xsrc = sources[xs_name]
+                graph.add_edge(
+                    zsrc[0], ports.z[0],
+                    src_port=zsrc[1], dst_port=ports.z[1],
+                    type=_value_type(program, z_name),
+                )
+                graph.add_edge(
+                    xsrc[0], ports.xs[0],
+                    src_port=xsrc[1], dst_port=ports.xs[1],
+                    type=_value_type(program, xs_name),
+                )
+                sources[out_name] = ports.result
+            else:  # scm
+                ports = instantiate_scm(
+                    graph,
+                    sid,
+                    binding.degree,
+                    binding.funcs["split"],
+                    binding.funcs["comp"],
+                    binding.funcs["merge"],
+                )
+                (x_name,) = binding.args
+                xsrc = sources[x_name]
+                x_type = _value_type(program, x_name)
+                graph.add_edge(
+                    xsrc[0], ports.x_split[0],
+                    src_port=xsrc[1], dst_port=ports.x_split[1], type=x_type,
+                )
+                graph.add_edge(
+                    xsrc[0], ports.x_merge[0],
+                    src_port=xsrc[1], dst_port=ports.x_merge[1], type=x_type,
+                )
+                sources[out_name] = ports.result
+        else:
+            raise IRError(f"unknown binding {binding!r}")
+
+    # -- results -------------------------------------------------------------
+    if program.stream is not None:
+        state_result, y_result = program.results
+        ssrc = sources[state_result]
+        graph.add_edge(
+            ssrc[0], "stream.mem",
+            src_port=ssrc[1], dst_port=0,
+            type=_value_type(program, state_result),
+            loop=True,
+        )
+        out = graph.add_process(
+            Process(
+                id="stream.output",
+                kind=ProcessKind.OUTPUT,
+                func=program.stream.out,
+                n_in=1,
+                n_out=0,
+            )
+        )
+        ysrc = sources[y_result]
+        graph.add_edge(
+            ysrc[0], out.id,
+            src_port=ysrc[1], dst_port=0,
+            type=_value_type(program, y_result),
+        )
+    else:
+        for i, result in enumerate(program.results):
+            out = graph.add_process(
+                Process(
+                    id=f"out.{result}",
+                    kind=ProcessKind.OUTPUT,
+                    n_in=1,
+                    n_out=0,
+                    params={"index": i},
+                )
+            )
+            rsrc = sources[result]
+            graph.add_edge(
+                rsrc[0], out.id,
+                src_port=rsrc[1], dst_port=0,
+                type=_value_type(program, result),
+            )
+
+    _discard_dangling_outputs(graph)
+    graph.validate()
+    return graph
+
+
+def _discard_dangling_outputs(graph: ProcessGraph) -> None:
+    """Attach discard sinks to unused output ports.
+
+    A sequential function may declare several ``/*out*/`` parameters of
+    which the program uses only some; the executive still has to receive
+    (and drop) the unused ones.
+    """
+    used = {(e.src, e.src_port) for e in graph.edges}
+    for proc in list(graph.processes.values()):
+        if proc.kind == ProcessKind.OUTPUT:
+            continue
+        for port in range(proc.n_out):
+            if (proc.id, port) not in used:
+                sink = graph.add_process(
+                    Process(
+                        id=f"discard.{proc.id}.{port}",
+                        kind=ProcessKind.OUTPUT,
+                        n_in=1,
+                        n_out=0,
+                        params={"discard": True},
+                        colocate_with=proc.id,
+                    )
+                )
+                graph.add_edge(proc.id, sink.id, src_port=port)

@@ -1,0 +1,320 @@
+"""The process-graph IR — SKiPPER's target-independent parallel program.
+
+The compiler "expands the annotated abstract syntax tree into a (target
+independent) parallel process network ... whose nodes are associated to
+user computing functions and/or skeleton control processes and edges
+indicate communication" (section 3).  This module is that network:
+processes with typed ports, data edges, and the loop (memory feedback)
+edge of ``itermem``.
+
+Process kinds mirror the paper's vocabulary:
+
+* ``APPLY`` — a user sequential function;
+* ``MASTER`` / ``WORKER`` — the farm control processes of ``df``/``tf``;
+* ``ROUTER_MW`` / ``ROUTER_WM`` — the ``M->W`` / ``W->M`` routing
+  processes of Fig. 1;
+* ``SPLIT`` / ``MERGE`` — the geometric decomposition processes of
+  ``scm``;
+* ``INPUT`` / ``OUTPUT`` — stream (or one-shot) endpoints;
+* ``MEM`` — the ``itermem`` memory process of Fig. 4;
+* ``CONST`` — a compile-time constant source.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["ProcessKind", "Process", "Edge", "ProcessGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """A malformed process graph."""
+
+
+class ProcessKind:
+    """Process kind tags."""
+
+    APPLY = "apply"
+    MASTER = "master"
+    WORKER = "worker"
+    ROUTER_MW = "router_mw"
+    ROUTER_WM = "router_wm"
+    SPLIT = "split"
+    MERGE = "merge"
+    INPUT = "input"
+    OUTPUT = "output"
+    MEM = "mem"
+    CONST = "const"
+
+    ALL = (
+        APPLY, MASTER, WORKER, ROUTER_MW, ROUTER_WM, SPLIT, MERGE,
+        INPUT, OUTPUT, MEM, CONST,
+    )
+
+    #: Kinds implementing skeleton control (not user code).
+    CONTROL = (MASTER, ROUTER_MW, ROUTER_WM, SPLIT, MERGE, MEM, CONST)
+
+
+@dataclass
+class Process:
+    """A node of the process network.
+
+    Attributes:
+        id: unique name, e.g. ``df0.worker2``.
+        kind: one of :class:`ProcessKind`.
+        func: name of the sequential function the process runs (for
+            ``APPLY``/``WORKER``/``SPLIT``/``MERGE``/``INPUT``/``OUTPUT``
+            and the ``MASTER``'s accumulator), or None for pure control.
+        n_in / n_out: port counts.
+        skeleton: id of the skeleton instance this process belongs to
+            (None for plain function/stream processes).
+        params: static parameters (degree, constant value, source arg...).
+        colocate_with: placement hint — id of a process this one should
+            share a processor with (routers ride with their worker).
+    """
+
+    id: str
+    kind: str
+    func: Optional[str] = None
+    n_in: int = 1
+    n_out: int = 1
+    skeleton: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    colocate_with: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ProcessKind.ALL:
+            raise GraphError(f"unknown process kind {self.kind!r}")
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in ProcessKind.CONTROL
+
+    def __repr__(self) -> str:
+        func = f" func={self.func}" if self.func else ""
+        return f"Process({self.id}:{self.kind}{func})"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A communication edge ``src.port -> dst.port``.
+
+    ``loop=True`` marks the ``itermem`` state feedback (carried across
+    iterations, so it does not participate in the intra-iteration DAG).
+    ``type`` is the mini-ML type string of the data carried, when known.
+    """
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    type: str = "'a"
+    loop: bool = False
+
+    def __repr__(self) -> str:
+        tag = " loop" if self.loop else ""
+        return (
+            f"Edge({self.src}[{self.src_port}] -> "
+            f"{self.dst}[{self.dst_port}]: {self.type}{tag})"
+        )
+
+
+class ProcessGraph:
+    """A mutable process network with structural validation."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.processes: Dict[str, Process] = {}
+        self.edges: List[Edge] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_process(self, process: Process) -> Process:
+        if process.id in self.processes:
+            raise GraphError(f"duplicate process id {process.id!r}")
+        self.processes[process.id] = process
+        return process
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        *,
+        src_port: int = 0,
+        dst_port: int = 0,
+        type: str = "'a",
+        loop: bool = False,
+    ) -> Edge:
+        if src not in self.processes:
+            raise GraphError(f"edge source {src!r} does not exist")
+        if dst not in self.processes:
+            raise GraphError(f"edge target {dst!r} does not exist")
+        src_proc, dst_proc = self.processes[src], self.processes[dst]
+        if not (0 <= src_port < src_proc.n_out):
+            raise GraphError(
+                f"{src} has {src_proc.n_out} output port(s); no port {src_port}"
+            )
+        if not (0 <= dst_port < dst_proc.n_in):
+            raise GraphError(
+                f"{dst} has {dst_proc.n_in} input port(s); no port {dst_port}"
+            )
+        edge = Edge(src, src_port, dst, dst_port, type, loop)
+        self.edges.append(edge)
+        return edge
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self.processes
+
+    def __getitem__(self, pid: str) -> Process:
+        return self.processes[pid]
+
+    def in_edges(self, pid: str) -> List[Edge]:
+        return [e for e in self.edges if e.dst == pid]
+
+    def out_edges(self, pid: str) -> List[Edge]:
+        return [e for e in self.edges if e.src == pid]
+
+    def predecessors(self, pid: str) -> List[str]:
+        return [e.src for e in self.in_edges(pid)]
+
+    def successors(self, pid: str) -> List[str]:
+        return [e.dst for e in self.out_edges(pid)]
+
+    def by_kind(self, kind: str) -> List[Process]:
+        return [p for p in self.processes.values() if p.kind == kind]
+
+    def skeleton_processes(self, skeleton: str) -> List[Process]:
+        return [p for p in self.processes.values() if p.skeleton == skeleton]
+
+    def control_process_count(self) -> int:
+        return sum(1 for p in self.processes.values() if p.is_control)
+
+    # -- structure ----------------------------------------------------------
+
+    def _group_of(self, pid: str) -> str:
+        """Condensation key: a skeleton instance is one supernode.
+
+        Farm skeletons contain internal dispatch/collect cycles
+        (master -> router -> worker -> router -> master); those protocols
+        terminate by construction, so acyclicity is required of the
+        *condensed* graph where each skeleton instance is a single node.
+        """
+        proc = self.processes[pid]
+        return f"skel:{proc.skeleton}" if proc.skeleton else f"proc:{pid}"
+
+    def group_topological_order(self) -> List[List[str]]:
+        """Groups (skeleton instances / single processes) in dependency
+        order, ignoring loop edges.
+
+        Raises :class:`GraphError` when the condensed non-loop edges
+        contain a cycle (a structurally deadlocked network).
+        """
+        members: Dict[str, List[str]] = {}
+        for pid in self.processes:
+            members.setdefault(self._group_of(pid), []).append(pid)
+        indegree: Dict[str, int] = {g: 0 for g in members}
+        succs: Dict[str, Set[str]] = {g: set() for g in members}
+        for e in self.edges:
+            if e.loop:
+                continue
+            gs, gd = self._group_of(e.src), self._group_of(e.dst)
+            if gs != gd and gd not in succs[gs]:
+                succs[gs].add(gd)
+                indegree[gd] += 1
+        ready = sorted(g for g, d in indegree.items() if d == 0)
+        order: List[List[str]] = []
+        seen = 0
+        while ready:
+            group = ready.pop(0)
+            order.append(sorted(members[group]))
+            seen += 1
+            for nxt in sorted(succs[group]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+            ready.sort()
+        if seen != len(members):
+            stuck = sorted(g for g, d in indegree.items() if d > 0)
+            raise GraphError(f"cycle through groups {stuck} (non-loop edges)")
+        return order
+
+    def topological_order(self) -> List[str]:
+        """Process ids in (condensed) dependency order, ignoring loop edges."""
+        return [pid for group in self.group_topological_order() for pid in group]
+
+    def validate(self) -> None:
+        """Structural invariants.
+
+        * every input port of every process has exactly one incoming edge
+          (a process fires when all its inputs arrive);
+        * output ports may fan out but must not dangle on non-sink kinds;
+        * non-loop edges form a DAG.
+        """
+        fed: Dict[Tuple[str, int], int] = {}
+        for e in self.edges:
+            fed[(e.dst, e.dst_port)] = fed.get((e.dst, e.dst_port), 0) + 1
+        for pid, proc in self.processes.items():
+            for port in range(proc.n_in):
+                count = fed.get((pid, port), 0)
+                if count == 0:
+                    raise GraphError(f"{pid} input port {port} is not connected")
+                if count > 1:
+                    raise GraphError(
+                        f"{pid} input port {port} has {count} incoming edges"
+                    )
+        used_out: Set[Tuple[str, int]] = {(e.src, e.src_port) for e in self.edges}
+        for pid, proc in self.processes.items():
+            if proc.kind == ProcessKind.OUTPUT:
+                continue
+            for port in range(proc.n_out):
+                if (pid, port) not in used_out:
+                    raise GraphError(f"{pid} output port {port} dangles")
+        self.topological_order()  # raises on cycles
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (for documentation and debugging)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        shape = {
+            ProcessKind.APPLY: "box",
+            ProcessKind.MASTER: "house",
+            ProcessKind.WORKER: "ellipse",
+            ProcessKind.ROUTER_MW: "cds",
+            ProcessKind.ROUTER_WM: "cds",
+            ProcessKind.SPLIT: "triangle",
+            ProcessKind.MERGE: "invtriangle",
+            ProcessKind.INPUT: "parallelogram",
+            ProcessKind.OUTPUT: "parallelogram",
+            ProcessKind.MEM: "box3d",
+            ProcessKind.CONST: "note",
+        }
+        for pid, proc in sorted(self.processes.items()):
+            label = pid if proc.func is None else f"{pid}\\n{proc.func}"
+            lines.append(
+                f'  "{pid}" [shape={shape[proc.kind]}, label="{label}"];'
+            )
+        for e in self.edges:
+            style = ", style=dashed" if e.loop else ""
+            lines.append(
+                f'  "{e.src}" -> "{e.dst}" [label="{e.type}"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        kinds: Dict[str, int] = {}
+        for p in self.processes.values():
+            kinds[p.kind] = kinds.get(p.kind, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return (
+            f"{self.name}: {len(self.processes)} processes "
+            f"({parts}), {len(self.edges)} edges"
+        )

@@ -1,0 +1,216 @@
+"""Process network templates (PNTs) — the operational skeleton definitions.
+
+"For this a classical representation of skeletons as process network
+templates is used.  PNTs are incomplete graph descriptions, which are
+parametric in the degree of parallelism ..., in the sequential function
+computed by some of their nodes and in the data types attached to their
+edges" (section 2).
+
+Each ``instantiate_*`` function stamps one template into a
+:class:`~repro.pnt.graph.ProcessGraph`, returning the (process, port)
+pairs where the instance consumes its data arguments and produces its
+result.  The ``df`` template follows the paper's Fig. 1: a Master
+dispatching packets to ``n`` Workers, each flanked by ``M->W`` and
+``W->M`` router processes (co-located with their worker, as on the
+ring-connected Transvision machine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import Process, ProcessGraph, ProcessKind
+
+__all__ = [
+    "Port",
+    "instantiate_df",
+    "instantiate_tf",
+    "instantiate_scm",
+    "FarmPorts",
+    "ScmPorts",
+]
+
+#: An attachment point: (process id, port index).
+Port = Tuple[str, int]
+
+
+class FarmPorts:
+    """Attachment points of a farm (df/tf) instance."""
+
+    def __init__(self, z: Port, xs: Port, result: Port):
+        self.z = z
+        self.xs = xs
+        self.result = result
+
+
+class ScmPorts:
+    """Attachment points of an scm instance."""
+
+    def __init__(self, x_split: Port, x_merge: Port, result: Port):
+        self.x_split = x_split
+        self.x_merge = x_merge
+        self.result = result
+
+
+def _instantiate_farm(
+    graph: ProcessGraph,
+    sid: str,
+    kind: str,
+    degree: int,
+    comp: str,
+    acc: str,
+    *,
+    item_type: str = "'a",
+    partial_type: str = "'b",
+    result_type: str = "'c",
+) -> FarmPorts:
+    """Common df/tf template (Fig. 1).
+
+    Master ports — in: 0=z, 1=xs, 2..2+n-1=collect(i); out: 0=result,
+    1..n=dispatch(i).  Each worker is wrapped by its two routers.
+    For ``tf`` the ``W->M`` edge carries (results, subtasks) pairs that
+    the master folds and re-dispatches.
+    """
+    master = graph.add_process(
+        Process(
+            id=f"{sid}.master",
+            kind=ProcessKind.MASTER,
+            func=acc,
+            n_in=2 + degree,
+            n_out=1 + degree,
+            skeleton=sid,
+            params={"degree": degree, "farm_kind": kind, "comp": comp},
+        )
+    )
+    worker_out_type = (
+        f"{partial_type} list * {item_type} list" if kind == "tf" else partial_type
+    )
+    for i in range(degree):
+        worker = graph.add_process(
+            Process(
+                id=f"{sid}.worker{i}",
+                kind=ProcessKind.WORKER,
+                func=comp,
+                n_in=1,
+                n_out=1,
+                skeleton=sid,
+                params={"index": i, "farm_kind": kind},
+            )
+        )
+        mw = graph.add_process(
+            Process(
+                id=f"{sid}.mw{i}",
+                kind=ProcessKind.ROUTER_MW,
+                n_in=1,
+                n_out=1,
+                skeleton=sid,
+                colocate_with=worker.id,
+                params={"index": i},
+            )
+        )
+        wm = graph.add_process(
+            Process(
+                id=f"{sid}.wm{i}",
+                kind=ProcessKind.ROUTER_WM,
+                n_in=1,
+                n_out=1,
+                skeleton=sid,
+                colocate_with=worker.id,
+                params={"index": i},
+            )
+        )
+        graph.add_edge(master.id, mw.id, src_port=1 + i, type=item_type)
+        graph.add_edge(mw.id, worker.id, type=item_type)
+        graph.add_edge(worker.id, wm.id, type=worker_out_type)
+        graph.add_edge(wm.id, master.id, dst_port=2 + i, type=worker_out_type)
+    return FarmPorts(
+        z=(master.id, 0),
+        xs=(master.id, 1),
+        result=(master.id, 0),
+    )
+
+
+def instantiate_df(
+    graph: ProcessGraph,
+    sid: str,
+    degree: int,
+    comp: str,
+    acc: str,
+    **types,
+) -> FarmPorts:
+    """Stamp the Data Farming template of Fig. 1."""
+    return _instantiate_farm(graph, sid, "df", degree, comp, acc, **types)
+
+
+def instantiate_tf(
+    graph: ProcessGraph,
+    sid: str,
+    degree: int,
+    comp: str,
+    acc: str,
+    **types,
+) -> FarmPorts:
+    """Stamp the Task Farming template (df generalised with feedback)."""
+    return _instantiate_farm(graph, sid, "tf", degree, comp, acc, **types)
+
+
+def instantiate_scm(
+    graph: ProcessGraph,
+    sid: str,
+    degree: int,
+    split: str,
+    comp: str,
+    merge: str,
+    *,
+    input_type: str = "'a",
+    piece_type: str = "'b",
+    partial_type: str = "'c",
+    result_type: str = "'d",
+) -> ScmPorts:
+    """Stamp the Split-Compute-Merge template.
+
+    Split fans the input out to ``degree`` workers; Merge receives the
+    original input (port 0, to recover global geometry) plus one partial
+    result per worker.
+    """
+    split_p = graph.add_process(
+        Process(
+            id=f"{sid}.split",
+            kind=ProcessKind.SPLIT,
+            func=split,
+            n_in=1,
+            n_out=degree,
+            skeleton=sid,
+            params={"degree": degree},
+        )
+    )
+    merge_p = graph.add_process(
+        Process(
+            id=f"{sid}.merge",
+            kind=ProcessKind.MERGE,
+            func=merge,
+            n_in=1 + degree,
+            n_out=1,
+            skeleton=sid,
+            params={"degree": degree},
+        )
+    )
+    for i in range(degree):
+        worker = graph.add_process(
+            Process(
+                id=f"{sid}.worker{i}",
+                kind=ProcessKind.WORKER,
+                func=comp,
+                n_in=1,
+                n_out=1,
+                skeleton=sid,
+                params={"index": i, "farm_kind": "scm"},
+            )
+        )
+        graph.add_edge(split_p.id, worker.id, src_port=i, type=piece_type)
+        graph.add_edge(worker.id, merge_p.id, dst_port=1 + i, type=partial_type)
+    return ScmPorts(
+        x_split=(split_p.id, 0),
+        x_merge=(merge_p.id, 0),
+        result=(merge_p.id, 0),
+    )

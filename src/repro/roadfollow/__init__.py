@@ -1,0 +1,24 @@
+"""The road-following application (the paper's second demonstration)."""
+
+from .scene import RoadScene, RoadVideo
+from .follower import (
+    FollowerConfig,
+    LaneEstimate,
+    cluster_peaks,
+    select_boundaries,
+    update_lane,
+)
+from .app import ROAD_SPEC, RoadFollowApp, build_road_app
+
+__all__ = [
+    "RoadScene",
+    "RoadVideo",
+    "FollowerConfig",
+    "LaneEstimate",
+    "cluster_peaks",
+    "select_boundaries",
+    "update_lane",
+    "ROAD_SPEC",
+    "RoadFollowApp",
+    "build_road_app",
+]

@@ -1,0 +1,175 @@
+"""The road-following application, SKiPPER-style.
+
+The paper's second demonstrated application: "road-following by white
+line detection" [6].  Structure, mirroring the vehicle tracker:
+
+* ``itermem`` carries the lane estimate from frame to frame;
+* the frame splits into horizontal bands farmed by ``df``: each worker
+  detects edges and Hough-votes *locally*, shipping only its top peaks
+  (the full accumulators would swamp the serial links — ~3 MB each);
+* a sequential ``steer`` function clusters the per-band peaks into
+  whole-image lines, selects the lane boundaries, and produces the
+  steering signal plus the next lane estimate.
+
+Costs are T9000-calibrated like the tracker's: per-band edge detection
+plus voting dominates, sized so four bands keep a 128x128 stream inside
+the 25 Hz frame budget on a small ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.functions import FunctionTable
+from ..vision.geometry import Domain, split_rows
+from ..vision.image import Image
+from ..vision.lines import Line, hough_accumulate, hough_peaks
+from ..vision.ops import gradient_magnitude, threshold
+from .follower import FollowerConfig, LaneEstimate, cluster_peaks, update_lane
+from .scene import RoadScene, RoadVideo
+
+__all__ = ["RoadFollowApp", "ROAD_SPEC", "build_road_app"]
+
+ROAD_SPEC = """
+let nbands = {nbands};;
+let l0 = init_lane ();;
+let loop (lane, im) =
+  let bands = split_frame nbands lane im in
+  let zero = no_peaks () in
+  let peaks = df nbands vote_band gather_peaks zero bands in
+  let off, lane2 = steer lane peaks in
+  (lane2, off);;
+let main = itermem read_road loop report_offset l0 ({nrows},{ncols});;
+"""
+
+# T9000-class calibration (µs).
+READ_COST = 1_200.0
+SPLIT_FIXED = 300.0
+SPLIT_PER_PIXEL = 0.05
+VOTE_FIXED = 800.0
+VOTE_PER_PIXEL = 3.5  # gradient + threshold + sparse Hough voting
+GATHER_FIXED = 15.0
+STEER_COST = 900.0
+REPORT_COST = 150.0
+EDGE_LEVEL = 60
+PEAKS_PER_BAND = 6
+
+
+@dataclass
+class RoadFollowApp:
+    """A ready-to-run road-following instance.
+
+    ``offsets`` collects the steering signal per processed frame.
+    """
+
+    source: str
+    table: FunctionTable
+    video: RoadVideo
+    scene: RoadScene
+    config: FollowerConfig
+    nbands: int
+    offsets: List[float] = field(default_factory=list)
+
+    def rewind(self) -> None:
+        self.video.rewind()
+        self.offsets.clear()
+
+
+def build_road_app(
+    *,
+    nbands: int = 4,
+    n_frames: int = 12,
+    scene: Optional[RoadScene] = None,
+) -> RoadFollowApp:
+    """Assemble the road follower (table + spec + synthetic video)."""
+    if scene is None:
+        scene = RoadScene()
+    video = RoadVideo(scene, n_frames)
+    config = FollowerConfig(nrows=scene.nrows, ncols=scene.ncols)
+    table = FunctionTable()
+    app = RoadFollowApp(
+        source=ROAD_SPEC.format(
+            nbands=nbands, nrows=scene.nrows, ncols=scene.ncols
+        ),
+        table=table,
+        video=video,
+        scene=scene,
+        config=config,
+        nbands=nbands,
+    )
+
+    @table.register("read_road", ins=["int * int"], outs=["img"],
+                    cost=READ_COST, doc="grab the next road frame")
+    def read_road(shape):
+        return video.read(shape)
+
+    @table.register("init_lane", ins=[], outs=["lane"], cost=50.0,
+                    doc="initial lane estimate (unlocked)")
+    def init_lane():
+        return LaneEstimate()
+
+    @table.register(
+        "split_frame",
+        ins=["int", "lane", "img"],
+        outs=["band list"],
+        cost=lambda n, lane, im: SPLIT_FIXED
+        + SPLIT_PER_PIXEL * im.nrows * im.ncols,
+        doc="cut the frame into horizontal detection bands",
+    )
+    def split_frame(n: int, _lane: LaneEstimate, im: Image) -> List[Domain]:
+        return split_rows(im, n)
+
+    @table.register("no_peaks", ins=[], outs=["peak list"], cost=5.0)
+    def no_peaks() -> List[Line]:
+        return []
+
+    @table.register(
+        "vote_band",
+        ins=["band"],
+        outs=["peak list"],
+        cost=lambda dom: VOTE_FIXED
+        + VOTE_PER_PIXEL * dom.pixels.nrows * dom.pixels.ncols,
+        doc="edges + local Hough voting; ships only the top peaks",
+    )
+    def vote_band(dom: Domain) -> List[Line]:
+        edges = threshold(gradient_magnitude(dom.pixels), EDGE_LEVEL)
+        # The zero-padded gradient manufactures strong horizontal edges
+        # along every band border (and vertical ones at the frame sides);
+        # mask them so only road structure votes.
+        edges.pixels[:2, :] = 0
+        edges.pixels[-2:, :] = 0
+        edges.pixels[:, :2] = 0
+        edges.pixels[:, -2:] = 0
+        acc = hough_accumulate(edges, origin=(dom.rect.row, dom.rect.col))
+        return hough_peaks(acc, PEAKS_PER_BAND, min_votes=8)
+
+    @table.register(
+        "gather_peaks",
+        ins=["peak list", "peak list"],
+        outs=["peak list"],
+        cost=lambda acc, new: GATHER_FIXED + 2.0 * len(new),
+        properties=["append"],
+        doc="order-insensitive concatenation of per-band peaks",
+    )
+    def gather_peaks(acc: List[Line], new: List[Line]) -> List[Line]:
+        return sorted(acc + new, key=lambda l: (l.rho, l.theta, -l.votes))
+
+    @table.register(
+        "steer",
+        ins=["lane", "peak list"],
+        outs=["offset", "lane"],
+        cost=STEER_COST,
+        doc="cluster peaks, select boundaries, update the lane estimate",
+    )
+    def steer(lane: LaneEstimate, peaks: List[Line]):
+        lines = cluster_peaks(peaks)
+        new_lane = update_lane(config, lane, lines)
+        return new_lane.offset, new_lane
+
+    @table.register("report_offset", ins=["offset"], cost=REPORT_COST,
+                    doc="send the steering signal to the controller")
+    def report_offset(offset: float) -> None:
+        app.offsets.append(offset)
+
+    return app

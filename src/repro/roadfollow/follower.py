@@ -1,0 +1,195 @@
+"""Lane estimation from Hough peaks — the road follower's brain.
+
+Detection produces (rho, theta) line candidates; the follower selects
+the left/right lane boundary pair, intersects them with the bottom row
+to get the lane centre, and derives the *steering signal* (lateral
+offset of the car from the lane centre).  Like the vehicle tracker,
+it is a little predict-then-verify loop: the previous estimate seeds
+the candidate selection, and an exponential moving average smooths the
+output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..vision.lines import Line
+
+__all__ = [
+    "FollowerConfig",
+    "LaneEstimate",
+    "cluster_peaks",
+    "select_boundaries",
+    "update_lane",
+]
+
+
+@dataclass(frozen=True)
+class FollowerConfig:
+    """Static parameters of the lane estimator."""
+
+    nrows: int = 128
+    ncols: int = 128
+    #: Reject candidates whose bottom-row intersection is further than
+    #: this from the previous boundary (px); used once locked on.
+    gate_px: float = 25.0
+    #: EMA smoothing factor for the steering signal (1 = no smoothing).
+    smoothing: float = 0.6
+    #: Candidate lines must be this steep (|theta - 90 deg| >= min_tilt)
+    #: — lane markings are never horizontal in the image.
+    min_tilt_deg: float = 15.0
+    #: Expected lane width at the bottom row (px) and relative tolerance:
+    #: the unlocked search only accepts boundary pairs of plausible width
+    #: (the follower's rigidity criterion).
+    lane_width_px: float = 80.0
+    width_tolerance: float = 0.35
+    #: Candidates weaker than this fraction of the strongest line are
+    #: treated as noise.  Kept permissive: the two markings can differ
+    #: widely in votes (the more tilted one is longer and better
+    #: bin-aligned), and the width rigidity below already rejects noise.
+    min_relative_votes: float = 0.05
+
+
+@dataclass(frozen=True)
+class LaneEstimate:
+    """The itermem memory of the road follower."""
+
+    left_col: Optional[float] = None  # bottom-row column of each boundary
+    right_col: Optional[float] = None
+    offset: float = 0.0  # smoothed steering signal (px, + = car right)
+    locked: bool = False
+    age: int = 0
+
+    @property
+    def center(self) -> Optional[float]:
+        if self.left_col is None or self.right_col is None:
+            return None
+        return (self.left_col + self.right_col) / 2.0
+
+
+def cluster_peaks(
+    peaks: Sequence[Line],
+    *,
+    rho_tol: float = 8.0,
+    theta_tol_deg: float = 8.0,
+) -> List[Line]:
+    """Merge per-band Hough peaks into whole-image lines.
+
+    Each detection band votes locally and ships only its top peaks (the
+    full accumulators would swamp the Transputer links); a marking that
+    spans several bands therefore appears as near-identical (rho, theta)
+    peaks, which this greedy clustering merges, summing votes.  Returns
+    the merged lines sorted by total votes, strongest first.
+    """
+    theta_tol = math.radians(theta_tol_deg)
+    clusters: List[List[Line]] = []
+    for peak in sorted(peaks, key=lambda l: -l.votes):
+        for cluster in clusters:
+            seed = cluster[0]
+            if (
+                abs(peak.rho - seed.rho) <= rho_tol
+                and abs(peak.theta - seed.theta) <= theta_tol
+            ):
+                cluster.append(peak)
+                break
+        else:
+            clusters.append([peak])
+    merged = []
+    for cluster in clusters:
+        votes = sum(l.votes for l in cluster)
+        rho = sum(l.rho * l.votes for l in cluster) / votes
+        theta = sum(l.theta * l.votes for l in cluster) / votes
+        merged.append(Line(rho=rho, theta=theta, votes=votes))
+    merged.sort(key=lambda l: -l.votes)
+    return merged
+
+
+def _bottom_intersection(line: Line, nrows: int) -> Optional[float]:
+    """Column where the line crosses the bottom image row."""
+    sin_t = math.sin(line.theta)
+    cos_t = math.cos(line.theta)
+    if abs(cos_t) < 1e-6:  # horizontal line: no single column
+        return None
+    return (line.rho - (nrows - 1) * sin_t) / cos_t
+
+
+def select_boundaries(
+    config: FollowerConfig,
+    previous: LaneEstimate,
+    lines: Sequence[Line],
+) -> Tuple[Optional[float], Optional[float]]:
+    """Pick the (left, right) boundary columns from Hough candidates.
+
+    Candidates are filtered to plausibly-tilted lines inside the frame;
+    when locked, each boundary keeps the candidate nearest its previous
+    position (within the gate), otherwise the pair bracketing the image
+    centre most tightly wins.
+    """
+    strongest = max((l.votes for l in lines), default=0)
+    candidates: List[float] = []
+    for line in lines:
+        if line.votes < config.min_relative_votes * strongest:
+            continue
+        tilt = abs(math.degrees(line.theta) - 90.0)
+        if tilt < config.min_tilt_deg:
+            continue
+        col = _bottom_intersection(line, config.nrows)
+        if col is None or not (-20 <= col <= config.ncols + 20):
+            continue
+        candidates.append(col)
+    if not candidates:
+        return (None, None)
+
+    if previous.locked and previous.left_col is not None:
+        def nearest(target):
+            best = min(candidates, key=lambda c: abs(c - target))
+            return best if abs(best - target) <= config.gate_px else None
+
+        return (nearest(previous.left_col), nearest(previous.right_col))
+
+    # Unlocked: accept only a pair of plausible lane width (the
+    # follower's rigidity criterion), preferring the best width fit.
+    best_pair: Tuple[Optional[float], Optional[float]] = (None, None)
+    best_error = config.width_tolerance * config.lane_width_px
+    for i, left in enumerate(candidates):
+        for right in candidates[i + 1 :]:
+            lo, hi = min(left, right), max(left, right)
+            error = abs((hi - lo) - config.lane_width_px)
+            if error <= best_error:
+                best_pair = (lo, hi)
+                best_error = error
+    return best_pair
+
+
+def update_lane(
+    config: FollowerConfig,
+    previous: LaneEstimate,
+    lines: Sequence[Line],
+) -> LaneEstimate:
+    """One follower step: candidates -> new lane estimate.
+
+    Both boundaries found → locked estimate with a smoothed steering
+    signal.  A missing boundary unlocks (next frame searches the whole
+    candidate set again) but keeps the last signal — the road follower
+    equivalent of the tracker's reinitialisation rule.
+    """
+    left, right = select_boundaries(config, previous, lines)
+    if left is None or right is None:
+        return replace(previous, locked=False, age=previous.age + 1)
+    center = (left + right) / 2.0
+    raw_offset = config.ncols / 2.0 - center
+    alpha = config.smoothing
+    smoothed = (
+        raw_offset
+        if not previous.locked
+        else alpha * raw_offset + (1 - alpha) * previous.offset
+    )
+    return LaneEstimate(
+        left_col=left,
+        right_col=right,
+        offset=smoothed,
+        locked=True,
+        age=previous.age + 1,
+    )

@@ -1,0 +1,140 @@
+"""Synthetic road scenes for the road-following application.
+
+The paper's second demonstration is "road-following by white line
+detection" [Ginhac '99].  This scene model renders a road whose lane
+markings converge to a vanishing point, with controllable lateral
+*drift* (the car wandering in the lane — what the follower must
+measure), optional dashed markings and sensor noise.  Ground truth
+(the lane-boundary column at any image row, and the lateral offset at
+the bottom row) is exact, so the follower's steering signal can be
+scored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.semantics import EndOfStream
+from ..vision.image import Image
+from ..vision.ops import add_noise
+
+__all__ = ["RoadScene", "RoadVideo"]
+
+
+@dataclass
+class RoadScene:
+    """A road viewed from a (possibly drifting) car.
+
+    Geometry is parameterised in image space: the two lane boundaries
+    start ``lane_half_width`` pixels either side of the lane centre at
+    the bottom row and converge linearly to the vanishing point at
+    ``vanish_row``.  ``drift(t)`` shifts the *camera* laterally: a
+    positive drift moves the car right, so the lane (and both markings)
+    appears shifted left by the same amount.
+    """
+
+    nrows: int = 128
+    ncols: int = 128
+    lane_half_width: float = 40.0
+    vanish_row: float = 50.0
+    line_width: float = 3.0
+    background: int = 60
+    line_intensity: int = 230
+    noise_sigma: float = 3.0
+    fps: float = 25.0
+    #: Amplitude (px) and period (s) of the sinusoidal wander.
+    drift_amplitude: float = 10.0
+    drift_period: float = 4.0
+    #: Dash pattern: (on_rows, off_rows); (0, 0) = solid lines.
+    dashes: Tuple[int, int] = (0, 0)
+    seed: int = 0
+
+    def drift_at(self, frame: int) -> float:
+        """Lateral camera offset (px, positive = right) at ``frame``."""
+        if self.drift_amplitude == 0:
+            return 0.0
+        t = frame / self.fps
+        return self.drift_amplitude * math.sin(
+            2 * math.pi * t / self.drift_period
+        )
+
+    def lane_center_col(self, row: float, frame: int) -> float:
+        """Ground truth: the lane centre's column at ``row``."""
+        progress = self._progress(row)
+        return self.ncols / 2.0 - self.drift_at(frame) * progress
+
+    def boundary_cols(self, row: float, frame: int) -> Tuple[float, float]:
+        """Ground truth: (left, right) marking columns at ``row``."""
+        progress = self._progress(row)
+        center = self.lane_center_col(row, frame)
+        half = self.lane_half_width * progress
+        return (center - half, center + half)
+
+    def lateral_offset(self, frame: int) -> float:
+        """The signal a road follower must estimate: how far the car sits
+        from the lane centre at the bottom row (px, positive = right)."""
+        return self.ncols / 2.0 - self.lane_center_col(self.nrows - 1, frame)
+
+    def _progress(self, row: float) -> float:
+        span = self.nrows - 1 - self.vanish_row
+        return max(0.0, min(1.0, (row - self.vanish_row) / span))
+
+    def render(self, frame: int) -> Image:
+        """Render one frame (deterministic per frame index and seed)."""
+        img = Image.full(self.nrows, self.ncols, self.background)
+        rows = np.arange(self.nrows, dtype=np.float64)[:, None]
+        cols = np.arange(self.ncols, dtype=np.float64)[None, :]
+        on_mask = np.ones((self.nrows, 1), dtype=bool)
+        on_rows, off_rows = self.dashes
+        if on_rows > 0 and off_rows > 0:
+            phase = (np.arange(self.nrows) + 2 * frame) % (on_rows + off_rows)
+            on_mask = (phase < on_rows)[:, None]
+        visible = rows >= self.vanish_row
+        for side in (0, 1):
+            boundary = np.array(
+                [self.boundary_cols(r, frame)[side] for r in range(self.nrows)]
+            )[:, None]
+            on_line = (
+                (np.abs(cols - boundary) <= self.line_width / 2.0)
+                & visible
+                & on_mask
+            )
+            img.pixels[on_line] = self.line_intensity
+        if self.noise_sigma > 0:
+            rng = np.random.default_rng(self.seed * 99_991 + frame)
+            img = add_noise(img, self.noise_sigma, rng)
+        return img
+
+
+class RoadVideo:
+    """A bounded stream of road frames (rewindable, like VideoSource)."""
+
+    def __init__(self, scene: RoadScene, n_frames: int):
+        self.scene = scene
+        self.n_frames = n_frames
+        self._next = 0
+
+    def read(self, _shape=None) -> Image:
+        if self._next >= self.n_frames:
+            raise EndOfStream
+        frame = self.scene.render(self._next)
+        self._next += 1
+        return frame
+
+    def rewind(self) -> None:
+        self._next = 0
+
+    @property
+    def frames_served(self) -> int:
+        return self._next
+
+    def __iter__(self) -> Iterator[Image]:
+        while True:
+            try:
+                yield self.read()
+            except EndOfStream:
+                return

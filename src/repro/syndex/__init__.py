@@ -1,0 +1,52 @@
+"""SynDEx substitute: AAA distribution, routing, scheduling analysis.
+
+The paper delegates mapping to the third-party CAD tool SynDEx; this
+package implements the published Algorithm-Architecture Adequation
+methodology it is built on: architecture graphs, static distribution of
+processes onto processors, static routing of communications onto
+channels, latency analysis and deadlock-freedom verification.
+"""
+
+from .arch import (
+    Architecture,
+    Channel,
+    Processor,
+    chain,
+    fully_connected,
+    mesh,
+    now,
+    ring,
+    star,
+    torus,
+    hypercube,
+)
+from .distribute import Mapping, distribute, round_robin
+from .route import RoutedEdge, RoutingTable, route_mapping
+from .analysis import StaticEstimate, comm_volume, estimate_latency, load_balance
+from .deadlock import DeadlockReport, check_deadlock_freedom
+
+__all__ = [
+    "Architecture",
+    "Channel",
+    "Processor",
+    "ring",
+    "chain",
+    "star",
+    "mesh",
+    "torus",
+    "hypercube",
+    "fully_connected",
+    "now",
+    "Mapping",
+    "distribute",
+    "round_robin",
+    "RoutedEdge",
+    "RoutingTable",
+    "route_mapping",
+    "StaticEstimate",
+    "estimate_latency",
+    "comm_volume",
+    "load_balance",
+    "DeadlockReport",
+    "check_deadlock_freedom",
+]

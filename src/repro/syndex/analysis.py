@@ -1,0 +1,181 @@
+"""Static performance analysis of a mapped process network.
+
+SynDEx produces "an optimized (but still portable) distributed executive
+with optional real-time performance measurement".  This module is the
+static half of that measurement: critical-path latency estimation,
+communication volume, and processor load balance, computed from the
+mapping and routing tables *before* running anything.  The dynamic half
+(actual latencies under contention) comes from :mod:`repro.machine`.
+
+Farm skeletons are estimated under the balanced-farm approximation:
+one round of work = ``ceil(items / degree)`` item costs plus per-item
+dispatch/collect transfers — a deliberately simple model whose accuracy
+the benchmarks compare against the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..pnt.graph import ProcessGraph, ProcessKind
+from .distribute import Mapping
+from .route import RoutingTable
+
+__all__ = ["StaticEstimate", "estimate_latency", "comm_volume", "load_balance"]
+
+
+@dataclass
+class StaticEstimate:
+    """Result of the static latency analysis (all times in µs)."""
+
+    latency: float
+    path: List[str]  # condensed group keys along the critical path
+    group_costs: Dict[str, float]
+
+    def __repr__(self) -> str:
+        return f"StaticEstimate(latency={self.latency:.1f}us, path={self.path})"
+
+
+def _group_cost(
+    graph: ProcessGraph,
+    group: List[str],
+    durations: Dict[str, float],
+    items_hint: int,
+) -> float:
+    """Estimated time for one condensed group.
+
+    A plain process group is its duration.  A farm (master + workers +
+    routers) is estimated as ceil(items/degree) rounds of the worker
+    duration, plus the master's per-item accumulate cost.
+    """
+    members = [graph[pid] for pid in group]
+    masters = [p for p in members if p.kind == ProcessKind.MASTER]
+    splits = [p for p in members if p.kind == ProcessKind.SPLIT]
+    if masters:
+        master = masters[0]
+        degree = master.params["degree"]
+        workers = [p for p in members if p.kind == ProcessKind.WORKER]
+        worker_cost = max(
+            (durations.get(w.id, 0.0) for w in workers), default=0.0
+        )
+        rounds = max(1, -(-items_hint // max(degree, 1)))
+        master_cost = durations.get(master.id, 0.0) * items_hint
+        return rounds * worker_cost + master_cost
+    if splits:
+        degree = splits[0].params["degree"]
+        workers = [p for p in members if p.kind == ProcessKind.WORKER]
+        worker_cost = max(
+            (durations.get(w.id, 0.0) for w in workers), default=0.0
+        )
+        merge_cost = sum(
+            durations.get(p.id, 0.0)
+            for p in members
+            if p.kind in (ProcessKind.SPLIT, ProcessKind.MERGE)
+        )
+        return worker_cost + merge_cost
+    return sum(durations.get(p.id, 0.0) for p in members)
+
+
+def estimate_latency(
+    mapping: Mapping,
+    routing: RoutingTable,
+    durations: Optional[Dict[str, float]] = None,
+    edge_bytes: Optional[Dict[int, int]] = None,
+    *,
+    items_hint: int = 8,
+) -> StaticEstimate:
+    """Critical-path latency of one iteration (µs).
+
+    ``durations`` maps process ids to their per-firing compute time;
+    ``edge_bytes`` maps edge indices (position in ``graph.edges``) to
+    payload sizes.  Missing entries default to 0 (pure-structure
+    analysis).  ``items_hint`` is the expected farm workload (number of
+    packets per iteration).
+    """
+    graph = mapping.graph
+    durations = durations or {}
+    edge_bytes = edge_bytes or {}
+
+    groups = graph.group_topological_order()
+    group_key: Dict[str, str] = {}
+    for group in groups:
+        key = graph._group_of(group[0])
+        for pid in group:
+            group_key[pid] = key
+    costs = {
+        graph._group_of(g[0]): _group_cost(graph, g, durations, items_hint)
+        for g in groups
+    }
+
+    # Edge transfer times, attributed to the condensed graph.
+    arch = mapping.arch
+    finish: Dict[str, float] = {}
+    pred: Dict[str, Optional[str]] = {}
+    for group in groups:
+        key = group_key[group[0]]
+        start = 0.0
+        best_pred: Optional[str] = None
+        for idx, edge in enumerate(graph.edges):
+            if edge.loop or edge.dst not in group:
+                continue
+            src_key = group_key[edge.src]
+            if src_key == key:
+                continue
+            route = routing.routes[idx]
+            transfer = sum(
+                arch.channels[c].transfer_time(edge_bytes.get(idx, 0))
+                for c in route.channels
+            )
+            candidate = finish.get(src_key, 0.0) + transfer
+            if candidate > start:
+                start = candidate
+                best_pred = src_key
+        finish[key] = start + costs[key]
+        pred[key] = best_pred
+
+    if not finish:
+        return StaticEstimate(0.0, [], {})
+    end_key = max(finish, key=lambda k: finish[k])
+    path = []
+    node: Optional[str] = end_key
+    while node is not None:
+        path.append(node)
+        node = pred[node]
+    path.reverse()
+    return StaticEstimate(finish[end_key], path, costs)
+
+
+def comm_volume(
+    routing: RoutingTable, edge_bytes: Optional[Dict[int, int]] = None
+) -> Dict[str, float]:
+    """Bytes x hops crossing each channel in one iteration."""
+    edge_bytes = edge_bytes or {}
+    graph = routing.mapping.graph
+    volume: Dict[str, float] = {c: 0.0 for c in routing.mapping.arch.channels}
+    for idx, route in enumerate(routing.routes):
+        nbytes = edge_bytes.get(idx, 0)
+        for c in route.channels:
+            volume[c] += nbytes
+    return volume
+
+
+def load_balance(
+    mapping: Mapping, durations: Optional[Dict[str, float]] = None
+) -> Tuple[Dict[str, float], float]:
+    """Per-processor load and the imbalance ratio max/mean.
+
+    Uses ``durations`` when given, else the distribution weights.
+    """
+    loads: Dict[str, float] = {}
+    for proc in mapping.arch.processor_ids():
+        if durations:
+            loads[proc] = sum(
+                durations.get(pid, 0.0) for pid in mapping.processes_on(proc)
+            )
+        else:
+            loads[proc] = mapping.load(proc)
+    values = list(loads.values())
+    mean = sum(values) / len(values) if values else 0.0
+    imbalance = (max(values) / mean) if mean > 0 else 1.0
+    return loads, imbalance

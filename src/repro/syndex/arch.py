@@ -1,0 +1,360 @@
+"""Architecture graphs: the MIMD-DM targets SKiPPER maps onto.
+
+"This process graph ... is then mapped onto the target architecture,
+which is also described as a graph, with nodes associated to processors
+and edges representing communication channels" (section 3).
+
+Topology builders cover the platforms the paper mentions: the
+ring-configured Transvision Transputer machine, chains, stars, 2-D
+meshes, fully-connected fabrics, and a network of workstations (NOW)
+modelled as processors on one shared bus.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Processor",
+    "Channel",
+    "Architecture",
+    "ring",
+    "chain",
+    "star",
+    "mesh",
+    "torus",
+    "hypercube",
+    "fully_connected",
+    "now",
+]
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A processing element.
+
+    ``speed`` scales compute costs (1.0 = the reference T9000-class
+    processor); ``io`` marks the processor wired to the video I/O
+    hardware (frame grabber / display), where stream endpoints must live.
+    """
+
+    id: str
+    speed: float = 1.0
+    io: bool = False
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A bidirectional point-to-point link (or shared bus segment).
+
+    ``bandwidth`` is in bytes/µs (= MB/s), ``latency`` in µs per message.
+    ``shared`` marks bus-like channels where all attached processors
+    contend for the same medium.
+    """
+
+    id: str
+    ends: Tuple[str, ...]
+    bandwidth: float = 10.0
+    latency: float = 5.0
+    shared: bool = False
+
+    def connects(self, a: str, b: str) -> bool:
+        return a in self.ends and b in self.ends and a != b
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time (µs) to push ``nbytes`` through this channel."""
+        return self.latency + nbytes / self.bandwidth
+
+
+class Architecture:
+    """A machine description: processors + channels + routing tables."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.processors: Dict[str, Processor] = {}
+        self.channels: Dict[str, Channel] = {}
+        self._routes: Optional[Dict[Tuple[str, str], List[str]]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_processor(self, proc: Processor) -> Processor:
+        if proc.id in self.processors:
+            raise ValueError(f"duplicate processor {proc.id!r}")
+        self.processors[proc.id] = proc
+        self._routes = None
+        return proc
+
+    def add_channel(self, channel: Channel) -> Channel:
+        if channel.id in self.channels:
+            raise ValueError(f"duplicate channel {channel.id!r}")
+        for end in channel.ends:
+            if end not in self.processors:
+                raise ValueError(f"channel end {end!r} is not a processor")
+        if len(set(channel.ends)) < 2:
+            raise ValueError(f"channel {channel.id!r} needs at least two ends")
+        self.channels[channel.id] = channel
+        self._routes = None
+        return channel
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    def processor_ids(self) -> List[str]:
+        return sorted(self.processors)
+
+    def io_processor(self) -> str:
+        """The processor with video I/O (falls back to the first one)."""
+        for pid in self.processor_ids():
+            if self.processors[pid].io:
+                return pid
+        return self.processor_ids()[0]
+
+    def channels_at(self, proc: str) -> List[Channel]:
+        return [c for c in self.channels.values() if proc in c.ends]
+
+    def neighbours(self, proc: str) -> List[str]:
+        out = set()
+        for c in self.channels_at(proc):
+            out.update(e for e in c.ends if e != proc)
+        return sorted(out)
+
+    def is_connected(self) -> bool:
+        if not self.processors:
+            return False
+        start = self.processor_ids()[0]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            p = frontier.pop()
+            for n in self.neighbours(p):
+                if n not in seen:
+                    seen.add(n)
+                    frontier.append(n)
+        return len(seen) == len(self.processors)
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Shortest channel path from ``src`` to ``dst``.
+
+        Uses Dijkstra with per-hop latency as the edge weight (ties broken
+        by channel id for determinism).  Returns the channel-id sequence;
+        empty when ``src == dst``.
+        """
+        if src == dst:
+            return []
+        if self._routes is None:
+            self._routes = {}
+        key = (src, dst)
+        if key not in self._routes:
+            self._routes[key] = self._dijkstra(src, dst)
+        return self._routes[key]
+
+    def _dijkstra(self, src: str, dst: str) -> List[str]:
+        dist: Dict[str, float] = {src: 0.0}
+        back: Dict[str, Tuple[str, str]] = {}  # node -> (prev node, channel)
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        done = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            if node == dst:
+                break
+            for channel in sorted(self.channels_at(node), key=lambda c: c.id):
+                for other in channel.ends:
+                    if other == node or other in done:
+                        continue
+                    nd = d + channel.latency
+                    if nd < dist.get(other, float("inf")):
+                        dist[other] = nd
+                        back[other] = (node, channel.id)
+                        heapq.heappush(heap, (nd, other))
+        if dst not in back and dst != src:
+            raise ValueError(f"no route from {src!r} to {dst!r} in {self.name!r}")
+        path: List[str] = []
+        node = dst
+        while node != src:
+            prev, channel = back[node]
+            path.append(channel)
+            node = prev
+        path.reverse()
+        return path
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return len(self.route(src, dst))
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture({self.name!r}, {len(self.processors)} processors, "
+            f"{len(self.channels)} channels)"
+        )
+
+
+# -- topology builders ----------------------------------------------------
+
+
+def _make(name: str, n: int, **proc_kw) -> Architecture:
+    if n <= 0:
+        raise ValueError(f"processor count must be positive, got {n}")
+    arch = Architecture(name)
+    for i in range(n):
+        arch.add_processor(Processor(f"p{i}", io=(i == 0), **proc_kw))
+    return arch
+
+
+def ring(n: int, *, bandwidth: float = 10.0, latency: float = 5.0) -> Architecture:
+    """A ring of ``n`` processors — the Transvision configuration of §4."""
+    arch = _make(f"ring{n}", n)
+    if n == 1:
+        return arch
+    for i in range(n if n > 2 else 1):
+        a, b = f"p{i}", f"p{(i + 1) % n}"
+        arch.add_channel(
+            Channel(f"c{i}", (a, b), bandwidth=bandwidth, latency=latency)
+        )
+    return arch
+
+
+def chain(n: int, *, bandwidth: float = 10.0, latency: float = 5.0) -> Architecture:
+    """A linear array of ``n`` processors."""
+    arch = _make(f"chain{n}", n)
+    for i in range(n - 1):
+        arch.add_channel(
+            Channel(f"c{i}", (f"p{i}", f"p{i+1}"), bandwidth=bandwidth,
+                    latency=latency)
+        )
+    return arch
+
+
+def star(n: int, *, bandwidth: float = 10.0, latency: float = 5.0) -> Architecture:
+    """A hub (p0) with ``n - 1`` leaves."""
+    arch = _make(f"star{n}", n)
+    for i in range(1, n):
+        arch.add_channel(
+            Channel(f"c{i-1}", ("p0", f"p{i}"), bandwidth=bandwidth,
+                    latency=latency)
+        )
+    return arch
+
+
+def mesh(rows: int, cols: int, *, bandwidth: float = 10.0,
+         latency: float = 5.0) -> Architecture:
+    """A ``rows`` x ``cols`` 2-D mesh (processors named row-major p0..)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("mesh dimensions must be positive")
+    arch = _make(f"mesh{rows}x{cols}", rows * cols)
+    cid = 0
+    for r in range(rows):
+        for c in range(cols):
+            here = f"p{r * cols + c}"
+            if c + 1 < cols:
+                arch.add_channel(
+                    Channel(f"c{cid}", (here, f"p{r * cols + c + 1}"),
+                            bandwidth=bandwidth, latency=latency)
+                )
+                cid += 1
+            if r + 1 < rows:
+                arch.add_channel(
+                    Channel(f"c{cid}", (here, f"p{(r + 1) * cols + c}"),
+                            bandwidth=bandwidth, latency=latency)
+                )
+                cid += 1
+    return arch
+
+
+def torus(rows: int, cols: int, *, bandwidth: float = 10.0,
+          latency: float = 5.0) -> Architecture:
+    """A 2-D torus: a mesh with wrap-around links in both dimensions.
+
+    Transputer networks were frequently configured as tori; the wrap
+    links halve the worst-case hop count of the equivalent mesh.
+    Degenerate dimensions (<3) skip the redundant wrap link.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("torus dimensions must be positive")
+    arch = _make(f"torus{rows}x{cols}", rows * cols)
+    cid = 0
+    for r in range(rows):
+        for c in range(cols):
+            here = f"p{r * cols + c}"
+            if cols > 1 and (c + 1 < cols or cols > 2):
+                right = f"p{r * cols + (c + 1) % cols}"
+                arch.add_channel(
+                    Channel(f"c{cid}", (here, right), bandwidth=bandwidth,
+                            latency=latency)
+                )
+                cid += 1
+            if rows > 1 and (r + 1 < rows or rows > 2):
+                down = f"p{((r + 1) % rows) * cols + c}"
+                arch.add_channel(
+                    Channel(f"c{cid}", (here, down), bandwidth=bandwidth,
+                            latency=latency)
+                )
+                cid += 1
+    return arch
+
+
+def hypercube(dimension: int, *, bandwidth: float = 10.0,
+              latency: float = 5.0) -> Architecture:
+    """A binary hypercube of 2^dimension processors.
+
+    Each processor links to the ``dimension`` neighbours whose index
+    differs in exactly one bit; diameter = ``dimension`` hops.
+    """
+    if dimension < 0:
+        raise ValueError("hypercube dimension must be non-negative")
+    n = 1 << dimension
+    arch = _make(f"hypercube{dimension}", n)
+    cid = 0
+    for i in range(n):
+        for bit in range(dimension):
+            j = i ^ (1 << bit)
+            if j > i:
+                arch.add_channel(
+                    Channel(f"c{cid}", (f"p{i}", f"p{j}"),
+                            bandwidth=bandwidth, latency=latency)
+                )
+                cid += 1
+    return arch
+
+
+def fully_connected(n: int, *, bandwidth: float = 10.0,
+                    latency: float = 5.0) -> Architecture:
+    """All-pairs point-to-point links."""
+    arch = _make(f"full{n}", n)
+    cid = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            arch.add_channel(
+                Channel(f"c{cid}", (f"p{i}", f"p{j}"), bandwidth=bandwidth,
+                        latency=latency)
+            )
+            cid += 1
+    return arch
+
+
+def now(n: int, *, bandwidth: float = 1.25, latency: float = 100.0) -> Architecture:
+    """A network of workstations: ``n`` hosts on one shared bus.
+
+    Default figures approximate 10 Mb/s shared Ethernet of the era
+    (1.25 bytes/µs, 100 µs software latency per message).
+    """
+    arch = _make(f"now{n}", n)
+    if n > 1:
+        arch.add_channel(
+            Channel(
+                "bus",
+                tuple(f"p{i}" for i in range(n)),
+                bandwidth=bandwidth,
+                latency=latency,
+                shared=True,
+            )
+        )
+    return arch

@@ -1,0 +1,112 @@
+"""Deadlock-freedom verification for generated executives.
+
+SynDEx guarantees a "dead-lock free distributed executive" (section 3).
+Our executive satisfies the same property by construction, and this
+module *checks* the construction on every mapped program:
+
+1. **Condensed acyclicity** — with each skeleton instance condensed to a
+   supernode and the ``itermem`` feedback edge removed, the process
+   graph must be a DAG, so intra-iteration dataflow always makes
+   progress.
+2. **Terminating farm protocols** — each farm master dispatches a finite
+   packet list and counts exactly one response per packet (plus spawned
+   subtasks for ``tf``), so the intra-skeleton cycles terminate: this is
+   checked structurally (master in/out port symmetry, router pairing).
+3. **Routability** — every remote edge has a static route, so no message
+   waits forever for a path.
+4. **Single feedback** — the memory process is the only target of loop
+   edges, and only one loop edge exists per MEM (state for iteration
+   ``i+1`` is produced exactly once by iteration ``i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..pnt.graph import GraphError, ProcessGraph, ProcessKind
+from .distribute import Mapping
+from .route import route_mapping
+
+__all__ = ["DeadlockReport", "check_deadlock_freedom"]
+
+
+@dataclass
+class DeadlockReport:
+    """Outcome of the deadlock-freedom analysis."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def render(self) -> str:
+        if self.ok:
+            return "deadlock-free: all checks passed"
+        return "DEADLOCK RISK:\n" + "\n".join(f"  - {v}" for v in self.violations)
+
+
+def check_deadlock_freedom(mapping: Mapping) -> DeadlockReport:
+    """Run all four checks; returns a report (never raises)."""
+    graph = mapping.graph
+    violations: List[str] = []
+
+    # 1. Condensed acyclicity.
+    try:
+        graph.group_topological_order()
+    except GraphError as err:
+        violations.append(f"condensed dataflow is cyclic: {err}")
+
+    # 2. Farm protocol structure.
+    for master in graph.by_kind(ProcessKind.MASTER):
+        degree = master.params.get("degree")
+        dispatch = [e for e in graph.out_edges(master.id) if e.src_port >= 1]
+        collect = [e for e in graph.in_edges(master.id) if e.dst_port >= 2]
+        if len(dispatch) != degree:
+            violations.append(
+                f"{master.id}: {len(dispatch)} dispatch edges for degree {degree}"
+            )
+        if len(collect) != degree:
+            violations.append(
+                f"{master.id}: {len(collect)} collect edges for degree {degree}"
+            )
+        workers = [
+            p for p in graph.skeleton_processes(master.skeleton or "")
+            if p.kind == ProcessKind.WORKER
+        ]
+        if len(workers) != degree:
+            violations.append(
+                f"{master.id}: {len(workers)} workers for degree {degree}"
+            )
+
+    # 3. Routability of every remote edge.
+    try:
+        routing = route_mapping(mapping)
+    except ValueError as err:
+        violations.append(f"unroutable edge: {err}")
+    else:
+        for route in routing.routes:
+            if route.src_proc != route.dst_proc and not route.channels:
+                violations.append(
+                    f"edge {route.edge} crosses processors without a route"
+                )
+
+    # 4. Loop edges target MEM processes only, one each.
+    loop_targets = {}
+    for e in graph.edges:
+        if e.loop:
+            loop_targets[e.dst] = loop_targets.get(e.dst, 0) + 1
+            if graph[e.dst].kind != ProcessKind.MEM:
+                violations.append(
+                    f"loop edge targets non-memory process {e.dst!r}"
+                )
+    for mem in graph.by_kind(ProcessKind.MEM):
+        count = loop_targets.get(mem.id, 0)
+        if count != 1:
+            violations.append(
+                f"memory process {mem.id!r} has {count} feedback edge(s), "
+                "expected exactly 1"
+            )
+
+    return DeadlockReport(ok=not violations, violations=violations)

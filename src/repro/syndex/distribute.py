@@ -1,0 +1,263 @@
+"""Static distribution of processes onto processors (the AAA heuristic).
+
+SynDEx "performs a static distribution of processes onto processors"
+(section 3) following the Algorithm-Architecture Adequation methodology
+[Sorel '94]: a greedy list-scheduling heuristic that weighs compute load
+against the communication penalty of separating communicating processes.
+
+Constraints honoured, in order:
+
+1. pinned processes (stream INPUT/OUTPUT/MEM go to the I/O processor,
+   like Transvision's video root transputer — Fig. 1 places the Master
+   on P0 for the same reason);
+2. ``colocate_with`` hints (routers ride with their worker);
+3. greedy minimisation of ``load(p) + comm_penalty(process, p)`` with
+   deterministic tie-breaking, workers of one skeleton spreading over
+   distinct processors first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..pnt.graph import ProcessGraph, ProcessKind
+from .arch import Architecture
+
+__all__ = ["Mapping", "distribute", "round_robin"]
+
+#: Default relative compute weights per process kind (used when no
+#: explicit weight is given): workers carry the real work; routers and
+#: constants are nearly free.
+_DEFAULT_WEIGHTS = {
+    ProcessKind.APPLY: 4.0,
+    ProcessKind.WORKER: 8.0,
+    ProcessKind.MASTER: 2.0,
+    ProcessKind.SPLIT: 2.0,
+    ProcessKind.MERGE: 2.0,
+    ProcessKind.INPUT: 1.0,
+    ProcessKind.OUTPUT: 1.0,
+    ProcessKind.MEM: 0.5,
+    ProcessKind.CONST: 0.1,
+    ProcessKind.ROUTER_MW: 0.2,
+    ProcessKind.ROUTER_WM: 0.2,
+}
+
+
+@dataclass
+class Mapping:
+    """A placement of every process on a processor."""
+
+    graph: ProcessGraph
+    arch: Architecture
+    assignment: Dict[str, str]
+
+    def processor_of(self, pid: str) -> str:
+        return self.assignment[pid]
+
+    def processes_on(self, proc: str) -> List[str]:
+        return sorted(p for p, a in self.assignment.items() if a == proc)
+
+    def load(self, proc: str, weights: Optional[Dict[str, float]] = None) -> float:
+        total = 0.0
+        for pid in self.processes_on(proc):
+            process = self.graph[pid]
+            if weights and pid in weights:
+                total += weights[pid]
+            else:
+                total += _DEFAULT_WEIGHTS[process.kind]
+        return total
+
+    def remote_edges(self) -> List:
+        """Edges whose endpoints sit on different processors."""
+        return [
+            e
+            for e in self.graph.edges
+            if self.assignment[e.src] != self.assignment[e.dst]
+        ]
+
+    def validate(self) -> None:
+        for pid in self.graph.processes:
+            if pid not in self.assignment:
+                raise ValueError(f"process {pid!r} is not placed")
+            if self.assignment[pid] not in self.arch.processors:
+                raise ValueError(
+                    f"process {pid!r} placed on unknown processor "
+                    f"{self.assignment[pid]!r}"
+                )
+        for pid, process in self.graph.processes.items():
+            if process.colocate_with is not None:
+                if self.assignment[pid] != self.assignment[process.colocate_with]:
+                    raise ValueError(
+                        f"{pid!r} must share a processor with "
+                        f"{process.colocate_with!r}"
+                    )
+
+    def summary(self) -> str:
+        lines = [f"mapping of {self.graph.name!r} onto {self.arch.name!r}:"]
+        for proc in self.arch.processor_ids():
+            members = self.processes_on(proc)
+            lines.append(f"  {proc}: {', '.join(members) if members else '(idle)'}")
+        return "\n".join(lines)
+
+
+_PINNED_KINDS = (ProcessKind.INPUT, ProcessKind.OUTPUT, ProcessKind.MEM)
+
+
+def _placement_order(graph: ProcessGraph) -> List[str]:
+    """Deterministic order: heavy kinds first, then id."""
+    return sorted(
+        graph.processes,
+        key=lambda pid: (-_DEFAULT_WEIGHTS[graph[pid].kind], pid),
+    )
+
+
+def distribute(
+    graph: ProcessGraph,
+    arch: Architecture,
+    *,
+    weights: Optional[Dict[str, float]] = None,
+    comm_factor: float = 1.0,
+    edge_bytes: Optional[Dict[int, int]] = None,
+    durations: Optional[Dict[str, float]] = None,
+) -> Mapping:
+    """Place the process graph on the architecture (AAA-style greedy).
+
+    ``weights`` optionally overrides per-process compute weights;
+    ``comm_factor`` scales the communication penalty (0 = pure load
+    balancing).
+
+    When a measured profile is available (``edge_bytes`` per edge index
+    and ``durations`` per process, e.g. from
+    :class:`repro.machine.executive.Profile`), the heuristic works in
+    real microseconds: load is measured compute time and the separation
+    penalty is the actual transfer time of the bytes observed on each
+    edge — the measured-cost "adequation" loop of SynDEx.
+    """
+    if not arch.is_connected():
+        raise ValueError(f"architecture {arch.name!r} is not connected")
+    io_proc = arch.io_processor()
+    assignment: Dict[str, str] = {}
+    load: Dict[str, float] = {p: 0.0 for p in arch.processors}
+
+    # Representative per-hop cost for the profiled comm penalty.
+    if arch.channels:
+        channels = list(arch.channels.values())
+        avg_bandwidth = sum(c.bandwidth for c in channels) / len(channels)
+        avg_latency = sum(c.latency for c in channels) / len(channels)
+    else:
+        avg_bandwidth, avg_latency = 10.0, 5.0
+
+    def weight_of(pid: str) -> float:
+        if weights and pid in weights:
+            return weights[pid]
+        if durations and pid in durations:
+            return durations[pid]
+        return _DEFAULT_WEIGHTS[graph[pid].kind]
+
+    def place(pid: str, proc: str) -> None:
+        assignment[pid] = proc
+        load[proc] += weight_of(pid) / arch.processors[proc].speed
+
+    # 1. Pin stream endpoints (and farm masters) to the I/O processor.
+    for pid in sorted(graph.processes):
+        process = graph[pid]
+        if process.kind in _PINNED_KINDS and not process.params.get("discard"):
+            place(pid, io_proc)
+        elif process.kind == ProcessKind.MASTER:
+            place(pid, io_proc)
+
+    # 2. Greedy placement of the rest (colocated processes deferred).
+    deferred: List[str] = []
+    neighbours_of: Dict[str, List[Tuple[str, int]]] = {
+        pid: [] for pid in graph.processes
+    }
+    for idx, e in enumerate(graph.edges):
+        neighbours_of[e.src].append((e.dst, idx))
+        neighbours_of[e.dst].append((e.src, idx))
+
+    def edge_penalty(idx: int, hops: int) -> float:
+        """Separation cost of one edge crossing ``hops`` channels."""
+        if hops == 0:
+            return 0.0
+        if edge_bytes is not None and idx in edge_bytes:
+            return hops * (avg_latency + edge_bytes[idx] / avg_bandwidth)
+        return float(hops)
+
+    # Track how many same-skeleton workers each processor already holds so
+    # a farm's workers spread across distinct processors first.
+    skel_count: Dict[Tuple[str, str], int] = {}
+
+    for pid in _placement_order(graph):
+        if pid in assignment:
+            continue
+        process = graph[pid]
+        if process.colocate_with is not None:
+            deferred.append(pid)
+            continue
+        best_proc, best_score = None, None
+        for proc in arch.processor_ids():
+            comm = 0.0
+            for other, idx in neighbours_of[pid]:
+                if other in assignment:
+                    comm += edge_penalty(
+                        idx, arch.hop_count(proc, assignment[other])
+                    )
+            spread = 0.0
+            if process.skeleton is not None:
+                # Keep one farm's workers apart: a same-skeleton colocation
+                # costs roughly one more round of that process's work.
+                spread = max(10.0, weight_of(pid)) * skel_count.get(
+                    (process.skeleton, proc), 0
+                )
+            score = (
+                load[proc]
+                + weight_of(pid) / arch.processors[proc].speed
+                + comm_factor * comm
+                + spread
+            )
+            if best_score is None or score < best_score - 1e-12:
+                best_proc, best_score = proc, score
+        assert best_proc is not None
+        place(pid, best_proc)
+        if process.skeleton is not None:
+            key = (process.skeleton, best_proc)
+            skel_count[key] = skel_count.get(key, 0) + 1
+
+    # 3. Colocated processes follow their anchor.
+    for pid in deferred:
+        anchor = graph[pid].colocate_with
+        assert anchor is not None
+        if anchor not in assignment:
+            raise ValueError(f"{pid!r} colocated with unplaced {anchor!r}")
+        place(pid, assignment[anchor])
+
+    mapping = Mapping(graph, arch, assignment)
+    mapping.validate()
+    return mapping
+
+
+def round_robin(graph: ProcessGraph, arch: Architecture) -> Mapping:
+    """A naive baseline mapping: pin endpoints, round-robin the rest.
+
+    Used by benchmarks to show what the AAA heuristic buys.
+    """
+    io_proc = arch.io_processor()
+    assignment: Dict[str, str] = {}
+    procs = arch.processor_ids()
+    i = 0
+    deferred = []
+    for pid in sorted(graph.processes):
+        process = graph[pid]
+        if process.kind in _PINNED_KINDS or process.kind == ProcessKind.MASTER:
+            assignment[pid] = io_proc
+        elif process.colocate_with is not None:
+            deferred.append(pid)
+        else:
+            assignment[pid] = procs[i % len(procs)]
+            i += 1
+    for pid in deferred:
+        assignment[pid] = assignment[graph[pid].colocate_with]
+    mapping = Mapping(graph, arch, assignment)
+    mapping.validate()
+    return mapping

@@ -1,0 +1,92 @@
+"""Communication routing: mapped edges → channel paths.
+
+After distribution, every inter-processor edge of the process graph is
+assigned a static route — the sequence of channels its messages traverse
+(store-and-forward through intermediate processors, as on the
+ring-connected Transputer machine).  SynDEx's "mixed static/dynamic
+scheduling of communications onto channels" starts from these routes;
+the dynamic part (contention) is resolved by the machine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..pnt.graph import Edge
+from .arch import Architecture
+from .distribute import Mapping
+
+__all__ = ["RoutedEdge", "RoutingTable", "route_mapping"]
+
+
+@dataclass(frozen=True)
+class RoutedEdge:
+    """A process-graph edge with its physical route.
+
+    ``channels`` is empty for processor-local edges (delivered through
+    memory, costing nothing on the network).
+    """
+
+    edge: Edge
+    src_proc: str
+    dst_proc: str
+    channels: Tuple[str, ...]
+
+    @property
+    def is_local(self) -> bool:
+        return not self.channels
+
+    @property
+    def hops(self) -> int:
+        return len(self.channels)
+
+
+class RoutingTable:
+    """All routed edges of one mapping, with aggregate statistics."""
+
+    def __init__(self, mapping: Mapping, routes: List[RoutedEdge]):
+        self.mapping = mapping
+        self.routes = routes
+
+    def remote(self) -> List[RoutedEdge]:
+        return [r for r in self.routes if not r.is_local]
+
+    def local(self) -> List[RoutedEdge]:
+        return [r for r in self.routes if r.is_local]
+
+    def channel_load(self) -> Dict[str, int]:
+        """Number of routed edges crossing each channel."""
+        load: Dict[str, int] = {c: 0 for c in self.mapping.arch.channels}
+        for r in self.remote():
+            for c in r.channels:
+                load[c] += 1
+        return load
+
+    def max_hops(self) -> int:
+        return max((r.hops for r in self.routes), default=0)
+
+    def route_for(self, edge: Edge) -> RoutedEdge:
+        for r in self.routes:
+            if r.edge is edge:
+                return r
+        raise KeyError(f"edge {edge!r} is not routed")
+
+    def summary(self) -> str:
+        remote = self.remote()
+        return (
+            f"{len(self.routes)} edges: {len(self.local())} local, "
+            f"{len(remote)} remote (max {self.max_hops()} hops)"
+        )
+
+
+def route_mapping(mapping: Mapping) -> RoutingTable:
+    """Compute the static route of every process-graph edge."""
+    arch = mapping.arch
+    routes: List[RoutedEdge] = []
+    for edge in mapping.graph.edges:
+        src_proc = mapping.processor_of(edge.src)
+        dst_proc = mapping.processor_of(edge.dst)
+        channels = tuple(arch.route(src_proc, dst_proc))
+        routes.append(RoutedEdge(edge, src_proc, dst_proc, channels))
+    return RoutingTable(mapping, routes)

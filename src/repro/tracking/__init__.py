@@ -1,0 +1,40 @@
+"""The vehicle detection and tracking application (paper section 4)."""
+
+from .model import Camera, MarkLayout, Vehicle, project_vehicle
+from .synthetic import Occlusion, TrackingScene, VideoSource
+from .tracker import (
+    TrackerConfig,
+    TrackerState,
+    VehicleTrack,
+    group_marks,
+    initial_state,
+    plan_windows,
+    update_tracks,
+)
+from .app import CASE_STUDY_SPEC, TrackingApp, build_tracking_app, default_scene
+from .metrics import DetectionScore, depth_rmse, pose_errors, score_detections
+
+__all__ = [
+    "Camera",
+    "MarkLayout",
+    "Vehicle",
+    "project_vehicle",
+    "Occlusion",
+    "TrackingScene",
+    "VideoSource",
+    "TrackerConfig",
+    "TrackerState",
+    "VehicleTrack",
+    "group_marks",
+    "initial_state",
+    "plan_windows",
+    "update_tracks",
+    "CASE_STUDY_SPEC",
+    "TrackingApp",
+    "build_tracking_app",
+    "default_scene",
+    "DetectionScore",
+    "score_detections",
+    "pose_errors",
+    "depth_rmse",
+]

@@ -1,0 +1,234 @@
+"""The complete vehicle-tracking application of §4, SKiPPER-style.
+
+Bundles everything the paper's programmer writes — the sequential
+functions (here Python instead of C) and the few-line Caml
+specification — plus the synthetic video source standing in for the
+in-car camera.
+
+One deviation from the paper's prototypes, for functional honesty:
+``predict`` takes the previous state as an explicit input
+(``predict state marks``) instead of keeping C ``static`` history, so
+the constant-velocity 3D trajectory model stays a pure function and the
+sequential/parallel equivalence is exact by construction.  ``detect_mark``
+returns a *list* of marks per window (a reinitialisation band contains
+many), with ``accum_marks`` concatenating — the obvious generalisation
+of the paper's one-mark prototype.
+
+Cost models are calibrated to the T9000-class machine (see
+EXPERIMENTS.md): detection costs ``DETECT_FIXED + DETECT_PER_PIXEL`` per
+window pixel, which reproduces the paper's 30 ms tracking / 110 ms
+reinitialisation latencies on an 8-processor ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..core.functions import FunctionTable
+from ..vision.features import Mark, extract_marks
+from ..vision.image import Image
+from ..vision.windows import Window
+from .model import Camera, MarkLayout, Vehicle
+from .synthetic import Occlusion, TrackingScene, VideoSource
+from .tracker import (
+    TrackerConfig,
+    TrackerState,
+    initial_state,
+    plan_windows,
+    update_tracks,
+)
+
+__all__ = ["TrackingApp", "CASE_STUDY_SPEC", "build_tracking_app", "default_scene"]
+
+#: The paper's functional specification (§4), with the explicit-state
+#: ``predict`` described above.
+CASE_STUDY_SPEC = """
+let nproc = {nproc};;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks [] ws in
+  let ms, st = predict state marks in
+  (st, ms);;
+let main = itermem read_img loop display_marks s0 ({nrows},{ncols});;
+"""
+
+# T9000-class calibration (µs) — see EXPERIMENTS.md for the derivation.
+READ_COST = 1_500.0
+INIT_COST = 100.0
+WINDOW_FIXED = 500.0
+WINDOW_PER_PIXEL = 0.05  # block-move cost per pixel copied
+DETECT_FIXED = 2_500.0
+DETECT_PER_PIXEL = 2.0
+ACCUM_FIXED = 20.0
+ACCUM_PER_MARK = 5.0
+PREDICT_FIXED = 500.0
+PREDICT_PER_MARK_SQ = 30.0
+DISPLAY_COST = 300.0
+
+
+@dataclass
+class TrackingApp:
+    """A ready-to-run instance of the case study.
+
+    ``displayed`` collects what ``display_marks`` would have drawn, one
+    mark list per processed frame.
+    """
+
+    source: str
+    table: FunctionTable
+    video: VideoSource
+    scene: TrackingScene
+    config: TrackerConfig
+    nproc: int
+    displayed: List[List[Mark]] = field(default_factory=list)
+
+    def rewind(self) -> None:
+        """Restart the video and clear collected output (for a re-run)."""
+        self.video.rewind()
+        self.displayed.clear()
+
+
+def default_scene(
+    *,
+    n_vehicles: int = 1,
+    frame_size: int = 512,
+    noise_sigma: float = 4.0,
+    occlusions: Tuple[Occlusion, ...] = (),
+    seed: int = 0,
+) -> TrackingScene:
+    """A standard test scene: 1-3 vehicles cruising ahead of the camera."""
+    if not (1 <= n_vehicles <= 3):
+        raise ValueError("the paper tracks one to three lead vehicles")
+    camera = Camera(
+        focal=frame_size * 800.0 / 512.0,
+        cx=frame_size / 2.0,
+        cy=frame_size / 2.0,
+        nrows=frame_size,
+        ncols=frame_size,
+    )
+    lanes = [0.0, -2.5, 2.5]
+    depths = [18.0, 26.0, 34.0]
+    speeds = [(0.0, 0.8), (0.15, -0.5), (-0.1, 0.3)]
+    vehicles = [
+        Vehicle(x=lanes[i], z=depths[i], vx=speeds[i][0], vz=speeds[i][1])
+        for i in range(n_vehicles)
+    ]
+    return TrackingScene(
+        vehicles=vehicles,
+        camera=camera,
+        noise_sigma=noise_sigma,
+        occlusions=occlusions,
+        seed=seed,
+    )
+
+
+def build_tracking_app(
+    *,
+    nproc: int = 8,
+    n_frames: int = 10,
+    scene: Optional[TrackingScene] = None,
+    n_vehicles: int = 1,
+    frame_size: int = 512,
+    seed: int = 0,
+    occlusions: Tuple[Occlusion, ...] = (),
+) -> TrackingApp:
+    """Assemble the case-study application.
+
+    Returns a :class:`TrackingApp` whose table registers the paper's
+    sequential functions with T9000-calibrated cost models, ready for
+    both sequential emulation and simulated parallel execution.
+    """
+    if scene is None:
+        scene = default_scene(
+            n_vehicles=n_vehicles,
+            frame_size=frame_size,
+            seed=seed,
+            occlusions=occlusions,
+        )
+    else:
+        n_vehicles = len(scene.vehicles)
+        frame_size = scene.camera.nrows
+    video = VideoSource(scene, n_frames)
+    config = TrackerConfig(camera=scene.camera, layout=MarkLayout(), n_vehicles=n_vehicles)
+    table = FunctionTable()
+    app = TrackingApp(
+        source=CASE_STUDY_SPEC.format(
+            nproc=nproc, nrows=scene.camera.nrows, ncols=scene.camera.ncols
+        ),
+        table=table,
+        video=video,
+        scene=scene,
+        config=config,
+        nproc=nproc,
+    )
+
+    @table.register("read_img", ins=["int * int"], outs=["img"], cost=READ_COST,
+                    doc="grab the next video frame")
+    def read_img(shape):
+        return video.read(shape)
+
+    @table.register("init_state", ins=[], outs=["state"], cost=INIT_COST,
+                    doc="initial tracker memory (reinitialisation mode)")
+    def init_state_fn():
+        return initial_state(config)
+
+    @table.register(
+        "get_windows",
+        ins=["int", "state", "img"],
+        outs=["window list"],
+        cost=lambda n, state, im: WINDOW_FIXED
+        + WINDOW_PER_PIXEL
+        * (im.nrows * im.ncols if not state.tracking else
+           len(state.tracks) * 3 * (4 * config.min_window) ** 2),
+        doc="windows of interest for the current frame",
+    )
+    def get_windows(n: int, state: TrackerState, im: Image) -> List[Window]:
+        return plan_windows(n, state, im)
+
+    @table.register(
+        "detect_mark",
+        ins=["window"],
+        outs=["mark list"],
+        cost=lambda w: DETECT_FIXED + DETECT_PER_PIXEL * w.area,
+        doc="threshold + connected components + centroid/frame per window",
+    )
+    def detect_mark(w: Window) -> List[Mark]:
+        return extract_marks(
+            w.pixels,
+            level=config.threshold,
+            min_pixels=config.min_mark_pixels,
+            origin=w.origin,
+        )
+
+    @table.register(
+        "accum_marks",
+        ins=["mark list", "mark list"],
+        outs=["mark list"],
+        cost=lambda old, new: ACCUM_FIXED + ACCUM_PER_MARK * len(new),
+        doc="order-insensitive accumulation of per-window detections",
+    )
+    def accum_marks(old: List[Mark], new: List[Mark]) -> List[Mark]:
+        # Sorted concatenation => insensitive to farm completion order,
+        # the correctness condition the paper imposes on df accumulators.
+        return sorted(old + new, key=lambda m: (m.row, m.col))
+
+    @table.register(
+        "predict",
+        ins=["state", "mark list"],
+        outs=["mark list", "state"],
+        cost=lambda state, marks: PREDICT_FIXED
+        + PREDICT_PER_MARK_SQ * len(marks) ** 2,
+        doc="rigidity grouping + 3D trajectory update + next-window prediction",
+    )
+    def predict(state: TrackerState, marks: List[Mark]):
+        display, next_state = update_tracks(state, marks)
+        return display, next_state
+
+    @table.register("display_marks", ins=["mark list"], cost=DISPLAY_COST,
+                    doc="overlay detected marks on the operator display")
+    def display_marks(ms: List[Mark]) -> None:
+        app.displayed.append(ms)
+
+    return app

@@ -1,0 +1,102 @@
+"""Tracking-quality metrics against synthetic ground truth.
+
+The paper evaluates the tracker qualitatively ("satisfy the timing
+constraints"); with a synthetic scene we can also measure *accuracy*:
+per-frame mark-detection recall/precision, pixel residuals, and 3D pose
+error of the recovered tracks.  Used by the accuracy benchmarks and the
+tracking examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..vision.features import Mark
+from .synthetic import TrackingScene
+from .tracker import TrackerState
+
+__all__ = ["DetectionScore", "score_detections", "pose_errors", "depth_rmse"]
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Mark-detection quality for one frame."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    mean_residual_px: float
+
+    @property
+    def recall(self) -> float:
+        found = self.true_positives + self.false_negatives
+        return self.true_positives / found if found else 1.0
+
+    @property
+    def precision(self) -> float:
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 1.0
+
+
+def score_detections(
+    scene: TrackingScene,
+    frame: int,
+    detections: Sequence[Mark],
+    *,
+    tolerance_px: float = 3.0,
+) -> DetectionScore:
+    """Match detections to the frame's ground-truth marks (greedy
+    nearest-first within ``tolerance_px``)."""
+    truth: List[Tuple[float, float]] = [
+        center for vehicle in scene.truth_marks(frame) for center in vehicle
+    ]
+    pairs = []
+    for d_idx, mark in enumerate(detections):
+        for t_idx, (row, col) in enumerate(truth):
+            dist = math.hypot(mark.row - row, mark.col - col)
+            if dist <= tolerance_px:
+                pairs.append((dist, d_idx, t_idx))
+    pairs.sort()
+    used_d, used_t = set(), set()
+    residuals = []
+    for dist, d_idx, t_idx in pairs:
+        if d_idx in used_d or t_idx in used_t:
+            continue
+        used_d.add(d_idx)
+        used_t.add(t_idx)
+        residuals.append(dist)
+    tp = len(residuals)
+    return DetectionScore(
+        true_positives=tp,
+        false_positives=len(detections) - tp,
+        false_negatives=len(truth) - tp,
+        mean_residual_px=sum(residuals) / tp if tp else 0.0,
+    )
+
+
+def pose_errors(
+    scene: TrackingScene, frame: int, state: TrackerState
+) -> List[Tuple[float, float]]:
+    """(lateral, depth) absolute error per track, matched to the nearest
+    ground-truth vehicle."""
+    vehicles = scene.vehicles_at(frame)
+    errors = []
+    for track in state.tracks:
+        best = min(
+            vehicles,
+            key=lambda v: abs(v.x - track.x) + abs(v.z - track.z),
+        )
+        errors.append((abs(best.x - track.x), abs(best.z - track.z)))
+    return errors
+
+
+def depth_rmse(
+    scene: TrackingScene, frame: int, state: TrackerState
+) -> float:
+    """Root-mean-square depth error over all tracks (metres)."""
+    errors = pose_errors(scene, frame, state)
+    if not errors:
+        return float("inf")
+    return math.sqrt(sum(dz * dz for _dx, dz in errors) / len(errors))

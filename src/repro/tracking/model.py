@@ -1,0 +1,141 @@
+"""3D vehicle and camera models for the tracking case study.
+
+Section 4: "A video camera, installed in a car, provides a gray level
+image of several lead vehicles (one to three, in practice).  Each lead
+vehicle is equipped with three visual marks, placed on the top and at
+the back of it."
+
+We model each lead vehicle as a rigid triangle of retro-reflective
+marks — two *bottom* marks at bumper height separated by a known
+baseline, one *top* mark centred above them — seen through a pinhole
+camera.  The known baseline is what lets the tracker recover depth from
+a single camera (the paper's "3D-modelling of each vehicle trajectory").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+__all__ = ["Camera", "MarkLayout", "Vehicle", "project_vehicle"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera.
+
+    Coordinates: x lateral (right positive, metres), y up, z forward
+    (distance from the camera).  A world point projects to::
+
+        col = cx + focal * x / z
+        row = cy - focal * y / z
+
+    ``focal`` is expressed in pixels.
+    """
+
+    focal: float = 800.0
+    cx: float = 256.0
+    cy: float = 256.0
+    nrows: int = 512
+    ncols: int = 512
+
+    def project(self, x: float, y: float, z: float) -> Tuple[float, float]:
+        """World point -> (row, col); ``z`` must be positive."""
+        if z <= 0:
+            raise ValueError(f"point behind the camera: z={z}")
+        col = self.cx + self.focal * x / z
+        row = self.cy - self.focal * y / z
+        return (row, col)
+
+    def mark_radius_px(self, radius_m: float, z: float) -> float:
+        """Apparent radius of a circular mark at distance ``z``."""
+        if z <= 0:
+            raise ValueError(f"mark behind the camera: z={z}")
+        return self.focal * radius_m / z
+
+    def depth_from_baseline(self, baseline_m: float, pixel_span: float) -> float:
+        """Distance recovered from the apparent bottom-pair spacing."""
+        if pixel_span <= 0:
+            raise ValueError(f"non-positive pixel span {pixel_span}")
+        return self.focal * baseline_m / pixel_span
+
+    def lateral_from_col(self, col: float, z: float) -> float:
+        """Lateral offset of a point at depth ``z`` seen at column ``col``."""
+        return (col - self.cx) * z / self.focal
+
+
+@dataclass(frozen=True)
+class MarkLayout:
+    """The rigid geometry of a vehicle's three marks (metres).
+
+    ``baseline`` separates the two bottom marks; the top mark sits
+    ``top_height`` above the bottom row, centred.  ``mark_radius`` is
+    the physical radius of each circular reflector.
+    """
+
+    baseline: float = 1.2
+    bottom_height: float = 1.4
+    top_height: float = 0.5  # above the bottom marks
+    mark_radius: float = 0.10
+
+    def local_marks(self) -> List[Tuple[float, float]]:
+        """(dx, dy) offsets of the three marks from the vehicle anchor.
+
+        The anchor is the midpoint of the bottom pair at bottom height.
+        Order: bottom-left, bottom-right, top.
+        """
+        half = self.baseline / 2.0
+        return [(-half, 0.0), (half, 0.0), (0.0, self.top_height)]
+
+
+@dataclass
+class Vehicle:
+    """A lead vehicle with a constant-velocity 3D trajectory.
+
+    ``x``/``z`` locate the anchor point (midpoint of the bottom marks);
+    ``vx``/``vz`` are velocities in m/s.  ``layout`` gives the rigid mark
+    triangle.
+    """
+
+    x: float
+    z: float
+    vx: float = 0.0
+    vz: float = 0.0
+    layout: MarkLayout = field(default_factory=MarkLayout)
+
+    def at(self, t: float) -> "Vehicle":
+        """The vehicle's state after ``t`` seconds."""
+        return replace(self, x=self.x + self.vx * t, z=self.z + self.vz * t)
+
+    def step(self, dt: float) -> None:
+        """Advance in place by ``dt`` seconds."""
+        self.x += self.vx * dt
+        self.z += self.vz * dt
+
+    def mark_positions(self) -> List[Tuple[float, float, float]]:
+        """World (x, y, z) of the three marks: bottom-left, bottom-right, top."""
+        out = []
+        for dx, dy in self.layout.local_marks():
+            out.append((self.x + dx, self.layout.bottom_height + dy, self.z))
+        return out
+
+
+def project_vehicle(
+    camera: Camera, vehicle: Vehicle
+) -> List[Tuple[Tuple[float, float], float]]:
+    """Project a vehicle's marks: list of ((row, col), radius_px).
+
+    Marks behind the camera or (whose centres are) outside the frame are
+    dropped — the synthetic renderer and the ground-truth oracle both
+    rely on this clipping.
+    """
+    out = []
+    for x, y, z in vehicle.mark_positions():
+        if z <= 0.5:  # too close / behind: invisible
+            continue
+        row, col = camera.project(x, y, z)
+        if not (0 <= row < camera.nrows and 0 <= col < camera.ncols):
+            continue
+        out.append(((row, col), camera.mark_radius_px(vehicle.layout.mark_radius, z)))
+    return out

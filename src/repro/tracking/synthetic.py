@@ -1,0 +1,136 @@
+"""Synthetic video generation for the tracking case study.
+
+Substitutes for the paper's in-car camera: renders the 3D scene of
+:mod:`repro.tracking.model` into 8-bit frames at 25 Hz, with sensor
+noise and optional occlusion events (a mark disappearing for a few
+frames — the "occultations" whose handling §4 attributes to the rigidity
+criteria, and which force the tracker through its reinitialisation
+path).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.semantics import EndOfStream
+from ..vision.image import Image
+from ..vision.synth import draw_blob
+from ..vision.ops import add_noise
+from .model import Camera, Vehicle, project_vehicle
+
+__all__ = ["Occlusion", "TrackingScene", "VideoSource"]
+
+
+@dataclass(frozen=True)
+class Occlusion:
+    """Hide mark ``mark_index`` of vehicle ``vehicle_index`` during
+    frames [start, end)."""
+
+    vehicle_index: int
+    mark_index: int
+    start: int
+    end: int
+
+    def active(self, frame: int) -> bool:
+        return self.start <= frame < self.end
+
+
+@dataclass
+class TrackingScene:
+    """A reproducible synthetic road scene.
+
+    ``vehicles`` hold *initial* states; rendering at frame ``k`` advances
+    each by ``k / fps`` seconds, so the scene is stateless and any frame
+    can be rendered independently (and the ground truth queried).
+    """
+
+    vehicles: List[Vehicle]
+    camera: Camera = field(default_factory=Camera)
+    fps: float = 25.0
+    background: int = 25
+    mark_intensity: int = 240
+    noise_sigma: float = 4.0
+    occlusions: Sequence[Occlusion] = ()
+    seed: int = 0
+
+    def vehicles_at(self, frame: int) -> List[Vehicle]:
+        t = frame / self.fps
+        return [v.at(t) for v in self.vehicles]
+
+    def truth_marks(self, frame: int) -> List[List[Tuple[float, float]]]:
+        """Visible mark centres (row, col) per vehicle at ``frame``.
+
+        Occluded marks are excluded, matching what the renderer draws.
+        """
+        out: List[List[Tuple[float, float]]] = []
+        for vi, vehicle in enumerate(self.vehicles_at(frame)):
+            marks = []
+            projections = project_vehicle(self.camera, vehicle)
+            for mi, (center, _radius) in enumerate(projections):
+                if any(
+                    o.active(frame) and o.vehicle_index == vi and o.mark_index == mi
+                    for o in self.occlusions
+                ):
+                    continue
+                marks.append(center)
+            out.append(marks)
+        return out
+
+    def render(self, frame: int) -> Image:
+        """Render frame ``k`` (deterministic per frame index and seed)."""
+        img = Image.full(self.camera.nrows, self.camera.ncols, self.background)
+        for vi, vehicle in enumerate(self.vehicles_at(frame)):
+            for mi, (center, radius) in enumerate(
+                project_vehicle(self.camera, vehicle)
+            ):
+                if any(
+                    o.active(frame) and o.vehicle_index == vi and o.mark_index == mi
+                    for o in self.occlusions
+                ):
+                    continue
+                draw_blob(img, center, (radius, radius), self.mark_intensity)
+        if self.noise_sigma > 0:
+            rng = np.random.default_rng(self.seed * 100_003 + frame)
+            img = add_noise(img, self.noise_sigma, rng)
+        return img
+
+
+class VideoSource:
+    """A bounded frame stream backed by a :class:`TrackingScene`.
+
+    Behaves like the grabber of the Transvision machine: ``read()``
+    returns the next frame, raising
+    :class:`~repro.core.semantics.EndOfStream` when ``n_frames`` have
+    been served.  ``rewind()`` restarts the stream so the same source
+    can feed the sequential emulation and the simulated parallel run.
+    """
+
+    def __init__(self, scene: TrackingScene, n_frames: int):
+        self.scene = scene
+        self.n_frames = n_frames
+        self._next = 0
+
+    def read(self, _shape=None) -> Image:
+        if self._next >= self.n_frames:
+            raise EndOfStream
+        frame = self.scene.render(self._next)
+        self._next += 1
+        return frame
+
+    def rewind(self) -> None:
+        self._next = 0
+
+    @property
+    def frames_served(self) -> int:
+        return self._next
+
+    def __iter__(self) -> Iterator[Image]:
+        while True:
+            try:
+                yield self.read()
+            except EndOfStream:
+                return

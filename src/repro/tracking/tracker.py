@@ -1,0 +1,312 @@
+"""The predict-then-verify vehicle tracker of the paper's §4.
+
+Algorithm, as described:
+
+* detection finds marks — connected pixel groups above a threshold —
+  and characterises each by centroid + englobing frame;
+* "the englobing frames of marks detected at iteration i are used to
+  predict the position and size of the windows of interest in which the
+  detection process will search for marks at iteration i+1.  This is
+  done using a 3D-modelling of each vehicle trajectory, coupled to a set
+  of rigidity criteria to resolve ambiguous cases (occultations, etc)";
+* "if less than three marks were detected at iteration i, it is assumed
+  that the prediction failed, and windows of interest are obtained by
+  dividing up the whole image into n equally-sized sub-windows".
+
+The 3D model: each vehicle's two bottom marks have a known physical
+baseline, so their pixel spacing yields depth; the centroid column
+yields lateral offset; a constant-velocity filter on (x, z) predicts the
+next pose, which projects to the next windows of interest.  The rigidity
+criteria validate candidate mark triples against the known triangle
+geometry (bottom pair level and correctly spaced, top mark centred
+above).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..vision.features import Mark
+from ..vision.image import Image, Rect
+from ..vision.windows import Window, tile_image, windows_around
+from .model import Camera, MarkLayout
+
+__all__ = [
+    "TrackerConfig",
+    "VehicleTrack",
+    "TrackerState",
+    "initial_state",
+    "plan_windows",
+    "group_marks",
+    "update_tracks",
+]
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Static tracker parameters (camera intrinsics + rigid geometry)."""
+
+    camera: Camera = field(default_factory=Camera)
+    layout: MarkLayout = field(default_factory=MarkLayout)
+    #: How many lead vehicles the application expects (1-3 in the paper).
+    n_vehicles: int = 1
+    #: Half-size margin added around each predicted mark window, as a
+    #: multiple of the predicted mark radius.
+    window_margin: float = 7.0
+    #: Minimum half-size of a search window (pixels).
+    min_window: int = 8
+    #: Rigidity tolerances (fractions of the expected quantity).
+    row_tolerance: float = 0.25
+    spacing_tolerance: float = 0.35
+    #: Plausible depth range (metres) for candidate bottom pairs.
+    z_min: float = 3.0
+    z_max: float = 80.0
+    #: Minimum pixels for a detected component to count as a mark.
+    min_mark_pixels: int = 3
+    #: Detection threshold (gray level).
+    threshold: int = 120
+
+
+@dataclass(frozen=True)
+class VehicleTrack:
+    """One tracked vehicle: 3D pose estimate + last seen marks."""
+
+    x: float
+    z: float
+    vx: float = 0.0  # metres / frame
+    vz: float = 0.0
+    marks: Tuple[Tuple[float, float], ...] = ()  # (row, col) bl, br, top
+    age: int = 0
+
+    def predicted_pose(self) -> Tuple[float, float]:
+        return (self.x + self.vx, self.z + self.vz)
+
+
+@dataclass(frozen=True)
+class TrackerState:
+    """The itermem memory value: mode + per-vehicle tracks."""
+
+    config: TrackerConfig
+    mode: str = "reinit"  # "track" | "reinit"
+    tracks: Tuple[VehicleTrack, ...] = ()
+    iteration: int = 0
+
+    @property
+    def tracking(self) -> bool:
+        return self.mode == "track"
+
+
+def initial_state(config: Optional[TrackerConfig] = None) -> TrackerState:
+    """The paper's ``init_state``: no tracks, reinitialisation mode."""
+    return TrackerState(config=config or TrackerConfig())
+
+
+# -- window planning (get_windows) --------------------------------------------
+
+
+def _predicted_mark_positions(
+    config: TrackerConfig, track: VehicleTrack
+) -> List[Tuple[float, float, float]]:
+    """Predicted (row, col, radius_px) of each mark next frame."""
+    x, z = track.predicted_pose()
+    z = max(z, config.z_min / 2)
+    camera, layout = config.camera, config.layout
+    out = []
+    for dx, dy in layout.local_marks():
+        row, col = camera.project(x + dx, layout.bottom_height + dy, z)
+        out.append((row, col, camera.mark_radius_px(layout.mark_radius, z)))
+    return out
+
+
+def plan_windows(nproc: int, state: TrackerState, frame: Image) -> List[Window]:
+    """The paper's ``get_windows``.
+
+    Tracking mode: one window of interest per predicted mark (3 per
+    vehicle — the 3/6/9 of §4), sized from the predicted apparent mark
+    size.  Reinitialisation: ``nproc`` equal bands covering the frame.
+    """
+    if not state.tracking or not state.tracks:
+        return tile_image(frame, nproc)
+    config = state.config
+    rects: List[Rect] = []
+    for track in state.tracks:
+        for row, col, radius in _predicted_mark_positions(config, track):
+            half = max(config.min_window, int(math.ceil(radius * config.window_margin)))
+            rects.append(
+                Rect(int(round(row)) - half, int(round(col)) - half,
+                     2 * half, 2 * half)
+            )
+    return windows_around(frame, rects)
+
+
+# -- rigidity grouping ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VehicleObservation:
+    """A validated mark triple with its recovered 3D pose."""
+
+    marks: Tuple[Mark, Mark, Mark]  # bottom-left, bottom-right, top
+    x: float
+    z: float
+    residual: float
+
+    def mark_centers(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(m.center for m in self.marks)
+
+
+def _triple_residual(
+    config: TrackerConfig, bl: Mark, br: Mark, top: Mark
+) -> Optional[Tuple[float, float, float]]:
+    """Validate a candidate triple; returns (x, z, residual) or None.
+
+    Rigidity criteria: the bottom pair must be level and spaced like the
+    known baseline at a plausible depth; the top mark must sit centred
+    above the pair at the height the depth implies.
+    """
+    camera, layout = config.camera, config.layout
+    spacing = br.col - bl.col
+    if spacing <= 0:
+        return None
+    z = camera.depth_from_baseline(layout.baseline, spacing)
+    if not (config.z_min <= z <= config.z_max):
+        return None
+    # Bottom pair must be level (tolerance scales with apparent size).
+    level_tol = config.row_tolerance * spacing
+    if abs(br.row - bl.row) > level_tol:
+        return None
+    # Top mark: centred above the pair, at the projected triangle height.
+    expected_rise = camera.focal * layout.top_height / z
+    mid_col = (bl.col + br.col) / 2.0
+    mid_row = (bl.row + br.row) / 2.0
+    d_col = abs(top.col - mid_col)
+    d_row = abs((mid_row - top.row) - expected_rise)
+    if d_col > config.spacing_tolerance * spacing:
+        return None
+    if d_row > config.spacing_tolerance * expected_rise + level_tol:
+        return None
+    x = camera.lateral_from_col(mid_col, z)
+    residual = (abs(br.row - bl.row) + d_col + d_row) / max(spacing, 1.0)
+    return (x, z, residual)
+
+
+def group_marks(
+    config: TrackerConfig, marks: Sequence[Mark]
+) -> List[VehicleObservation]:
+    """Group detected marks into vehicles using the rigidity criteria.
+
+    Examines every (bottom-left, bottom-right, top) candidate triple,
+    keeps those passing :func:`_triple_residual`, then greedily selects
+    non-overlapping triples by ascending residual (best geometry first)
+    up to ``config.n_vehicles``.
+    """
+    candidates: List[Tuple[float, VehicleObservation]] = []
+    n = len(marks)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            bl, br = marks[i], marks[j]
+            if bl.col >= br.col:
+                continue
+            for k in range(n):
+                if k in (i, j):
+                    continue
+                top = marks[k]
+                if top.row >= min(bl.row, br.row):
+                    continue  # top mark must be above the pair
+                fit = _triple_residual(config, bl, br, top)
+                if fit is None:
+                    continue
+                x, z, residual = fit
+                candidates.append(
+                    (residual, VehicleObservation((bl, br, top), x, z, residual))
+                )
+    candidates.sort(key=lambda c: c[0])
+    chosen: List[VehicleObservation] = []
+    used: set = set()
+    for _residual, obs in candidates:
+        ids = {id(m) for m in obs.marks}
+        if ids & used:
+            continue
+        chosen.append(obs)
+        used |= ids
+        if len(chosen) >= config.n_vehicles:
+            break
+    # Report left-to-right for determinism.
+    chosen.sort(key=lambda o: o.x)
+    return chosen
+
+
+# -- track update (the core of ``predict``) ------------------------------------
+
+
+def _dedupe_marks(marks: Sequence[Mark], tol: float = 3.0) -> List[Mark]:
+    """Collapse duplicate detections of the same physical mark.
+
+    Windows of interest overlap (three per vehicle, each large enough to
+    absorb inter-frame motion), so one reflector is often detected in
+    several windows.  Marks whose centres fall within ``tol`` pixels are
+    one physical mark; the detection with the most support (pixel count)
+    wins.
+    """
+    kept: List[Mark] = []
+    for mark in sorted(marks, key=lambda m: -m.pixel_count):
+        if all(mark.distance_to(existing) > tol for existing in kept):
+            kept.append(mark)
+    return kept
+
+
+def update_tracks(
+    state: TrackerState, marks: Sequence[Mark]
+) -> Tuple[List[Mark], TrackerState]:
+    """One prediction step: marks -> (marks to display, next state).
+
+    Matches vehicle observations to existing tracks (nearest (x, z)),
+    updates the constant-velocity estimates, and decides the next mode:
+    tracking requires every expected vehicle seen with all three marks,
+    otherwise the next iteration reinitialises (§4's failure rule).
+    """
+    config = state.config
+    observations = group_marks(config, _dedupe_marks(marks))
+
+    new_tracks: List[VehicleTrack] = []
+    available = list(state.tracks)
+    for obs in observations:
+        best_idx, best_d = None, None
+        for idx, track in enumerate(available):
+            d = math.hypot(track.x - obs.x, track.z - obs.z)
+            if best_d is None or d < best_d:
+                best_idx, best_d = idx, d
+        if best_idx is not None and best_d is not None and best_d < 5.0:
+            prev = available.pop(best_idx)
+            new_tracks.append(
+                VehicleTrack(
+                    x=obs.x,
+                    z=obs.z,
+                    vx=obs.x - prev.x,
+                    vz=obs.z - prev.z,
+                    marks=obs.mark_centers(),
+                    age=prev.age + 1,
+                )
+            )
+        else:
+            new_tracks.append(
+                VehicleTrack(x=obs.x, z=obs.z, marks=obs.mark_centers())
+            )
+    new_tracks.sort(key=lambda t: t.x)
+
+    complete = len(observations) >= config.n_vehicles and all(
+        len(o.marks) == 3 for o in observations
+    )
+    next_mode = "track" if complete else "reinit"
+    next_state = replace(
+        state,
+        mode=next_mode,
+        tracks=tuple(new_tracks),
+        iteration=state.iteration + 1,
+    )
+    display = [m for obs in observations for m in obs.marks]
+    return display, next_state

@@ -1,0 +1,109 @@
+"""Vision substrate: images, pixel operations, features and decompositions.
+
+These are the sequential building blocks that SKiPPER coordinates - the
+Python equivalents of the paper's application-specific C functions.
+"""
+
+from .image import Image, Rect
+from .ops import (
+    add_noise,
+    apply_lut,
+    equalization_lut,
+    equalize,
+    box_blur,
+    convolve,
+    gradient_magnitude,
+    histogram,
+    invert,
+    otsu_threshold,
+    sobel,
+    threshold,
+)
+from .labelling import (
+    UnionFind,
+    bounding_rect,
+    component_count,
+    components,
+    label,
+    label_flood,
+)
+from .features import Mark, centroid, extract_marks
+from .windows import Window, extract_window, tile_image, windows_around
+from .geometry import (
+    Domain,
+    merge_image,
+    merge_reduce,
+    scm_apply,
+    split_blocks,
+    split_cols,
+    split_rows,
+)
+from .lines import Line, detect_lines, hough_accumulate, hough_peaks
+from .synth import checkerboard, draw_blob, road_scene, scene_with_blobs
+from .morphology import closing, dilate, erode, morphological_gradient, opening
+from .segment import (
+    RegionStats,
+    is_homogeneous,
+    merge_adjacent,
+    quadtree_leaves,
+    region_stats,
+    segment,
+    split_region,
+)
+
+__all__ = [
+    "Image",
+    "Rect",
+    "threshold",
+    "histogram",
+    "otsu_threshold",
+    "equalization_lut",
+    "apply_lut",
+    "equalize",
+    "convolve",
+    "sobel",
+    "gradient_magnitude",
+    "box_blur",
+    "invert",
+    "add_noise",
+    "UnionFind",
+    "label",
+    "label_flood",
+    "component_count",
+    "components",
+    "bounding_rect",
+    "Mark",
+    "centroid",
+    "extract_marks",
+    "Window",
+    "extract_window",
+    "tile_image",
+    "windows_around",
+    "Domain",
+    "split_rows",
+    "split_cols",
+    "split_blocks",
+    "merge_image",
+    "merge_reduce",
+    "scm_apply",
+    "Line",
+    "hough_accumulate",
+    "hough_peaks",
+    "detect_lines",
+    "draw_blob",
+    "scene_with_blobs",
+    "road_scene",
+    "checkerboard",
+    "erode",
+    "dilate",
+    "opening",
+    "closing",
+    "morphological_gradient",
+    "RegionStats",
+    "region_stats",
+    "is_homogeneous",
+    "split_region",
+    "quadtree_leaves",
+    "merge_adjacent",
+    "segment",
+]

@@ -1,0 +1,97 @@
+"""Feature extraction: marks, centroids and englobing frames.
+
+Section 4 of the paper: "Each mark is then characterized by computing its
+center of gravity and an englobing frame."  A :class:`Mark` bundles those
+two characterisations plus the pixel count, and is the unit of data
+flowing through the ``df`` skeleton in the case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .image import Image, Rect
+from .labelling import bounding_rect, label
+from .ops import otsu_threshold, threshold
+
+__all__ = ["Mark", "centroid", "extract_marks"]
+
+
+@dataclass(frozen=True)
+class Mark:
+    """A detected visual mark.
+
+    Coordinates are *global* image coordinates (the detector translates
+    window-local results back into frame coordinates so the tracker can
+    reason about the whole scene).
+    """
+
+    center: Tuple[float, float]  # (row, col) center of gravity
+    frame: Rect  # englobing frame
+    pixel_count: int
+
+    @property
+    def row(self) -> float:
+        return self.center[0]
+
+    @property
+    def col(self) -> float:
+        return self.center[1]
+
+    def translated(self, drow: int, dcol: int) -> "Mark":
+        """The same mark shifted by (drow, dcol)."""
+        return Mark(
+            (self.center[0] + drow, self.center[1] + dcol),
+            Rect(self.frame.row + drow, self.frame.col + dcol,
+                 self.frame.height, self.frame.width),
+            self.pixel_count,
+        )
+
+    def distance_to(self, other: "Mark") -> float:
+        dr = self.row - other.row
+        dc = self.col - other.col
+        return float(np.hypot(dr, dc))
+
+
+def centroid(mask: np.ndarray) -> Tuple[float, float]:
+    """Center of gravity (row, col) of a boolean mask."""
+    rows, cols = np.nonzero(mask)
+    if rows.size == 0:
+        raise ValueError("centroid of an empty mask")
+    return (float(rows.mean()), float(cols.mean()))
+
+
+def extract_marks(
+    window: Image,
+    *,
+    level: Optional[int] = None,
+    min_pixels: int = 1,
+    connectivity: int = 8,
+    origin: Tuple[int, int] = (0, 0),
+) -> List[Mark]:
+    """Detect marks in a window.
+
+    Marks are connected groups of pixels strictly above ``level`` (Otsu's
+    threshold when ``level`` is None).  Components smaller than
+    ``min_pixels`` are rejected as noise.  ``origin`` is the (row, col) of
+    the window's top-left corner in the full frame; returned marks use
+    global coordinates.
+    """
+    if window.nrows == 0 or window.ncols == 0:
+        return []
+    lvl = otsu_threshold(window) if level is None else level
+    binary = threshold(window, lvl)
+    labels, count = label(binary, connectivity)
+    marks: List[Mark] = []
+    for k in range(1, count + 1):
+        mask = labels == k
+        pixels = int(mask.sum())
+        if pixels < min_pixels:
+            continue
+        marks.append(
+            Mark(centroid(mask), bounding_rect(mask), pixels).translated(*origin)
+        )
+    return marks

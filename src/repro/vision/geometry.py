@@ -1,0 +1,159 @@
+"""Geometric domain decomposition for the ``scm`` skeleton.
+
+The first class of patterns the paper identifies is "geometric processing
+of iconic data": the input image is decomposed into sub-domains, each
+sub-domain is processed independently with the same function, and the
+final result is obtained by merging those computed on each sub-domain
+(section 2).  This module supplies the standard split/merge pairs:
+
+* row-band / column-band splits (with optional overlap for stencil ops);
+* block (grid) splits;
+* the inverse merges reassembling an image of the original geometry.
+
+Splits return :class:`Domain` values which remember where each piece came
+from, so merges are self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from .image import Image, Rect
+
+__all__ = [
+    "Domain",
+    "split_rows",
+    "split_cols",
+    "split_blocks",
+    "merge_image",
+    "merge_reduce",
+    "scm_apply",
+]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One piece of a geometric decomposition.
+
+    ``core`` is the sub-rectangle of the original image this piece is
+    responsible for; ``rect`` is the possibly-larger extracted region
+    (``rect`` ⊇ ``core`` when a halo/overlap was requested so stencil
+    operators see their neighbourhoods).  ``pixels`` covers ``rect``.
+    """
+
+    rect: Rect
+    core: Rect
+    pixels: Image
+
+    @property
+    def core_in_piece(self) -> Rect:
+        """``core`` expressed in piece-local coordinates."""
+        return Rect(
+            self.core.row - self.rect.row,
+            self.core.col - self.rect.col,
+            self.core.height,
+            self.core.width,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.pixels.nbytes
+
+
+def _band_bounds(total: int, n: int) -> List[Rect]:
+    """Split ``total`` units into ``n`` contiguous spans of near-equal size."""
+    base, extra = divmod(total, n)
+    spans = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, size))
+        start += size
+    return spans
+
+
+def split_rows(image: Image, n: int, overlap: int = 0) -> List[Domain]:
+    """Split into ``n`` horizontal bands, each with an ``overlap``-row halo."""
+    if n <= 0:
+        raise ValueError(f"split count must be positive, got {n}")
+    n = min(n, image.nrows) or 1
+    domains = []
+    for start, size in _band_bounds(image.nrows, n):
+        core = Rect(start, 0, size, image.ncols)
+        rect = core.inflate(overlap).intersect(image.rect) if overlap else core
+        # inflate() also widens columns; restore full-width bands.
+        rect = Rect(rect.row, 0, rect.height, image.ncols)
+        domains.append(Domain(rect, core, image.crop(rect)))
+    return domains
+
+
+def split_cols(image: Image, n: int, overlap: int = 0) -> List[Domain]:
+    """Split into ``n`` vertical bands, each with an ``overlap``-column halo."""
+    if n <= 0:
+        raise ValueError(f"split count must be positive, got {n}")
+    n = min(n, image.ncols) or 1
+    domains = []
+    for start, size in _band_bounds(image.ncols, n):
+        core = Rect(0, start, image.nrows, size)
+        rect = core.inflate(overlap).intersect(image.rect) if overlap else core
+        rect = Rect(0, rect.col, image.nrows, rect.width)
+        domains.append(Domain(rect, core, image.crop(rect)))
+    return domains
+
+
+def split_blocks(image: Image, nrows: int, ncols: int, overlap: int = 0) -> List[Domain]:
+    """Split into an ``nrows`` x ``ncols`` grid of blocks (row-major order)."""
+    if nrows <= 0 or ncols <= 0:
+        raise ValueError("grid dimensions must be positive")
+    nrows = min(nrows, image.nrows) or 1
+    ncols = min(ncols, image.ncols) or 1
+    domains = []
+    for rstart, rsize in _band_bounds(image.nrows, nrows):
+        for cstart, csize in _band_bounds(image.ncols, ncols):
+            core = Rect(rstart, cstart, rsize, csize)
+            rect = core.inflate(overlap).intersect(image.rect) if overlap else core
+            domains.append(Domain(rect, core, image.crop(rect)))
+    return domains
+
+
+def merge_image(shape, pieces: Sequence[Domain], results: Sequence[Image]) -> Image:
+    """Reassemble processed pieces into an image of the original geometry.
+
+    ``results[i]`` must have the same shape as ``pieces[i].pixels``; only
+    the ``core`` region of each result is copied out, discarding halos.
+    """
+    if len(pieces) != len(results):
+        raise ValueError("pieces and results must align")
+    out = Image.zeros(*shape)
+    for dom, res in zip(pieces, results):
+        local = dom.core_in_piece
+        out.blit(dom.core, res.crop(local))
+    return out
+
+
+def merge_reduce(results: Sequence, combine: Callable, zero):
+    """Fold per-domain scalar/feature results (e.g. per-band histograms)."""
+    acc = zero
+    for r in results:
+        acc = combine(acc, r)
+    return acc
+
+
+def scm_apply(
+    image: Image,
+    n: int,
+    compute: Callable[[Domain], Image],
+    *,
+    overlap: int = 0,
+    split: Callable[..., List[Domain]] = split_rows,
+) -> Image:
+    """Reference sequential Split-Compute-Merge over an image.
+
+    Mirrors the declarative semantics of the ``scm`` skeleton for the
+    image-to-image case; used as an oracle by tests and by the sequential
+    emulator.
+    """
+    pieces = split(image, n, overlap)
+    results = [compute(d) for d in pieces]
+    return merge_image(image.shape, pieces, results)

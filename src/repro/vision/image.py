@@ -1,0 +1,198 @@
+"""Core image container for the vision substrate.
+
+SKiPPER's sequential C functions exchange iconic data (gray-level images)
+and feature data (lists of marks, windows).  This module provides the
+``Image`` type used throughout the reproduction: a thin, explicit wrapper
+around a 2-D ``numpy.uint8`` array with row-major (row, col) indexing,
+mirroring the ``img`` C struct of the paper's prototypes
+(``void read_img(int nrows, int ncols, img *im)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Image", "Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in image coordinates.
+
+    ``row``/``col`` locate the top-left corner; the rectangle spans rows
+    ``row .. row + height - 1`` and columns ``col .. col + width - 1``.
+    This is the "englobing frame" of the paper (section 4).
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height < 0 or self.width < 0:
+            raise ValueError(f"negative rectangle extent: {self}")
+
+    @property
+    def row_end(self) -> int:
+        """One past the last row covered."""
+        return self.row + self.height
+
+    @property
+    def col_end(self) -> int:
+        """One past the last column covered."""
+        return self.col + self.width
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """(row, col) geometric center."""
+        return (self.row + (self.height - 1) / 2.0, self.col + (self.width - 1) / 2.0)
+
+    def is_empty(self) -> bool:
+        return self.height == 0 or self.width == 0
+
+    def contains(self, row: float, col: float) -> bool:
+        return self.row <= row < self.row_end and self.col <= col < self.col_end
+
+    def intersect(self, other: "Rect") -> "Rect":
+        """Intersection rectangle (possibly empty)."""
+        r0 = max(self.row, other.row)
+        c0 = max(self.col, other.col)
+        r1 = min(self.row_end, other.row_end)
+        c1 = min(self.col_end, other.col_end)
+        return Rect(r0, c0, max(0, r1 - r0), max(0, c1 - c0))
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both operands."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        r0 = min(self.row, other.row)
+        c0 = min(self.col, other.col)
+        r1 = max(self.row_end, other.row_end)
+        c1 = max(self.col_end, other.col_end)
+        return Rect(r0, c0, r1 - r0, c1 - c0)
+
+    def inflate(self, margin: int) -> "Rect":
+        """Grow the rectangle by ``margin`` pixels on every side."""
+        return Rect(
+            self.row - margin,
+            self.col - margin,
+            self.height + 2 * margin,
+            self.width + 2 * margin,
+        )
+
+    def clip(self, nrows: int, ncols: int) -> "Rect":
+        """Clip to an ``nrows`` x ``ncols`` image."""
+        r0 = min(max(self.row, 0), nrows)
+        c0 = min(max(self.col, 0), ncols)
+        r1 = min(max(self.row_end, 0), nrows)
+        c1 = min(max(self.col_end, 0), ncols)
+        return Rect(r0, c0, max(0, r1 - r0), max(0, c1 - c0))
+
+
+class Image:
+    """A gray-level image (8-bit, row-major).
+
+    The wrapper keeps the pixel buffer explicit (``.pixels``) while adding
+    the small set of operations the coordination layer needs: sub-window
+    extraction, in-place blitting, and structural equality.  All heavy
+    pixel processing lives in :mod:`repro.vision.ops`.
+    """
+
+    __slots__ = ("pixels",)
+
+    def __init__(self, pixels: np.ndarray):
+        arr = np.asarray(pixels)
+        if arr.ndim != 2:
+            raise ValueError(f"Image requires a 2-D array, got shape {arr.shape}")
+        self.pixels = arr.astype(np.uint8, copy=False)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "Image":
+        return cls(np.zeros((nrows, ncols), dtype=np.uint8))
+
+    @classmethod
+    def full(cls, nrows: int, ncols: int, value: int) -> "Image":
+        return cls(np.full((nrows, ncols), value, dtype=np.uint8))
+
+    @classmethod
+    def from_list(cls, rows) -> "Image":
+        return cls(np.asarray(rows, dtype=np.uint8))
+
+    # -- basic geometry ----------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def ncols(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def rect(self) -> Rect:
+        """Rectangle covering the whole image."""
+        return Rect(0, 0, self.nrows, self.ncols)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (used by communication cost models)."""
+        return int(self.pixels.nbytes)
+
+    # -- sub-images --------------------------------------------------------
+
+    def crop(self, rect: Rect) -> "Image":
+        """Extract a copy of the pixels under ``rect`` (clipped to bounds)."""
+        r = rect.clip(self.nrows, self.ncols)
+        return Image(self.pixels[r.row : r.row_end, r.col : r.col_end].copy())
+
+    def view(self, rect: Rect) -> np.ndarray:
+        """A (non-copying) view of the pixels under ``rect``."""
+        r = rect.clip(self.nrows, self.ncols)
+        return self.pixels[r.row : r.row_end, r.col : r.col_end]
+
+    def blit(self, rect: Rect, patch: "Image") -> None:
+        """Copy ``patch`` into place at ``rect`` (clipped to bounds)."""
+        r = rect.clip(self.nrows, self.ncols)
+        self.pixels[r.row : r.row_end, r.col : r.col_end] = patch.pixels[
+            : r.height, : r.width
+        ]
+
+    def copy(self) -> "Image":
+        return Image(self.pixels.copy())
+
+    # -- misc ---------------------------------------------------------------
+
+    def __getitem__(self, idx) -> int:
+        return self.pixels[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return self.shape == other.shape and bool(
+            np.array_equal(self.pixels, other.pixels)
+        )
+
+    def __hash__(self) -> int:  # images are mutable: identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Image({self.nrows}x{self.ncols})"
+
+    def rows(self) -> Iterator[np.ndarray]:
+        return iter(self.pixels)

@@ -1,0 +1,109 @@
+"""White-line detection for the road-following application.
+
+SKiPPER's second demo application is "road-following by white line
+detection" [Ginhac '99].  We reproduce it as: gradient thresholding to
+candidate line pixels, then a Hough transform voting for (rho, theta)
+line parameters, with per-band partial accumulators so the application
+parallelises under ``scm`` (accumulators merge by addition — an
+associative, commutative fold, as the skeleton contract requires).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .image import Image
+from .ops import gradient_magnitude, threshold
+
+__all__ = ["Line", "hough_accumulate", "hough_peaks", "detect_lines"]
+
+_THETA_BINS = 180
+
+
+@dataclass(frozen=True)
+class Line:
+    """A line in normal form: rho = col*cos(theta) + row*sin(theta)."""
+
+    rho: float
+    theta: float  # radians, in [0, pi)
+    votes: int
+
+    def point_distance(self, row: float, col: float) -> float:
+        """Perpendicular distance from (row, col) to the line."""
+        return abs(col * math.cos(self.theta) + row * math.sin(self.theta) - self.rho)
+
+
+def hough_accumulate(
+    binary: Image, *, rho_step: float = 1.0, origin: Tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """Vote every foreground pixel into a (rho, theta) accumulator.
+
+    ``origin`` places the piece in global coordinates so per-band partial
+    accumulators from an ``scm`` split sum to the full-image accumulator —
+    the merge-by-addition property the tests verify.
+
+    The rho axis is diagonal-sized for a 512x512 reference frame so all
+    pieces share one accumulator geometry.
+    """
+    max_rho = 1024.0
+    n_rho = int(2 * max_rho / rho_step) + 1
+    acc = np.zeros((n_rho, _THETA_BINS), dtype=np.int64)
+    rows, cols = np.nonzero(binary.pixels)
+    if rows.size == 0:
+        return acc
+    rows = rows.astype(np.float64) + origin[0]
+    cols = cols.astype(np.float64) + origin[1]
+    thetas = np.arange(_THETA_BINS) * (math.pi / _THETA_BINS)
+    cos_t, sin_t = np.cos(thetas), np.sin(thetas)
+    for t in range(_THETA_BINS):
+        rho = cols * cos_t[t] + rows * sin_t[t]
+        idx = np.round((rho + max_rho) / rho_step).astype(np.int64)
+        np.clip(idx, 0, n_rho - 1, out=idx)
+        np.add.at(acc[:, t], idx, 1)
+    return acc
+
+
+def hough_peaks(
+    acc: np.ndarray, k: int, *, min_votes: int = 1, rho_step: float = 1.0
+) -> List[Line]:
+    """Top-``k`` accumulator peaks with non-maximum suppression (3x3)."""
+    max_rho = (acc.shape[0] - 1) * rho_step / 2
+    padded = np.pad(acc, 1, constant_values=-1)
+    neighbourhood_max = np.stack(
+        [
+            padded[1 + dr : 1 + dr + acc.shape[0], 1 + dc : 1 + dc + acc.shape[1]]
+            for dr in (-1, 0, 1)
+            for dc in (-1, 0, 1)
+            if (dr, dc) != (0, 0)
+        ]
+    ).max(axis=0)
+    is_peak = (acc >= neighbourhood_max) & (acc >= min_votes)
+    peaks = np.argwhere(is_peak)
+    if peaks.size == 0:
+        return []
+    votes = acc[peaks[:, 0], peaks[:, 1]]
+    order = np.argsort(-votes)[:k]
+    lines = []
+    for i in order:
+        r_idx, t_idx = peaks[i]
+        lines.append(
+            Line(
+                rho=float(r_idx * rho_step - max_rho),
+                theta=float(t_idx * math.pi / _THETA_BINS),
+                votes=int(votes[i]),
+            )
+        )
+    return lines
+
+
+def detect_lines(
+    frame: Image, k: int = 2, *, edge_level: int = 100, min_votes: int = 30
+) -> List[Line]:
+    """End-to-end white-line detector: gradient -> threshold -> Hough."""
+    edges = threshold(gradient_magnitude(frame), edge_level)
+    acc = hough_accumulate(edges)
+    return hough_peaks(acc, k, min_votes=min_votes)

@@ -1,0 +1,83 @@
+"""Binary mathematical morphology.
+
+Standard low-level vision operators of the SKiPPER era's toolbox —
+erosion, dilation, opening, closing — used to clean detection masks
+before labelling (speck removal, hole filling).  All operate on binary
+images (non-zero = foreground) with a rectangular structuring element,
+and all are pure functions, so they parallelise under ``scm`` with a
+halo equal to the structuring-element radius.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .image import Image
+
+__all__ = ["erode", "dilate", "opening", "closing", "morphological_gradient"]
+
+
+def _check_element(size: Tuple[int, int]) -> Tuple[int, int]:
+    rows, cols = size
+    if rows <= 0 or cols <= 0 or rows % 2 == 0 or cols % 2 == 0:
+        raise ValueError(
+            f"structuring element must have odd positive sides, got {size}"
+        )
+    return rows, cols
+
+
+def _neighbourhood_stack(binary: np.ndarray, size: Tuple[int, int],
+                         pad_value: int) -> np.ndarray:
+    """All shifted copies of ``binary`` under the element, stacked."""
+    rows, cols = size
+    rr, cc = rows // 2, cols // 2
+    padded = np.pad(binary, ((rr, rr), (cc, cc)), constant_values=pad_value)
+    nrows, ncols = binary.shape
+    return np.stack(
+        [
+            padded[dr : dr + nrows, dc : dc + ncols]
+            for dr in range(rows)
+            for dc in range(cols)
+        ]
+    )
+
+
+def erode(image: Image, size: Tuple[int, int] = (3, 3)) -> Image:
+    """Binary erosion: a pixel survives iff its whole neighbourhood is set.
+
+    Outside the frame counts as foreground (the adjoint convention),
+    making erosion/dilation a proper adjunction on the finite frame:
+    opening/closing are idempotent and erosion is the De Morgan dual of
+    dilation.
+    """
+    size = _check_element(size)
+    fg = (image.pixels > 0).astype(np.uint8)
+    stack = _neighbourhood_stack(fg, size, pad_value=1)
+    return Image((stack.min(axis=0) * 255).astype(np.uint8))
+
+
+def dilate(image: Image, size: Tuple[int, int] = (3, 3)) -> Image:
+    """Binary dilation: a pixel is set iff any neighbour is set."""
+    size = _check_element(size)
+    fg = (image.pixels > 0).astype(np.uint8)
+    stack = _neighbourhood_stack(fg, size, pad_value=0)
+    return Image((stack.max(axis=0) * 255).astype(np.uint8))
+
+
+def opening(image: Image, size: Tuple[int, int] = (3, 3)) -> Image:
+    """Erosion then dilation: removes specks smaller than the element."""
+    return dilate(erode(image, size), size)
+
+
+def closing(image: Image, size: Tuple[int, int] = (3, 3)) -> Image:
+    """Dilation then erosion: fills holes smaller than the element."""
+    return erode(dilate(image, size), size)
+
+
+def morphological_gradient(image: Image, size: Tuple[int, int] = (3, 3)) -> Image:
+    """Dilation minus erosion: the boundary of each component."""
+    d = dilate(image, size).pixels.astype(np.int16)
+    e = erode(image, size).pixels.astype(np.int16)
+    return Image(np.clip(d - e, 0, 255).astype(np.uint8))

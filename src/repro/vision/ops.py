@@ -1,0 +1,168 @@
+"""Low-level pixel operations.
+
+These are the "application specific sequential functions written in C" of
+the paper, reimplemented in Python/numpy: thresholding, histogramming,
+convolution and gradient operators.  They are deliberately *pure*
+functions over :class:`~repro.vision.image.Image` so the coordination
+layer (skeletons) can treat them as opaque compute kernels — exactly the
+contract SKiPPER imposes on its C functions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .image import Image
+
+__all__ = [
+    "threshold",
+    "histogram",
+    "otsu_threshold",
+    "equalization_lut",
+    "apply_lut",
+    "equalize",
+    "convolve",
+    "sobel",
+    "gradient_magnitude",
+    "box_blur",
+    "invert",
+    "add_noise",
+]
+
+
+def threshold(image: Image, level: int, *, above: int = 255, below: int = 0) -> Image:
+    """Binarise ``image``: pixels strictly above ``level`` map to ``above``.
+
+    The paper detects marks as "connected groups of pixels with values
+    above a given threshold" (section 4); this is that predicate.
+    """
+    out = np.where(image.pixels > level, above, below).astype(np.uint8)
+    return Image(out)
+
+
+def histogram(image: Image) -> np.ndarray:
+    """256-bin intensity histogram (int64 counts)."""
+    return np.bincount(image.pixels.ravel(), minlength=256).astype(np.int64)
+
+
+def otsu_threshold(image: Image) -> int:
+    """Otsu's optimal global threshold.
+
+    Used by the mark detector when no fixed threshold is supplied:
+    maximises inter-class variance over the intensity histogram.
+    """
+    hist = histogram(image).astype(np.float64)
+    total = hist.sum()
+    if total == 0:
+        return 0
+    prob = hist / total
+    omega = np.cumsum(prob)
+    mu = np.cumsum(prob * np.arange(256))
+    mu_total = mu[-1]
+    # Inter-class variance; guard the 0/0 cases at the extremes.
+    denom = omega * (1.0 - omega)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sigma_b = np.where(denom > 0, (mu_total * omega - mu) ** 2 / denom, 0.0)
+    return int(np.argmax(sigma_b))
+
+
+def equalization_lut(hist: np.ndarray) -> np.ndarray:
+    """Histogram-equalisation lookup table from a 256-bin histogram.
+
+    Maps the cumulative distribution onto the full 8-bit range (the
+    classic contrast enhancement).  Returns a uint8 LUT of 256 entries;
+    an all-zero histogram yields the identity LUT.
+    """
+    hist = np.asarray(hist, dtype=np.float64)
+    if hist.shape != (256,):
+        raise ValueError(f"histogram must have 256 bins, got {hist.shape}")
+    total = hist.sum()
+    if total == 0:
+        return np.arange(256, dtype=np.uint8)
+    cdf = np.cumsum(hist)
+    cdf_min = cdf[np.flatnonzero(cdf)[0]]
+    denom = total - cdf_min
+    if denom <= 0:  # single-intensity image
+        return np.arange(256, dtype=np.uint8)
+    lut = np.round((cdf - cdf_min) / denom * 255.0)
+    return np.clip(lut, 0, 255).astype(np.uint8)
+
+
+def apply_lut(image: Image, lut: np.ndarray) -> Image:
+    """Remap intensities through a 256-entry lookup table."""
+    lut = np.asarray(lut, dtype=np.uint8)
+    if lut.shape != (256,):
+        raise ValueError(f"LUT must have 256 entries, got {lut.shape}")
+    return Image(lut[image.pixels])
+
+
+def equalize(image: Image) -> Image:
+    """Whole-image histogram equalisation (the sequential reference)."""
+    return apply_lut(image, equalization_lut(histogram(image)))
+
+
+def convolve(image: Image, kernel: np.ndarray) -> Image:
+    """2-D convolution with zero padding, clamped to [0, 255].
+
+    A direct (non-FFT) implementation matching what a hand-written C
+    kernel on a Transputer would do; cost models in
+    :mod:`repro.machine.costs` charge per output pixel per tap.
+    """
+    k = np.asarray(kernel, dtype=np.float64)
+    if k.ndim != 2 or k.shape[0] % 2 == 0 or k.shape[1] % 2 == 0:
+        raise ValueError("kernel must be 2-D with odd dimensions")
+    kr, kc = k.shape[0] // 2, k.shape[1] // 2
+    src = np.pad(image.pixels.astype(np.float64), ((kr, kr), (kc, kc)))
+    out = np.zeros(image.shape, dtype=np.float64)
+    nrows, ncols = image.shape
+    for dr in range(k.shape[0]):
+        for dc in range(k.shape[1]):
+            out += k[dr, dc] * src[dr : dr + nrows, dc : dc + ncols]
+    return Image(np.clip(out, 0, 255).astype(np.uint8))
+
+
+_SOBEL_X = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float64)
+_SOBEL_Y = _SOBEL_X.T
+
+
+def sobel(image: Image) -> Tuple[np.ndarray, np.ndarray]:
+    """Horizontal and vertical Sobel gradients (float64, unclipped)."""
+    src = np.pad(image.pixels.astype(np.float64), 1)
+    nrows, ncols = image.shape
+    gx = np.zeros(image.shape)
+    gy = np.zeros(image.shape)
+    for dr in range(3):
+        for dc in range(3):
+            window = src[dr : dr + nrows, dc : dc + ncols]
+            gx += _SOBEL_X[dr, dc] * window
+            gy += _SOBEL_Y[dr, dc] * window
+    return gx, gy
+
+
+def gradient_magnitude(image: Image) -> Image:
+    """Sobel gradient magnitude, scaled to 8 bits."""
+    gx, gy = sobel(image)
+    mag = np.hypot(gx, gy)
+    peak = mag.max()
+    if peak > 0:
+        mag = mag * (255.0 / peak)
+    return Image(mag.astype(np.uint8))
+
+
+def box_blur(image: Image, radius: int = 1) -> Image:
+    """Mean filter over a (2r+1)^2 box."""
+    size = 2 * radius + 1
+    kernel = np.full((size, size), 1.0 / (size * size))
+    return convolve(image, kernel)
+
+
+def invert(image: Image) -> Image:
+    return Image(255 - image.pixels)
+
+
+def add_noise(image: Image, sigma: float, rng: np.random.Generator) -> Image:
+    """Additive Gaussian noise, clamped; used by the synthetic video source."""
+    noisy = image.pixels.astype(np.float64) + rng.normal(0.0, sigma, image.shape)
+    return Image(np.clip(noisy, 0, 255).astype(np.uint8))

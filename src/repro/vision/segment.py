@@ -1,0 +1,164 @@
+"""Quadtree split-and-merge segmentation.
+
+The paper names divide-and-conquer algorithms as the ``tf`` skeleton's
+main use (§2), and its companion work on the Transvision machine used
+region-based segmentation [Legrand et al., CAMP'93].  This module
+provides the real algorithm: recursive quadtree *splitting* of regions
+whose intensity variance exceeds a threshold, and *merging* of adjacent
+leaves with similar statistics — exactly the workload shape ``tf``
+parallelises (each split spawns four sub-regions as new packets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .image import Image, Rect
+from .labelling import UnionFind
+
+__all__ = [
+    "RegionStats",
+    "region_stats",
+    "is_homogeneous",
+    "split_region",
+    "quadtree_leaves",
+    "merge_adjacent",
+    "segment",
+]
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Intensity statistics of one rectangular region."""
+
+    rect: Rect
+    mean: float
+    variance: float
+
+    @property
+    def area(self) -> int:
+        return self.rect.area
+
+
+def region_stats(image: Image, rect: Rect) -> RegionStats:
+    """Mean/variance of the pixels under ``rect``."""
+    view = image.view(rect).astype(np.float64)
+    if view.size == 0:
+        return RegionStats(rect, 0.0, 0.0)
+    return RegionStats(rect, float(view.mean()), float(view.var()))
+
+
+def is_homogeneous(
+    image: Image, rect: Rect, *, var_threshold: float = 100.0,
+    min_size: int = 4,
+) -> bool:
+    """The split predicate: small regions and low-variance regions stop."""
+    if rect.height <= min_size or rect.width <= min_size:
+        return True
+    return region_stats(image, rect).variance <= var_threshold
+
+
+def split_region(rect: Rect) -> List[Rect]:
+    """The four quadrants of ``rect`` (odd sizes give uneven quadrants)."""
+    half_h = rect.height // 2
+    half_w = rect.width // 2
+    return [
+        Rect(rect.row, rect.col, half_h, half_w),
+        Rect(rect.row, rect.col + half_w, half_h, rect.width - half_w),
+        Rect(rect.row + half_h, rect.col, rect.height - half_h, half_w),
+        Rect(
+            rect.row + half_h,
+            rect.col + half_w,
+            rect.height - half_h,
+            rect.width - half_w,
+        ),
+    ]
+
+
+def quadtree_leaves(
+    image: Image,
+    *,
+    var_threshold: float = 100.0,
+    min_size: int = 4,
+) -> List[RegionStats]:
+    """Sequential reference: all homogeneous leaves of the quadtree.
+
+    This is the declarative-semantics oracle for the ``tf`` version
+    (whose worker performs exactly one ``is_homogeneous``/``split_region``
+    step per packet).
+    """
+    leaves: List[RegionStats] = []
+    stack = [image.rect]
+    while stack:
+        rect = stack.pop()
+        if is_homogeneous(
+            image, rect, var_threshold=var_threshold, min_size=min_size
+        ):
+            leaves.append(region_stats(image, rect))
+        else:
+            stack.extend(split_region(rect))
+    leaves.sort(key=lambda s: (s.rect.row, s.rect.col, s.rect.height))
+    return leaves
+
+
+def _adjacent(a: Rect, b: Rect) -> bool:
+    """Edge adjacency (sharing a boundary segment, not just a corner)."""
+    row_overlap = min(a.row_end, b.row_end) - max(a.row, b.row)
+    col_overlap = min(a.col_end, b.col_end) - max(a.col, b.col)
+    touches_vertically = (
+        (a.row_end == b.row or b.row_end == a.row) and col_overlap > 0
+    )
+    touches_horizontally = (
+        (a.col_end == b.col or b.col_end == a.col) and row_overlap > 0
+    )
+    return touches_vertically or touches_horizontally
+
+
+def merge_adjacent(
+    leaves: Sequence[RegionStats], *, mean_threshold: float = 12.0
+) -> List[List[RegionStats]]:
+    """The merge phase: group adjacent leaves with similar means.
+
+    Returns the leaf groups (segments), each a list of RegionStats,
+    ordered by top-left corner.
+    """
+    uf = UnionFind()
+    for _ in leaves:
+        uf.make_set()
+    for i, a in enumerate(leaves):
+        for j in range(i + 1, len(leaves)):
+            b = leaves[j]
+            if abs(a.mean - b.mean) <= mean_threshold and _adjacent(
+                a.rect, b.rect
+            ):
+                uf.union(i, j)
+    groups: Dict[int, List[RegionStats]] = {}
+    for i, leaf in enumerate(leaves):
+        groups.setdefault(uf.find(i), []).append(leaf)
+    segments = list(groups.values())
+    segments.sort(key=lambda g: (g[0].rect.row, g[0].rect.col))
+    return segments
+
+
+def segment(
+    image: Image,
+    *,
+    var_threshold: float = 100.0,
+    min_size: int = 4,
+    mean_threshold: float = 12.0,
+) -> np.ndarray:
+    """Full split-and-merge segmentation: a label per pixel (1-based)."""
+    leaves = quadtree_leaves(
+        image, var_threshold=var_threshold, min_size=min_size
+    )
+    segments = merge_adjacent(leaves, mean_threshold=mean_threshold)
+    labels = np.zeros(image.shape, dtype=np.int32)
+    for k, group in enumerate(segments, start=1):
+        for leaf in group:
+            r = leaf.rect
+            labels[r.row : r.row_end, r.col : r.col_end] = k
+    return labels

@@ -1,0 +1,80 @@
+"""Windows of interest.
+
+The tracker never scans whole frames: it processes a *list of windows*
+whose number and sizes vary with the scene (3/6/9 windows in normal
+tracking, n full-frame tiles during reinitialisation — section 4).  A
+:class:`Window` pairs a rectangle with its extracted pixels so it can be
+shipped to a ``df`` worker as a self-contained data packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .image import Image, Rect
+
+__all__ = ["Window", "extract_window", "tile_image", "windows_around"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """A window of interest: its frame placement plus a pixel copy.
+
+    ``rect`` is expressed in full-frame coordinates; ``pixels`` is the
+    cropped sub-image (already clipped to the frame bounds).
+    """
+
+    rect: Rect
+    pixels: Image
+
+    @property
+    def origin(self) -> Tuple[int, int]:
+        return (self.rect.row, self.rect.col)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size, used by communication cost models."""
+        return self.pixels.nbytes
+
+    @property
+    def area(self) -> int:
+        return self.rect.area
+
+
+def extract_window(frame: Image, rect: Rect) -> Window:
+    """Crop ``rect`` (clipped to the frame) into a shippable window."""
+    clipped = rect.clip(frame.nrows, frame.ncols)
+    return Window(clipped, frame.crop(clipped))
+
+
+def tile_image(frame: Image, n: int) -> List[Window]:
+    """Divide the frame into ``n`` equally-sized sub-windows.
+
+    This is the reinitialisation strategy of section 4: "windows of
+    interests are obtained by dividing up the whole image into n
+    equally-sized sub-windows, where n is typically taken equal to the
+    total number of processors".  The frame is cut into horizontal bands
+    of (almost) equal height; remainder rows go to the first bands so the
+    tiling always covers the frame exactly.
+    """
+    if n <= 0:
+        raise ValueError(f"tile count must be positive, got {n}")
+    n = min(n, frame.nrows) or 1
+    base = frame.nrows // n
+    extra = frame.nrows % n
+    windows: List[Window] = []
+    row = 0
+    for i in range(n):
+        height = base + (1 if i < extra else 0)
+        rect = Rect(row, 0, height, frame.ncols)
+        windows.append(extract_window(frame, rect))
+        row += height
+    return windows
+
+
+def windows_around(
+    frame: Image, rects: List[Rect], margin: int = 0
+) -> List[Window]:
+    """Extract (optionally inflated) windows around predicted rectangles."""
+    return [extract_window(frame, r.inflate(margin)) for r in rects]

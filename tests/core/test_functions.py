@@ -1,0 +1,131 @@
+"""Tests for the sequential-function registry."""
+
+import pytest
+
+from repro.core import FunctionSpec, FunctionTable, constant_cost, payload_bytes
+
+
+def make_table():
+    table = FunctionTable()
+
+    @table.register("inc", ins=["int"], outs=["int"], cost=5.0)
+    def inc(x):
+        return x + 1
+
+    @table.register(
+        "predict", ins=["mark list"], outs=["mark list", "state"], doc="split outs"
+    )
+    def predict(marks):
+        return marks, {"n": len(marks)}
+
+    @table.register("show", ins=["mark list"])  # sink: no outs
+    def show(_marks):
+        return None
+
+    return table
+
+
+class TestFunctionSpec:
+    def test_signature_rendering(self):
+        spec = FunctionSpec("f", lambda a, b: a, ["state", "img"], ["mark list"])
+        assert spec.signature() == "state * img -> mark list"
+
+    def test_nullary_signature(self):
+        spec = FunctionSpec("init", lambda: 0, [], ["state"])
+        assert spec.signature() == "unit -> state"
+
+    def test_sink_defaults_to_unit_out(self):
+        spec = FunctionSpec("show", lambda x: None, ["img"], ())
+        assert spec.outs == ("unit",)
+        assert spec.n_outs == 1
+
+    def test_call_checks_arity(self):
+        spec = FunctionSpec("f", lambda a: a, ["int"], ["int"])
+        assert spec(3) == 3
+        with pytest.raises(TypeError):
+            spec(1, 2)
+
+    def test_cost_constant(self):
+        spec = FunctionSpec("f", lambda a: a, ["int"], ["int"], constant_cost(7.5))
+        assert spec.cost_of(99) == 7.5
+
+    def test_cost_data_dependent(self):
+        spec = FunctionSpec(
+            "f", lambda xs: xs, ["list"], ["list"], cost=lambda xs: 2.0 * len(xs)
+        )
+        assert spec.cost_of([1, 2, 3]) == 6.0
+
+    def test_cost_unmodelled(self):
+        spec = FunctionSpec("f", lambda a: a, ["int"], ["int"])
+        assert spec.cost_of(1) is None
+
+
+class TestFunctionTable:
+    def test_lookup_and_contains(self):
+        table = make_table()
+        assert "inc" in table
+        assert table["inc"](4) == 5
+        assert len(table) == 3
+        assert set(table.names()) == {"inc", "predict", "show"}
+
+    def test_unknown_function(self):
+        table = make_table()
+        with pytest.raises(KeyError, match="unknown sequential function"):
+            table["nope"]
+
+    def test_duplicate_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError, match="already registered"):
+
+            @table.register("inc", ins=["int"], outs=["int"])
+            def inc2(x):
+                return x
+
+    def test_register_numeric_cost(self):
+        table = make_table()
+        assert table["inc"].cost_of(0) == 5.0
+
+    def test_multi_out_spec(self):
+        table = make_table()
+        spec = table["predict"]
+        assert spec.n_outs == 2
+        marks, state = spec([1, 2])
+        assert state == {"n": 2}
+
+    def test_iteration(self):
+        table = make_table()
+        assert {s.name for s in table} == {"inc", "predict", "show"}
+
+
+class TestPayloadBytes:
+    def test_scalars(self):
+        assert payload_bytes(None) == 0
+        assert payload_bytes(True) == 1
+        assert payload_bytes(7) == 4
+        assert payload_bytes(3.14) == 4
+
+    def test_containers(self):
+        assert payload_bytes([1, 2, 3]) == 4 + 12
+        assert payload_bytes((1.0, 2.0)) == 4 + 8
+        assert payload_bytes({"a": 1}) == 4 + (4 + 1) + 4
+
+    def test_numpy_and_image(self):
+        import numpy as np
+
+        from repro.vision import Image
+
+        assert payload_bytes(np.zeros(10, dtype=np.uint8)) == 14
+        assert payload_bytes(Image.zeros(4, 4)) == 4 + 16
+
+    def test_dataclass_recursion(self):
+        from repro.vision import Mark, Rect
+
+        m = Mark((1.0, 2.0), Rect(0, 0, 2, 2), 4)
+        # center tuple (4+8) + rect (4 ints = 16) + count (4)
+        assert payload_bytes(m) == 12 + 16 + 4
+
+    def test_opaque_fallback(self):
+        class Weird:
+            pass
+
+        assert payload_bytes(Weird()) == 64

@@ -1,0 +1,278 @@
+"""Tests for the program IR, the builder API and the sequential emulator."""
+
+import pytest
+
+from repro.core import (
+    Apply,
+    Const,
+    EndOfStream,
+    FunctionTable,
+    IRError,
+    Program,
+    ProgramBuilder,
+    SkelApply,
+    StreamSpec,
+    TaskOutcome,
+    emulate,
+    emulate_once,
+)
+
+
+def arith_table():
+    table = FunctionTable()
+
+    @table.register("double", ins=["int"], outs=["int"])
+    def double(x):
+        return 2 * x
+
+    @table.register("add", ins=["int", "int"], outs=["int"])
+    def add(a, b):
+        return a + b
+
+    @table.register("chunk", ins=["int", "int list"], outs=["int list list"])
+    def chunk(n, xs):
+        base, extra = divmod(len(xs), n)
+        out, start = [], 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            if size:
+                out.append(xs[start : start + size])
+            start += size
+        return out
+
+    @table.register("sumlist", ins=["int list"], outs=["int"])
+    def sumlist(xs):
+        return sum(xs)
+
+    @table.register("sumparts", ins=["int list", "int list"], outs=["int"])
+    def sumparts(_orig, parts):
+        return sum(parts)
+
+    @table.register("divconq", ins=["int"], outs=["outcome"])
+    def divconq(x):
+        if x <= 1:
+            return TaskOutcome(results=[x])
+        return TaskOutcome(subtasks=[x // 2, x - x // 2])
+
+    return table
+
+
+class TestIRValidation:
+    def test_use_before_def(self):
+        prog = Program("p", ("a",), [Apply("double", ("ghost",), ("b",))], ("b",))
+        with pytest.raises(IRError, match="used before definition"):
+            prog.validate()
+
+    def test_ssa_violation(self):
+        prog = Program(
+            "p",
+            ("a",),
+            [Apply("double", ("a",), ("b",)), Apply("double", ("a",), ("b",))],
+            ("b",),
+        )
+        with pytest.raises(IRError, match="bound twice"):
+            prog.validate()
+
+    def test_undefined_result(self):
+        prog = Program("p", ("a",), [], ("zz",))
+        with pytest.raises(IRError, match="never defined"):
+            prog.validate()
+
+    def test_unknown_function_against_table(self):
+        prog = Program("p", ("a",), [Apply("mystery", ("a",), ("b",))], ("b",))
+        with pytest.raises(IRError, match="not in the function table"):
+            prog.validate(arith_table())
+
+    def test_arity_mismatch_against_table(self):
+        prog = Program("p", ("a",), [Apply("add", ("a",), ("b",))], ("b",))
+        with pytest.raises(IRError, match="arity"):
+            prog.validate(arith_table())
+
+    def test_skeleton_role_check(self):
+        with pytest.raises(IRError, match="requires roles"):
+            SkelApply("df", 2, {"comp": "double"}, ("z", "xs"), ("out",))
+
+    def test_skeleton_bad_kind(self):
+        with pytest.raises(IRError, match="unknown skeleton kind"):
+            SkelApply("farm", 2, {}, (), ("out",))
+
+    def test_skeleton_bad_degree(self):
+        with pytest.raises(IRError, match="degree"):
+            SkelApply(
+                "df", 0, {"comp": "c", "acc": "a"}, ("z", "xs"), ("out",)
+            )
+
+    def test_stream_body_shape(self):
+        prog = Program(
+            "p",
+            ("state",),
+            [],
+            ("state",),
+            stream=StreamSpec(inp="i", out="o", init_value=0),
+        )
+        with pytest.raises(IRError, match=r"\(state', y\)"):
+            prog.validate()
+
+    def test_stream_needs_init(self):
+        with pytest.raises(IRError, match="init"):
+            StreamSpec(inp="i", out="o")
+
+    def test_structure_queries(self):
+        table = arith_table()
+        b = ProgramBuilder("q", table)
+        (xs,) = b.params("xs")
+        total = b.df(2, comp="double", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(total)
+        assert len(prog.skeleton_instances()) == 1
+        assert set(prog.function_names()) == {"double", "add"}
+        producers = prog.producers()
+        assert isinstance(producers[total.name], SkelApply)
+
+
+class TestBuilder:
+    def test_params_once(self):
+        b = ProgramBuilder("p")
+        b.params("x")
+        with pytest.raises(IRError):
+            b.params("y")
+
+    def test_params_before_bindings(self):
+        b = ProgramBuilder("p")
+        b.const(1)
+        with pytest.raises(IRError):
+            b.params("x")
+
+    def test_multi_out_apply_from_table(self):
+        table = FunctionTable()
+
+        @table.register("pair", ins=["int"], outs=["int", "int"])
+        def pair(x):
+            return x, x + 1
+
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        lo, hi = b.apply("pair", x)
+        prog = b.returns(lo, hi)
+        assert emulate_once(prog, table, 5) == (5, 6)
+
+    def test_foreign_value_rejected(self):
+        b1 = ProgramBuilder("p1")
+        b2 = ProgramBuilder("p2")
+        (x1,) = b1.params("x")
+        b2.params("y")
+        with pytest.raises(IRError, match="another builder"):
+            b2.apply("f", x1)
+
+    def test_finalise_once(self):
+        table = arith_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        y = b.apply("double", x)
+        b.returns(y)
+        with pytest.raises(IRError, match="finalised"):
+            b.returns(y)
+
+
+class TestEmulateOnce:
+    def test_df_program(self):
+        table = arith_table()
+        b = ProgramBuilder("sum2x", table)
+        (xs,) = b.params("xs")
+        total = b.df(4, comp="double", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(total)
+        assert emulate_once(prog, table, [1, 2, 3]) == (12,)
+
+    def test_scm_program(self):
+        table = arith_table()
+        b = ProgramBuilder("sum", table)
+        (xs,) = b.params("xs")
+        out = b.scm(3, split="chunk", comp="sumlist", merge="sumparts", x=xs)
+        prog = b.returns(out)
+        assert emulate_once(prog, table, list(range(10))) == (45,)
+
+    def test_tf_program(self):
+        table = arith_table()
+        b = ProgramBuilder("dc", table)
+        (xs,) = b.params("xs")
+        out = b.tf(4, comp="divconq", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(out)
+        assert emulate_once(prog, table, [10, 5]) == (15,)
+
+    def test_chained_applies(self):
+        table = arith_table()
+        b = ProgramBuilder("quad", table)
+        (x,) = b.params("x")
+        y = b.apply("double", x)
+        z = b.apply("double", y)
+        prog = b.returns(z)
+        assert emulate_once(prog, table, 3) == (12,)
+
+    def test_stream_program_rejected(self):
+        table = arith_table()
+        b = ProgramBuilder("p", table)
+        st_, item = b.params("state", "item")
+        s2 = b.apply("add", st_, item)
+        y = b.apply("double", item)
+        prog = b.stream(s2, y, inp="double", out="double", init_value=0)
+        with pytest.raises(IRError, match="emulate"):
+            emulate_once(prog, table, 0, 0)
+
+
+class TestEmulateStream:
+    def make_stream_program(self, items):
+        table = arith_table()
+        feed = iter(items)
+
+        @table.register("next_item", ins=["unit"], outs=["int"])
+        def next_item(_x):
+            try:
+                return next(feed)
+            except StopIteration:
+                raise EndOfStream
+
+        @table.register("sink", ins=["int"])
+        def sink(_y):
+            return None
+
+        b = ProgramBuilder("running_sum", table)
+        state, item = b.params("state", "item")
+        s2 = b.apply("add", state, item)
+        y = b.apply("double", s2)
+        prog = b.stream(s2, y, inp="next_item", out="sink", init_value=0, source=None)
+        return prog, table
+
+    def test_outputs_and_final_state(self):
+        prog, table = self.make_stream_program([1, 2, 3])
+        result = emulate(prog, table)
+        assert result.outputs == [2, 6, 12]  # double of running sums 1,3,6
+        assert result.final_state == 6
+        assert result.iterations == 3
+
+    def test_max_iterations(self):
+        prog, table = self.make_stream_program([1] * 100)
+        result = emulate(prog, table, max_iterations=4)
+        assert result.iterations == 4
+        assert result.final_state == 4
+
+    def test_init_function(self):
+        table = arith_table()
+
+        @table.register("one_item", ins=["unit"], outs=["int"])
+        def one_item(_x):
+            raise EndOfStream
+
+        @table.register("sink", ins=["int"])
+        def sink(_y):
+            return None
+
+        @table.register("init7", ins=[], outs=["int"])
+        def init7():
+            return 7
+
+        b = ProgramBuilder("p", table)
+        state, item = b.params("state", "item")
+        s2 = b.apply("add", state, item)
+        prog = b.stream(s2, s2, inp="one_item", out="sink", init="init7")
+        result = emulate(prog, table)
+        assert result.final_state == 7
+        assert result.outputs == []

@@ -1,0 +1,219 @@
+"""Tests for the declarative skeleton semantics (incl. property-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EndOfStream, TaskOutcome, df, itermem, scm, tf
+
+
+def chunk(n, xs):
+    """Reference splitter: n near-equal contiguous chunks."""
+    base, extra = divmod(len(xs), n)
+    out, start = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(xs[start : start + size])
+        start += size
+    return [c for c in out if c]
+
+
+class TestScm:
+    def test_matches_paper_shape(self):
+        """split -> map comp -> merge."""
+        result = scm(
+            3,
+            lambda n, xs: chunk(n, xs),
+            lambda piece: sum(piece),
+            lambda _orig, partials: sum(partials),
+            list(range(10)),
+        )
+        assert result == sum(range(10))
+
+    def test_merge_sees_original_input(self):
+        seen = {}
+
+        def merge(orig, results):
+            seen["orig"] = orig
+            return results
+
+        scm(2, lambda n, x: chunk(n, x), lambda p: p, merge, [1, 2, 3])
+        assert seen["orig"] == [1, 2, 3]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            scm(0, lambda n, x: [x], lambda p: p, lambda o, r: r, 1)
+
+    @given(st.lists(st.integers(), max_size=40), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_independent_of_split_degree(self, xs, n):
+        result = scm(
+            n,
+            lambda k, v: chunk(k, v),
+            sum,
+            lambda _o, partials: sum(partials),
+            xs,
+        )
+        assert result == sum(xs)
+
+
+class TestDf:
+    def test_paper_definition(self):
+        """df n comp acc z xs == fold_left acc z (map comp xs)."""
+        comp = lambda x: x * x
+        acc = lambda c, y: c + [y]
+        assert df(4, comp, acc, [], [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_input_returns_z(self):
+        assert df(2, lambda x: x, lambda c, y: c + y, 42, []) == 42
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            df(-1, lambda x: x, lambda c, y: c, 0, [1])
+
+    def test_n_does_not_affect_declarative_result(self):
+        for n in (1, 2, 8, 100):
+            assert df(n, lambda x: x + 1, lambda c, y: c + y, 0, range(10)) == 55
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_equals_fold_map(self, xs, n):
+        comp = lambda x: 3 * x - 1
+        acc = lambda c, y: c + y
+        expected = sum(map(comp, xs))
+        assert df(n, comp, acc, 0, xs) == expected
+
+
+class TestTf:
+    def test_plain_farming_equals_df(self):
+        """A tf whose workers never spawn subtasks behaves like df."""
+        comp = lambda x: TaskOutcome(results=[x * 2])
+        assert tf(3, comp, lambda c, y: c + y, 0, [1, 2, 3]) == 12
+
+    def test_divide_and_conquer_sum(self):
+        """Recursive halving: leaves yield, inner nodes split."""
+
+        def comp(interval):
+            lo, hi = interval
+            if hi - lo == 1:
+                return TaskOutcome(results=[lo])
+            mid = (lo + hi) // 2
+            return TaskOutcome(subtasks=[(lo, mid), (mid, hi)])
+
+        total = tf(4, comp, lambda c, y: c + y, 0, [(0, 100)])
+        assert total == sum(range(100))
+
+    def test_mixed_results_and_subtasks(self):
+        def comp(x):
+            if x >= 4:
+                return TaskOutcome(results=[x], subtasks=[x // 2, x - x // 2])
+            return TaskOutcome(results=[x])
+
+        total = tf(2, comp, lambda c, y: c + y, 0, [8])
+        # 8 -> yields 8, spawns 4,4 -> each yields 4, spawns 2,2
+        assert total == 8 + 4 + 4 + 2 + 2 + 2 + 2
+
+    def test_diverging_farm_guarded(self):
+        comp = lambda x: TaskOutcome(subtasks=[x])
+        with pytest.raises(RuntimeError):
+            tf(2, comp, lambda c, y: c, 0, [1], max_tasks=100)
+
+    def test_wrong_worker_return_type(self):
+        with pytest.raises(TypeError):
+            tf(2, lambda x: x, lambda c, y: c, 0, [1])
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            tf(0, lambda x: TaskOutcome(), lambda c, y: c, 0, [])
+
+    @given(st.lists(st.integers(1, 64), max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_recursive_decomposition_preserves_sum(self, xs):
+        def comp(x):
+            if x <= 1:
+                return TaskOutcome(results=[x])
+            return TaskOutcome(subtasks=[x // 2, x - x // 2])
+
+        assert tf(4, comp, lambda c, y: c + y, 0, xs) == sum(xs)
+
+
+class TestItermem:
+    def test_state_carried_across_iterations(self):
+        stream = iter([1, 2, 3, 4])
+
+        def inp(_x):
+            try:
+                return next(stream)
+            except StopIteration:
+                raise EndOfStream
+
+        outputs = []
+        final = itermem(
+            inp,
+            lambda si: (si[0] + si[1], si[0]),  # state' = state+item, y = old state
+            outputs.append,
+            0,
+            None,
+        )
+        assert outputs == [0, 1, 3, 6]
+        assert final == 10
+
+    def test_max_iterations_bounds_infinite_stream(self):
+        outputs = []
+        final = itermem(
+            lambda _x: 1,
+            lambda si: (si[0] + si[1], si[0] + si[1]),
+            outputs.append,
+            0,
+            None,
+            max_iterations=5,
+        )
+        assert outputs == [1, 2, 3, 4, 5]
+        assert final == 5
+
+    def test_source_arg_passed_to_inp(self):
+        seen = []
+
+        def inp(x):
+            if seen:
+                raise EndOfStream
+            seen.append(x)
+            return x
+
+        itermem(inp, lambda si: si, lambda y: None, 0, (512, 512))
+        assert seen == [(512, 512)]
+
+    def test_empty_stream(self):
+        def inp(_x):
+            raise EndOfStream
+
+        outputs = []
+        final = itermem(inp, lambda si: si, outputs.append, "init", None)
+        assert outputs == []
+        assert final == "init"
+
+    @given(st.lists(st.integers(), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalent_to_scan(self, items):
+        """itermem with a fold body == functional scan over the stream."""
+        it = iter(items)
+
+        def inp(_x):
+            try:
+                return next(it)
+            except StopIteration:
+                raise EndOfStream
+
+        outputs = []
+        itermem(
+            inp,
+            lambda si: (si[0] + si[1], si[0] + si[1]),
+            outputs.append,
+            0,
+            None,
+        )
+        expected, acc = [], 0
+        for v in items:
+            acc += v
+            expected.append(acc)
+        assert outputs == expected

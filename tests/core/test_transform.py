@@ -1,0 +1,335 @@
+"""Tests for the inter-skeleton transformation rules (paper §6 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FunctionTable, ProgramBuilder, emulate_once
+from repro.core.functions import check_declared_properties
+from repro.core.transform import (
+    TransformReport,
+    clamp_degrees,
+    compose_functions,
+    eliminate_dead_bindings,
+    fuse_farms,
+    fuse_scm,
+    optimize,
+)
+
+
+def farm_table():
+    table = FunctionTable()
+    table.register("inc", ins=["int"], outs=["int"], cost=100.0)(lambda x: x + 1)
+    table.register("dbl", ins=["int"], outs=["int"], cost=100.0)(lambda x: 2 * x)
+    table.register(
+        "cons", ins=["int list", "int"], outs=["int list"],
+        properties=["append"],
+    )(lambda acc, y: sorted(acc + [y]))
+    table.register(
+        "add", ins=["int", "int"], outs=["int"],
+        properties=["commutative", "associative"],
+    )(lambda a, b: a + b)
+    return table
+
+
+def pipeline_program(table, degree=4):
+    """df(dbl) feeding df(inc): the farm-fusion candidate."""
+    b = ProgramBuilder("pipe", table)
+    (xs,) = b.params("xs")
+    mids = b.df(degree, comp="dbl", acc="cons", z=b.const([]), xs=xs)
+    total = b.df(degree, comp="inc", acc="add", z=b.const(0), xs=mids)
+    return b.returns(total)
+
+
+class TestProperties:
+    def test_declared_properties_hold(self):
+        table = farm_table()
+        samples = [(0, 1, 2), (5, -3, 7), (0, 0, 0)]
+        assert check_declared_properties(table["add"], samples) == []
+        list_samples = [([], 1, 2), ([9], 4, 4)]
+        assert check_declared_properties(table["cons"], list_samples) == []
+
+    def test_violation_detected(self):
+        table = FunctionTable()
+        table.register(
+            "shift_add", ins=["int", "int"], outs=["int"],
+            properties=["commutative"],
+        )(lambda a, b: a * 2 + b)
+        violations = check_declared_properties(table["shift_add"], [(0, 1, 2)])
+        assert violations == ["commutative"]
+
+    def test_identity_property(self):
+        table = FunctionTable()
+        table.register("idf", ins=["'a"], outs=["'a"], properties=["identity"])(
+            lambda x: x
+        )
+        assert check_declared_properties(table["idf"], [(42,)]) == []
+
+
+class TestCompose:
+    def test_composition_semantics(self):
+        table = farm_table()
+        name = compose_functions(table, "inc", "dbl")
+        assert table[name](5) == 11  # inc(dbl(5))
+
+    def test_composition_cost_is_sum(self):
+        table = farm_table()
+        name = compose_functions(table, "inc", "dbl")
+        assert table[name].cost_of(5) == 200.0
+
+    def test_idempotent(self):
+        table = farm_table()
+        a = compose_functions(table, "inc", "dbl")
+        b = compose_functions(table, "inc", "dbl")
+        assert a == b
+
+    def test_rejects_multi_out_inner(self):
+        table = farm_table()
+        table.register("pair", ins=["int"], outs=["int", "int"])(lambda x: (x, x))
+        with pytest.raises(ValueError, match="multi-output"):
+            compose_functions(table, "inc", "pair")
+
+
+class TestDeadCode:
+    def test_removes_unused_binding(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        _unused = b.apply("dbl", x)
+        y = b.apply("inc", x)
+        prog = b.returns(y)
+        report = TransformReport()
+        out = eliminate_dead_bindings(prog, table, report)
+        assert len(out.bindings) == 1
+        assert report
+
+    def test_cascading_removal(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        a = b.apply("dbl", x)
+        _bb = b.apply("inc", a)  # dead, and then `a` becomes dead too
+        y = b.apply("inc", x)
+        prog = b.returns(y)
+        out = eliminate_dead_bindings(prog, table, TransformReport())
+        assert len(out.bindings) == 1
+
+    def test_keeps_results(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        y = b.apply("inc", x)
+        prog = b.returns(y)
+        out = eliminate_dead_bindings(prog, table, TransformReport())
+        assert out.bindings == prog.bindings
+
+
+class TestFarmFusion:
+    def test_fuses_matching_pipeline(self):
+        table = farm_table()
+        prog = pipeline_program(table)
+        fused, report = optimize(prog, table)
+        assert len(fused.skeleton_instances()) == 1
+        assert "fused df" in report.render()
+        (skel,) = fused.skeleton_instances()
+        assert skel.funcs["comp"] == "inc__o__dbl"
+
+    def test_fusion_preserves_semantics(self):
+        table = farm_table()
+        prog = pipeline_program(table)
+        fused, _ = optimize(prog, table)
+        for xs in ([], [1], [3, 1, 4, 1, 5], list(range(20))):
+            assert emulate_once(fused, table, xs) == emulate_once(prog, table, xs)
+
+    @given(st.lists(st.integers(-100, 100), max_size=30), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_fusion_equivalence_property(self, xs, degree):
+        table = farm_table()
+        prog = pipeline_program(table, degree)
+        fused, _ = optimize(prog, table)
+        assert emulate_once(fused, table, xs) == emulate_once(prog, table, xs)
+
+    def test_no_fusion_without_append_property(self):
+        table = FunctionTable()
+        table.register("inc", ins=["int"], outs=["int"])(lambda x: x + 1)
+        table.register("dbl", ins=["int"], outs=["int"])(lambda x: 2 * x)
+        # cons not declared append: rule must not fire.
+        table.register("cons", ins=["int list", "int"], outs=["int list"])(
+            lambda acc, y: acc + [y]
+        )
+        table.register("add", ins=["int", "int"], outs=["int"])(lambda a, b: a + b)
+        prog = pipeline_program(table)
+        fused, report = optimize(prog, table)
+        assert len(fused.skeleton_instances()) == 2
+        assert "fused" not in report.render()
+
+    def test_no_fusion_across_degree_mismatch(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        mids = b.df(2, comp="dbl", acc="cons", z=b.const([]), xs=xs)
+        total = b.df(4, comp="inc", acc="add", z=b.const(0), xs=mids)
+        prog = b.returns(total)
+        fused, _ = optimize(prog, table)
+        assert len(fused.skeleton_instances()) == 2
+
+    def test_no_fusion_when_intermediate_used_elsewhere(self):
+        table = farm_table()
+        table.register("length", ins=["int list"], outs=["int"])(len)
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        mids = b.df(4, comp="dbl", acc="cons", z=b.const([]), xs=xs)
+        total = b.df(4, comp="inc", acc="add", z=b.const(0), xs=mids)
+        n = b.apply("length", mids)
+        prog = b.returns(total, n)
+        fused, _ = optimize(prog, table)
+        assert len(fused.skeleton_instances()) == 2
+
+
+class TestScmFusion:
+    def make_table(self):
+        table = FunctionTable()
+
+        def chunk(n, xs):
+            base, extra = divmod(len(xs), n)
+            out, start = [], 0
+            for i in range(n):
+                size = base + (1 if i < extra else 0)
+                out.append(xs[start : start + size])
+                start += size
+            return out
+
+        table.register("chunk", ins=["int", "int list"], outs=["chunks"])(chunk)
+        table.register("glue", ins=["int list", "chunks"], outs=["int list"])(
+            lambda _orig, parts: [v for p in parts for v in p]
+        )
+        table.register("neg_chunk", ins=["int list"], outs=["int list"])(
+            lambda c: [-v for v in c]
+        )
+        table.register("inc_chunk", ins=["int list"], outs=["int list"])(
+            lambda c: [v + 1 for v in c]
+        )
+        return table
+
+    def make_program(self, table, degree=3):
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        mid = b.scm(degree, split="chunk", comp="neg_chunk", merge="glue", x=xs)
+        out = b.scm(degree, split="chunk", comp="inc_chunk", merge="glue", x=mid)
+        return b.returns(out)
+
+    def test_fuses_with_declared_inverse(self):
+        table = self.make_table()
+        prog = self.make_program(table)
+        fused, report = optimize(
+            prog, table, inverse_pairs=[("glue", "chunk")]
+        )
+        assert len(fused.skeleton_instances()) == 1
+        assert "fused scm" in report.render()
+
+    def test_semantics_preserved(self):
+        table = self.make_table()
+        prog = self.make_program(table)
+        fused, _ = optimize(prog, table, inverse_pairs=[("glue", "chunk")])
+        for xs in ([], [5], [1, 2, 3, 4, 5, 6, 7]):
+            assert emulate_once(fused, table, xs) == emulate_once(prog, table, xs)
+
+    def test_no_fusion_without_declaration(self):
+        table = self.make_table()
+        prog = self.make_program(table)
+        fused, _ = optimize(prog, table)  # no inverse_pairs
+        assert len(fused.skeleton_instances()) == 2
+
+
+class TestClampDegrees:
+    def test_clamps_to_machine_size(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        out = b.df(16, comp="inc", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(out)
+        clamped, report = optimize(prog, table, max_degree=4)
+        assert clamped.skeleton_instances()[0].degree == 4
+        assert "clamped" in report.render()
+
+    def test_clamping_preserves_semantics(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        out = b.df(16, comp="inc", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(out)
+        clamped, _ = optimize(prog, table, max_degree=4)
+        xs_val = list(range(10))
+        assert emulate_once(clamped, table, xs_val) == emulate_once(
+            prog, table, xs_val
+        )
+
+    def test_no_clamp_needed(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        out = b.df(2, comp="inc", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(out)
+        same, report = optimize(prog, table, max_degree=8)
+        assert same.skeleton_instances()[0].degree == 2
+        assert not report
+
+
+class TestCommonSubexpressionElimination:
+    def test_duplicate_applies_merge(self):
+        from repro.core.transform import merge_duplicate_applies
+
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        a1 = b.apply("dbl", x)
+        a2 = b.apply("dbl", x)  # identical call
+        y1 = b.apply("inc", a1)
+        y2 = b.apply("inc", a2)  # identical after renaming
+        prog = b.returns(y1, y2)
+        out, report = optimize(prog, table)
+        applies = [bd for bd in out.bindings if bd.__class__.__name__ == "Apply"]
+        assert len(applies) == 2  # dbl once, inc once
+        assert out.results[0] == out.results[1]
+        assert "merged duplicate" in report.render()
+
+    def test_semantics_preserved(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        a1 = b.apply("dbl", x)
+        a2 = b.apply("dbl", x)
+        y1 = b.apply("inc", a1)
+        y2 = b.apply("inc", a2)
+        prog = b.returns(y1, y2)
+        out, _ = optimize(prog, table)
+        assert emulate_once(out, table, 5) == emulate_once(prog, table, 5)
+
+    def test_duplicate_constants_merge(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        r1 = b.df(2, comp="dbl", acc="add", z=b.const(0), xs=xs)
+        r2 = b.df(2, comp="inc", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(r1, r2)
+        out, report = optimize(prog, table)
+        consts = [bd for bd in out.bindings if bd.__class__.__name__ == "Const"]
+        assert len(consts) == 1
+        assert "constant" in report.render()
+        assert emulate_once(out, table, [1, 2]) == emulate_once(
+            prog, table, [1, 2]
+        )
+
+    def test_different_args_not_merged(self):
+        from repro.core.transform import merge_duplicate_applies
+
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        x, y = b.params("x", "y")
+        a1 = b.apply("dbl", x)
+        a2 = b.apply("dbl", y)
+        prog = b.returns(a1, a2)
+        report = TransformReport()
+        out = merge_duplicate_applies(prog, table, report)
+        assert len(out.bindings) == 2
+        assert not report

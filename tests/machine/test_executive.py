@@ -1,0 +1,337 @@
+"""Tests for the distributed-executive simulator."""
+
+import pytest
+
+from repro.core import (
+    EndOfStream,
+    FunctionTable,
+    ProgramBuilder,
+    TaskOutcome,
+    emulate,
+    emulate_once,
+)
+from repro.machine import FAST_TEST, T9000, CostModel, Executive, simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, now, ring
+
+
+def df_sum_table():
+    table = FunctionTable()
+    table.register("sq", ins=["int"], outs=["int"], cost=100)(lambda x: x * x)
+    table.register("add", ins=["int", "int"], outs=["int"], cost=10)(
+        lambda a, b: a + b
+    )
+    return table
+
+
+def df_sum_program(degree, table):
+    b = ProgramBuilder("sumsq", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="sq", acc="add", z=b.const(0), xs=xs)
+    return b.returns(r)
+
+
+def build_mapping(prog, table, arch):
+    graph = expand_program(prog, table)
+    return distribute(graph, arch)
+
+
+class TestOneShotFarm:
+    def test_df_computes_correct_result(self):
+        table = df_sum_table()
+        prog = df_sum_program(4, table)
+        mapping = build_mapping(prog, table, ring(4))
+        report = simulate(mapping, table, FAST_TEST, args=([1, 2, 3, 4, 5],))
+        assert report.one_shot_results == (55,)
+
+    def test_df_empty_input(self):
+        table = df_sum_table()
+        prog = df_sum_program(3, table)
+        mapping = build_mapping(prog, table, ring(3))
+        report = simulate(mapping, table, FAST_TEST, args=([],))
+        assert report.one_shot_results == (0,)
+
+    def test_df_single_item(self):
+        table = df_sum_table()
+        prog = df_sum_program(4, table)
+        mapping = build_mapping(prog, table, ring(4))
+        report = simulate(mapping, table, FAST_TEST, args=([7],))
+        assert report.one_shot_results == (49,)
+
+    def test_matches_emulation(self):
+        table = df_sum_table()
+        prog = df_sum_program(3, table)
+        mapping = build_mapping(prog, table, ring(5))
+        xs = list(range(20))
+        report = simulate(mapping, table, FAST_TEST, args=(xs,))
+        assert report.one_shot_results == emulate_once(prog, table, xs)
+
+    def test_more_workers_is_faster(self):
+        table = df_sum_table()
+        xs = list(range(16))
+        times = {}
+        for degree in (1, 8):
+            prog = df_sum_program(degree, table)
+            mapping = build_mapping(prog, table, ring(max(degree, 1)))
+            times[degree] = simulate(
+                mapping, table, T9000, args=(xs,)
+            ).makespan
+        assert times[8] < times[1]
+
+    def test_wrong_arg_count(self):
+        table = df_sum_table()
+        prog = df_sum_program(2, table)
+        mapping = build_mapping(prog, table, ring(2))
+        with pytest.raises(RuntimeError, match="input"):
+            simulate(mapping, table, FAST_TEST, args=())
+
+
+class TestScm:
+    def make(self, degree, arch_size):
+        table = FunctionTable()
+        table.register("chunk", ins=["int", "int list"], outs=["int list list"])(
+            self._chunk
+        )
+        table.register("sumlist", ins=["int list"], outs=["int"], cost=50)(sum)
+        table.register(
+            "total", ins=["int list", "int list"], outs=["int"], cost=20
+        )(lambda _orig, parts: sum(parts))
+        b = ProgramBuilder("scm_sum", table)
+        (xs,) = b.params("xs")
+        r = b.scm(degree, split="chunk", comp="sumlist", merge="total", x=xs)
+        prog = b.returns(r)
+        return build_mapping(prog, table, ring(arch_size)), table, prog
+
+    @staticmethod
+    def _chunk(n, xs):
+        base, extra = divmod(len(xs), n)
+        out, start = [], 0
+        for i in range(n):
+            size = base + (1 if i < extra else 0)
+            if size:
+                out.append(xs[start : start + size])
+            start += size
+        return out
+
+    def test_correct_sum(self):
+        mapping, table, _prog = self.make(4, 4)
+        report = simulate(mapping, table, FAST_TEST, args=(list(range(30)),))
+        assert report.one_shot_results == (sum(range(30)),)
+
+    def test_short_split_uses_no_piece(self):
+        """Fewer pieces than workers: sentinel path still yields the sum."""
+        mapping, table, _prog = self.make(8, 4)
+        report = simulate(mapping, table, FAST_TEST, args=([1, 2, 3],))
+        assert report.one_shot_results == (6,)
+
+    def test_matches_emulation(self):
+        mapping, table, prog = self.make(3, 3)
+        xs = [5, 1, 4, 1, 5, 9, 2, 6]
+        report = simulate(mapping, table, FAST_TEST, args=(xs,))
+        assert report.one_shot_results == emulate_once(prog, table, xs)
+
+
+class TestTf:
+    def make_table(self):
+        table = FunctionTable()
+
+        def divide(interval):
+            lo, hi = interval
+            if hi - lo <= 2:
+                return TaskOutcome(results=list(range(lo, hi)))
+            mid = (lo + hi) // 2
+            return TaskOutcome(subtasks=[(lo, mid), (mid, hi)])
+
+        table.register("divide", ins=["interval"], outs=["outcome"], cost=30)(
+            divide
+        )
+        table.register("add", ins=["int", "int"], outs=["int"], cost=5)(
+            lambda a, b: a + b
+        )
+        return table
+
+    def make_program(self, degree, table):
+        b = ProgramBuilder("dc_sum", table)
+        (xs,) = b.params("xs")
+        r = b.tf(degree, comp="divide", acc="add", z=b.const(0), xs=xs)
+        return b.returns(r)
+
+    def test_divide_and_conquer(self):
+        table = self.make_table()
+        prog = self.make_program(4, table)
+        mapping = build_mapping(prog, table, ring(4))
+        report = simulate(mapping, table, FAST_TEST, args=([(0, 50)],))
+        assert report.one_shot_results == (sum(range(50)),)
+
+    def test_matches_emulation(self):
+        table = self.make_table()
+        prog = self.make_program(3, table)
+        mapping = build_mapping(prog, table, ring(3))
+        args = ([(0, 17), (100, 123)],)
+        report = simulate(mapping, table, FAST_TEST, args=args)
+        assert report.one_shot_results == emulate_once(prog, table, *args)
+
+    def test_pair_convention_accepted(self):
+        table = FunctionTable()
+        table.register("halve", ins=["int"], outs=["pair"])(
+            lambda x: ([x], []) if x <= 1 else ([], [x // 2, x - x // 2])
+        )
+        table.register("add", ins=["int", "int"], outs=["int"])(lambda a, b: a + b)
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        r = b.tf(2, comp="halve", acc="add", z=b.const(0), xs=xs)
+        prog = b.returns(r)
+        mapping = build_mapping(prog, table, ring(2))
+        report = simulate(mapping, table, FAST_TEST, args=([9],))
+        assert report.one_shot_results == (9,)
+
+
+class TestStream:
+    def make(self, n_frames, degree=2, arch=None):
+        table = FunctionTable()
+        counter = {"i": 0}
+
+        @table.register("read", ins=["unit"], outs=["int list"], cost=50)
+        def read(_src):
+            i = counter["i"]
+            counter["i"] += 1
+            if i >= n_frames:
+                raise EndOfStream
+            return [i, i + 1, i + 2]
+
+        table.register("sq", ins=["int"], outs=["int"], cost=100)(lambda x: x * x)
+        table.register("add", ins=["int", "int"], outs=["int"], cost=5)(
+            lambda a, b: a + b
+        )
+        table.register(
+            "step", ins=["int", "int"], outs=["int", "int"], cost=20
+        )(lambda s, total: (s + total, s + total))
+        table.register("emit", ins=["int"], cost=10)(lambda y: None)
+
+        b = ProgramBuilder("stream_sum", table)
+        state, item = b.params("state", "item")
+        total = b.df(degree, comp="sq", acc="add", z=b.const(0), xs=item)
+        s2, y = b.apply("step", state, total)
+        prog = b.stream(s2, y, inp="read", out="emit", init_value=0, source=None)
+        mapping = build_mapping(prog, table, arch or ring(degree + 1))
+        return prog, table, mapping, counter
+
+    def test_runs_until_end_of_stream(self):
+        prog, table, mapping, _ = self.make(5)
+        report = simulate(mapping, table, FAST_TEST)
+        assert len(report.iterations) == 5
+        assert len(report.outputs) == 5
+
+    def test_outputs_match_emulation(self):
+        prog, table, mapping, counter = self.make(4)
+        report = simulate(mapping, table, FAST_TEST)
+        counter["i"] = 0  # rewind the stream for the emulator
+        seq = emulate(prog, table, call_sink=False)
+        assert report.outputs == seq.outputs
+        assert report.final_state == seq.final_state
+
+    def test_max_iterations_cap(self):
+        prog, table, mapping, _ = self.make(100)
+        report = simulate(mapping, table, FAST_TEST, max_iterations=3)
+        assert len(report.iterations) == 3
+
+    def test_latencies_positive_and_ordered(self):
+        _prog, table, mapping, _ = self.make(4)
+        report = simulate(mapping, table, T9000)
+        for rec in report.iterations:
+            assert rec.latency > 0
+            assert rec.end >= rec.output_time >= rec.start
+        starts = [r.start for r in report.iterations]
+        assert starts == sorted(starts)
+
+    def test_utilisation_bounded(self):
+        _prog, table, mapping, _ = self.make(4)
+        report = simulate(mapping, table, T9000)
+        for frac in report.utilisation().values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_init_function_used(self):
+        table = FunctionTable()
+        reads = {"i": 0}
+
+        @table.register("read", ins=["unit"], outs=["int"])
+        def read(_src):
+            if reads["i"] >= 1:
+                raise EndOfStream
+            reads["i"] += 1
+            return 5
+
+        table.register("boot", ins=[], outs=["int"])(lambda: 100)
+        table.register("step", ins=["int", "int"], outs=["int", "int"])(
+            lambda s, i: (s + i, s + i)
+        )
+        table.register("emit", ins=["int"])(lambda y: None)
+        b = ProgramBuilder("p", table)
+        state, item = b.params("state", "item")
+        s2, y = b.apply("step", state, item)
+        prog = b.stream(s2, y, inp="read", out="emit", init="boot", source=None)
+        mapping = build_mapping(prog, table, ring(2))
+        report = simulate(mapping, table, FAST_TEST)
+        assert report.final_state == 105
+
+    def test_empty_stream(self):
+        _prog, table, mapping, _ = self.make(0)
+        report = simulate(mapping, table, FAST_TEST)
+        assert report.iterations == []
+        assert report.outputs == []
+
+
+class TestRealTimeStream:
+    def make(self, frame_cost, n_frames=50):
+        """A stream whose loop body costs ``frame_cost`` µs per frame."""
+        table = FunctionTable()
+        counter = {"i": 0}
+
+        @table.register("read", ins=["unit"], outs=["int"], cost=100)
+        def read(_src):
+            i = counter["i"]
+            counter["i"] += 1
+            if i >= n_frames:
+                raise EndOfStream
+            return i
+
+        table.register(
+            "work", ins=["int", "int"], outs=["int", "int"], cost=frame_cost
+        )(lambda s, i: (s + 1, i))
+        table.register("emit", ins=["int"], cost=10)(lambda y: None)
+        b = ProgramBuilder("rt", table)
+        state, item = b.params("state", "item")
+        s2, y = b.apply("work", state, item)
+        prog = b.stream(s2, y, inp="read", out="emit", init_value=0, source=None)
+        mapping = build_mapping(prog, table, ring(1))
+        return table, mapping
+
+    def test_fast_loop_processes_every_frame(self):
+        """Loop faster than the 40 ms frame period: no frames skipped."""
+        table, mapping = self.make(frame_cost=10_000.0)  # 10 ms
+        report = simulate(mapping, table, T9000, real_time=True)
+        assert report.total_frames_skipped == 0
+        indices = [r.frame_index for r in report.iterations]
+        assert indices == sorted(set(indices))
+        # consecutive frames
+        assert all(b - a == 1 for a, b in zip(indices, indices[1:]))
+
+    def test_slow_loop_skips_frames(self):
+        """~110 ms loop on a 25 Hz stream: processes ~1 image in 3 (§4)."""
+        table, mapping = self.make(frame_cost=110_000.0)
+        report = simulate(mapping, table, T9000, real_time=True)
+        assert report.total_frames_skipped > 0
+        steps = [
+            b.frame_index - a.frame_index
+            for a, b in zip(report.iterations, report.iterations[1:])
+        ]
+        assert steps and max(steps) == 3  # every third frame
+
+    def test_frame_wait_when_ahead(self):
+        """A loop faster than the frame period waits for the next frame."""
+        table, mapping = self.make(frame_cost=1_000.0)
+        report = simulate(mapping, table, T9000, real_time=True)
+        # Iterations cannot start before their frame exists.
+        period = T9000.frame_period
+        for rec in report.iterations:
+            assert rec.start >= rec.frame_index * period - 1e-6

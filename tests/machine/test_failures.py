@@ -1,0 +1,93 @@
+"""Failure-injection tests: faulty sequential functions get crash context."""
+
+import pytest
+
+from repro.core import EndOfStream, FunctionTable, ProgramBuilder
+from repro.machine import Executive, FAST_TEST
+from repro.machine.executive import ExecutiveError
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+
+def build_farm(comp_fn, acc_fn=None):
+    table = FunctionTable()
+    table.register("comp", ins=["int"], outs=["int"])(comp_fn)
+    table.register("acc", ins=["int", "int"], outs=["int"])(
+        acc_fn or (lambda a, b: a + b)
+    )
+    b = ProgramBuilder("p", table)
+    (xs,) = b.params("xs")
+    r = b.df(3, comp="comp", acc="acc", z=b.const(0), xs=xs)
+    prog = b.returns(r)
+    mapping = distribute(expand_program(prog, table), ring(3))
+    return Executive(mapping, table, FAST_TEST), table
+
+
+class TestWorkerFailures:
+    def test_worker_exception_wrapped_with_context(self):
+        def bad(x):
+            if x == 3:
+                raise ValueError("pixel soup")
+            return x
+
+        executive, _ = build_farm(bad)
+        with pytest.raises(ExecutiveError) as exc:
+            executive.run_once([1, 2, 3, 4])
+        assert exc.value.func == "comp"
+        assert "worker" in exc.value.pid
+        assert "pixel soup" in str(exc.value)
+        assert isinstance(exc.value.original, ValueError)
+
+    def test_accumulator_exception_names_master(self):
+        def bad_acc(a, b):
+            raise KeyError("lost mark")
+
+        executive, _ = build_farm(lambda x: x, bad_acc)
+        with pytest.raises(ExecutiveError) as exc:
+            executive.run_once([1])
+        assert exc.value.func == "acc"
+        assert "master" in exc.value.pid
+
+    def test_healthy_run_unaffected(self):
+        executive, _ = build_farm(lambda x: x * x)
+        report = executive.run_once([1, 2, 3])
+        assert report.one_shot_results == (14,)
+
+
+class TestStreamFailures:
+    def make_stream(self, inp_fn):
+        table = FunctionTable()
+        table.register("read", ins=["unit"], outs=["int"])(inp_fn)
+        table.register("step", ins=["int", "int"], outs=["int", "int"])(
+            lambda s, i: (s + i, s + i)
+        )
+        table.register("emit", ins=["int"])(lambda y: None)
+        b = ProgramBuilder("p", table)
+        state, item = b.params("state", "item")
+        s2, y = b.apply("step", state, item)
+        prog = b.stream(s2, y, inp="read", out="emit", init_value=0, source=None)
+        mapping = distribute(expand_program(prog, table), ring(2))
+        return Executive(mapping, table, FAST_TEST)
+
+    def test_input_failure_contextualised(self):
+        calls = {"n": 0}
+
+        def flaky(_src):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise OSError("frame grabber unplugged")
+            return calls["n"]
+
+        executive = self.make_stream(flaky)
+        with pytest.raises(ExecutiveError) as exc:
+            executive.run(10)
+        assert exc.value.func == "read"
+        assert "stream.input" in exc.value.pid
+
+    def test_end_of_stream_is_not_an_error(self):
+        def finite(_src):
+            raise EndOfStream
+
+        executive = self.make_stream(finite)
+        report = executive.run(5)
+        assert report.iterations == []

@@ -1,0 +1,80 @@
+"""Tests for heterogeneous processor speeds (the multi-DSP scenario).
+
+The paper's targets mixed Transputers with DSP accelerators; the
+architecture model supports per-processor ``speed`` factors, the
+executive scales compute costs by them, and the distribution heuristic
+prefers fast processors under load.
+"""
+
+import pytest
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.machine import Executive, T9000, simulate
+from repro.pnt import expand_program
+from repro.syndex import Architecture, Channel, Processor, distribute
+
+
+def hetero_arch(fast_speed: float) -> Architecture:
+    """Three processors: p0 (I/O), p1 normal, p2 scaled by fast_speed."""
+    arch = Architecture(f"hetero_{fast_speed}")
+    arch.add_processor(Processor("p0", io=True))
+    arch.add_processor(Processor("p1", speed=1.0))
+    arch.add_processor(Processor("p2", speed=fast_speed))
+    arch.add_channel(Channel("c0", ("p0", "p1")))
+    arch.add_channel(Channel("c1", ("p1", "p2")))
+    arch.add_channel(Channel("c2", ("p2", "p0")))
+    return arch
+
+
+def farm(degree=2):
+    table = FunctionTable()
+    table.register("work", ins=["int"], outs=["int"], cost=10_000.0)(
+        lambda x: x + 1
+    )
+    table.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(
+        lambda a, b: a + b
+    )
+    b = ProgramBuilder("p", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="work", acc="add", z=b.const(0), xs=xs)
+    return b.returns(r), table
+
+
+class TestSpeedScaling:
+    def test_fast_processor_shortens_makespan(self):
+        prog, table = farm(degree=2)
+        times = {}
+        for speed in (1.0, 4.0):
+            mapping = distribute(expand_program(prog, table), hetero_arch(speed))
+            report = simulate(mapping, table, T9000, args=(list(range(8)),))
+            times[speed] = report.makespan
+        assert times[4.0] < times[1.0]
+
+    def test_compute_cost_divided_by_speed(self):
+        from repro.machine.costs import CostModel
+
+        model = CostModel()
+        assert model.scaled_cost(1000.0, 2.0) == 500.0
+        assert model.scaled_cost(1000.0, 0.5) == 2000.0
+        with pytest.raises(ValueError):
+            model.scaled_cost(1000.0, 0.0)
+
+    def test_results_unaffected_by_speed(self):
+        prog, table = farm(degree=2)
+        results = set()
+        for speed in (1.0, 3.0, 10.0):
+            mapping = distribute(expand_program(prog, table), hetero_arch(speed))
+            report = simulate(mapping, table, T9000, args=([5, 6, 7],))
+            results.add(report.one_shot_results)
+        assert len(results) == 1
+
+    def test_distribution_prefers_fast_processor(self):
+        """With one 10x processor, load-balancing should lean on it."""
+        prog, table = farm(degree=2)
+        graph = expand_program(prog, table)
+        durations = {pid: 10_000.0 for pid in graph.processes
+                     if "worker" in pid}
+        mapping = distribute(graph, hetero_arch(10.0), durations=durations)
+        homes = {mapping.processor_of(pid) for pid in graph.processes
+                 if "worker" in pid}
+        assert "p2" in homes  # the fast processor got at least one worker

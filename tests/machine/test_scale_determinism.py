@@ -1,0 +1,80 @@
+"""Scale and determinism checks for the compile/simulate pipeline."""
+
+import pytest
+
+from repro.core import FunctionTable, ProgramBuilder, payload_bytes
+from repro.machine import T9000, simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, hypercube, ring
+
+
+def big_farm(degree):
+    table = FunctionTable()
+    table.register("work", ins=["int"], outs=["int"], cost=500.0)(
+        lambda x: x * 3
+    )
+    table.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(
+        lambda a, b: a + b
+    )
+    b = ProgramBuilder("big", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="work", acc="add", z=b.const(0), xs=xs)
+    return b.returns(r), table
+
+
+class TestScale:
+    def test_degree_64_on_hypercube(self):
+        """A 193-process farm on a 64-node hypercube: correct and quick."""
+        prog, table = big_farm(64)
+        graph = expand_program(prog, table)
+        assert len(graph) == 1 + 3 * 64 + 3  # farm + in/out/const
+        mapping = distribute(graph, hypercube(6))
+        mapping.validate()
+        xs = list(range(256))
+        report = simulate(mapping, table, T9000, args=(xs,))
+        assert report.one_shot_results == (sum(3 * x for x in xs),)
+
+    def test_wide_ring(self):
+        prog, table = big_farm(32)
+        mapping = distribute(expand_program(prog, table), ring(32))
+        report = simulate(mapping, table, T9000, args=(list(range(64)),))
+        assert report.one_shot_results == (sum(3 * x for x in range(64)),)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_timing(self):
+        """The DES is deterministic: two runs agree to the microsecond."""
+        def run():
+            prog, table = big_farm(8)
+            mapping = distribute(expand_program(prog, table), ring(8))
+            return simulate(mapping, table, T9000, args=(list(range(40)),))
+
+        a, b = run(), run()
+        assert a.makespan == b.makespan
+        assert a.proc_busy == b.proc_busy
+        assert a.chan_busy == b.chan_busy
+        assert a.one_shot_results == b.one_shot_results
+
+    def test_mapping_deterministic_across_processes(self):
+        prog1, table1 = big_farm(12)
+        prog2, table2 = big_farm(12)
+        m1 = distribute(expand_program(prog1, table1), ring(7))
+        m2 = distribute(expand_program(prog2, table2), ring(7))
+        assert m1.assignment == m2.assignment
+
+
+class TestPayloadProperties:
+    def test_monotone_under_append(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.lists(st.integers()), st.integers())
+        @settings(max_examples=50, deadline=None)
+        def check(xs, x):
+            assert payload_bytes(xs + [x]) >= payload_bytes(xs)
+            assert payload_bytes(xs) >= 0
+
+        check()
+
+    def test_nested_structures(self):
+        assert payload_bytes([(1, 2), (3, 4)]) == 4 + 2 * (4 + 8)

@@ -1,0 +1,127 @@
+"""Tests for execution tracing and Gantt rendering."""
+
+import pytest
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.machine import (
+    Executive,
+    Span,
+    T9000,
+    Trace,
+    busy_statistics,
+    render_gantt,
+)
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+
+def traced_run(degree=3, xs=None):
+    table = FunctionTable()
+    table.register("sq", ins=["int"], outs=["int"], cost=800)(lambda x: x * x)
+    table.register("add", ins=["int", "int"], outs=["int"], cost=50)(
+        lambda a, b: a + b
+    )
+    b = ProgramBuilder("p", table)
+    (v,) = b.params("xs")
+    r = b.df(degree, comp="sq", acc="add", z=b.const(0), xs=v)
+    prog = b.returns(r)
+    mapping = distribute(expand_program(prog, table), ring(degree))
+    executive = Executive(mapping, table, T9000, record_trace=True)
+    report = executive.run_once(xs if xs is not None else list(range(6)))
+    return executive, report
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        table = FunctionTable()
+        table.register("f", ins=["int"], outs=["int"])(lambda x: x)
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        prog = b.returns(b.apply("f", x))
+        mapping = distribute(expand_program(prog, table), ring(1))
+        executive = Executive(mapping, table, T9000)
+        executive.run_once(1)
+        assert executive.trace is None
+
+    def test_compute_spans_recorded(self):
+        executive, report = traced_run()
+        trace = executive.trace
+        assert trace.compute
+        workers = [s for s in trace.compute if "worker" in s.owner]
+        # 6 packets -> 6 worker computations.
+        assert len(workers) == 6
+        for span in workers:
+            assert span.duration == pytest.approx(800.0)
+
+    def test_transfer_spans_recorded(self):
+        executive, _report = traced_run()
+        trace = executive.trace
+        assert trace.transfer
+        for span in trace.transfer:
+            assert span.resource in executive.mapping.arch.channels
+            assert span.duration > 0
+
+    def test_spans_never_overlap_per_resource(self):
+        executive, _report = traced_run(degree=4, xs=list(range(16)))
+        trace = executive.trace
+        by_resource = {}
+        for span in trace.compute + trace.transfer:
+            by_resource.setdefault(span.resource, []).append(span)
+        for spans in by_resource.values():
+            spans.sort(key=lambda s: s.start)
+            for a, b in zip(spans, spans[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_busy_matches_report(self):
+        executive, report = traced_run()
+        stats = busy_statistics(executive.trace)
+        for proc, busy in report.proc_busy.items():
+            traced_busy, _count = stats.get(proc, (0.0, 0))
+            assert traced_busy == pytest.approx(busy)
+
+    def test_makespan_consistent(self):
+        executive, report = traced_run()
+        assert executive.trace.makespan <= report.makespan + 1e-6
+
+    def test_window_slicing(self):
+        executive, _report = traced_run()
+        trace = executive.trace
+        half = trace.makespan / 2
+        early = trace.window(0, half)
+        late = trace.window(half, trace.makespan)
+        assert len(early.compute) + len(late.compute) >= len(trace.compute)
+        assert all(s.start < half for s in early.compute)
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_rows_per_resource(self):
+        executive, _report = traced_run()
+        chart = render_gantt(executive.trace, width=40)
+        lines = chart.splitlines()
+        resources = {
+            s.resource
+            for s in executive.trace.compute + executive.trace.transfer
+        }
+        assert len(lines) == 1 + len(resources)
+        for resource in resources:
+            assert any(line.startswith(resource) for line in lines)
+
+    def test_busy_cells_marked(self):
+        executive, _report = traced_run()
+        chart = render_gantt(executive.trace, width=40)
+        p0_line = next(l for l in chart.splitlines() if l.startswith("p0"))
+        body = p0_line.split("|")[1]
+        assert any(c != "." for c in body)
+
+    def test_window_rendering(self):
+        executive, _report = traced_run()
+        trace = executive.trace
+        chart = render_gantt(trace, width=30, t0=0, t1=trace.makespan / 4)
+        assert "|" in chart
+
+    def test_degenerate_window(self):
+        executive, _report = traced_run()
+        assert render_gantt(executive.trace, t0=5.0, t1=5.0) == "(empty window)"

@@ -1,0 +1,106 @@
+"""Golden tests for front-end diagnostics: location and caret rendering."""
+
+import pytest
+
+from repro.core import FunctionTable
+from repro.minicaml import (
+    LexError,
+    ParseError,
+    TypeError_,
+    compile_source,
+    parse,
+    tokenize,
+    typecheck_source,
+)
+from repro.minicaml.errors import Location, SourceError
+from repro.minicaml.network import NetworkError, extract_network
+
+
+class TestLocationRendering:
+    def test_str(self):
+        assert str(Location(3, 7)) == "line 3, column 7"
+
+    def test_unknown_location(self):
+        err = SourceError("boom")
+        assert err.render() == "error: boom"
+
+    def test_caret_points_at_column(self):
+        source = "let x = $ 1;;"
+        with pytest.raises(LexError) as exc:
+            tokenize(source)
+        rendered = exc.value.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("lexical error at line 1, column 9")
+        assert lines[1] == "  let x = $ 1;;"
+        assert lines[2] == "  " + " " * 8 + "^"
+
+    def test_multiline_source_excerpt(self):
+        source = "let a = 1;;\nlet b = ;;\nlet c = 3;;"
+        with pytest.raises(ParseError) as exc:
+            parse(source)
+        rendered = exc.value.render()
+        assert "line 2" in rendered
+        assert "let b = ;;" in rendered
+
+
+class TestTypeErrorMessages:
+    def test_unbound_names_the_identifier(self):
+        with pytest.raises(TypeError_, match="unbound identifier 'ghost'"):
+            typecheck_source("let main = ghost;;")
+
+    def test_application_mismatch_shows_both_types(self):
+        source = "let f = fun x -> x + 1;;\nlet main = f true;;"
+        with pytest.raises(TypeError_) as exc:
+            typecheck_source(source)
+        message = exc.value.message
+        assert "int" in message and "bool" in message
+        assert exc.value.loc.line == 2
+
+    def test_skeleton_misuse_located_at_call(self):
+        table = FunctionTable()
+        table.register("detect", ins=["window"], outs=["mark"])(lambda w: w)
+        table.register("acc", ins=["mark list", "mark"], outs=["mark list"])(
+            lambda o, m: o
+        )
+        source = "let main ws = df 4 acc detect [] ws;;"
+        with pytest.raises(TypeError_) as exc:
+            typecheck_source(source, table)
+        assert exc.value.loc.line == 1
+
+
+class TestNetworkErrorMessages:
+    def make_table(self):
+        table = FunctionTable()
+        table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+        table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+        return table
+
+    def test_dynamic_degree_message(self):
+        source = "let main (n, ws) = df n comp acc [] ws;;"
+        with pytest.raises(NetworkError) as exc:
+            extract_network(parse(source), self.make_table(), source=source)
+        assert "static integer" in exc.value.message
+        assert "^" in exc.value.render()
+
+    def test_closure_parameter_message_names_role(self):
+        source = "let main ws = df 2 (fun w -> comp w) acc [] ws;;"
+        with pytest.raises(NetworkError, match="'comp' parameter of 'df'"):
+            extract_network(parse(source), self.make_table(), source=source)
+
+    def test_runtime_arithmetic_hint(self):
+        table = self.make_table()
+        table.register("count", ins=["'a list"], outs=["int"])(len)
+        source = "let main ws = count ws + 1;;"
+        with pytest.raises(NetworkError, match="inside a sequential function"):
+            extract_network(parse(source), table, source=source)
+
+
+class TestCompileSourceErrors:
+    def test_type_error_before_network_error(self):
+        """compile_source type-checks first: a program that is both
+        ill-typed and structurally invalid reports the type error."""
+        table = FunctionTable()
+        table.register("f", ins=["int"], outs=["int"])(lambda x: x)
+        source = "let main ws = df true f f ws ws;;"
+        with pytest.raises(TypeError_):
+            compile_source(source, table)

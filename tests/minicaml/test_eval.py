@@ -1,0 +1,225 @@
+"""Tests for the mini-ML interpreter (the sequential emulation path)."""
+
+import pytest
+
+from repro.core import EndOfStream, FunctionTable
+from repro.minicaml import EvalError, evaluate_program, parse, run_main
+from repro.minicaml.eval import Interpreter
+from repro.minicaml.parser import parse_expr
+
+
+def run_expr(src, table=None, **kw):
+    interp = Interpreter(table, **kw)
+    return interp.eval(parse_expr(src), {})
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run_expr("1 + 2 * 3") == 7
+        assert run_expr("7 / 2") == 3  # integer division
+        assert run_expr("7.0 /. 2.0") == 3.5
+        assert run_expr("-5") == -5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError, match="division by zero"):
+            run_expr("1 / 0")
+
+    def test_comparisons(self):
+        assert run_expr("1 < 2") is True
+        assert run_expr("1 = 1") is True
+        assert run_expr("1 <> 1") is False
+
+    def test_lists(self):
+        assert run_expr("1 :: [2; 3]") == [1, 2, 3]
+        assert run_expr("[1] @ [2; 3]") == [1, 2, 3]
+
+    def test_tuples_and_projections(self):
+        assert run_expr("fst (1, 2)") == 1
+        assert run_expr("snd (1, 2)") == 2
+
+    def test_if(self):
+        assert run_expr("if 1 < 2 then 10 else 20") == 10
+
+    def test_let_and_shadowing(self):
+        assert run_expr("let x = 1 in let x = x + 1 in x") == 2
+
+    def test_tuple_destructuring(self):
+        assert run_expr("let a, b = (1, 2) in a + b") == 3
+
+    def test_destructure_mismatch(self):
+        with pytest.raises(EvalError, match="destructure"):
+            run_expr("let a, b = (1, 2, 3) in a")
+
+    def test_closures_capture(self):
+        assert run_expr("let make = fun x -> fun y -> x + y in make 10 5") == 15
+
+    def test_unbound(self):
+        with pytest.raises(EvalError, match="unbound"):
+            run_expr("ghost")
+
+    def test_apply_non_function(self):
+        with pytest.raises(EvalError, match="apply"):
+            run_expr("1 2")
+
+
+class TestBuiltins:
+    def test_map(self):
+        assert run_expr("map (fun x -> x * 2) [1; 2; 3]") == [2, 4, 6]
+
+    def test_fold_left(self):
+        assert run_expr("fold_left (fun a x -> a + x) 0 [1; 2; 3]") == 6
+
+    def test_fold_left_order(self):
+        assert run_expr('fold_left (fun a x -> a @ [x]) [] [1; 2]') == [1, 2]
+
+    def test_length_rev_hd_tl(self):
+        assert run_expr("length [1; 2; 3]") == 3
+        assert run_expr("rev [1; 2]") == [2, 1]
+        assert run_expr("hd [9; 8]") == 9
+        assert run_expr("tl [9; 8]") == [8]
+
+    def test_hd_empty(self):
+        with pytest.raises(EvalError):
+            run_expr("hd []")
+
+    def test_min_max_abs(self):
+        assert run_expr("min 3 5") == 3
+        assert run_expr("max 3 5") == 5
+        assert run_expr("abs (-4)") == 4
+
+
+class TestSkeletonBuiltins:
+    def test_df_is_fold_map(self):
+        assert (
+            run_expr("df 4 (fun x -> x * x) (fun a y -> a + y) 0 [1; 2; 3]") == 14
+        )
+
+    def test_scm(self):
+        src = (
+            "scm 2 (fun n x -> [x; x]) (fun p -> p + 1) "
+            "(fun x rs -> rs) 10"
+        )
+        assert run_expr(src) == [11, 11]
+
+    def test_tf_pair_convention(self):
+        src = (
+            "tf 2 (fun x -> if x <= 1 then ([x], []) else ([], [x - 1; x - 2])) "
+            "(fun a y -> a + y) 0 [3]"
+        )
+        # 3 -> tasks [2;1]; 2 -> [1;0]; each 1 yields 1, 0 yields 0 => 1+1+0
+        assert run_expr(src) == 2
+
+    def test_itermem_bounded(self):
+        src = (
+            "itermem (fun x -> 1) (fun (s, i) -> (s + i, s + i)) "
+            "(fun y -> ignore y) 0 ()"
+        )
+        interp = Interpreter(max_iterations=5)
+        assert interp.eval(parse_expr(src), {}) == 5
+
+
+class TestPrograms:
+    def test_top_level_sequence(self):
+        env = evaluate_program(parse("let a = 2;; let b = a * 3;;"))
+        assert env["b"] == 6
+
+    def test_let_rec_factorial(self):
+        src = """
+        let rec fact n = if n = 0 then 1 else n * fact (n - 1);;
+        let main = fact 6;;
+        """
+        assert run_main(parse(src)) == 720
+
+    def test_let_rec_mutual_via_closure(self):
+        src = """
+        let rec even n = if n = 0 then true else
+          (let rec odd m = if m = 0 then false else even (m - 1) in odd (n - 1));;
+        let main = even 10;;
+        """
+        assert run_main(parse(src)) is True
+
+    def test_missing_entry(self):
+        with pytest.raises(EvalError, match="no top-level binding"):
+            run_main(parse("let a = 1;;"))
+
+    def test_externals_and_stream(self):
+        table = FunctionTable()
+        frames = iter([10, 20, 30])
+
+        @table.register("read", ins=["unit"], outs=["int"])
+        def read(_):
+            try:
+                return next(frames)
+            except StopIteration:
+                raise EndOfStream
+
+        seen = []
+
+        @table.register("show", ins=["int"])
+        def show(y):
+            seen.append(y)
+
+        src = """
+        let loop (s, i) = (s + i, s + i);;
+        let main = itermem read loop show 0 ();;
+        """
+        final = run_main(parse(src), table)
+        assert seen == [10, 30, 60]
+        assert final == 60
+
+    def test_paper_case_study_emulates(self):
+        table = FunctionTable()
+        frames = iter(["f1", "f2"])
+
+        @table.register("read_img", ins=["int * int"], outs=["img"])
+        def read_img(shape):
+            assert shape == (512, 512)
+            try:
+                return next(frames)
+            except StopIteration:
+                raise EndOfStream
+
+        @table.register("init_state", ins=[], outs=["state"])
+        def init_state():
+            return "s0"
+
+        @table.register(
+            "get_windows", ins=["int", "state", "img"], outs=["window list"]
+        )
+        def get_windows(n, state, im):
+            return [f"{im}:w{i}" for i in range(3)]
+
+        @table.register("detect_mark", ins=["window"], outs=["mark"])
+        def detect_mark(w):
+            return f"m({w})"
+
+        @table.register(
+            "accum_marks", ins=["mark list", "mark"], outs=["mark list"]
+        )
+        def accum_marks(old, m):
+            return old + [m]
+
+        @table.register("predict", ins=["mark list"], outs=["mark list", "state"])
+        def predict(marks):
+            return marks, f"state<{len(marks)}>"
+
+        shown = []
+
+        @table.register("display_marks", ins=["mark list"])
+        def display_marks(ms):
+            shown.append(ms)
+
+        src = """
+        let nproc = 8;;
+        let s0 = init_state ();;
+        let loop (state, im) =
+          let ws = get_windows nproc state im in
+          let marks = df nproc detect_mark accum_marks [] ws in
+          let ms, st = predict marks in
+          (st, ms);;
+        let main = itermem read_img loop display_marks s0 (512,512);;
+        """
+        final = run_main(parse(src), table)
+        assert len(shown) == 2
+        assert shown[0] == ["m(f1:w0)", "m(f1:w1)", "m(f1:w2)"]
+        assert final == "state<3>"

@@ -1,0 +1,288 @@
+"""Tests for Hindley-Milner inference, incl. the paper's skeleton typings."""
+
+import pytest
+
+from repro.core import FunctionTable
+from repro.minicaml import (
+    TypeError_,
+    infer_expr,
+    initial_env,
+    parse,
+    parse_expr,
+    typecheck_source,
+    type_to_str,
+)
+from repro.minicaml.infer import infer_program
+
+
+def typeof(src, table=None):
+    env = initial_env(table)
+    return type_to_str(infer_expr(parse_expr(src), env))
+
+
+def scheme_str(src, name, table=None):
+    schemes = typecheck_source(src, table)
+    return type_to_str(schemes[name].instantiate())
+
+
+class TestLiteralsAndOperators:
+    def test_literals(self):
+        assert typeof("1") == "int"
+        assert typeof("1.5") == "float"
+        assert typeof("true") == "bool"
+        assert typeof('"s"') == "string"
+        assert typeof("()") == "unit"
+
+    def test_int_arithmetic(self):
+        assert typeof("1 + 2 * 3") == "int"
+
+    def test_float_arithmetic(self):
+        assert typeof("1.0 +. 2.5") == "float"
+
+    def test_mixed_arithmetic_rejected(self):
+        with pytest.raises(TypeError_):
+            typeof("1 + 2.0")
+        with pytest.raises(TypeError_):
+            typeof("1.0 +. 2")
+
+    def test_comparison_polymorphic_but_homogeneous(self):
+        assert typeof("1 = 2") == "bool"
+        assert typeof('"a" = "b"') == "bool"
+        with pytest.raises(TypeError_):
+            typeof('1 = "a"')
+
+    def test_cons_and_append(self):
+        assert typeof("1 :: [2; 3]") == "int list"
+        assert typeof("[1] @ [2]") == "int list"
+        with pytest.raises(TypeError_):
+            typeof("1 :: [true]")
+
+    def test_list_homogeneous(self):
+        with pytest.raises(TypeError_):
+            typeof("[1; true]")
+
+
+class TestFunctionsAndPolymorphism:
+    def test_identity(self):
+        assert typeof("fun x -> x") == "'a -> 'a"
+
+    def test_const_function(self):
+        assert typeof("fun x y -> x") == "'a -> 'b -> 'a"
+
+    def test_application(self):
+        assert typeof("(fun x -> x + 1) 2") == "int"
+
+    def test_if_branches_unify(self):
+        assert typeof("fun c -> if c then 1 else 2") == "bool -> int"
+        with pytest.raises(TypeError_):
+            typeof("if true then 1 else false")
+
+    def test_cond_must_be_bool(self):
+        with pytest.raises(TypeError_):
+            typeof("if 1 then 2 else 3")
+
+    def test_let_polymorphism(self):
+        assert typeof("let id = fun x -> x in (id 1, id true)") == "int * bool"
+
+    def test_lambda_bound_monomorphic(self):
+        with pytest.raises(TypeError_):
+            typeof("fun f -> (f 1, f true)")
+
+    def test_tuple_pattern_in_fun(self):
+        assert typeof("fun (a, b) -> a") == "('a * 'b) -> 'a"
+
+    def test_let_rec(self):
+        src = "let rec loop = fun x -> if x = 0 then 0 else loop (x - 1);;"
+        assert scheme_str(src, "loop") == "int -> int"
+
+    def test_occurs_check_self_application(self):
+        with pytest.raises(TypeError_, match="occurs|mismatch"):
+            typeof("fun x -> x x")
+
+    def test_unbound_identifier(self):
+        with pytest.raises(TypeError_, match="unbound"):
+            typeof("mystery")
+
+    def test_shadowing(self):
+        assert typeof("let x = 1 in let x = true in x") == "bool"
+
+
+class TestBuiltins:
+    def test_map(self):
+        assert typeof("map (fun x -> x + 1) [1; 2]") == "int list"
+
+    def test_fold_left(self):
+        assert typeof("fold_left (fun a x -> a + x) 0 [1; 2]") == "int"
+
+    def test_fst_snd(self):
+        assert typeof("fst (1, true)") == "int"
+        assert typeof("snd (1, true)") == "bool"
+
+    def test_hd_tl(self):
+        assert typeof("hd [1]") == "int"
+        assert typeof("tl [1]") == "int list"
+
+
+class TestSkeletonSignatures:
+    def test_df_full_application(self):
+        src = (
+            "df 4 (fun x -> x + 1) (fun acc y -> acc + y) 0 [1; 2; 3]"
+        )
+        assert typeof(src) == "int"
+
+    def test_df_partial_application_keeps_constraints(self):
+        t = typeof("df 4 (fun x -> x + 1)")
+        # Remaining: acc, z, xs, result with 'b = int fixed.
+        assert t == "('a -> int -> 'a) -> 'a -> int list -> 'a"
+
+    def test_df_rejects_mismatched_accumulator(self):
+        # comp produces int but acc consumes bool.
+        with pytest.raises(TypeError_):
+            typeof("df 4 (fun x -> x + 1) (fun a y -> if y then a else a) 0 [1]")
+
+    def test_df_degree_must_be_int(self):
+        with pytest.raises(TypeError_):
+            typeof("df true (fun x -> x) (fun a y -> a) 0 []")
+
+    def test_scm_signature(self):
+        src = (
+            "scm 4 (fun n x -> [x]) (fun p -> p + 1) "
+            "(fun x rs -> rs) 5"
+        )
+        assert typeof(src) == "int list"
+
+    def test_scm_split_first_arg_is_int(self):
+        with pytest.raises(TypeError_):
+            typeof("scm 4 (fun s x -> [x + s]) (fun p -> p) (fun x rs -> rs) true")
+
+    def test_tf_worker_pair_convention(self):
+        src = (
+            "tf 2 (fun x -> ([x], [])) (fun a y -> a + y) 0 [1; 2]"
+        )
+        assert typeof(src) == "int"
+
+    def test_tf_worker_subtasks_must_match_input(self):
+        with pytest.raises(TypeError_):
+            typeof("tf 2 (fun x -> ([x], [true])) (fun a y -> a + y) 0 [1]")
+
+    def test_itermem_signature(self):
+        src = (
+            "itermem (fun x -> x + 1) (fun (s, i) -> (s + i, s)) "
+            "(fun y -> ignore y) 0 5"
+        )
+        assert typeof(src) == "unit"
+
+    def test_itermem_loop_must_return_pair(self):
+        with pytest.raises(TypeError_):
+            typeof("itermem (fun x -> x) (fun (s, i) -> s) (fun y -> ignore y) 0 5")
+
+    def test_itermem_output_consumes_loop_snd(self):
+        with pytest.raises(TypeError_):
+            typeof(
+                "itermem (fun x -> x) (fun (s, i) -> (s, 1)) "
+                "(fun y -> ignore (y = true)) 0 5"
+            )
+
+
+class TestExternals:
+    def make_table(self):
+        table = FunctionTable()
+
+        @table.register("detect_mark", ins=["window"], outs=["mark"])
+        def detect_mark(w):
+            return w
+
+        @table.register("accum_marks", ins=["mark list", "mark"], outs=["mark list"])
+        def accum_marks(old, m):
+            return old
+
+        @table.register("predict", ins=["mark list"], outs=["mark list", "state"])
+        def predict(marks):
+            return marks, None
+
+        @table.register("poly_pass", ins=["'a"], outs=["'a"])
+        def poly_pass(x):
+            return x
+
+        return table
+
+    def test_external_curried_type(self):
+        table = self.make_table()
+        assert typeof("accum_marks", table) == "mark list -> mark -> mark list"
+
+    def test_multi_out_is_tuple(self):
+        table = self.make_table()
+        assert typeof("predict", table) == "mark list -> mark list * state"
+
+    def test_polymorphic_external(self):
+        table = self.make_table()
+        assert typeof("(poly_pass 1, poly_pass true)", table) == "int * bool"
+
+    def test_df_with_externals(self):
+        table = self.make_table()
+        src = "fun ws -> df 8 detect_mark accum_marks [] ws"
+        assert typeof(src, table) == "window list -> mark list"
+
+    def test_df_rejects_wrong_external_wiring(self):
+        table = self.make_table()
+        # accum_marks as comp and detect_mark as acc: ill-typed.
+        with pytest.raises(TypeError_):
+            typeof("fun ws -> df 8 accum_marks detect_mark [] ws", table)
+
+    def test_opaque_types_do_not_unify(self):
+        table = self.make_table()
+        with pytest.raises(TypeError_):
+            typeof("fun w -> accum_marks w (detect_mark w)", table)
+
+
+class TestPaperCaseStudy:
+    def make_table(self):
+        table = FunctionTable()
+        table.register("read_img", ins=["int * int"], outs=["img"])(lambda s: None)
+        table.register("init_state", ins=[], outs=["state"])(lambda: None)
+        table.register(
+            "get_windows", ins=["int", "state", "img"], outs=["window list"]
+        )(lambda n, s, i: [])
+        table.register("detect_mark", ins=["window"], outs=["mark"])(lambda w: None)
+        table.register(
+            "accum_marks", ins=["mark list", "mark"], outs=["mark list"]
+        )(lambda o, m: o)
+        table.register(
+            "predict", ins=["mark list"], outs=["mark list", "state"]
+        )(lambda m: (m, None))
+        table.register("display_marks", ins=["mark list"])(lambda m: None)
+        return table
+
+    SRC = """
+    let nproc = 8;;
+    let s0 = init_state ();;
+    let loop (state, im) =
+      let ws = get_windows nproc state im in
+      let marks = df nproc detect_mark accum_marks [] ws in
+      let ms, st = predict marks in
+      (st, ms);;
+    let main = itermem read_img loop display_marks s0 (512,512);;
+    """
+
+    def test_whole_program_types(self):
+        table = self.make_table()
+        schemes = typecheck_source(self.SRC, table)
+        get = lambda n: type_to_str(schemes[n].instantiate())
+        assert get("nproc") == "int"
+        assert get("s0") == "state"
+        assert get("loop") == "(state * img) -> state * mark list"
+        assert get("main") == "unit"
+
+    def test_swapping_detector_and_accumulator_rejected(self):
+        table = self.make_table()
+        bad = self.SRC.replace(
+            "df nproc detect_mark accum_marks", "df nproc accum_marks detect_mark"
+        )
+        with pytest.raises(TypeError_):
+            typecheck_source(bad, table)
+
+    def test_wrong_source_tuple_rejected(self):
+        table = self.make_table()
+        bad = self.SRC.replace("(512,512)", "true")
+        with pytest.raises(TypeError_):
+            typecheck_source(bad, table)

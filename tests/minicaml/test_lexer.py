@@ -1,0 +1,88 @@
+"""Tests for the mini-ML lexer."""
+
+import pytest
+
+from repro.minicaml import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == TokenKind.EOF
+
+    def test_integers(self):
+        toks = tokenize("0 42 512")
+        assert [t.text for t in toks[:-1]] == ["0", "42", "512"]
+        assert all(t.kind == TokenKind.INT for t in toks[:-1])
+
+    def test_floats(self):
+        toks = tokenize("3.14 2. 0.5")
+        assert all(t.kind == TokenKind.FLOAT for t in toks[:-1])
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"hello\nworld"')
+        assert toks[0].kind == TokenKind.STRING
+        assert toks[0].text == "hello\nworld"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"oops')
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("let rec foo_bar x' in fun")
+        assert toks[0].kind == TokenKind.KEYWORD
+        assert toks[1].kind == TokenKind.KEYWORD
+        assert toks[2].kind == TokenKind.IDENT
+        assert toks[2].text == "foo_bar"
+        assert toks[3].kind == TokenKind.IDENT
+        assert toks[3].text == "x'"
+
+    def test_operators_maximal_munch(self):
+        assert texts("a <= b ;; c -> d :: e <> f") == [
+            "a", "<=", "b", ";;", "c", "->", "d", "::", "e", "<>", "f",
+        ]
+
+    def test_float_operators(self):
+        assert texts("a +. b *. c") == ["a", "+.", "b", "*.", "c"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a # b")
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert texts("a (* comment *) b") == ["a", "b"]
+
+    def test_nested_comment(self):
+        assert texts("a (* outer (* inner *) still *) b") == ["a", "b"]
+
+    def test_multiline_comment(self):
+        assert texts("a (* line1\nline2 *) b") == ["a", "b"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError, match="unterminated comment"):
+            tokenize("a (* oops")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("let x = 1\nlet y = 2")
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        second_let = [t for t in toks if t.text == "y"][0]
+        assert second_let.loc.line == 2
+        assert second_let.loc.column == 5
+
+    def test_column_after_multichar_token(self):
+        toks = tokenize("ab ->")
+        arrow = toks[1]
+        assert arrow.loc.column == 4

@@ -1,0 +1,274 @@
+"""Tests for network extraction (spec -> program IR)."""
+
+import pytest
+
+from repro.core import Apply, Const, FunctionTable, SkelApply
+from repro.minicaml import NetworkError, compile_source, extract_network, parse
+
+
+def make_table():
+    table = FunctionTable()
+    table.register("read_img", ins=["int * int"], outs=["img"])(lambda s: None)
+    table.register("init_state", ins=[], outs=["state"])(lambda: None)
+    table.register("get_windows", ins=["int", "state", "img"], outs=["window list"])(
+        lambda n, s, i: []
+    )
+    table.register("detect_mark", ins=["window"], outs=["mark"])(lambda w: None)
+    table.register("accum_marks", ins=["mark list", "mark"], outs=["mark list"])(
+        lambda o, m: o
+    )
+    table.register("predict", ins=["mark list"], outs=["mark list", "state"])(
+        lambda m: (m, None)
+    )
+    table.register("display_marks", ins=["mark list"])(lambda m: None)
+    table.register("split_img", ins=["int", "img"], outs=["img list"])(
+        lambda n, im: []
+    )
+    table.register("process", ins=["img"], outs=["img"])(lambda im: im)
+    table.register("merge_img", ins=["img", "img list"], outs=["img"])(
+        lambda im, parts: im
+    )
+    table.register("worker", ins=["task"], outs=["mark list", "task list"])(
+        lambda t: ([], [])
+    )
+    return table
+
+
+CASE_STUDY = """
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks [] ws in
+  let ms, st = predict marks in
+  (st, ms);;
+let main = itermem read_img loop display_marks s0 (512,512);;
+"""
+
+
+class TestStreamExtraction:
+    def test_case_study_structure(self):
+        prog = compile_source(CASE_STUDY, make_table()).ir
+        assert prog.stream is not None
+        assert prog.stream.inp == "read_img"
+        assert prog.stream.out == "display_marks"
+        assert prog.stream.init == "init_state"
+        assert prog.stream.source == (512, 512)
+        assert prog.params == ("state", "item")
+        skels = prog.skeleton_instances()
+        assert len(skels) == 1
+        assert skels[0].kind == "df"
+        assert skels[0].degree == 8
+        assert skels[0].funcs == {"comp": "detect_mark", "acc": "accum_marks"}
+
+    def test_constant_folding_of_degree(self):
+        src = CASE_STUDY.replace("let nproc = 8;;", "let nproc = 2 * 2 + 4;;")
+        prog = compile_source(src, make_table()).ir
+        assert prog.skeleton_instances()[0].degree == 8
+
+    def test_results_are_state_then_output(self):
+        prog = compile_source(CASE_STUDY, make_table()).ir
+        producers = prog.producers()
+        state_binding = producers[prog.results[0]]
+        out_binding = producers[prog.results[1]]
+        assert isinstance(state_binding, Apply) and state_binding.func == "predict"
+        assert isinstance(out_binding, Apply) and out_binding.func == "predict"
+
+    def test_const_initial_memory(self):
+        table = make_table()
+        table.register("step", ins=["int", "img"], outs=["int", "mark list"])(
+            lambda s, im: (s, [])
+        )
+        src = """
+        let loop (s, im) = step s im;;
+        let main = itermem read_img loop display_marks 0 (512,512);;
+        """
+        prog = compile_source(src, table).ir
+        assert prog.stream.init is None
+        assert prog.stream.init_value == 0
+
+    def test_type_annotations_on_edges(self):
+        prog = compile_source(CASE_STUDY, make_table()).ir
+        get_windows_out = [
+            b.outs[0] for b in prog.bindings
+            if isinstance(b, Apply) and b.func == "get_windows"
+        ][0]
+        assert prog.types[get_windows_out] == "window list"
+
+
+class TestOneShotExtraction:
+    def test_scm_pipeline(self):
+        src = """
+        let main im =
+          let out = scm 4 split_img process merge_img im in
+          out;;
+        """
+        prog = compile_source(src, make_table()).ir
+        assert prog.stream is None
+        assert prog.params == ("im",)
+        (skel,) = prog.skeleton_instances()
+        assert skel.kind == "scm"
+        assert skel.funcs == {
+            "split": "split_img", "comp": "process", "merge": "merge_img",
+        }
+
+    def test_tf_extraction(self):
+        src = """
+        let main ts =
+          tf 4 worker accum_marks [] ts;;
+        """
+        prog = compile_source(src, make_table()).ir
+        (skel,) = prog.skeleton_instances()
+        assert skel.kind == "tf"
+
+    def test_user_function_inlining(self):
+        src = """
+        let detect ws = df 4 detect_mark accum_marks [] ws;;
+        let main (state, im) =
+          let ws = get_windows 4 state im in
+          detect ws;;
+        """
+        prog = compile_source(src, make_table()).ir
+        assert len(prog.skeleton_instances()) == 1
+        assert prog.params == ("state", "im")
+
+    def test_multiple_skeletons_in_sequence(self):
+        src = """
+        let main (state, im) =
+          let clean = scm 4 split_img process merge_img im in
+          let ws = get_windows 4 state clean in
+          df 4 detect_mark accum_marks [] ws;;
+        """
+        prog = compile_source(src, make_table()).ir
+        kinds = [s.kind for s in prog.skeleton_instances()]
+        assert kinds == ["scm", "df"]
+
+
+class TestRestrictions:
+    def test_itermem_inside_body_rejected(self):
+        src = """
+        let loop (s, i) = (s, itermem read_img (fun (a, b) -> (a, b)) display_marks s (1,1));;
+        let main = itermem read_img loop display_marks 0 (512,512);;
+        """
+        with pytest.raises(NetworkError, match="outermost"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_dynamic_degree_rejected(self):
+        src = """
+        let main (n, ws) = df n detect_mark accum_marks [] ws;;
+        """
+        with pytest.raises(NetworkError, match="static integer"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_closure_as_skeleton_function_rejected(self):
+        src = """
+        let main ws = df 4 (fun w -> detect_mark w) accum_marks [] ws;;
+        """
+        with pytest.raises(NetworkError, match="named sequential function"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_dynamic_conditional_rejected(self):
+        src = """
+        let main (c, ws) =
+          if c then df 4 detect_mark accum_marks [] ws
+          else df 2 detect_mark accum_marks [] ws;;
+        """
+        with pytest.raises(NetworkError, match="control flow"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_static_conditional_folds(self):
+        src = """
+        let fast = true;;
+        let main ws =
+          if fast then df 8 detect_mark accum_marks [] ws
+          else df 1 detect_mark accum_marks [] ws;;
+        """
+        prog = extract_network(parse(src), make_table(), source=src)
+        assert prog.skeleton_instances()[0].degree == 8
+
+    def test_runtime_arithmetic_rejected(self):
+        table = make_table()
+        table.register("as_int", ins=["img"], outs=["int"])(lambda im: 0)
+        src = """
+        let main im = as_int im + 1;;
+        """
+        with pytest.raises(NetworkError, match="arithmetic"):
+            extract_network(parse(src), table, source=src)
+
+    def test_map_in_coordination_rejected(self):
+        src = """
+        let main ws = map detect_mark ws;;
+        """
+        with pytest.raises(NetworkError, match="sequential function"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_recursion_in_coordination_rejected(self):
+        src = """
+        let main ws =
+          let rec go w = go w in
+          go ws;;
+        """
+        with pytest.raises(NetworkError, match="recursive"):
+            extract_network(parse(src), make_table(), source=src)
+
+    def test_missing_entry(self):
+        with pytest.raises(NetworkError, match="no top-level binding"):
+            extract_network(parse("let a = 1;;"), make_table())
+
+    def test_entry_must_not_be_constant(self):
+        with pytest.raises(NetworkError):
+            extract_network(parse("let main = 42;;"), make_table())
+
+    def test_non_nullary_call_at_top_level_rejected(self):
+        src = """
+        let marks = detect_mark 0;;
+        let main ws = df 2 detect_mark accum_marks [] ws;;
+        """
+        with pytest.raises(NetworkError, match="outside the processing loop"):
+            extract_network(parse(src), make_table(), source=src)
+
+
+class TestEquivalence:
+    def test_extracted_ir_emulates_like_interpreter(self):
+        """The IR emulator and the direct interpreter agree (Fig. 2 both paths)."""
+        from repro.core import emulate
+        from repro.core.semantics import EndOfStream
+
+        table = FunctionTable()
+        feeds = {"count": 0}
+
+        @table.register("read", ins=["int * int"], outs=["int"])
+        def read(_shape):
+            feeds["count"] += 1
+            if feeds["count"] > 4:
+                raise EndOfStream
+            return feeds["count"] * 10
+
+        @table.register("triple", ins=["int", "int"], outs=["int list"])
+        def triple(n, x):
+            return [x] * n
+
+        @table.register("inc", ins=["int"], outs=["int"])
+        def inc(x):
+            return x + 1
+
+        @table.register("add", ins=["int", "int"], outs=["int"])
+        def add(a, b):
+            return a + b
+
+        @table.register("emit", ins=["int"])
+        def emit(_y):
+            return None
+
+        src = """
+        let loop (s, i) =
+          let xs = triple 3 i in
+          let total = df 2 inc add 0 xs in
+          (total, total);;
+        let main = itermem read loop emit 0 (1,1);;
+        """
+        compiled = compile_source(src, table)
+        feeds["count"] = 0
+        result = emulate(compiled.ir, table, call_sink=False)
+        # Each frame: [x,x,x] -> inc -> sum = 3x+3
+        assert result.outputs == [33, 63, 93, 123]

@@ -1,0 +1,172 @@
+"""Tests for the mini-ML parser."""
+
+import pytest
+
+from repro.minicaml import ParseError, parse, parse_expr
+from repro.minicaml import ast
+
+
+class TestAtoms:
+    def test_literals(self):
+        assert parse_expr("42") == ast.IntLit(42)
+        assert parse_expr("3.5") == ast.FloatLit(3.5)
+        assert parse_expr("true") == ast.BoolLit(True)
+        assert parse_expr('"hi"') == ast.StringLit("hi")
+        assert isinstance(parse_expr("()"), ast.UnitLit)
+
+    def test_lists(self):
+        e = parse_expr("[1; 2; 3]")
+        assert isinstance(e, ast.ListExpr)
+        assert len(e.elements) == 3
+
+    def test_empty_list(self):
+        e = parse_expr("[]")
+        assert isinstance(e, ast.ListExpr)
+        assert e.elements == ()
+
+    def test_parens(self):
+        assert parse_expr("(1)") == ast.IntLit(1)
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "-"
+        assert e.right == ast.IntLit(3)
+
+    def test_cons_right_associative(self):
+        e = parse_expr("1 :: 2 :: []")
+        assert e.op == "::"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "::"
+
+    def test_compare_binds_looser_than_add(self):
+        e = parse_expr("a + 1 = b")
+        assert e.op == "="
+
+    def test_unary_minus(self):
+        e = parse_expr("-x")
+        assert isinstance(e, ast.BinOp) and e.op == "-"
+        assert e.left == ast.IntLit(0)
+
+    def test_tuple_looser_than_cons(self):
+        e = parse_expr("1, 2 :: []")
+        assert isinstance(e, ast.TupleExpr)
+        assert len(e.elements) == 2
+
+
+class TestApplication:
+    def test_juxtaposition_left_assoc(self):
+        e = parse_expr("f a b")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.fn, ast.Apply)
+        assert e.fn.fn == ast.Var("f")
+
+    def test_application_binds_tighter_than_operators(self):
+        e = parse_expr("f a + g b")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.Apply)
+        assert isinstance(e.right, ast.Apply)
+
+    def test_application_of_parenthesised_tuple(self):
+        e = parse_expr("f (a, b)")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.arg, ast.TupleExpr)
+
+    def test_paper_df_call(self):
+        e = parse_expr("df nproc detect_mark accum_marks empty_list ws")
+        # Five nested applications.
+        count = 0
+        while isinstance(e, ast.Apply):
+            count += 1
+            e = e.fn
+        assert count == 5
+        assert e == ast.Var("df")
+
+
+class TestBindingForms:
+    def test_let_in(self):
+        e = parse_expr("let x = 1 in x + x")
+        assert isinstance(e, ast.Let)
+        assert e.pattern == ast.PVar("x")
+
+    def test_let_function_sugar(self):
+        prog = parse("let f x y = x;;")
+        expr = prog.phrases[0].expr
+        assert isinstance(expr, ast.Fun)
+        assert isinstance(expr.body, ast.Fun)
+
+    def test_let_tuple_pattern_parenthesised(self):
+        prog = parse("let loop (state, im) = state;;")
+        expr = prog.phrases[0].expr
+        assert isinstance(expr, ast.Fun)
+        assert isinstance(expr.param, ast.PTuple)
+
+    def test_let_tuple_pattern_bare(self):
+        e = parse_expr("let ms, st = p in ms")
+        assert isinstance(e.pattern, ast.PTuple)
+        assert [p.name for p in e.pattern.elements] == ["ms", "st"]
+
+    def test_let_rec(self):
+        e = parse_expr("let rec f = fun x -> f x in f")
+        assert e.recursive
+
+    def test_fun_multi_param(self):
+        e = parse_expr("fun x y -> x")
+        assert isinstance(e, ast.Fun)
+        assert isinstance(e.body, ast.Fun)
+
+    def test_fun_needs_params(self):
+        with pytest.raises(ParseError):
+            parse_expr("fun -> 1")
+
+    def test_wildcard_param(self):
+        e = parse_expr("fun _ -> 1")
+        assert isinstance(e.param, ast.PWild)
+
+    def test_if_then_else(self):
+        e = parse_expr("if a then 1 else 2")
+        assert isinstance(e, ast.If)
+
+    def test_params_on_tuple_pattern_rejected(self):
+        with pytest.raises(ParseError):
+            parse("let (a, b) x = a;;")
+
+
+class TestTopLevel:
+    def test_phrases_with_and_without_semisemi(self):
+        prog = parse("let a = 1;;\nlet b = 2\nlet c = 3;;")
+        assert len(prog.phrases) == 3
+
+    def test_binding_lookup_last_wins(self):
+        prog = parse("let a = 1;; let a = 2;;")
+        assert prog.binding("a").expr == ast.IntLit(2)
+
+    def test_paper_case_study_parses(self):
+        src = """
+        let nproc = 8;;
+        let s0 = init_state ();;
+        let loop (state, im) =
+          let ws = get_windows nproc state im in
+          let marks = df nproc detect_mark accum_marks empty_list ws in
+          predict marks;;
+        let main = itermem read_img loop display_marks s0 (512,512);;
+        """
+        prog = parse(src)
+        assert [p.pattern.name for p in prog.phrases] == [
+            "nproc", "s0", "loop", "main",
+        ]
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("let x = ;;")
+        assert exc.value.loc.line == 1
+
+    def test_trailing_garbage_in_expr(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expr("1 2 3 )")

@@ -1,0 +1,136 @@
+"""Round-trip tests for the pretty-printer: parse . pretty == id."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minicaml import parse, parse_expr
+from repro.minicaml.pretty import pretty_expr, pretty_pattern, pretty_program
+from repro.minicaml import ast
+
+
+def roundtrip(source: str) -> None:
+    first = parse_expr(source)
+    printed = pretty_expr(first)
+    second = parse_expr(printed)
+    assert second == first, f"{source!r} -> {printed!r} reparsed differently"
+
+
+class TestExprRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "42",
+            "3.5",
+            "true",
+            '"hi\\n"',
+            "()",
+            "x",
+            "f a b",
+            "f (a, b)",
+            "f (g x)",
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "1 - 2 - 3",
+            "1 - (2 - 3)",
+            "a < b + 1",
+            "1 :: 2 :: []",
+            "(1 :: xs) :: ys",
+            "[1; 2; 3] @ rest",
+            "fun x -> x + 1",
+            "fun (a, b) -> a",
+            "let x = 1 in x + x",
+            "let f = fun x -> x in f 1",
+            "let a, b = p in (b, a)",
+            "if c then 1 else 2",
+            "(if c then f else g) x",
+            "df nproc detect accum [] ws",
+            "itermem read (fun (s, i) -> (s, i)) show 0 (512, 512)",
+        ],
+    )
+    def test_roundtrip(self, source):
+        roundtrip(source)
+
+    def test_application_of_operator_result_parenthesised(self):
+        e = parse_expr("f (a + b)")
+        assert pretty_expr(e) == "f (a + b)"
+
+    def test_nested_tuples(self):
+        e = parse_expr("(1, (2, 3))")
+        assert parse_expr(pretty_expr(e)) == e
+
+
+class TestPatternPrinting:
+    def test_flat(self):
+        assert pretty_pattern(ast.PVar("x")) == "x"
+        assert pretty_pattern(ast.PWild()) == "_"
+
+    def test_tuple(self):
+        p = ast.PTuple((ast.PVar("a"), ast.PWild()))
+        assert pretty_pattern(p) == "a, _"
+        assert pretty_pattern(p, top=False) == "(a, _)"
+
+
+class TestProgramRoundTrip:
+    def test_case_study(self):
+        source = """
+        let nproc = 8;;
+        let s0 = init_state ();;
+        let loop (state, im) =
+          let ws = get_windows nproc state im in
+          let marks = df nproc detect_mark accum_marks [] ws in
+          let ms, st = predict state marks in
+          (st, ms);;
+        let main = itermem read_img loop display_marks s0 (512,512);;
+        """
+        prog = parse(source)
+        printed = pretty_program(prog)
+        assert parse(printed) == prog
+
+    def test_let_rec(self):
+        source = "let rec f = fun x -> f x;;"
+        prog = parse(source)
+        assert "let rec" in pretty_program(prog)
+        assert parse(pretty_program(prog)) == prog
+
+
+# Random expression generator for the property round-trip.
+_names = st.sampled_from(["x", "y", "f", "g", "ws"])
+
+
+def _exprs(depth: int):
+    leaves = st.one_of(
+        # Non-negative only: the grammar has no negative literals
+        # (unary minus parses as 0 - x).
+        st.integers(0, 99).map(ast.IntLit),
+        st.booleans().map(ast.BoolLit),
+        _names.map(ast.Var),
+        st.just(ast.UnitLit()),
+    )
+    if depth == 0:
+        return leaves
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(sub, sub).map(lambda t: ast.Apply(t[0], t[1])),
+        st.tuples(st.sampled_from(["+", "*", "::", "@", "<"]), sub, sub).map(
+            lambda t: ast.BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(sub, sub).map(lambda t: ast.TupleExpr((t[0], t[1]))),
+        st.lists(sub, max_size=3).map(lambda es: ast.ListExpr(tuple(es))),
+        st.tuples(_names, sub).map(
+            lambda t: ast.Fun(ast.PVar(t[0]), t[1])
+        ),
+        st.tuples(sub, sub, sub).map(lambda t: ast.If(t[0], t[1], t[2])),
+        st.tuples(_names, sub, sub).map(
+            lambda t: ast.Let(ast.PVar(t[0]), t[1], t[2])
+        ),
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(_exprs(3))
+    @settings(max_examples=150, deadline=None)
+    def test_parse_pretty_identity(self, expr):
+        printed = pretty_expr(expr)
+        assert parse_expr(printed) == expr

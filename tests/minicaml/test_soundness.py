@@ -1,0 +1,85 @@
+"""Type-soundness smoke property: well-typed terms don't go wrong.
+
+Milner's slogan, tested empirically: hypothesis generates random
+expressions; whenever HM inference *accepts* one, evaluating it must
+not raise a dynamic type error (applying a non-function, destructuring
+a non-tuple, heterogeneous arithmetic...).  Division by zero is the one
+sanctioned runtime error — the type system does not track it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minicaml import EvalError, TypeError_, infer_expr, initial_env
+from repro.minicaml import ast
+from repro.minicaml.eval import Interpreter
+
+_names = st.sampled_from(["x", "y", "f"])
+
+
+def _exprs(depth: int):
+    leaves = st.one_of(
+        st.integers(0, 9).map(ast.IntLit),
+        st.booleans().map(ast.BoolLit),
+        st.just(ast.UnitLit()),
+        _names.map(ast.Var),
+    )
+    if depth == 0:
+        return leaves
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(sub, sub).map(lambda t: ast.Apply(t[0], t[1])),
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "=", "<", "::", "@"]),
+                  sub, sub).map(lambda t: ast.BinOp(t[0], t[1], t[2])),
+        st.tuples(sub, sub).map(lambda t: ast.TupleExpr((t[0], t[1]))),
+        st.lists(sub, max_size=3).map(lambda es: ast.ListExpr(tuple(es))),
+        st.tuples(_names, sub).map(lambda t: ast.Fun(ast.PVar(t[0]), t[1])),
+        st.tuples(sub, sub, sub).map(lambda t: ast.If(t[0], t[1], t[2])),
+        st.tuples(_names, sub, sub).map(
+            lambda t: ast.Let(ast.PVar(t[0]), t[1], t[2])
+        ),
+    )
+
+
+class TestSoundness:
+    @given(_exprs(4))
+    @settings(max_examples=300, deadline=None)
+    def test_well_typed_terms_do_not_go_wrong(self, expr):
+        env = initial_env()
+        try:
+            infer_expr(expr, env)
+        except TypeError_:
+            return  # rejected: nothing to check
+        interp = Interpreter()
+        try:
+            interp.eval(expr, {})
+        except EvalError as err:
+            # The sanctioned dynamic failures (as in OCaml): arithmetic
+            # partiality and polymorphic comparison of functional values.
+            sanctioned = (
+                "division by zero",
+                "empty list",
+                "compare functional",
+            )
+            assert any(s in str(err) for s in sanctioned), (
+                f"well-typed term crashed: {expr!r}: {err}"
+            )
+        except (TypeError, AttributeError, KeyError) as err:
+            pytest.fail(f"well-typed term went wrong: {expr!r}: {err!r}")
+
+    @given(_exprs(3))
+    @settings(max_examples=150, deadline=None)
+    def test_inference_is_deterministic(self, expr):
+        from repro.minicaml import type_to_str
+
+        env = initial_env()
+        try:
+            t1 = type_to_str(infer_expr(expr, env))
+        except TypeError_ as first:
+            with pytest.raises(TypeError_):
+                infer_expr(expr, initial_env())
+            return
+        t2 = type_to_str(infer_expr(expr, initial_env()))
+        assert t1 == t2

@@ -1,0 +1,181 @@
+"""Tests for the HM type language: unification, schemes, parsing, printing."""
+
+import pytest
+
+from repro.minicaml import (
+    Scheme,
+    TArrow,
+    TCon,
+    TList,
+    TTuple,
+    TVar,
+    TypeEnv,
+    TypeError_,
+    Unifier,
+    parse_type,
+    type_to_str,
+)
+from repro.minicaml.types import free_vars, prune, t_bool, t_int
+
+
+class TestParseType:
+    def test_base(self):
+        assert parse_type("int") == TCon("int")
+        assert parse_type("img") == TCon("img")
+
+    def test_var(self):
+        t = parse_type("'a")
+        assert isinstance(t, TVar)
+
+    def test_shared_vars_within_one_parse(self):
+        t = parse_type("'a -> 'a")
+        assert isinstance(t, TArrow)
+        assert prune(t.arg) is prune(t.result)
+
+    def test_shared_vars_across_parses(self):
+        shared = {}
+        t1 = parse_type("'a list", shared)
+        t2 = parse_type("'a", shared)
+        assert prune(t1.element) is prune(t2)
+
+    def test_list_postfix(self):
+        assert parse_type("mark list") == TList(TCon("mark"))
+        assert parse_type("int list list") == TList(TList(TCon("int")))
+
+    def test_tuple(self):
+        t = parse_type("int * int")
+        assert t == TTuple((TCon("int"), TCon("int")))
+
+    def test_arrow_right_assoc(self):
+        t = parse_type("int -> int -> bool")
+        assert isinstance(t, TArrow)
+        assert isinstance(t.result, TArrow)
+
+    def test_precedence_tuple_vs_arrow(self):
+        t = parse_type("int * int -> bool")
+        assert isinstance(t, TArrow)
+        assert isinstance(t.arg, TTuple)
+
+    def test_parens(self):
+        t = parse_type("(int -> bool) list")
+        assert isinstance(t, TList)
+        assert isinstance(t.element, TArrow)
+
+    def test_paper_df_signature(self):
+        t = parse_type("int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c")
+        assert type_to_str(t) == (
+            "int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c"
+        )
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError_):
+            parse_type("int ->")
+        with pytest.raises(TypeError_):
+            parse_type("(int")
+        with pytest.raises(TypeError_):
+            parse_type("int $")
+
+
+class TestUnify:
+    def test_identical_cons(self):
+        Unifier().unify(TCon("int"), TCon("int"))
+
+    def test_con_mismatch(self):
+        with pytest.raises(TypeError_, match="mismatch"):
+            Unifier().unify(TCon("int"), TCon("bool"))
+
+    def test_var_binds(self):
+        v = TVar()
+        Unifier().unify(v, t_int)
+        assert prune(v) == t_int
+
+    def test_var_binds_symmetric(self):
+        v = TVar()
+        Unifier().unify(t_int, v)
+        assert prune(v) == t_int
+
+    def test_occurs_check(self):
+        v = TVar()
+        with pytest.raises(TypeError_, match="occurs"):
+            Unifier().unify(v, TList(v))
+
+    def test_structural(self):
+        a, b = TVar(), TVar()
+        Unifier().unify(TArrow(a, t_bool), TArrow(t_int, b))
+        assert prune(a) == t_int
+        assert prune(b) == t_bool
+
+    def test_tuple_arity_mismatch(self):
+        with pytest.raises(TypeError_):
+            Unifier().unify(TTuple((t_int, t_int)), TTuple((t_int, t_int, t_int)))
+
+    def test_transitive_var_chain(self):
+        a, b = TVar(), TVar()
+        u = Unifier()
+        u.unify(a, b)
+        u.unify(b, t_int)
+        assert prune(a) == t_int
+
+
+class TestScheme:
+    def test_instantiate_freshens_quantified(self):
+        v = TVar()
+        scheme = Scheme((v,), TArrow(v, v))
+        t1 = scheme.instantiate()
+        t2 = scheme.instantiate()
+        # Fresh copies unify independently.
+        Unifier().unify(t1.arg, t_int)
+        assert prune(t2.arg) != t_int
+
+    def test_instantiate_preserves_sharing(self):
+        v = TVar()
+        scheme = Scheme((v,), TArrow(v, v))
+        t = scheme.instantiate()
+        Unifier().unify(t.arg, t_int)
+        assert prune(t.result) == t_int
+
+    def test_monomorphic_not_freshened(self):
+        v = TVar()
+        scheme = Scheme.monomorphic(TArrow(v, v))
+        t = scheme.instantiate()
+        Unifier().unify(t.arg, t_int)
+        assert prune(v) == t_int
+
+
+class TestTypeEnv:
+    def test_generalize_quantifies_free(self):
+        env = TypeEnv()
+        v = TVar()
+        scheme = env.generalize(TArrow(v, v))
+        assert len(scheme.quantified) == 1
+
+    def test_generalize_respects_env(self):
+        v = TVar()
+        env = TypeEnv().extend("x", Scheme.monomorphic(v))
+        scheme = env.generalize(TArrow(v, t_int))
+        assert scheme.quantified == ()
+
+    def test_extend_is_persistent(self):
+        base = TypeEnv()
+        child = base.extend("x", Scheme.monomorphic(t_int))
+        assert base.lookup("x") is None
+        assert child.lookup("x") is not None
+
+
+class TestPrinting:
+    def test_var_naming_stable(self):
+        a, b = TVar(), TVar()
+        assert type_to_str(TArrow(a, TArrow(b, a))) == "'a -> 'b -> 'a"
+
+    def test_nested_arrow_parens(self):
+        inner = TArrow(TVar(), TVar())
+        assert type_to_str(TArrow(inner, t_int)) == "('a -> 'b) -> int"
+
+    def test_list_of_tuple(self):
+        t = TList(TTuple((t_int, t_int)))
+        assert type_to_str(t) == "(int * int) list"
+
+    def test_free_vars_order(self):
+        a, b = TVar(), TVar()
+        t = TArrow(a, TTuple((b, a)))
+        assert free_vars(t) == [a, b]

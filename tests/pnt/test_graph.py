@@ -1,0 +1,121 @@
+"""Tests for the process-graph IR."""
+
+import pytest
+
+from repro.pnt import Edge, GraphError, Process, ProcessGraph, ProcessKind
+
+
+def linear_graph():
+    g = ProcessGraph("lin")
+    g.add_process(Process("a", ProcessKind.INPUT, n_in=0, n_out=1))
+    g.add_process(Process("b", ProcessKind.APPLY, func="f"))
+    g.add_process(Process("c", ProcessKind.OUTPUT, n_in=1, n_out=0))
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_process(self):
+        g = linear_graph()
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_process(Process("a", ProcessKind.APPLY))
+
+    def test_unknown_kind(self):
+        with pytest.raises(GraphError, match="unknown process kind"):
+            Process("x", "banana")
+
+    def test_edge_to_missing_process(self):
+        g = linear_graph()
+        with pytest.raises(GraphError, match="does not exist"):
+            g.add_edge("a", "zzz")
+
+    def test_edge_port_bounds(self):
+        g = linear_graph()
+        with pytest.raises(GraphError, match="no port"):
+            g.add_edge("a", "b", src_port=3)
+        with pytest.raises(GraphError, match="no port"):
+            g.add_edge("a", "b", dst_port=5)
+
+    def test_queries(self):
+        g = linear_graph()
+        assert g.predecessors("b") == ["a"]
+        assert g.successors("b") == ["c"]
+        assert len(g) == 3
+        assert "a" in g
+        assert g["b"].func == "f"
+        assert [p.id for p in g.by_kind(ProcessKind.APPLY)] == ["b"]
+
+
+class TestValidation:
+    def test_valid_linear(self):
+        linear_graph().validate()
+
+    def test_unconnected_input_port(self):
+        g = ProcessGraph()
+        g.add_process(Process("sink", ProcessKind.OUTPUT, n_in=1, n_out=0))
+        with pytest.raises(GraphError, match="not connected"):
+            g.validate()
+
+    def test_double_fed_input_port(self):
+        g = linear_graph()
+        g.add_edge("a", "b")  # second feed into b[0]
+        with pytest.raises(GraphError, match="incoming edges"):
+            g.validate()
+
+    def test_dangling_output(self):
+        g = ProcessGraph()
+        g.add_process(Process("src", ProcessKind.INPUT, n_in=0, n_out=1))
+        with pytest.raises(GraphError, match="dangles"):
+            g.validate()
+
+    def test_cycle_detected(self):
+        g = ProcessGraph()
+        g.add_process(Process("a", ProcessKind.APPLY))
+        g.add_process(Process("b", ProcessKind.APPLY))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+
+    def test_loop_edge_not_a_cycle(self):
+        g = ProcessGraph()
+        g.add_process(Process("mem", ProcessKind.MEM))
+        g.add_process(Process("f", ProcessKind.APPLY))
+        g.add_edge("mem", "f")
+        g.add_edge("f", "mem", loop=True)
+        order = g.topological_order()
+        assert order.index("mem") < order.index("f")
+
+    def test_skeleton_cycle_condensed(self):
+        """Intra-skeleton cycles (farm protocol) are legal."""
+        g = ProcessGraph()
+        g.add_process(Process("m", ProcessKind.MASTER, skeleton="df0",
+                              n_in=1, n_out=1))
+        g.add_process(Process("w", ProcessKind.WORKER, skeleton="df0"))
+        g.add_edge("m", "w")
+        g.add_edge("w", "m")
+        order = g.group_topological_order()
+        assert sorted(order[0]) == ["m", "w"]
+
+    def test_inter_skeleton_cycle_rejected(self):
+        g = ProcessGraph()
+        g.add_process(Process("a", ProcessKind.WORKER, skeleton="s1"))
+        g.add_process(Process("b", ProcessKind.WORKER, skeleton="s2"))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(GraphError, match="cycle"):
+            g.group_topological_order()
+
+
+class TestRendering:
+    def test_dot_output_mentions_everything(self):
+        g = linear_graph()
+        dot = g.to_dot()
+        assert '"a"' in dot and '"b"' in dot and '"c"' in dot
+        assert "->" in dot
+
+    def test_summary(self):
+        s = linear_graph().summary()
+        assert "3 processes" in s
+        assert "2 edges" in s

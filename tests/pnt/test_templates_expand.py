@@ -1,0 +1,188 @@
+"""Tests for PNT instantiation and program expansion (paper Fig. 1 / E1)."""
+
+import pytest
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.pnt import (
+    ProcessGraph,
+    ProcessKind,
+    expand_program,
+    instantiate_df,
+    instantiate_scm,
+)
+
+
+def farm_table():
+    table = FunctionTable()
+    table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+    table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+    table.register("split", ins=["int", "'a"], outs=["'b list"])(lambda n, x: [x])
+    table.register("merge", ins=["'a", "'c list"], outs=["'d"])(lambda x, rs: rs)
+    table.register("feed", ins=["unit"], outs=["'a list"])(lambda _: [])
+    return table
+
+
+class TestDfTemplate:
+    """E1: the df PNT has the exact structure of paper Fig. 1."""
+
+    def make(self, n):
+        g = ProcessGraph("fig1")
+        ports = instantiate_df(g, "df0", n, "comp", "acc")
+        return g, ports
+
+    def test_process_census(self):
+        g, _ = self.make(4)
+        assert len(g.by_kind(ProcessKind.MASTER)) == 1
+        assert len(g.by_kind(ProcessKind.WORKER)) == 4
+        assert len(g.by_kind(ProcessKind.ROUTER_MW)) == 4
+        assert len(g.by_kind(ProcessKind.ROUTER_WM)) == 4
+        # 1 + 3n processes total, matching Fig. 1.
+        assert len(g) == 1 + 3 * 4
+
+    def test_ring_of_edges(self):
+        g, _ = self.make(3)
+        master = g.by_kind(ProcessKind.MASTER)[0]
+        for i in range(3):
+            mw, w, wm = f"df0.mw{i}", f"df0.worker{i}", f"df0.wm{i}"
+            assert g.successors(mw) == [w]
+            assert g.successors(w) == [wm]
+            assert master.id in g.successors(wm)
+            assert mw in g.successors(master.id)
+
+    def test_routers_colocated_with_worker(self):
+        g, _ = self.make(2)
+        for i in range(2):
+            assert g[f"df0.mw{i}"].colocate_with == f"df0.worker{i}"
+            assert g[f"df0.wm{i}"].colocate_with == f"df0.worker{i}"
+
+    def test_worker_runs_comp_master_runs_acc(self):
+        g, _ = self.make(2)
+        assert g["df0.worker0"].func == "comp"
+        assert g["df0.master"].func == "acc"
+
+    def test_parametric_in_degree(self):
+        for n in (1, 2, 8, 16):
+            g, _ = self.make(n)
+            assert len(g) == 1 + 3 * n
+
+
+class TestScmTemplate:
+    def test_census_and_wiring(self):
+        g = ProcessGraph()
+        ports = instantiate_scm(g, "scm0", 4, "split", "comp", "merge")
+        assert len(g.by_kind(ProcessKind.SPLIT)) == 1
+        assert len(g.by_kind(ProcessKind.WORKER)) == 4
+        assert len(g.by_kind(ProcessKind.MERGE)) == 1
+        for i in range(4):
+            w = f"scm0.worker{i}"
+            assert g.predecessors(w) == ["scm0.split"]
+            assert g.successors(w) == ["scm0.merge"]
+        assert ports.result[0] == "scm0.merge"
+
+
+class TestExpandProgram:
+    def test_one_shot_df(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (xs,) = b.params("xs")
+        r = b.df(3, comp="comp", acc="acc", z=b.const(0), xs=xs)
+        prog = b.returns(r)
+        g = expand_program(prog, table)
+        g.validate()
+        assert len(g.by_kind(ProcessKind.INPUT)) == 1
+        assert len(g.by_kind(ProcessKind.OUTPUT)) == 1
+        assert len(g.by_kind(ProcessKind.CONST)) == 1
+        assert len(g.by_kind(ProcessKind.WORKER)) == 3
+
+    def test_scm_input_fans_to_split_and_merge(self):
+        table = farm_table()
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        r = b.scm(2, split="split", comp="comp", merge="merge", x=x)
+        prog = b.returns(r)
+        g = expand_program(prog, table)
+        succ = set(g.successors("in.x"))
+        assert succ == {"scm0.split", "scm0.merge"}
+
+    def test_stream_has_mem_loop(self):
+        table = farm_table()
+        table.register("step", ins=["'c", "'a list"], outs=["'c", "'d"])(
+            lambda s, xs: (s, None)
+        )
+        table.register("emit", ins=["'d"])(lambda y: None)
+        b = ProgramBuilder("p", table)
+        state, item = b.params("state", "item")
+        s2, y = b.apply("step", state, item)
+        prog = b.stream(s2, y, inp="feed", out="emit", init_value=0, source=None)
+        g = expand_program(prog, table)
+        loop_edges = [e for e in g.edges if e.loop]
+        assert len(loop_edges) == 1
+        assert loop_edges[0].dst == "stream.mem"
+        assert g["stream.input"].func == "feed"
+        assert g["stream.output"].func == "emit"
+
+    def test_unused_outputs_get_discard_sinks(self):
+        table = farm_table()
+        table.register("pair", ins=["'a"], outs=["'a", "'a"])(lambda x: (x, x))
+        b = ProgramBuilder("p", table)
+        (x,) = b.params("x")
+        first, _second = b.apply("pair", x)
+        prog = b.returns(first)
+        g = expand_program(prog, table)
+        discards = [
+            p for p in g.by_kind(ProcessKind.OUTPUT) if p.params.get("discard")
+        ]
+        assert len(discards) == 1
+        g.validate()
+
+    def test_case_study_process_count(self):
+        """8-worker tracking app: structure per Fig. 1 + endpoints."""
+        from repro.minicaml import compile_source
+
+        table = FunctionTable()
+        table.register("read_img", ins=["int * int"], outs=["img"])(lambda s: None)
+        table.register("init_state", ins=[], outs=["state"])(lambda: None)
+        table.register(
+            "get_windows", ins=["int", "state", "img"], outs=["window list"]
+        )(lambda n, s, i: [])
+        table.register("detect_mark", ins=["window"], outs=["mark"])(lambda w: None)
+        table.register(
+            "accum_marks", ins=["mark list", "mark"], outs=["mark list"]
+        )(lambda o, m: o)
+        table.register("predict", ins=["mark list"], outs=["mark list", "state"])(
+            lambda m: (m, None)
+        )
+        table.register("display_marks", ins=["mark list"])(lambda m: None)
+        src = """
+        let nproc = 8;;
+        let s0 = init_state ();;
+        let loop (state, im) =
+          let ws = get_windows nproc state im in
+          let marks = df nproc detect_mark accum_marks [] ws in
+          let ms, st = predict marks in
+          (st, ms);;
+        let main = itermem read_img loop display_marks s0 (512,512);;
+        """
+        prog = compile_source(src, table)
+        g = expand_program(prog.ir, table)
+        # df instance: 1 master + 8 workers + 16 routers = 25
+        assert len(g.by_kind(ProcessKind.WORKER)) == 8
+        assert len(g.by_kind(ProcessKind.ROUTER_MW)) == 8
+        assert len(g.by_kind(ProcessKind.ROUTER_WM)) == 8
+        # stream: input + mem + output; body: get_windows + predict; 2 consts
+        assert len(g.by_kind(ProcessKind.APPLY)) == 2
+        assert len(g.by_kind(ProcessKind.MEM)) == 1
+        g.validate()
+
+    def test_expansion_is_deterministic(self):
+        table = farm_table()
+
+        def build():
+            b = ProgramBuilder("p", table)
+            (xs,) = b.params("xs")
+            r = b.df(3, comp="comp", acc="acc", z=b.const(0), xs=xs)
+            return expand_program(b.returns(r), table)
+
+        g1, g2 = build(), build()
+        assert sorted(g1.processes) == sorted(g2.processes)
+        assert [repr(e) for e in g1.edges] == [repr(e) for e in g2.edges]

@@ -1,0 +1,211 @@
+"""Tests for the road-following application (scene, follower, app)."""
+
+import math
+
+import pytest
+
+from repro import build
+from repro.core import EndOfStream, emulate
+from repro.minicaml import compile_source
+from repro.roadfollow import (
+    FollowerConfig,
+    LaneEstimate,
+    RoadScene,
+    RoadVideo,
+    build_road_app,
+    cluster_peaks,
+    select_boundaries,
+    update_lane,
+)
+from repro.syndex import ring
+from repro.vision.lines import Line
+
+
+class TestScene:
+    def test_ground_truth_geometry(self):
+        scene = RoadScene(noise_sigma=0.0, drift_amplitude=0.0)
+        left, right = scene.boundary_cols(scene.nrows - 1, 0)
+        assert left == pytest.approx(64 - 40)
+        assert right == pytest.approx(64 + 40)
+        assert scene.lateral_offset(0) == 0.0
+
+    def test_boundaries_converge_at_vanishing_point(self):
+        scene = RoadScene(noise_sigma=0.0)
+        left, right = scene.boundary_cols(scene.vanish_row, 0)
+        assert left == pytest.approx(right)
+
+    def test_drift_moves_lane_opposite(self):
+        scene = RoadScene(noise_sigma=0.0, drift_amplitude=10.0)
+        quarter = int(scene.drift_period * scene.fps / 4)  # peak drift
+        assert scene.drift_at(quarter) == pytest.approx(10.0, abs=0.1)
+        center = scene.lane_center_col(scene.nrows - 1, quarter)
+        assert center == pytest.approx(64 - 10.0, abs=0.1)
+        assert scene.lateral_offset(quarter) == pytest.approx(10.0, abs=0.1)
+
+    def test_render_draws_lines(self):
+        scene = RoadScene(noise_sigma=0.0, drift_amplitude=0.0)
+        frame = scene.render(0)
+        row = scene.nrows - 1
+        left, right = scene.boundary_cols(row, 0)
+        assert frame.pixels[row, int(round(left))] >= 200
+        assert frame.pixels[row, int(round(right))] >= 200
+        assert frame.pixels[row, 64] == scene.background
+
+    def test_render_deterministic(self):
+        scene = RoadScene(noise_sigma=4.0)
+        assert scene.render(3) == scene.render(3)
+
+    def test_dashed_markings(self):
+        solid = RoadScene(noise_sigma=0.0).render(0)
+        dashed = RoadScene(noise_sigma=0.0, dashes=(6, 6)).render(0)
+        bright = lambda im: int((im.pixels > 200).sum())
+        assert 0 < bright(dashed) < bright(solid)
+
+    def test_video_bounded_and_rewindable(self):
+        video = RoadVideo(RoadScene(noise_sigma=0.0), 3)
+        frames = list(video)
+        assert len(frames) == 3
+        with pytest.raises(EndOfStream):
+            video.read()
+        video.rewind()
+        assert video.read() == frames[0]
+
+
+def line_through(col_bottom, col_vanish, nrows=128, vanish_row=50, votes=100):
+    """Synthesize the Hough (rho, theta) of the line through two points."""
+    # Direction (drow, dcol); normal is (-dcol, drow) normalised.
+    drow = (nrows - 1) - vanish_row
+    dcol = col_bottom - col_vanish
+    length = math.hypot(drow, dcol)
+    n_row, n_col = -dcol / length, drow / length
+    # rho = col*cos(theta) + row*sin(theta) with (cos, sin) = (n_col, n_row)
+    theta = math.atan2(n_row, n_col) % math.pi
+    sign = 1.0 if math.cos(theta) * n_col + math.sin(theta) * n_row > 0 else -1.0
+    rho = sign * (col_bottom * n_col + (nrows - 1) * n_row)
+    return Line(rho=rho, theta=theta, votes=votes)
+
+
+class TestFollower:
+    def test_cluster_merges_near_duplicates(self):
+        a = Line(rho=50.0, theta=0.5, votes=30)
+        b = Line(rho=52.0, theta=0.51, votes=20)
+        c = Line(rho=120.0, theta=2.2, votes=25)
+        merged = cluster_peaks([a, b, c])
+        assert len(merged) == 2
+        assert merged[0].votes == 50  # strongest cluster first
+
+    def test_cluster_weighted_average(self):
+        a = Line(rho=50.0, theta=1.0, votes=30)
+        b = Line(rho=56.0, theta=1.0, votes=10)
+        (m,) = cluster_peaks([a, b])
+        assert m.rho == pytest.approx(51.5)
+
+    def test_select_pair_by_width(self):
+        cfg = FollowerConfig()
+        lines = [
+            line_through(24, 64),
+            line_through(104, 64),
+            line_through(70, 64, votes=90),  # noise near the centre
+        ]
+        left, right = select_boundaries(cfg, LaneEstimate(), lines)
+        assert left == pytest.approx(24, abs=2)
+        assert right == pytest.approx(104, abs=2)
+
+    def test_reject_pairs_of_wrong_width(self):
+        cfg = FollowerConfig()
+        lines = [line_through(50, 64), line_through(78, 64)]  # width 28
+        assert select_boundaries(cfg, LaneEstimate(), lines) == (None, None)
+
+    def test_locked_gate_follows_previous(self):
+        cfg = FollowerConfig()
+        prev = LaneEstimate(left_col=24, right_col=104, locked=True)
+        lines = [line_through(26, 64), line_through(102, 64)]
+        left, right = select_boundaries(cfg, prev, lines)
+        assert left == pytest.approx(26, abs=2)
+        assert right == pytest.approx(102, abs=2)
+
+    def test_locked_gate_rejects_jumps(self):
+        cfg = FollowerConfig()
+        prev = LaneEstimate(left_col=24, right_col=104, locked=True)
+        lines = [line_through(70, 64)]  # only a far-away candidate
+        assert select_boundaries(cfg, prev, lines) == (None, None)
+
+    def test_update_lane_locks_and_smooths(self):
+        cfg = FollowerConfig(smoothing=0.5)
+        lane = update_lane(
+            cfg, LaneEstimate(),
+            [line_through(20, 64), line_through(100, 64)],
+        )
+        assert lane.locked
+        first = lane.offset
+        lane = update_lane(
+            cfg, lane, [line_through(24, 64), line_through(104, 64)]
+        )
+        assert lane.locked
+        # Smoothed: between the previous and the new raw offset.
+        raw_new = 64 - (24 + 104) / 2
+        assert min(first, raw_new) <= lane.offset <= max(first, raw_new)
+
+    def test_update_lane_unlocks_on_loss(self):
+        cfg = FollowerConfig()
+        prev = LaneEstimate(left_col=24, right_col=104, offset=2.0, locked=True)
+        lane = update_lane(cfg, prev, [])
+        assert not lane.locked
+        assert lane.offset == 2.0  # holds the last signal
+
+    def test_horizontal_lines_filtered(self):
+        cfg = FollowerConfig()
+        horizontal = Line(rho=100.0, theta=math.pi / 2, votes=500)
+        assert select_boundaries(cfg, LaneEstimate(), [horizontal]) == (
+            None, None,
+        )
+
+
+class TestApplication:
+    def test_spec_compiles(self):
+        app = build_road_app(n_frames=2)
+        compiled = compile_source(app.source, app.table)
+        (skel,) = compiled.ir.skeleton_instances()
+        assert skel.kind == "df"
+        assert compiled.type_of("main") == "unit"
+
+    def test_emulation_tracks_drift(self):
+        app = build_road_app(nbands=4, n_frames=20)
+        compiled = compile_source(app.source, app.table)
+        emulate(compiled.ir, app.table, call_sink=True)
+        errors = [
+            abs(off - app.scene.lateral_offset(k))
+            for k, off in enumerate(app.offsets)
+        ]
+        assert sum(errors) / len(errors) < 2.0
+        assert max(errors) < 5.0
+
+    def test_parallel_equals_sequential(self):
+        app1 = build_road_app(nbands=3, n_frames=6)
+        compiled = compile_source(app1.source, app1.table)
+        emulate(compiled.ir, app1.table, call_sink=True)
+
+        app2 = build_road_app(nbands=3, n_frames=6)
+        built = build(app2.source, app2.table, ring(4))
+        built.run()
+        assert app2.offsets == app1.offsets
+
+    def test_meets_frame_budget_on_small_ring(self):
+        app = build_road_app(nbands=4, n_frames=8)
+        built = build(
+            app.source, app.table, ring(5),
+            profile_iterations=2, rewind=app.rewind,
+        )
+        report = built.run(real_time=True)
+        assert report.total_frames_skipped == 0
+        assert report.mean_latency < 40_000.0
+
+    def test_rewind(self):
+        app = build_road_app(n_frames=3)
+        compiled = compile_source(app.source, app.table)
+        emulate(compiled.ir, app.table, call_sink=True)
+        first = list(app.offsets)
+        app.rewind()
+        assert app.offsets == []
+        emulate(compiled.ir, app.table, call_sink=True)
+        assert app.offsets == first

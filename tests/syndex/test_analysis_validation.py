@@ -1,0 +1,76 @@
+"""Cross-validation: the static latency estimate vs the DES measurement.
+
+The static analysis (`repro.syndex.analysis`) exists to guide mapping
+decisions before running anything; these tests pin down how well its
+balanced-farm approximation predicts the discrete-event simulator:
+correct to within a factor of two on farm workloads, and correctly
+*ordered* across design alternatives (which is what a mapping heuristic
+actually needs).
+"""
+
+import pytest
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.machine import T9000, simulate
+from repro.pnt import expand_program
+from repro.syndex import distribute, estimate_latency, ring, route_mapping
+
+
+def farm_setup(degree, n_items, item_cost):
+    table = FunctionTable()
+    table.register("work", ins=["int"], outs=["int"], cost=item_cost)(
+        lambda x: x + 1
+    )
+    table.register("add", ins=["int", "int"], outs=["int"], cost=20.0)(
+        lambda a, b: a + b
+    )
+    b = ProgramBuilder("farm", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="work", acc="add", z=b.const(0), xs=xs)
+    prog = b.returns(r)
+    graph = expand_program(prog, table)
+    mapping = distribute(graph, ring(degree))
+    routing = route_mapping(mapping)
+    durations = {
+        p.id: item_cost for p in graph.by_kind("worker")
+    }
+    durations.update(
+        {p.id: 20.0 for p in graph.by_kind("master")}
+    )
+    return table, mapping, routing, durations, n_items
+
+
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize("degree,n_items", [(2, 8), (4, 16), (8, 8)])
+    def test_within_factor_two_of_simulation(self, degree, n_items):
+        table, mapping, routing, durations, _ = farm_setup(
+            degree, n_items, 5_000.0
+        )
+        est = estimate_latency(
+            mapping, routing, durations, items_hint=n_items
+        )
+        report = simulate(
+            mapping, table, T9000, args=(list(range(n_items)),)
+        )
+        measured = report.makespan
+        assert 0.5 * measured <= est.latency <= 2.0 * measured
+
+    def test_orders_design_alternatives_correctly(self):
+        """The estimate must rank degree choices like the simulator does."""
+        est_order, sim_order = [], []
+        for degree in (1, 4, 8):
+            table, mapping, routing, durations, n = farm_setup(
+                degree, 16, 5_000.0
+            )
+            est = estimate_latency(mapping, routing, durations, items_hint=16)
+            report = simulate(mapping, table, T9000, args=(list(range(16)),))
+            est_order.append((est.latency, degree))
+            sim_order.append((report.makespan, degree))
+        assert [d for _l, d in sorted(est_order)] == [
+            d for _l, d in sorted(sim_order)
+        ]
+
+    def test_critical_path_passes_through_the_farm(self):
+        _table, mapping, routing, durations, n = farm_setup(4, 16, 5_000.0)
+        est = estimate_latency(mapping, routing, durations, items_hint=n)
+        assert any(key.startswith("skel:") for key in est.path)

@@ -1,0 +1,228 @@
+"""Tests for architecture graphs and routing."""
+
+import pytest
+
+from repro.syndex import (
+    Architecture,
+    Channel,
+    Processor,
+    chain,
+    fully_connected,
+    mesh,
+    now,
+    ring,
+    star,
+)
+
+
+class TestBuilders:
+    def test_ring_structure(self):
+        arch = ring(8)
+        assert arch.n_processors == 8
+        assert len(arch.channels) == 8
+        assert set(arch.neighbours("p0")) == {"p1", "p7"}
+
+    def test_ring_of_two(self):
+        arch = ring(2)
+        assert len(arch.channels) == 1
+        assert arch.neighbours("p0") == ["p1"]
+
+    def test_ring_of_one(self):
+        arch = ring(1)
+        assert arch.n_processors == 1
+        assert arch.channels == {}
+
+    def test_chain(self):
+        arch = chain(4)
+        assert len(arch.channels) == 3
+        assert arch.neighbours("p1") == ["p0", "p2"]
+
+    def test_star(self):
+        arch = star(5)
+        assert len(arch.channels) == 4
+        assert len(arch.neighbours("p0")) == 4
+        assert arch.neighbours("p3") == ["p0"]
+
+    def test_mesh(self):
+        arch = mesh(2, 3)
+        assert arch.n_processors == 6
+        # 2*(3-1) horizontal + 3*(2-1) vertical = 7
+        assert len(arch.channels) == 7
+        assert set(arch.neighbours("p0")) == {"p1", "p3"}
+
+    def test_fully_connected(self):
+        arch = fully_connected(5)
+        assert len(arch.channels) == 10
+        assert len(arch.neighbours("p2")) == 4
+
+    def test_now_shared_bus(self):
+        arch = now(4)
+        assert len(arch.channels) == 1
+        bus = arch.channels["bus"]
+        assert bus.shared
+        assert len(bus.ends) == 4
+        assert set(arch.neighbours("p0")) == {"p1", "p2", "p3"}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ring(0)
+        with pytest.raises(ValueError):
+            mesh(0, 3)
+
+    def test_io_processor_default(self):
+        assert ring(4).io_processor() == "p0"
+
+    def test_all_connected(self):
+        for arch in (ring(5), chain(3), star(4), mesh(2, 2),
+                     fully_connected(3), now(3), ring(1)):
+            assert arch.is_connected()
+
+
+class TestRouting:
+    def test_self_route_empty(self):
+        assert ring(4).route("p2", "p2") == []
+
+    def test_neighbour_route(self):
+        arch = ring(4)
+        assert len(arch.route("p0", "p1")) == 1
+
+    def test_ring_takes_short_way_round(self):
+        arch = ring(8)
+        assert arch.hop_count("p0", "p7") == 1  # wraps around
+        assert arch.hop_count("p0", "p4") == 4  # diameter
+
+    def test_chain_route_is_linear(self):
+        arch = chain(5)
+        assert arch.hop_count("p0", "p4") == 4
+
+    def test_star_routes_via_hub(self):
+        arch = star(5)
+        assert arch.hop_count("p1", "p2") == 2
+
+    def test_now_single_hop_everywhere(self):
+        arch = now(6)
+        assert arch.hop_count("p1", "p5") == 1
+
+    def test_route_deterministic(self):
+        arch = mesh(3, 3)
+        assert arch.route("p0", "p8") == arch.route("p0", "p8")
+
+    def test_no_route_disconnected(self):
+        arch = Architecture("disc")
+        arch.add_processor(Processor("a"))
+        arch.add_processor(Processor("b"))
+        with pytest.raises(ValueError, match="no route"):
+            arch.route("a", "b")
+
+    def test_route_is_valid_channel_path(self):
+        arch = mesh(3, 3)
+        path = arch.route("p0", "p8")
+        node = "p0"
+        for cid in path:
+            channel = arch.channels[cid]
+            assert node in channel.ends
+            (node,) = [e for e in channel.ends if e != node]
+        assert node == "p8"
+
+
+class TestChannel:
+    def test_transfer_time(self):
+        c = Channel("c", ("a", "b"), bandwidth=10.0, latency=5.0)
+        assert c.transfer_time(0) == 5.0
+        assert c.transfer_time(100) == 15.0
+
+    def test_connects(self):
+        c = Channel("c", ("a", "b"))
+        assert c.connects("a", "b")
+        assert not c.connects("a", "a")
+        assert not c.connects("a", "z")
+
+    def test_bad_channel(self):
+        arch = Architecture("x")
+        arch.add_processor(Processor("a"))
+        with pytest.raises(ValueError, match="not a processor"):
+            arch.add_channel(Channel("c", ("a", "ghost")))
+        with pytest.raises(ValueError, match="two ends"):
+            arch.add_channel(Channel("c", ("a", "a")))
+
+    def test_duplicates_rejected(self):
+        arch = Architecture("x")
+        arch.add_processor(Processor("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            arch.add_processor(Processor("a"))
+
+
+class TestTorusAndHypercube:
+    def test_torus_structure(self):
+        from repro.syndex import torus
+
+        arch = torus(3, 4)
+        assert arch.n_processors == 12
+        # Every node has degree 4 in a >=3x>=3 torus.
+        for pid in arch.processor_ids():
+            assert len(arch.neighbours(pid)) == 4
+
+    def test_torus_wraparound_shortens_routes(self):
+        from repro.syndex import mesh, torus
+
+        t = torus(1, 6)
+        m = mesh(1, 6)
+        assert t.hop_count("p0", "p5") == 1  # wraps
+        assert m.hop_count("p0", "p5") == 5
+
+    def test_torus_degenerate_2(self):
+        from repro.syndex import torus
+
+        arch = torus(2, 2)
+        assert arch.is_connected()
+        # 2x2: wrap link would duplicate the mesh link; degree is 2.
+        assert len(arch.neighbours("p0")) == 2
+
+    def test_torus_single(self):
+        from repro.syndex import torus
+
+        assert torus(1, 1).n_processors == 1
+
+    def test_torus_invalid(self):
+        import pytest
+
+        from repro.syndex import torus
+
+        with pytest.raises(ValueError):
+            torus(0, 3)
+
+    def test_hypercube_structure(self):
+        from repro.syndex import hypercube
+
+        arch = hypercube(3)
+        assert arch.n_processors == 8
+        assert len(arch.channels) == 12  # n * d / 2
+        for pid in arch.processor_ids():
+            assert len(arch.neighbours(pid)) == 3
+
+    def test_hypercube_diameter(self):
+        from repro.syndex import hypercube
+
+        arch = hypercube(4)
+        # Opposite corners differ in all 4 bits.
+        assert arch.hop_count("p0", "p15") == 4
+
+    def test_hypercube_zero_dim(self):
+        from repro.syndex import hypercube
+
+        arch = hypercube(0)
+        assert arch.n_processors == 1
+
+    def test_hypercube_invalid(self):
+        import pytest
+
+        from repro.syndex import hypercube
+
+        with pytest.raises(ValueError):
+            hypercube(-1)
+
+    def test_all_connected(self):
+        from repro.syndex import hypercube, torus
+
+        for arch in (torus(3, 3), torus(2, 5), hypercube(2), hypercube(4)):
+            assert arch.is_connected()

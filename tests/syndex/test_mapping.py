@@ -1,0 +1,227 @@
+"""Tests for distribution, routing, analysis and deadlock checking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.pnt import ProcessKind, expand_program
+from repro.syndex import (
+    chain,
+    check_deadlock_freedom,
+    comm_volume,
+    distribute,
+    estimate_latency,
+    load_balance,
+    now,
+    ring,
+    round_robin,
+    route_mapping,
+    star,
+)
+
+
+def farm_table():
+    table = FunctionTable()
+    table.register("feed", ins=["unit"], outs=["'a list"])(lambda _: [])
+    table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+    table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+    table.register("step", ins=["'c", "'a list"], outs=["'c", "'d"])(
+        lambda s, xs: (s, None)
+    )
+    table.register("emit", ins=["'d"])(lambda y: None)
+    return table
+
+
+def df_stream_program(degree):
+    table = farm_table()
+    b = ProgramBuilder("app", table)
+    state, item = b.params("state", "item")
+    total = b.df(degree, comp="comp", acc="acc", z=state, xs=item)
+    s2, y = b.apply("step", total, item)
+    prog = b.stream(s2, y, inp="feed", out="emit", init_value=0, source=None)
+    return expand_program(prog, table), table
+
+
+class TestDistribute:
+    def test_every_process_placed(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        assert set(mapping.assignment) == set(graph.processes)
+
+    def test_endpoints_pinned_to_io(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        io = mapping.arch.io_processor()
+        assert mapping.processor_of("stream.input") == io
+        assert mapping.processor_of("stream.output") == io
+        assert mapping.processor_of("stream.mem") == io
+        assert mapping.processor_of("df0.master") == io
+
+    def test_routers_follow_workers(self):
+        graph, _ = df_stream_program(6)
+        mapping = distribute(graph, ring(4))
+        for i in range(6):
+            w = mapping.processor_of(f"df0.worker{i}")
+            assert mapping.processor_of(f"df0.mw{i}") == w
+            assert mapping.processor_of(f"df0.wm{i}") == w
+
+    def test_workers_spread_across_processors(self):
+        graph, _ = df_stream_program(8)
+        mapping = distribute(graph, ring(8))
+        placements = {
+            mapping.processor_of(f"df0.worker{i}") for i in range(8)
+        }
+        assert len(placements) == 8
+
+    def test_more_workers_than_processors(self):
+        graph, _ = df_stream_program(8)
+        mapping = distribute(graph, ring(3))
+        mapping.validate()
+        placements = {mapping.processor_of(f"df0.worker{i}") for i in range(8)}
+        assert placements <= set(mapping.arch.processors)
+        assert len(placements) == 3
+
+    def test_deterministic(self):
+        g1, _ = df_stream_program(5)
+        g2, _ = df_stream_program(5)
+        m1 = distribute(g1, ring(4))
+        m2 = distribute(g2, ring(4))
+        assert m1.assignment == m2.assignment
+
+    def test_single_processor(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(1))
+        assert set(mapping.assignment.values()) == {"p0"}
+        mapping.validate()
+
+    @given(st.integers(1, 10), st.sampled_from(["ring", "chain", "star", "now"]))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_on_any_topology(self, nproc, topo):
+        graph, _ = df_stream_program(4)
+        arch = {"ring": ring, "chain": chain, "star": star, "now": now}[topo](
+            max(nproc, 1)
+        )
+        mapping = distribute(graph, arch)
+        mapping.validate()
+        assert check_deadlock_freedom(mapping).ok
+
+    def test_round_robin_baseline(self):
+        graph, _ = df_stream_program(4)
+        mapping = round_robin(graph, ring(4))
+        mapping.validate()
+
+
+class TestRouting:
+    def test_local_edges_have_no_channels(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(1))
+        routing = route_mapping(mapping)
+        assert all(r.is_local for r in routing.routes)
+
+    def test_remote_routes_connect_endpoints(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        routing = route_mapping(mapping)
+        arch = mapping.arch
+        for r in routing.remote():
+            node = r.src_proc
+            for cid in r.channels:
+                channel = arch.channels[cid]
+                assert node in channel.ends
+                (node,) = [e for e in channel.ends if e != node]
+            assert node == r.dst_proc
+
+    def test_channel_load_counts(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        routing = route_mapping(mapping)
+        load = routing.channel_load()
+        assert sum(load.values()) == sum(r.hops for r in routing.remote())
+
+
+class TestAnalysis:
+    def test_latency_zero_for_zero_durations(self):
+        graph, _ = df_stream_program(2)
+        mapping = distribute(graph, ring(2))
+        routing = route_mapping(mapping)
+        est = estimate_latency(mapping, routing)
+        assert est.latency >= 0.0
+
+    def test_latency_scales_with_worker_cost(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        routing = route_mapping(mapping)
+        cheap = {f"df0.worker{i}": 100.0 for i in range(4)}
+        costly = {f"df0.worker{i}": 1000.0 for i in range(4)}
+        e1 = estimate_latency(mapping, routing, cheap, items_hint=8)
+        e2 = estimate_latency(mapping, routing, costly, items_hint=8)
+        assert e2.latency > e1.latency
+
+    def test_latency_decreases_with_degree(self):
+        """Balanced-farm estimate: more workers, fewer rounds."""
+        lat = {}
+        for degree in (1, 4):
+            graph, _ = df_stream_program(degree)
+            mapping = distribute(graph, ring(max(degree, 1)))
+            routing = route_mapping(mapping)
+            durations = {
+                f"df0.worker{i}": 1000.0 for i in range(degree)
+            }
+            lat[degree] = estimate_latency(
+                mapping, routing, durations, items_hint=8
+            ).latency
+        assert lat[4] < lat[1]
+
+    def test_comm_volume(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        routing = route_mapping(mapping)
+        edge_bytes = {i: 100 for i in range(len(graph.edges))}
+        vol = comm_volume(routing, edge_bytes)
+        assert sum(vol.values()) == 100 * sum(r.hops for r in routing.remote())
+
+    def test_load_balance(self):
+        graph, _ = df_stream_program(8)
+        mapping = distribute(graph, ring(8))
+        loads, imbalance = load_balance(mapping)
+        assert set(loads) == set(mapping.arch.processors)
+        assert imbalance >= 1.0
+
+
+class TestDeadlock:
+    def test_clean_program_passes(self):
+        graph, _ = df_stream_program(4)
+        mapping = distribute(graph, ring(4))
+        report = check_deadlock_freedom(mapping)
+        assert report.ok
+        assert "deadlock-free" in report.render()
+
+    def test_detects_missing_feedback(self):
+        graph, _ = df_stream_program(2)
+        # Sabotage: drop the loop edge.
+        graph.edges = [e for e in graph.edges if not e.loop]
+        mapping = distribute(graph, ring(2))
+        report = check_deadlock_freedom(mapping)
+        assert not report.ok
+        assert any("feedback" in v for v in report.violations)
+
+    def test_detects_broken_farm(self):
+        graph, _ = df_stream_program(3)
+        # Sabotage: remove one worker's collect edge.
+        victim = next(
+            e for e in graph.edges
+            if e.dst == "df0.master" and e.dst_port >= 2
+        )
+        graph.edges.remove(victim)
+        mapping = distribute(graph, ring(3))
+        report = check_deadlock_freedom(mapping)
+        assert not report.ok
+        assert any("collect" in v for v in report.violations)
+
+    def test_report_renders_violations(self):
+        graph, _ = df_stream_program(2)
+        graph.edges = [e for e in graph.edges if not e.loop]
+        mapping = distribute(graph, ring(2))
+        text = check_deadlock_freedom(mapping).render()
+        assert "DEADLOCK RISK" in text

@@ -1,0 +1,176 @@
+"""Tests for the command-line driver."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.cli import load_table, main, parse_architecture
+
+
+SPEC = """
+let n = 3;;
+let main xs = df n square add 0 xs;;
+"""
+
+STREAM_SPEC = """
+let loop (s, i) = step s i;;
+let main = itermem read loop emit 0 ();;
+"""
+
+TABLE_MODULE = '''
+from repro.core import EndOfStream, FunctionTable
+
+TABLE = FunctionTable()
+TABLE.register("square", ins=["int"], outs=["int"], cost=100.0)(lambda x: x * x)
+TABLE.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(
+    lambda a, b: a + b
+)
+
+_count = {"i": 0}
+
+
+def _read(_src):
+    i = _count["i"]
+    _count["i"] += 1
+    if i >= 4:
+        raise EndOfStream
+    return i
+
+
+TABLE.register("read", ins=["unit"], outs=["int"], cost=10.0)(_read)
+TABLE.register("step", ins=["int", "int"], outs=["int", "int"], cost=10.0)(
+    lambda s, i: (s + i, s + i)
+)
+TABLE.register("emit", ins=["int"], cost=5.0)(lambda y: None)
+
+
+def make_table():
+    return TABLE
+'''
+
+
+@pytest.fixture()
+def workspace(tmp_path, monkeypatch):
+    (tmp_path / "spec.ml").write_text(SPEC)
+    (tmp_path / "stream.ml").write_text(STREAM_SPEC)
+    (tmp_path / "app_functions.py").write_text(TABLE_MODULE)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop("app_functions", None)
+    yield tmp_path
+    sys.modules.pop("app_functions", None)
+
+
+class TestParsers:
+    def test_parse_architecture(self):
+        assert parse_architecture("ring:8").n_processors == 8
+        assert parse_architecture("mesh:2x3").n_processors == 6
+        assert parse_architecture("now:4").channels["bus"].shared
+
+    def test_parse_architecture_errors(self):
+        with pytest.raises(SystemExit):
+            parse_architecture("torus:4")
+        with pytest.raises(SystemExit):
+            parse_architecture("ring:lots")
+
+    def test_load_table_attribute(self, workspace):
+        table = load_table("app_functions:TABLE")
+        assert "square" in table
+
+    def test_load_table_factory(self, workspace):
+        table = load_table("app_functions:make_table")
+        assert "add" in table
+
+    def test_load_table_errors(self, workspace):
+        with pytest.raises(SystemExit, match="cannot import"):
+            load_table("no_such_module:TABLE")
+        with pytest.raises(SystemExit, match="no attribute"):
+            load_table("app_functions:MISSING")
+        with pytest.raises(SystemExit, match="module:attribute"):
+            load_table("justamodule")
+
+
+class TestCommands:
+    def test_typecheck(self, workspace, capsys):
+        assert main(["typecheck", "spec.ml", "--functions",
+                     "app_functions:TABLE"]) == 0
+        out = capsys.readouterr().out
+        assert "val main : int list -> int" in out
+
+    def test_compile_summary(self, workspace, capsys):
+        assert main([
+            "compile", "spec.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+        assert "ring3" in out
+
+    def test_compile_dot(self, workspace, capsys):
+        main(["compile", "spec.ml", "--functions", "app_functions:TABLE",
+              "--arch", "ring:3", "--emit", "dot"])
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_compile_macro(self, workspace, capsys):
+        main(["compile", "spec.ml", "--functions", "app_functions:TABLE",
+              "--arch", "ring:3", "--emit", "macro"])
+        out = capsys.readouterr().out
+        assert "define(`PROCESSOR', `p0')" in out
+
+    def test_compile_python(self, workspace, capsys):
+        main(["compile", "spec.ml", "--functions", "app_functions:TABLE",
+              "--arch", "ring:3", "--emit", "python"])
+        out = capsys.readouterr().out
+        assert "def build_executive(kernel, table):" in out
+
+    def test_emulate_stream(self, workspace, capsys):
+        assert main([
+            "emulate", "stream.ml", "--functions", "app_functions:TABLE",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final memory: 6" in out  # 0+1+2+3
+
+    def test_simulate_with_gantt(self, workspace, capsys):
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "simulate", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--gantt", "--gantt-width", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "iteration(s)" in out
+        assert "% busy" in out
+        assert "p0" in out
+
+    def test_missing_spec_file(self, workspace):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["typecheck", "ghost.ml", "--functions",
+                  "app_functions:TABLE"])
+
+
+class TestProfileFlag:
+    def test_simulate_with_profile(self, workspace, capsys):
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "simulate", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--profile", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Profiling consumed 2 frames and nothing rewinds the module-level
+        # counter, so the run sees the remaining 2 of 4.
+        assert "2 iteration(s)" in out
+
+    def test_compile_with_profile(self, workspace, capsys):
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "compile", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--profile", "1",
+        ]) == 0
+        assert "deadlock-free" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Property-based equivalence of the three execution paths.
+
+The paper's correctness story rests on the equivalence of each
+skeleton's declarative and operational definitions.  Here hypothesis
+generates random skeletal programs (random chains of function
+applications and farms with random degrees over random inputs) and
+checks that the discrete-event simulation reproduces the sequential
+emulation exactly; a smaller sample also exercises the generated thread
+executive.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FunctionTable,
+    ProgramBuilder,
+    TaskOutcome,
+    emulate_once,
+)
+from repro.codegen import run_generated
+from repro.machine import FAST_TEST, simulate
+from repro.pnt import expand_program
+from repro.syndex import chain, distribute, now, ring
+
+# Pools of pure building blocks.  Accumulators are order-insensitive,
+# as the df contract demands.
+COMPS = {
+    "inc": lambda x: x + 1,
+    "dbl": lambda x: 2 * x,
+    "sq": lambda x: x * x,
+    "negabs": lambda x: -abs(x),
+}
+ACCS = {
+    "add": lambda a, b: a + b,
+    "mul": lambda a, b: a * b,
+    "maxi": lambda a, b: max(a, b),
+}
+
+
+def make_table():
+    table = FunctionTable()
+    for name, fn in COMPS.items():
+        table.register(name, ins=["int"], outs=["int"], cost=50.0)(fn)
+    for name, fn in ACCS.items():
+        table.register(
+            name, ins=["int", "int"], outs=["int"], cost=10.0,
+            properties=["commutative", "associative"],
+        )(fn)
+    table.register(
+        "spread", ins=["int"], outs=["int list"], cost=20.0
+    )(lambda x: [x + d for d in range(3)])
+    table.register(
+        "tolist", ins=["int", "int"], outs=["int list"], cost=10.0,
+        properties=["append"],
+    )(lambda acc, y: sorted([y] if isinstance(acc, int) else acc + [y]))
+
+    def halve(x):
+        # Leaf small values, but also cap the recursion for the huge
+        # products a preceding 'mul' stage can produce — otherwise the
+        # farm would process O(|x|) packets and the test never ends.
+        if abs(x) <= 1 or abs(x) > 64:
+            return TaskOutcome(results=[x])
+        return TaskOutcome(subtasks=[x // 2, x - x // 2])
+
+    table.register("halve", ins=["int"], outs=["outcome"], cost=30.0)(halve)
+    return table
+
+
+# A program recipe: list of stages applied to the running list value.
+stage = st.one_of(
+    st.tuples(
+        st.just("df"),
+        st.sampled_from(sorted(COMPS)),
+        st.sampled_from(sorted(ACCS)),
+        st.integers(1, 6),
+    ),
+    st.tuples(st.just("tf"), st.just("halve"), st.sampled_from(sorted(ACCS)),
+              st.integers(1, 5)),
+)
+
+recipes = st.lists(stage, min_size=1, max_size=2)
+inputs = st.lists(st.integers(-9, 9), max_size=8)
+arches = st.sampled_from(["ring1", "ring3", "ring7", "chain4", "now5"])
+
+
+def build_program(table, recipe):
+    """Chain farms: each stage folds the previous list into a scalar,
+    then 'spread' re-expands it for the next stage."""
+    b = ProgramBuilder("random_prog", table)
+    (xs,) = b.params("xs")
+    current = xs
+    result = None
+    for i, (kind, comp, acc, degree) in enumerate(recipe):
+        if result is not None:
+            current = b.apply("spread", result)
+        if kind == "df":
+            result = b.df(degree, comp=comp, acc=acc, z=b.const(1), xs=current)
+        else:
+            result = b.tf(degree, comp=comp, acc=acc, z=b.const(1), xs=current)
+    return b.returns(result)
+
+
+def make_arch(name):
+    kind, n = name[:-1], int(name[-1])
+    return {"ring": ring, "chain": chain, "now": now}[kind](n)
+
+
+class TestSimulationEquivalence:
+    @given(recipes, inputs, arches)
+    @settings(max_examples=30, deadline=None)
+    def test_simulation_matches_emulation(self, recipe, xs, arch_name):
+        table = make_table()
+        prog = build_program(table, recipe)
+        expected = emulate_once(prog, table, xs)
+        mapping = distribute(expand_program(prog, table), make_arch(arch_name))
+        report = simulate(mapping, table, FAST_TEST, args=(xs,))
+        assert report.one_shot_results == expected
+
+    @given(recipes, inputs)
+    @settings(max_examples=10, deadline=None)
+    def test_result_independent_of_architecture(self, recipe, xs):
+        table = make_table()
+        prog = build_program(table, recipe)
+        results = set()
+        for arch_name in ("ring1", "ring3", "now5"):
+            mapping = distribute(
+                expand_program(prog, table), make_arch(arch_name)
+            )
+            report = simulate(mapping, table, FAST_TEST, args=(xs,))
+            results.add(report.one_shot_results)
+        assert len(results) == 1
+
+
+class TestGeneratedCodeEquivalence:
+    @given(recipes, inputs)
+    @settings(max_examples=5, deadline=None)
+    def test_generated_executive_matches_emulation(self, recipe, xs):
+        table = make_table()
+        prog = build_program(table, recipe)
+        expected = emulate_once(prog, table, xs)
+        mapping = distribute(expand_program(prog, table), ring(3))
+        blackboard = run_generated(mapping, table, args=(xs,))
+        assert blackboard["result_0"] == expected[0]

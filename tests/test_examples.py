@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end-to-end and reports success.
+
+Examples are documentation that executes; these tests keep them honest.
+Each main() is imported from the examples directory and run with its
+stdout captured, asserting on the key success markers it prints.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "results agree        : True" in out
+        assert "int list -> int" in out
+
+    def test_region_labelling(self, capsys):
+        out = run_example("region_labelling", capsys)
+        assert out.count("OK") == 2
+        assert "MISMATCH" not in out
+
+    def test_road_following(self, capsys):
+        out = run_example("road_following", capsys)
+        assert "processed 6 frames" in out
+        # Both lanes found on every frame.
+        for line in out.splitlines():
+            if line.startswith("frame"):
+                assert "2 line(s)" in line
+
+    def test_quadtree_segmentation(self, capsys):
+        out = run_example("quadtree_segmentation", capsys)
+        assert "matches the sequential oracle" in out
+
+    def test_histogram_equalization(self, capsys):
+        out = run_example("histogram_equalization", capsys)
+        assert "equalised 4 frames" in out
+        assert "DIFFERS" not in out
+
+    @pytest.mark.slow
+    def test_vehicle_tracking(self, capsys):
+        out = run_example("vehicle_tracking", capsys)
+        assert "deadlock-free" in out
+        assert "reinit" in out and "track" in out
+        # The paper-vs-measured table is printed.
+        assert "30 ms" in out and "110 ms" in out

@@ -1,0 +1,170 @@
+"""Tests for the end-to-end pipeline API (repro.pipeline / repro.build)."""
+
+import pytest
+
+from repro import EndOfStream, FunctionTable, T9000, build, pipeline
+from repro.machine import FAST_TEST
+from repro.syndex import now, ring
+
+
+def farm_source():
+    return """
+    let n = 3;;
+    let main xs = df n square add 0 xs;;
+    """
+
+
+def farm_table():
+    table = FunctionTable()
+    table.register("square", ins=["int"], outs=["int"], cost=100.0)(
+        lambda x: x * x
+    )
+    table.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(
+        lambda a, b: a + b
+    )
+    return table
+
+
+def stream_source():
+    return """
+    let loop (s, i) = step s i;;
+    let main = itermem read loop emit 0 ();;
+    """
+
+
+def stream_table(n_frames):
+    table = farm_table()
+    count = {"i": 0}
+
+    @table.register("read", ins=["unit"], outs=["int"], cost=50.0)
+    def read(_src):
+        i = count["i"]
+        count["i"] += 1
+        if i >= n_frames:
+            raise EndOfStream
+        return i
+
+    table.register("step", ins=["int", "int"], outs=["int", "int"], cost=30.0)(
+        lambda s, i: (s + i, s + i)
+    )
+    table.register("emit", ins=["int"], cost=10.0)(lambda y: None)
+
+    def rewind():
+        count["i"] = 0
+
+    return table, rewind
+
+
+class TestBuild:
+    def test_one_shot_build_and_run(self):
+        built = build(farm_source(), farm_table(), ring(3))
+        report = built.run(args=([1, 2, 3],))
+        assert report.one_shot_results == (14,)
+        assert built.deadlock.ok
+
+    def test_emulate_through_built(self):
+        table, rewind = stream_table(4)
+        built = build(stream_source(), table, ring(2))
+        rewind()
+        final = built.emulate()
+        assert final == 6  # 0+1+2+3
+
+    def test_stream_with_profile(self):
+        table, rewind = stream_table(6)
+        built = build(
+            stream_source(), table, ring(2),
+            profile_iterations=2, rewind=rewind,
+        )
+        assert built.profile is not None
+        assert built.profile.edge_bytes  # sizes were measured
+        report = built.run()
+        assert report.outputs == [0, 1, 3, 6, 10, 15]
+
+    def test_profile_rewind_called(self):
+        table, rewind = stream_table(5)
+        built = build(
+            stream_source(), table, ring(1),
+            profile_iterations=2, rewind=rewind,
+        )
+        # Without the rewind the run would only see the 3 leftover frames.
+        report = built.run()
+        assert len(report.outputs) == 5
+
+
+class TestProfileDrivenMapping:
+    def test_profile_moves_big_edge_consumers(self):
+        """A function consuming a huge input gets colocated with its
+        producer when the profile reveals the edge size."""
+        table = FunctionTable()
+        count = {"i": 0}
+
+        @table.register("grab", ins=["unit"], outs=["blob"], cost=100.0)
+        def grab(_src):
+            if count["i"] >= 3:
+                raise EndOfStream
+            count["i"] += 1
+            return bytes(200_000)  # a 200 kB frame
+
+        table.register(
+            "crunch", ins=["int", "blob"], outs=["int", "int"], cost=1000.0
+        )(lambda s, blob: (s + 1, len(blob)))
+        table.register("emit", ins=["int"], cost=10.0)(lambda y: None)
+        source = """
+        let loop (s, i) = crunch s i;;
+        let main = itermem grab loop emit 0 ();;
+        """
+        compiled = pipeline.compile_source(source, table)
+        graph = pipeline.expand(compiled.ir, table)
+        profile = pipeline.profile(
+            graph, table, max_iterations=2,
+            rewind=lambda: count.update(i=0),
+        )
+        mapping = pipeline.map_onto(graph, ring(4), profile=profile)
+        crunch_pid = [p.id for p in graph.by_kind("apply")][0]
+        assert mapping.processor_of(crunch_pid) == mapping.processor_of(
+            "stream.input"
+        )
+
+    def test_unprofiled_mapping_still_valid(self):
+        built = build(farm_source(), farm_table(), now(4))
+        assert built.profile is None
+        built.mapping.validate()
+
+
+class TestMapOnto:
+    def test_deadlock_check_raises_on_sabotage(self):
+        table = farm_table()
+        compiled = pipeline.compile_source(farm_source(), table)
+        graph = pipeline.expand(compiled.ir, table)
+        # Sabotage the farm and ensure map_onto refuses it.
+        victim = next(
+            e for e in graph.edges if e.dst == "df0.master" and e.dst_port >= 2
+        )
+        graph.edges.remove(victim)
+        with pytest.raises(RuntimeError, match="DEADLOCK"):
+            pipeline.map_onto(graph, ring(3))
+
+    def test_check_can_be_skipped(self):
+        table = farm_table()
+        compiled = pipeline.compile_source(farm_source(), table)
+        graph = pipeline.expand(compiled.ir, table)
+        mapping = pipeline.map_onto(graph, ring(3), check=False)
+        mapping.validate()
+
+
+class TestRunModes:
+    def test_costs_affect_makespan_not_results(self):
+        r1 = build(farm_source(), farm_table(), ring(3), costs=T9000).run(
+            args=([1, 2, 3],)
+        )
+        r2 = build(farm_source(), farm_table(), ring(3), costs=FAST_TEST).run(
+            args=([1, 2, 3],)
+        )
+        assert r1.one_shot_results == r2.one_shot_results
+        assert r1.makespan > r2.makespan
+
+    def test_max_iterations_passthrough(self):
+        table, _rewind = stream_table(100)
+        built = build(stream_source(), table, ring(2))
+        report = built.run(max_iterations=5)
+        assert len(report.iterations) == 5

@@ -1,0 +1,134 @@
+"""Tests for the tracking-quality metrics."""
+
+import math
+
+import pytest
+
+from repro.tracking import Camera, TrackingScene, Vehicle, initial_state
+from repro.tracking.metrics import (
+    DetectionScore,
+    depth_rmse,
+    pose_errors,
+    score_detections,
+)
+from repro.tracking.tracker import TrackerConfig, VehicleTrack, TrackerState
+from repro.vision import Mark, Rect
+
+
+def scene_one_vehicle():
+    return TrackingScene(
+        vehicles=[Vehicle(x=0.0, z=20.0)],
+        camera=Camera(),
+        noise_sigma=0.0,
+    )
+
+
+def mark_at(row, col):
+    return Mark((row, col), Rect(int(row) - 2, int(col) - 2, 5, 5), 20)
+
+
+class TestDetectionScore:
+    def test_perfect_detection(self):
+        scene = scene_one_vehicle()
+        truth = [c for v in scene.truth_marks(0) for c in v]
+        detections = [mark_at(r, c) for r, c in truth]
+        score = score_detections(scene, 0, detections)
+        assert score.true_positives == 3
+        assert score.false_positives == 0
+        assert score.false_negatives == 0
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+        assert score.mean_residual_px == pytest.approx(0.0)
+
+    def test_missed_mark(self):
+        scene = scene_one_vehicle()
+        truth = [c for v in scene.truth_marks(0) for c in v]
+        detections = [mark_at(*truth[0])]
+        score = score_detections(scene, 0, detections)
+        assert score.false_negatives == 2
+        assert score.recall == pytest.approx(1 / 3)
+
+    def test_spurious_detection(self):
+        scene = scene_one_vehicle()
+        truth = [c for v in scene.truth_marks(0) for c in v]
+        detections = [mark_at(r, c) for r, c in truth] + [mark_at(10, 10)]
+        score = score_detections(scene, 0, detections)
+        assert score.false_positives == 1
+        assert score.precision == pytest.approx(3 / 4)
+
+    def test_residual_measured(self):
+        scene = scene_one_vehicle()
+        truth = [c for v in scene.truth_marks(0) for c in v]
+        detections = [mark_at(r + 1.0, c) for r, c in truth]
+        score = score_detections(scene, 0, detections)
+        assert score.true_positives == 3
+        assert score.mean_residual_px == pytest.approx(1.0)
+
+    def test_no_double_matching(self):
+        scene = scene_one_vehicle()
+        truth = [c for v in scene.truth_marks(0) for c in v]
+        # Two detections on the same truth mark: one is a false positive.
+        detections = [mark_at(*truth[0]), mark_at(truth[0][0] + 1, truth[0][1])]
+        score = score_detections(scene, 0, detections)
+        assert score.true_positives == 1
+        assert score.false_positives == 1
+
+    def test_empty_everything(self):
+        scene = TrackingScene(
+            vehicles=[Vehicle(x=500.0, z=20.0)],  # off screen
+            camera=Camera(),
+            noise_sigma=0.0,
+        )
+        score = score_detections(scene, 0, [])
+        assert score.recall == 1.0 and score.precision == 1.0
+
+
+class TestPoseErrors:
+    def make_state(self, x, z):
+        config = TrackerConfig(camera=Camera())
+        return TrackerState(
+            config=config,
+            mode="track",
+            tracks=(VehicleTrack(x=x, z=z),),
+        )
+
+    def test_exact_pose(self):
+        scene = scene_one_vehicle()
+        state = self.make_state(0.0, 20.0)
+        (err,) = pose_errors(scene, 0, state)
+        assert err == (0.0, 0.0)
+        assert depth_rmse(scene, 0, state) == 0.0
+
+    def test_depth_error(self):
+        scene = scene_one_vehicle()
+        state = self.make_state(0.0, 22.5)
+        (err,) = pose_errors(scene, 0, state)
+        assert err[1] == pytest.approx(2.5)
+        assert depth_rmse(scene, 0, state) == pytest.approx(2.5)
+
+    def test_no_tracks(self):
+        scene = scene_one_vehicle()
+        config = TrackerConfig(camera=Camera())
+        state = TrackerState(config=config)
+        assert pose_errors(scene, 0, state) == []
+        assert depth_rmse(scene, 0, state) == float("inf")
+
+
+class TestEndToEndAccuracy:
+    def test_emulated_tracker_scores_well(self):
+        from repro.core import emulate
+        from repro.minicaml import compile_source
+        from repro.tracking import build_tracking_app
+
+        app = build_tracking_app(
+            nproc=4, n_frames=5, frame_size=128, n_vehicles=1
+        )
+        compiled = compile_source(app.source, app.table)
+        result = emulate(compiled.ir, app.table, call_sink=True)
+        # Detection quality on every processed frame.
+        for frame, detections in enumerate(app.displayed):
+            score = score_detections(app.scene, frame, detections)
+            assert score.recall == 1.0
+            assert score.mean_residual_px < 1.5
+        # Final 3D pose accuracy.
+        assert depth_rmse(app.scene, 4, result.final_state) < 1.0

@@ -1,0 +1,165 @@
+"""Tests for the 3D vehicle/camera model and the synthetic video source."""
+
+import math
+
+import pytest
+
+from repro.core import EndOfStream
+from repro.tracking import (
+    Camera,
+    MarkLayout,
+    Occlusion,
+    TrackingScene,
+    Vehicle,
+    VideoSource,
+    project_vehicle,
+)
+
+
+class TestCamera:
+    def test_center_projection(self):
+        cam = Camera(focal=800, cx=256, cy=256)
+        row, col = cam.project(0.0, 0.0, 10.0)
+        assert (row, col) == (256.0, 256.0)
+
+    def test_lateral_offset(self):
+        cam = Camera(focal=800, cx=256, cy=256)
+        _row, col = cam.project(1.0, 0.0, 20.0)
+        assert col == 256 + 40.0
+
+    def test_height_goes_up_in_image(self):
+        cam = Camera(focal=800, cx=256, cy=256)
+        row, _col = cam.project(0.0, 2.0, 20.0)
+        assert row < 256
+
+    def test_behind_camera_rejected(self):
+        with pytest.raises(ValueError):
+            Camera().project(0, 0, -1)
+
+    def test_depth_roundtrip(self):
+        """depth_from_baseline inverts the projection of the bottom pair."""
+        cam = Camera(focal=800)
+        layout = MarkLayout(baseline=1.2)
+        z = 23.0
+        (r1, c1) = cam.project(-0.6, 1.4, z)
+        (r2, c2) = cam.project(0.6, 1.4, z)
+        assert cam.depth_from_baseline(layout.baseline, c2 - c1) == pytest.approx(z)
+
+    def test_lateral_roundtrip(self):
+        cam = Camera(focal=800, cx=256)
+        _r, col = cam.project(1.7, 1.4, 30.0)
+        assert cam.lateral_from_col(col, 30.0) == pytest.approx(1.7)
+
+    def test_mark_radius_shrinks_with_distance(self):
+        cam = Camera()
+        assert cam.mark_radius_px(0.1, 10) > cam.mark_radius_px(0.1, 40)
+
+    def test_invalid_inputs(self):
+        cam = Camera()
+        with pytest.raises(ValueError):
+            cam.mark_radius_px(0.1, 0)
+        with pytest.raises(ValueError):
+            cam.depth_from_baseline(1.2, 0)
+
+
+class TestVehicle:
+    def test_mark_triangle(self):
+        v = Vehicle(x=0.0, z=20.0)
+        marks = v.mark_positions()
+        assert len(marks) == 3
+        bl, br, top = marks
+        assert bl[0] == -0.6 and br[0] == 0.6
+        assert top[1] > bl[1]  # top mark is higher
+
+    def test_trajectory_at(self):
+        v = Vehicle(x=1.0, z=20.0, vx=0.5, vz=-1.0)
+        later = v.at(2.0)
+        assert later.x == pytest.approx(2.0)
+        assert later.z == pytest.approx(18.0)
+        assert v.x == 1.0  # original untouched
+
+    def test_step_mutates(self):
+        v = Vehicle(x=0.0, z=10.0, vz=2.0)
+        v.step(0.5)
+        assert v.z == 11.0
+
+    def test_projection_drops_offscreen(self):
+        cam = Camera()
+        far_left = Vehicle(x=-100.0, z=10.0)
+        assert project_vehicle(cam, far_left) == []
+
+    def test_projection_of_visible_vehicle(self):
+        cam = Camera()
+        v = Vehicle(x=0.0, z=20.0)
+        projected = project_vehicle(cam, v)
+        assert len(projected) == 3
+        (bl, _), (br, _), (top, _) = projected
+        assert bl[1] < br[1]
+        assert top[0] < bl[0]  # above
+
+
+class TestScene:
+    def make_scene(self, **kw):
+        defaults = dict(
+            vehicles=[Vehicle(x=0.0, z=20.0, vz=1.0)],
+            camera=Camera(nrows=128, ncols=128, focal=200, cx=64, cy=64),
+            noise_sigma=0.0,
+        )
+        defaults.update(kw)
+        return TrackingScene(**defaults)
+
+    def test_render_deterministic(self):
+        scene = self.make_scene(noise_sigma=3.0)
+        assert scene.render(2) == scene.render(2)
+
+    def test_render_contains_marks(self):
+        scene = self.make_scene()
+        frame = scene.render(0)
+        truth = scene.truth_marks(0)[0]
+        assert len(truth) == 3
+        for row, col in truth:
+            assert frame.pixels[int(row), int(col)] >= 200
+
+    def test_vehicle_moves_between_frames(self):
+        scene = self.make_scene()
+        t0 = scene.truth_marks(0)[0]
+        t50 = scene.truth_marks(50)[0]
+        # Approaching vehicle: marks spread apart.
+        spread0 = t0[1][1] - t0[0][1]
+        spread50 = t50[1][1] - t50[0][1]
+        assert spread50 != spread0
+
+    def test_occlusion_hides_mark(self):
+        occ = Occlusion(vehicle_index=0, mark_index=2, start=1, end=3)
+        scene = self.make_scene(occlusions=[occ])
+        assert len(scene.truth_marks(0)[0]) == 3
+        assert len(scene.truth_marks(1)[0]) == 2
+        assert len(scene.truth_marks(2)[0]) == 2
+        assert len(scene.truth_marks(3)[0]) == 3
+
+
+class TestVideoSource:
+    def test_bounded_stream(self):
+        scene = TrackingScene(
+            vehicles=[Vehicle(x=0, z=20)],
+            camera=Camera(nrows=64, ncols=64, focal=100, cx=32, cy=32),
+            noise_sigma=0.0,
+        )
+        video = VideoSource(scene, 3)
+        frames = list(video)
+        assert len(frames) == 3
+        with pytest.raises(EndOfStream):
+            video.read()
+
+    def test_rewind(self):
+        scene = TrackingScene(
+            vehicles=[Vehicle(x=0, z=20)],
+            camera=Camera(nrows=64, ncols=64, focal=100, cx=32, cy=32),
+            noise_sigma=0.0,
+        )
+        video = VideoSource(scene, 2)
+        first = video.read()
+        video.read()
+        video.rewind()
+        assert video.read() == first
+        assert video.frames_served == 1

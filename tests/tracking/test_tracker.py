@@ -1,0 +1,198 @@
+"""Tests for the predict-then-verify tracker (grouping, windows, updates)."""
+
+import pytest
+
+from repro.vision import Image, Mark, Rect
+from repro.tracking import (
+    Camera,
+    MarkLayout,
+    TrackerConfig,
+    VehicleTrack,
+    group_marks,
+    initial_state,
+    plan_windows,
+    update_tracks,
+)
+from repro.tracking.tracker import _dedupe_marks
+
+
+def mark_at(row, col, pixels=20):
+    return Mark((row, col), Rect(int(row) - 2, int(col) - 2, 5, 5), pixels)
+
+
+def config(n_vehicles=1):
+    return TrackerConfig(
+        camera=Camera(focal=800, cx=256, cy=256, nrows=512, ncols=512),
+        layout=MarkLayout(),
+        n_vehicles=n_vehicles,
+    )
+
+
+def triple_at(cam_cfg, x, z, jitter=0.0):
+    """Synthesize the three marks of a vehicle at (x, z)."""
+    cam, layout = cam_cfg.camera, cam_cfg.layout
+    marks = []
+    for i, (dx, dy) in enumerate(layout.local_marks()):
+        row, col = cam.project(x + dx, layout.bottom_height + dy, z)
+        marks.append(mark_at(row + (jitter if i == 0 else 0), col))
+    return marks  # bl, br, top
+
+
+class TestGrouping:
+    def test_single_clean_triple(self):
+        cfg = config()
+        obs = group_marks(cfg, triple_at(cfg, 0.0, 20.0))
+        assert len(obs) == 1
+        assert obs[0].z == pytest.approx(20.0, rel=0.05)
+        assert obs[0].x == pytest.approx(0.0, abs=0.2)
+
+    def test_recovers_lateral_offset(self):
+        cfg = config()
+        obs = group_marks(cfg, triple_at(cfg, -1.5, 25.0))
+        assert obs[0].x == pytest.approx(-1.5, rel=0.1)
+
+    def test_three_vehicles(self):
+        cfg = config(n_vehicles=3)
+        marks = (
+            triple_at(cfg, 0.0, 18.0)
+            + triple_at(cfg, -2.5, 26.0)
+            + triple_at(cfg, 2.5, 34.0)
+        )
+        obs = group_marks(cfg, marks)
+        assert len(obs) == 3
+        assert [round(o.x, 1) for o in obs] == [-2.5, 0.0, 2.5]  # left-to-right
+
+    def test_incomplete_triple_not_grouped(self):
+        cfg = config()
+        marks = triple_at(cfg, 0.0, 20.0)[:2]  # missing the top mark
+        assert group_marks(cfg, marks) == []
+
+    def test_rejects_unlevel_bottom_pair(self):
+        cfg = config()
+        bl, br, top = triple_at(cfg, 0.0, 20.0)
+        skewed = mark_at(bl.row + 20, bl.col)
+        assert group_marks(cfg, [skewed, br, top]) == []
+
+    def test_rejects_top_mark_off_center(self):
+        cfg = config()
+        bl, br, top = triple_at(cfg, 0.0, 20.0)
+        shifted_top = mark_at(top.row, top.col + 30)
+        assert group_marks(cfg, [bl, br, shifted_top]) == []
+
+    def test_rejects_implausible_depth(self):
+        cfg = config()
+        # Pair spacing implying z ~ 1 m (below z_min).
+        marks = [mark_at(300, 0), mark_at(300, 480), mark_at(100, 240)]
+        assert group_marks(cfg, marks) == []
+
+    def test_limits_to_expected_vehicles(self):
+        cfg = config(n_vehicles=1)
+        marks = triple_at(cfg, 0.0, 18.0) + triple_at(cfg, -2.5, 26.0)
+        assert len(group_marks(cfg, marks)) == 1
+
+    def test_noise_mark_does_not_break_grouping(self):
+        cfg = config()
+        marks = triple_at(cfg, 0.0, 20.0) + [mark_at(400, 50), mark_at(30, 470)]
+        obs = group_marks(cfg, marks)
+        assert len(obs) == 1
+        assert obs[0].z == pytest.approx(20.0, rel=0.05)
+
+
+class TestDedupe:
+    def test_collapses_nearby_marks(self):
+        marks = [mark_at(100, 100, pixels=30), mark_at(101, 100.5, pixels=10)]
+        kept = _dedupe_marks(marks)
+        assert len(kept) == 1
+        assert kept[0].pixel_count == 30  # best-supported wins
+
+    def test_keeps_distinct_marks(self):
+        marks = [mark_at(100, 100), mark_at(100, 120)]
+        assert len(_dedupe_marks(marks)) == 2
+
+
+class TestPlanWindows:
+    def test_reinit_tiles_frame(self):
+        state = initial_state(config())
+        frame = Image.zeros(512, 512)
+        windows = plan_windows(8, state, frame)
+        assert len(windows) == 8
+        assert sum(w.rect.height for w in windows) == 512
+
+    def test_tracking_three_windows_per_vehicle(self):
+        cfg = config()
+        state, frame = self._tracking_state(cfg)
+        windows = plan_windows(8, state, frame)
+        assert len(windows) == 3
+
+    def test_windows_cover_predicted_marks(self):
+        cfg = config()
+        state, frame = self._tracking_state(cfg)
+        windows = plan_windows(8, state, frame)
+        track = state.tracks[0]
+        for center in track.marks:
+            assert any(w.rect.contains(*center) for w in windows)
+
+    def test_window_size_scales_with_proximity(self):
+        cfg = config()
+        near, _ = self._tracking_state(cfg, z=10.0)
+        far, frame = self._tracking_state(cfg, z=50.0)
+        near_w = plan_windows(8, near, frame)
+        far_w = plan_windows(8, far, frame)
+        assert max(w.area for w in near_w) > max(w.area for w in far_w)
+
+    @staticmethod
+    def _tracking_state(cfg, z=20.0):
+        marks = triple_at(cfg, 0.0, z)
+        state = initial_state(cfg)
+        _display, state = update_tracks(state, marks)
+        assert state.tracking
+        return state, Image.zeros(512, 512)
+
+
+class TestUpdateTracks:
+    def test_enters_tracking_when_complete(self):
+        cfg = config()
+        display, state = update_tracks(initial_state(cfg), triple_at(cfg, 0, 20))
+        assert state.tracking
+        assert len(display) == 3
+        assert len(state.tracks) == 1
+
+    def test_falls_back_to_reinit_on_missing_marks(self):
+        cfg = config()
+        _d, state = update_tracks(initial_state(cfg), triple_at(cfg, 0, 20))
+        # Next frame: only two marks detected (occlusion).
+        _d, state = update_tracks(state, triple_at(cfg, 0, 20)[:2])
+        assert not state.tracking
+
+    def test_velocity_estimated_from_consecutive_frames(self):
+        cfg = config()
+        _d, s1 = update_tracks(initial_state(cfg), triple_at(cfg, 0.0, 20.0))
+        _d, s2 = update_tracks(s1, triple_at(cfg, 0.1, 20.5))
+        (track,) = s2.tracks
+        assert track.vx == pytest.approx(0.1, abs=0.05)
+        assert track.vz == pytest.approx(0.5, abs=0.2)
+        assert track.age == 1
+
+    def test_track_matching_keeps_identity(self):
+        cfg = config(n_vehicles=2)
+        m1 = triple_at(cfg, -2.0, 20.0) + triple_at(cfg, 2.0, 30.0)
+        _d, s1 = update_tracks(initial_state(cfg), m1)
+        m2 = triple_at(cfg, -1.9, 19.5) + triple_at(cfg, 2.1, 30.5)
+        _d, s2 = update_tracks(s1, m2)
+        assert len(s2.tracks) == 2
+        ages = sorted(t.age for t in s2.tracks)
+        assert ages == [1, 1]  # both matched, not recreated
+
+    def test_iteration_counter_increments(self):
+        cfg = config()
+        state = initial_state(cfg)
+        _d, state = update_tracks(state, [])
+        _d, state = update_tracks(state, [])
+        assert state.iteration == 2
+
+    def test_no_marks_stays_reinit(self):
+        cfg = config()
+        display, state = update_tracks(initial_state(cfg), [])
+        assert display == []
+        assert not state.tracking
+        assert state.tracks == ()

@@ -1,0 +1,121 @@
+"""Tests for mark extraction and windows of interest."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Image,
+    Mark,
+    Rect,
+    centroid,
+    extract_marks,
+    extract_window,
+    scene_with_blobs,
+    tile_image,
+    windows_around,
+)
+
+
+class TestCentroid:
+    def test_symmetric_mask(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[1:4, 1:4] = True
+        assert centroid(mask) == (2.0, 2.0)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            centroid(np.zeros((3, 3), dtype=bool))
+
+
+class TestMark:
+    def test_translated(self):
+        m = Mark((1.0, 2.0), Rect(0, 1, 3, 3), 9)
+        t = m.translated(10, 20)
+        assert t.center == (11.0, 22.0)
+        assert t.frame == Rect(10, 21, 3, 3)
+        assert t.pixel_count == 9
+
+    def test_distance(self):
+        a = Mark((0.0, 0.0), Rect(0, 0, 1, 1), 1)
+        b = Mark((3.0, 4.0), Rect(3, 4, 1, 1), 1)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+
+class TestExtractMarks:
+    def test_finds_all_blobs_at_global_coords(self):
+        frame = scene_with_blobs((64, 64), [((20, 20), (3, 3)), ((45, 50), (4, 4))])
+        marks = extract_marks(frame, level=128)
+        assert len(marks) == 2
+        centers = sorted(m.center for m in marks)
+        assert centers[0] == pytest.approx((20, 20), abs=0.6)
+        assert centers[1] == pytest.approx((45, 50), abs=0.6)
+
+    def test_origin_translation(self):
+        frame = scene_with_blobs((64, 64), [((30, 40), (3, 3))])
+        w = extract_window(frame, Rect(20, 30, 20, 20))
+        marks = extract_marks(w.pixels, level=128, origin=w.origin)
+        assert len(marks) == 1
+        assert marks[0].center == pytest.approx((30, 40), abs=0.6)
+
+    def test_min_pixels_filters_noise(self):
+        im = Image.zeros(16, 16)
+        im.pixels[2, 2] = 255  # 1-pixel speck
+        im.pixels[8:12, 8:12] = 255  # 16-pixel mark
+        marks = extract_marks(im, level=128, min_pixels=4)
+        assert len(marks) == 1
+        assert marks[0].pixel_count == 16
+
+    def test_otsu_fallback(self):
+        frame = scene_with_blobs((32, 32), [((16, 16), (4, 4))], background=20)
+        marks = extract_marks(frame)  # no explicit level
+        assert len(marks) == 1
+
+    def test_empty_window(self):
+        assert extract_marks(Image.zeros(0, 0)) == []
+
+    def test_englobing_frame_contains_centroid(self):
+        frame = scene_with_blobs((40, 40), [((15, 22), (3, 5))])
+        (m,) = extract_marks(frame, level=128)
+        assert m.frame.contains(m.row, m.col)
+
+
+class TestWindows:
+    def test_tile_covers_frame_exactly(self):
+        frame = Image.full(37, 16, 3)
+        tiles = tile_image(frame, 5)
+        assert len(tiles) == 5
+        assert sum(t.rect.height for t in tiles) == 37
+        # Contiguous, non-overlapping bands.
+        row = 0
+        for t in tiles:
+            assert t.rect.row == row
+            assert t.rect.width == 16
+            row = t.rect.row_end
+        assert row == 37
+
+    def test_tile_more_than_rows(self):
+        frame = Image.zeros(3, 8)
+        tiles = tile_image(frame, 10)
+        assert len(tiles) == 3
+
+    def test_tile_invalid(self):
+        with pytest.raises(ValueError):
+            tile_image(Image.zeros(4, 4), 0)
+
+    def test_extract_window_clips(self):
+        frame = Image.full(10, 10, 5)
+        w = extract_window(frame, Rect(8, 8, 5, 5))
+        assert w.rect == Rect(8, 8, 2, 2)
+        assert w.pixels.shape == (2, 2)
+
+    def test_windows_around_inflates(self):
+        frame = Image.zeros(100, 100)
+        rects = [Rect(40, 40, 10, 10)]
+        (w,) = windows_around(frame, rects, margin=5)
+        assert w.rect == Rect(35, 35, 20, 20)
+
+    def test_window_nbytes(self):
+        frame = Image.zeros(10, 10)
+        w = extract_window(frame, Rect(0, 0, 4, 6))
+        assert w.nbytes == 24
+        assert w.area == 24

@@ -1,0 +1,120 @@
+"""Tests for geometric split/merge (the scm decomposition substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision import (
+    Image,
+    box_blur,
+    gradient_magnitude,
+    merge_image,
+    merge_reduce,
+    scm_apply,
+    split_blocks,
+    split_cols,
+    split_rows,
+)
+
+
+def _random_image(seed, nrows, ncols):
+    rng = np.random.default_rng(seed)
+    return Image(rng.integers(0, 256, (nrows, ncols), dtype=np.uint8))
+
+
+class TestSplits:
+    def test_split_rows_covers(self):
+        im = _random_image(0, 17, 9)
+        doms = split_rows(im, 4)
+        assert sum(d.core.height for d in doms) == 17
+        assert all(d.core.width == 9 for d in doms)
+
+    def test_split_cols_covers(self):
+        im = _random_image(1, 9, 17)
+        doms = split_cols(im, 4)
+        assert sum(d.core.width for d in doms) == 17
+        assert all(d.core.height == 9 for d in doms)
+
+    def test_split_blocks_covers(self):
+        im = _random_image(2, 10, 14)
+        doms = split_blocks(im, 3, 4)
+        assert len(doms) == 12
+        assert sum(d.core.area for d in doms) == 140
+
+    def test_overlap_extends_rect_not_core(self):
+        im = _random_image(3, 20, 8)
+        doms = split_rows(im, 4, overlap=2)
+        inner = doms[1]
+        assert inner.rect.row == inner.core.row - 2
+        assert inner.rect.height == inner.core.height + 4
+        # First band clipped at the image top.
+        assert doms[0].rect.row == 0
+
+    def test_more_pieces_than_rows(self):
+        im = _random_image(4, 3, 5)
+        assert len(split_rows(im, 8)) == 3
+
+    def test_invalid_counts(self):
+        im = Image.zeros(4, 4)
+        with pytest.raises(ValueError):
+            split_rows(im, 0)
+        with pytest.raises(ValueError):
+            split_cols(im, -1)
+        with pytest.raises(ValueError):
+            split_blocks(im, 0, 2)
+
+    def test_pieces_hold_correct_pixels(self):
+        im = _random_image(5, 12, 6)
+        for dom in split_rows(im, 3):
+            assert dom.pixels == im.crop(dom.rect)
+
+
+class TestMerge:
+    def test_identity_roundtrip_rows(self):
+        im = _random_image(6, 13, 7)
+        doms = split_rows(im, 5)
+        out = merge_image(im.shape, doms, [d.pixels for d in doms])
+        assert out == im
+
+    def test_identity_roundtrip_blocks_with_overlap(self):
+        im = _random_image(7, 16, 16)
+        doms = split_blocks(im, 3, 3, overlap=2)
+        out = merge_image(im.shape, doms, [d.pixels for d in doms])
+        assert out == im
+
+    def test_mismatched_lengths(self):
+        im = _random_image(8, 8, 8)
+        doms = split_rows(im, 2)
+        with pytest.raises(ValueError):
+            merge_image(im.shape, doms, [doms[0].pixels])
+
+    def test_merge_reduce_histograms(self):
+        parts = [np.array([1, 2]), np.array([3, 4]), np.array([5, 6])]
+        total = merge_reduce(parts, lambda a, b: a + b, np.zeros(2, dtype=int))
+        assert list(total) == [9, 12]
+
+
+class TestScmApply:
+    @given(st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_pointwise_op_split_invariant(self, n, seed):
+        """A pointwise op under scm equals the op on the whole image."""
+        im = _random_image(seed, 12, 10)
+        whole = Image(255 - im.pixels)
+        split = scm_apply(im, n, lambda d: Image(255 - d.pixels.pixels))
+        assert split == whole
+
+    def test_stencil_needs_overlap(self):
+        """With a 1-pixel halo, 3x3 blur under scm matches the global blur."""
+        im = _random_image(42, 24, 16)
+        whole = box_blur(im, 1)
+        split = scm_apply(im, 4, lambda d: box_blur(d.pixels, 1), overlap=1)
+        assert split == whole
+
+    def test_stencil_without_overlap_differs_at_seams(self):
+        im = _random_image(43, 24, 16)
+        whole = gradient_magnitude(im)
+        split = scm_apply(im, 4, lambda d: gradient_magnitude(d.pixels), overlap=0)
+        # Sanity check that the seam effect is observable: the two disagree.
+        assert split != whole

@@ -1,0 +1,111 @@
+"""Tests for the Image and Rect containers."""
+
+import numpy as np
+import pytest
+
+from repro.vision import Image, Rect
+
+
+class TestRect:
+    def test_basic_extents(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.row_end == 6
+        assert r.col_end == 8
+        assert r.area == 20
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_center_of_single_pixel(self):
+        assert Rect(4, 7, 1, 1).center == (4.0, 7.0)
+
+    def test_center_of_even_rect(self):
+        assert Rect(0, 0, 2, 4).center == (0.5, 1.5)
+
+    def test_contains(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.contains(1, 1)
+        assert r.contains(3.9, 3.9)
+        assert not r.contains(4, 2)
+        assert not r.contains(0, 2)
+
+    def test_intersect_overlapping(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 4, 4)
+        assert a.intersect(b) == Rect(2, 2, 2, 2)
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 2, 2)
+        assert a.intersect(b).is_empty()
+
+    def test_union(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(3, 3, 2, 2)
+        assert a.union(b) == Rect(0, 0, 5, 5)
+
+    def test_union_with_empty_identity(self):
+        a = Rect(1, 1, 2, 2)
+        empty = Rect(0, 0, 0, 0)
+        assert a.union(empty) == a
+        assert empty.union(a) == a
+
+    def test_inflate_then_clip(self):
+        r = Rect(0, 0, 2, 2).inflate(3)
+        assert r == Rect(-3, -3, 8, 8)
+        assert r.clip(5, 5) == Rect(0, 0, 5, 5)
+
+    def test_clip_fully_outside(self):
+        r = Rect(10, 10, 5, 5).clip(4, 4)
+        assert r.is_empty()
+
+
+class TestImage:
+    def test_zeros_shape(self):
+        im = Image.zeros(3, 5)
+        assert im.shape == (3, 5)
+        assert im.nrows == 3 and im.ncols == 5
+        assert im.pixels.dtype == np.uint8
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((2, 2, 3)))
+
+    def test_nbytes(self):
+        assert Image.zeros(4, 8).nbytes == 32
+
+    def test_crop_copies(self):
+        im = Image.full(4, 4, 7)
+        sub = im.crop(Rect(1, 1, 2, 2))
+        sub.pixels[0, 0] = 99
+        assert im.pixels[1, 1] == 7
+
+    def test_crop_clips_out_of_bounds(self):
+        im = Image.full(4, 4, 1)
+        sub = im.crop(Rect(2, 2, 10, 10))
+        assert sub.shape == (2, 2)
+
+    def test_view_aliases(self):
+        im = Image.zeros(4, 4)
+        v = im.view(Rect(0, 0, 2, 2))
+        v[0, 0] = 5
+        assert im.pixels[0, 0] == 5
+
+    def test_blit_roundtrip(self):
+        im = Image.zeros(6, 6)
+        patch = Image.full(2, 3, 9)
+        im.blit(Rect(2, 1, 2, 3), patch)
+        assert im.crop(Rect(2, 1, 2, 3)) == patch
+        assert im.pixels.sum() == 9 * 6
+
+    def test_equality(self):
+        a = Image.from_list([[1, 2], [3, 4]])
+        b = Image.from_list([[1, 2], [3, 4]])
+        c = Image.from_list([[1, 2], [3, 5]])
+        assert a == b
+        assert a != c
+
+    def test_full_image_rect(self):
+        im = Image.zeros(7, 9)
+        assert im.rect == Rect(0, 0, 7, 9)

@@ -1,0 +1,181 @@
+"""Tests for connected-component labelling, incl. property-based oracle checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vision import (
+    Image,
+    Rect,
+    UnionFind,
+    bounding_rect,
+    checkerboard,
+    component_count,
+    components,
+    label,
+    label_flood,
+)
+
+
+class TestUnionFind:
+    def test_singletons_are_distinct(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        assert uf.find(a) != uf.find(b)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        a, b, c = (uf.make_set() for _ in range(3))
+        uf.union(a, b)
+        assert uf.find(a) == uf.find(b)
+        assert uf.find(c) != uf.find(a)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        a, b = uf.make_set(), uf.make_set()
+        r1 = uf.union(a, b)
+        r2 = uf.union(a, b)
+        assert r1 == r2
+
+    def test_transitive_chain(self):
+        uf = UnionFind()
+        ids = [uf.make_set() for _ in range(10)]
+        for x, y in zip(ids, ids[1:]):
+            uf.union(x, y)
+        roots = {uf.find(x) for x in ids}
+        assert len(roots) == 1
+
+
+def _canonical(labels: np.ndarray) -> np.ndarray:
+    """Relabel components in first-appearance order for comparison."""
+    out = np.zeros_like(labels)
+    mapping = {}
+    flat = labels.ravel()
+    canon = out.ravel()
+    for i, v in enumerate(flat):
+        if v == 0:
+            continue
+        if v not in mapping:
+            mapping[v] = len(mapping) + 1
+        canon[i] = mapping[v]
+    return out
+
+
+class TestLabelBasics:
+    def test_empty_image(self):
+        labels, count = label(Image.zeros(4, 4))
+        assert count == 0
+        assert labels.sum() == 0
+
+    def test_single_component(self):
+        im = Image.zeros(5, 5)
+        im.pixels[1:3, 1:4] = 255
+        labels, count = label(im)
+        assert count == 1
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_two_separate_components(self):
+        im = Image.zeros(6, 6)
+        im.pixels[0, 0] = 255
+        im.pixels[5, 5] = 255
+        _, count = label(im, connectivity=8)
+        assert count == 2
+
+    def test_diagonal_8_vs_4(self):
+        im = Image.from_list([[255, 0], [0, 255]])
+        assert label(im, connectivity=8)[1] == 1
+        assert label(im, connectivity=4)[1] == 2
+
+    def test_u_shape_merges_via_equivalence(self):
+        # A 'U' forces the two arms (separately labelled in pass 1) to merge.
+        im = Image.from_list(
+            [
+                [255, 0, 255],
+                [255, 0, 255],
+                [255, 255, 255],
+            ]
+        )
+        assert label(im, connectivity=4)[1] == 1
+
+    def test_checkerboard_4_connectivity(self):
+        board = checkerboard((8, 8), cell=2)
+        # 4x4 grid of cells, half are foreground; 4-connectivity keeps
+        # diagonal cells separate.
+        _, count = label(board, connectivity=4)
+        assert count == 8
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ValueError):
+            label(Image.zeros(2, 2), connectivity=6)
+        with pytest.raises(ValueError):
+            label_flood(Image.zeros(2, 2), connectivity=6)
+
+    def test_labels_are_consecutive(self):
+        rng = np.random.default_rng(7)
+        im = Image((rng.random((12, 12)) < 0.4).astype(np.uint8) * 255)
+        labels, count = label(im)
+        present = set(np.unique(labels)) - {0}
+        assert present == set(range(1, count + 1))
+
+
+class TestLabelAgainstFloodOracle:
+    @given(
+        arrays(
+            np.uint8,
+            st.tuples(st.integers(1, 12), st.integers(1, 12)),
+            elements=st.sampled_from([0, 255]),
+        ),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_partition(self, pixels, connectivity):
+        im = Image(pixels)
+        l1, c1 = label(im, connectivity)
+        l2, c2 = label_flood(im, connectivity)
+        assert c1 == c2
+        assert np.array_equal(_canonical(l1), _canonical(l2))
+
+    @given(
+        arrays(
+            np.uint8,
+            st.tuples(st.integers(1, 10), st.integers(1, 10)),
+            elements=st.sampled_from([0, 255]),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_foreground_partition_invariants(self, pixels):
+        im = Image(pixels)
+        labels, count = label(im)
+        # Every foreground pixel gets a label, every background pixel none.
+        assert np.all((labels > 0) == (im.pixels > 0))
+        # Masks partition the foreground.
+        masks = components(im)
+        assert len(masks) == count
+        if masks:
+            total = np.zeros(im.shape, dtype=int)
+            for m in masks:
+                total += m.astype(int)
+            assert np.array_equal(total, (im.pixels > 0).astype(int))
+
+
+class TestBoundingRect:
+    def test_simple(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2:4, 1:5] = True
+        assert bounding_rect(mask) == Rect(2, 1, 2, 4)
+
+    def test_empty_mask(self):
+        assert bounding_rect(np.zeros((3, 3), dtype=bool)).is_empty()
+
+    def test_single_pixel(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[3, 0] = True
+        assert bounding_rect(mask) == Rect(3, 0, 1, 1)
+
+    def test_component_count_shortcut(self):
+        im = Image.zeros(5, 5)
+        im.pixels[0, 0] = 1
+        im.pixels[4, 4] = 1
+        assert component_count(im) == 2

@@ -1,0 +1,140 @@
+"""Tests for white-line detection and synthetic scene generation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Image,
+    Rect,
+    checkerboard,
+    detect_lines,
+    draw_blob,
+    extract_marks,
+    hough_accumulate,
+    hough_peaks,
+    road_scene,
+    scene_with_blobs,
+    split_rows,
+    threshold,
+)
+
+
+class TestSynth:
+    def test_blob_scene_background(self):
+        frame = scene_with_blobs((32, 32), [], background=20)
+        assert np.all(frame.pixels == 20)
+
+    def test_blob_drawn(self):
+        frame = scene_with_blobs((32, 32), [((16, 16), (4, 4))])
+        assert frame.pixels[16, 16] == 255
+        assert frame.pixels[0, 0] == 20
+
+    def test_tiny_blob_still_visible(self):
+        im = Image.zeros(16, 16)
+        draw_blob(im, (8.3, 8.7), (0.1, 0.1))
+        assert im.pixels.max() == 255
+
+    def test_blob_clipped_at_border(self):
+        im = Image.zeros(16, 16)
+        draw_blob(im, (0, 0), (3, 3))
+        assert im.pixels[0, 0] == 255
+
+    def test_blob_fully_outside(self):
+        im = Image.zeros(16, 16)
+        draw_blob(im, (-50, -50), (2, 2))
+        assert im.pixels.sum() == 0
+
+    def test_noise_reproducible(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = scene_with_blobs((16, 16), [], noise_sigma=10, rng=rng1)
+        b = scene_with_blobs((16, 16), [], noise_sigma=10, rng=rng2)
+        assert a == b
+
+    def test_checkerboard_pattern(self):
+        board = checkerboard((8, 8), cell=4)
+        assert board.pixels[0, 0] == 0
+        assert board.pixels[0, 4] == 255
+        assert board.pixels[4, 0] == 255
+        assert board.pixels[4, 4] == 0
+
+    def test_checkerboard_invalid_cell(self):
+        with pytest.raises(ValueError):
+            checkerboard((8, 8), cell=0)
+
+    def test_road_scene_has_bright_lines(self):
+        frame = road_scene((128, 128), lane_offsets=(-40, 40))
+        assert frame.pixels.max() >= 200
+        # Bottom row has two lines symmetric about the center.
+        bottom = frame.pixels[-1]
+        bright = np.flatnonzero(bottom > 200)
+        assert bright.size > 0
+        center = 64
+        assert (bright < center).any() and (bright > center).any()
+
+    def test_road_scene_bad_vanish_row(self):
+        with pytest.raises(ValueError):
+            road_scene((32, 32), vanish_row=40)
+
+
+class TestHough:
+    def test_vertical_line_parameters(self):
+        im = Image.zeros(64, 64)
+        im.pixels[:, 30] = 255
+        acc = hough_accumulate(im)
+        (line,) = hough_peaks(acc, 1, min_votes=32)
+        # Vertical line: theta ~ 0, rho ~ col.
+        assert line.theta == pytest.approx(0.0, abs=0.1)
+        assert line.rho == pytest.approx(30.0, abs=1.5)
+        assert line.votes == 64
+
+    def test_horizontal_line_parameters(self):
+        im = Image.zeros(64, 64)
+        im.pixels[17, :] = 255
+        acc = hough_accumulate(im)
+        (line,) = hough_peaks(acc, 1, min_votes=32)
+        assert line.theta == pytest.approx(math.pi / 2, abs=0.1)
+        assert line.rho == pytest.approx(17.0, abs=1.5)
+
+    def test_accumulator_merges_additively(self):
+        """Per-band accumulators sum to the whole-image accumulator (scm merge)."""
+        im = road_scene((64, 64), noise_sigma=0)
+        binary = threshold(im, 150)
+        whole = hough_accumulate(binary)
+        partial = np.zeros_like(whole)
+        for dom in split_rows(binary, 4):
+            partial += hough_accumulate(
+                dom.pixels, origin=(dom.rect.row, dom.rect.col)
+            )
+        assert np.array_equal(whole, partial)
+
+    def test_empty_image_no_peaks(self):
+        acc = hough_accumulate(Image.zeros(16, 16))
+        assert hough_peaks(acc, 5) == []
+
+    def test_detect_lines_on_road(self):
+        frame = road_scene((128, 128), lane_offsets=(-40, 40), noise_sigma=2.0)
+        lines = detect_lines(frame, k=2, edge_level=60, min_votes=20)
+        assert len(lines) >= 1
+        # Detected lines pass near known lane pixels on the bottom row.
+        bottom_lane_points = [(127.0, 64 - 40.0), (127.0, 64 + 40.0)]
+        best = min(
+            min(line.point_distance(r, c) for line in lines)
+            for r, c in bottom_lane_points
+        )
+        assert best < 8.0
+
+
+class TestEndToEndDetection:
+    def test_marks_in_noisy_scene(self):
+        rng = np.random.default_rng(11)
+        frame = scene_with_blobs(
+            (128, 128),
+            [((30, 40), (4, 4)), ((30, 70), (4, 4)), ((60, 55), (5, 5))],
+            noise_sigma=8.0,
+            rng=rng,
+        )
+        marks = extract_marks(frame, level=150, min_pixels=10)
+        assert len(marks) == 3

@@ -1,0 +1,121 @@
+"""Tests for binary morphology, incl. algebraic property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vision import Image
+from repro.vision.morphology import (
+    closing,
+    dilate,
+    erode,
+    morphological_gradient,
+    opening,
+)
+
+
+def binary_images(max_side=14):
+    return arrays(
+        np.uint8,
+        st.tuples(st.integers(3, max_side), st.integers(3, max_side)),
+        elements=st.sampled_from([0, 255]),
+    ).map(Image)
+
+
+class TestBasics:
+    def test_erode_shrinks_square(self):
+        im = Image.zeros(7, 7)
+        im.pixels[1:6, 1:6] = 255
+        out = erode(im)
+        assert out.pixels[2:5, 2:5].min() == 255
+        assert out.pixels[1, 1] == 0  # corner eaten
+
+    def test_dilate_grows_point(self):
+        im = Image.zeros(7, 7)
+        im.pixels[3, 3] = 255
+        out = dilate(im)
+        assert out.pixels[2:5, 2:5].min() == 255
+        assert out.pixels[0, 0] == 0
+
+    def test_opening_removes_speck(self):
+        im = Image.zeros(9, 9)
+        im.pixels[1, 1] = 255  # single-pixel speck
+        im.pixels[4:8, 4:8] = 255  # solid block
+        out = opening(im)
+        assert out.pixels[1, 1] == 0
+        assert out.pixels[5, 5] == 255
+
+    def test_closing_fills_hole(self):
+        im = Image.zeros(9, 9)
+        im.pixels[2:7, 2:7] = 255
+        im.pixels[4, 4] = 0  # one-pixel hole
+        out = closing(im)
+        assert out.pixels[4, 4] == 255
+
+    def test_gradient_is_boundary(self):
+        im = Image.zeros(9, 9)
+        im.pixels[2:7, 2:7] = 255
+        out = morphological_gradient(im)
+        assert out.pixels[4, 4] == 0  # interior
+        assert out.pixels[2, 4] > 0  # boundary
+
+    def test_even_element_rejected(self):
+        with pytest.raises(ValueError):
+            erode(Image.zeros(4, 4), (2, 3))
+        with pytest.raises(ValueError):
+            dilate(Image.zeros(4, 4), (3, 0))
+
+    def test_border_handling(self):
+        # Adjoint convention: outside the frame counts as foreground for
+        # erosion, so a full frame stays full...
+        assert erode(Image.full(5, 5, 255)) == Image.full(5, 5, 255)
+        # ...while dilation never conjures pixels from the border.
+        assert dilate(Image.zeros(5, 5)) == Image.zeros(5, 5)
+
+
+class TestAlgebraicProperties:
+    @given(binary_images())
+    @settings(max_examples=40, deadline=None)
+    def test_erosion_anti_extensive(self, im):
+        out = erode(im)
+        assert np.all((out.pixels > 0) <= (im.pixels > 0))
+
+    @given(binary_images())
+    @settings(max_examples=40, deadline=None)
+    def test_dilation_extensive(self, im):
+        out = dilate(im)
+        assert np.all((im.pixels > 0) <= (out.pixels > 0))
+
+    @given(binary_images())
+    @settings(max_examples=40, deadline=None)
+    def test_duality(self, im):
+        """Erosion of the complement == complement of dilation."""
+        complement = Image(np.where(im.pixels > 0, 0, 255).astype(np.uint8))
+        lhs = erode(complement).pixels > 0
+        rhs = ~(dilate(im).pixels > 0)
+        assert np.array_equal(lhs, rhs)
+
+    @given(binary_images())
+    @settings(max_examples=30, deadline=None)
+    def test_opening_idempotent(self, im):
+        once = opening(im)
+        twice = opening(once)
+        assert once == twice
+
+    @given(binary_images())
+    @settings(max_examples=30, deadline=None)
+    def test_closing_idempotent(self, im):
+        once = closing(im)
+        assert closing(once) == once
+
+    @given(binary_images())
+    @settings(max_examples=30, deadline=None)
+    def test_open_below_close(self, im):
+        """opening(x) <= x <= closing(x) pointwise."""
+        o = opening(im).pixels > 0
+        c = closing(im).pixels > 0
+        x = im.pixels > 0
+        assert np.all(o <= x)
+        assert np.all(x <= c)

@@ -1,0 +1,169 @@
+"""Tests for low-level pixel operations."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Image,
+    box_blur,
+    convolve,
+    gradient_magnitude,
+    histogram,
+    invert,
+    otsu_threshold,
+    threshold,
+)
+
+
+class TestThreshold:
+    def test_strictly_above(self):
+        im = Image.from_list([[10, 20, 30]])
+        out = threshold(im, 20)
+        assert list(out.pixels[0]) == [0, 0, 255]
+
+    def test_custom_levels(self):
+        im = Image.from_list([[0, 255]])
+        out = threshold(im, 128, above=1, below=2)
+        assert list(out.pixels[0]) == [2, 1]
+
+    def test_all_background(self):
+        im = Image.zeros(4, 4)
+        assert threshold(im, 0).pixels.sum() == 0
+
+
+class TestHistogram:
+    def test_counts_sum_to_pixels(self):
+        rng = np.random.default_rng(1)
+        im = Image(rng.integers(0, 256, (16, 16), dtype=np.uint8))
+        h = histogram(im)
+        assert h.sum() == 256
+        assert h.shape == (256,)
+
+    def test_uniform_image(self):
+        im = Image.full(4, 4, 42)
+        h = histogram(im)
+        assert h[42] == 16
+        assert h.sum() == 16
+
+
+class TestOtsu:
+    def test_bimodal_separation(self):
+        pixels = np.concatenate([np.full(100, 30), np.full(100, 200)])
+        rng = np.random.default_rng(0)
+        rng.shuffle(pixels)
+        im = Image(pixels.reshape(10, 20).astype(np.uint8))
+        t = otsu_threshold(im)
+        assert 30 <= t < 200
+
+    def test_flat_image_degenerate(self):
+        # Single intensity: any threshold is fine, must not crash.
+        assert isinstance(otsu_threshold(Image.full(4, 4, 7)), int)
+
+
+class TestConvolve:
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(2)
+        im = Image(rng.integers(0, 256, (8, 8), dtype=np.uint8))
+        ident = np.array([[0, 0, 0], [0, 1, 0], [0, 0, 0]])
+        assert convolve(im, ident) == im
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            convolve(Image.zeros(4, 4), np.ones((2, 2)))
+
+    def test_clamps_to_uint8(self):
+        im = Image.full(4, 4, 200)
+        out = convolve(im, np.full((3, 3), 1.0))  # 9x200 >> 255
+        assert out.pixels.max() == 255
+
+    def test_box_blur_constant_interior(self):
+        im = Image.full(8, 8, 100)
+        out = box_blur(im, 1)
+        # Interior pixels average 9 identical values.
+        assert np.all(out.pixels[1:-1, 1:-1] == 100)
+
+
+class TestGradient:
+    def test_flat_image_no_gradient(self):
+        out = gradient_magnitude(Image.full(8, 8, 77))
+        assert np.all(out.pixels[1:-1, 1:-1] == 0)
+
+    def test_vertical_edge_detected(self):
+        im = Image.zeros(8, 8)
+        im.pixels[:, 4:] = 200
+        out = gradient_magnitude(im)
+        interior = out.pixels[2:-2, :]
+        edge_cols = interior[:, 3:5]
+        flat_cols = interior[:, :2]
+        assert edge_cols.max() > 0
+        assert flat_cols.max() == 0
+
+
+class TestInvert:
+    def test_involution(self):
+        rng = np.random.default_rng(3)
+        im = Image(rng.integers(0, 256, (5, 5), dtype=np.uint8))
+        assert invert(invert(im)) == im
+
+
+class TestEqualization:
+    def test_lut_shape_and_monotonic(self):
+        import numpy as np
+
+        from repro.vision import equalization_lut, histogram
+
+        rng = np.random.default_rng(4)
+        im = Image(rng.integers(30, 90, (32, 32), dtype=np.uint8))
+        lut = equalization_lut(histogram(im))
+        assert lut.shape == (256,)
+        assert np.all(np.diff(lut.astype(int)) >= 0)  # monotone
+
+    def test_equalize_spreads_contrast(self):
+        import numpy as np
+
+        from repro.vision import equalize
+
+        rng = np.random.default_rng(5)
+        # Low-contrast image squeezed into [100, 120).
+        im = Image(rng.integers(100, 120, (32, 32), dtype=np.uint8))
+        out = equalize(im)
+        assert int(out.pixels.max()) - int(out.pixels.min()) > 200
+
+    def test_flat_image_unchanged_values(self):
+        from repro.vision import equalize
+
+        im = Image.full(8, 8, 42)
+        out = equalize(im)
+        # A single intensity cannot gain contrast.
+        assert len(set(out.pixels.ravel().tolist())) == 1
+
+    def test_empty_histogram_identity(self):
+        import numpy as np
+
+        from repro.vision import equalization_lut
+
+        lut = equalization_lut(np.zeros(256))
+        assert list(lut) == list(range(256))
+
+    def test_apply_lut_validates(self):
+        import numpy as np
+
+        import pytest
+
+        from repro.vision import apply_lut, equalization_lut
+
+        with pytest.raises(ValueError):
+            apply_lut(Image.zeros(4, 4), np.zeros(10))
+        with pytest.raises(ValueError):
+            equalization_lut(np.zeros(10))
+
+    def test_per_band_histograms_sum_to_global(self):
+        """The scm-parallelisable identity: histogram is additive."""
+        import numpy as np
+
+        from repro.vision import histogram, split_rows
+
+        rng = np.random.default_rng(6)
+        im = Image(rng.integers(0, 256, (24, 16), dtype=np.uint8))
+        partial = sum(histogram(d.pixels) for d in split_rows(im, 4))
+        assert np.array_equal(partial, histogram(im))

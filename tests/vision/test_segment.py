@@ -1,0 +1,145 @@
+"""Tests for quadtree split-and-merge segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vision import Image, Rect
+from repro.vision.segment import (
+    is_homogeneous,
+    merge_adjacent,
+    quadtree_leaves,
+    region_stats,
+    segment,
+    split_region,
+)
+
+
+def two_tone_image(size=32, level_a=40, level_b=200):
+    """Left half dark, right half bright."""
+    im = Image.full(size, size, level_a)
+    im.pixels[:, size // 2 :] = level_b
+    return im
+
+
+class TestRegionStats:
+    def test_uniform(self):
+        im = Image.full(8, 8, 77)
+        s = region_stats(im, im.rect)
+        assert s.mean == 77.0
+        assert s.variance == 0.0
+
+    def test_subregion(self):
+        im = two_tone_image(8)
+        left = region_stats(im, Rect(0, 0, 8, 4))
+        assert left.mean == 40.0
+        assert left.variance == 0.0
+
+    def test_mixed_has_variance(self):
+        im = two_tone_image(8)
+        s = region_stats(im, im.rect)
+        assert s.variance > 1000.0
+
+    def test_empty_rect(self):
+        im = Image.zeros(4, 4)
+        s = region_stats(im, Rect(0, 0, 0, 0))
+        assert s.mean == 0.0 and s.variance == 0.0
+
+
+class TestSplitPredicate:
+    def test_uniform_is_homogeneous(self):
+        im = Image.full(16, 16, 10)
+        assert is_homogeneous(im, im.rect)
+
+    def test_two_tone_is_not(self):
+        im = two_tone_image(16)
+        assert not is_homogeneous(im, im.rect)
+
+    def test_min_size_stops_recursion(self):
+        im = two_tone_image(16)
+        assert is_homogeneous(im, Rect(0, 6, 4, 4), min_size=4)
+
+
+class TestSplitRegion:
+    def test_quadrants_tile_exactly(self):
+        rect = Rect(3, 5, 9, 7)  # odd sizes
+        quads = split_region(rect)
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == rect.area
+        for q in quads:
+            assert rect.intersect(q) == q
+
+    @given(st.integers(2, 40), st.integers(2, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_quadrants_partition_property(self, h, w):
+        rect = Rect(0, 0, h, w)
+        quads = split_region(rect)
+        covered = np.zeros((h, w), dtype=int)
+        for q in quads:
+            covered[q.row : q.row_end, q.col : q.col_end] += 1
+        assert np.all(covered == 1)
+
+
+class TestQuadtreeLeaves:
+    def test_uniform_image_single_leaf(self):
+        im = Image.full(32, 32, 50)
+        leaves = quadtree_leaves(im)
+        assert len(leaves) == 1
+        assert leaves[0].rect == im.rect
+
+    def test_two_tone_splits_along_boundary(self):
+        im = two_tone_image(32)
+        leaves = quadtree_leaves(im)
+        assert len(leaves) > 1
+        # Every leaf is homogeneous.
+        for leaf in leaves:
+            assert leaf.variance <= 100.0 or (
+                leaf.rect.height <= 4 or leaf.rect.width <= 4
+            )
+
+    def test_leaves_tile_the_image(self):
+        rng = np.random.default_rng(0)
+        im = Image(rng.integers(0, 256, (32, 32), dtype=np.uint8))
+        leaves = quadtree_leaves(im, var_threshold=500.0)
+        covered = np.zeros(im.shape, dtype=int)
+        for leaf in leaves:
+            r = leaf.rect
+            covered[r.row : r.row_end, r.col : r.col_end] += 1
+        assert np.all(covered == 1)
+
+
+class TestMergeAndSegment:
+    def test_two_tone_merges_to_two_segments(self):
+        im = two_tone_image(32)
+        labels = segment(im, mean_threshold=20.0)
+        values = set(np.unique(labels))
+        assert values == {1, 2}
+        # Left and right halves carry different labels throughout.
+        assert len(set(np.unique(labels[:, : 12]))) == 1
+        assert len(set(np.unique(labels[:, 20:]))) == 1
+
+    def test_uniform_image_one_segment(self):
+        labels = segment(Image.full(16, 16, 99))
+        assert set(np.unique(labels)) == {1}
+
+    def test_every_pixel_labelled(self):
+        rng = np.random.default_rng(1)
+        im = Image(rng.integers(0, 256, (32, 32), dtype=np.uint8))
+        labels = segment(im, var_threshold=800.0, mean_threshold=30.0)
+        assert labels.min() >= 1
+
+    def test_merge_respects_mean_threshold(self):
+        im = two_tone_image(16, level_a=100, level_b=110)
+        # Generous threshold: the two tones merge into one segment.
+        labels = segment(im, mean_threshold=50.0)
+        assert set(np.unique(labels)) == {1}
+
+    def test_diagonal_corners_do_not_merge(self):
+        from repro.vision.segment import RegionStats, _adjacent
+
+        a = Rect(0, 0, 4, 4)
+        b = Rect(4, 4, 4, 4)  # touches only at the corner
+        assert not _adjacent(a, b)
+        c = Rect(0, 4, 4, 4)  # shares an edge with a
+        assert _adjacent(a, c)
