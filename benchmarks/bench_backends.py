@@ -1,0 +1,145 @@
+"""E12 — real multi-core speedup: processes vs threads backends.
+
+The paper's promise is that the same skeletal program retargets from the
+workstation to the parallel machine by swapping the kernel primitives
+(§3).  This benchmark makes that concrete on the host itself: one farm
+program, executed by the generated executive on the ``threads`` backend
+(one interpreter, GIL-serialised compute) and on the ``processes``
+backend (one OS process per mapped processor).  With CPU-bound
+sequential functions the thread executive cannot exceed one core, so on
+a multi-core host the process executive wins roughly linearly in the
+farm degree; on a single-core host the two tie (processes pay the
+fork/IPC overhead).
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_backends.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import run_once
+
+from repro import FunctionTable, ProgramBuilder
+from repro.backends import get_backend
+from repro.pnt import expand_program
+from repro.syndex import distribute, ring
+
+WORKERS = 4
+#: Pure-Python arithmetic per work item — holds the GIL for its whole
+#: duration, unlike numpy kernels which release it.  Sized to ~300 ms
+#: per item so process startup (~100 ms) cannot mask the parallelism.
+SPINS = 3_000_000
+
+
+def burn(x):
+    acc = float(x)
+    for i in range(SPINS):
+        acc = (acc * 1.0000001 + i) % 1e9
+    return int(acc)
+
+
+def chunk(n, xs):
+    base, extra = divmod(len(xs), n)
+    out, start = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(xs[start:start + size])
+        start += size
+    return out
+
+
+def burn_chunk(xs):
+    return sum(burn(x) for x in xs)
+
+
+def total(_orig, parts):
+    return sum(parts)
+
+
+def add(a, b):
+    return a + b
+
+
+def make_table():
+    table = FunctionTable()
+    table.register("chunk", ins=["int", "int list"], outs=["int list list"])(chunk)
+    table.register("burn_chunk", ins=["int list"], outs=["int"])(burn_chunk)
+    table.register("total", ins=["int list", "int list"], outs=["int"])(total)
+    table.register("burn", ins=["int"], outs=["int"])(burn)
+    table.register(
+        "add", ins=["int", "int"], outs=["int"],
+        properties=["commutative", "associative"],
+    )(add)
+    return table
+
+
+def scm_program(table, degree):
+    b = ProgramBuilder("bench_scm", table)
+    (xs,) = b.params("xs")
+    r = b.scm(degree, split="chunk", comp="burn_chunk", merge="total", x=xs)
+    return b.returns(r)
+
+
+def df_program(table, degree):
+    b = ProgramBuilder("bench_df", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="burn", acc="add", z=b.const(0), xs=xs)
+    return b.returns(r)
+
+
+def measure(backend_name, program_factory, degree=WORKERS, items=None):
+    """Wall-clock seconds and result of one run on ``backend_name``."""
+    table = make_table()
+    prog = program_factory(table, degree)
+    mapping = distribute(expand_program(prog, table), ring(degree + 1))
+    backend = get_backend(backend_name)
+    args = (items if items is not None else list(range(degree)),)
+    start = time.perf_counter()
+    report = backend.run(mapping, table, args=args, timeout=300.0)
+    elapsed = time.perf_counter() - start
+    return elapsed, report.one_shot_results
+
+
+def compare(program_factory, label, extra_info=None):
+    threads_s, threads_result = measure("threads", program_factory)
+    procs_s, procs_result = measure("processes", program_factory)
+    assert threads_result == procs_result, "backends disagree on the result"
+    speedup = threads_s / procs_s if procs_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    print(f"\nE12 {label}: {WORKERS}-worker farm, CPU-bound kernel, "
+          f"{cores} core(s)")
+    print(f"  threads   {threads_s * 1000:8.1f} ms")
+    print(f"  processes {procs_s * 1000:8.1f} ms   ({speedup:.2f}x)")
+    if extra_info is not None:
+        extra_info[f"{label}_threads_ms"] = round(threads_s * 1000, 1)
+        extra_info[f"{label}_processes_ms"] = round(procs_s * 1000, 1)
+        extra_info[f"{label}_speedup"] = round(speedup, 2)
+    # True parallelism only materialises when the host has the cores for
+    # it; elsewhere (laptops in power-save, 1-2 vCPU CI runners) just
+    # report the tie.
+    if cores >= 4:
+        assert speedup >= 1.5, (
+            f"processes should beat threads on a {cores}-core host, "
+            f"got {speedup:.2f}x"
+        )
+    return speedup
+
+
+def test_scm_processes_vs_threads(benchmark):
+    run_once(benchmark, lambda: compare(
+        scm_program, "scm", extra_info=benchmark.extra_info,
+    ))
+
+
+def test_df_processes_vs_threads(benchmark):
+    run_once(benchmark, lambda: compare(
+        df_program, "df", extra_info=benchmark.extra_info,
+    ))
+
+
+if __name__ == "__main__":
+    compare(scm_program, "scm")
+    compare(df_program, "df")

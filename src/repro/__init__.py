@@ -9,7 +9,8 @@ generation, and a discrete-event MIMD-DM machine simulator, plus the
 vision substrate and the real-time vehicle-tracking case study.
 """
 
-from . import core, machine, minicaml, pipeline, pnt, syndex, tracking, vision
+from . import backends, core, machine, minicaml, pipeline, pnt, syndex, tracking, vision
+from .backends import Backend, BackendError, backend_names, get_backend, list_backends
 from .core import (
     EndOfStream,
     FunctionTable,
@@ -39,6 +40,12 @@ __all__ = [
     "vision",
     "tracking",
     "pipeline",
+    "backends",
+    "Backend",
+    "BackendError",
+    "get_backend",
+    "list_backends",
+    "backend_names",
     "scm",
     "df",
     "tf",

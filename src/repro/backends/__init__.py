@@ -1,0 +1,41 @@
+"""Pluggable execution backends: one process-graph IR, many targets.
+
+The four built-in targets mirror the paper's Fig. 2 branches and extend
+them to real hardware:
+
+* ``emulate``   — sequential emulation of the program IR (the oracle);
+* ``simulate``  — discrete-event simulation on the modelled machine;
+* ``threads``   — generated executive on Python threads (GIL-bound);
+* ``processes`` — generated executive on OS processes (true parallelism).
+
+Use :func:`get_backend`/:func:`list_backends` to resolve targets at run
+time, or go through :func:`repro.pipeline.run` / the ``repro run`` CLI.
+"""
+
+from .base import Backend, BackendError, report_from_blackboard
+from .registry import backend_names, get_backend, list_backends, register_backend
+
+# Importing the modules registers the built-in backends.
+from .emulate_backend import EmulateBackend
+from .simulate_backend import SimulateBackend
+from .thread_backend import ThreadBackend
+from .process_backend import ProcessBackend, default_start_method, run_multiprocess
+from .process_kernel import SHM_MIN_BYTES, ProcessKernel
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "backend_names",
+    "report_from_blackboard",
+    "EmulateBackend",
+    "SimulateBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ProcessKernel",
+    "run_multiprocess",
+    "default_start_method",
+    "SHM_MIN_BYTES",
+]

@@ -1,0 +1,305 @@
+"""Multiprocess backend: the generated executive on real OS processes.
+
+The parent generates the executive once, creates the inter-processor
+channels (one bounded multiprocessing queue per remote edge) and the
+shared stop event, then launches one worker process per mapped
+processor.  Each worker builds the executive against a
+:class:`~repro.backends.process_kernel.ProcessKernel` that only starts
+the threads placed on its processor.  Termination mirrors the thread
+kernel's ``join_``: the parent waits until every sink-owning worker has
+reported its sinks complete, then raises the stop event so blocked
+threads unwind, and finally merges per-worker blackboards and wall-clock
+spans into one :class:`~repro.machine.executive.RunReport`.
+
+A hard ``timeout`` bounds the whole run: a deadlocked executive raises
+:class:`~repro.backends.base.BackendError` (after terminating the
+workers) instead of hanging the caller — or the CI job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..codegen.pygen import generate_python, load_executive, thread_name
+from ..core.functions import FunctionTable
+from ..core.ir import Program
+from ..machine.costs import T9000, CostModel
+from ..machine.executive import RunReport
+from ..machine.trace import Trace
+from ..pnt.graph import ProcessKind
+from ..syndex.distribute import Mapping
+from .base import Backend, BackendError, report_from_blackboard
+from .process_kernel import SHM_MIN_BYTES, ProcessKernel
+from .registry import register_backend
+
+__all__ = ["ProcessBackend", "run_multiprocess", "default_start_method"]
+
+#: Environment override for the multiprocessing start method (used by CI
+#: to force ``spawn``, the only method portable to every platform).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def default_start_method() -> str:
+    """``fork`` where available (inherits closures — any table works),
+    else ``spawn`` (requires a picklable table)."""
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _worker_main(payload: Dict[str, Any]) -> None:
+    """Entry point of one worker process (module-level: spawn-safe)."""
+    results = payload["results"]
+    stop = payload["stop"]
+    processor = payload["processor"]
+    try:
+        module = load_executive(payload["source"])
+        kernel = ProcessKernel(
+            processor,
+            placement=payload["placement"],
+            remote_channels=payload["remote"],
+            stop_event=stop,
+            queue_size=payload["queue_size"],
+            poll_s=payload["poll_s"],
+            epoch=payload["epoch"],
+            shm_threshold=payload["shm_threshold"],
+            record_spans=payload["record_spans"],
+        )
+        kernel.blackboard.update(payload["seed"])
+        _threads, sinks = module["build_executive"](kernel, payload["fns"])
+        local_sinks = [t for t in sinks if isinstance(t, threading.Thread)]
+        for thread in local_sinks:
+            while thread.is_alive() and not stop.is_set():
+                thread.join(0.1)
+        if local_sinks and not stop.is_set():
+            results.put(("sinks", processor))
+        stop.wait()
+        for thread in kernel.local_threads():
+            thread.join(0.5)
+        results.put(
+            ("done", processor, kernel.blackboard,
+             kernel.compute_spans, kernel.transfer_spans)
+        )
+    except Exception:
+        stop.set()
+        results.put(("error", processor, traceback.format_exc()))
+    finally:
+        # Unflushed data queues must not block interpreter exit.
+        for q in payload["remote"].values():
+            try:
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
+
+def _collect(results, deadline: float, workers) -> Tuple:
+    """Next control message, or raise on timeout / silently-dead worker."""
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise BackendError(
+                "multiprocess run exceeded its timeout (deadlocked "
+                "executive?); workers will be terminated"
+            )
+        try:
+            return results.get(timeout=min(0.2, remaining))
+        except queue.Empty:
+            for worker in workers:
+                if worker.exitcode not in (None, 0):
+                    raise BackendError(
+                        f"worker {worker.name!r} died with exit code "
+                        f"{worker.exitcode}"
+                    )
+
+
+def run_multiprocess(
+    mapping: Mapping,
+    table: FunctionTable,
+    *,
+    max_iterations: Optional[int] = None,
+    args: Optional[Tuple] = None,
+    timeout: float = 120.0,
+    start_method: Optional[str] = None,
+    queue_size: int = 4,
+    poll_s: float = 0.02,
+    shm_threshold: int = SHM_MIN_BYTES,
+    record_spans: bool = True,
+) -> Tuple[Dict[str, Any], List, List, float]:
+    """Run the mapped program on OS processes.
+
+    Returns ``(blackboard, compute_spans, transfer_spans, wall_us)``:
+    the merged kernel blackboards, the wall-clock spans of every worker
+    (µs since the run epoch), and the total wall time.
+    """
+    graph = mapping.graph
+    fns = {spec.name: spec.fn for spec in table}
+    source = generate_python(mapping, max_iterations=max_iterations)
+    placement = {
+        thread_name(pid): proc for pid, proc in mapping.assignment.items()
+    }
+    method = start_method or default_start_method()
+    ctx = multiprocessing.get_context(method)
+
+    seed: Dict[str, Any] = {}
+    inputs = [
+        p for p in graph.by_kind(ProcessKind.INPUT) if p.func is None
+    ]
+    if len(args or ()) != len(inputs):
+        # Validate even when args is omitted: a one-shot executive with
+        # unseeded parameters would hang until the deadline.
+        raise ValueError(
+            f"program takes {len(inputs)} argument(s), got {len(args or ())}"
+        )
+    for process, value in zip(inputs, args or ()):
+        seed[f"arg_{process.params.get('param')}"] = value
+
+    remote: Dict[str, Any] = {}
+    for idx, edge in enumerate(graph.edges):
+        if mapping.processor_of(edge.src) != mapping.processor_of(edge.dst):
+            remote[f"e{idx}"] = ctx.Queue(maxsize=queue_size)
+
+    stop_event = ctx.Event()
+    results = ctx.Queue()
+    participating = [
+        p for p in mapping.arch.processor_ids() if mapping.processes_on(p)
+    ]
+    sink_procs = {
+        mapping.processor_of(p.id)
+        for p in graph.processes.values()
+        if p.kind == ProcessKind.MEM
+        or (p.kind == ProcessKind.OUTPUT and not p.params.get("discard"))
+    }
+
+    epoch = time.perf_counter()
+    workers = []
+    for proc_id in participating:
+        payload = {
+            "source": source,
+            "processor": proc_id,
+            "placement": placement,
+            "remote": remote,
+            "stop": stop_event,
+            "results": results,
+            # Only the implementations cross the process boundary: cost
+            # models may be closures, which spawn could not pickle.
+            "fns": fns,
+            "seed": seed,
+            "epoch": epoch,
+            "queue_size": queue_size,
+            "poll_s": poll_s,
+            "shm_threshold": shm_threshold,
+            "record_spans": record_spans,
+        }
+        worker = ctx.Process(
+            target=_worker_main, args=(payload,),
+            name=f"repro-{proc_id}", daemon=True,
+        )
+        worker.start()
+        workers.append(worker)
+
+    deadline = time.monotonic() + timeout
+    waiting_sinks = set(sink_procs)
+    done: Dict[str, Dict[str, Any]] = {}
+    compute_spans: List = []
+    transfer_spans: List = []
+    error: Optional[Tuple[str, str]] = None
+
+    def absorb(message: Tuple) -> None:
+        nonlocal error
+        tag = message[0]
+        if tag == "sinks":
+            waiting_sinks.discard(message[1])
+        elif tag == "done":
+            done[message[1]] = message[2]
+            compute_spans.extend(message[3])
+            transfer_spans.extend(message[4])
+        elif tag == "error":
+            error = (message[1], message[2])
+
+    try:
+        while waiting_sinks and error is None:
+            absorb(_collect(results, deadline, workers))
+        stop_event.set()
+        while len(done) < len(participating) and error is None:
+            absorb(_collect(results, deadline, workers))
+    finally:
+        stop_event.set()
+        for worker in workers:
+            worker.join(2.0)
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - deadlock path
+                worker.terminate()
+                worker.join(1.0)
+    wall_us = (time.perf_counter() - epoch) * 1e6
+
+    if error is not None:
+        processor, tb = error
+        raise BackendError(
+            f"executive failed on processor {processor!r}:\n{tb}"
+        )
+
+    blackboard: Dict[str, Any] = {}
+    for proc_id in participating:
+        blackboard.update(done.get(proc_id, {}))
+    compute_spans.sort(key=lambda s: s.start)
+    transfer_spans.sort(key=lambda s: s.start)
+    return blackboard, compute_spans, transfer_spans, wall_us
+
+
+@register_backend
+class ProcessBackend(Backend):
+    """Run the generated executive with one OS process per processor.
+
+    True parallelism for CPU-bound sequential functions (each worker has
+    its own interpreter and GIL); inter-processor edges are bounded
+    multiprocessing queues, with shared-memory transfer for large numpy
+    payloads.  Options: ``start_method`` (``fork``/``spawn``/
+    ``forkserver``; default from ``REPRO_MP_START_METHOD`` or ``fork``
+    where available), ``queue_size``, ``shm_threshold``.
+    """
+
+    name = "processes"
+    description = "generated executive on OS processes (true parallelism)"
+    real = True
+
+    def run(
+        self,
+        mapping: Optional[Mapping],
+        table: FunctionTable,
+        *,
+        program: Optional[Program] = None,
+        costs: CostModel = T9000,
+        max_iterations: Optional[int] = None,
+        args: Optional[Tuple] = None,
+        real_time: bool = False,
+        record_trace: bool = False,
+        timeout: float = 120.0,
+        start_method: Optional[str] = None,
+        queue_size: int = 4,
+        shm_threshold: int = SHM_MIN_BYTES,
+        **options: Any,
+    ) -> RunReport:
+        if mapping is None:
+            raise BackendError("the processes backend needs a mapping")
+        blackboard, compute, transfer, wall_us = run_multiprocess(
+            mapping, table,
+            max_iterations=max_iterations,
+            args=args,
+            timeout=timeout,
+            start_method=start_method,
+            queue_size=queue_size,
+            shm_threshold=shm_threshold,
+        )
+        trace = Trace()
+        trace.compute = compute
+        trace.transfer = transfer
+        return report_from_blackboard(
+            blackboard, makespan=wall_us, backend=self.name, trace=trace
+        )

@@ -1,0 +1,274 @@
+"""The kernel primitives on OS processes: SKiPPER's port story, realised.
+
+"The code of these primitives ... is the only platform-dependent part of
+the programming environment, making it highly portable" (§3).  This
+module is the second port of the primitive set (after the reference
+:class:`~repro.codegen.kernel.ThreadKernel`): the same generated
+executive, unchanged, runs with *true* parallelism — one OS process per
+mapped processor, so CPU-bound sequential functions escape the GIL.
+
+Topology: the parent creates one bounded :class:`multiprocessing.Queue`
+per inter-processor edge and a shared stop event; every worker process
+loads the full generated executive, but :meth:`ProcessKernel.spawn_`
+only starts the threads of the logical processes mapped onto *its*
+processor (co-located processes communicate through plain in-process
+queues, exactly like the thread kernel).  Large numpy payloads cross
+processor boundaries through POSIX shared memory instead of pickle.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..codegen.kernel import Shutdown, Stop
+from ..machine.trace import Span
+
+try:  # numpy is a hard dependency of the repo, but stay import-safe.
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["SHM_MIN_BYTES", "ProcessKernel"]
+
+#: Below this payload size the pickle path is cheaper than a shared
+#: memory segment (creation + two mappings); measured crossover is in
+#: the tens of kilobytes on Linux.
+SHM_MIN_BYTES = 1 << 16
+
+
+class _ShmRef:
+    """Wire descriptor of a numpy payload parked in shared memory."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+
+    def __repr__(self) -> str:
+        return f"<shm {self.name} {self.dtype}{list(self.shape)}>"
+
+
+def _shm_pack(value: Any, threshold: int) -> Any:
+    """Park large numpy arrays in shared memory; pass anything else through."""
+    if (
+        _np is None
+        or _shared_memory is None
+        or not isinstance(value, _np.ndarray)
+        or value.dtype.hasobject
+        or value.nbytes < threshold
+    ):
+        return value
+    segment = _shared_memory.SharedMemory(create=True, size=value.nbytes)
+    view = _np.ndarray(value.shape, dtype=value.dtype, buffer=segment.buf)
+    view[...] = value
+    ref = _ShmRef(segment.name, value.shape, value.dtype.str)
+    # Ownership transfers to the receiver (it unlinks after attaching);
+    # unregister here so this process's resource tracker does not warn
+    # about — or double-unlink — a segment it no longer owns.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    segment.close()
+    return ref
+
+
+def _shm_unpack(value: Any) -> Any:
+    """Materialise a shared-memory payload; pass anything else through."""
+    if not isinstance(value, _ShmRef):
+        return value
+    segment = _shared_memory.SharedMemory(name=value.name)
+    try:
+        arr = _np.ndarray(
+            value.shape, dtype=_np.dtype(value.dtype), buffer=segment.buf
+        ).copy()
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+    return arr
+
+
+class _RemoteStub:
+    """Stand-in for an executive thread hosted by another OS process."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        return None
+
+    def is_alive(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"<remote thread {self.name}>"
+
+
+class ProcessKernel:
+    """Kernel primitives for one worker process (one mapped processor).
+
+    Instantiated *inside* each worker by the processes backend; the
+    shared plumbing (``remote_channels``, ``stop_event``) is created by
+    the parent and inherited/pickled across.  ``placement`` maps
+    generated thread names to processor ids so :meth:`spawn_` can skip
+    processes that belong elsewhere.
+    """
+
+    def __init__(
+        self,
+        processor: str,
+        *,
+        placement: Dict[str, str],
+        remote_channels: Dict[str, Any],
+        stop_event: Any,
+        queue_size: int = 4,
+        poll_s: float = 0.05,
+        epoch: float = 0.0,
+        shm_threshold: int = SHM_MIN_BYTES,
+        record_spans: bool = True,
+    ):
+        self.processor = processor
+        self.placement = placement
+        self._remote = remote_channels
+        self._local: Dict[str, "queue.Queue"] = {}
+        self._local_lock = threading.Lock()
+        self._stop_event = stop_event
+        self._queue_size = queue_size
+        self._poll_s = poll_s
+        self._epoch = epoch
+        self._shm_threshold = shm_threshold
+        self._record_spans = record_spans
+        self._threads: List[threading.Thread] = []
+        self.stop_token = Stop()
+        self.blackboard: Dict[str, Any] = {}
+        #: Wall-clock compute spans (µs since the shared epoch).
+        self.compute_spans: List[Span] = []
+        #: Wall-clock occupancy of the outgoing inter-processor channels.
+        self.transfer_spans: List[Span] = []
+
+    # -- primitives ------------------------------------------------------------
+
+    def channel(self, edge: str):
+        if edge in self._remote:
+            return self._remote[edge]
+        with self._local_lock:
+            q = self._local.get(edge)
+            if q is None:
+                q = self._local[edge] = queue.Queue(maxsize=self._queue_size)
+            return q
+
+    def spawn_(self, name: str, body: Callable[[], None]):
+        if self.placement.get(name, self.processor) != self.processor:
+            return _RemoteStub(name)
+
+        def runner() -> None:
+            try:
+                body()
+            except Shutdown:
+                pass
+
+        thread = threading.Thread(target=runner, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def send_(self, edge: str, value: Any) -> None:
+        channel = self.channel(edge)
+        remote = edge in self._remote
+        if remote:
+            value = _shm_pack(value, self._shm_threshold)
+            start = time.perf_counter()
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                channel.put(value, timeout=self._poll_s)
+                break
+            except queue.Full:
+                continue
+        if remote and self._record_spans:
+            end = time.perf_counter()
+            self.transfer_spans.append(
+                Span(
+                    edge,
+                    threading.current_thread().name,
+                    (start - self._epoch) * 1e6,
+                    (end - self._epoch) * 1e6,
+                )
+            )
+
+    def recv_(self, edge: str) -> Any:
+        channel = self.channel(edge)
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                return _shm_unpack(channel.get(timeout=self._poll_s))
+            except queue.Empty:
+                continue
+
+    def stop_(self, edge: str) -> None:
+        self.send_(edge, self.stop_token)
+
+    def alt_(self, edges: List[str]) -> Tuple[str, Any]:
+        """Wait for a message on any of ``edges`` (the Transputer ALT)."""
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            for edge in edges:
+                try:
+                    return edge, _shm_unpack(self.channel(edge).get_nowait())
+                except queue.Empty:
+                    continue
+            # Sub-millisecond poll, as in ThreadKernel: ALT latency
+            # directly gates farm throughput.
+            time.sleep(0.0002)
+
+    def call_(self, func: Callable, *args: Any) -> Any:
+        if not self._record_spans:
+            return func(*args)
+        start = time.perf_counter()
+        try:
+            return func(*args)
+        finally:
+            end = time.perf_counter()
+            self.compute_spans.append(
+                Span(
+                    self.processor,
+                    threading.current_thread().name,
+                    (start - self._epoch) * 1e6,
+                    (end - self._epoch) * 1e6,
+                )
+            )
+
+    def is_stop(self, value: Any) -> bool:
+        return isinstance(value, Stop)
+
+    # -- worker-side helpers ---------------------------------------------------
+
+    def local_threads(self) -> List[threading.Thread]:
+        """The executive threads actually started in this process."""
+        return list(self._threads)

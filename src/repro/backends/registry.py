@@ -1,0 +1,50 @@
+"""Backend registry: one process-graph IR, many execution targets.
+
+Modelled on the multi-target code-generation registries of systems like
+DaCe: each backend class registers itself under a short name, and the
+pipeline/CLI resolve names at run time, so adding an execution substrate
+never touches the callers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Backend, BackendError
+
+__all__ = ["register_backend", "get_backend", "list_backends", "backend_names"]
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator adding a :class:`Backend` to the registry."""
+    if not cls.name or cls.name == "?":
+        raise ValueError(f"backend class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"backend {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {backend_names()}"
+        ) from None
+    if not cls.available():
+        raise BackendError(f"backend {name!r} is not available on this host")
+    return cls()
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_backends() -> Dict[str, str]:
+    """Mapping of backend name -> one-line description."""
+    return {name: _REGISTRY[name].description for name in backend_names()}

@@ -1,0 +1,69 @@
+"""Threaded-executive backend (generated code on :class:`ThreadKernel`)."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+from ..codegen.kernel import ThreadKernel
+from ..codegen.pygen import run_generated, thread_name
+from ..core.functions import FunctionTable
+from ..core.ir import Program
+from ..machine.costs import T9000, CostModel
+from ..machine.executive import RunReport
+from ..machine.trace import Trace
+from ..syndex.distribute import Mapping
+from .base import Backend, BackendError, report_from_blackboard
+from .registry import register_backend
+
+__all__ = ["ThreadBackend"]
+
+
+@register_backend
+class ThreadBackend(Backend):
+    """Run the generated executive concurrently on Python threads.
+
+    Real concurrency, shared memory, no serialisation — but the CPython
+    GIL serialises pure-Python compute, so this backend overlaps I/O and
+    models the executive faithfully without multi-core speedup.  Use the
+    ``processes`` backend for CPU-bound kernels.
+    """
+
+    name = "threads"
+    description = "generated executive on Python threads (GIL-bound)"
+    real = True
+
+    def run(
+        self,
+        mapping: Optional[Mapping],
+        table: FunctionTable,
+        *,
+        program: Optional[Program] = None,
+        costs: CostModel = T9000,
+        max_iterations: Optional[int] = None,
+        args: Optional[Tuple] = None,
+        real_time: bool = False,
+        record_trace: bool = False,
+        timeout: float = 120.0,
+        **options: Any,
+    ) -> RunReport:
+        if mapping is None:
+            raise BackendError("the threads backend needs a mapping")
+        trace = Trace() if record_trace else None
+        placement = {
+            thread_name(pid): proc
+            for pid, proc in mapping.assignment.items()
+        }
+        kernel = ThreadKernel(trace=trace, placement=placement)
+        start = time.perf_counter()
+        blackboard = run_generated(
+            mapping, table,
+            kernel=kernel,
+            max_iterations=max_iterations,
+            args=args,
+            timeout=timeout,
+        )
+        wall_us = (time.perf_counter() - start) * 1e6
+        return report_from_blackboard(
+            blackboard, makespan=wall_us, backend=self.name, trace=trace
+        )

@@ -8,6 +8,8 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro compile   spec.ml --functions app:TABLE --arch ring:8 --emit macro
     python -m repro emulate   spec.ml --functions app:TABLE --max-iterations 5
     python -m repro simulate  spec.ml --functions app:TABLE --arch ring:8 --gantt
+    python -m repro run       spec.ml --functions app:TABLE --arch ring:8 --backend processes
+    python -m repro backends
 
 ``--functions`` names the application's sequential-function table as
 ``module:attribute`` (the attribute may be a
@@ -19,13 +21,14 @@ any Python module.
 from __future__ import annotations
 
 import argparse
+import ast
 import importlib
 import sys
 from typing import List, Optional
 
+from .backends import BackendError, backend_names, list_backends
 from .core.functions import FunctionTable
-from .machine.costs import T9000
-from .machine.executive import Executive
+from .machine.executive import RunReport
 from .minicaml.compile import compile_source, typecheck_source
 from .minicaml.types import type_to_str
 from .pipeline import build
@@ -68,6 +71,12 @@ def load_table(spec: str) -> FunctionTable:
         module = importlib.import_module(module_name)
     except ImportError as err:
         raise SystemExit(f"error: cannot import {module_name!r}: {err}")
+    finally:
+        # Repeated in-process calls must not accumulate path entries.
+        try:
+            sys.path.remove(".")
+        except ValueError:
+            pass
     try:
         value = getattr(module, attr)
     except AttributeError:
@@ -133,6 +142,35 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
+def _write_trace(report: RunReport, path: str) -> None:
+    if report.trace is None:
+        print(f"warning: backend {report.backend!r} recorded no trace; "
+              f"{path!r} not written", file=sys.stderr)
+        return
+    with open(path, "w") as handle:
+        handle.write(report.trace.to_chrome_json(indent=2))
+    print(f"trace written to {path} (chrome://tracing / Perfetto)")
+
+
+def _print_report(report: RunReport, args) -> None:
+    print(report.summary())
+    if report.one_shot_results is not None:
+        for idx, value in enumerate(report.one_shot_results):
+            print(f"  result[{idx}] = {value!r}")
+    elif report.outputs:
+        shown = report.outputs[:8]
+        tail = "" if len(report.outputs) <= 8 else f" ... ({len(report.outputs)} total)"
+        print(f"  outputs: {shown!r}{tail}")
+    for proc, frac in sorted(report.utilisation().items()):
+        print(f"  {proc}: {100 * frac:5.1f}% busy")
+    if getattr(args, "gantt", False) and report.trace is not None:
+        from .machine.trace import render_gantt
+
+        print(render_gantt(report.trace, width=args.gantt_width))
+    if getattr(args, "trace_out", None):
+        _write_trace(report, args.trace_out)
+
+
 def _cmd_simulate(args) -> int:
     source = _read_source(args.spec)
     table = load_table(args.functions)
@@ -140,18 +178,58 @@ def _cmd_simulate(args) -> int:
         source, table, parse_architecture(args.arch), entry=args.entry,
         profile_iterations=args.profile,
     )
-    executive = Executive(
-        built.mapping, table, T9000,
-        real_time=args.real_time, record_trace=args.gantt,
+    record = args.gantt or bool(args.trace_out)
+    report = built.run(
+        backend=args.backend,
+        max_iterations=args.max_iterations,
+        real_time=args.real_time,
+        record_trace=record,
     )
-    report = executive.run(args.max_iterations)
-    print(report.summary())
-    for proc, frac in sorted(report.utilisation().items()):
-        print(f"  {proc}: {100 * frac:5.1f}% busy")
-    if args.gantt and executive.trace is not None:
-        from .machine.trace import render_gantt
+    _print_report(report, args)
+    return 0
 
-        print(render_gantt(executive.trace, width=args.gantt_width))
+
+def _parse_run_args(values: List[str]) -> Optional[tuple]:
+    if not values:
+        return None
+    parsed = []
+    for text in values:
+        try:
+            parsed.append(ast.literal_eval(text))
+        except (SyntaxError, ValueError):
+            parsed.append(text)  # bare words pass through as strings
+    return tuple(parsed)
+
+
+def _cmd_run(args) -> int:
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    built = build(
+        source, table, parse_architecture(args.arch), entry=args.entry,
+        profile_iterations=args.profile,
+    )
+    record = args.gantt or bool(args.trace_out)
+    options = {}
+    if args.start_method:
+        options["start_method"] = args.start_method
+    try:
+        report = built.run(
+            backend=args.backend,
+            max_iterations=args.max_iterations,
+            args=_parse_run_args(args.arg),
+            record_trace=record,
+            timeout=args.timeout,
+            **options,
+        )
+    except (BackendError, ValueError) as err:
+        raise SystemExit(f"error: {err}")
+    _print_report(report, args)
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    for name, description in sorted(list_backends().items()):
+        print(f"  {name:<10} {description}")
     return 0
 
 
@@ -203,10 +281,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--max-iterations", type=int, default=None)
     p.add_argument("--real-time", action="store_true",
                    help="25 Hz frame timing with frame skipping")
+    p.add_argument("--backend", choices=backend_names(), default="simulate",
+                   help="execution backend (default: simulate)")
     p.add_argument("--gantt", action="store_true",
                    help="print a text Gantt chart of the run")
     p.add_argument("--gantt-width", type=int, default=72)
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the trace as Chrome trace-event JSON")
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "run", help="execute on a real backend (threads/processes)",
+    )
+    common(p, arch=True)
+    p.add_argument("--backend", choices=backend_names(), default="threads",
+                   help="execution backend (default: threads)")
+    p.add_argument("--max-iterations", type=int, default=None)
+    p.add_argument("--arg", action="append", default=[], metavar="VALUE",
+                   help="one-shot input value (Python literal; repeatable)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="abort a (deadlocked) run after SECONDS")
+    p.add_argument("--start-method", default=None,
+                   choices=("fork", "spawn", "forkserver"),
+                   help="multiprocessing start method (processes backend)")
+    p.add_argument("--gantt", action="store_true",
+                   help="print a text Gantt chart of the run")
+    p.add_argument("--gantt-width", type=int, default=72)
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the trace as Chrome trace-event JSON")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("backends", help="list the execution backends")
+    p.set_defaults(fn=_cmd_backends)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,14 +1,17 @@
 """Code generation: macro-code emission and the executable executive."""
 
-from .kernel import KERNEL_PRIMITIVES, Shutdown, Stop, ThreadKernel
+from .kernel import KERNEL_PRIMITIVES, NO_PIECE, NoPiece, Shutdown, Stop, ThreadKernel
 from .macro import emit_all, emit_macro
-from .pygen import generate_python, load_executive, run_generated
+from .pygen import generate_python, load_executive, run_generated, thread_name
 
 __all__ = [
     "KERNEL_PRIMITIVES",
     "Stop",
+    "NoPiece",
+    "NO_PIECE",
     "Shutdown",
     "ThreadKernel",
+    "thread_name",
     "emit_macro",
     "emit_all",
     "generate_python",

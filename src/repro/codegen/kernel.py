@@ -17,10 +17,21 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["KERNEL_PRIMITIVES", "Stop", "Shutdown", "ThreadKernel"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.trace import Trace
+
+__all__ = [
+    "KERNEL_PRIMITIVES",
+    "Stop",
+    "NoPiece",
+    "NO_PIECE",
+    "Shutdown",
+    "ThreadKernel",
+]
 
 #: The kernel primitive set: name -> (signature, description).
 KERNEL_PRIMITIVES: Dict[str, Tuple[str, str]] = {
@@ -41,6 +52,21 @@ class Stop:
         return "<stop>"
 
 
+class NoPiece:
+    """Placeholder for scm splits shorter than the split degree.
+
+    Tokens cross OS-process boundaries on the multiprocess kernel, so the
+    class lives here (importable, hence picklable) and the generated code
+    tests with ``isinstance`` rather than object identity.
+    """
+
+    def __repr__(self) -> str:
+        return "<no-piece>"
+
+
+NO_PIECE = NoPiece()
+
+
 class Shutdown(Exception):
     """Raised inside executive threads when the run is torn down."""
 
@@ -58,15 +84,31 @@ class ThreadKernel:
     Channels are bounded so constant sources self-throttle instead of
     running arbitrarily ahead of the computation (the Transputer links
     they model are rendezvous channels).
+
+    With ``trace`` set, every ``call_`` records a wall-clock compute span
+    (µs since kernel construction) attributed to the processor hosting
+    the calling thread (``placement`` maps spawned thread names to
+    processor ids) — the same recording the simulator makes in simulated
+    time, so Gantt rendering and busy statistics work on real runs.
     """
 
-    def __init__(self, *, queue_size: int = 4, poll_s: float = 0.05):
+    def __init__(
+        self,
+        *,
+        queue_size: int = 4,
+        poll_s: float = 0.05,
+        trace: Optional["Trace"] = None,
+        placement: Optional[Dict[str, str]] = None,
+    ):
         self._channels: Dict[str, _Channel] = {}
         self._threads: List[threading.Thread] = []
         self._stop_event = threading.Event()
         self._queue_size = queue_size
         self._poll_s = poll_s
         self.stop_token = Stop()
+        self.trace = trace
+        self.placement: Dict[str, str] = placement or {}
+        self._epoch = time.perf_counter()
         #: Scratch space the generated code uses for final results.
         self.blackboard: Dict[str, Any] = {}
 
@@ -127,9 +169,21 @@ class ThreadKernel:
             # throughput (one poll per collected packet).
             self._stop_event.wait(0.0002)
 
-    @staticmethod
-    def call_(func: Callable, *args: Any) -> Any:
-        return func(*args)
+    def call_(self, func: Callable, *args: Any) -> Any:
+        if self.trace is None:
+            return func(*args)
+        start = time.perf_counter()
+        try:
+            return func(*args)
+        finally:
+            end = time.perf_counter()
+            name = threading.current_thread().name
+            self.trace.add_compute(
+                self.placement.get(name, "?"),
+                name,
+                (start - self._epoch) * 1e6,
+                (end - self._epoch) * 1e6,
+            )
 
     def join_(self, sinks: List[threading.Thread], timeout: float = 60.0) -> None:
         """Wait for the sink threads, then tear everything down."""

@@ -24,7 +24,12 @@ from typing import Dict, List, Optional, Tuple
 from ..pnt.graph import Edge, ProcessGraph, ProcessKind
 from ..syndex.distribute import Mapping
 
-__all__ = ["generate_python", "load_executive", "run_generated"]
+__all__ = ["generate_python", "load_executive", "run_generated", "thread_name"]
+
+
+def thread_name(pid: str) -> str:
+    """The executive thread name generated for process ``pid``."""
+    return "proc_" + pid.replace(".", "_").replace("-", "_")
 
 
 def _in_edges(graph: ProcessGraph, pid: str) -> List[Tuple[int, int]]:
@@ -148,7 +153,7 @@ class _Generator:
         body += "        if kernel.is_stop(x):\n"
         body += _stop_all(self.graph, pid, "            ")
         body += "            break\n"
-        body += "        if x is NO_PIECE:\n"
+        body += "        if is_no_piece(x):\n"
         body += _send_all(outs, "NO_PIECE", "            ")
         body += "            continue\n"
         body += f"        y = kernel.call_(table[{proc.func!r}], x)\n"
@@ -197,7 +202,7 @@ class _Generator:
         )
         body += _stop_all(self.graph, pid, "            ")
         body += "            break\n"
-        body += "        parts = [p for p in parts if p is not NO_PIECE]\n"
+        body += "        parts = [p for p in parts if not is_no_piece(p)]\n"
         body += f"        y = kernel.call_(table[{proc.func!r}], x, parts)\n"
         body += _send_all(_out_edges(self.graph, pid, 0), "y", "        ")
         return body
@@ -293,9 +298,7 @@ class _Generator:
         ProcessKind.OUTPUT: gen_output,
     }
 
-    @staticmethod
-    def thread_name(pid: str) -> str:
-        return "proc_" + pid.replace(".", "_").replace("-", "_")
+    thread_name = staticmethod(thread_name)
 
     def generate(self) -> str:
         graph, mapping = self.graph, self.mapping
@@ -310,15 +313,14 @@ class _Generator:
             '"""',
             "",
             "from repro.core.semantics import EndOfStream, TaskOutcome",
+            "from repro.codegen.kernel import NO_PIECE, NoPiece",
             "",
             f"MAX_ITERATIONS = {self.max_iterations!r}",
             "",
             "",
-            "class _NoPiece:",
-            "    pass",
-            "",
-            "",
-            "NO_PIECE = _NoPiece()",
+            "def is_no_piece(x):",
+            "    # isinstance, not identity: tokens may cross OS processes.",
+            "    return isinstance(x, NoPiece)",
             "",
             "",
             "def normalize_outcome(y):",
@@ -381,12 +383,15 @@ def run_generated(
     mapping: Mapping,
     table,
     *,
+    kernel=None,
     max_iterations: Optional[int] = None,
     args: Optional[Tuple] = None,
     timeout: float = 60.0,
 ) -> Dict[str, object]:
-    """Generate, load and run the executive on a :class:`ThreadKernel`.
+    """Generate, load and run the executive on a thread-style kernel.
 
+    ``kernel`` defaults to a fresh :class:`~repro.codegen.kernel.ThreadKernel`;
+    any object implementing the in-process kernel primitives works.
     Returns the kernel blackboard: ``outputs`` / ``final_state`` for
     stream programs, ``result_<i>`` entries for one-shot programs.
     """
@@ -394,17 +399,19 @@ def run_generated(
 
     source = generate_python(mapping, max_iterations=max_iterations)
     module = load_executive(source)
-    kernel = ThreadKernel()
-    if args is not None:
-        inputs = [
-            p for p in mapping.graph.by_kind(ProcessKind.INPUT) if p.func is None
-        ]
-        if len(args) != len(inputs):
-            raise ValueError(
-                f"program takes {len(inputs)} argument(s), got {len(args)}"
-            )
-        for process, value in zip(inputs, args):
-            kernel.blackboard[f"arg_{process.params.get('param')}"] = value
+    if kernel is None:
+        kernel = ThreadKernel()
+    inputs = [
+        p for p in mapping.graph.by_kind(ProcessKind.INPUT) if p.func is None
+    ]
+    if len(args or ()) != len(inputs):
+        # Validate even when args is omitted: a one-shot executive with
+        # unseeded parameters would block until the join timeout.
+        raise ValueError(
+            f"program takes {len(inputs)} argument(s), got {len(args or ())}"
+        )
+    for process, value in zip(inputs, args or ()):
+        kernel.blackboard[f"arg_{process.params.get('param')}"] = value
     fns = {spec.name: spec.fn for spec in table}
     _threads, sinks = module["build_executive"](kernel, fns)
     kernel.join_(sinks, timeout)

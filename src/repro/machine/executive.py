@@ -25,7 +25,10 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .trace import Trace
 
 from ..core.functions import FunctionTable
 from ..core.semantics import EndOfStream, TaskOutcome
@@ -86,7 +89,14 @@ class IterationRecord:
 
 @dataclass
 class RunReport:
-    """Aggregate result of a simulated run."""
+    """Aggregate result of a run (simulated or real).
+
+    Simulated runs report times in simulated microseconds; real-backend
+    runs (``wall_clock=True``) report wall-clock microseconds measured on
+    the host.  ``trace`` carries the per-resource span recording when the
+    run was traced (see :mod:`repro.machine.trace`), and ``backend``
+    names the execution backend that produced the report.
+    """
 
     iterations: List[IterationRecord]
     outputs: List[Any]
@@ -95,6 +105,9 @@ class RunReport:
     proc_busy: Dict[str, float]
     chan_busy: Dict[str, float]
     one_shot_results: Optional[Tuple[Any, ...]] = None
+    trace: Optional["Trace"] = None
+    backend: str = "simulate"
+    wall_clock: bool = False
 
     @property
     def mean_latency(self) -> float:
@@ -127,6 +140,12 @@ class RunReport:
         return {p: b / self.makespan for p, b in self.proc_busy.items()}
 
     def summary(self) -> str:
+        if self.wall_clock:
+            lines = [
+                f"backend {self.backend}: {len(self.outputs)} output(s), "
+                f"wall time {self.makespan / 1000:.2f} ms",
+            ]
+            return "\n".join(lines)
         lines = [
             f"{len(self.iterations)} iteration(s), makespan "
             f"{self.makespan / 1000:.2f} ms",
@@ -626,6 +645,7 @@ class Executive:
             makespan=t,
             proc_busy=dict(self._proc_busy_total),
             chan_busy=dict(self._chan_busy_total),
+            trace=self.trace,
         )
 
     def run_once(self, *args: Any) -> RunReport:
@@ -648,6 +668,7 @@ class Executive:
             proc_busy=dict(self._proc_busy_total),
             chan_busy=dict(self._chan_busy_total),
             one_shot_results=results,
+            trace=self.trace,
         )
 
 

@@ -11,6 +11,7 @@ mapping with.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +58,44 @@ class Trace:
         out.compute = [s for s in self.compute if s.end > t0 and s.start < t1]
         out.transfer = [s for s in self.transfer if s.end > t0 and s.start < t1]
         return out
+
+    def to_chrome_json(self, *, indent: Optional[int] = None) -> str:
+        """Render the trace in Chrome trace-event format.
+
+        The output loads directly into ``chrome://tracing`` or Perfetto:
+        one row ("process") per machine resource, complete (``ph="X"``)
+        events for every compute and transfer span.  Span times are
+        already in microseconds, the unit the format expects.
+        """
+        resources = sorted(
+            {s.resource for s in self.compute} | {s.resource for s in self.transfer}
+        )
+        row = {resource: i + 1 for i, resource in enumerate(resources)}
+        events: List[Dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": resource},
+            }
+            for resource, pid in row.items()
+        ]
+        for category, spans in (("compute", self.compute),
+                                ("transfer", self.transfer)):
+            for span in spans:
+                events.append({
+                    "ph": "X",
+                    "name": span.owner,
+                    "cat": category,
+                    "ts": span.start,
+                    "dur": span.duration,
+                    "pid": row[span.resource],
+                    "tid": 0,
+                })
+        return json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent
+        )
 
 
 def busy_statistics(trace: Trace) -> Dict[str, Tuple[float, int]]:

@@ -107,15 +107,37 @@ def run(
     table: FunctionTable,
     costs: CostModel = T9000,
     *,
+    backend: str = "simulate",
+    program: Optional[Program] = None,
     max_iterations: Optional[int] = None,
     real_time: bool = False,
     args: Optional[Tuple] = None,
+    record_trace: bool = False,
+    timeout: float = 120.0,
+    **options: Any,
 ) -> RunReport:
-    """Execute the mapped program on the simulated machine."""
-    executive = Executive(mapping, table, costs, real_time=real_time)
-    if mapping.graph.by_kind(ProcessKind.MEM):
-        return executive.run(max_iterations)
-    return executive.run_once(*(args or ()))
+    """Execute the mapped program on the selected execution backend.
+
+    ``backend`` names a registered target (``emulate``, ``simulate``,
+    ``threads``, ``processes``, ...); the default is the discrete-event
+    simulator.  ``program`` (the IR) is only needed by backends that
+    bypass the mapping, e.g. ``emulate``.  Backend-specific knobs
+    (``start_method``, ``shm_threshold``, ...) pass through ``options``.
+    """
+    from .backends import get_backend
+
+    return get_backend(backend).run(
+        mapping,
+        table,
+        program=program,
+        costs=costs,
+        max_iterations=max_iterations,
+        real_time=real_time,
+        args=args,
+        record_trace=record_trace,
+        timeout=timeout,
+        **options,
+    )
 
 
 @dataclass
@@ -133,17 +155,26 @@ class BuiltApplication:
     def run(
         self,
         *,
+        backend: str = "simulate",
         max_iterations: Optional[int] = None,
         real_time: bool = False,
         args: Optional[Tuple] = None,
+        record_trace: bool = False,
+        timeout: float = 120.0,
+        **options: Any,
     ) -> RunReport:
         return run(
             self.mapping,
             self.table,
             self.costs,
+            backend=backend,
+            program=self.compiled.ir,
             max_iterations=max_iterations,
             real_time=real_time,
             args=args,
+            record_trace=record_trace,
+            timeout=timeout,
+            **options,
         )
 
     def emulate(self, **kw):

@@ -1,0 +1,118 @@
+"""Unit tests for the multiprocess kernel's building blocks."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends.process_kernel import (
+    SHM_MIN_BYTES,
+    ProcessKernel,
+    _shm_pack,
+    _shm_unpack,
+    _ShmRef,
+)
+from repro.codegen.kernel import Shutdown
+
+
+def make_kernel(**kw):
+    defaults = dict(
+        placement={},
+        remote_channels={},
+        stop_event=threading.Event(),
+        poll_s=0.01,
+    )
+    defaults.update(kw)
+    return ProcessKernel("p0", **defaults)
+
+
+class TestSharedMemoryTransfer:
+    def test_small_arrays_pass_through(self):
+        arr = np.arange(8)
+        assert _shm_pack(arr, SHM_MIN_BYTES) is arr
+
+    def test_non_arrays_pass_through(self):
+        for value in (42, "s", [1, 2], {"k": 1}, None):
+            assert _shm_pack(value, 0) == value or _shm_pack(value, 0) is value
+
+    def test_large_array_roundtrip(self):
+        arr = np.random.default_rng(0).integers(0, 255, size=(256, 256))
+        ref = _shm_pack(arr, 1024)
+        assert isinstance(ref, _ShmRef)
+        back = _shm_unpack(ref)
+        np.testing.assert_array_equal(back, arr)
+
+    def test_ref_survives_pickle(self):
+        arr = np.ones((64, 64), dtype=np.float64)
+        ref = _shm_pack(arr, 1024)
+        ref2 = pickle.loads(pickle.dumps(ref))
+        assert (ref2.name, ref2.shape, ref2.dtype) == (
+            ref.name, ref.shape, ref.dtype,
+        )
+        np.testing.assert_array_equal(_shm_unpack(ref2), arr)
+
+    def test_object_arrays_pass_through(self):
+        arr = np.array([{"a": 1}, None], dtype=object)
+        assert _shm_pack(arr, 0) is arr
+
+    def test_unpack_passthrough(self):
+        assert _shm_unpack("plain") == "plain"
+
+
+class TestKernelPrimitives:
+    def test_local_send_recv(self):
+        kernel = make_kernel()
+        kernel.send_("e0", 42)
+        assert kernel.recv_("e0") == 42
+
+    def test_stop_token_roundtrip(self):
+        kernel = make_kernel()
+        kernel.stop_("e0")
+        assert kernel.is_stop(kernel.recv_("e0"))
+
+    def test_alt_picks_ready_edge(self):
+        kernel = make_kernel()
+        kernel.send_("e1", "hello")
+        edge, value = kernel.alt_(["e0", "e1"])
+        assert (edge, value) == ("e1", "hello")
+
+    def test_spawn_skips_remote_processes(self):
+        kernel = make_kernel(placement={"proc_far": "p9", "proc_near": "p0"})
+        ran = []
+        stub = kernel.spawn_("proc_far", lambda: ran.append("far"))
+        assert not stub.is_alive()
+        stub.join()  # must be a no-op, not an error
+        thread = kernel.spawn_("proc_near", lambda: ran.append("near"))
+        thread.join(5.0)
+        assert ran == ["near"]
+        assert kernel.local_threads() == [thread]
+
+    def test_stop_event_unblocks_recv(self):
+        stop = threading.Event()
+        kernel = make_kernel(stop_event=stop)
+        stop.set()
+        with pytest.raises(Shutdown):
+            kernel.recv_("never")
+
+    def test_stop_event_unblocks_send_on_full_queue(self):
+        stop = threading.Event()
+        kernel = make_kernel(stop_event=stop, queue_size=1)
+        kernel.send_("e0", 1)  # fills the queue
+        timer = threading.Timer(0.05, stop.set)
+        timer.start()
+        with pytest.raises(Shutdown):
+            kernel.send_("e0", 2)
+        timer.cancel()
+
+    def test_call_records_wall_clock_spans(self):
+        kernel = make_kernel()
+        assert kernel.call_(lambda a, b: a + b, 2, 3) == 5
+        (span,) = kernel.compute_spans
+        assert span.resource == "p0"
+        assert span.end >= span.start >= 0.0
+
+    def test_call_without_recording(self):
+        kernel = make_kernel(record_spans=False)
+        assert kernel.call_(lambda: 7) == 7
+        assert kernel.compute_spans == []

@@ -1,0 +1,66 @@
+"""Tests for the backend registry and the common interface."""
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    BackendError,
+    EmulateBackend,
+    ProcessBackend,
+    SimulateBackend,
+    ThreadBackend,
+    backend_names,
+    get_backend,
+    list_backends,
+)
+from repro.backends.registry import register_backend
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ["emulate", "processes", "simulate", "threads"]
+
+    def test_get_backend_returns_instances(self):
+        for name, cls in [
+            ("emulate", EmulateBackend),
+            ("simulate", SimulateBackend),
+            ("threads", ThreadBackend),
+            ("processes", ProcessBackend),
+        ]:
+            backend = get_backend(name)
+            assert isinstance(backend, cls)
+            assert backend.name == name
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(BackendError, match="emulate"):
+            get_backend("transputer")
+
+    def test_list_backends_has_descriptions(self):
+        listed = list_backends()
+        assert set(listed) == set(backend_names())
+        assert all(listed.values())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend
+            class Clashing(Backend):  # noqa: F811 - intentionally clashing
+                name = "threads"
+                description = "clash"
+
+    def test_anonymous_registration_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+
+            @register_backend
+            class Nameless(Backend):
+                description = "no name"
+
+    def test_real_flags(self):
+        assert not get_backend("emulate").real
+        assert not get_backend("simulate").real
+        assert get_backend("threads").real
+        assert get_backend("processes").real
+
+    def test_emulate_needs_program(self):
+        with pytest.raises(BackendError, match="program"):
+            get_backend("emulate").run(None, None)

@@ -1,5 +1,7 @@
 """Tests for execution tracing and Gantt rendering."""
 
+import json
+
 import pytest
 
 from repro.core import FunctionTable, ProgramBuilder
@@ -125,3 +127,45 @@ class TestGantt:
     def test_degenerate_window(self):
         executive, _report = traced_run()
         assert render_gantt(executive.trace, t0=5.0, t1=5.0) == "(empty window)"
+
+
+class TestChromeJson:
+    def test_empty_trace(self):
+        doc = json.loads(Trace().to_chrome_json())
+        assert doc["traceEvents"] == []
+
+    def test_events_match_spans(self):
+        executive, _report = traced_run()
+        trace = executive.trace
+        doc = json.loads(trace.to_chrome_json())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(trace.compute) + len(trace.transfer)
+        categories = {e["cat"] for e in complete}
+        assert categories == {"compute", "transfer"}
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_metadata_names_every_resource(self):
+        executive, _report = traced_run()
+        trace = executive.trace
+        doc = json.loads(trace.to_chrome_json(indent=2))
+        metadata = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        resources = {
+            s.resource for s in trace.compute + trace.transfer
+        }
+        assert {m["args"]["name"] for m in metadata} == resources
+
+    def test_pid_groups_rows(self):
+        executive, _report = traced_run()
+        doc = json.loads(executive.trace.to_chrome_json())
+        events = doc["traceEvents"]
+        pid_of = {
+            e["args"]["name"]: e["pid"]
+            for e in events if e["ph"] == "M"
+        }
+        assert len(set(pid_of.values())) == len(pid_of)  # one row each

@@ -90,6 +90,15 @@ class TestParsers:
         with pytest.raises(SystemExit, match="module:attribute"):
             load_table("justamodule")
 
+    def test_load_table_does_not_leak_sys_path(self, workspace):
+        before = sys.path.count(".")
+        load_table("app_functions:TABLE")
+        assert sys.path.count(".") == before
+        # The cleanup must also run on the failure paths.
+        with pytest.raises(SystemExit):
+            load_table("no_such_module:TABLE")
+        assert sys.path.count(".") == before
+
 
 class TestCommands:
     def test_typecheck(self, workspace, capsys):
@@ -149,6 +158,64 @@ class TestCommands:
         with pytest.raises(SystemExit, match="cannot read"):
             main(["typecheck", "ghost.ml", "--functions",
                   "app_functions:TABLE"])
+
+
+class TestBackendSelection:
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("emulate", "simulate", "threads", "processes"):
+            assert name in out
+
+    def test_run_threads_one_shot(self, workspace, capsys):
+        assert main([
+            "run", "spec.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:3", "--arg", "[1, 2, 3]",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend threads" in out
+        assert "result[0] = 14" in out  # 1 + 4 + 9
+
+    def test_run_processes_stream(self, workspace, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("lambda tables need the fork start method")
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "run", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--backend", "processes",
+            "--timeout", "60", "--start-method", "fork",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend processes" in out
+        assert "outputs: [0, 1, 3, 6]" in out
+
+    def test_simulate_with_emulate_backend(self, workspace, capsys):
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "simulate", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--backend", "emulate",
+        ]) == 0
+        assert "outputs: [0, 1, 3, 6]" in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_json(self, workspace, capsys):
+        import json
+
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "simulate", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2", "--trace-out", "trace.json",
+        ]) == 0
+        doc = json.loads((workspace / "trace.json").read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert "trace written" in capsys.readouterr().out
 
 
 class TestProfileFlag:

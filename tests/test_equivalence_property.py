@@ -143,3 +143,28 @@ class TestGeneratedCodeEquivalence:
         mapping = distribute(expand_program(prog, table), ring(3))
         blackboard = run_generated(mapping, table, args=(xs,))
         assert blackboard["result_0"] == expected[0]
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="lambda tables need the fork start method",
+)
+class TestProcessBackendEquivalence:
+    """A few samples through the multiprocess backend (it is slow to
+    spin up OS processes, so the bulk of the coverage stays on the
+    simulated/threaded paths; the dedicated four-way suite is in
+    tests/backends/)."""
+
+    @given(recipes, inputs)
+    @settings(max_examples=3, deadline=None)
+    def test_process_backend_matches_emulation(self, recipe, xs):
+        from repro.backends import get_backend
+
+        table = make_table()
+        prog = build_program(table, recipe)
+        expected = emulate_once(prog, table, xs)
+        mapping = distribute(expand_program(prog, table), ring(3))
+        report = get_backend("processes").run(
+            mapping, table, args=(xs,), timeout=60.0, start_method="fork",
+        )
+        assert report.one_shot_results == expected
