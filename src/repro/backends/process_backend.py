@@ -59,9 +59,10 @@ def _worker_main(payload: Dict[str, Any]) -> None:
     results = payload["results"]
     stop = payload["stop"]
     processor = payload["processor"]
+    base: Optional[ProcessKernel] = None
     try:
         module = load_executive(payload["source"])
-        kernel = ProcessKernel(
+        base = ProcessKernel(
             processor,
             placement=payload["placement"],
             remote_channels=payload["remote"],
@@ -72,6 +73,21 @@ def _worker_main(payload: Dict[str, Any]) -> None:
             shm_threshold=payload["shm_threshold"],
             record_spans=payload["record_spans"],
         )
+        kernel: Any = base
+        faults = payload.get("faults")
+        if faults is not None:
+            from ..faults.report import FaultReport
+            from ..faults.supervisor import HealthBoard, SupervisedKernel
+
+            kernel = SupervisedKernel(
+                base,
+                faults["topology"],
+                plan=faults["plan"],
+                policy=faults["policy"],
+                report=FaultReport(),
+                board=HealthBoard(faults["board"]),
+                processor=processor,
+            )
         kernel.blackboard.update(payload["seed"])
         _threads, sinks = module["build_executive"](kernel, payload["fns"])
         local_sinks = [t for t in sinks if isinstance(t, threading.Thread)]
@@ -81,16 +97,29 @@ def _worker_main(payload: Dict[str, Any]) -> None:
         if local_sinks and not stop.is_set():
             results.put(("sinks", processor))
         stop.wait()
-        for thread in kernel.local_threads():
+        for thread in base.local_threads():
             thread.join(0.5)
+        if faults is not None:
+            # Stop the heartbeat thread before this process exits: dying
+            # with a daemon thread inside a shared semaphore would poison
+            # it for the other processes.
+            kernel.shutdown()
+        fault_payload = (
+            kernel.fault_report.to_payload() if faults is not None else []
+        )
         results.put(
-            ("done", processor, kernel.blackboard,
-             kernel.compute_spans, kernel.transfer_spans)
+            ("done", processor, base.blackboard,
+             base.compute_spans, base.transfer_spans, fault_payload)
         )
     except Exception:
         stop.set()
         results.put(("error", processor, traceback.format_exc()))
     finally:
+        if base is not None:
+            # Reclaim shm segments whose receiver never attached: without
+            # this, a crashed receiver (or an early stop) leaks the
+            # segment in /dev/shm for the life of the machine.
+            base.release_shm()
         # Unflushed data queues must not block interpreter exit.
         for q in payload["remote"].values():
             try:
@@ -131,12 +160,16 @@ def run_multiprocess(
     poll_s: float = 0.02,
     shm_threshold: int = SHM_MIN_BYTES,
     record_spans: bool = True,
-) -> Tuple[Dict[str, Any], List, List, float]:
+    fault_plan: Optional[Any] = None,
+    fault_policy: Optional[Any] = None,
+) -> Tuple[Dict[str, Any], List, List, float, Any]:
     """Run the mapped program on OS processes.
 
-    Returns ``(blackboard, compute_spans, transfer_spans, wall_us)``:
-    the merged kernel blackboards, the wall-clock spans of every worker
-    (µs since the run epoch), and the total wall time.
+    Returns ``(blackboard, compute_spans, transfer_spans, wall_us,
+    fault_report)``: the merged kernel blackboards, the wall-clock spans
+    of every worker (µs since the run epoch), the total wall time, and —
+    when ``fault_plan`` enabled supervision — the merged
+    :class:`~repro.faults.report.FaultReport` (else ``None``).
     """
     graph = mapping.graph
     fns = {spec.name: spec.fn for spec in table}
@@ -166,10 +199,27 @@ def run_multiprocess(
             remote[f"e{idx}"] = ctx.Queue(maxsize=queue_size)
 
     stop_event = ctx.Event()
-    results = ctx.Queue()
     participating = [
         p for p in mapping.arch.processor_ids() if mapping.processes_on(p)
     ]
+    # Each worker posts at most two control messages ("sinks" + "done" or
+    # "error"); bound the queue so a runaway producer cannot grow memory
+    # without limit against a stalled parent.
+    results = ctx.Queue(maxsize=2 * len(participating) + 4)
+
+    faults: Optional[Dict[str, Any]] = None
+    if fault_plan is not None:
+        from ..faults.policy import FaultPolicy
+        from ..faults.topology import FaultTopology
+
+        topology = FaultTopology.from_mapping(mapping)
+        faults = {
+            "plan": fault_plan,
+            "policy": fault_policy or FaultPolicy(),
+            "topology": topology,
+            # Lock-free: single-writer slots, aligned 8-byte stores.
+            "board": ctx.Array("d", max(1, topology.n_slots), lock=False),
+        }
     sink_procs = {
         mapping.processor_of(p.id)
         for p in graph.processes.values()
@@ -196,6 +246,7 @@ def run_multiprocess(
             "poll_s": poll_s,
             "shm_threshold": shm_threshold,
             "record_spans": record_spans,
+            "faults": faults,
         }
         worker = ctx.Process(
             target=_worker_main, args=(payload,),
@@ -209,6 +260,7 @@ def run_multiprocess(
     done: Dict[str, Dict[str, Any]] = {}
     compute_spans: List = []
     transfer_spans: List = []
+    fault_payloads: List = []
     error: Optional[Tuple[str, str]] = None
 
     def absorb(message: Tuple) -> None:
@@ -220,17 +272,22 @@ def run_multiprocess(
             done[message[1]] = message[2]
             compute_spans.extend(message[3])
             transfer_spans.extend(message[4])
+            if len(message) > 5:
+                fault_payloads.extend(message[5])
         elif tag == "error":
             error = (message[1], message[2])
 
+    stop_raised = False
     try:
         while waiting_sinks and error is None:
             absorb(_collect(results, deadline, workers))
         stop_event.set()
+        stop_raised = True
         while len(done) < len(participating) and error is None:
             absorb(_collect(results, deadline, workers))
     finally:
-        stop_event.set()
+        if not stop_raised:
+            stop_event.set()
         for worker in workers:
             worker.join(2.0)
         for worker in workers:
@@ -250,7 +307,12 @@ def run_multiprocess(
         blackboard.update(done.get(proc_id, {}))
     compute_spans.sort(key=lambda s: s.start)
     transfer_spans.sort(key=lambda s: s.start)
-    return blackboard, compute_spans, transfer_spans, wall_us
+    fault_report = None
+    if faults is not None:
+        from ..faults.report import FaultReport
+
+        fault_report = FaultReport.from_payload(fault_payloads).sorted()
+    return blackboard, compute_spans, transfer_spans, wall_us, fault_report
 
 
 @register_backend
@@ -284,11 +346,13 @@ class ProcessBackend(Backend):
         start_method: Optional[str] = None,
         queue_size: int = 4,
         shm_threshold: int = SHM_MIN_BYTES,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
             raise BackendError("the processes backend needs a mapping")
-        blackboard, compute, transfer, wall_us = run_multiprocess(
+        blackboard, compute, transfer, wall_us, fault_report = run_multiprocess(
             mapping, table,
             max_iterations=max_iterations,
             args=args,
@@ -296,10 +360,16 @@ class ProcessBackend(Backend):
             start_method=start_method,
             queue_size=queue_size,
             shm_threshold=shm_threshold,
+            fault_plan=fault_plan,
+            fault_policy=fault_policy,
         )
         trace = Trace()
         trace.compute = compute
         trace.transfer = transfer
-        return report_from_blackboard(
+        if fault_report is not None:
+            fault_report.annotate_trace(trace)
+        report = report_from_blackboard(
             blackboard, makespan=wall_us, backend=self.name, trace=trace
         )
+        report.faults = fault_report
+        return report

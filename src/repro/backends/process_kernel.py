@@ -64,8 +64,16 @@ class _ShmRef:
         return f"<shm {self.name} {self.dtype}{list(self.shape)}>"
 
 
-def _shm_pack(value: Any, threshold: int) -> Any:
-    """Park large numpy arrays in shared memory; pass anything else through."""
+def _shm_pack(value: Any, threshold: int, owned: Optional[set] = None) -> Any:
+    """Park large numpy arrays in shared memory; pass anything else through.
+
+    ``owned`` collects the segment names this sender has created but not
+    yet seen claimed: ownership normally transfers to the receiver (it
+    unlinks after attaching), but a receiver that dies — or a run torn
+    down — before attaching would leak the segment forever.  The kernel
+    unlinks everything still in ``owned`` at shutdown; double unlinks
+    are harmless (``FileNotFoundError`` is swallowed on both sides).
+    """
     if (
         _np is None
         or _shared_memory is None
@@ -88,6 +96,8 @@ def _shm_pack(value: Any, threshold: int) -> Any:
     except Exception:
         pass
     segment.close()
+    if owned is not None:
+        owned.add(ref.name)
     return ref
 
 
@@ -95,7 +105,12 @@ def _shm_unpack(value: Any) -> Any:
     """Materialise a shared-memory payload; pass anything else through."""
     if not isinstance(value, _ShmRef):
         return value
-    segment = _shared_memory.SharedMemory(name=value.name)
+    try:
+        segment = _shared_memory.SharedMemory(name=value.name)
+    except FileNotFoundError:
+        # The sender reclaimed the segment at shutdown before we could
+        # attach: the run is being torn down, unwind this thread.
+        raise Shutdown
     try:
         arr = _np.ndarray(
             value.shape, dtype=_np.dtype(value.dtype), buffer=segment.buf
@@ -162,6 +177,8 @@ class ProcessKernel:
         self._shm_threshold = shm_threshold
         self._record_spans = record_spans
         self._threads: List[threading.Thread] = []
+        #: Names of shm segments created here and possibly never claimed.
+        self._owned_shm: set = set()
         self.stop_token = Stop()
         self.blackboard: Dict[str, Any] = {}
         #: Wall-clock compute spans (µs since the shared epoch).
@@ -199,7 +216,7 @@ class ProcessKernel:
         channel = self.channel(edge)
         remote = edge in self._remote
         if remote:
-            value = _shm_pack(value, self._shm_threshold)
+            value = _shm_pack(value, self._shm_threshold, self._owned_shm)
             start = time.perf_counter()
         while True:
             if self._stop_event.is_set():
@@ -229,6 +246,17 @@ class ProcessKernel:
                 return _shm_unpack(channel.get(timeout=self._poll_s))
             except queue.Empty:
                 continue
+
+    def try_recv_(self, edge: str) -> Any:
+        """Non-blocking receive: raises ``queue.Empty`` when idle.
+
+        Not used by generated executives; the fault supervisor polls
+        with it so one thread can watch several channels *and* run
+        timeout scans between polls.
+        """
+        if self._stop_event.is_set():
+            raise Shutdown
+        return _shm_unpack(self.channel(edge).get_nowait())
 
     def stop_(self, edge: str) -> None:
         self.send_(edge, self.stop_token)
@@ -272,3 +300,27 @@ class ProcessKernel:
     def local_threads(self) -> List[threading.Thread]:
         """The executive threads actually started in this process."""
         return list(self._threads)
+
+    def release_shm(self) -> None:
+        """Unlink every shm segment this kernel created and still owns.
+
+        Called at worker shutdown: segments whose receiver attached are
+        already gone (``FileNotFoundError`` swallowed); segments whose
+        receiver never attached — it crashed, or the run stopped first —
+        would otherwise outlive the interpreter in ``/dev/shm``.
+        """
+        if _shared_memory is None:
+            return
+        names, self._owned_shm = self._owned_shm, set()
+        for name in names:
+            try:
+                segment = _shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue  # claimed by its receiver: the common case
+            except Exception:  # pragma: no cover - platform oddities
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost race
+                pass

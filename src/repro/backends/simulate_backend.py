@@ -41,6 +41,8 @@ class SimulateBackend(Backend):
         real_time: bool = False,
         record_trace: bool = False,
         timeout: float = 120.0,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -48,6 +50,7 @@ class SimulateBackend(Backend):
         executive = Executive(
             mapping, table, costs,
             real_time=real_time, record_trace=record_trace,
+            fault_plan=fault_plan, fault_policy=fault_policy,
         )
         if mapping.graph.by_kind(ProcessKind.MEM):
             report = executive.run(max_iterations)

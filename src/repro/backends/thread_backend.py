@@ -45,6 +45,8 @@ class ThreadBackend(Backend):
         real_time: bool = False,
         record_trace: bool = False,
         timeout: float = 120.0,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -54,7 +56,19 @@ class ThreadBackend(Backend):
             thread_name(pid): proc
             for pid, proc in mapping.assignment.items()
         }
-        kernel = ThreadKernel(trace=trace, placement=placement)
+        kernel: Any = ThreadKernel(trace=trace, placement=placement)
+        fault_report = None
+        if fault_plan is not None:
+            from ..faults.supervisor import SupervisedKernel
+            from ..faults.topology import FaultTopology
+
+            kernel = SupervisedKernel(
+                kernel,
+                FaultTopology.from_mapping(mapping),
+                plan=fault_plan,
+                policy=fault_policy,
+            )
+            fault_report = kernel.fault_report
         start = time.perf_counter()
         blackboard = run_generated(
             mapping, table,
@@ -64,6 +78,12 @@ class ThreadBackend(Backend):
             timeout=timeout,
         )
         wall_us = (time.perf_counter() - start) * 1e6
-        return report_from_blackboard(
+        if fault_report is not None:
+            fault_report.sorted()
+            if trace is not None:
+                fault_report.annotate_trace(trace)
+        report = report_from_blackboard(
             blackboard, makespan=wall_us, backend=self.name, trace=trace
         )
+        report.faults = fault_report
+        return report

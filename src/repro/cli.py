@@ -9,6 +9,8 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro emulate   spec.ml --functions app:TABLE --max-iterations 5
     python -m repro simulate  spec.ml --functions app:TABLE --arch ring:8 --gantt
     python -m repro run       spec.ml --functions app:TABLE --arch ring:8 --backend processes
+    python -m repro run       spec.ml --functions app:TABLE --faults plan.json
+    python -m repro faults    --skeleton scm --backend processes
     python -m repro backends
 
 ``--functions`` names the application's sequential-function table as
@@ -183,10 +185,40 @@ def _cmd_simulate(args) -> int:
         backend=args.backend,
         max_iterations=args.max_iterations,
         real_time=args.real_time,
+        args=_parse_run_args(args.arg),
         record_trace=record,
+        **_load_fault_plan(args),
     )
     _print_report(report, args)
     return 0
+
+
+def _add_fault_options(p) -> None:
+    p.add_argument("--faults", metavar="PLAN.json", default=None,
+                   help="inject faults from a FaultPlan JSON file and "
+                        "enable farm supervision")
+    p.add_argument("--fault-timeout", type=float, default=None, metavar="S",
+                   help="per-packet dispatch deadline in seconds "
+                        "(real backends; heartbeat deadline is S/2)")
+
+
+def _load_fault_plan(args) -> dict:
+    """Backend options implementing ``--faults PLAN.json``."""
+    if not getattr(args, "faults", None):
+        return {}
+    from .faults import FaultPlan, FaultPolicy, PlanError
+
+    try:
+        plan = FaultPlan.load(args.faults)
+    except (OSError, PlanError) as err:
+        raise SystemExit(f"error: cannot load fault plan: {err}")
+    options = {"fault_plan": plan}
+    if getattr(args, "fault_timeout", None):
+        options["fault_policy"] = FaultPolicy(
+            packet_timeout_s=args.fault_timeout,
+            heartbeat_timeout_s=args.fault_timeout / 2,
+        )
+    return options
 
 
 def _parse_run_args(values: List[str]) -> Optional[tuple]:
@@ -209,7 +241,7 @@ def _cmd_run(args) -> int:
         profile_iterations=args.profile,
     )
     record = args.gantt or bool(args.trace_out)
-    options = {}
+    options = _load_fault_plan(args)
     if args.start_method:
         options["start_method"] = args.start_method
     try:
@@ -227,6 +259,12 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .faults.demo import main as demo_main
+
+    return demo_main([])
+
+
 def _cmd_backends(args) -> int:
     for name, description in sorted(list_backends().items()):
         print(f"  {name:<10} {description}")
@@ -234,6 +272,13 @@ def _cmd_backends(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``faults`` owns its whole option surface (argparse.REMAINDER cannot
+    # pass through leading ``--option`` tokens), so hand over early.
+    if argv[:1] == ["faults"]:
+        from .faults.demo import main as demo_main
+
+        return demo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SKiPPER: skeleton-based parallel programming environment",
@@ -279,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("simulate", help="run on the simulated machine")
     common(p, arch=True)
     p.add_argument("--max-iterations", type=int, default=None)
+    p.add_argument("--arg", action="append", default=[], metavar="VALUE",
+                   help="one-shot input value (Python literal; repeatable)")
     p.add_argument("--real-time", action="store_true",
                    help="25 Hz frame timing with frame skipping")
     p.add_argument("--backend", choices=backend_names(), default="simulate",
@@ -288,6 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--gantt-width", type=int, default=72)
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write the trace as Chrome trace-event JSON")
+    _add_fault_options(p)
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser(
@@ -309,7 +357,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--gantt-width", type=int, default=72)
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write the trace as Chrome trace-event JSON")
+    _add_fault_options(p)
     p.set_defaults(fn=_cmd_run)
+
+    # Listed for --help only; main() dispatches to the demo before parsing.
+    p = sub.add_parser(
+        "faults",
+        help="demonstrate fault injection and supervised recovery",
+        add_help=False,
+    )
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("backends", help="list the execution backends")
     p.set_defaults(fn=_cmd_backends)

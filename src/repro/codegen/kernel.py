@@ -38,6 +38,10 @@ KERNEL_PRIMITIVES: Dict[str, Tuple[str, str]] = {
     "spawn_": ("(name, body) -> thread", "create and start an executive thread"),
     "send_": ("(edge, value) -> unit", "blocking send on a logical channel"),
     "recv_": ("(edge) -> value", "blocking receive on a logical channel"),
+    "try_recv_": (
+        "(edge) -> value | raises queue.Empty",
+        "non-blocking receive (supervisor polling; not used by generated code)",
+    ),
     "call_": ("(func, *args) -> value", "run a user sequential function"),
     "stop_": ("(edge) -> unit", "propagate end-of-stream on a channel"),
     "alt_": ("(edges) -> (edge, value)", "wait on several channels (ALT)"),
@@ -151,6 +155,17 @@ class ThreadKernel:
                 return channel.q.get(timeout=self._poll_s)
             except queue.Empty:
                 continue
+
+    def try_recv_(self, edge: str) -> Any:
+        """Non-blocking receive: raises ``queue.Empty`` when idle.
+
+        Not used by generated executives; the fault supervisor polls
+        with it so one thread can watch several channels *and* run
+        timeout scans between polls.
+        """
+        if self._stop_event.is_set():
+            raise Shutdown
+        return self.channel(edge).q.get_nowait()
 
     def stop_(self, edge: str) -> None:
         self.send_(edge, self.stop_token)

@@ -1,0 +1,260 @@
+"""Deterministic fault-injection plans.
+
+A :class:`FaultPlan` is a *seeded, reproducible* description of what
+should go wrong during a run: crash/stall/delay/message-drop events
+keyed by process id, processor, or edge, each firing at its n-th
+matching occurrence.  The same plan file drives every execution layer —
+the discrete-event simulator charges fault costs in virtual time, the
+threads and processes kernels inject real crashes and stalls — so a
+scenario debugged on the simulator reproduces bit-for-bit on real
+workers.
+
+Plans serialise to a small JSON document (``repro run --faults
+PLAN.json``)::
+
+    {"version": 1,
+     "events": [
+        {"kind": "crash", "process": "df0.worker1", "occurrence": 0},
+        {"kind": "delay", "processor": "P2", "delay_us": 5000},
+        {"kind": "drop", "edge": "e7", "occurrence": 1}
+     ]}
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "PlanMatcher",
+    "PlanError",
+]
+
+#: The supported fault kinds.
+#:
+#: * ``crash`` — the target executive process dies mid-computation;
+#: * ``stall`` — the target hangs (never returns) until teardown;
+#: * ``delay`` — the target's computation takes ``delay_us`` longer;
+#: * ``drop``  — one message on the target edge is silently lost.
+FAULT_KINDS = ("crash", "stall", "delay", "drop")
+
+
+class PlanError(ValueError):
+    """A fault plan could not be parsed or is inconsistent."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Exactly one of ``process`` (process-graph id, e.g. ``df0.worker1``),
+    ``processor`` (architecture id, e.g. ``P2``) or ``edge`` (``e<i>``,
+    the index into ``graph.edges``) selects the target.  ``occurrence``
+    picks the n-th matching event (0-based): for compute faults the n-th
+    firing of the target, for drops the n-th message on the edge — this
+    is how a fault is keyed to a particular stream iteration.
+    """
+
+    kind: str
+    process: Optional[str] = None
+    processor: Optional[str] = None
+    edge: Optional[str] = None
+    occurrence: int = 0
+    delay_us: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise PlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        targets = [t for t in (self.process, self.processor, self.edge) if t]
+        if len(targets) != 1:
+            raise PlanError(
+                f"fault {self.kind!r} must name exactly one of process/"
+                f"processor/edge, got {targets!r}"
+            )
+        if self.kind == "drop" and self.edge is None:
+            raise PlanError("drop faults target an edge")
+        if self.kind != "drop" and self.edge is not None:
+            raise PlanError(f"{self.kind!r} faults target a process/processor")
+        if self.occurrence < 0:
+            raise PlanError("occurrence must be >= 0")
+
+    @property
+    def target(self) -> str:
+        return self.process or self.processor or self.edge or "?"
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind, "occurrence": self.occurrence}
+        for key in ("process", "processor", "edge"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.kind == "delay":
+            out["delay_us"] = self.delay_us
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSpec":
+        known = {"kind", "process", "processor", "edge", "occurrence",
+                 "delay_us"}
+        unknown = set(data) - known
+        if unknown:
+            raise PlanError(f"unknown fault-event field(s) {sorted(unknown)}")
+        if "kind" not in data:
+            raise PlanError("fault event is missing 'kind'")
+        return cls(**data)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of planned faults (JSON round-trippable)."""
+
+    events: List[FaultSpec] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"version": 1,
+                     "events": [e.to_dict() for e in self.events]}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        return out
+
+    def dumps(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dumps() + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise PlanError(f"fault plan must be an object, got "
+                            f"{type(data).__name__}")
+        version = data.get("version", 1)
+        if version != 1:
+            raise PlanError(f"unsupported fault-plan version {version!r}")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise PlanError("'events' must be a list")
+        return cls(
+            events=[FaultSpec.from_dict(e) for e in events],
+            seed=data.get("seed"),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise PlanError(f"fault plan is not valid JSON: {err}") from err
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    # -- generation --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        workers: Sequence[str],
+        kinds: Sequence[str] = ("crash",),
+        n_events: int = 1,
+        max_occurrence: int = 0,
+        delay_us: float = 5_000.0,
+    ) -> "FaultPlan":
+        """A deterministic seeded plan over the given worker processes.
+
+        The same ``(seed, workers, kinds, n_events)`` always yields the
+        same plan, so chaos scenarios are replayable from one integer.
+        """
+        rng = random.Random(seed)
+        events = []
+        for _ in range(n_events):
+            kind = rng.choice(list(kinds))
+            events.append(
+                FaultSpec(
+                    kind=kind,
+                    process=rng.choice(list(workers)),
+                    occurrence=rng.randint(0, max_occurrence),
+                    delay_us=delay_us if kind == "delay" else 0.0,
+                )
+            )
+        return cls(events=events, seed=seed)
+
+
+class PlanMatcher:
+    """Stateful runtime matcher: counts occurrences, fires each spec once.
+
+    Injection sites call :meth:`fire` with what they know about the
+    current event (the firing process, its processor, the edge being
+    sent on) and get back the specs that trigger *now*.  Each spec keeps
+    its own match counter, so ``occurrence=k`` fires on its k-th match
+    and never again — deterministic regardless of thread interleaving
+    (the counter is guarded by a lock for the real backends).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._counts = [0] * len(plan.events)
+        self._fired = [False] * len(plan.events)
+        self._lock = threading.Lock()
+
+    def fire(
+        self,
+        *,
+        process: Optional[str] = None,
+        processor: Optional[str] = None,
+        edge: Optional[str] = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> List[FaultSpec]:
+        """Specs triggering on this event (and consume their occurrence)."""
+        triggered: List[FaultSpec] = []
+        with self._lock:
+            for i, spec in enumerate(self.plan.events):
+                if kinds is not None and spec.kind not in kinds:
+                    continue
+                if spec.edge is not None:
+                    if edge is None or spec.edge != edge:
+                        continue
+                elif spec.process is not None:
+                    if process is None or spec.process != process:
+                        continue
+                else:
+                    if processor is None or spec.processor != processor:
+                        continue
+                count = self._counts[i]
+                self._counts[i] = count + 1
+                if not self._fired[i] and count == spec.occurrence:
+                    self._fired[i] = True
+                    triggered.append(spec)
+        return triggered
+
+    def pending(self) -> List[FaultSpec]:
+        """Specs that have not fired (e.g. their target never ran)."""
+        return [
+            spec
+            for spec, fired in zip(self.plan.events, self._fired)
+            if not fired
+        ]

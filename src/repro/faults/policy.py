@@ -1,0 +1,44 @@
+"""Supervision tuning knobs shared by all fault-aware execution layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How aggressively the supervised executive detects and recovers.
+
+    The defaults suit interactive runs (sub-second detection without
+    false positives on a loaded laptop); chaos tests shrink the timeouts
+    to keep the suite fast.
+    """
+
+    #: Seconds a dispatched packet may stay unanswered before the
+    #: supervisor suspects the worker (first attempt; grows by
+    #: ``backoff`` per re-dispatch).
+    packet_timeout_s: float = 0.5
+    #: Seconds between heartbeat writes from each worker OS process.
+    heartbeat_interval_s: float = 0.02
+    #: Heartbeat staleness that marks an OS process dead.
+    heartbeat_timeout_s: float = 0.2
+    #: A worker whose heartbeat is *fresh* but whose packet is overdue is
+    #: merely slow: its deadline stretches up to ``stall_factor`` times
+    #: before it is declared stalled and quarantined anyway.
+    stall_factor: float = 4.0
+    #: Re-dispatch budget per packet before it is abandoned (and the
+    #: run aborts rather than silently losing data).
+    max_redispatch: int = 3
+    #: Multiplier applied to the packet timeout on each re-dispatch.
+    backoff: float = 1.5
+    #: Supervisor polling granularity while blocked in ``alt_``.
+    poll_s: float = 0.005
+    #: Virtual detection latency charged by the simulator (µs) between a
+    #: fault occurring and the master acting on it.
+    detect_us: float = 500.0
+
+    def deadline_s(self, attempts: int) -> float:
+        """Packet timeout for the given (0-based) dispatch attempt."""
+        return self.packet_timeout_s * (self.backoff ** attempts)

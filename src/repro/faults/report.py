@@ -1,0 +1,159 @@
+"""Fault accounting: what went wrong, what the supervisor did about it.
+
+Every execution layer that understands faults (the simulator and the
+supervised thread/process kernels) records :class:`FaultRecord` entries
+into a :class:`FaultReport`; the report rides on
+:class:`~repro.machine.executive.RunReport` (``report.faults``) and can
+be projected into a trace as Chrome instant events so detections and
+re-dispatches show up inline with the compute/transfer Gantt.
+
+Records are plain data (picklable) because on the processes backend they
+are produced inside worker OS processes and merged by the parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FaultRecord", "FaultReport"]
+
+#: Record categories, in lifecycle order.
+CATEGORIES = (
+    "injected",    # a planned fault actually happened
+    "detected",    # the supervisor concluded a worker/packet failed
+    "redispatch",  # an in-flight packet was re-sent to a survivor
+    "quarantine",  # a worker (and its processor) was retired from service
+    "duplicate",   # a late result from a presumed-dead worker was discarded
+    "abandoned",   # a packet exhausted its re-dispatch budget
+)
+
+
+@dataclass
+class FaultRecord:
+    """One fault-related event (times in µs since the run epoch)."""
+
+    category: str
+    kind: str  # crash/stall/delay/drop, or the supervisor's diagnosis
+    target: str  # process id, edge name, or processor
+    time_us: float
+    processor: Optional[str] = None
+    seq: Optional[int] = None  # supervised-packet sequence number
+    attempts: Optional[int] = None
+    latency_us: Optional[float] = None  # recovery latency for redispatches
+    note: str = ""
+
+    def to_dict(self) -> Dict:
+        out = {"category": self.category, "kind": self.kind,
+               "target": self.target, "time_us": self.time_us}
+        for key in ("processor", "seq", "attempts", "latency_us"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+@dataclass
+class FaultReport:
+    """Aggregate fault story of one run."""
+
+    records: List[FaultRecord] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, category: str, kind: str, target: str, time_us: float,
+            **detail) -> FaultRecord:
+        record = FaultRecord(category, kind, target, time_us, **detail)
+        self.records.append(record)
+        return record
+
+    def merge(self, other: Optional["FaultReport"]) -> "FaultReport":
+        if other is not None:
+            self.records.extend(other.records)
+        return self
+
+    def sorted(self) -> "FaultReport":
+        self.records.sort(key=lambda r: r.time_us)
+        return self
+
+    # -- views -------------------------------------------------------------
+
+    def by_category(self, category: str) -> List[FaultRecord]:
+        return [r for r in self.records if r.category == category]
+
+    @property
+    def injected(self) -> List[FaultRecord]:
+        return self.by_category("injected")
+
+    @property
+    def detected(self) -> List[FaultRecord]:
+        return self.by_category("detected")
+
+    @property
+    def redispatches(self) -> int:
+        return len(self.by_category("redispatch"))
+
+    @property
+    def duplicates(self) -> int:
+        return len(self.by_category("duplicate"))
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Quarantined targets, ``process@processor``, in detection order."""
+        out = []
+        for r in self.by_category("quarantine"):
+            tag = f"{r.target}@{r.processor}" if r.processor else r.target
+            if tag not in out:
+                out.append(tag)
+        return out
+
+    def recovery_latencies(self) -> List[float]:
+        """Re-dispatch recovery latencies (µs), in event order."""
+        return [
+            r.latency_us
+            for r in self.by_category("redispatch")
+            if r.latency_us is not None
+        ]
+
+    def summary(self) -> str:
+        latencies = self.recovery_latencies()
+        worst = f", worst recovery {max(latencies) / 1000:.1f} ms" \
+            if latencies else ""
+        quarantined = ", ".join(self.quarantined) or "none"
+        return (
+            f"faults: {len(self.injected)} injected, "
+            f"{len(self.detected)} detected, "
+            f"{self.redispatches} re-dispatch(es){worst}; "
+            f"quarantined: {quarantined}; "
+            f"{self.duplicates} duplicate(s) discarded"
+        )
+
+    # -- projections -------------------------------------------------------
+
+    def annotate_trace(self, trace) -> None:
+        """Add one instant event per record to a machine trace."""
+        for r in self.records:
+            detail = f"{r.kind} {r.target}"
+            if r.latency_us is not None:
+                detail += f" (recovery {r.latency_us:.0f} us)"
+            trace.add_instant(
+                f"fault:{r.category}", r.processor or r.target,
+                r.time_us, detail=detail,
+            )
+
+    # -- pickling across OS processes --------------------------------------
+
+    def to_payload(self) -> List[Dict]:
+        return [r.to_dict() for r in self.records]
+
+    @classmethod
+    def from_payload(cls, payload: List[Dict]) -> "FaultReport":
+        report = cls()
+        for data in payload:
+            report.records.append(FaultRecord(**data))
+        return report

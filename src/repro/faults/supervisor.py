@@ -1,0 +1,571 @@
+"""Supervised kernel: fault injection and farm recovery behind the primitives.
+
+:class:`SupervisedKernel` wraps a base kernel (the reference
+``ThreadKernel`` or the multiprocess ``ProcessKernel``) and adds two
+things without touching a single line of generated executive code:
+
+* **Injection** — ``call_`` and ``send_`` consult the
+  :class:`~repro.faults.plan.PlanMatcher` and make planned crash/stall/
+  delay/drop events actually happen (a crash kills the executive thread,
+  a stall parks it until teardown, a drop swallows one message).
+
+* **Supervision** — on farm protocol edges (see
+  :class:`~repro.faults.topology.FaultTopology`) dispatched work is
+  wrapped in sequence-numbered envelopes, workers heartbeat a shared
+  health board, and the collector side (the ``df``/``tf`` master's
+  ``alt_``, the ``scm`` merge's ``recv_``) detects dead or stalled
+  workers, re-dispatches their in-flight packets to survivors, and
+  quarantines them — so the farm degrades gracefully instead of hanging.
+
+The master's own ``busy[]``/``pending`` bookkeeping stays consistent
+because ``alt_`` returns the *physical* arrival edge of each result: a
+dead worker simply never returns, stays "busy" forever, and naturally
+drops out of the master's dispatch rotation.  The ``scm`` merge instead
+receives port-by-port, so results carry their *origin* slot and a stash
+reorders them; this requires split and merge to share one supervisor
+instance, which is why an ``scm`` farm is only supervised when both are
+mapped to the same processor.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..codegen.kernel import Shutdown
+from .plan import FaultPlan, PlanMatcher
+from .policy import FaultPolicy
+from .report import FaultReport
+from .topology import Farm, FarmWorker, FaultTopology
+
+__all__ = [
+    "Packet",
+    "Result",
+    "WorkerCrash",
+    "HealthBoard",
+    "SupervisedKernel",
+]
+
+
+class WorkerCrash(Exception):
+    """An injected crash: kills the raising executive thread only."""
+
+
+class Packet:
+    """Dispatch envelope: one unit of farm work with a sequence number."""
+
+    __slots__ = ("seq", "value")
+
+    def __init__(self, seq: int, value: Any):
+        self.seq = seq
+        self.value = value
+
+    def __getstate__(self):
+        return (self.seq, self.value)
+
+    def __setstate__(self, state):
+        self.seq, self.value = state
+
+    def __repr__(self) -> str:
+        return f"<packet #{self.seq}>"
+
+
+class Result:
+    """Collect envelope: a worker's answer, tagged with the packet seq."""
+
+    __slots__ = ("seq", "value")
+
+    def __init__(self, seq: int, value: Any):
+        self.seq = seq
+        self.value = value
+
+    def __getstate__(self):
+        return (self.seq, self.value)
+
+    def __setstate__(self, state):
+        self.seq, self.value = state
+
+    def __repr__(self) -> str:
+        return f"<result #{self.seq}>"
+
+
+class HealthBoard:
+    """Per-worker heartbeat timestamps (``time.monotonic`` seconds).
+
+    Backed by a plain list on the threads backend or a lock-free
+    ``multiprocessing.Array('d', n)`` on the processes backend —
+    ``CLOCK_MONOTONIC`` is system-wide on Linux, so timestamps written
+    in one OS process are comparable in another.  A slot still at its
+    initial ``0.0`` means the worker has not started yet, which the
+    supervisor treats as *fresh* (a worker that never ran cannot have
+    died; the slower stall path covers one that never starts).
+    """
+
+    def __init__(self, slots: Any):
+        self._slots = slots
+
+    @classmethod
+    def local(cls, n: int) -> "HealthBoard":
+        return cls([0.0] * max(1, n))
+
+    def beat(self, slot: int) -> None:
+        self._slots[slot] = time.monotonic()
+
+    def last(self, slot: int) -> float:
+        return self._slots[slot]
+
+    def stale(self, slot: int, now: float, timeout: float) -> bool:
+        last = self._slots[slot]
+        return last > 0.0 and (now - last) > timeout
+
+
+class _InFlight:
+    """One dispatched, not-yet-answered packet."""
+
+    __slots__ = ("seq", "value", "origin_slot", "assigned", "sent_at",
+                 "attempts", "redispatch_record")
+
+    def __init__(self, seq: int, value: Any, origin_slot: int,
+                 assigned: int, sent_at: float):
+        self.seq = seq
+        self.value = value
+        self.origin_slot = origin_slot  # the port the collector expects
+        self.assigned = assigned  # worker index currently holding it
+        self.sent_at = sent_at
+        self.attempts = 0
+        self.redispatch_record = None  # FaultRecord awaiting its latency
+
+
+class _FarmState:
+    """Supervisor-side state of one farm (lives in the owner process)."""
+
+    def __init__(self, farm: Farm):
+        self.farm = farm
+        self.lock = threading.Lock()
+        self.next_seq = 0
+        self.inflight: Dict[int, _InFlight] = {}
+        #: seq -> origin slot, kept only for re-dispatched packets so a
+        #: late answer from a falsely-suspected worker is discarded.
+        self.satisfied: Dict[int, int] = {}
+        self.quarantined: set = set()
+        self.stopping = False
+        #: Results that arrived for a port the collector is not currently
+        #: waiting on (scm out-of-order recovery).
+        self.stash: Dict[int, Any] = {}
+        #: (edge, envelope) re-dispatches waiting for queue space.
+        self.pending_sends: List[Tuple[str, Any]] = []
+        #: Dispatch edges whose Stop is withheld until no packet is in
+        #: flight: releasing Stop early would let a survivor exit before
+        #: a re-dispatched packet reaches it.
+        self.held_stops: List[str] = []
+
+
+class SupervisedKernel:
+    """Fault-aware wrapper around a thread-style kernel.
+
+    Every primitive not overridden here (``join_``, ``blackboard``,
+    span lists, ...) delegates to the base kernel, so the wrapper is a
+    drop-in replacement wherever a kernel is accepted.
+    """
+
+    def __init__(
+        self,
+        base: Any,
+        topology: FaultTopology,
+        *,
+        plan: Optional[FaultPlan] = None,
+        policy: Optional[FaultPolicy] = None,
+        report: Optional[FaultReport] = None,
+        board: Optional[HealthBoard] = None,
+        processor: Optional[str] = None,
+    ):
+        self._base = base
+        self._topology = topology
+        self._matcher = PlanMatcher(plan) if plan else None
+        self._policy = policy or FaultPolicy()
+        self.fault_report = report if report is not None else FaultReport()
+        self._board = board or HealthBoard.local(topology.n_slots)
+        #: None = single-process kernel (owns every farm); otherwise the
+        #: processor this kernel instance hosts.
+        self._processor = processor
+        self._local = threading.local()
+        self._slot_of_pid = {
+            w.pid: w.slot for farm in topology.farms for w in farm.workers
+        }
+        # Farm states exist only where the owner (master / split+merge)
+        # runs; other processes just wrap/unwrap envelopes statelessly.
+        self._states: Dict[str, _FarmState] = {}
+        self._dispatch: Dict[str, Tuple[_FarmState, FarmWorker]] = {}
+        self._collect: Dict[str, Tuple[_FarmState, FarmWorker]] = {}
+        for farm in topology.farms:
+            if not farm.supervised or not self._owns(farm):
+                continue
+            state = _FarmState(farm)
+            self._states[farm.sid] = state
+            for worker in farm.workers:
+                self._dispatch[worker.dispatch_edge] = (state, worker)
+                self._collect[worker.collect_edge] = (state, worker)
+        self._beat_lock = threading.Lock()
+        self._beating: List[Tuple[int, threading.Thread]] = []
+        self._beater: Optional[threading.Thread] = None
+        # The beater must pace itself on a *local* event, never on the
+        # shared multiprocessing stop event: a process exiting while a
+        # daemon thread sits inside the shared Event's lock poisons the
+        # semaphore for every other process (observed as a parent hang
+        # in stop_event.set()).
+        self._beat_stop = threading.Event()
+
+    def _owns(self, farm: Farm) -> bool:
+        if self._processor is None:
+            return True
+        owner = self._topology.pid_to_processor.get(farm.owner_pid)
+        return owner == self._processor
+
+    # -- plumbing --------------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._base._epoch) * 1e6
+
+    def _check_stop(self) -> None:
+        if self._base._stop_event.is_set():
+            raise Shutdown
+
+    def _identity(self) -> Tuple[Optional[str], Optional[str]]:
+        """(process id, processor) of the calling executive thread."""
+        name = threading.current_thread().name
+        pid = self._topology.thread_to_pid.get(name)
+        proc = self._topology.pid_to_processor.get(pid) if pid else None
+        return pid, proc
+
+    # -- heartbeats ------------------------------------------------------------
+
+    def _register_beat(self, slot: int, thread: threading.Thread) -> None:
+        self._board.beat(slot)
+        with self._beat_lock:
+            self._beating.append((slot, thread))
+            if self._beater is None:
+                self._beater = threading.Thread(
+                    target=self._beat_loop, name="fault-heartbeat", daemon=True
+                )
+                self._beater.start()
+
+    def _beat_loop(self) -> None:
+        while not self._beat_stop.wait(self._policy.heartbeat_interval_s):
+            with self._beat_lock:
+                live = [(s, t) for s, t in self._beating if t.is_alive()]
+            for slot, _thread in live:
+                self._board.beat(slot)
+
+    def shutdown(self) -> None:
+        """Stop and join the heartbeat thread (call before process exit)."""
+        self._beat_stop.set()
+        beater = self._beater
+        if beater is not None:
+            beater.join(1.0)
+
+    # -- injection -------------------------------------------------------------
+
+    def _maybe_drop(self, edge: str) -> bool:
+        if self._matcher is None:
+            return False
+        specs = self._matcher.fire(edge=edge, kinds=("drop",))
+        for spec in specs:
+            pid, proc = self._identity()
+            self.fault_report.add(
+                "injected", "drop", edge, self._now_us(), processor=proc,
+                note=f"sent by {pid or 'unknown'}",
+            )
+        return bool(specs)
+
+    def _inject_compute(self) -> None:
+        pid, proc = self._identity()
+        specs = self._matcher.fire(
+            process=pid, processor=proc, kinds=("crash", "stall", "delay")
+        )
+        if not specs:
+            return
+        for spec in specs:
+            if spec.kind == "delay":
+                self.fault_report.add(
+                    "injected", "delay", pid or spec.target, self._now_us(),
+                    processor=proc, note=f"{spec.delay_us:.0f} us",
+                )
+                time.sleep(spec.delay_us / 1e6)
+        if any(s.kind == "stall" for s in specs):
+            self.fault_report.add(
+                "injected", "stall", pid or "?", self._now_us(),
+                processor=proc,
+            )
+            # Park forever (until teardown): the thread stays alive and
+            # keeps heartbeating, exactly like a wedged computation.
+            self._base._stop_event.wait()
+            raise Shutdown
+        if any(s.kind == "crash" for s in specs):
+            self.fault_report.add(
+                "injected", "crash", pid or "?", self._now_us(),
+                processor=proc,
+            )
+            raise WorkerCrash(pid or "?")
+
+    # -- primitives ------------------------------------------------------------
+
+    def spawn_(self, name: str, body: Callable[[], None]) -> Any:
+        def guarded() -> None:
+            try:
+                body()
+            except WorkerCrash:
+                pass  # the injected death of this executive thread
+
+        thread = self._base.spawn_(name, guarded)
+        pid = self._topology.thread_to_pid.get(name)
+        slot = self._slot_of_pid.get(pid)
+        if slot is not None and isinstance(thread, threading.Thread):
+            self._register_beat(slot, thread)
+        return thread
+
+    def call_(self, func: Callable, *args: Any) -> Any:
+        if self._matcher is not None:
+            self._inject_compute()
+        return self._base.call_(func, *args)
+
+    def send_(self, edge: str, value: Any) -> None:
+        entry = self._dispatch.get(edge)
+        if entry is not None:
+            return self._send_dispatch(entry[0], entry[1], edge, value)
+        wout = self._topology.work_out_edges.get(edge)
+        if wout is not None and not self._base.is_stop(value):
+            seq = getattr(self._local, "seq", None)
+            if seq is not None:
+                if self._maybe_drop(edge):
+                    return None
+                return self._base.send_(edge, Result(seq, value))
+        if self._maybe_drop(edge) and not self._base.is_stop(value):
+            return None
+        return self._base.send_(edge, value)
+
+    def _send_dispatch(self, state: _FarmState, worker: FarmWorker,
+                       edge: str, value: Any) -> None:
+        if self._base.is_stop(value):
+            with state.lock:
+                state.stopping = True
+                if state.inflight or state.pending_sends:
+                    # Workers exit on Stop; keep them alive until every
+                    # in-flight packet is answered or re-dispatched.
+                    state.held_stops.append(edge)
+                    return None
+            return self._base.send_(edge, value)
+        with state.lock:
+            seq = state.next_seq
+            state.next_seq += 1
+            assigned, out_edge = worker.index, edge
+            if worker.index in state.quarantined:
+                # The dispatcher still addresses the dead worker's port;
+                # reroute transparently so its full queue cannot block us.
+                target = self._pick_survivor(state, seq)
+                if target is None:
+                    self._abandon(state, None)
+                assigned, out_edge = target.index, target.dispatch_edge
+            state.inflight[seq] = _InFlight(
+                seq, value, worker.index, assigned, time.monotonic()
+            )
+        if self._maybe_drop(edge):
+            return None  # in-flight record stays: the supervisor recovers
+        return self._base.send_(out_edge, Packet(seq, value))
+
+    def recv_(self, edge: str) -> Any:
+        entry = self._collect.get(edge)
+        if entry is not None:
+            return self._recv_collect(entry[0], entry[1])
+        if edge in self._topology.work_in_edges:
+            value = self._base.recv_(edge)
+            if isinstance(value, Packet):
+                self._local.seq = value.seq
+                return value.value
+            return value  # Stop (or plain value) passes through
+        return self._base.recv_(edge)
+
+    def stop_(self, edge: str) -> None:
+        self.send_(edge, self._base.stop_token)
+
+    def alt_(self, edges: List[str]) -> Tuple[str, Any]:
+        farm = self._topology.farm_of_collect_edges(edges)
+        if farm is not None and farm.sid in self._states:
+            return self._alt_collect(self._states[farm.sid], edges)
+        return self._base.alt_(edges)
+
+    # -- the supervision loops -------------------------------------------------
+
+    def _alt_collect(self, state: _FarmState,
+                     edges: List[str]) -> Tuple[str, Any]:
+        """df/tf master collect: any port, physical arrival edge."""
+        while True:
+            self._check_stop()
+            for edge in edges:
+                try:
+                    raw = self._base.try_recv_(edge)
+                except queue.Empty:
+                    continue
+                if isinstance(raw, Result):
+                    status, _origin, value = self._accept(state, raw)
+                    if status == "dup":
+                        continue
+                    return edge, value
+                return edge, raw  # Stop or unenveloped value
+            self._supervise(state)
+            time.sleep(0.0005)
+
+    def _recv_collect(self, state: _FarmState, worker: FarmWorker) -> Any:
+        """scm merge collect: port-ordered, stash reorders origins."""
+        slot = worker.index
+        while True:
+            self._check_stop()
+            if slot in state.stash:
+                return state.stash.pop(slot)
+            for w in state.farm.workers:
+                try:
+                    raw = self._base.try_recv_(w.collect_edge)
+                except queue.Empty:
+                    continue
+                if isinstance(raw, Result):
+                    status, origin, value = self._accept(state, raw)
+                    if status == "dup":
+                        continue
+                elif self._base.is_stop(raw):
+                    # A physical Stop can only come from the worker that
+                    # owns the edge, so it is that port's terminator.
+                    origin, value = w.index, raw
+                else:
+                    origin, value = w.index, raw
+                if origin == slot:
+                    return value
+                state.stash[origin] = value
+            if self._synthesize_stop(state, slot):
+                return self._base.stop_token
+            self._supervise(state)
+            time.sleep(0.0005)
+
+    def _synthesize_stop(self, state: _FarmState, slot: int) -> bool:
+        """A dead worker forwards no Stop; fake it once it owes nothing."""
+        if not state.stopping or slot not in state.quarantined:
+            return False
+        with state.lock:
+            return not any(
+                rec.origin_slot == slot for rec in state.inflight.values()
+            )
+
+    def _accept(self, state: _FarmState,
+                result: Result) -> Tuple[str, int, Any]:
+        """Dedupe and settle one arriving result envelope."""
+        now_us = self._now_us()
+        with state.lock:
+            rec = state.inflight.pop(result.seq, None)
+            if rec is None:
+                origin = state.satisfied.get(result.seq, -1)
+                self.fault_report.add(
+                    "duplicate", "late-result", state.farm.sid, now_us,
+                    seq=result.seq,
+                )
+                return "dup", origin, None
+            if rec.attempts > 0:
+                state.satisfied[result.seq] = rec.origin_slot
+                if rec.redispatch_record is not None:
+                    rec.redispatch_record.latency_us = (
+                        now_us - rec.redispatch_record.time_us
+                    )
+            return "ok", rec.origin_slot, result.value
+
+    def _supervise(self, state: _FarmState) -> None:
+        """One scan: flush queued re-sends, time out overdue packets."""
+        self._flush_sends(state)
+        now = time.monotonic()
+        policy = self._policy
+        with state.lock:
+            for seq, rec in list(state.inflight.items()):
+                worker = state.farm.workers[rec.assigned]
+                elapsed = now - rec.sent_at
+                deadline = policy.deadline_s(rec.attempts)
+                if (elapsed > deadline and self._board.stale(
+                        worker.slot, now, policy.heartbeat_timeout_s)):
+                    kind = "crash"
+                elif elapsed > deadline * policy.stall_factor:
+                    kind = "stall"  # alive-but-silent, or a lost message
+                else:
+                    continue
+                self._quarantine(state, worker, kind, seq)
+                if rec.attempts >= policy.max_redispatch:
+                    self._abandon(state, seq)
+                target = self._pick_survivor(state, seq)
+                if target is None:
+                    self._abandon(state, seq)
+                rec.assigned = target.index
+                rec.attempts += 1
+                rec.sent_at = now
+                rec.redispatch_record = self.fault_report.add(
+                    "redispatch", kind, target.pid, self._now_us(),
+                    processor=target.processor, seq=seq,
+                    attempts=rec.attempts,
+                    note=f"packet #{seq} moved off {worker.pid}",
+                )
+                state.pending_sends.append(
+                    (target.dispatch_edge, Packet(seq, rec.value))
+                )
+            if (state.stopping and not state.inflight
+                    and not state.pending_sends and state.held_stops):
+                edges, state.held_stops = state.held_stops, []
+                state.pending_sends.extend(
+                    (edge, self._base.stop_token) for edge in edges
+                )
+        self._flush_sends(state)
+
+    def _quarantine(self, state: _FarmState, worker: FarmWorker,
+                    kind: str, seq: int) -> None:
+        now_us = self._now_us()
+        self.fault_report.add(
+            "detected", kind, worker.pid, now_us,
+            processor=worker.processor, seq=seq,
+        )
+        if worker.index not in state.quarantined:
+            state.quarantined.add(worker.index)
+            self.fault_report.add(
+                "quarantine", kind, worker.pid, now_us,
+                processor=worker.processor,
+            )
+
+    def _pick_survivor(self, state: _FarmState,
+                       seq: int) -> Optional[FarmWorker]:
+        survivors = [
+            w for w in state.farm.workers
+            if w.index not in state.quarantined
+        ]
+        if not survivors:
+            return None
+        return survivors[seq % len(survivors)]
+
+    def _abandon(self, state: _FarmState, seq: Optional[int]) -> None:
+        """Out of retries or survivors: fail the run instead of hanging."""
+        self.fault_report.add(
+            "abandoned", "give-up", state.farm.sid, self._now_us(), seq=seq,
+            note="no survivors or re-dispatch budget exhausted",
+        )
+        self._base._stop_event.set()
+        raise Shutdown
+
+    def _flush_sends(self, state: _FarmState) -> None:
+        """Re-dispatches use non-blocking puts so supervision never wedges."""
+        remaining: List[Tuple[str, Packet]] = []
+        for edge, envelope in state.pending_sends:
+            try:
+                self._base.channel(edge).put_nowait(envelope)
+            except AttributeError:  # ThreadKernel wraps the queue
+                try:
+                    self._base.channel(edge).q.put_nowait(envelope)
+                except queue.Full:
+                    remaining.append((edge, envelope))
+            except queue.Full:
+                remaining.append((edge, envelope))
+        state.pending_sends = remaining

@@ -108,6 +108,9 @@ class RunReport:
     trace: Optional["Trace"] = None
     backend: str = "simulate"
     wall_clock: bool = False
+    #: Fault story of the run (:class:`~repro.faults.report.FaultReport`)
+    #: when fault injection / supervision was enabled; else None.
+    faults: Optional[Any] = None
 
     @property
     def mean_latency(self) -> float:
@@ -145,14 +148,16 @@ class RunReport:
                 f"backend {self.backend}: {len(self.outputs)} output(s), "
                 f"wall time {self.makespan / 1000:.2f} ms",
             ]
-            return "\n".join(lines)
-        lines = [
-            f"{len(self.iterations)} iteration(s), makespan "
-            f"{self.makespan / 1000:.2f} ms",
-            f"latency mean/min/max: {self.mean_latency / 1000:.2f} / "
-            f"{self.min_latency / 1000:.2f} / {self.max_latency / 1000:.2f} ms",
-            f"frames skipped: {self.total_frames_skipped}",
-        ]
+        else:
+            lines = [
+                f"{len(self.iterations)} iteration(s), makespan "
+                f"{self.makespan / 1000:.2f} ms",
+                f"latency mean/min/max: {self.mean_latency / 1000:.2f} / "
+                f"{self.min_latency / 1000:.2f} / {self.max_latency / 1000:.2f} ms",
+                f"frames skipped: {self.total_frames_skipped}",
+            ]
+        if self.faults:
+            lines.append(self.faults.summary())
         return "\n".join(lines)
 
 
@@ -189,6 +194,9 @@ class _FarmState:
     busy: Dict[int, bool] = field(default_factory=dict)
     pending: int = 0
     started: bool = False
+    #: Worker indices retired after a detected crash/stall: the master
+    #: never dispatches to them again (matches the supervised kernels).
+    quarantined: set = field(default_factory=set)
 
 
 class Executive:
@@ -203,6 +211,8 @@ class Executive:
         real_time: bool = False,
         max_farm_tasks: int = 1_000_000,
         record_trace: bool = False,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
     ):
         self.mapping = mapping
         self.graph: ProcessGraph = mapping.graph
@@ -212,6 +222,25 @@ class Executive:
         self.max_farm_tasks = max_farm_tasks
         self.routing: RoutingTable = route_mapping(mapping)
         self._edge_index = {id(e): i for i, e in enumerate(self.graph.edges)}
+
+        # Fault model: the same FaultPlan that drives the real kernels,
+        # charged in virtual time (see repro.faults).
+        self._matcher = None
+        self._fault_topology = None
+        self._fault_policy = None
+        self.fault_report = None
+        if fault_plan is not None:
+            from ..faults.plan import PlanMatcher
+            from ..faults.policy import FaultPolicy
+            from ..faults.report import FaultReport
+            from ..faults.topology import FaultTopology
+
+            self._matcher = PlanMatcher(fault_plan)
+            self._fault_topology = FaultTopology.from_mapping(mapping)
+            self._fault_policy = fault_policy or FaultPolicy()
+            self.fault_report = FaultReport()
+        self._dead_pids: set = set()
+        self._scm_quarantined: Dict[str, set] = {}
 
         # Machine state.
         self._proc_free: Dict[str, float] = {}
@@ -297,6 +326,8 @@ class Executive:
             if edge.src != pid or edge.src_port != port:
                 continue
             idx = self._edge_index[id(edge)]
+            if self._matcher is not None and self._drop(idx, value, time):
+                continue  # the message is lost in transit
             if payload is None:
                 payload = payload_bytes(value)
             self.profile.edge_bytes[idx] = max(
@@ -382,8 +413,42 @@ class Executive:
             end = self._compute(pid, self._now, self.costs.local_delivery)
             self._send(pid, 0, _NO_PIECE, end)
             return
+        delay_us = 0.0
+        if self._matcher is not None:
+            if pid in self._dead_pids:
+                # A packet addressed to an already-dead worker: the real
+                # dispatcher reroutes instantly, so no detection latency.
+                self._fault_recover(pid, "reroute", x, self._now,
+                                    detected=False)
+                return
+            specs = self._matcher.fire(
+                process=pid, processor=self._processor_of(pid),
+                kinds=("crash", "stall", "delay"),
+            )
+            for spec in specs:
+                if spec.kind == "delay":
+                    delay_us += spec.delay_us
+                    self.fault_report.add(
+                        "injected", "delay", pid, self._now,
+                        processor=self._processor_of(pid),
+                        note=f"{spec.delay_us:.0f} us",
+                    )
+            fatal = next(
+                (s for s in specs if s.kind in ("crash", "stall")), None
+            )
+            if fatal is not None:
+                # The worker consumed the packet and will never answer.
+                self.fault_report.add(
+                    "injected", fatal.kind, pid, self._now,
+                    processor=self._processor_of(pid),
+                )
+                self._dead_pids.add(pid)
+                self._fault_recover(pid, fatal.kind, x, self._now)
+                return
         spec = self.table[process.func]
-        end = self._compute(pid, self._now, self._func_cost(process.func, x))
+        end = self._compute(
+            pid, self._now, self._func_cost(process.func, x) + delay_us
+        )
         self._send(pid, 0, self._call(pid, spec, x), end)
 
     def _fire_split(self, pid: str, inputs: Dict[int, Any]) -> None:
@@ -510,7 +575,7 @@ class Executive:
         for i in range(degree):
             if not farm.queue:
                 break
-            if farm.busy[i]:
+            if farm.busy[i] or i in farm.quarantined:
                 continue
             packet = farm.queue.pop(0)
             farm.busy[i] = True
@@ -520,6 +585,134 @@ class Executive:
         if farm.started and farm.pending == 0 and not farm.queue:
             farm.started = False
             self._send(pid, 0, farm.acc_value, end)
+
+    # -- fault model -------------------------------------------------------------
+
+    def _drop(self, edge_idx: int, value: Any, time: float) -> bool:
+        """Lose one planned message; arrange recovery on farm edges."""
+        name = f"e{edge_idx}"
+        specs = self._matcher.fire(edge=name, kinds=("drop",))
+        if not specs:
+            return False
+        self.fault_report.add("injected", "drop", name, time)
+        topo = self._fault_topology
+        entry = topo.dispatch_edges.get(name) or topo.work_in_edges.get(name)
+        if entry is not None and not isinstance(value, _NoPiece):
+            # A dropped dispatch packet times out at the supervisor and
+            # is re-sent; the carrying worker is not quarantined.
+            farm, worker = entry
+            handler = "fault_scm" if farm.kind == "scm" else "fault_farm"
+            self._schedule(
+                time + self._fault_policy.detect_us, handler,
+                farm, worker.index, "drop", value, time, True, False,
+            )
+        return True
+
+    def _fault_recover(self, pid: str, kind: str, packet: Any,
+                       inject_time: float, detected: bool = True) -> None:
+        """Schedule supervisor recovery for a worker that will not answer."""
+        topo = self._fault_topology
+        entry = next(
+            ((farm, w) for farm in topo.farms for w in farm.workers
+             if w.pid == pid),
+            None,
+        )
+        if entry is None:
+            return  # a non-farm process died: nothing supervises it
+        farm, worker = entry
+        if not farm.supervised:
+            return  # e.g. an scm whose split/merge are separated
+        delay = self._fault_policy.detect_us if detected else 0.0
+        handler = "fault_scm" if farm.kind == "scm" else "fault_farm"
+        self._schedule(
+            inject_time + delay, handler,
+            farm, worker.index, kind, packet, inject_time, detected,
+            kind in ("crash", "stall"),
+        )
+
+    def _handle_fault_farm(self, farm, index: int, kind: str, packet: Any,
+                           inject_time: float, detected: bool,
+                           quarantine: bool) -> None:
+        """df/tf recovery: re-queue the packet, retire the worker."""
+        pid = farm.owner_pid  # the master
+        state = self._farms.get(pid)
+        if state is None:
+            return
+        worker = farm.workers[index]
+        if detected:
+            self.fault_report.add(
+                "detected", kind, worker.pid, self._now,
+                processor=worker.processor,
+            )
+        if quarantine and index not in state.quarantined:
+            state.quarantined.add(index)
+            self.fault_report.add(
+                "quarantine", kind, worker.pid, self._now,
+                processor=worker.processor,
+            )
+        # The packet is no longer in flight; put it back at the head of
+        # the queue and let the master redistribute (the dead worker's
+        # busy flag stays set, so it is skipped — as on real kernels).
+        state.pending -= 1
+        state.queue.insert(0, packet)
+        if kind == "drop":
+            # The worker is healthy — the packet was lost on the way to
+            # it — so its slot is free for the re-dispatch.
+            state.busy[index] = False
+        end = self._compute(pid, self._now, self.costs.master_dispatch)
+        self.fault_report.add(
+            "redispatch", kind, worker.pid, self._now,
+            processor=worker.processor, latency_us=end - inject_time,
+        )
+        self._master_dispatch(pid, state, end)
+
+    def _handle_fault_scm(self, farm, index: int, kind: str, piece: Any,
+                          inject_time: float, detected: bool,
+                          quarantine: bool) -> None:
+        """scm recovery: recompute the piece on a surviving worker and
+        deliver the result to the dead worker's merge port."""
+        worker = farm.workers[index]
+        quarantined = self._scm_quarantined.setdefault(farm.sid, set())
+        if detected:
+            self.fault_report.add(
+                "detected", kind, worker.pid, self._now,
+                processor=worker.processor,
+            )
+        if quarantine and index not in quarantined:
+            quarantined.add(index)
+            self.fault_report.add(
+                "quarantine", kind, worker.pid, self._now,
+                processor=worker.processor,
+            )
+        survivors = [
+            w for w in farm.workers
+            if w.index not in quarantined and w.pid not in self._dead_pids
+        ]
+        if not survivors:
+            self.fault_report.add(
+                "abandoned", "give-up", farm.sid, self._now,
+                note="no surviving scm workers",
+            )
+            return
+        survivor = survivors[index % len(survivors)]
+        process = self.graph[survivor.pid]
+        spec = self.table[process.func]
+        end = self._compute(
+            survivor.pid,
+            self._now + self.costs.master_dispatch,
+            self._func_cost(process.func, piece),
+        )
+        result = self._call(survivor.pid, spec, piece)
+        self.fault_report.add(
+            "redispatch", kind, survivor.pid, self._now,
+            processor=survivor.processor, latency_us=end - inject_time,
+            note=f"piece {index} recomputed on {survivor.pid}",
+        )
+        # Deliver to the merge port the dead worker was feeding.
+        self._schedule(
+            end + self.costs.local_delivery, "arrive",
+            farm.owner_pid, 1 + index, result, False,
+        )
 
     # -- iteration control ------------------------------------------------------
 
@@ -589,9 +782,22 @@ class Executive:
             self._now = time
             if handler == "arrive":
                 self._handle_arrive(*args)
+            elif handler == "fault_farm":
+                self._handle_fault_farm(*args)
+            elif handler == "fault_scm":
+                self._handle_fault_scm(*args)
             else:
                 raise RuntimeError(f"unknown event {handler!r}")
         return self._horizon
+
+    def _finish_faults(self):
+        """Sort the fault report and annotate the trace, if any."""
+        if self.fault_report is None:
+            return None
+        self.fault_report.sorted()
+        if self.trace is not None:
+            self.fault_report.annotate_trace(self.trace)
+        return self.fault_report
 
     # -- public API --------------------------------------------------------------
 
@@ -646,6 +852,7 @@ class Executive:
             proc_busy=dict(self._proc_busy_total),
             chan_busy=dict(self._chan_busy_total),
             trace=self.trace,
+            faults=self._finish_faults(),
         )
 
     def run_once(self, *args: Any) -> RunReport:
@@ -669,6 +876,7 @@ class Executive:
             chan_busy=dict(self._chan_busy_total),
             one_shot_results=results,
             trace=self.trace,
+            faults=self._finish_faults(),
         )
 
 
@@ -680,14 +888,22 @@ def simulate(
     max_iterations: Optional[int] = None,
     real_time: bool = False,
     args: Optional[Tuple] = None,
+    fault_plan: Optional[Any] = None,
+    fault_policy: Optional[Any] = None,
 ) -> RunReport:
     """Convenience wrapper: build an :class:`Executive` and run it.
 
     Stream programs run ``max_iterations`` (or until the source raises
     :class:`~repro.core.semantics.EndOfStream`); one-shot programs need
-    ``args``.
+    ``args``.  ``fault_plan`` enables the virtual-time fault model (see
+    :mod:`repro.faults`): injected faults are charged in simulated time
+    and the resulting :class:`~repro.faults.report.FaultReport` is
+    attached to the returned report.
     """
-    executive = Executive(mapping, table, costs, real_time=real_time)
+    executive = Executive(
+        mapping, table, costs, real_time=real_time,
+        fault_plan=fault_plan, fault_policy=fault_policy,
+    )
     if mapping.graph.by_kind(ProcessKind.MEM):
         return executive.run(max_iterations)
     return executive.run_once(*(args or ()))

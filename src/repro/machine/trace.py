@@ -15,7 +15,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Span", "Trace", "render_gantt", "busy_statistics"]
+__all__ = ["Span", "Instant", "Trace", "render_gantt", "busy_statistics"]
 
 
 @dataclass(frozen=True)
@@ -32,12 +32,28 @@ class Span:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class Instant:
+    """A point event on a resource's timeline (times in µs).
+
+    Used for things that happen *at* a moment rather than *over* one —
+    fault injections, detections, re-dispatches.  Renders as a Chrome
+    trace instant (``ph="i"``) marker on the resource's row.
+    """
+
+    name: str  # e.g. "fault:detected"
+    resource: str  # processor id (or another trace row key)
+    time: float
+    detail: str = ""
+
+
 @dataclass
 class Trace:
-    """A recorded run: compute spans + transfer spans."""
+    """A recorded run: compute spans + transfer spans + instants."""
 
     compute: List[Span] = field(default_factory=list)
     transfer: List[Span] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
 
     def add_compute(self, resource: str, owner: str, start: float, end: float) -> None:
         if end > start:
@@ -46,6 +62,11 @@ class Trace:
     def add_transfer(self, resource: str, owner: str, start: float, end: float) -> None:
         if end > start:
             self.transfer.append(Span(resource, owner, start, end))
+
+    def add_instant(
+        self, name: str, resource: str, time: float, detail: str = ""
+    ) -> None:
+        self.instants.append(Instant(name, resource, time, detail))
 
     @property
     def makespan(self) -> float:
@@ -68,7 +89,9 @@ class Trace:
         already in microseconds, the unit the format expects.
         """
         resources = sorted(
-            {s.resource for s in self.compute} | {s.resource for s in self.transfer}
+            {s.resource for s in self.compute}
+            | {s.resource for s in self.transfer}
+            | {i.resource for i in self.instants}
         )
         row = {resource: i + 1 for i, resource in enumerate(resources)}
         events: List[Dict] = [
@@ -93,6 +116,17 @@ class Trace:
                     "pid": row[span.resource],
                     "tid": 0,
                 })
+        for instant in self.instants:
+            events.append({
+                "ph": "i",
+                "name": instant.name,
+                "cat": "fault",
+                "ts": instant.time,
+                "pid": row[instant.resource],
+                "tid": 0,
+                "s": "p",  # process-scoped marker
+                "args": {"detail": instant.detail},
+            })
         return json.dumps(
             {"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent
         )

@@ -114,6 +114,8 @@ def run(
     args: Optional[Tuple] = None,
     record_trace: bool = False,
     timeout: float = 120.0,
+    fault_plan: Optional[Any] = None,
+    fault_policy: Optional[Any] = None,
     **options: Any,
 ) -> RunReport:
     """Execute the mapped program on the selected execution backend.
@@ -123,9 +125,18 @@ def run(
     simulator.  ``program`` (the IR) is only needed by backends that
     bypass the mapping, e.g. ``emulate``.  Backend-specific knobs
     (``start_method``, ``shm_threshold``, ...) pass through ``options``.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) switches on
+    fault injection and farm supervision on the backends that support it
+    (``simulate``, ``threads``, ``processes``); the resulting
+    :class:`~repro.faults.report.FaultReport` is attached to the report's
+    ``faults`` field.  ``fault_policy`` tunes timeouts and retry budgets.
     """
     from .backends import get_backend
 
+    if fault_plan is not None:
+        options["fault_plan"] = fault_plan
+        options["fault_policy"] = fault_policy
     return get_backend(backend).run(
         mapping,
         table,

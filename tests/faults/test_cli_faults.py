@@ -1,0 +1,129 @@
+"""CLI surface of the faults layer: --faults and the demo subcommand."""
+
+import json
+import sys
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+let n = 3;;
+let main xs = df n square add 0 xs;;
+"""
+
+TABLE_MODULE = '''
+from repro.core import FunctionTable
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+TABLE = FunctionTable()
+TABLE.register("square", ins=["int"], outs=["int"], cost=100.0)(square)
+TABLE.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(add)
+'''
+
+PLAN = {
+    "version": 1,
+    "events": [
+        {"kind": "crash", "process": "df0.worker1", "occurrence": 0},
+    ],
+}
+
+
+@pytest.fixture()
+def workspace(tmp_path, monkeypatch):
+    (tmp_path / "spec.ml").write_text(SPEC)
+    (tmp_path / "fault_functions.py").write_text(TABLE_MODULE)
+    (tmp_path / "plan.json").write_text(json.dumps(PLAN))
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop("fault_functions", None)
+    yield tmp_path
+    sys.modules.pop("fault_functions", None)
+
+
+class TestRunWithFaults:
+    def test_run_threads_with_faults(self, workspace, capsys):
+        assert main([
+            "run", "spec.ml", "--functions", "fault_functions:TABLE",
+            "--arch", "ring:3", "--arg", "[1, 2, 3, 4]",
+            "--faults", "plan.json", "--fault-timeout", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 injected" in out
+        assert "re-dispatch" in out
+        assert "result[0] = 30" in out  # 1 + 4 + 9 + 16
+
+    def test_simulate_with_faults_and_trace(self, workspace, capsys):
+        assert main([
+            "simulate", "spec.ml", "--functions", "fault_functions:TABLE",
+            "--arch", "ring:3", "--arg", "[1, 2, 3]",
+            "--faults", "plan.json", "--trace-out", "trace.json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 injected" in out
+        doc = json.loads((workspace / "trace.json").read_text())
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert any(e["name"] == "fault:redispatch" for e in instants)
+
+    def test_missing_plan_file(self, workspace):
+        with pytest.raises(SystemExit, match="cannot load fault plan"):
+            main([
+                "run", "spec.ml", "--functions", "fault_functions:TABLE",
+                "--arch", "ring:3", "--arg", "[1]",
+                "--faults", "ghost.json",
+            ])
+
+    def test_malformed_plan_file(self, workspace):
+        (workspace / "bad.json").write_text('{"events": "all of them"}')
+        with pytest.raises(SystemExit, match="cannot load fault plan"):
+            main([
+                "run", "spec.ml", "--functions", "fault_functions:TABLE",
+                "--arch", "ring:3", "--arg", "[1]",
+                "--faults", "bad.json",
+            ])
+
+
+class TestFaultsDemo:
+    def test_demo_on_simulate(self, capsys, tmp_path):
+        saved = tmp_path / "demo_plan.json"
+        assert main([
+            "faults", "--skeleton", "df", "--backend", "simulate",
+            "--save-plan", str(saved),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovered : yes" in out
+        assert "crash" in out
+        plan = json.loads(saved.read_text())
+        assert plan["events"][0]["kind"] == "crash"
+
+    def test_demo_replays_saved_plan(self, capsys, tmp_path):
+        path = tmp_path / "replay.json"
+        path.write_text(json.dumps(PLAN))
+        assert main([
+            "faults", "--skeleton", "df", "--backend", "simulate",
+            "--plan", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crash on df0.worker1" in out
+        assert "recovered : yes" in out
+
+    def test_demo_on_threads(self, capsys):
+        assert main([
+            "faults", "--skeleton", "scm", "--backend", "threads",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovered : yes" in out
+        assert "quarantined" in out
+
+    def test_demo_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "faults" in capsys.readouterr().out

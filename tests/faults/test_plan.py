@@ -1,0 +1,166 @@
+"""Unit tests for fault plans: validation, serialisation, matching."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, PlanError, PlanMatcher
+
+
+class TestFaultSpecValidation:
+    def test_minimal_specs(self):
+        FaultSpec(kind="crash", process="df0.worker1")
+        FaultSpec(kind="stall", processor="P2")
+        FaultSpec(kind="delay", process="df0.worker0", delay_us=100.0)
+        FaultSpec(kind="drop", edge="e7", occurrence=3)
+
+    def test_unknown_kind(self):
+        with pytest.raises(PlanError, match="unknown fault kind"):
+            FaultSpec(kind="explode", process="x")
+
+    def test_no_target(self):
+        with pytest.raises(PlanError, match="exactly one"):
+            FaultSpec(kind="crash")
+
+    def test_two_targets(self):
+        with pytest.raises(PlanError, match="exactly one"):
+            FaultSpec(kind="crash", process="x", processor="P1")
+
+    def test_drop_needs_an_edge(self):
+        with pytest.raises(PlanError, match="target an edge"):
+            FaultSpec(kind="drop", process="df0.worker1")
+
+    def test_compute_faults_reject_edges(self):
+        with pytest.raises(PlanError, match="process/processor"):
+            FaultSpec(kind="crash", edge="e3")
+
+    def test_negative_occurrence(self):
+        with pytest.raises(PlanError, match=">= 0"):
+            FaultSpec(kind="crash", process="x", occurrence=-1)
+
+    def test_target_property(self):
+        assert FaultSpec(kind="crash", process="w").target == "w"
+        assert FaultSpec(kind="crash", processor="P1").target == "P1"
+        assert FaultSpec(kind="drop", edge="e0").target == "e0"
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            events=[
+                FaultSpec(kind="crash", process="df0.worker1", occurrence=2),
+                FaultSpec(kind="delay", processor="P3", delay_us=750.0),
+                FaultSpec(kind="drop", edge="e4"),
+            ],
+            seed=17,
+        )
+        again = FaultPlan.loads(plan.dumps())
+        assert again.events == plan.events
+        assert again.seed == 17
+
+    def test_file_round_trip(self, tmp_path):
+        plan = FaultPlan([FaultSpec(kind="stall", process="w")])
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)).events == plan.events
+
+    def test_bool_and_len(self):
+        assert not FaultPlan()
+        plan = FaultPlan([FaultSpec(kind="crash", process="w")])
+        assert plan
+        assert len(plan) == 1
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(PlanError, match="not valid JSON"):
+            FaultPlan.loads("{nope")
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(PlanError, match="version"):
+            FaultPlan.from_dict({"version": 9, "events": []})
+
+    def test_rejects_non_list_events(self):
+        with pytest.raises(PlanError, match="must be a list"):
+            FaultPlan.from_dict({"events": "crash everything"})
+
+    def test_rejects_unknown_event_field(self):
+        with pytest.raises(PlanError, match="unknown fault-event field"):
+            FaultPlan.from_dict(
+                {"events": [{"kind": "crash", "process": "w", "boom": 1}]}
+            )
+
+    def test_rejects_missing_kind(self):
+        with pytest.raises(PlanError, match="missing 'kind'"):
+            FaultPlan.from_dict({"events": [{"process": "w"}]})
+
+
+class TestPlanMatcher:
+    def test_occurrence_is_zero_based(self):
+        plan = FaultPlan([FaultSpec(kind="crash", process="w", occurrence=0)])
+        matcher = PlanMatcher(plan)
+        assert matcher.fire(process="w") == plan.events
+        assert matcher.fire(process="w") == []  # fires exactly once
+
+    def test_nth_occurrence(self):
+        plan = FaultPlan([FaultSpec(kind="crash", process="w", occurrence=2)])
+        matcher = PlanMatcher(plan)
+        assert matcher.fire(process="w") == []
+        assert matcher.fire(process="w") == []
+        assert matcher.fire(process="w") == plan.events
+
+    def test_non_matching_events_do_not_count(self):
+        plan = FaultPlan([FaultSpec(kind="crash", process="w", occurrence=1)])
+        matcher = PlanMatcher(plan)
+        assert matcher.fire(process="other") == []
+        assert matcher.fire(process="w") == []  # occurrence 0 of "w"
+        assert matcher.fire(process="w") == plan.events
+
+    def test_processor_and_edge_keys(self):
+        plan = FaultPlan([
+            FaultSpec(kind="stall", processor="P1"),
+            FaultSpec(kind="drop", edge="e3"),
+        ])
+        matcher = PlanMatcher(plan)
+        assert matcher.fire(process="w", processor="P1") == [plan.events[0]]
+        assert matcher.fire(edge="e3", kinds=("drop",)) == [plan.events[1]]
+
+    def test_kinds_filter(self):
+        plan = FaultPlan([FaultSpec(kind="drop", edge="e0")])
+        matcher = PlanMatcher(plan)
+        # A compute site asking for compute kinds must not consume drops.
+        assert matcher.fire(edge="e0", kinds=("crash", "stall")) == []
+        assert matcher.fire(edge="e0", kinds=("drop",)) == plan.events
+
+    def test_pending(self):
+        plan = FaultPlan([
+            FaultSpec(kind="crash", process="w"),
+            FaultSpec(kind="crash", process="ghost"),
+        ])
+        matcher = PlanMatcher(plan)
+        matcher.fire(process="w")
+        assert matcher.pending() == [plan.events[1]]
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        workers = ["df0.worker0", "df0.worker1", "df0.worker2"]
+        a = FaultPlan.random(42, workers=workers, kinds=("crash", "stall"))
+        b = FaultPlan.random(42, workers=workers, kinds=("crash", "stall"))
+        assert a.events == b.events
+        assert a.seed == 42
+
+    def test_different_seeds_eventually_differ(self):
+        workers = ["w0", "w1", "w2", "w3"]
+        plans = {
+            tuple(FaultPlan.random(seed, workers=workers).events)
+            for seed in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_targets_stay_in_worker_set(self):
+        workers = ["w0", "w1"]
+        plan = FaultPlan.random(
+            7, workers=workers, kinds=("delay",), n_events=5,
+        )
+        assert len(plan) == 5
+        for event in plan.events:
+            assert event.process in workers
+            assert event.kind == "delay"
+            assert event.delay_us > 0

@@ -1,0 +1,144 @@
+"""Fault injection on the discrete-event simulator.
+
+The simulator charges fault costs in *virtual* time: detection latency
+is the policy's ``detect_us`` and re-dispatch shows up as extra
+makespan, while the recovered outputs stay bit-identical to the
+fault-free sequential emulation.
+"""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.faults import FaultPlan, FaultPolicy, FaultSpec
+from repro.faults.demo import RECIPES, make_demo
+from repro.faults.topology import FaultTopology
+from repro.machine import FAST_TEST
+
+
+def run_simulated(skeleton, plan=None, policy=None, record_trace=False):
+    prog, table, args, mapping = make_demo(skeleton)
+    return get_backend("simulate").run(
+        mapping, table, program=prog, costs=FAST_TEST, args=args,
+        fault_plan=plan, fault_policy=policy, record_trace=record_trace,
+    )
+
+
+def reference(skeleton):
+    prog, table, args = RECIPES[skeleton]()
+    return get_backend("emulate").run(
+        None, table, program=prog, costs=FAST_TEST, args=args,
+    )
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("skeleton", sorted(RECIPES))
+    def test_outputs_survive_one_worker_crash(self, skeleton):
+        plan = FaultPlan([FaultSpec(
+            kind="crash", process=f"{skeleton}0.worker1", occurrence=0,
+        )])
+        report = run_simulated(skeleton, plan)
+        assert report.one_shot_results == reference(skeleton).one_shot_results
+        faults = report.faults
+        assert len(faults.injected) == 1
+        assert len(faults.detected) == 1
+        assert faults.redispatches >= 1
+        assert f"{skeleton}0.worker1" in faults.quarantined[0]
+
+    def test_detection_latency_is_virtual(self):
+        policy = FaultPolicy(detect_us=800.0)
+        plan = FaultPlan([FaultSpec(
+            kind="crash", process="df0.worker1", occurrence=0,
+        )])
+        report = run_simulated("df", plan, policy)
+        latencies = report.faults.recovery_latencies()
+        assert latencies
+        # Recovery happens at detection plus the master's dispatch cost,
+        # so the virtual latency is at least detect_us and the same
+        # order of magnitude.
+        assert all(800.0 <= lat < 8000.0 for lat in latencies)
+
+    def test_processor_keyed_crash(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        victim = mapping.processor_of("df0.worker1")
+        plan = FaultPlan([FaultSpec(
+            kind="crash", processor=victim, occurrence=0,
+        )])
+        report = run_simulated("df", plan)
+        assert report.one_shot_results == reference("df").one_shot_results
+        assert len(report.faults.injected) == 1
+
+    def test_stall_is_detected_and_quarantined(self):
+        plan = FaultPlan([FaultSpec(
+            kind="stall", process="df0.worker2", occurrence=0,
+        )])
+        report = run_simulated("df", plan)
+        assert report.one_shot_results == reference("df").one_shot_results
+        assert report.faults.quarantined == ["df0.worker2@p3"]
+
+
+class TestDelay:
+    def test_delay_stretches_makespan_not_results(self):
+        clean = run_simulated("df")
+        plan = FaultPlan([FaultSpec(
+            kind="delay", process="df0.worker0", occurrence=0,
+            delay_us=50_000.0,
+        )])
+        slowed = run_simulated("df", plan)
+        assert slowed.one_shot_results == clean.one_shot_results
+        assert slowed.makespan > clean.makespan + 40_000.0
+        faults = slowed.faults
+        assert len(faults.injected) == 1
+        # A delay is absorbed, not recovered from.
+        assert faults.redispatches == 0
+        assert faults.quarantined == []
+
+
+class TestDrop:
+    def test_dropped_dispatch_is_resent(self):
+        prog, table, args, mapping = make_demo("df")
+        topo = FaultTopology.from_mapping(mapping)
+        edge = topo.farms[0].workers[1].dispatch_edge
+        plan = FaultPlan([FaultSpec(kind="drop", edge=edge, occurrence=0)])
+        report = get_backend("simulate").run(
+            mapping, table, program=prog, costs=FAST_TEST, args=args,
+            fault_plan=plan,
+        )
+        assert report.one_shot_results == reference("df").one_shot_results
+        faults = report.faults
+        assert len(faults.injected) == 1
+        assert faults.redispatches == 1
+        # The worker is healthy; only the message was lost.
+        assert faults.quarantined == []
+
+
+class TestReporting:
+    def test_trace_instants(self):
+        plan = FaultPlan([FaultSpec(
+            kind="crash", process="df0.worker1", occurrence=0,
+        )])
+        report = run_simulated("df", plan, record_trace=True)
+        names = {i.name for i in report.trace.instants}
+        assert "fault:injected" in names
+        assert "fault:detected" in names
+        assert "fault:redispatch" in names
+        json_doc = report.trace.to_chrome_json()
+        assert '"ph": "i"' in json_doc
+
+    def test_summary_mentions_faults(self):
+        plan = FaultPlan([FaultSpec(
+            kind="crash", process="df0.worker1", occurrence=0,
+        )])
+        report = run_simulated("df", plan)
+        assert "injected" in report.summary()
+
+    def test_no_plan_no_fault_report(self):
+        report = run_simulated("df")
+        assert report.faults is None or not report.faults
+
+    def test_unmatched_fault_never_fires(self):
+        plan = FaultPlan([FaultSpec(
+            kind="crash", process="no.such.worker", occurrence=0,
+        )])
+        report = run_simulated("df", plan)
+        assert report.one_shot_results == reference("df").one_shot_results
+        assert report.faults.injected == []

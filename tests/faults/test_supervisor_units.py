@@ -1,0 +1,168 @@
+"""Unit tests for the supervision plumbing: health board, farm topology
+extraction, fault reports, and the policy's deadline schedule."""
+
+from repro.faults import FaultPolicy, FaultReport
+from repro.faults.demo import make_demo
+from repro.faults.supervisor import HealthBoard, Packet, Result
+from repro.faults.topology import FaultTopology
+from repro.machine.trace import Trace
+from repro.syndex.distribute import Mapping
+
+
+class TestHealthBoard:
+    def test_fresh_after_beat(self):
+        board = HealthBoard.local(2)
+        board.beat(0)
+        now = board.last(0)
+        assert not board.stale(0, now + 0.01, timeout=0.1)
+
+    def test_stale_after_timeout(self):
+        board = HealthBoard.local(1)
+        board.beat(0)
+        assert board.stale(0, board.last(0) + 1.0, timeout=0.1)
+
+    def test_never_beaten_slot_is_fresh_until_first_deadline(self):
+        # Slots start at "now" conceptually: last() is 0.0, so staleness
+        # is measured from the epoch and the supervisor only consults it
+        # once a packet is overdue.
+        board = HealthBoard.local(1)
+        assert board.last(0) == 0.0
+
+
+class TestEnvelopes:
+    def test_packet_and_result_pickle(self):
+        import pickle
+
+        packet = pickle.loads(pickle.dumps(Packet(3, [1, 2])))
+        assert (packet.seq, packet.value) == (3, [1, 2])
+        result = pickle.loads(pickle.dumps(Result(3, 99)))
+        assert (result.seq, result.value) == (3, 99)
+
+
+class TestTopologyExtraction:
+    def test_df_farm_roles(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        topo = FaultTopology.from_mapping(mapping)
+        (farm,) = topo.farms
+        assert farm.kind == "farm"
+        assert farm.sid == "df0"
+        assert farm.owner_pid == farm.dispatcher_pid == "df0.master"
+        assert farm.supervised
+        assert farm.degree == 3
+        # Every role edge is distinct and registered in the lookups.
+        edges = [
+            (w.dispatch_edge, w.work_in_edge, w.work_out_edge, w.collect_edge)
+            for w in farm.workers
+        ]
+        flat = [e for quad in edges for e in quad]
+        assert len(set(flat)) == len(flat)
+        for w in farm.workers:
+            assert topo.dispatch_edges[w.dispatch_edge] == (farm, w)
+            assert topo.collect_edges[w.collect_edge] == (farm, w)
+
+    def test_scm_farm_roles(self):
+        _prog, _table, _args, mapping = make_demo("scm")
+        topo = FaultTopology.from_mapping(mapping)
+        (farm,) = topo.farms
+        assert farm.kind == "scm"
+        assert farm.owner_pid.endswith(".merge")
+        assert farm.dispatcher_pid.endswith(".split")
+        for w in farm.workers:
+            # scm has no routers: the split->worker edge is both the
+            # dispatch and the work-in edge.
+            assert w.dispatch_edge == w.work_in_edge
+            assert w.work_out_edge == w.collect_edge
+
+    def test_slots_are_unique_and_dense(self):
+        _prog, _table, _args, mapping = make_demo("tf")
+        topo = FaultTopology.from_mapping(mapping)
+        slots = [w.slot for f in topo.farms for w in f.workers]
+        assert sorted(slots) == list(range(topo.n_slots))
+
+    def test_worker_pids(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        topo = FaultTopology.from_mapping(mapping)
+        assert topo.worker_pids == [
+            "df0.worker0", "df0.worker1", "df0.worker2",
+        ]
+
+    def test_farm_of_collect_edges(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        topo = FaultTopology.from_mapping(mapping)
+        (farm,) = topo.farms
+        edges = [w.collect_edge for w in farm.workers]
+        assert topo.farm_of_collect_edges(edges) is farm
+        assert topo.farm_of_collect_edges(edges + ["e999"]) is None
+
+    def test_scm_split_merge_apart_is_unsupervised(self):
+        _prog, _table, _args, mapping = make_demo("scm")
+        split = next(p for p in mapping.assignment if p.endswith(".split"))
+        merge = next(p for p in mapping.assignment if p.endswith(".merge"))
+        assignment = dict(mapping.assignment)
+        procs = mapping.arch.processor_ids()
+        assignment[split], assignment[merge] = procs[0], procs[-1]
+        assert assignment[split] != assignment[merge]
+        apart = Mapping(mapping.graph, mapping.arch, assignment)
+        topo = FaultTopology.from_mapping(apart)
+        (farm,) = topo.farms
+        assert not farm.supervised
+        assert farm.workers  # workers still enumerated for slot layout
+        assert topo.dispatch_edges == {}  # but no supervised role lookups
+
+
+class TestFaultReport:
+    def test_categories_and_views(self):
+        report = FaultReport()
+        report.add("injected", "crash", "w1", 10.0)
+        report.add("detected", "crash", "w1", 20.0, processor="p2")
+        report.add("quarantine", "crash", "w1", 20.0, processor="p2")
+        report.add("quarantine", "crash", "w1", 21.0, processor="p2")
+        report.add("redispatch", "crash", "w2", 25.0, latency_us=15.0)
+        assert len(report.injected) == 1
+        assert len(report.detected) == 1
+        assert report.redispatches == 1
+        assert report.quarantined == ["w1@p2"]  # deduplicated
+        assert report.recovery_latencies() == [15.0]
+        summary = report.summary()
+        assert "1 injected" in summary
+        assert "1 re-dispatch" in summary
+        assert "w1@p2" in summary
+
+    def test_merge_and_sort(self):
+        a = FaultReport()
+        a.add("detected", "crash", "w", 30.0)
+        b = FaultReport()
+        b.add("injected", "crash", "w", 10.0)
+        a.merge(b).merge(None)
+        assert [r.category for r in a.sorted().records] == [
+            "injected", "detected",
+        ]
+
+    def test_payload_round_trip(self):
+        report = FaultReport()
+        report.add("redispatch", "stall", "w", 5.0, seq=3, attempts=1,
+                   latency_us=2.5, note="moved")
+        again = FaultReport.from_payload(report.to_payload())
+        (record,) = again.records
+        assert record.seq == 3
+        assert record.attempts == 1
+        assert record.latency_us == 2.5
+        assert record.note == "moved"
+
+    def test_annotate_trace_emits_instants(self):
+        report = FaultReport()
+        report.add("detected", "crash", "w1", 12.0, processor="p2")
+        trace = Trace()
+        report.annotate_trace(trace)
+        (instant,) = trace.instants
+        assert instant.name == "fault:detected"
+        assert instant.resource == "p2"
+        assert instant.time == 12.0
+
+
+class TestFaultPolicy:
+    def test_deadline_backoff(self):
+        policy = FaultPolicy(packet_timeout_s=1.0, backoff=2.0)
+        assert policy.deadline_s(0) == 1.0
+        assert policy.deadline_s(1) == 2.0
+        assert policy.deadline_s(2) == 4.0

@@ -1,0 +1,169 @@
+"""Direct unit tests for the deadlock-freedom analysis.
+
+Each of the four checks in :func:`check_deadlock_freedom` gets a
+hand-built violating graph, and the road-following case study provides
+the positive control on the paper's ring topology.
+"""
+
+import pytest
+
+from repro.minicaml.compile import compile_source
+from repro.pnt import expand_program
+from repro.pnt.graph import Process, ProcessGraph, ProcessKind
+from repro.roadfollow import build_road_app
+from repro.syndex import check_deadlock_freedom, distribute, ring
+from repro.syndex.arch import Architecture, Processor
+from repro.syndex.distribute import Mapping
+
+
+def _apply(pid, n_in=1, n_out=1):
+    return Process(pid, ProcessKind.APPLY, func="f", n_in=n_in, n_out=n_out)
+
+
+def _trivial_mapping(graph, n=2):
+    return distribute(graph, ring(n))
+
+
+class TestCyclicDataflow:
+    def test_flags_two_node_cycle(self):
+        graph = ProcessGraph("cyclic")
+        graph.add_process(_apply("a"))
+        graph.add_process(_apply("b"))
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        report = check_deadlock_freedom(_trivial_mapping(graph))
+        assert not report.ok
+        assert any("cyclic" in v for v in report.violations)
+        assert "DEADLOCK RISK" in report.render()
+
+    def test_flags_longer_routing_cycle(self):
+        # a -> b -> c -> a: no topological order exists anywhere.
+        graph = ProcessGraph("ring_of_applies")
+        for pid in ("a", "b", "c"):
+            graph.add_process(_apply(pid))
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        report = check_deadlock_freedom(_trivial_mapping(graph, 3))
+        assert not report.ok
+        assert any("cyclic" in v for v in report.violations)
+
+    def test_acyclic_chain_passes(self):
+        graph = ProcessGraph("chain")
+        for pid in ("a", "b", "c"):
+            graph.add_process(_apply(pid))
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert check_deadlock_freedom(_trivial_mapping(graph)).ok
+
+
+class TestFarmProtocol:
+    @staticmethod
+    def _df_graph():
+        from repro.core import FunctionTable, ProgramBuilder
+
+        table = FunctionTable()
+        table.register("sq", ins=["int"], outs=["int"])(lambda x: x * x)
+        table.register(
+            "add", ins=["int", "int"], outs=["int"],
+            properties=["commutative", "associative"],
+        )(lambda a, b: a + b)
+        b = ProgramBuilder("df_guard", table)
+        (xs,) = b.params("xs")
+        r = b.df(3, comp="sq", acc="add", z=b.const(0), xs=xs)
+        return expand_program(b.returns(r), table)
+
+    def test_intact_farm_passes(self):
+        graph = self._df_graph()
+        assert check_deadlock_freedom(distribute(graph, ring(4))).ok
+
+    def test_flags_missing_dispatch_edge(self):
+        graph = self._df_graph()
+        (master,) = graph.by_kind(ProcessKind.MASTER)
+        victim = next(
+            e for e in graph.out_edges(master.id) if e.src_port >= 1
+        )
+        graph.edges = [e for e in graph.edges if e is not victim]
+        report = check_deadlock_freedom(distribute(graph, ring(4)))
+        assert not report.ok
+        assert any("dispatch" in v for v in report.violations)
+
+    def test_flags_missing_worker(self):
+        graph = self._df_graph()
+        # Demote one worker out of the WORKER kind: the master's degree
+        # no longer matches the farm's worker population.
+        worker = graph.by_kind(ProcessKind.WORKER)[0]
+        worker.kind = ProcessKind.APPLY
+        report = check_deadlock_freedom(distribute(graph, ring(4)))
+        assert not report.ok
+        assert any("workers" in v for v in report.violations)
+
+
+class TestRoutability:
+    def test_flags_unroutable_remote_edge(self):
+        # Two processors with no channel between them: any remote edge
+        # waits forever for a path.
+        arch = Architecture("islands")
+        arch.add_processor(Processor("p0", io=True))
+        arch.add_processor(Processor("p1"))
+        graph = ProcessGraph("split")
+        graph.add_process(_apply("a"))
+        graph.add_process(_apply("b"))
+        graph.add_edge("a", "b")
+        mapping = Mapping(graph, arch, {"a": "p0", "b": "p1"})
+        report = check_deadlock_freedom(mapping)
+        assert not report.ok
+        assert any(
+            "unroutable" in v or "without a route" in v
+            for v in report.violations
+        )
+
+
+class TestFeedbackEdges:
+    def test_flags_loop_edge_to_non_mem(self):
+        graph = ProcessGraph("badloop")
+        graph.add_process(_apply("a"))
+        graph.add_process(_apply("b"))
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a", loop=True)
+        report = check_deadlock_freedom(_trivial_mapping(graph))
+        assert not report.ok
+        assert any("non-memory" in v for v in report.violations)
+
+    def test_flags_mem_without_feedback(self):
+        graph = ProcessGraph("nofeedback")
+        graph.add_process(_apply("a"))
+        graph.add_process(
+            Process("m", ProcessKind.MEM, n_in=1, n_out=1)
+        )
+        graph.add_edge("m", "a")
+        report = check_deadlock_freedom(_trivial_mapping(graph))
+        assert not report.ok
+        assert any("feedback" in v for v in report.violations)
+
+    def test_flags_double_feedback(self):
+        graph = ProcessGraph("doublefeedback")
+        graph.add_process(_apply("a", n_out=2))
+        graph.add_process(
+            Process("m", ProcessKind.MEM, n_in=2, n_out=1)
+        )
+        graph.add_edge("m", "a")
+        graph.add_edge("a", "m", src_port=0, dst_port=0, loop=True)
+        graph.add_edge("a", "m", src_port=1, dst_port=1, loop=True)
+        report = check_deadlock_freedom(_trivial_mapping(graph))
+        assert not report.ok
+        assert any("2 feedback" in v for v in report.violations)
+
+
+class TestCaseStudyRingMapping:
+    """The paper's road-following application on the ring machine."""
+
+    @pytest.mark.parametrize("nproc", [2, 4, 8])
+    def test_road_following_is_deadlock_free(self, nproc):
+        app = build_road_app(nbands=4, n_frames=2)
+        compiled = compile_source(app.source, app.table)
+        graph = expand_program(compiled.ir, app.table)
+        mapping = distribute(graph, ring(nproc))
+        report = check_deadlock_freedom(mapping)
+        assert report.ok, report.render()
+        assert report.render() == "deadlock-free: all checks passed"
