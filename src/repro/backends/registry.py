@@ -33,7 +33,8 @@ def get_backend(name: str) -> Backend:
         cls = _REGISTRY[name]
     except KeyError:
         raise BackendError(
-            f"unknown backend {name!r}; available: {backend_names()}"
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(backend_names())}"
         ) from None
     if not cls.available():
         raise BackendError(f"backend {name!r} is not available on this host")

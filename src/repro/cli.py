@@ -11,6 +11,7 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro run       spec.ml --functions app:TABLE --arch ring:8 --backend processes
     python -m repro run       spec.ml --functions app:TABLE --faults plan.json
     python -m repro faults    --skeleton scm --backend processes
+    python -m repro check     --backends simulate,threads --cases 50 --seed 7
     python -m repro backends
 
 ``--functions`` names the application's sequential-function table as
@@ -259,6 +260,32 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .conformance import run_conformance
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        raise SystemExit("error: --backends names no backend")
+    unknown = sorted(set(backends) - set(backend_names()))
+    if unknown:
+        raise SystemExit(
+            f"error: unknown backend(s) {', '.join(unknown)} "
+            f"(available: {', '.join(backend_names())})"
+        )
+    report = run_conformance(
+        backends=backends,
+        cases=args.cases,
+        seed=args.seed,
+        faults=args.faults,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        timeout=args.timeout,
+        log=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_faults(args) -> int:
     from .faults.demo import main as demo_main
 
@@ -359,6 +386,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="write the trace as Chrome trace-event JSON")
     _add_fault_options(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "check",
+        help="cross-backend conformance fuzzing (differential + trace "
+             "invariants)",
+    )
+    p.add_argument("--backends", default="simulate,threads",
+                   help="comma-separated backends to check against the "
+                        "emulation reference (default: simulate,threads)")
+    p.add_argument("--cases", type=int, default=25, metavar="N",
+                   help="number of generated cases (default: 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed of the case stream (default: 0)")
+    p.add_argument("--faults", action="store_true",
+                   help="also generate seeded fault plans (crash/delay on "
+                        "farm workers)")
+    p.add_argument("--corpus", metavar="DIR", default=None,
+                   help="replay this reproducer corpus first and write "
+                        "shrunk failures into it")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-run deadline in seconds (real backends)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep failing cases unshrunk (faster triage loop)")
+    p.set_defaults(fn=_cmd_check)
 
     # Listed for --help only; main() dispatches to the demo before parsing.
     p = sub.add_parser(

@@ -1,0 +1,51 @@
+"""Cross-backend conformance harness.
+
+The paper's central correctness claim is the equivalence of each
+skeleton's declarative semantics and its expanded operational process
+network (§2, Fig. 2).  This package checks that claim mechanically and
+at scale:
+
+* :mod:`~repro.conformance.generator` draws random well-typed skeletal
+  programs (all four skeletons, nesting under ``itermem``, fan-out,
+  list/tuple payloads, seeded fault plans) from one integer seed;
+* :mod:`~repro.conformance.oracle` runs each program differentially
+  across the registered execution backends and diffs every output
+  against the sequential emulation reference;
+* :mod:`~repro.conformance.invariants` checks *trace invariants* on the
+  run report — packet conservation per farm, causal span ordering,
+  fault-recovery accounting, no activity after termination — catching
+  "right answer, wrong execution" bugs the differential oracle misses;
+* :mod:`~repro.conformance.shrink` reduces a failing case to a minimal
+  reproducer, and :mod:`~repro.conformance.corpus` persists it as JSON
+  so every later run replays it as a regression test;
+* :mod:`~repro.conformance.runner` ties it together behind
+  ``repro check`` and the CI conformance job.
+"""
+
+from .generator import CaseSpec, build_case, generate_case
+from .invariants import check_trace_invariants
+from .oracle import CaseFailure, run_case
+from .corpus import (
+    case_fingerprint,
+    load_corpus,
+    replay_corpus,
+    save_reproducer,
+)
+from .runner import ConformanceReport, run_conformance
+from .shrink import shrink_case
+
+__all__ = [
+    "CaseSpec",
+    "generate_case",
+    "build_case",
+    "CaseFailure",
+    "run_case",
+    "check_trace_invariants",
+    "shrink_case",
+    "case_fingerprint",
+    "save_reproducer",
+    "load_corpus",
+    "replay_corpus",
+    "ConformanceReport",
+    "run_conformance",
+]

@@ -1,0 +1,106 @@
+"""The JSON reproducer corpus: failures become regression tests.
+
+Every case the fuzzer ever shrank lives as one small JSON file under
+``tests/conformance/corpus/``.  CI (and ``repro check --corpus``)
+replays the whole directory deterministically before spending any fuzz
+budget, so a fixed bug stays fixed; a handful of committed ``seed_*``
+entries keep the replay leg meaningful even while the corpus has no
+captured failures.
+
+Entry format (version 1)::
+
+    {"version": 1,
+     "spec": { ... CaseSpec.to_dict() ... },
+     "failure": {"phase": "differential", "backend": "simulate",
+                 "detail": "..."},        # null for seed entries
+     "note": "free-form provenance"}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .generator import CaseSpec
+from .oracle import CaseFailure, run_case
+
+__all__ = [
+    "case_fingerprint",
+    "save_reproducer",
+    "load_corpus",
+    "replay_corpus",
+]
+
+
+def case_fingerprint(spec: CaseSpec) -> str:
+    """A short stable id for a case (content-addressed file naming)."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True)
+    return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+
+def save_reproducer(
+    spec: CaseSpec,
+    failure: Optional[CaseFailure],
+    corpus_dir: str,
+    *,
+    note: str = "",
+) -> str:
+    """Write one corpus entry; returns its path.
+
+    Shrunk reproducers are content-addressed (re-finding the same bug is
+    idempotent); pass ``failure=None`` for hand-committed seed entries.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    entry: Dict = {"version": 1, "spec": spec.to_dict()}
+    entry["failure"] = failure.to_dict() if failure is not None else None
+    if note:
+        entry["note"] = note
+    path = os.path.join(
+        corpus_dir, f"shrunk_{case_fingerprint(spec)}.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir: str) -> List[Tuple[str, CaseSpec, Optional[Dict]]]:
+    """All corpus entries as (path, spec, recorded failure or None)."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path) as handle:
+            data = json.load(handle)
+        if data.get("version", 1) != 1:
+            raise ValueError(f"{path}: unsupported corpus version")
+        entries.append(
+            (path, CaseSpec.from_dict(data["spec"]), data.get("failure"))
+        )
+    return entries
+
+
+def replay_corpus(
+    corpus_dir: str,
+    backends: Sequence[str],
+    *,
+    timeout: float = 30.0,
+) -> Tuple[int, List[CaseFailure]]:
+    """Re-run every corpus entry; (entries replayed, current failures).
+
+    An entry's *recorded* failure documents why it was captured; replay
+    demands the case passes **now** — each entry is a regression test
+    for the bug it once exposed.
+    """
+    failures: List[CaseFailure] = []
+    entries = load_corpus(corpus_dir)
+    for _path, spec, _recorded in entries:
+        failure = run_case(spec, backends, timeout=timeout)
+        if failure is not None:
+            failures.append(failure)
+    return len(entries), failures

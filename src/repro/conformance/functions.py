@@ -1,0 +1,287 @@
+"""The conformance harness's pool of sequential building blocks.
+
+Every function is a module-level ``def`` so a generated program's
+:class:`~repro.core.functions.FunctionTable` pickles under the ``spawn``
+start method (the same constraint the backend-equivalence suite obeys).
+Accumulators are commutative and associative — the paper's condition for
+farm accumulation-order insensitivity — and list accumulators sort, so
+every backend's arrival order produces the same value.
+
+Stream inputs are a fixed deterministic function of the read index (see
+:func:`stream_read`): a spawned worker OS process re-imports this module
+and must reproduce the exact same stream without any shipped state.
+Call :func:`reset_stream` before *every* run so fork/threads runs start
+from index 0 too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.functions import FunctionTable
+from ..core.semantics import TaskOutcome
+
+__all__ = [
+    "BASES",
+    "COMPS",
+    "ACCS",
+    "ACC_ZERO",
+    "TF_COMPS",
+    "SCM_COMPS",
+    "SPLITS",
+    "MERGES",
+    "EXPANDERS",
+    "COMBINERS",
+    "fresh_table",
+    "register_alias",
+    "reset_stream",
+]
+
+
+# -- int -> int computations --------------------------------------------------
+
+def inc(x):
+    return x + 1
+
+
+def dbl(x):
+    return 2 * x
+
+
+def sq(x):
+    return x * x
+
+
+def negabs(x):
+    return -abs(x)
+
+
+# -- commutative/associative accumulators -------------------------------------
+
+def add(a, b):
+    return a + b
+
+
+def mul(a, b):
+    return a * b
+
+
+def maxi(a, b):
+    return max(a, b)
+
+
+def mini(a, b):
+    return min(a, b)
+
+
+def tolist(acc, y):
+    """Order-insensitive list accumulator (``append`` up to reordering)."""
+    return sorted(acc + [y], key=repr)
+
+
+# -- task-farm computations (bounded divide-and-conquer) ----------------------
+
+def halve(x):
+    """Split |x| in two until small; the magnitude guard bounds the farm
+    against the huge values a preceding ``mul``/``sq`` stage can feed it."""
+    if abs(x) <= 1 or abs(x) > 64:
+        return TaskOutcome(results=[x])
+    return TaskOutcome(subtasks=[x // 2, x - x // 2])
+
+
+def countdown(x):
+    """Emit x and recurse on x-1 — a linear packet chain, bounded."""
+    if x <= 0 or x > 16:
+        return TaskOutcome(results=[x])
+    return TaskOutcome(results=[x], subtasks=[x - 1])
+
+
+# -- scm: split / per-piece compute / merge -----------------------------------
+
+def chunk(n, xs):
+    """Balanced contiguous chunks; fewer than n when the list is short."""
+    base, extra = divmod(len(xs), n)
+    out, start = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(xs[start:start + size])
+        start += size
+    return out
+
+
+def stride(n, xs):
+    """Round-robin decomposition (piece i takes xs[i::n])."""
+    return [xs[i::n] for i in range(n) if xs[i::n]]
+
+
+def sumlist(piece):
+    return sum(piece)
+
+
+def maxlist(piece):
+    return max(piece, default=0)
+
+
+def lenlist(piece):
+    return len(piece)
+
+
+def total(_orig, parts):
+    return sum(parts)
+
+
+def peak(_orig, parts):
+    return max(parts, default=0)
+
+
+# -- expanders (int -> int list) and tuple payloads ---------------------------
+
+def spread(x):
+    return [x + d for d in range(3)]
+
+
+def rangeto(x):
+    return list(range(abs(x) % 5 + 1))
+
+
+def bounds(xs):
+    """List -> (min, max) tuple payload."""
+    if not xs:
+        return (0, 0)
+    return (min(xs), max(xs))
+
+
+def span(pair):
+    lo, hi = pair
+    return hi - lo
+
+
+# -- combiners for fan-out joins (plain applies, need not commute) ------------
+
+def diff(a, b):
+    return a - b
+
+
+# -- stream endpoints ---------------------------------------------------------
+
+_STREAM = {"i": 0}
+
+
+def reset_stream() -> None:
+    """Rewind the synthetic stream (call before every run)."""
+    _STREAM["i"] = 0
+
+
+def stream_read(_src):
+    """Deterministic synthetic video stream: item i is a pure function of
+    i, so a re-imported (spawn) worker reproduces it with no shipped
+    state."""
+    i = _STREAM["i"]
+    _STREAM["i"] += 1
+    return ((7 * i + 3) % 11) - 5
+
+
+def stream_emit(_y):
+    return None
+
+
+def state_step(state, y):
+    return state + y
+
+
+# -- the base registry --------------------------------------------------------
+
+#: name -> (fn, ins, outs, cost_us, properties)
+BASES: Dict[str, Tuple] = {
+    "inc": (inc, ["int"], ["int"], 30.0, ()),
+    "dbl": (dbl, ["int"], ["int"], 30.0, ()),
+    "sq": (sq, ["int"], ["int"], 40.0, ()),
+    "negabs": (negabs, ["int"], ["int"], 30.0, ()),
+    "add": (add, ["int", "int"], ["int"], 10.0,
+            ("commutative", "associative")),
+    "mul": (mul, ["int", "int"], ["int"], 10.0,
+            ("commutative", "associative")),
+    "maxi": (maxi, ["int", "int"], ["int"], 10.0,
+             ("commutative", "associative")),
+    "mini": (mini, ["int", "int"], ["int"], 10.0,
+             ("commutative", "associative")),
+    "tolist": (tolist, ["'a list", "'a"], ["'a list"], 10.0, ("append",)),
+    "halve": (halve, ["int"], ["outcome"], 30.0, ()),
+    "countdown": (countdown, ["int"], ["outcome"], 30.0, ()),
+    "chunk": (chunk, ["int", "int list"], ["int list list"], 20.0, ()),
+    "stride": (stride, ["int", "int list"], ["int list list"], 20.0, ()),
+    "sumlist": (sumlist, ["int list"], ["int"], 40.0, ()),
+    "maxlist": (maxlist, ["int list"], ["int"], 40.0, ()),
+    "lenlist": (lenlist, ["int list"], ["int"], 20.0, ()),
+    "total": (total, ["int list", "int list"], ["int"], 20.0, ()),
+    "peak": (peak, ["int list", "int list"], ["int"], 20.0, ()),
+    "spread": (spread, ["int"], ["int list"], 20.0, ()),
+    "rangeto": (rangeto, ["int"], ["int list"], 20.0, ()),
+    "bounds": (bounds, ["int list"], ["int * int"], 20.0, ()),
+    "span": (span, ["int * int"], ["int"], 10.0, ()),
+    "diff": (diff, ["int", "int"], ["int"], 10.0, ()),
+    "s_read": (stream_read, ["unit"], ["int"], 10.0, ()),
+    "s_emit": (stream_emit, ["int"], ["unit"], 5.0, ()),
+    "state_step": (state_step, ["int", "int"], ["int"], 10.0, ()),
+}
+
+#: Pools the generator draws from, by role.
+COMPS: Sequence[str] = ("inc", "dbl", "sq", "negabs")
+ACCS: Sequence[str] = ("add", "mul", "maxi", "mini")
+#: The accumulator seed per accumulator (any value preserves equivalence
+#: for an order-insensitive acc; identities keep values tame).
+ACC_ZERO: Dict[str, int] = {"add": 0, "mul": 1, "maxi": 0, "mini": 0}
+TF_COMPS: Sequence[str] = ("halve", "countdown")
+SCM_COMPS: Sequence[str] = ("sumlist", "maxlist", "lenlist")
+SPLITS: Sequence[str] = ("chunk", "stride")
+MERGES: Sequence[str] = ("total", "peak")
+EXPANDERS: Sequence[str] = ("spread", "rangeto")
+COMBINERS: Sequence[str] = ("add", "maxi", "diff")
+
+
+def register_alias(table: FunctionTable, alias: str, base: str) -> str:
+    """Register base function ``base`` under ``alias``.
+
+    Each generated farm stage gets stage-unique aliases for its role
+    functions, so the invariant checker can key packet counts to one
+    skeleton instance even when two stages share an implementation.
+    """
+    fn, ins, outs, cost, props = BASES[base]
+    table.register(alias, ins=ins, outs=outs, cost=cost, properties=props)(fn)
+    return alias
+
+
+def fresh_table(names: Sequence[str] = ()) -> FunctionTable:
+    """A new table holding the named base functions (all when empty)."""
+    table = FunctionTable()
+    for name in (names or BASES):
+        register_alias(table, name, name)
+    return table
+
+
+def make_counting_table(table: FunctionTable):
+    """A shadow table whose functions count their calls by name.
+
+    The wrapper closures are *not* picklable; use the counting table
+    only for the in-process sequential-emulation reference.  Returns
+    ``(table, counts)`` where ``counts`` fills in as the run proceeds —
+    the per-alias totals are the expected packet counts of the trace
+    invariant checker.
+    """
+    from ..core.functions import FunctionSpec
+
+    counts: Dict[str, int] = {}
+    shadow = FunctionTable()
+    for spec in table:
+        def counted(*args, _fn=spec.fn, _name=spec.name):
+            counts[_name] = counts.get(_name, 0) + 1
+            return _fn(*args)
+
+        shadow.add(
+            FunctionSpec(
+                spec.name, counted, spec.ins, spec.outs, spec.cost,
+                spec.doc, spec.properties,
+            )
+        )
+    return shadow, counts

@@ -1,0 +1,370 @@
+"""Seeded generation of random well-typed skeletal programs.
+
+A :class:`CaseSpec` is a *plain-data recipe* — JSON round-trippable, so
+a failing case shrinks, persists to the corpus and replays bit-for-bit —
+that :func:`build_case` elaborates into a real
+:class:`~repro.core.ir.Program` plus a picklable function table.
+
+The grammar is a typed pipeline over a current value tagged ``int`` or
+``list``:
+
+====== ============== =======================================================
+op     type           meaning
+====== ============== =======================================================
+map     int -> int    a sequential function application
+expand  int -> list   re-expand a scalar into a packet list
+pair    list -> int   ``bounds``/``span`` — tuple payload through two applies
+df      list -> int   Data Farming with a commutative accumulator
+dfl     list -> list  Data Farming into a sorted-list accumulator
+tf      list -> int   Task Farming (bounded divide-and-conquer comps)
+scm     list -> int   Split-Compute-Merge over list chunks
+fanout  list -> int   two farms on the same value, joined by an apply
+====== ============== =======================================================
+
+Stream cases wrap the body in ``itermem`` (params ``(state, item)``,
+results ``(state', y)``) over the deterministic synthetic stream of
+:mod:`~repro.conformance.functions`.  Every skeleton role function is
+registered under a stage-unique alias (``s3_comp`` etc.) so trace
+invariants can attribute packet counts to one skeleton instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.builder import ProgramBuilder
+from ..core.functions import FunctionTable
+from ..core.ir import Program, SkelApply
+from ..syndex import arch as arch_mod
+from . import functions as pool
+
+__all__ = ["CaseSpec", "BuiltCase", "generate_case", "build_case",
+           "make_arch", "STAGE_TAGS", "chain_tags"]
+
+#: op -> (input tag, output tag)
+STAGE_TAGS: Dict[str, Tuple[str, str]] = {
+    "map": ("int", "int"),
+    "expand": ("int", "list"),
+    "pair": ("list", "int"),
+    "df": ("list", "int"),
+    "dfl": ("list", "list"),
+    "tf": ("list", "int"),
+    "scm": ("list", "int"),
+    "fanout": ("list", "int"),
+}
+
+SKELETON_OPS = ("df", "dfl", "tf", "scm", "fanout")
+
+ARCH_KINDS = ("ring", "chain", "now")
+
+
+@dataclass
+class CaseSpec:
+    """One conformance case, as replayable plain data."""
+
+    seed: int
+    kind: str                      # "oneshot" | "stream"
+    arch: Tuple[str, int]          # (topology, processor count)
+    input: List[int]               # one-shot payload (stream: unused)
+    iterations: int                # stream iterations (one-shot: 0)
+    stages: List[Dict[str, Any]]
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "version": 1,
+            "seed": self.seed,
+            "kind": self.kind,
+            "arch": list(self.arch),
+            "input": list(self.input),
+            "iterations": self.iterations,
+            "stages": [dict(s) for s in self.stages],
+        }
+        if self.faults:
+            out["faults"] = [dict(f) for f in self.faults]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CaseSpec":
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported case version {version!r}")
+        return cls(
+            seed=data.get("seed", 0),
+            kind=data["kind"],
+            arch=(data["arch"][0], int(data["arch"][1])),
+            input=[int(x) for x in data.get("input", [])],
+            iterations=int(data.get("iterations", 0)),
+            stages=[dict(s) for s in data["stages"]],
+            faults=[dict(f) for f in data.get("faults", [])],
+        )
+
+    # -- structure ---------------------------------------------------------
+
+    def size(self) -> Tuple[int, ...]:
+        """Shrink-ordering key: smaller tuple = simpler case."""
+        degrees = sum(int(s.get("degree", 0)) for s in self.stages)
+        return (
+            len(self.stages), len(self.faults), len(self.input),
+            degrees, self.arch[1], self.iterations,
+            sum(abs(x) for x in self.input),
+        )
+
+    def skeleton_stage_count(self) -> int:
+        return sum(1 for s in self.stages if s["op"] in SKELETON_OPS)
+
+
+def chain_tags(spec: CaseSpec) -> Optional[str]:
+    """The output tag of the stage chain, or None when ill-typed.
+
+    Stream bodies start from the scalar stream item and must end on a
+    scalar ``y``; one-shot bodies start from the list parameter.
+    """
+    tag = "int" if spec.kind == "stream" else "list"
+    for stage in spec.stages:
+        op = stage.get("op")
+        if op not in STAGE_TAGS:
+            return None
+        want, out = STAGE_TAGS[op]
+        if tag != want:
+            return None
+        tag = out
+    if spec.kind == "stream" and tag != "int":
+        return None
+    return tag
+
+
+# -- generation ---------------------------------------------------------------
+
+def _draw_stage(rng: random.Random, tag: str) -> Dict[str, Any]:
+    if tag == "int":
+        if rng.random() < 0.6:
+            return {"op": "expand", "fn": rng.choice(pool.EXPANDERS)}
+        return {"op": "map", "fn": rng.choice(pool.COMPS)}
+    op = rng.choice(("df", "df", "dfl", "tf", "scm", "scm", "fanout", "pair"))
+    degree = rng.randint(1, 4)
+    if op == "df":
+        return {"op": op, "comp": rng.choice(pool.COMPS),
+                "acc": rng.choice(pool.ACCS), "degree": degree}
+    if op == "dfl":
+        return {"op": op, "comp": rng.choice(pool.COMPS), "degree": degree}
+    if op == "tf":
+        return {"op": op, "comp": rng.choice(pool.TF_COMPS),
+                "acc": rng.choice(("add", "maxi")), "degree": degree}
+    if op == "scm":
+        return {"op": op, "split": rng.choice(pool.SPLITS),
+                "comp": rng.choice(pool.SCM_COMPS),
+                "merge": rng.choice(pool.MERGES), "degree": degree}
+    if op == "fanout":
+        return {
+            "op": op,
+            "left": {"comp": rng.choice(pool.COMPS),
+                     "acc": rng.choice(pool.ACCS),
+                     "degree": rng.randint(1, 3)},
+            "right": {"comp": rng.choice(pool.COMPS),
+                      "acc": rng.choice(pool.ACCS),
+                      "degree": rng.randint(1, 3)},
+            "combine": rng.choice(pool.COMBINERS),
+        }
+    return {"op": "pair"}
+
+
+def generate_case(
+    seed: int,
+    *,
+    max_stages: int = 3,
+    allow_faults: bool = False,
+) -> CaseSpec:
+    """Draw one case deterministically from ``seed``."""
+    rng = random.Random(seed)
+    kind = "stream" if rng.random() < 0.25 else "oneshot"
+    spec = CaseSpec(
+        seed=seed,
+        kind=kind,
+        arch=(rng.choice(ARCH_KINDS), rng.randint(1, 5)),
+        input=[rng.randint(-9, 9) for _ in range(rng.randint(0, 8))],
+        iterations=rng.randint(1, 3) if kind == "stream" else 0,
+        stages=[],
+    )
+    tag = "int" if kind == "stream" else "list"
+    for _ in range(rng.randint(1, max_stages)):
+        stage = _draw_stage(rng, tag)
+        spec.stages.append(stage)
+        tag = STAGE_TAGS[stage["op"]][1]
+    # Guarantee at least one skeleton instance.
+    if spec.skeleton_stage_count() == 0:
+        if tag == "int":
+            spec.stages.append({"op": "expand",
+                                "fn": rng.choice(pool.EXPANDERS)})
+        stage = _draw_stage(rng, "list")
+        while stage["op"] not in SKELETON_OPS:
+            stage = _draw_stage(rng, "list")
+        spec.stages.append(stage)
+        tag = STAGE_TAGS[stage["op"]][1]
+    # A stream body must return a scalar y.
+    if kind == "stream" and tag == "list":
+        spec.stages.append({"op": "pair"})
+    if allow_faults:
+        spec.faults = _draw_faults(rng, spec)
+    assert chain_tags(spec) is not None, f"generator produced ill-typed {spec}"
+    return spec
+
+
+def _farm_sids(spec: CaseSpec) -> List[Tuple[str, int]]:
+    """(skeleton id, degree) of every df/tf instance, in expansion order.
+
+    Mirrors :mod:`repro.pnt.expand`, which names instances
+    ``<kind><running index over all SkelApply bindings>``.
+    """
+    sids: List[Tuple[str, int]] = []
+    counter = 0
+    for stage in spec.stages:
+        op = stage["op"]
+        if op in ("df", "dfl", "tf"):
+            kind = "tf" if op == "tf" else "df"
+            sids.append((f"{kind}{counter}", int(stage["degree"])))
+            counter += 1
+        elif op == "scm":
+            counter += 1  # scm instances are not fault targets (v1)
+        elif op == "fanout":
+            for branch in ("left", "right"):
+                sids.append((f"df{counter}", int(stage[branch]["degree"])))
+                counter += 1
+    return sids
+
+
+def _draw_faults(rng: random.Random, spec: CaseSpec) -> List[Dict[str, Any]]:
+    """Seeded fault events over the case's df/tf workers.
+
+    Crashes only hit farms with >= 2 workers (a degree-1 farm that loses
+    its only worker is legitimately unrecoverable), at most one crash
+    per farm, and only on one-shot cases (the supervised stream path is
+    exercised by the dedicated chaos suite).
+    """
+    if spec.kind != "oneshot":
+        return []
+    farms = _farm_sids(spec)
+    if not farms:
+        return []
+    events: List[Dict[str, Any]] = []
+    crashed = set()
+    for _ in range(rng.randint(1, 2)):
+        sid, degree = rng.choice(farms)
+        worker = rng.randint(0, degree - 1)
+        if rng.random() < 0.6 and degree >= 2 and sid not in crashed:
+            crashed.add(sid)
+            events.append({
+                "kind": "crash",
+                "process": f"{sid}.worker{worker}",
+                "occurrence": rng.randint(0, 1),
+            })
+        else:
+            events.append({
+                "kind": "delay",
+                "process": f"{sid}.worker{worker}",
+                "occurrence": rng.randint(0, 1),
+                "delay_us": float(rng.choice((200, 500, 1000))),
+            })
+    return events
+
+
+# -- elaboration --------------------------------------------------------------
+
+@dataclass
+class BuiltCase:
+    """A case elaborated into runnable artefacts."""
+
+    spec: CaseSpec
+    program: Program
+    table: FunctionTable
+    args: Optional[Tuple]          # one-shot inputs (None for streams)
+    max_iterations: Optional[int]  # stream bound (None for one-shot)
+
+    def farm_instances(self) -> List[SkelApply]:
+        return self.program.skeleton_instances()
+
+
+def make_arch(spec: CaseSpec):
+    """The architecture graph a case maps onto."""
+    kind, n = spec.arch
+    builder = {"ring": arch_mod.ring, "chain": arch_mod.chain,
+               "now": arch_mod.now}[kind]
+    return builder(n)
+
+
+def _alias(table: FunctionTable, index: int, role: str, base: str) -> str:
+    return pool.register_alias(table, f"s{index}_{role}_{base}", base)
+
+
+def build_case(spec: CaseSpec) -> BuiltCase:
+    """Elaborate a spec into (program, table, args)."""
+    if chain_tags(spec) is None:
+        raise ValueError(f"ill-typed stage chain in case {spec.seed}")
+    table = FunctionTable()
+    for name in ("s_read", "s_emit", "state_step", "bounds", "span"):
+        pool.register_alias(table, name, name)
+    for name in pool.COMPS + pool.EXPANDERS + pool.COMBINERS:
+        if name not in table:
+            pool.register_alias(table, name, name)
+
+    b = ProgramBuilder(f"conf_{spec.seed}", table)
+    if spec.kind == "stream":
+        state, current = b.params("state", "item")
+    else:
+        (current,) = b.params("xs")
+
+    for i, stage in enumerate(spec.stages):
+        op = stage["op"]
+        if op == "map" or op == "expand":
+            current = b.apply(stage["fn"], current)
+        elif op == "pair":
+            current = b.apply("span", b.apply("bounds", current))
+        elif op == "df":
+            comp = _alias(table, i, "comp", stage["comp"])
+            acc = _alias(table, i, "acc", stage["acc"])
+            z = b.const(pool.ACC_ZERO[stage["acc"]])
+            current = b.df(stage["degree"], comp=comp, acc=acc, z=z,
+                           xs=current)
+        elif op == "dfl":
+            comp = _alias(table, i, "comp", stage["comp"])
+            acc = _alias(table, i, "acc", "tolist")
+            current = b.df(stage["degree"], comp=comp, acc=acc,
+                           z=b.const([]), xs=current)
+        elif op == "tf":
+            comp = _alias(table, i, "comp", stage["comp"])
+            acc = _alias(table, i, "acc", stage["acc"])
+            z = b.const(pool.ACC_ZERO[stage["acc"]])
+            current = b.tf(stage["degree"], comp=comp, acc=acc, z=z,
+                           xs=current)
+        elif op == "scm":
+            split = _alias(table, i, "split", stage["split"])
+            comp = _alias(table, i, "comp", stage["comp"])
+            merge = _alias(table, i, "merge", stage["merge"])
+            current = b.scm(stage["degree"], split=split, comp=comp,
+                            merge=merge, x=current)
+        elif op == "fanout":
+            results = []
+            for tag in ("left", "right"):
+                branch = stage[tag]
+                comp = _alias(table, i, f"{tag}_comp", branch["comp"])
+                acc = _alias(table, i, f"{tag}_acc", branch["acc"])
+                z = b.const(pool.ACC_ZERO[branch["acc"]])
+                results.append(
+                    b.df(branch["degree"], comp=comp, acc=acc, z=z,
+                         xs=current)
+                )
+            current = b.apply(stage["combine"], *results)
+        else:
+            raise ValueError(f"unknown stage op {op!r}")
+
+    if spec.kind == "stream":
+        new_state = b.apply("state_step", state, current)
+        program = b.stream(new_state, current, inp="s_read", out="s_emit",
+                           init_value=0, source=None)
+        return BuiltCase(spec, program, table, None, spec.iterations)
+    program = b.returns(current)
+    return BuiltCase(spec, program, table, (list(spec.input),), None)

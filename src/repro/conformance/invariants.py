@@ -1,0 +1,205 @@
+"""Trace invariants: the second oracle of the conformance harness.
+
+The differential oracle proves a backend produced the *right answer*;
+these checks prove it got there by the *right execution* — catching bugs
+like a master double-dispatching a packet whose accumulator happens to
+be idempotent, a worker computing past Stop, or a crash the supervisor
+silently swallowed.
+
+All checks are phrased over artefacts every backend already reports
+(:class:`~repro.machine.trace.Trace` spans,
+:class:`~repro.faults.report.FaultReport` records), so the checker needs
+no backend cooperation.  Violations come back as human-readable strings;
+an empty list means the execution was clean.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..machine.executive import RunReport
+from ..pnt.graph import ProcessKind
+from ..syndex.distribute import Mapping
+
+__all__ = ["check_trace_invariants", "check_fault_accounting"]
+
+#: Slack for float comparisons on span endpoints (µs).
+EPS = 1e-6
+
+
+def _packet_conservation(
+    trace, mapping: Mapping, expected_calls: Dict[str, int]
+) -> List[str]:
+    """Worker firing counts must match the sequential emulation exactly.
+
+    For a df/tf farm: every comp call of the emulation corresponds to
+    exactly one worker compute span — no packet is lost, duplicated, or
+    invented, even across crash re-dispatches (a crashed firing records
+    no span; its re-dispatch records the one span the packet is owed).
+
+    For scm: every split firing dispatches exactly ``degree`` pieces
+    (NoPiece padding included), so worker spans = degree x split calls.
+    """
+    violations: List[str] = []
+    graph = mapping.graph
+    owner_spans = Counter(span.owner for span in trace.compute)
+
+    def worker_span_count(sid: str) -> int:
+        workers = [
+            p for p in graph.skeleton_processes(sid)
+            if p.kind == ProcessKind.WORKER
+        ]
+        return sum(owner_spans.get(w.id, 0) for w in workers), workers
+
+    for master in graph.by_kind(ProcessKind.MASTER):
+        sid = master.skeleton
+        got, workers = worker_span_count(sid)
+        if not workers:
+            continue
+        comp = workers[0].func
+        want = expected_calls.get(comp, 0)
+        if got != want:
+            violations.append(
+                f"packet conservation: farm {sid} fired {got} worker "
+                f"span(s) but emulation called {comp!r} {want} time(s)"
+            )
+    for split in graph.by_kind(ProcessKind.SPLIT):
+        sid = split.skeleton
+        got, workers = worker_span_count(sid)
+        degree = len(workers)
+        split_calls = expected_calls.get(split.func, 0)
+        want = degree * split_calls
+        if got != want:
+            violations.append(
+                f"packet conservation: scm {sid} fired {got} worker "
+                f"span(s), expected degree {degree} x {split_calls} "
+                f"split call(s) = {want}"
+            )
+    return violations
+
+
+def _span_bounds(trace, makespan: float, slack: float) -> List[str]:
+    """No span may be inverted or extend past the end of the run.
+
+    "No worker activity after Stop": once the executive declares the run
+    finished (the report's makespan), every recorded compute/transfer
+    interval must already have closed.  ``slack`` absorbs clock skew on
+    wall-clock backends (each OS worker timestamps its own spans).
+    """
+    violations: List[str] = []
+    limit = makespan + slack + EPS
+    for category, spans in (("compute", trace.compute),
+                            ("transfer", trace.transfer)):
+        for span in spans:
+            if span.end < span.start - EPS:
+                violations.append(
+                    f"causality: {category} span {span.owner} on "
+                    f"{span.resource} ends before it starts "
+                    f"({span.start:.1f} -> {span.end:.1f})"
+                )
+            if span.end > limit:
+                violations.append(
+                    f"activity after Stop: {category} span {span.owner} on "
+                    f"{span.resource} ends at {span.end:.1f} us, past the "
+                    f"makespan {makespan:.1f} us"
+                )
+    return violations
+
+
+def _serial_processors(trace) -> List[str]:
+    """A (simulated) processor executes one process at a time.
+
+    The discrete-event executive serialises compute on each processor;
+    two overlapping spans on one resource mean the virtual clock went
+    wrong.  (Real backends intentionally skip this check: an OS may give
+    one mapped "processor" two concurrent slices.)
+    """
+    violations: List[str] = []
+    by_resource: Dict[str, list] = {}
+    for span in trace.compute:
+        by_resource.setdefault(span.resource, []).append(span)
+    for resource, spans in sorted(by_resource.items()):
+        spans.sort(key=lambda s: (s.start, s.end))
+        for prev, cur in zip(spans, spans[1:]):
+            if cur.start < prev.end - EPS:
+                violations.append(
+                    f"serial execution: {resource} runs {prev.owner} "
+                    f"until {prev.end:.1f} us but {cur.owner} starts at "
+                    f"{cur.start:.1f} us"
+                )
+                break  # one report per processor is enough
+    return violations
+
+
+def check_fault_accounting(report: RunReport) -> List[str]:
+    """Every injected crash/stall must be detected and resolved.
+
+    Resolution means the supervisor either re-dispatched the lost packet
+    to a survivor or quarantined the worker (or, at worst, explicitly
+    abandoned the packet) — never silence.  Detection must not precede
+    injection (causal ordering of the fault story).
+    """
+    faults = report.faults
+    if not faults:
+        return []
+    violations: List[str] = []
+    detections = faults.by_category("detected")
+    resolutions = (
+        faults.by_category("redispatch")
+        + faults.by_category("quarantine")
+        + faults.by_category("abandoned")
+    )
+    for injected in faults.injected:
+        if injected.kind not in ("crash", "stall"):
+            continue  # delays/drops need no recovery action
+        found = [
+            d for d in detections
+            if d.time_us >= injected.time_us - EPS
+        ]
+        if not found:
+            violations.append(
+                f"fault accounting: injected {injected.kind} on "
+                f"{injected.target} at {injected.time_us:.1f} us was "
+                f"never detected"
+            )
+            continue
+        if not any(r.time_us >= injected.time_us - EPS for r in resolutions):
+            violations.append(
+                f"fault accounting: injected {injected.kind} on "
+                f"{injected.target} was detected but neither re-dispatched "
+                f"nor quarantined nor abandoned"
+            )
+    return violations
+
+
+def check_trace_invariants(
+    report: RunReport,
+    mapping: Mapping,
+    expected_calls: Optional[Dict[str, int]] = None,
+    *,
+    strict_serial: bool = False,
+) -> List[str]:
+    """All trace invariants applicable to one run report.
+
+    ``expected_calls`` (per-function call counts observed by the
+    sequential-emulation reference) enables packet conservation; pass it
+    for deterministic backends (the simulator).  ``strict_serial``
+    additionally requires per-processor non-overlap, which only holds
+    where the backend controls the clock.
+    """
+    violations: List[str] = []
+    if report.trace is not None:
+        # Real backends measure the makespan on the parent's clock while
+        # workers stamp their own spans; allow a skew allowance there.
+        # The simulator's virtual clock gets none.
+        slack = 0.05 * report.makespan + 200.0 if report.wall_clock else 0.0
+        violations += _span_bounds(report.trace, report.makespan, slack)
+        if strict_serial:
+            violations += _serial_processors(report.trace)
+        if expected_calls is not None:
+            violations += _packet_conservation(
+                report.trace, mapping, expected_calls
+            )
+    violations += check_fault_accounting(report)
+    return violations

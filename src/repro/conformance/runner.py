@@ -1,0 +1,135 @@
+"""The conformance campaign driver behind ``repro check`` and CI.
+
+One call to :func:`run_conformance` does, in order:
+
+1. replay the reproducer corpus (regression leg — cheap, deterministic);
+2. fuzz ``cases`` fresh programs from a base seed, running each through
+   the differential + invariant oracle on every requested backend;
+3. shrink each failure to a minimal case and write it to the corpus.
+
+Everything is derived from ``(seed, cases, backends, faults)``, so a CI
+failure reproduces locally from the numbers in the log line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from .corpus import replay_corpus, save_reproducer
+from .generator import generate_case
+from .oracle import CaseFailure, available_backends, run_case
+from .shrink import shrink_case
+
+__all__ = ["ConformanceReport", "run_conformance"]
+
+#: Per-case seed spacing: any two base seeds < 1e6 apart still produce
+#: disjoint case streams.
+SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one conformance campaign."""
+
+    backends: List[str]
+    skipped_backends: List[str]
+    cases_run: int = 0
+    replayed: int = 0
+    failures: List[CaseFailure] = field(default_factory=list)
+    replay_failures: List[CaseFailure] = field(default_factory=list)
+    reproducers: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.replay_failures
+
+    def summary(self) -> str:
+        lines = [
+            f"conformance: {self.cases_run} fuzz case(s) + "
+            f"{self.replayed} corpus replay(s) on "
+            f"{', '.join(self.backends) or 'no backends'}"
+        ]
+        if self.skipped_backends:
+            lines.append(
+                "  skipped (unavailable): "
+                + ", ".join(self.skipped_backends)
+            )
+        for failure in self.replay_failures:
+            lines.append(f"  REGRESSION {failure.describe()}")
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure.describe()}")
+        for path in self.reproducers:
+            lines.append(f"  reproducer written: {path}")
+        if self.ok:
+            lines.append("  all cases conform")
+        return "\n".join(lines)
+
+
+def run_conformance(
+    *,
+    backends: Sequence[str],
+    cases: int,
+    seed: int,
+    faults: bool = False,
+    corpus_dir: Optional[str] = None,
+    shrink: bool = True,
+    max_failures: int = 3,
+    timeout: float = 30.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> ConformanceReport:
+    """Run a bounded conformance campaign; see the module docstring."""
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    usable = available_backends(backends)
+    report = ConformanceReport(
+        backends=usable,
+        skipped_backends=[b for b in backends if b not in usable],
+    )
+    if not usable:
+        say("no requested backend is available; nothing to check")
+        return report
+
+    if corpus_dir is not None:
+        report.replayed, report.replay_failures = replay_corpus(
+            corpus_dir, usable, timeout=timeout
+        )
+        say(f"corpus: {report.replayed} entr(ies) replayed, "
+            f"{len(report.replay_failures)} regression(s)")
+
+    for i in range(cases):
+        case_seed = seed * SEED_STRIDE + i
+        spec = generate_case(case_seed, allow_faults=faults)
+        failure = run_case(spec, usable, timeout=timeout)
+        report.cases_run += 1
+        if failure is None:
+            continue
+        say(f"case {i} (seed {case_seed}) failed: {failure.describe()}")
+        if shrink:
+            # Re-probe only the backend that failed (plus the implicit
+            # emulation reference): an order of magnitude cheaper, and
+            # any failure on it keeps the candidate.
+            probe = [failure.backend] if failure.backend else usable
+
+            def is_failing(cand) -> bool:
+                return run_case(cand, probe, timeout=timeout) is not None
+
+            shrunk = shrink_case(spec, is_failing)
+            final = run_case(shrunk, probe, timeout=timeout) or failure
+            failure = CaseFailure(shrunk, final.phase, final.backend,
+                                  final.detail)
+            say(f"  shrunk {spec.size()} -> {shrunk.size()}")
+        report.failures.append(failure)
+        if corpus_dir is not None:
+            path = save_reproducer(
+                failure.spec, failure, corpus_dir,
+                note=f"fuzz seed {seed} case {i}",
+            )
+            report.reproducers.append(path)
+            say(f"  reproducer: {path}")
+        if len(report.failures) >= max_failures:
+            say(f"stopping after {max_failures} failure(s)")
+            break
+    return report

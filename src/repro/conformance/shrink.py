@@ -1,0 +1,226 @@
+"""Greedy shrinking of a failing conformance case.
+
+Given a failing :class:`~repro.conformance.generator.CaseSpec` and a
+predicate that re-runs the oracle, :func:`shrink_case` repeatedly tries
+structure-reducing transformations — drop a fault, drop a stage, lower
+a farm degree, simplify the input, shrink the machine — keeping any
+candidate that still fails, until a fixpoint (or the probe budget runs
+out).  The result is the minimal reproducer that lands in the corpus.
+
+Stage removal renumbers skeleton instance ids (``df0``, ``tf1``, ... are
+assigned by binding order), so fault events are re-targeted through a
+(stage index, branch) coordinate that survives the edit.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .generator import CaseSpec, chain_tags
+
+__all__ = ["shrink_case"]
+
+#: (stage index, branch key or None) -> skeleton instance coordinates.
+FarmKey = Tuple[int, Optional[str]]
+
+
+def _farm_coords(spec: CaseSpec) -> Dict[str, Tuple[FarmKey, int]]:
+    """Map each farm's skeleton id to ((stage, branch), degree).
+
+    Mirrors the pnt expander's naming: one running counter over all
+    skeleton bindings, prefixed by the skeleton kind.
+    """
+    coords: Dict[str, Tuple[FarmKey, int]] = {}
+    counter = 0
+    for i, stage in enumerate(spec.stages):
+        op = stage["op"]
+        if op in ("df", "dfl"):
+            coords[f"df{counter}"] = ((i, None), int(stage["degree"]))
+            counter += 1
+        elif op == "tf":
+            coords[f"tf{counter}"] = ((i, None), int(stage["degree"]))
+            counter += 1
+        elif op == "scm":
+            counter += 1
+        elif op == "fanout":
+            for branch in ("left", "right"):
+                coords[f"df{counter}"] = (
+                    (i, branch), int(stage[branch]["degree"])
+                )
+                counter += 1
+    return coords
+
+
+def _retarget_faults(old: CaseSpec, new: CaseSpec) -> Optional[CaseSpec]:
+    """Rewrite ``new``'s fault process ids after a stage edit.
+
+    ``new.faults`` still carries the *old* spec's skeleton ids; translate
+    each through its (stage, branch) coordinate.  Faults whose farm was
+    removed, or whose worker index no longer exists, are dropped; a
+    crash left alone on a degree-1 farm makes the candidate invalid
+    (that loss is legitimately unrecoverable, not a conformance bug).
+    """
+    old_coords = _farm_coords(old)
+    new_by_key = {
+        key: (sid, degree)
+        for sid, (key, degree) in _farm_coords(new).items()
+    }
+    # Stage indices may have shifted on removal: map old index -> new.
+    index_of = {id(s): i for i, s in enumerate(new.stages)}
+    faults: List[Dict[str, Any]] = []
+    for event in new.faults:
+        process = event.get("process", "")
+        sid, _, worker = process.partition(".worker")
+        if sid not in old_coords or not worker.isdigit():
+            return None  # untranslatable event: refuse the candidate
+        (old_idx, branch), _old_degree = old_coords[sid]
+        if old_idx >= len(old.stages):
+            return None
+        stage_obj = old.stages[old_idx]
+        new_idx = index_of.get(id(stage_obj))
+        if new_idx is None and len(new.stages) == len(old.stages):
+            new_idx = old_idx  # in-place stage edit: position is stable
+        if new_idx is None:
+            continue  # the faulted stage was removed; drop its fault
+        entry = new_by_key.get((new_idx, branch))
+        if entry is None:
+            continue
+        new_sid, degree = entry
+        widx = int(worker)
+        if widx >= degree:
+            continue  # the faulted worker was shrunk away
+        if event.get("kind") == "crash" and degree < 2:
+            return None  # crash with no survivor: not a valid repro
+        moved = dict(event)
+        moved["process"] = f"{new_sid}.worker{widx}"
+        faults.append(moved)
+    new.faults = faults
+    return new
+
+
+def _with_stages(spec: CaseSpec, stages: List[Dict]) -> Optional[CaseSpec]:
+    """A candidate with edited stages (faults retargeted), or None."""
+    cand = CaseSpec(
+        seed=spec.seed, kind=spec.kind, arch=spec.arch,
+        input=list(spec.input), iterations=spec.iterations,
+        stages=stages, faults=[dict(f) for f in spec.faults],
+    )
+    if chain_tags(cand) is None:
+        return None
+    return _retarget_faults(spec, cand)
+
+
+def _candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """Simpler variants of ``spec``, most aggressive first."""
+    # 1. Fewer faults (a fault-free repro is the most valuable kind).
+    for i in range(len(spec.faults)):
+        cand = copy.deepcopy(spec)
+        del cand.faults[i]
+        yield cand
+
+    # 2. Fewer stages.  Stage dicts keep identity through the list copy
+    #    below, which _retarget_faults uses to follow the renumbering.
+    for i in range(len(spec.stages)):
+        stages = [s for j, s in enumerate(spec.stages) if j != i]
+        cand = _with_stages(spec, stages)
+        if cand is not None:
+            yield cand
+
+    # 3. A fan-out collapses to its left branch.
+    for i, stage in enumerate(spec.stages):
+        if stage["op"] == "fanout":
+            left = stage["left"]
+            stages = list(spec.stages)
+            stages[i] = {"op": "df", "comp": left["comp"],
+                         "acc": left["acc"], "degree": left["degree"]}
+            cand = _with_stages(spec, stages)
+            if cand is not None:
+                yield cand
+
+    # 4. Smaller farm degrees.
+    for i, stage in enumerate(spec.stages):
+        degrees = []
+        if "degree" in stage:
+            degrees = [(None, int(stage["degree"]))]
+        elif stage["op"] == "fanout":
+            degrees = [(b, int(stage[b]["degree"]))
+                       for b in ("left", "right")]
+        for branch, degree in degrees:
+            for smaller in {1, degree // 2} - {0, degree}:
+                stages = copy.deepcopy(spec.stages)
+                if branch is None:
+                    stages[i]["degree"] = smaller
+                else:
+                    stages[i][branch]["degree"] = smaller
+                # deepcopy broke dict identity; rebuild it for retargeting
+                for j, s in enumerate(stages):
+                    if j != i:
+                        stages[j] = spec.stages[j]
+                cand = _with_stages(spec, stages)
+                if cand is not None:
+                    yield cand
+
+    # 5. Simpler input data.
+    shrunk_inputs: List[List[int]] = []
+    xs = spec.input
+    if xs:
+        shrunk_inputs.append([])
+        if len(xs) > 1:
+            shrunk_inputs.append(xs[:len(xs) // 2])
+            shrunk_inputs.append(xs[len(xs) // 2:])
+            shrunk_inputs.append(xs[1:])
+        halved = [x // 2 for x in xs]
+        if halved != xs:
+            shrunk_inputs.append(halved)
+    for inp in shrunk_inputs:
+        cand = copy.deepcopy(spec)
+        cand.input = inp
+        yield cand
+
+    # 6. Fewer stream iterations.
+    if spec.iterations > 1:
+        cand = copy.deepcopy(spec)
+        cand.iterations = 1
+        yield cand
+
+    # 7. A smaller, simpler machine.
+    kind, n = spec.arch
+    for smaller in ((("ring", 1),) if (kind, n) != ("ring", 1) else ()):
+        cand = copy.deepcopy(spec)
+        cand.arch = smaller
+        yield cand
+    if n > 1:
+        cand = copy.deepcopy(spec)
+        cand.arch = (kind, max(1, n // 2))
+        yield cand
+
+
+def shrink_case(
+    spec: CaseSpec,
+    is_failing: Callable[[CaseSpec], bool],
+    *,
+    budget: int = 150,
+) -> CaseSpec:
+    """Reduce ``spec`` to a (locally) minimal still-failing case.
+
+    ``is_failing`` re-runs the oracle on a candidate; any failure counts
+    (the shrunk case may fail differently from the original — it is
+    still a bug).  At most ``budget`` oracle probes are spent.
+    """
+    current = spec
+    probes = 0
+    improved = True
+    while improved and probes < budget:
+        improved = False
+        for cand in _candidates(current):
+            if probes >= budget:
+                break
+            if cand.size() >= current.size():
+                continue
+            probes += 1
+            if is_failing(cand):
+                current = cand
+                improved = True
+                break  # restart candidate generation from the new base
+    return current

@@ -35,6 +35,36 @@ class TestRegistry:
         with pytest.raises(BackendError, match="emulate"):
             get_backend("transputer")
 
+    def test_unknown_backend_message_lists_names_sorted(self):
+        """The error text embeds the exact sorted, comma-joined names, so
+        test assertions (and shell greps) are deterministic."""
+        with pytest.raises(
+            BackendError,
+            match="unknown backend 'transputer'; available: "
+                  "emulate, processes, simulate, threads",
+        ):
+            get_backend("transputer")
+
+    def test_unavailable_backend_rejected(self):
+        from repro.backends.registry import _REGISTRY
+
+        @register_backend
+        class Unavailable(Backend):
+            name = "test-unavailable"
+            description = "registered but cannot run here"
+
+            @classmethod
+            def available(cls):
+                return False
+
+        try:
+            assert "test-unavailable" in backend_names()
+            with pytest.raises(BackendError, match="not available"):
+                get_backend("test-unavailable")
+        finally:
+            del _REGISTRY["test-unavailable"]
+        assert "test-unavailable" not in backend_names()
+
     def test_list_backends_has_descriptions(self):
         listed = list_backends()
         assert set(listed) == set(backend_names())

@@ -1,0 +1,74 @@
+"""Tests for the ``repro check`` CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheckCommand:
+    def test_green_run_exits_zero(self, capsys):
+        rc = main(["check", "--cases", "4", "--seed", "1",
+                   "--backends", "simulate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 fuzz case(s)" in out
+        assert "all cases conform" in out
+
+    def test_faulted_run(self, capsys):
+        rc = main(["check", "--cases", "6", "--seed", "2",
+                   "--backends", "simulate", "--faults"])
+        assert rc == 0
+
+    def test_corpus_replay_and_write(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        entry = {
+            "version": 1,
+            "spec": {"version": 1, "seed": 1, "kind": "oneshot",
+                     "arch": ["ring", 2], "input": [1, 2, 3],
+                     "iterations": 0,
+                     "stages": [{"op": "df", "comp": "inc", "acc": "add",
+                                 "degree": 2}]},
+            "failure": None,
+        }
+        (corpus / "seed_unit.json").write_text(json.dumps(entry))
+        rc = main(["check", "--cases", "2", "--seed", "3",
+                   "--backends", "simulate", "--corpus", str(corpus)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 entr(ies) replayed" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit, match="transputer"):
+            main(["check", "--backends", "transputer,simulate"])
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(SystemExit, match="no backend"):
+            main(["check", "--backends", " , "])
+
+    def test_failure_exits_nonzero(self, tmp_path, monkeypatch):
+        import repro.machine.executive as executive_mod
+
+        orig = executive_mod.Executive._fire_merge
+
+        def broken(self, pid, inputs):
+            degree = self.graph[pid].params["degree"]
+            trimmed = dict(inputs)
+            trimmed[degree] = executive_mod._NO_PIECE
+            return orig(self, pid, trimmed)
+
+        monkeypatch.setattr(
+            executive_mod.Executive, "_fire_merge", broken
+        )
+        rc = main(["check", "--cases", "40", "--seed", "0",
+                   "--backends", "simulate", "--no-shrink",
+                   "--corpus", str(tmp_path)])
+        assert rc == 1
+        assert list(tmp_path.glob("shrunk_*.json"))
+
+    def test_check_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "check" in capsys.readouterr().out

@@ -1,0 +1,45 @@
+"""Deterministic replay of the committed reproducer corpus.
+
+Every entry in ``tests/conformance/corpus/`` — seed cases and any
+shrunk reproducer a past fuzz run captured — must conform *now*.  This
+is the regression leg: once a bug's minimal case lands in the corpus,
+this test keeps it fixed forever.
+"""
+
+import os
+
+import pytest
+
+from repro.conformance import run_case
+from repro.conformance.corpus import load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 5, "the committed seed corpus went missing"
+
+
+@pytest.mark.parametrize(
+    "path,spec,recorded",
+    ENTRIES,
+    ids=[os.path.basename(p) for p, _s, _r in ENTRIES],
+)
+def test_corpus_entry_conforms(path, spec, recorded):
+    failure = run_case(spec, ["simulate", "threads"])
+    assert failure is None, (
+        f"{os.path.basename(path)} regressed: {failure.describe()}\n"
+        f"originally captured as: {recorded}"
+    )
+
+
+def test_corpus_covers_faults_and_streams():
+    """The seed entries must keep the replay leg representative."""
+    specs = [spec for _p, spec, _r in ENTRIES]
+    assert any(s.faults for s in specs)
+    assert any(s.kind == "stream" for s in specs)
+    assert any(
+        any(e["kind"] == "crash" for e in s.faults) for s in specs
+    )

@@ -1,0 +1,140 @@
+"""Tests for the conformance case generator (grammar + elaboration)."""
+
+import pytest
+
+from repro.conformance import CaseSpec, build_case, generate_case
+from repro.conformance.generator import (
+    SKELETON_OPS,
+    STAGE_TAGS,
+    chain_tags,
+    make_arch,
+)
+from repro.pnt import expand_program
+
+SEEDS = range(120)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        for seed in (0, 7, 99):
+            a = generate_case(seed, allow_faults=True)
+            b = generate_case(seed, allow_faults=True)
+            assert a.to_dict() == b.to_dict()
+
+    def test_every_case_is_well_typed(self):
+        for seed in SEEDS:
+            spec = generate_case(seed)
+            assert chain_tags(spec) is not None, spec.to_dict()
+
+    def test_every_case_has_a_skeleton(self):
+        for seed in SEEDS:
+            assert generate_case(seed).skeleton_stage_count() >= 1
+
+    def test_stream_cases_bound_iterations(self):
+        streams = [s for s in map(generate_case, SEEDS) if s.kind == "stream"]
+        assert streams, "no stream case in the sample"
+        assert all(1 <= s.iterations <= 3 for s in streams)
+
+    def test_covers_all_skeleton_ops(self):
+        ops = {
+            s["op"]
+            for seed in SEEDS
+            for s in generate_case(seed).stages
+        }
+        assert set(SKELETON_OPS) <= ops
+        assert "tf" in ops and "scm" in ops
+
+    def test_json_roundtrip(self):
+        for seed in (3, 12, 63):
+            spec = generate_case(seed, allow_faults=True)
+            again = CaseSpec.from_dict(spec.to_dict())
+            assert again.to_dict() == spec.to_dict()
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            CaseSpec.from_dict({"version": 99, "kind": "oneshot",
+                                "arch": ["ring", 1], "stages": []})
+
+
+class TestElaboration:
+    def test_every_case_builds_and_expands(self):
+        for seed in SEEDS:
+            built = build_case(generate_case(seed))
+            graph = expand_program(built.program, built.table)
+            graph.validate()
+            assert len(built.farm_instances()) >= 1
+
+    def test_stream_case_builds_stream_program(self):
+        spec = next(
+            s for s in map(generate_case, SEEDS) if s.kind == "stream"
+        )
+        built = build_case(spec)
+        assert built.program.stream is not None
+        assert built.max_iterations == spec.iterations
+        assert built.args is None
+
+    def test_oneshot_case_carries_input(self):
+        spec = next(
+            s for s in map(generate_case, SEEDS) if s.kind == "oneshot"
+        )
+        built = build_case(spec)
+        assert built.program.stream is None
+        assert built.args == (list(spec.input),)
+
+    def test_ill_typed_spec_rejected(self):
+        spec = CaseSpec(seed=0, kind="oneshot", arch=("ring", 1),
+                        input=[1], iterations=0,
+                        stages=[{"op": "map", "fn": "inc"}])  # map needs int
+        with pytest.raises(ValueError, match="ill-typed"):
+            build_case(spec)
+
+    def test_arch_variety(self):
+        arches = {generate_case(seed).arch for seed in SEEDS}
+        assert len({kind for kind, _ in arches}) == 3
+        assert any(n == 1 for _, n in arches)
+        for spec in map(generate_case, range(10)):
+            assert len(make_arch(spec).processors) == spec.arch[1]
+
+
+class TestFaultGeneration:
+    def test_fault_targets_exist_in_expanded_graph(self):
+        """Generated fault pids must name real workers of real farms."""
+        sampled = 0
+        for seed in range(300):
+            spec = generate_case(seed, allow_faults=True)
+            if not spec.faults:
+                continue
+            sampled += 1
+            built = build_case(spec)
+            graph = expand_program(built.program, built.table)
+            for event in spec.faults:
+                pid = event["process"]
+                assert pid in graph, f"seed {seed}: {pid} not in graph"
+                assert graph[pid].kind == "worker"
+        assert sampled >= 20
+
+    def test_crashes_only_on_farms_with_survivors(self):
+        for seed in range(300):
+            spec = generate_case(seed, allow_faults=True)
+            crashes = [e for e in spec.faults if e["kind"] == "crash"]
+            if not crashes:
+                continue
+            built = build_case(spec)
+            graph = expand_program(built.program, built.table)
+            for event in crashes:
+                sid = graph[event["process"]].skeleton
+                workers = [
+                    p for p in graph.skeleton_processes(sid)
+                    if p.kind == "worker"
+                ]
+                assert len(workers) >= 2, f"seed {seed}: crash w/o survivor"
+
+    def test_streams_get_no_faults(self):
+        for seed in range(300):
+            spec = generate_case(seed, allow_faults=True)
+            if spec.kind == "stream":
+                assert spec.faults == []
+
+    def test_stage_ops_all_have_tags(self):
+        for op in SKELETON_OPS:
+            assert op in STAGE_TAGS

@@ -1,0 +1,150 @@
+"""Tests for the trace invariant checker (the second oracle).
+
+Strategy: take one real, clean simulator run (which must pass every
+check), then tamper with copies of its report — each tampering must
+trip exactly the invariant it violates.
+"""
+
+import copy
+from types import SimpleNamespace
+
+import pytest
+
+from repro.backends import get_backend
+from repro.conformance import check_trace_invariants, generate_case
+from repro.conformance.functions import make_counting_table, reset_stream
+from repro.conformance.generator import build_case
+from repro.conformance.invariants import check_fault_accounting
+from repro.conformance.oracle import build_mapping
+from repro.faults.report import FaultReport
+from repro.machine import FAST_TEST
+from repro.machine.trace import Span
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """One simulated farm case plus its emulation call counts."""
+    spec = generate_case(13)  # oneshot: df(2) over a 3-element list
+    built = build_case(spec)
+    mapping = build_mapping(built)
+    counting, counts = make_counting_table(built.table)
+    reset_stream()
+    get_backend("emulate").run(
+        None, counting, program=built.program,
+        args=built.args, max_iterations=built.max_iterations,
+    )
+    reset_stream()
+    report = get_backend("simulate").run(
+        mapping, built.table, program=built.program, costs=FAST_TEST,
+        args=built.args, max_iterations=built.max_iterations,
+        record_trace=True,
+    )
+    return report, mapping, dict(counts)
+
+
+class TestCleanRun:
+    def test_clean_run_has_no_violations(self, clean_run):
+        report, mapping, counts = clean_run
+        assert check_trace_invariants(
+            report, mapping, counts, strict_serial=True
+        ) == []
+
+    def test_trace_actually_has_worker_spans(self, clean_run):
+        """Guard against the checker vacuously passing on empty traces."""
+        report, _mapping, counts = clean_run
+        workers = [s for s in report.trace.compute if ".worker" in s.owner]
+        assert workers
+        assert any(v > 0 for v in counts.values())
+
+
+class TestTampering:
+    def test_activity_after_stop(self, clean_run):
+        report, mapping, counts = clean_run
+        bad = copy.deepcopy(report)
+        late = bad.trace.compute[0]
+        bad.trace.compute.append(
+            Span(late.resource, "df0.worker0",
+                 bad.makespan + 50.0, bad.makespan + 90.0)
+        )
+        violations = check_trace_invariants(bad, mapping, None)
+        assert any("after Stop" in v for v in violations)
+
+    def test_lost_packet_breaks_conservation(self, clean_run):
+        report, mapping, counts = clean_run
+        bad = copy.deepcopy(report)
+        idx = next(i for i, s in enumerate(bad.trace.compute)
+                   if ".worker" in s.owner)
+        del bad.trace.compute[idx]
+        violations = check_trace_invariants(bad, mapping, counts)
+        assert any("packet conservation" in v for v in violations)
+
+    def test_duplicated_packet_breaks_conservation(self, clean_run):
+        report, mapping, counts = clean_run
+        bad = copy.deepcopy(report)
+        span = next(s for s in bad.trace.compute if ".worker" in s.owner)
+        bad.trace.compute.append(span)
+        violations = check_trace_invariants(bad, mapping, counts)
+        assert any("packet conservation" in v for v in violations)
+
+    def test_overlap_on_one_processor(self, clean_run):
+        report, mapping, counts = clean_run
+        bad = copy.deepcopy(report)
+        span = next(s for s in bad.trace.compute if ".worker" in s.owner)
+        bad.trace.compute.append(
+            Span(span.resource, "intruder", span.start + 1e-3, span.end)
+        )
+        violations = check_trace_invariants(
+            bad, mapping, None, strict_serial=True
+        )
+        assert any("serial execution" in v for v in violations)
+        # ... but real backends are allowed to overlap:
+        assert check_trace_invariants(bad, mapping, None) == []
+
+
+class TestFaultAccounting:
+    def _report_with(self, records):
+        # check_fault_accounting only reads ``.faults``
+        faults = FaultReport()
+        for record in records:
+            faults.add(*record)
+        return SimpleNamespace(faults=faults)
+
+    def test_undetected_crash_flagged(self):
+        report = self._report_with(
+            [("injected", "crash", "df0.worker1", 100.0)]
+        )
+        violations = check_fault_accounting(report)
+        assert any("never detected" in v for v in violations)
+
+    def test_detected_and_redispatched_is_clean(self):
+        report = self._report_with([
+            ("injected", "crash", "df0.worker1", 100.0),
+            ("detected", "crash", "df0.worker1", 600.0),
+            ("redispatch", "crash", "df0.worker1", 650.0),
+        ])
+        assert check_fault_accounting(report) == []
+
+    def test_detected_but_unresolved_flagged(self):
+        report = self._report_with([
+            ("injected", "crash", "df0.worker1", 100.0),
+            ("detected", "crash", "df0.worker1", 600.0),
+        ])
+        violations = check_fault_accounting(report)
+        assert any("neither re-dispatched" in v for v in violations)
+
+    def test_detection_before_injection_not_credited(self):
+        report = self._report_with([
+            ("injected", "crash", "df0.worker1", 500.0),
+            ("detected", "crash", "df0.worker1", 100.0),
+        ])
+        violations = check_fault_accounting(report)
+        assert any("never detected" in v for v in violations)
+
+    def test_delay_needs_no_recovery(self):
+        report = self._report_with(
+            [("injected", "delay", "df0.worker1", 100.0)]
+        )
+        assert check_fault_accounting(report) == []
+
+    def test_no_fault_report_is_clean(self):
+        assert check_fault_accounting(SimpleNamespace(faults=None)) == []

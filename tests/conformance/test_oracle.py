@@ -1,0 +1,197 @@
+"""Tests for the differential oracle, shrinker, and campaign runner.
+
+The centrepiece is the mutation smoke-check: deliberately break the
+simulator's scm merge rule and demand the harness (a) catches it,
+(b) shrinks it, and (c) writes a replayable reproducer to the corpus.
+"""
+
+import json
+
+import pytest
+
+import repro.machine.executive as executive_mod
+from repro.conformance import (
+    CaseFailure,
+    CaseSpec,
+    generate_case,
+    run_case,
+    run_conformance,
+    shrink_case,
+)
+from repro.conformance.corpus import (
+    case_fingerprint,
+    load_corpus,
+    save_reproducer,
+)
+from repro.conformance.oracle import fault_plan_of
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", [0, 3, 7, 11])
+    def test_generated_cases_conform_on_simulate(self, seed):
+        assert run_case(generate_case(seed), ["simulate"]) is None
+
+    def test_faulted_cases_conform_on_simulate(self):
+        checked = 0
+        for seed in range(40):
+            spec = generate_case(seed, allow_faults=True)
+            if not spec.faults:
+                continue
+            checked += 1
+            assert run_case(spec, ["simulate"]) is None, spec.to_dict()
+        assert checked >= 3
+
+    def test_build_failure_is_reported_not_raised(self):
+        broken = CaseSpec(seed=0, kind="oneshot", arch=("ring", 2),
+                          input=[1], iterations=0,
+                          stages=[{"op": "map", "fn": "inc"}])
+        failure = run_case(broken, ["simulate"])
+        assert failure is not None and failure.phase == "build"
+
+    def test_fault_plan_materialises(self):
+        spec = generate_case(12, allow_faults=True)
+        assert spec.faults
+        plan = fault_plan_of(spec)
+        assert len(plan) == len(spec.faults)
+        assert fault_plan_of(generate_case(7)) is None
+
+
+def _broken_merge(self, pid, inputs):
+    """Mutated scm merge rule: silently lose the last piece."""
+    degree = self.graph[pid].params["degree"]
+    trimmed = dict(inputs)
+    trimmed[degree] = executive_mod._NO_PIECE
+    return _ORIG_MERGE(self, pid, trimmed)
+
+
+_ORIG_MERGE = executive_mod.Executive._fire_merge
+
+
+class TestMutationSmokeCheck:
+    """Acceptance: a broken skeleton rule cannot survive the harness."""
+
+    def test_broken_merge_is_caught_shrunk_and_archived(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(
+            executive_mod.Executive, "_fire_merge", _broken_merge
+        )
+        corpus = tmp_path / "corpus"
+        report = run_conformance(
+            backends=["simulate"], cases=40, seed=0,
+            corpus_dir=str(corpus), max_failures=1,
+        )
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.phase in ("differential", "invariant")
+        assert failure.backend == "simulate"
+        # The reproducer landed in the corpus...
+        assert len(report.reproducers) == 1
+        entries = load_corpus(str(corpus))
+        assert len(entries) == 1
+        path, spec, recorded = entries[0]
+        assert recorded["phase"] == failure.phase
+        # ... shrunk (a minimal scm repro is a single stage) ...
+        assert spec.skeleton_stage_count() >= 1
+        assert any(s["op"] == "scm" for s in spec.stages)
+        assert len(spec.stages) <= 2
+        # ... and it still reproduces under the mutation:
+        assert run_case(spec, ["simulate"]) is not None
+
+        # With the mutation reverted the reproducer passes again — the
+        # corpus entry has become a regression test.
+        monkeypatch.setattr(
+            executive_mod.Executive, "_fire_merge", _ORIG_MERGE
+        )
+        assert run_case(spec, ["simulate"]) is None
+
+
+class TestShrinker:
+    def test_shrinks_toward_empty_while_preserving_predicate(self):
+        spec = generate_case(63, allow_faults=True)  # scm+df chain, 2 faults
+        # Predicate: "any case containing an scm stage fails".
+        shrunk = shrink_case(
+            spec, lambda c: any(s["op"] == "scm" for s in c.stages)
+        )
+        assert any(s["op"] == "scm" for s in shrunk.stages)
+        assert shrunk.size() < spec.size()
+        assert len(shrunk.stages) == 1
+        assert shrunk.faults == []
+
+    def test_fault_dependent_failure_keeps_a_fault(self):
+        spec = None
+        for seed in range(200):
+            cand = generate_case(seed, allow_faults=True)
+            if any(e["kind"] == "crash" for e in cand.faults):
+                spec = cand
+                break
+        assert spec is not None
+        shrunk = shrink_case(
+            spec, lambda c: any(e["kind"] == "crash" for e in c.faults)
+        )
+        crashes = [e for e in shrunk.faults if e["kind"] == "crash"]
+        assert len(crashes) == 1
+        # A crash repro must keep a survivor worker to hand off to.
+        from repro.conformance.generator import build_case
+        from repro.pnt import expand_program
+
+        built = build_case(shrunk)
+        graph = expand_program(built.program, built.table)
+        pid = crashes[0]["process"]
+        assert pid in graph
+        sid = graph[pid].skeleton
+        workers = [p for p in graph.skeleton_processes(sid)
+                   if p.kind == "worker"]
+        assert len(workers) >= 2
+
+    def test_budget_bounds_probes(self):
+        spec = generate_case(63, allow_faults=True)
+        probes = []
+
+        def predicate(c):
+            probes.append(1)
+            return True
+
+        shrink_case(spec, predicate, budget=10)
+        assert len(probes) <= 10
+
+
+class TestCorpus:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        spec = generate_case(5)
+        failure = CaseFailure(spec, "differential", "threads", "diverged")
+        path = save_reproducer(spec, failure, str(tmp_path), note="unit")
+        entries = load_corpus(str(tmp_path))
+        assert len(entries) == 1
+        loaded_path, loaded, recorded = entries[0]
+        assert loaded_path == path
+        assert loaded.to_dict() == spec.to_dict()
+        assert recorded == {"phase": "differential", "backend": "threads",
+                            "detail": "diverged"}
+        with open(path) as fh:
+            assert json.load(fh)["note"] == "unit"
+
+    def test_fingerprint_is_content_addressed(self):
+        a, b = generate_case(5), generate_case(6)
+        assert case_fingerprint(a) == case_fingerprint(a)
+        assert case_fingerprint(a) != case_fingerprint(b)
+
+    def test_missing_corpus_dir_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestRunner:
+    def test_green_campaign(self, tmp_path):
+        report = run_conformance(
+            backends=["simulate"], cases=6, seed=42,
+            corpus_dir=str(tmp_path),
+        )
+        assert report.ok
+        assert report.cases_run == 6
+        assert report.reproducers == []
+        assert "all cases conform" in report.summary()
+
+    def test_unavailable_backends_are_skipped(self):
+        report = run_conformance(backends=[], cases=1, seed=0)
+        assert report.backends == []
+        assert report.cases_run == 0

@@ -145,6 +145,80 @@ class TestGeneratedCodeEquivalence:
         assert blackboard["result_0"] == expected[0]
 
 
+class TestItermemAndScmEquivalence:
+    """Strategies over the remaining skeletons — ``itermem`` stream
+    wrappers and ``scm`` — built on the conformance generator's typed
+    case grammar (its differential oracle *is* the equivalence check:
+    every backend run diffs against sequential emulation)."""
+
+    scm_stage = st.fixed_dictionaries({
+        "op": st.just("scm"),
+        "split": st.sampled_from(["chunk", "stride"]),
+        "comp": st.sampled_from(["sumlist", "maxlist", "lenlist"]),
+        "merge": st.sampled_from(["total", "peak"]),
+        "degree": st.integers(1, 5),
+    })
+    farm_stage = st.one_of(
+        scm_stage,
+        st.fixed_dictionaries({
+            "op": st.just("df"),
+            "comp": st.sampled_from(["inc", "sq", "negabs"]),
+            "acc": st.sampled_from(["add", "maxi"]),
+            "degree": st.integers(1, 4),
+        }),
+        st.fixed_dictionaries({
+            "op": st.just("tf"),
+            "comp": st.sampled_from(["halve", "countdown"]),
+            "acc": st.sampled_from(["add", "maxi"]),
+            "degree": st.integers(1, 4),
+        }),
+    )
+    expand_stage = st.fixed_dictionaries({
+        "op": st.just("expand"),
+        "fn": st.sampled_from(["spread", "rangeto"]),
+    })
+
+    @given(scm_stage, inputs, arches)
+    @settings(max_examples=25, deadline=None)
+    def test_scm_simulation_matches_emulation(self, stage, xs, arch_name):
+        from repro.conformance import CaseSpec, run_case
+
+        spec = CaseSpec(seed=0, kind="oneshot",
+                        arch=(arch_name[:-1], int(arch_name[-1])),
+                        input=xs, iterations=0, stages=[stage])
+        failure = run_case(spec, ["simulate"])
+        assert failure is None, failure.describe()
+
+    @given(expand_stage, farm_stage, st.integers(1, 3), arches)
+    @settings(max_examples=25, deadline=None)
+    def test_itermem_wrapped_farms_match_emulation(
+        self, expand, farm, iterations, arch_name
+    ):
+        """A stream loop around any farm: state threads through the
+        ``itermem`` MEM process, the body re-expands each stream item."""
+        from repro.conformance import CaseSpec, run_case
+
+        spec = CaseSpec(seed=0, kind="stream",
+                        arch=(arch_name[:-1], int(arch_name[-1])),
+                        input=[], iterations=iterations,
+                        stages=[expand, farm])
+        failure = run_case(spec, ["simulate"])
+        assert failure is None, failure.describe()
+
+    @given(expand_stage, farm_stage, st.integers(1, 2))
+    @settings(max_examples=8, deadline=None)
+    def test_itermem_on_generated_thread_executive(
+        self, expand, farm, iterations
+    ):
+        from repro.conformance import CaseSpec, run_case
+
+        spec = CaseSpec(seed=0, kind="stream", arch=("ring", 3),
+                        input=[], iterations=iterations,
+                        stages=[expand, farm])
+        failure = run_case(spec, ["threads"])
+        assert failure is None, failure.describe()
+
+
 @pytest.mark.skipif(
     "fork" not in __import__("multiprocessing").get_all_start_methods(),
     reason="lambda tables need the fork start method",
