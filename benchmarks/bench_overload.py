@@ -1,0 +1,143 @@
+"""E16 (extension) — overload behaviour of the four admission policies.
+
+Sweeps the offered load (busy-wait per farm packet) across the four
+overload policies of :mod:`repro.realtime` on the threads backend and
+reports delivered-frame latency (p50/p99) and the shed rate at each
+point.  The expected shape:
+
+* ``block`` sheds nothing but its latency grows with the backlog —
+  classic backpressure;
+* the two ``shed-*`` policies hold latency roughly flat and pay in shed
+  frames as the load passes saturation;
+* ``degrade`` lands in between: it halves the admitted frame rate until
+  the backlog clears, trading resolution in time for bounded latency.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_overload.py
+[--json out.json]`` — the JSON document carries the full sweep for
+dashboards or regression diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional
+
+from conftest import run_once
+
+from repro.realtime import OVERLOAD_POLICIES
+from repro.realtime.soak import run_soak
+
+FRAMES = 30
+PIECES = 4
+DEADLINE_MS = 50.0
+FRAME_PERIOD_MS = 4.0
+#: Busy-wait per farm packet (µs): below, at, and past saturation of a
+#: 3-worker farm fed every 4 ms.
+OFFERED_LOADS_US = (300.0, 1_500.0, 4_000.0)
+
+
+def measure(policy: str, work_us: float) -> Dict:
+    result = run_soak(
+        "threads",
+        seed=0,
+        frames=FRAMES,
+        pieces=PIECES,
+        work_us=work_us,
+        deadline_ms=DEADLINE_MS,
+        policy=policy,
+        max_in_flight=2,
+        frame_period_ms=FRAME_PERIOD_MS,
+        chaos=False,
+        timeout=120.0,
+    )
+    assert result.ok, result.violations
+    ledger = result.report.realtime.ledger
+    return {
+        "policy": policy,
+        "work_us": work_us,
+        "submitted": ledger.submitted,
+        "delivered": len(ledger.delivered),
+        "shed": len(ledger.shed),
+        "shed_rate": round(len(ledger.shed) / max(1, ledger.submitted), 3),
+        "p50_ms": round(ledger.p50_us / 1000, 2),
+        "p99_ms": round(ledger.p99_us / 1000, 2),
+        "deadline_misses": ledger.deadline_misses,
+    }
+
+
+def sweep() -> List[Dict]:
+    return [
+        measure(policy, work_us)
+        for policy in OVERLOAD_POLICIES
+        for work_us in OFFERED_LOADS_US
+    ]
+
+
+def render(rows: List[Dict]) -> None:
+    print(f"\nE16: offered load vs policy ({FRAMES} frames, "
+          f"{FRAME_PERIOD_MS:.0f} ms period, {DEADLINE_MS:.0f} ms deadline)")
+    print("  policy       work/pkt   delivered  shed rate   p50       p99")
+    for row in rows:
+        print(
+            f"  {row['policy']:<11} {row['work_us']:7.0f} us"
+            f"  {row['delivered']:>6}/{row['submitted']:<3}"
+            f"  {row['shed_rate']:8.0%}"
+            f"  {row['p50_ms']:7.1f} ms {row['p99_ms']:7.1f} ms"
+        )
+
+
+def check_shape(rows: List[Dict]) -> None:
+    """The qualitative contract the sweep must reproduce."""
+    by_policy = {}
+    for row in rows:
+        by_policy.setdefault(row["policy"], []).append(row)
+    # block never sheds, whatever the load.
+    assert all(r["shed"] == 0 for r in by_policy["block"])
+    # Past saturation the shedding policies drop frames...
+    overloaded = [r for r in by_policy["shed-oldest"]
+                  if r["work_us"] == max(OFFERED_LOADS_US)]
+    assert all(r["shed"] > 0 for r in overloaded)
+    # ...and hold p99 below blocking backpressure at the same load.
+    block_p99 = max(r["p99_ms"] for r in by_policy["block"])
+    shed_p99 = max(r["p99_ms"] for r in by_policy["shed-oldest"])
+    assert shed_p99 <= block_p99
+
+
+def test_overload_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    render(rows)
+    check_shape(rows)
+    for row in rows:
+        key = f"{row['policy']}_{row['work_us']:.0f}us"
+        benchmark.extra_info[f"{key}_p99_ms"] = row["p99_ms"]
+        benchmark.extra_info[f"{key}_shed_rate"] = row["shed_rate"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="overload-policy sweep (p50/p99 and shed rate vs load)"
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the sweep as a JSON document")
+    args = parser.parse_args(argv)
+    rows = sweep()
+    render(rows)
+    check_shape(rows)
+    if args.json:
+        document = {
+            "frames": FRAMES,
+            "deadline_ms": DEADLINE_MS,
+            "frame_period_ms": FRAME_PERIOD_MS,
+            "offered_loads_us": list(OFFERED_LOADS_US),
+            "rows": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,7 @@ def main() -> None:
     print(built.deadlock.render())
     print()
 
-    report = built.run(real_time=True)
+    report = built.run(real_time=True, budget=app.latency_budget())
     print("iteration  frame  phase     latency    frames-skipped")
     for rec in report.iterations:
         phase = "reinit " if rec.index == 0 else "track  "
@@ -47,6 +47,12 @@ def main() -> None:
             f"  {rec.index:>6}  {rec.frame_index:>5}  {phase}  "
             f"{rec.latency / 1000:7.1f} ms   {rec.frames_skipped}"
         )
+    rt = report.realtime
+    print()
+    print(f"25 Hz deadline contract: {rt.summary()}")
+    for miss in rt.deadline_miss_events:
+        print(f"  frame {miss.frame} missed the 40 ms budget ({miss.detail})")
+
     reinit = report.iterations[0].latency / 1000
     stable = [r.latency for r in report.iterations[2:]]
     tracking = sum(stable) / len(stable) / 1000

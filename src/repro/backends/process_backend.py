@@ -88,6 +88,18 @@ def _worker_main(payload: Dict[str, Any]) -> None:
                 board=HealthBoard(faults["board"]),
                 processor=processor,
             )
+        realtime = payload.get("realtime")
+        rt_kernel = None
+        if realtime is not None:
+            from ..realtime.kernel import RealtimeKernel, StreamBoard
+
+            kernel = rt_kernel = RealtimeKernel(
+                kernel,
+                realtime["topology"],
+                realtime["budget"],
+                board=StreamBoard(realtime["board"]),
+                processor=processor,
+            )
         kernel.blackboard.update(payload["seed"])
         _threads, sinks = module["build_executive"](kernel, payload["fns"])
         local_sinks = [t for t in sinks if isinstance(t, threading.Thread)]
@@ -99,17 +111,25 @@ def _worker_main(payload: Dict[str, Any]) -> None:
         stop.wait()
         for thread in base.local_threads():
             thread.join(0.5)
-        if faults is not None:
-            # Stop the heartbeat thread before this process exits: dying
-            # with a daemon thread inside a shared semaphore would poison
-            # it for the other processes.
+        if faults is not None or realtime is not None:
+            # Stop the service threads (heartbeat, realtime watchdog)
+            # before this process exits: dying with a daemon thread
+            # inside a shared semaphore would poison it for the other
+            # processes.
             kernel.shutdown()
         fault_payload = (
             kernel.fault_report.to_payload() if faults is not None else []
         )
+        rt_payload = None
+        if rt_kernel is not None:
+            rt_payload = {
+                "admission": rt_kernel.admission_payload(),
+                "delivery": rt_kernel.delivery_payload(),
+            }
         results.put(
             ("done", processor, base.blackboard,
-             base.compute_spans, base.transfer_spans, fault_payload)
+             base.compute_spans, base.transfer_spans, fault_payload,
+             rt_payload)
         )
     except Exception:
         stop.set()
@@ -162,14 +182,17 @@ def run_multiprocess(
     record_spans: bool = True,
     fault_plan: Optional[Any] = None,
     fault_policy: Optional[Any] = None,
-) -> Tuple[Dict[str, Any], List, List, float, Any]:
+    budget: Optional[Any] = None,
+) -> Tuple[Dict[str, Any], List, List, float, Any, Any]:
     """Run the mapped program on OS processes.
 
     Returns ``(blackboard, compute_spans, transfer_spans, wall_us,
-    fault_report)``: the merged kernel blackboards, the wall-clock spans
-    of every worker (µs since the run epoch), the total wall time, and —
-    when ``fault_plan`` enabled supervision — the merged
-    :class:`~repro.faults.report.FaultReport` (else ``None``).
+    fault_report, realtime_report)``: the merged kernel blackboards, the
+    wall-clock spans of every worker (µs since the run epoch), the total
+    wall time, and — when ``fault_plan`` enabled supervision / a
+    ``budget`` enabled the realtime layer — the merged
+    :class:`~repro.faults.report.FaultReport` /
+    :class:`~repro.realtime.ledger.RealtimeReport` (else ``None``).
     """
     graph = mapping.graph
     fns = {spec.name: spec.fn for spec in table}
@@ -220,6 +243,22 @@ def run_multiprocess(
             # Lock-free: single-writer slots, aligned 8-byte stores.
             "board": ctx.Array("d", max(1, topology.n_slots), lock=False),
         }
+    realtime: Optional[Dict[str, Any]] = None
+    if budget is not None:
+        from ..realtime.topology import StreamTopology
+
+        stream = StreamTopology.from_mapping(mapping)
+        if stream is None:
+            raise BackendError(
+                "a latency budget needs a stream program (no stream "
+                "input/output in this mapping)"
+            )
+        realtime = {
+            "budget": budget,
+            "topology": stream,
+            # released / delivered counters: single-writer slots.
+            "board": ctx.Array("d", 2, lock=False),
+        }
     sink_procs = {
         mapping.processor_of(p.id)
         for p in graph.processes.values()
@@ -247,6 +286,7 @@ def run_multiprocess(
             "shm_threshold": shm_threshold,
             "record_spans": record_spans,
             "faults": faults,
+            "realtime": realtime,
         }
         worker = ctx.Process(
             target=_worker_main, args=(payload,),
@@ -261,6 +301,7 @@ def run_multiprocess(
     compute_spans: List = []
     transfer_spans: List = []
     fault_payloads: List = []
+    rt_halves: Dict[str, Any] = {"admission": None, "delivery": None}
     error: Optional[Tuple[str, str]] = None
 
     def absorb(message: Tuple) -> None:
@@ -274,6 +315,10 @@ def run_multiprocess(
             transfer_spans.extend(message[4])
             if len(message) > 5:
                 fault_payloads.extend(message[5])
+            if len(message) > 6 and message[6] is not None:
+                for half in ("admission", "delivery"):
+                    if message[6].get(half) is not None:
+                        rt_halves[half] = message[6][half]
         elif tag == "error":
             error = (message[1], message[2])
 
@@ -312,7 +357,15 @@ def run_multiprocess(
         from ..faults.report import FaultReport
 
         fault_report = FaultReport.from_payload(fault_payloads).sorted()
-    return blackboard, compute_spans, transfer_spans, wall_us, fault_report
+    realtime_report = None
+    if realtime is not None:
+        from ..realtime.ledger import assemble_report
+
+        realtime_report = assemble_report(
+            budget, rt_halves["admission"], rt_halves["delivery"]
+        )
+    return (blackboard, compute_spans, transfer_spans, wall_us,
+            fault_report, realtime_report)
 
 
 @register_backend
@@ -348,11 +401,13 @@ class ProcessBackend(Backend):
         shm_threshold: int = SHM_MIN_BYTES,
         fault_plan: Optional[Any] = None,
         fault_policy: Optional[Any] = None,
+        budget: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
             raise BackendError("the processes backend needs a mapping")
-        blackboard, compute, transfer, wall_us, fault_report = run_multiprocess(
+        (blackboard, compute, transfer, wall_us, fault_report,
+         realtime_report) = run_multiprocess(
             mapping, table,
             max_iterations=max_iterations,
             args=args,
@@ -362,14 +417,18 @@ class ProcessBackend(Backend):
             shm_threshold=shm_threshold,
             fault_plan=fault_plan,
             fault_policy=fault_policy,
+            budget=budget,
         )
         trace = Trace()
         trace.compute = compute
         trace.transfer = transfer
         if fault_report is not None:
             fault_report.annotate_trace(trace)
+        if realtime_report is not None:
+            realtime_report.annotate_trace(trace)
         report = report_from_blackboard(
             blackboard, makespan=wall_us, backend=self.name, trace=trace
         )
         report.faults = fault_report
+        report.realtime = realtime_report
         return report

@@ -43,6 +43,7 @@ class SimulateBackend(Backend):
         timeout: float = 120.0,
         fault_plan: Optional[Any] = None,
         fault_policy: Optional[Any] = None,
+        budget: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -51,6 +52,7 @@ class SimulateBackend(Backend):
             mapping, table, costs,
             real_time=real_time, record_trace=record_trace,
             fault_plan=fault_plan, fault_policy=fault_policy,
+            budget=budget,
         )
         if mapping.graph.by_kind(ProcessKind.MEM):
             report = executive.run(max_iterations)

@@ -47,6 +47,7 @@ class ThreadBackend(Backend):
         timeout: float = 120.0,
         fault_plan: Optional[Any] = None,
         fault_policy: Optional[Any] = None,
+        budget: Optional[Any] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -69,21 +70,47 @@ class ThreadBackend(Backend):
                 policy=fault_policy,
             )
             fault_report = kernel.fault_report
+        realtime_kernel = None
+        if budget is not None:
+            from ..realtime.kernel import RealtimeKernel
+            from ..realtime.topology import StreamTopology
+
+            stream = StreamTopology.from_mapping(mapping)
+            if stream is None:
+                raise BackendError(
+                    "a latency budget needs a stream program (no stream "
+                    "input/output in this mapping)"
+                )
+            kernel = realtime_kernel = RealtimeKernel(
+                kernel, stream, budget
+            )
         start = time.perf_counter()
-        blackboard = run_generated(
-            mapping, table,
-            kernel=kernel,
-            max_iterations=max_iterations,
-            args=args,
-            timeout=timeout,
-        )
+        try:
+            blackboard = run_generated(
+                mapping, table,
+                kernel=kernel,
+                max_iterations=max_iterations,
+                args=args,
+                timeout=timeout,
+            )
+        finally:
+            shutdown = getattr(kernel, "shutdown", None)
+            if shutdown is not None and (fault_plan is not None
+                                         or budget is not None):
+                shutdown()
         wall_us = (time.perf_counter() - start) * 1e6
         if fault_report is not None:
             fault_report.sorted()
             if trace is not None:
                 fault_report.annotate_trace(trace)
+        realtime_report = None
+        if realtime_kernel is not None:
+            realtime_report = realtime_kernel.build_report()
+            if trace is not None:
+                realtime_report.annotate_trace(trace)
         report = report_from_blackboard(
             blackboard, makespan=wall_us, backend=self.name, trace=trace
         )
         report.faults = fault_report
+        report.realtime = realtime_report
         return report

@@ -10,7 +10,9 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro simulate  spec.ml --functions app:TABLE --arch ring:8 --gantt
     python -m repro run       spec.ml --functions app:TABLE --arch ring:8 --backend processes
     python -m repro run       spec.ml --functions app:TABLE --faults plan.json
+    python -m repro run       spec.ml --functions app:TABLE --deadline-ms 40 --overload-policy shed-oldest
     python -m repro faults    --skeleton scm --backend processes
+    python -m repro soak      --backend processes --frames 200 --seed 7
     python -m repro check     --backends simulate,threads --cases 50 --seed 7
     python -m repro backends
 
@@ -189,6 +191,7 @@ def _cmd_simulate(args) -> int:
         args=_parse_run_args(args.arg),
         record_trace=record,
         **_load_fault_plan(args),
+        **_load_budget(args),
     )
     _print_report(report, args)
     return 0
@@ -201,6 +204,44 @@ def _add_fault_options(p) -> None:
     p.add_argument("--fault-timeout", type=float, default=None, metavar="S",
                    help="per-packet dispatch deadline in seconds "
                         "(real backends; heartbeat deadline is S/2)")
+
+
+def _add_realtime_options(p) -> None:
+    from .realtime import OVERLOAD_POLICIES
+
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="per-frame latency budget; attaches the realtime "
+                        "layer to stream runs (deadline watchdog, bounded "
+                        "admission, frame ledger)")
+    p.add_argument("--overload-policy", choices=OVERLOAD_POLICIES,
+                   default="block",
+                   help="what to do when the admission buffer overflows "
+                        "(default: block)")
+    p.add_argument("--max-in-flight", type=int, default=4, metavar="N",
+                   help="frames allowed between admission and delivery "
+                        "(default: 4)")
+    p.add_argument("--frame-period-ms", type=float, default=0.0,
+                   metavar="MS",
+                   help="pace the stream source to one frame per MS "
+                        "(default: free-running)")
+
+
+def _load_budget(args) -> dict:
+    """Backend options implementing ``--deadline-ms`` and friends."""
+    if getattr(args, "deadline_ms", None) is None:
+        return {}
+    from .realtime import LatencyBudget
+
+    try:
+        budget = LatencyBudget(
+            deadline_ms=args.deadline_ms,
+            policy=args.overload_policy,
+            max_in_flight=args.max_in_flight,
+            frame_period_ms=args.frame_period_ms,
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: bad latency budget: {err}")
+    return {"budget": budget}
 
 
 def _load_fault_plan(args) -> dict:
@@ -243,6 +284,7 @@ def _cmd_run(args) -> int:
     )
     record = args.gantt or bool(args.trace_out)
     options = _load_fault_plan(args)
+    options.update(_load_budget(args))
     if args.start_method:
         options["start_method"] = args.start_method
     try:
@@ -292,6 +334,12 @@ def _cmd_faults(args) -> int:
     return demo_main([])
 
 
+def _cmd_soak(args) -> int:
+    from .realtime.soak import main as soak_main
+
+    return soak_main([])
+
+
 def _cmd_backends(args) -> int:
     for name, description in sorted(list_backends().items()):
         print(f"  {name:<10} {description}")
@@ -306,6 +354,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .faults.demo import main as demo_main
 
         return demo_main(argv[1:])
+    if argv[:1] == ["soak"]:
+        from .realtime.soak import main as soak_main
+
+        return soak_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SKiPPER: skeleton-based parallel programming environment",
@@ -363,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write the trace as Chrome trace-event JSON")
     _add_fault_options(p)
+    _add_realtime_options(p)
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser(
@@ -385,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write the trace as Chrome trace-event JSON")
     _add_fault_options(p)
+    _add_realtime_options(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -418,6 +472,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         add_help=False,
     )
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos-soak a stream under a latency budget (frame "
+             "conservation proof)",
+        add_help=False,
+    )
+    p.set_defaults(fn=_cmd_soak)
 
     p = sub.add_parser("backends", help="list the execution backends")
     p.set_defaults(fn=_cmd_backends)

@@ -22,7 +22,12 @@ from ..machine.executive import RunReport
 from ..pnt.graph import ProcessKind
 from ..syndex.distribute import Mapping
 
-__all__ = ["check_trace_invariants", "check_fault_accounting"]
+__all__ = [
+    "check_trace_invariants",
+    "check_fault_accounting",
+    "check_frame_conservation",
+    "check_deadline_accounting",
+]
 
 #: Slack for float comparisons on span endpoints (µs).
 EPS = 1e-6
@@ -169,6 +174,88 @@ def check_fault_accounting(report: RunReport) -> List[str]:
                 f"fault accounting: injected {injected.kind} on "
                 f"{injected.target} was detected but neither re-dispatched "
                 f"nor quarantined nor abandoned"
+            )
+    return violations
+
+
+def check_frame_conservation(report: RunReport) -> List[str]:
+    """delivered + shed + failed == submitted — nothing lost silently.
+
+    A real-time run that sheds load must account for every grabbed
+    frame.  Additionally, the frames the ledger says were delivered must
+    be the outputs the run actually produced (same count), shed/failed
+    frames must carry a reason, and statuses must be terminal.
+    """
+    rt = report.realtime
+    if rt is None:
+        return []
+    violations: List[str] = []
+    ledger = rt.ledger
+    if not ledger.conserved():
+        violations.append(
+            f"frame conservation: {ledger.unaccounted()} of "
+            f"{ledger.submitted} frame(s) unaccounted for "
+            f"({len(ledger.delivered)} delivered, {len(ledger.shed)} shed, "
+            f"{len(ledger.failed)} failed)"
+        )
+    for rec in ledger.frames:
+        if rec.status == "in-flight":
+            violations.append(
+                f"frame conservation: frame {rec.frame} still in flight "
+                f"after the run ended"
+            )
+        elif rec.status in ("shed", "failed") and not rec.reason:
+            violations.append(
+                f"frame conservation: frame {rec.frame} was {rec.status} "
+                f"without a recorded reason"
+            )
+    delivered = len(ledger.delivered)
+    produced = len(report.outputs)
+    if ledger.frames and delivered != produced:
+        violations.append(
+            f"frame conservation: ledger says {delivered} frame(s) "
+            f"delivered but the run produced {produced} output(s)"
+        )
+    return violations
+
+
+def check_deadline_accounting(report: RunReport) -> List[str]:
+    """Deadline misses must be both flagged and evented, consistently.
+
+    Every delivered frame whose measured latency exceeds the budget must
+    carry ``deadline_missed``; every flagged frame must have a
+    ``deadline-miss`` event (the watchdog saw it *while* in flight or the
+    assembler flagged it at join); no event may name a frame the ledger
+    never admitted.
+    """
+    rt = report.realtime
+    if rt is None:
+        return []
+    violations: List[str] = []
+    deadline_us = rt.budget.deadline_us
+    known = {rec.frame for rec in rt.ledger.frames}
+    evented = {e.frame for e in rt.deadline_miss_events}
+    for rec in rt.ledger.delivered:
+        late = rec.latency_us is not None and \
+            rec.latency_us > deadline_us + EPS
+        if late and not rec.deadline_missed:
+            violations.append(
+                f"deadline accounting: frame {rec.frame} took "
+                f"{rec.latency_us / 1000:.1f} ms against a "
+                f"{rt.budget.deadline_ms:.0f} ms budget but was not "
+                f"flagged as missed"
+            )
+    for e in rt.deadline_miss_events:
+        if e.frame is not None and e.frame not in known:
+            violations.append(
+                f"deadline accounting: deadline-miss event names frame "
+                f"{e.frame}, which the ledger never admitted"
+            )
+    for rec in rt.ledger.frames:
+        if rec.deadline_missed and rec.frame not in evented:
+            violations.append(
+                f"deadline accounting: frame {rec.frame} is flagged "
+                f"missed but no deadline-miss event was recorded"
             )
     return violations
 

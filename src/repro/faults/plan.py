@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "FAULT_KINDS",
+    "OVERLOAD_KINDS",
     "FaultSpec",
     "FaultPlan",
     "PlanMatcher",
@@ -42,7 +43,22 @@ __all__ = [
 #: * ``stall`` — the target hangs (never returns) until teardown;
 #: * ``delay`` — the target's computation takes ``delay_us`` longer;
 #: * ``drop``  — one message on the target edge is silently lost.
-FAULT_KINDS = ("crash", "stall", "delay", "drop")
+#:
+#: Overload kinds (the real-time fault model of :mod:`repro.realtime`):
+#:
+#: * ``slow-worker``  — the target's computation takes ``delay_us``
+#:   longer on each of ``count`` consecutive firings (persistent
+#:   slowness rather than a one-off hiccup);
+#: * ``burst``        — the stream source releases ``count`` consecutive
+#:   frames back-to-back, ignoring its pacing period;
+#: * ``input-surge``  — the stream source runs at ``factor`` times its
+#:   configured rate for ``count`` frames.
+FAULT_KINDS = ("crash", "stall", "delay", "drop",
+               "slow-worker", "burst", "input-surge")
+
+#: Kinds that fire over a window of ``count`` occurrences (the classic
+#: kinds keep their fire-exactly-once contract via the default count=1).
+OVERLOAD_KINDS = ("slow-worker", "burst", "input-surge")
 
 
 class PlanError(ValueError):
@@ -67,6 +83,11 @@ class FaultSpec:
     edge: Optional[str] = None
     occurrence: int = 0
     delay_us: float = 0.0
+    #: How many consecutive occurrences the fault covers (window kinds:
+    #: slow-worker/burst/input-surge; the classic kinds fire once).
+    count: int = 1
+    #: Rate multiplier for ``input-surge`` (source runs this much faster).
+    factor: float = 2.0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -86,6 +107,10 @@ class FaultSpec:
             raise PlanError(f"{self.kind!r} faults target a process/processor")
         if self.occurrence < 0:
             raise PlanError("occurrence must be >= 0")
+        if self.count < 1:
+            raise PlanError("count must be >= 1")
+        if self.factor <= 0:
+            raise PlanError("factor must be positive")
 
     @property
     def target(self) -> str:
@@ -97,14 +122,18 @@ class FaultSpec:
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
-        if self.kind == "delay":
+        if self.kind in ("delay", "slow-worker"):
             out["delay_us"] = self.delay_us
+        if self.count != 1:
+            out["count"] = self.count
+        if self.kind == "input-surge":
+            out["factor"] = self.factor
         return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultSpec":
         known = {"kind", "process", "processor", "edge", "occurrence",
-                 "delay_us"}
+                 "delay_us", "count", "factor"}
         unknown = set(data) - known
         if unknown:
             raise PlanError(f"unknown fault-event field(s) {sorted(unknown)}")
@@ -183,42 +212,51 @@ class FaultPlan:
         n_events: int = 1,
         max_occurrence: int = 0,
         delay_us: float = 5_000.0,
+        max_count: int = 1,
     ) -> "FaultPlan":
         """A deterministic seeded plan over the given worker processes.
 
         The same ``(seed, workers, kinds, n_events)`` always yields the
         same plan, so chaos scenarios are replayable from one integer.
+        ``max_count`` bounds the window length drawn for overload kinds.
         """
         rng = random.Random(seed)
         events = []
         for _ in range(n_events):
             kind = rng.choice(list(kinds))
+            count = 1
+            if kind in OVERLOAD_KINDS:
+                count = rng.randint(1, max(1, max_count))
             events.append(
                 FaultSpec(
                     kind=kind,
                     process=rng.choice(list(workers)),
                     occurrence=rng.randint(0, max_occurrence),
-                    delay_us=delay_us if kind == "delay" else 0.0,
+                    delay_us=delay_us if kind in ("delay", "slow-worker")
+                    else 0.0,
+                    count=count,
                 )
             )
         return cls(events=events, seed=seed)
 
 
 class PlanMatcher:
-    """Stateful runtime matcher: counts occurrences, fires each spec once.
+    """Stateful runtime matcher: counts occurrences, fires each window.
 
     Injection sites call :meth:`fire` with what they know about the
     current event (the firing process, its processor, the edge being
     sent on) and get back the specs that trigger *now*.  Each spec keeps
-    its own match counter, so ``occurrence=k`` fires on its k-th match
-    and never again — deterministic regardless of thread interleaving
-    (the counter is guarded by a lock for the real backends).
+    its own match counter and fires on occurrences ``occurrence ..
+    occurrence + count - 1`` — once for the classic kinds (count=1), a
+    consecutive window for the overload kinds — deterministic regardless
+    of thread interleaving (the counter is guarded by a lock for the
+    real backends).
     """
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._counts = [0] * len(plan.events)
-        self._fired = [False] * len(plan.events)
+        self._fires = [0] * len(plan.events)
         self._lock = threading.Lock()
 
     def fire(
@@ -246,15 +284,15 @@ class PlanMatcher:
                         continue
                 count = self._counts[i]
                 self._counts[i] = count + 1
-                if not self._fired[i] and count == spec.occurrence:
-                    self._fired[i] = True
+                if spec.occurrence <= count < spec.occurrence + spec.count:
+                    self._fires[i] += 1
                     triggered.append(spec)
         return triggered
 
     def pending(self) -> List[FaultSpec]:
-        """Specs that have not fired (e.g. their target never ran)."""
+        """Specs that never fired (e.g. their target never ran)."""
         return [
             spec
-            for spec, fired in zip(self.plan.events, self._fired)
-            if not fired
+            for spec, fires in zip(self.plan.events, self._fires)
+            if fires == 0
         ]

@@ -38,7 +38,24 @@ class FaultPolicy:
     #: Virtual detection latency charged by the simulator (µs) between a
     #: fault occurring and the master acting on it.
     detect_us: float = 500.0
+    #: Seconds after quarantine before the circuit breaker sends the
+    #: first probation packet to the retired worker.  The default is
+    #: deliberately longer than typical short chaos runs, so probation
+    #: only engages where it is asked for (soaks, long streams).
+    probe_after_s: float = 1.0
+    #: Multiplier applied to the probe delay after each failed probe.
+    probe_backoff: float = 2.0
+    #: Failed probes before quarantine becomes permanent.
+    max_probes: int = 3
+    #: Supervision scans a queued re-dispatch may stay unsendable before
+    #: it is dropped from the pending list and the packet times out
+    #: again through the normal path (bounds the `queue.Full` retry).
+    max_flush_attempts: int = 400
 
     def deadline_s(self, attempts: int) -> float:
         """Packet timeout for the given (0-based) dispatch attempt."""
         return self.packet_timeout_s * (self.backoff ** attempts)
+
+    def probe_delay_s(self, probes: int) -> float:
+        """Breaker delay before the (0-based) n-th probation packet."""
+        return self.probe_after_s * (self.probe_backoff ** probes)

@@ -26,6 +26,9 @@ CATEGORIES = (
     "quarantine",  # a worker (and its processor) was retired from service
     "duplicate",   # a late result from a presumed-dead worker was discarded
     "abandoned",   # a packet exhausted its re-dispatch budget
+    "probe",       # the circuit breaker sent a probation packet
+    "readmit",     # a quarantined worker proved alive and rejoined
+    "overflow",    # a queued re-dispatch overran its flush budget
 )
 
 

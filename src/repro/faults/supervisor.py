@@ -138,6 +138,25 @@ class _InFlight:
         self.redispatch_record = None  # FaultRecord awaiting its latency
 
 
+class _Breaker:
+    """Circuit-breaker state for one quarantined worker.
+
+    After ``probe_after_s`` the supervisor duplicates a live in-flight
+    packet onto the quarantined worker's dispatch edge (a *probation
+    packet*: real work, so a false-positive quarantine costs nothing but
+    one duplicate answer, which the dedupe path already discards).  Any
+    result arriving on the worker's collect edge proves it alive and
+    re-admits it to the dispatch rotation; ``max_probes`` unanswered
+    probes make the quarantine permanent.
+    """
+
+    __slots__ = ("next_probe_at", "probes")
+
+    def __init__(self, next_probe_at: float):
+        self.next_probe_at = next_probe_at
+        self.probes = 0
+
+
 class _FarmState:
     """Supervisor-side state of one farm (lives in the owner process)."""
 
@@ -150,12 +169,15 @@ class _FarmState:
         #: late answer from a falsely-suspected worker is discarded.
         self.satisfied: Dict[int, int] = {}
         self.quarantined: set = set()
+        #: worker index -> probation state (created at quarantine).
+        self.breakers: Dict[int, _Breaker] = {}
         self.stopping = False
         #: Results that arrived for a port the collector is not currently
         #: waiting on (scm out-of-order recovery).
         self.stash: Dict[int, Any] = {}
-        #: (edge, envelope) re-dispatches waiting for queue space.
-        self.pending_sends: List[Tuple[str, Any]] = []
+        #: (edge, envelope, flush_attempts) re-dispatches waiting for
+        #: queue space.
+        self.pending_sends: List[Tuple[str, Any, int]] = []
         #: Dispatch edges whose Stop is withheld until no packet is in
         #: flight: releasing Stop early would let a survivor exit before
         #: a re-dispatched packet reaches it.
@@ -285,14 +307,16 @@ class SupervisedKernel:
     def _inject_compute(self) -> None:
         pid, proc = self._identity()
         specs = self._matcher.fire(
-            process=pid, processor=proc, kinds=("crash", "stall", "delay")
+            process=pid, processor=proc,
+            kinds=("crash", "stall", "delay", "slow-worker"),
         )
         if not specs:
             return
         for spec in specs:
-            if spec.kind == "delay":
+            if spec.kind in ("delay", "slow-worker"):
                 self.fault_report.add(
-                    "injected", "delay", pid or spec.target, self._now_us(),
+                    "injected", spec.kind, pid or spec.target,
+                    self._now_us(),
                     processor=proc, note=f"{spec.delay_us:.0f} us",
                 )
                 time.sleep(spec.delay_us / 1e6)
@@ -411,6 +435,11 @@ class SupervisedKernel:
                 except queue.Empty:
                     continue
                 if isinstance(raw, Result):
+                    entry = self._collect.get(edge)
+                    if entry is not None:
+                        # Any answer from a quarantined worker — probe
+                        # or stale original — proves it alive.
+                        self._readmit(state, entry[1])
                     status, _origin, value = self._accept(state, raw)
                     if status == "dup":
                         continue
@@ -432,6 +461,7 @@ class SupervisedKernel:
                 except queue.Empty:
                     continue
                 if isinstance(raw, Result):
+                    self._readmit(state, w)
                     status, origin, value = self._accept(state, raw)
                     if status == "dup":
                         continue
@@ -512,15 +542,65 @@ class SupervisedKernel:
                     note=f"packet #{seq} moved off {worker.pid}",
                 )
                 state.pending_sends.append(
-                    (target.dispatch_edge, Packet(seq, rec.value))
+                    (target.dispatch_edge, Packet(seq, rec.value), 0)
                 )
+            self._probe_quarantined(state, now)
             if (state.stopping and not state.inflight
                     and not state.pending_sends and state.held_stops):
                 edges, state.held_stops = state.held_stops, []
                 state.pending_sends.extend(
-                    (edge, self._base.stop_token) for edge in edges
+                    (edge, self._base.stop_token, 0) for edge in edges
                 )
         self._flush_sends(state)
+
+    def _probe_quarantined(self, state: _FarmState, now: float) -> None:
+        """Circuit breaker: offer quarantined workers probation packets.
+
+        Called with ``state.lock`` held.  A probe *duplicates* a live
+        in-flight packet onto the quarantined worker's dispatch edge —
+        never synthetic work, which could crash user functions — so the
+        worker's answer is either the accepted result (it beat the
+        survivor) or a discarded duplicate.  Either way its arrival on
+        the worker's collect edge re-admits it (see the collect loops).
+        """
+        if state.stopping or not state.inflight:
+            return
+        policy = self._policy
+        for index in sorted(state.quarantined):
+            breaker = state.breakers.get(index)
+            if breaker is None or now < breaker.next_probe_at:
+                continue
+            if breaker.probes >= policy.max_probes:
+                continue  # permanently retired
+            worker = state.farm.workers[index]
+            rec = min(state.inflight.values(), key=lambda r: r.seq)
+            breaker.probes += 1
+            breaker.next_probe_at = now + policy.probe_delay_s(
+                breaker.probes
+            )
+            self.fault_report.add(
+                "probe", "probation", worker.pid, self._now_us(),
+                processor=worker.processor, seq=rec.seq,
+                attempts=breaker.probes,
+                note=f"duplicate of packet #{rec.seq}",
+            )
+            state.pending_sends.append(
+                (worker.dispatch_edge, Packet(rec.seq, rec.value), 0)
+            )
+
+    def _readmit(self, state: _FarmState, worker: FarmWorker) -> None:
+        """A quarantined worker answered: return it to the rotation."""
+        if worker.index not in state.quarantined:
+            return
+        with state.lock:
+            if worker.index not in state.quarantined:
+                return
+            state.quarantined.discard(worker.index)
+            state.breakers.pop(worker.index, None)
+        self.fault_report.add(
+            "readmit", "probation", worker.pid, self._now_us(),
+            processor=worker.processor,
+        )
 
     def _quarantine(self, state: _FarmState, worker: FarmWorker,
                     kind: str, seq: int) -> None:
@@ -531,6 +611,9 @@ class SupervisedKernel:
         )
         if worker.index not in state.quarantined:
             state.quarantined.add(worker.index)
+            state.breakers[worker.index] = _Breaker(
+                time.monotonic() + self._policy.probe_after_s
+            )
             self.fault_report.add(
                 "quarantine", kind, worker.pid, now_us,
                 processor=worker.processor,
@@ -556,16 +639,34 @@ class SupervisedKernel:
         raise Shutdown
 
     def _flush_sends(self, state: _FarmState) -> None:
-        """Re-dispatches use non-blocking puts so supervision never wedges."""
-        remaining: List[Tuple[str, Packet]] = []
-        for edge, envelope in state.pending_sends:
+        """Re-dispatches use non-blocking puts so supervision never wedges.
+
+        Each entry carries a flush-attempt counter: a *packet* whose
+        target queue stays full for ``max_flush_attempts`` scans is
+        dropped with an ``overflow`` record — its in-flight entry stays,
+        so the normal timeout path re-dispatches it elsewhere (a worker
+        whose queue never drains is overloaded and earns its quarantine).
+        Stop tokens are never dropped: workers consume their queues on
+        the way out, so a held-back Stop always becomes sendable.
+        """
+        remaining: List[Tuple[str, Any, int]] = []
+        for edge, envelope, attempts in state.pending_sends:
+            channel = self._base.channel(edge)
+            put_nowait = getattr(channel, "put_nowait", None)
+            if put_nowait is None:  # ThreadKernel wraps the queue
+                put_nowait = channel.q.put_nowait
             try:
-                self._base.channel(edge).put_nowait(envelope)
-            except AttributeError:  # ThreadKernel wraps the queue
-                try:
-                    self._base.channel(edge).q.put_nowait(envelope)
-                except queue.Full:
-                    remaining.append((edge, envelope))
+                put_nowait(envelope)
             except queue.Full:
-                remaining.append((edge, envelope))
+                attempts += 1
+                if (isinstance(envelope, Packet)
+                        and attempts >= self._policy.max_flush_attempts):
+                    self.fault_report.add(
+                        "overflow", "queue-full", edge, self._now_us(),
+                        seq=envelope.seq, attempts=attempts,
+                        note=f"re-dispatch of packet #{envelope.seq} "
+                             f"dropped after {attempts} full-queue scans",
+                    )
+                    continue
+                remaining.append((edge, envelope, attempts))
         state.pending_sends = remaining

@@ -111,6 +111,10 @@ class RunReport:
     #: Fault story of the run (:class:`~repro.faults.report.FaultReport`)
     #: when fault injection / supervision was enabled; else None.
     faults: Optional[Any] = None
+    #: Real-time story (:class:`~repro.realtime.ledger.RealtimeReport`)
+    #: when a :class:`~repro.realtime.budget.LatencyBudget` was attached
+    #: to the run; else None.
+    realtime: Optional[Any] = None
 
     @property
     def mean_latency(self) -> float:
@@ -158,6 +162,8 @@ class RunReport:
             ]
         if self.faults:
             lines.append(self.faults.summary())
+        if self.realtime:
+            lines.append(self.realtime.summary())
         return "\n".join(lines)
 
 
@@ -213,12 +219,14 @@ class Executive:
         record_trace: bool = False,
         fault_plan: Optional[Any] = None,
         fault_policy: Optional[Any] = None,
+        budget: Optional[Any] = None,
     ):
         self.mapping = mapping
         self.graph: ProcessGraph = mapping.graph
         self.table = table
         self.costs = costs
         self.real_time = real_time
+        self.budget = budget
         self.max_farm_tasks = max_farm_tasks
         self.routing: RoutingTable = route_mapping(mapping)
         self._edge_index = {id(e): i for i, e in enumerate(self.graph.edges)}
@@ -423,13 +431,13 @@ class Executive:
                 return
             specs = self._matcher.fire(
                 process=pid, processor=self._processor_of(pid),
-                kinds=("crash", "stall", "delay"),
+                kinds=("crash", "stall", "delay", "slow-worker"),
             )
             for spec in specs:
-                if spec.kind == "delay":
+                if spec.kind in ("delay", "slow-worker"):
                     delay_us += spec.delay_us
                     self.fault_report.add(
-                        "injected", "delay", pid, self._now,
+                        "injected", spec.kind, pid, self._now,
                         processor=self._processor_of(pid),
                         note=f"{spec.delay_us:.0f} us",
                     )
@@ -799,6 +807,46 @@ class Executive:
             self.fault_report.annotate_trace(self.trace)
         return self.fault_report
 
+    def _finish_realtime(self):
+        """Project the iteration records onto a frame ledger.
+
+        The simulator is lock-step (one frame in flight), so the ledger
+        is exact: every completed iteration is a delivered frame, every
+        grabber skip is a shed frame, and a deadline miss is simply
+        ``latency > budget``.  This gives the conformance harness a
+        deterministic realtime oracle to compare the real backends
+        against.
+        """
+        if self.budget is None:
+            return None
+        from ..realtime.ledger import FrameRecord, RealtimeReport
+
+        report = RealtimeReport(budget=self.budget)
+        deadline_us = self.budget.deadline_us
+        for rec in self._iteration_records:
+            for k in range(rec.frames_skipped):
+                frame = rec.frame_index - rec.frames_skipped + k
+                report.ledger.frames.append(FrameRecord(
+                    frame=frame, admitted_us=rec.start, status="shed",
+                    reason="frame-skip",
+                ))
+                report.add_event("shed", frame, rec.start,
+                                 detail="frame-skip")
+            missed = rec.latency > deadline_us
+            report.ledger.frames.append(FrameRecord(
+                frame=rec.frame_index, admitted_us=rec.start,
+                status="delivered", released_us=rec.start,
+                delivered_us=rec.output_time, deadline_missed=missed,
+            ))
+            if missed:
+                report.add_event(
+                    "deadline-miss", rec.frame_index, rec.output_time,
+                    detail=f"{rec.latency / 1000:.1f} ms",
+                )
+        if self.trace is not None:
+            report.annotate_trace(self.trace)
+        return report
+
     # -- public API --------------------------------------------------------------
 
     def run(self, max_iterations: Optional[int] = None) -> RunReport:
@@ -853,6 +901,7 @@ class Executive:
             chan_busy=dict(self._chan_busy_total),
             trace=self.trace,
             faults=self._finish_faults(),
+            realtime=self._finish_realtime(),
         )
 
     def run_once(self, *args: Any) -> RunReport:
@@ -890,6 +939,7 @@ def simulate(
     args: Optional[Tuple] = None,
     fault_plan: Optional[Any] = None,
     fault_policy: Optional[Any] = None,
+    budget: Optional[Any] = None,
 ) -> RunReport:
     """Convenience wrapper: build an :class:`Executive` and run it.
 
@@ -902,7 +952,7 @@ def simulate(
     """
     executive = Executive(
         mapping, table, costs, real_time=real_time,
-        fault_plan=fault_plan, fault_policy=fault_policy,
+        fault_plan=fault_plan, fault_policy=fault_policy, budget=budget,
     )
     if mapping.graph.by_kind(ProcessKind.MEM):
         return executive.run(max_iterations)

@@ -116,6 +116,7 @@ def run(
     timeout: float = 120.0,
     fault_plan: Optional[Any] = None,
     fault_policy: Optional[Any] = None,
+    budget: Optional[Any] = None,
     **options: Any,
 ) -> RunReport:
     """Execute the mapped program on the selected execution backend.
@@ -131,12 +132,19 @@ def run(
     (``simulate``, ``threads``, ``processes``); the resulting
     :class:`~repro.faults.report.FaultReport` is attached to the report's
     ``faults`` field.  ``fault_policy`` tunes timeouts and retry budgets.
+
+    ``budget`` (a :class:`~repro.realtime.budget.LatencyBudget`) switches
+    on the real-time robustness layer on stream programs: per-frame
+    deadlines, bounded-queue admission with the selected overload policy,
+    and a frame-conservation ledger attached as ``report.realtime``.
     """
     from .backends import get_backend
 
     if fault_plan is not None:
         options["fault_plan"] = fault_plan
         options["fault_policy"] = fault_policy
+    if budget is not None:
+        options["budget"] = budget
     return get_backend(backend).run(
         mapping,
         table,

@@ -1,0 +1,490 @@
+"""Realtime kernel: deadline watchdog and admission control as a wrapper.
+
+Like :class:`~repro.faults.supervisor.SupervisedKernel`, the realtime
+layer hooks the *kernel primitives* and leaves the generated executive
+untouched.  :class:`RealtimeKernel` wraps either a base kernel or a
+supervised kernel and polices two choke points of the stream
+(:class:`~repro.realtime.topology.StreamTopology`):
+
+* **Admission** (the process hosting the stream input): frames the
+  grabber sends are parked in a bounded admission buffer; a pump on the
+  watchdog thread releases them into the process network with
+  non-blocking puts, but only while fewer than ``max_in_flight`` frames
+  are between release and delivery.  When the buffer is full the
+  configured overload policy decides: ``block`` the grabber,
+  ``shed-newest``, ``shed-oldest``, or enter ``degrade`` mode (admit one
+  frame in ``degrade_ratio`` until the backlog clears).  Shedding
+  happens strictly *before* a frame enters the FIFO network — which is
+  what makes the frame-conservation ledger pair the j-th delivery with
+  the j-th released frame.
+
+* **Delivery** (the process hosting the stream output): each non-Stop
+  value on the delivery edge is timestamped and counted on the shared
+  :class:`StreamBoard`, closing the in-flight window.
+
+The watchdog also flags deadline misses *while frames are in flight*
+(pending or released-but-undelivered frames older than the budget), and
+the admission side paces the grabber to ``frame_period_ms`` — the hook
+where the seeded ``burst`` / ``input-surge`` overload faults fire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import queue
+
+from ..codegen.kernel import Shutdown
+from .budget import LatencyBudget
+from .ledger import FrameRecord, RealtimeRecord, assemble_report
+from .topology import StreamTopology
+
+__all__ = ["StreamBoard", "RealtimeKernel"]
+
+
+class StreamBoard:
+    """Shared released/delivered frame counters.
+
+    Slot 0 counts frames released into the network (written only by the
+    admission pump), slot 1 frames delivered at the stream output
+    (written only by the output thread) — single-writer slots, so a
+    lock-free ``multiprocessing.Array('d', 2)`` works across OS
+    processes exactly like the heartbeat board.
+    """
+
+    def __init__(self, slots: Any):
+        self._slots = slots
+
+    @classmethod
+    def local(cls) -> "StreamBoard":
+        return cls([0.0, 0.0])
+
+    def note_released(self) -> None:
+        self._slots[0] += 1.0
+
+    def note_delivered(self) -> None:
+        self._slots[1] += 1.0
+
+    def released(self) -> int:
+        return int(self._slots[0])
+
+    def delivered(self) -> int:
+        return int(self._slots[1])
+
+    def in_flight(self) -> int:
+        return max(0, self.released() - self.delivered())
+
+
+class _PendingFrame:
+    """One grabbed frame waiting in the admission buffer."""
+
+    __slots__ = ("record", "values", "unsent")
+
+    def __init__(self, record: FrameRecord, edges: List[str]):
+        self.record = record
+        #: edge -> value; filled as the grabber sends on each out-edge.
+        self.values: Dict[str, Any] = {}
+        #: edges not yet put into the network (partial-send tracking).
+        self.unsent: List[str] = list(edges)
+
+    def complete(self, n_edges: int) -> bool:
+        return len(self.values) == n_edges
+
+
+class RealtimeKernel:
+    """Budget-enforcing wrapper around a (possibly supervised) kernel.
+
+    Every primitive not overridden here delegates to the wrapped kernel,
+    so the wrapper is a drop-in replacement wherever a kernel is
+    accepted.  On the processes backend one instance runs per OS
+    process; admission logic activates only where the stream input is
+    mapped, delivery logic only where the stream output is mapped
+    (``processor=None`` — the threads backend — owns both).
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        topology: StreamTopology,
+        budget: LatencyBudget,
+        *,
+        board: Optional[StreamBoard] = None,
+        processor: Optional[str] = None,
+    ):
+        self._inner = inner
+        self._topo = topology
+        self._budget = budget
+        self._board = board or StreamBoard.local()
+        self._processor = processor
+        self._admission_active = (
+            processor is None or processor == topology.input_processor
+        )
+        self._delivery_active = (
+            processor is None or processor == topology.output_processor
+        )
+        self._edge_set = set(topology.admission_edges)
+        self._n_edges = len(topology.admission_edges)
+        # Overload injection shares the supervised kernel's matcher and
+        # report when one is underneath; without a fault plan there is
+        # no overload injection, only policy enforcement.
+        self._matcher = getattr(inner, "_matcher", None)
+        self._fault_report = getattr(inner, "fault_report", None)
+
+        # -- admission state (guarded by _lock) --
+        self._lock = threading.Lock()
+        self._frames: List[FrameRecord] = []
+        self._pending: Deque[_PendingFrame] = deque()
+        self._events: List[RealtimeRecord] = []
+        self._last_shed = False   # swallow trailing sends of a shed frame
+        self._stopping = False
+        self._flushed = False
+        self._degraded = False
+        self._degrade_counter = 0
+        self._next_due = 0.0      # pacing clock (perf_counter seconds)
+        self._pace_boost: int = 0       # grabs left at burst speed
+        self._surge_left: int = 0       # grabs left at surged rate
+        self._surge_factor: float = 1.0
+
+        # -- delivery state (single-writer: the output thread) --
+        self._stamps: List[float] = []
+
+        self._watchdog: Optional[threading.Thread] = None
+        # Local event, never the shared multiprocessing stop event: a
+        # daemon thread parked inside a shared semaphore at process exit
+        # poisons it for every other process (see the heartbeat thread).
+        self._watchdog_stop = threading.Event()
+        if self._admission_active:
+            self._watchdog = threading.Thread(
+                target=self._watch_loop, name="rt-watchdog", daemon=True
+            )
+            self._watchdog.start()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._inner._epoch) * 1e6
+
+    def _stopped(self) -> bool:
+        return self._inner._stop_event.is_set()
+
+    def _event(self, kind: str, frame: Optional[int], detail: str = "",
+               *, locked: bool = False) -> None:
+        record = RealtimeRecord(kind, frame, self._now_us(), detail)
+        if locked:
+            self._events.append(record)
+        else:
+            with self._lock:
+                self._events.append(record)
+
+    def shutdown(self) -> None:
+        """Stop the watchdog (and the wrapped kernel's service threads)."""
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(1.0)
+        inner_shutdown = getattr(self._inner, "shutdown", None)
+        if inner_shutdown is not None:
+            inner_shutdown()
+
+    # -- pacing and overload injection (the grabber thread) ----------------
+
+    def call_(self, func: Callable, *args: Any) -> Any:
+        if (self._admission_active
+                and threading.current_thread().name
+                == self._topo.input_thread):
+            self._pace()
+        return self._inner.call_(func, *args)
+
+    def _pace(self) -> None:
+        """Pre-grab: fire overload faults, then hold to the frame period."""
+        if self._matcher is not None:
+            specs = self._matcher.fire(
+                process=self._topo.input_pid,
+                processor=self._topo.input_processor,
+                kinds=("burst", "input-surge"),
+            )
+            for spec in specs:
+                if self._fault_report is not None:
+                    self._fault_report.add(
+                        "injected", spec.kind, self._topo.input_pid,
+                        self._now_us(),
+                        processor=self._topo.input_processor,
+                        note=(f"x{spec.factor:g} rate"
+                              if spec.kind == "input-surge"
+                              else "back-to-back frame"),
+                    )
+                if spec.kind == "burst":
+                    self._pace_boost += 1
+                else:
+                    self._surge_left += 1
+                    self._surge_factor = max(self._surge_factor,
+                                             spec.factor)
+        period = self._budget.frame_period_s
+        if period <= 0:
+            return
+        if self._pace_boost > 0:
+            self._pace_boost -= 1
+            return  # burst: release this frame immediately
+        if self._surge_left > 0:
+            self._surge_left -= 1
+            period = period / self._surge_factor
+            if self._surge_left == 0:
+                self._surge_factor = 1.0
+        now = time.perf_counter()
+        if self._next_due == 0.0:
+            self._next_due = now
+        while now < self._next_due:
+            if self._stopped():
+                raise Shutdown
+            time.sleep(min(0.002, self._next_due - now))
+            now = time.perf_counter()
+        self._next_due = max(self._next_due + period, now - period)
+
+    # -- admission (the grabber thread) ------------------------------------
+
+    def send_(self, edge: str, value: Any) -> None:
+        if (not self._admission_active or edge not in self._edge_set
+                or self._inner.is_stop(value)):
+            return self._inner.send_(edge, value)
+        if edge == self._topo.primary_edge:
+            return self._admit(value)
+        with self._lock:
+            if self._last_shed:
+                return None  # the rest of a shed frame's fan-out
+            if self._pending:
+                entry = self._pending[-1]
+                if edge not in entry.values:
+                    entry.values[edge] = value
+                    self._drain()
+                    return None
+        # No pending entry can take it (flush raced us): send directly.
+        return self._inner.send_(edge, value)
+
+    def _admit(self, value: Any) -> None:
+        budget = self._budget
+        if budget.policy == "block":
+            while True:
+                with self._lock:
+                    if len(self._pending) < budget.admission_depth:
+                        break
+                if self._stopped():
+                    raise Shutdown
+                time.sleep(0.001)
+        with self._lock:
+            frame = len(self._frames)
+            record = FrameRecord(frame=frame, admitted_us=self._now_us())
+            self._frames.append(record)
+            self._last_shed = False
+            if budget.policy == "degrade" and self._degraded:
+                self._degrade_counter += 1
+                if self._degrade_counter % budget.degrade_ratio != 0:
+                    self._shed(record, "degraded")
+                    return None
+            if len(self._pending) >= budget.admission_depth:
+                if budget.policy == "shed-newest":
+                    self._shed(record, "shed-newest")
+                    return None
+                if budget.policy in ("shed-oldest", "degrade"):
+                    if (budget.policy == "degrade"
+                            and not self._degraded):
+                        self._degraded = True
+                        self._degrade_counter = 0
+                        self._event("degraded-enter", frame,
+                                    "admission buffer overflow",
+                                    locked=True)
+                    victim = self._pop_sheddable()
+                    if victim is None:
+                        # Only the half-released head remains: it cannot
+                        # be retracted from the network, so the new
+                        # frame takes the hit instead.
+                        self._shed(record, "shed-oldest")
+                        return None
+                    self._shed(victim.record, "shed-oldest")
+                # block never reaches here; degrade overflows shed-oldest
+            self._pending.append(
+                _PendingFrame(record, self._topo.admission_edges)
+            )
+            self._pending[-1].values[self._topo.primary_edge] = value
+            # Kick the pump inline so throughput is not gated on the
+            # watchdog tick; the watchdog remains the backstop that
+            # drains when the grabber goes quiet.
+            self._drain()
+        return None
+
+    def _pop_sheddable(self) -> Optional[_PendingFrame]:
+        """Remove and return the oldest *retractable* buffered frame.
+
+        The pump touches only the head of the deque, so the head is
+        sheddable only while none of its edges have been released; every
+        other entry is untouched by construction.  Caller holds
+        ``_lock``.
+        """
+        if not self._pending:
+            return None
+        head = self._pending[0]
+        if len(head.unsent) == self._n_edges:
+            return self._pending.popleft()
+        if len(self._pending) > 1:
+            victim = self._pending[1]
+            del self._pending[1]
+            return victim
+        return None
+
+    def _shed(self, record: FrameRecord, reason: str) -> None:
+        """Mark one frame shed (caller holds ``_lock``)."""
+        record.status = "shed"
+        record.reason = reason
+        if record is self._frames[-1]:
+            self._last_shed = True
+        self._event("shed", record.frame, reason, locked=True)
+
+    # -- the pump and watchdog (daemon thread on the admission side) -------
+
+    def _put_nowait(self, edge: str, value: Any) -> bool:
+        channel = self._inner.channel(edge)
+        put = getattr(channel, "put_nowait", None)
+        if put is None:  # ThreadKernel wraps the queue
+            put = channel.q.put_nowait
+        try:
+            put(value)
+            return True
+        except queue.Full:
+            return False
+
+    def _drain(self) -> None:
+        """Pump until stalled (caller holds ``_lock``)."""
+        while self._pump_step():
+            pass
+
+    def _pump_step(self) -> bool:
+        """Release the head frame if capacity allows (holds ``_lock``).
+
+        Returns True when it made progress (a send landed)."""
+        budget = self._budget
+        if not self._pending:
+            return False
+        if (not self._stopping
+                and self._board.in_flight() >= budget.max_in_flight):
+            return False
+        entry = self._pending[0]
+        if not entry.complete(self._n_edges):
+            return False  # the grabber is still fanning this frame out
+        progressed = False
+        while entry.unsent:
+            edge = entry.unsent[0]
+            if not self._put_nowait(edge, entry.values[edge]):
+                return progressed
+            entry.unsent.pop(0)
+            progressed = True
+        self._pending.popleft()
+        entry.record.released_us = self._now_us()
+        self._board.note_released()
+        return True
+
+    def _watch_loop(self) -> None:
+        budget = self._budget
+        interval = budget.watchdog_interval_s
+        while not self._watchdog_stop.wait(interval):
+            with self._lock:
+                self._drain()
+                self._scan_deadlines()
+                self._maybe_exit_degraded()
+
+    def _scan_deadlines(self) -> None:
+        """Flag frames over budget *while still in flight* (lock held)."""
+        now_us = self._now_us()
+        deadline = self._budget.deadline_us
+        delivered = self._board.delivered()
+        released_seen = 0
+        for rec in self._frames:
+            if rec.status != "in-flight" or rec.deadline_missed:
+                if rec.released_us is not None:
+                    released_seen += 1
+                continue
+            if rec.released_us is not None:
+                released_seen += 1
+                if released_seen <= delivered:
+                    continue  # FIFO: already delivered, just not stamped
+            if now_us - rec.admitted_us > deadline:
+                rec.deadline_missed = True
+                self._event(
+                    "deadline-miss", rec.frame,
+                    f"{(now_us - rec.admitted_us) / 1000:.1f} ms in "
+                    f"flight", locked=True,
+                )
+
+    def _maybe_exit_degraded(self) -> None:
+        if not self._degraded:
+            return
+        cap = self._budget.max_in_flight
+        if not self._pending and self._board.in_flight() <= max(1, cap // 2):
+            self._degraded = False
+            self._event("degraded-exit", None, "backlog cleared",
+                        locked=True)
+
+    # -- teardown (the grabber thread, via generated stop_) ----------------
+
+    def stop_(self, edge: str) -> None:
+        if self._admission_active and edge in self._edge_set:
+            self._flush_on_stop()
+        return self._inner.stop_(edge)
+
+    def _flush_on_stop(self) -> None:
+        """Blocking-release every buffered frame before Stop propagates."""
+        with self._lock:
+            if self._flushed:
+                return
+            self._flushed = True
+            self._stopping = True
+        while True:
+            if self._stopped():
+                with self._lock:
+                    for entry in self._pending:
+                        entry.record.status = "failed"
+                        entry.record.reason = "aborted at teardown"
+                    self._pending.clear()
+                return
+            with self._lock:
+                if not self._pending:
+                    return
+                self._pump_step()
+            time.sleep(0.001)
+
+    # -- delivery (the output thread) --------------------------------------
+
+    def recv_(self, edge: str) -> Any:
+        value = self._inner.recv_(edge)
+        if (self._delivery_active and edge == self._topo.delivery_edge
+                and not self._inner.is_stop(value)):
+            self._stamps.append(self._now_us())
+            self._board.note_delivered()
+        return value
+
+    # -- reporting ---------------------------------------------------------
+
+    def admission_payload(self) -> Optional[Dict]:
+        """This kernel's admission half of the realtime report."""
+        if not self._admission_active:
+            return None
+        with self._lock:
+            return {
+                "frames": [f.to_dict() for f in self._frames],
+                "events": [e.to_dict() for e in self._events],
+            }
+
+    def delivery_payload(self) -> Optional[Dict]:
+        """This kernel's delivery half of the realtime report."""
+        if not self._delivery_active:
+            return None
+        return {"stamps": list(self._stamps), "events": []}
+
+    def build_report(self):
+        """Assemble the full report (single-process kernels only)."""
+        return assemble_report(
+            self._budget, self.admission_payload(), self.delivery_payload()
+        )

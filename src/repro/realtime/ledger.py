@@ -1,0 +1,321 @@
+"""The frame-conservation ledger: every grabbed frame is accounted for.
+
+A real-time executive that sheds load must be able to *prove* it lost
+nothing silently.  The ledger records one :class:`FrameRecord` per
+grabbed frame with a terminal status — ``delivered``, ``shed`` or
+``failed`` — and the conservation identity
+
+    delivered + shed + failed == submitted
+
+is the acceptance criterion of the chaos soak (and a conformance
+invariant, see :mod:`repro.conformance.invariants`).
+
+Records are plain data (picklable): on the processes backend the
+admission side and the delivery side of the stream may live in different
+OS processes, each ships its half to the parent, and
+:func:`assemble_report` zips them — the j-th delivered output is the
+j-th *released* frame because shedding happens strictly before a frame
+enters the FIFO process network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .budget import LatencyBudget
+
+__all__ = [
+    "FrameRecord",
+    "RealtimeRecord",
+    "FrameLedger",
+    "RealtimeReport",
+    "assemble_report",
+]
+
+#: Terminal frame statuses (``in-flight`` only appears mid-run).
+FRAME_STATUSES = ("delivered", "shed", "failed", "in-flight")
+
+#: Realtime event kinds recorded alongside the ledger.
+EVENT_KINDS = (
+    "deadline-miss",    # a frame exceeded its budget while in flight
+    "shed",             # a frame was dropped at admission
+    "degraded-enter",   # the executive switched to degraded frame rate
+    "degraded-exit",    # backlog cleared; full frame rate restored
+)
+
+
+@dataclass
+class FrameRecord:
+    """One grabbed frame's fate (times in µs since the run epoch)."""
+
+    frame: int                       # grab index (0-based)
+    admitted_us: float               # when the grab completed
+    status: str = "in-flight"
+    released_us: Optional[float] = None  # when the frame entered the network
+    delivered_us: Optional[float] = None
+    deadline_missed: bool = False
+    reason: str = ""                 # shed/failed cause (policy name, ...)
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.delivered_us is None:
+            return None
+        return self.delivered_us - self.admitted_us
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"frame": self.frame, "admitted_us": self.admitted_us,
+                     "status": self.status}
+        if self.released_us is not None:
+            out["released_us"] = self.released_us
+        if self.delivered_us is not None:
+            out["delivered_us"] = self.delivered_us
+        if self.deadline_missed:
+            out["deadline_missed"] = True
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass
+class RealtimeRecord:
+    """One realtime event (deadline miss, shed, mode transition)."""
+
+    kind: str
+    frame: Optional[int]
+    time_us: float
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind, "time_us": self.time_us}
+        if self.frame is not None:
+            out["frame"] = self.frame
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RealtimeRecord":
+        # ``frame`` is omitted from payloads when None (mode transitions
+        # have no single frame), so reconstruct with explicit defaults.
+        return cls(
+            kind=data["kind"],
+            frame=data.get("frame"),
+            time_us=data["time_us"],
+            detail=data.get("detail", ""),
+        )
+
+
+@dataclass
+class FrameLedger:
+    """All frame records of one run, in grab order."""
+
+    frames: List[FrameRecord] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.frames)
+
+    def by_status(self, status: str) -> List[FrameRecord]:
+        return [f for f in self.frames if f.status == status]
+
+    @property
+    def submitted(self) -> int:
+        return len(self.frames)
+
+    @property
+    def delivered(self) -> List[FrameRecord]:
+        return self.by_status("delivered")
+
+    @property
+    def shed(self) -> List[FrameRecord]:
+        return self.by_status("shed")
+
+    @property
+    def failed(self) -> List[FrameRecord]:
+        return self.by_status("failed")
+
+    def conserved(self) -> bool:
+        """delivered + shed + failed == submitted, nothing in flight."""
+        return (
+            len(self.delivered) + len(self.shed) + len(self.failed)
+            == self.submitted
+        )
+
+    def unaccounted(self) -> int:
+        return self.submitted - (
+            len(self.delivered) + len(self.shed) + len(self.failed)
+        )
+
+    # -- latency statistics ------------------------------------------------
+
+    def latencies_us(self) -> List[float]:
+        return sorted(
+            f.latency_us for f in self.delivered if f.latency_us is not None
+        )
+
+    def percentile_us(self, p: float) -> float:
+        """Latency percentile over delivered frames (nearest-rank)."""
+        lats = self.latencies_us()
+        if not lats:
+            return 0.0
+        rank = max(0, min(len(lats) - 1, int(round(p / 100.0 * len(lats))) - 1))
+        if p >= 100.0:
+            rank = len(lats) - 1
+        return lats[rank]
+
+    @property
+    def p50_us(self) -> float:
+        return self.percentile_us(50.0)
+
+    @property
+    def p99_us(self) -> float:
+        return self.percentile_us(99.0)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for f in self.frames if f.deadline_missed)
+
+    # -- pickling across OS processes --------------------------------------
+
+    def to_payload(self) -> List[Dict]:
+        return [f.to_dict() for f in self.frames]
+
+    @classmethod
+    def from_payload(cls, payload: List[Dict]) -> "FrameLedger":
+        return cls(frames=[FrameRecord(**data) for data in payload])
+
+
+@dataclass
+class RealtimeReport:
+    """The real-time story of one run: budget, ledger and events.
+
+    Rides on :class:`~repro.machine.executive.RunReport` as
+    ``report.realtime`` whenever a :class:`LatencyBudget` was attached.
+    """
+
+    budget: LatencyBudget
+    ledger: FrameLedger = field(default_factory=FrameLedger)
+    events: List[RealtimeRecord] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.ledger) or bool(self.events)
+
+    def add_event(self, kind: str, frame: Optional[int], time_us: float,
+                  detail: str = "") -> RealtimeRecord:
+        record = RealtimeRecord(kind, frame, time_us, detail)
+        self.events.append(record)
+        return record
+
+    def by_kind(self, kind: str) -> List[RealtimeRecord]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def deadline_miss_events(self) -> List[RealtimeRecord]:
+        return self.by_kind("deadline-miss")
+
+    @property
+    def degraded_spells(self) -> int:
+        return len(self.by_kind("degraded-enter"))
+
+    def summary(self) -> str:
+        L = self.ledger
+        parts = [
+            f"realtime[{self.budget.policy}]: {L.submitted} submitted, "
+            f"{len(L.delivered)} delivered, {len(L.shed)} shed, "
+            f"{len(L.failed)} failed",
+            f"deadline {self.budget.deadline_ms:.0f} ms: "
+            f"{L.deadline_misses} miss(es)",
+        ]
+        if L.delivered:
+            parts.append(
+                f"latency p50/p99: {L.p50_us / 1000:.1f} / "
+                f"{L.p99_us / 1000:.1f} ms"
+            )
+        if self.degraded_spells:
+            parts.append(f"{self.degraded_spells} degraded spell(s)")
+        if not L.conserved():
+            parts.append(f"UNACCOUNTED: {L.unaccounted()} frame(s)")
+        return "; ".join(parts)
+
+    # -- projections -------------------------------------------------------
+
+    def annotate_trace(self, trace) -> None:
+        """Project realtime events as Chrome instant markers (``rt:*``)."""
+        for e in self.events:
+            detail = e.detail
+            if e.frame is not None:
+                detail = f"frame {e.frame}" + (f": {detail}" if detail else "")
+            trace.add_instant(f"rt:{e.kind}", "stream", e.time_us,
+                              detail=detail)
+
+    # -- pickling across OS processes --------------------------------------
+
+    def to_payload(self) -> Dict:
+        return {
+            "budget": self.budget.to_dict(),
+            "frames": self.ledger.to_payload(),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "RealtimeReport":
+        return cls(
+            budget=LatencyBudget.from_dict(payload["budget"]),
+            ledger=FrameLedger.from_payload(payload["frames"]),
+            events=[RealtimeRecord.from_dict(e) for e in payload["events"]],
+        )
+
+
+def assemble_report(
+    budget: LatencyBudget,
+    admission: Optional[Dict],
+    delivery: Optional[Dict],
+) -> RealtimeReport:
+    """Join the admission-side and delivery-side halves of one run.
+
+    ``admission`` holds the grab-order frame records (released frames
+    still ``in-flight``, shed frames terminal) and admission-side events;
+    ``delivery`` holds the ordered delivery timestamps.  Because frames
+    are only ever dropped *before* entering the FIFO network, the j-th
+    delivery timestamp belongs to the j-th released frame; released
+    frames beyond the delivered count died with the run and are
+    ``failed``.
+    """
+    report = RealtimeReport(budget=budget)
+    if admission is None:
+        return report
+    ledger = FrameLedger.from_payload(admission["frames"])
+    stamps: List[float] = list(delivery["stamps"]) if delivery else []
+    raw_events = list(admission.get("events", []))
+    if delivery:
+        raw_events.extend(delivery.get("events", []))
+    events = [RealtimeRecord.from_dict(e) for e in raw_events]
+    evented = {
+        e.frame for e in events if e.kind == "deadline-miss"
+    }
+    released = [f for f in ledger.frames if f.released_us is not None]
+    for j, rec in enumerate(released):
+        if j < len(stamps):
+            rec.status = "delivered"
+            rec.delivered_us = stamps[j]
+            if rec.latency_us is not None and \
+                    rec.latency_us > budget.deadline_us:
+                rec.deadline_missed = True
+                # The watchdog catches most misses in flight; this is the
+                # backstop for a frame that crossed its deadline between
+                # the last watchdog tick and delivery.
+                if rec.frame not in evented:
+                    events.append(RealtimeRecord(
+                        "deadline-miss", rec.frame, rec.delivered_us,
+                        detail="at delivery",
+                    ))
+        elif rec.status != "failed":
+            rec.status = "failed"
+            rec.reason = rec.reason or "undelivered at teardown"
+    for rec in ledger.frames:
+        if rec.released_us is None and rec.status == "in-flight":
+            rec.status = "failed"
+            rec.reason = rec.reason or "aborted before release"
+    report.ledger = ledger
+    report.events = sorted(events, key=lambda e: e.time_us)
+    return report

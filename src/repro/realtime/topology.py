@@ -1,0 +1,96 @@
+"""Stream topology extraction: the admission and delivery edges.
+
+The realtime layer enforces its budget at two choke points of the mapped
+process graph: where grabbed frames *enter* the network (the out-edges
+of the ``stream.input`` process) and where results *leave* it (the
+in-edge of ``stream.output``).  Like :class:`~repro.faults.topology.
+FaultTopology`, the map is derived once from the
+:class:`~repro.syndex.distribute.Mapping` the code generator consumed,
+so every OS process agrees on edge roles without runtime negotiation.
+
+Edge names follow the generated code: ``e<i>`` indexes
+``mapping.graph.edges``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..codegen.pygen import thread_name
+from ..pnt.graph import ProcessKind
+from ..syndex.distribute import Mapping
+
+__all__ = ["StreamTopology"]
+
+
+@dataclass
+class StreamTopology:
+    """Edge-role map of the (single) stream of one mapped program.
+
+    ``None``-valued via :meth:`from_mapping` returning ``None`` when the
+    program has no stream skeleton — the realtime layer then has nothing
+    to police and backends skip it.
+    """
+
+    input_pid: str
+    input_processor: str
+    #: Out-edges of the input process, ascending edge index.  The first
+    #: one is the *primary* admission edge: the generated input loop
+    #: sends each frame on every out-edge in this order, so a send on
+    #: the primary edge marks a new frame boundary.
+    admission_edges: List[str] = field(default_factory=list)
+    output_pid: str = ""
+    output_processor: str = ""
+    delivery_edge: str = ""
+
+    @property
+    def primary_edge(self) -> str:
+        return self.admission_edges[0]
+
+    @property
+    def input_thread(self) -> str:
+        """Executive thread name hosting the frame grabber."""
+        return thread_name(self.input_pid)
+
+    @property
+    def output_thread(self) -> str:
+        return thread_name(self.output_pid)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping) -> Optional["StreamTopology"]:
+        graph = mapping.graph
+        inputs = [
+            p for p in graph.by_kind(ProcessKind.INPUT) if p.func is not None
+        ]
+        outputs = [
+            p for p in graph.by_kind(ProcessKind.OUTPUT)
+            if p.func is not None
+        ]
+        if not inputs or not outputs:
+            return None
+        if len(inputs) > 1 or len(outputs) > 1:
+            raise ValueError(
+                "realtime budgets support exactly one stream per program "
+                f"(found {len(inputs)} input(s), {len(outputs)} output(s))"
+            )
+        inp, out = inputs[0], outputs[0]
+        admission = [
+            f"e{i}" for i, e in enumerate(graph.edges) if e.src == inp.id
+        ]
+        delivery = [
+            f"e{i}" for i, e in enumerate(graph.edges) if e.dst == out.id
+        ]
+        if not admission or len(delivery) != 1:
+            raise ValueError(
+                f"stream {inp.id!r}/{out.id!r} has no admission edge or "
+                f"multiple delivery edges"
+            )
+        return cls(
+            input_pid=inp.id,
+            input_processor=mapping.processor_of(inp.id),
+            admission_edges=admission,
+            output_pid=out.id,
+            output_processor=mapping.processor_of(out.id),
+            delivery_edge=delivery[0],
+        )

@@ -54,6 +54,10 @@ let loop (state, im) =
 let main = itermem read_img loop display_marks s0 ({nrows},{ncols});;
 """
 
+#: The paper's video timing: 25 Hz PAL — one frame every 40 ms, which is
+#: also the per-frame latency budget the tracking phase must hold.
+FRAME_PERIOD_MS = 40.0
+
 # T9000-class calibration (µs) — see EXPERIMENTS.md for the derivation.
 READ_COST = 1_500.0
 INIT_COST = 100.0
@@ -88,6 +92,27 @@ class TrackingApp:
         """Restart the video and clear collected output (for a re-run)."""
         self.video.rewind()
         self.displayed.clear()
+
+    def latency_budget(self, *, policy: str = "shed-oldest",
+                       max_in_flight: int = 2):
+        """The 25 Hz contract as a runtime budget (deadline = period).
+
+        Attach it to a run (``built.run(budget=app.latency_budget())``)
+        and the realtime layer enforces the paper's frame rate instead
+        of merely measuring it: the watchdog flags any frame still in
+        flight past 40 ms, and the overload policy decides what the
+        grabber does when the tracker falls behind — the paper's
+        reinitialisation phase drops to "one image out of 3" exactly
+        this way.
+        """
+        from ..realtime import LatencyBudget
+
+        return LatencyBudget(
+            deadline_ms=FRAME_PERIOD_MS,
+            policy=policy,
+            max_in_flight=max_in_flight,
+            frame_period_ms=FRAME_PERIOD_MS,
+        )
 
 
 def default_scene(

@@ -138,6 +138,60 @@ class TestPlanMatcher:
         assert matcher.pending() == [plan.events[1]]
 
 
+class TestOverloadKinds:
+    def test_validation(self):
+        FaultSpec(kind="slow-worker", process="w", delay_us=500.0, count=3)
+        FaultSpec(kind="burst", process="stream.input", count=4)
+        FaultSpec(kind="input-surge", process="stream.input", factor=3.0)
+        with pytest.raises(PlanError, match="count"):
+            FaultSpec(kind="burst", process="w", count=0)
+        with pytest.raises(PlanError, match="factor"):
+            FaultSpec(kind="input-surge", process="w", factor=0.0)
+
+    def test_round_trip_keeps_window_fields(self):
+        plan = FaultPlan([
+            FaultSpec(kind="slow-worker", process="w", delay_us=2_000.0,
+                      count=4),
+            FaultSpec(kind="input-surge", process="inp", occurrence=5,
+                      count=3, factor=2.5),
+            FaultSpec(kind="burst", process="inp", count=2),
+        ])
+        again = FaultPlan.loads(plan.dumps())
+        assert again.events == plan.events
+
+    def test_window_fires_count_consecutive_occurrences(self):
+        plan = FaultPlan([FaultSpec(
+            kind="burst", process="inp", occurrence=2, count=3,
+        )])
+        matcher = PlanMatcher(plan)
+        fired = [bool(matcher.fire(process="inp")) for _ in range(8)]
+        assert fired == [False, False, True, True, True,
+                         False, False, False]
+
+    def test_window_spec_is_pending_until_first_fire(self):
+        plan = FaultPlan([FaultSpec(
+            kind="slow-worker", process="w", delay_us=1.0, occurrence=1,
+            count=2,
+        )])
+        matcher = PlanMatcher(plan)
+        matcher.fire(process="w")
+        assert matcher.pending() == plan.events
+        matcher.fire(process="w")
+        assert matcher.pending() == []
+
+    def test_random_draws_windows_for_overload_kinds(self):
+        plan = FaultPlan.random(
+            5, workers=["w0", "w1"], kinds=("slow-worker", "burst"),
+            n_events=6, max_count=5, delay_us=750.0,
+        )
+        assert len(plan) == 6
+        for event in plan.events:
+            assert event.kind in ("slow-worker", "burst")
+            assert 1 <= event.count <= 5
+            if event.kind == "slow-worker":
+                assert event.delay_us == 750.0
+
+
 class TestRandomPlans:
     def test_same_seed_same_plan(self):
         workers = ["df0.worker0", "df0.worker1", "df0.worker2"]

@@ -1,12 +1,32 @@
 """Unit tests for the supervision plumbing: health board, farm topology
-extraction, fault reports, and the policy's deadline schedule."""
+extraction, fault reports, the policy's deadline schedule, the circuit
+breaker, and the bounded re-dispatch flush."""
 
+import time
+
+from repro.codegen.kernel import ThreadKernel
 from repro.faults import FaultPolicy, FaultReport
 from repro.faults.demo import make_demo
-from repro.faults.supervisor import HealthBoard, Packet, Result
+from repro.faults.supervisor import (
+    HealthBoard,
+    Packet,
+    Result,
+    SupervisedKernel,
+    _InFlight,
+)
 from repro.faults.topology import FaultTopology
 from repro.machine.trace import Trace
 from repro.syndex.distribute import Mapping
+
+
+def make_supervised(**policy_kwargs):
+    """A SupervisedKernel over the df demo farm, no threads started."""
+    _prog, _table, _args, mapping = make_demo("df")
+    topo = FaultTopology.from_mapping(mapping)
+    kernel = SupervisedKernel(
+        ThreadKernel(), topo, policy=FaultPolicy(**policy_kwargs)
+    )
+    return kernel, kernel._states["df0"]
 
 
 class TestHealthBoard:
@@ -27,6 +47,23 @@ class TestHealthBoard:
         # once a packet is overdue.
         board = HealthBoard.local(1)
         assert board.last(0) == 0.0
+
+    def test_never_beaten_slot_is_never_stale(self):
+        # A worker that never started cannot have died: even an
+        # arbitrarily late "now" must not flag the untouched slot (the
+        # stall path covers workers that never start).
+        board = HealthBoard.local(2)
+        for now in (0.0, 1.0, 1e9):
+            assert not board.stale(0, now, timeout=0.1)
+
+    def test_future_timestamp_is_not_stale(self):
+        # Clock skew: a heartbeat stamped *after* the supervisor's "now"
+        # (shared-memory boards cross processes; monotonic clocks need
+        # not agree to the microsecond) yields a negative age, which must
+        # read as fresh, not wrap into a huge staleness.
+        board = HealthBoard.local(1)
+        board.beat(0)
+        assert not board.stale(0, board.last(0) - 5.0, timeout=0.1)
 
 
 class TestEnvelopes:
@@ -166,3 +203,159 @@ class TestFaultPolicy:
         assert policy.deadline_s(0) == 1.0
         assert policy.deadline_s(1) == 2.0
         assert policy.deadline_s(2) == 4.0
+
+    def test_probe_backoff(self):
+        policy = FaultPolicy(probe_after_s=0.5, probe_backoff=3.0)
+        assert policy.probe_delay_s(0) == 0.5
+        assert policy.probe_delay_s(1) == 1.5
+        assert policy.probe_delay_s(2) == 4.5
+
+
+class TestCircuitBreaker:
+    def test_quarantine_creates_breaker(self):
+        kernel, state = make_supervised(probe_after_s=10.0)
+        worker = state.farm.workers[1]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        assert worker.index in state.quarantined
+        breaker = state.breakers[worker.index]
+        assert breaker.probes == 0
+        assert breaker.next_probe_at > time.monotonic()
+        categories = [r.category for r in kernel.fault_report.records]
+        assert "quarantine" in categories
+
+    def test_quarantine_is_idempotent(self):
+        kernel, state = make_supervised()
+        worker = state.farm.workers[0]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        breaker = state.breakers[worker.index]
+        kernel._quarantine(state, worker, "stall", seq=1)
+        assert state.breakers[worker.index] is breaker  # not reset
+        quarantines = [r for r in kernel.fault_report.records
+                       if r.category == "quarantine"]
+        assert len(quarantines) == 1
+
+    def test_probe_duplicates_oldest_inflight_packet(self):
+        kernel, state = make_supervised(probe_after_s=0.5)
+        worker = state.farm.workers[2]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        state.breakers[worker.index].next_probe_at = 0.0  # due now
+        now = time.monotonic()
+        state.inflight[7] = _InFlight(7, "payload", 0, 0, now)
+        state.inflight[9] = _InFlight(9, "later", 1, 1, now)
+        with state.lock:
+            kernel._probe_quarantined(state, now)
+        (entry,) = state.pending_sends
+        edge, envelope, attempts = entry
+        assert edge == worker.dispatch_edge
+        assert isinstance(envelope, Packet)
+        assert (envelope.seq, envelope.value) == (7, "payload")
+        breaker = state.breakers[worker.index]
+        assert breaker.probes == 1
+        assert breaker.next_probe_at > now
+        probes = [r for r in kernel.fault_report.records
+                  if r.category == "probe"]
+        assert len(probes) == 1 and probes[0].seq == 7
+
+    def test_probe_waits_for_its_deadline(self):
+        kernel, state = make_supervised(probe_after_s=1000.0)
+        worker = state.farm.workers[0]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        state.inflight[0] = _InFlight(0, "x", 0, 1, time.monotonic())
+        with state.lock:
+            kernel._probe_quarantined(state, time.monotonic())
+        assert state.pending_sends == []
+        assert state.breakers[worker.index].probes == 0
+
+    def test_max_probes_retires_the_worker(self):
+        kernel, state = make_supervised(probe_after_s=0.0, max_probes=2)
+        worker = state.farm.workers[0]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        state.inflight[0] = _InFlight(0, "x", 0, 1, time.monotonic())
+        breaker = state.breakers[worker.index]
+        for _ in range(5):
+            breaker.next_probe_at = 0.0
+            with state.lock:
+                kernel._probe_quarantined(state, time.monotonic())
+        assert breaker.probes == 2  # stopped at max_probes
+        assert len(state.pending_sends) == 2
+
+    def test_no_probe_without_live_work(self):
+        # Probes duplicate real in-flight packets; with nothing in
+        # flight (or during teardown) there is nothing safe to send.
+        kernel, state = make_supervised(probe_after_s=0.0)
+        worker = state.farm.workers[0]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        state.breakers[worker.index].next_probe_at = 0.0
+        with state.lock:
+            kernel._probe_quarantined(state, time.monotonic())
+        assert state.pending_sends == []
+
+    def test_readmit_clears_quarantine_and_breaker(self):
+        kernel, state = make_supervised()
+        worker = state.farm.workers[1]
+        kernel._quarantine(state, worker, "crash", seq=0)
+        kernel._readmit(state, worker)
+        assert worker.index not in state.quarantined
+        assert worker.index not in state.breakers
+        categories = [r.category for r in kernel.fault_report.records]
+        assert "readmit" in categories
+
+    def test_readmit_of_healthy_worker_is_a_no_op(self):
+        kernel, state = make_supervised()
+        kernel._readmit(state, state.farm.workers[0])
+        assert kernel.fault_report.records == []
+
+
+class TestFlushSendsOverflow:
+    """Regression: the queue.Full fallback must stay bounded (a packet
+    whose target queue never drains is dropped with an ``overflow``
+    record instead of being retried forever)."""
+
+    def fill_queue(self, kernel, edge):
+        channel = kernel._base.channel(edge)
+        while True:
+            try:
+                channel.q.put_nowait("filler")
+            except Exception:
+                return
+
+    def test_packet_dropped_after_bounded_attempts(self):
+        kernel, state = make_supervised(max_flush_attempts=3)
+        edge = state.farm.workers[0].dispatch_edge
+        self.fill_queue(kernel, edge)
+        state.pending_sends.append((edge, Packet(5, "v"), 0))
+        for scan in range(2):
+            kernel._flush_sends(state)
+            ((kept_edge, kept, attempts),) = state.pending_sends
+            assert (kept_edge, kept.seq, attempts) == (edge, 5, scan + 1)
+        kernel._flush_sends(state)  # third full scan: give up
+        assert state.pending_sends == []
+        (record,) = [r for r in kernel.fault_report.records
+                     if r.category == "overflow"]
+        assert record.seq == 5
+        assert record.attempts == 3
+        assert record.target == edge
+
+    def test_stop_tokens_are_never_dropped(self):
+        kernel, state = make_supervised(max_flush_attempts=2)
+        edge = state.farm.workers[0].dispatch_edge
+        self.fill_queue(kernel, edge)
+        stop = kernel._base.stop_token
+        state.pending_sends.append((edge, stop, 0))
+        for _ in range(10):
+            kernel._flush_sends(state)
+        (entry,) = state.pending_sends
+        assert entry[0] == edge and entry[1] is stop
+
+    def test_flush_delivers_once_space_frees(self):
+        kernel, state = make_supervised(max_flush_attempts=3)
+        edge = state.farm.workers[1].dispatch_edge
+        self.fill_queue(kernel, edge)
+        state.pending_sends.append((edge, Packet(2, "v"), 0))
+        kernel._flush_sends(state)
+        assert state.pending_sends  # still waiting
+        kernel._base.channel(edge).q.get_nowait()  # worker drains one
+        kernel._flush_sends(state)
+        assert state.pending_sends == []
+        assert not [r for r in kernel.fault_report.records
+                    if r.category == "overflow"]

@@ -1,0 +1,42 @@
+"""Stream-topology extraction: admission/delivery edge roles."""
+
+from repro.faults.demo import make_demo
+from repro.realtime import StreamTopology
+from repro.realtime.soak import make_soak
+
+
+class TestStreamTopology:
+    def test_soak_stream_roles(self):
+        _prog, _table, mapping = make_soak(nproc=3, frames=4)
+        topo = StreamTopology.from_mapping(mapping)
+        assert topo is not None
+        assert topo.input_pid == "stream.input"
+        assert topo.output_pid == "stream.output"
+        assert topo.admission_edges
+        assert topo.primary_edge == topo.admission_edges[0]
+        assert topo.delivery_edge
+        # Edge names index mapping.graph.edges and roles do not overlap.
+        assert topo.delivery_edge not in topo.admission_edges
+        # Admission edges come back in ascending edge index: the primary
+        # edge (the frame boundary) is the lowest-numbered one.
+        indices = [int(e[1:]) for e in topo.admission_edges]
+        assert indices == sorted(indices)
+
+    def test_processors_resolved_from_mapping(self):
+        _prog, _table, mapping = make_soak(nproc=3, frames=4)
+        topo = StreamTopology.from_mapping(mapping)
+        procs = mapping.arch.processor_ids()
+        assert topo.input_processor in procs
+        assert topo.output_processor in procs
+
+    def test_thread_names_follow_codegen(self):
+        _prog, _table, mapping = make_soak(nproc=3, frames=4)
+        topo = StreamTopology.from_mapping(mapping)
+        from repro.codegen.pygen import thread_name
+
+        assert topo.input_thread == thread_name("stream.input")
+        assert topo.output_thread == thread_name("stream.output")
+
+    def test_one_shot_program_has_no_stream(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        assert StreamTopology.from_mapping(mapping) is None
