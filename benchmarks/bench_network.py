@@ -1,0 +1,166 @@
+"""Network backend costs: wire-codec throughput and tcp vs processes.
+
+Two questions a network-of-workstations deployment asks of the runtime:
+how fast can a frame cross the wire (the pickle-free codec against raw
+pickle, per frame size), and what the extra hop through the coordinator
+costs end to end — the same quiet stream-of-farms pipeline run on the
+single-host multiprocess backend and on a localhost tcp cluster, so the
+delta is pure protocol overhead (framing, credits, the star hop), not
+network distance.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_network.py
+[--json out.json]`` — the JSON document carries both sweeps for
+dashboards or regression diffing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+from conftest import run_once
+
+from repro.net import decode, encode, encoded_size
+from repro.realtime.soak import run_soak
+
+#: Square u8 frames: 16 KB, 256 KB and 1 MB on the wire.
+FRAME_SIDES = (128, 512, 1024)
+CODEC_REPEATS = 20
+
+FRAMES = 30
+FRAME_PERIOD_MS = 5.0
+DEADLINE_MS = 200.0
+BACKENDS = ("processes", "tcp")
+
+
+def _join(buffers) -> bytes:
+    return b"".join(
+        bytes(b) if isinstance(b, memoryview) else b for b in buffers
+    )
+
+
+def measure_codec(side: int) -> Dict:
+    frame = np.arange(side * side, dtype=np.uint8).reshape(side, side)
+    payload = (7, ("frame", frame))
+    nbytes = encoded_size(encode(payload))
+    t0 = time.perf_counter()
+    for _ in range(CODEC_REPEATS):
+        decode(_join(encode(payload)))
+    codec_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(CODEC_REPEATS):
+        pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    pickle_s = time.perf_counter() - t0
+    mb = nbytes / 1e6
+    return {
+        "frame": f"{side}x{side} u8",
+        "payload_bytes": frame.nbytes,
+        "wire_bytes": nbytes,
+        "codec_mb_s": round(CODEC_REPEATS * mb / codec_s, 1),
+        "pickle_mb_s": round(CODEC_REPEATS * mb / pickle_s, 1),
+    }
+
+
+def measure_backend(backend: str) -> Dict:
+    # ``block`` backpressure delivers every frame, so the tcp-vs-
+    # processes delta shows up purely as latency, never as shed frames.
+    result = run_soak(
+        backend, seed=0, frames=FRAMES, chaos=False, policy="block",
+        deadline_ms=DEADLINE_MS, frame_period_ms=FRAME_PERIOD_MS,
+        timeout=120.0,
+    )
+    assert result.ok, result.violations
+    ledger = result.report.realtime.ledger
+    wall_s = result.report.makespan / 1e6
+    return {
+        "backend": backend,
+        "delivered": len(ledger.delivered),
+        "submitted": ledger.submitted,
+        "p50_ms": round(ledger.p50_us / 1000, 2),
+        "p99_ms": round(ledger.p99_us / 1000, 2),
+        "wall_s": round(wall_s, 2),
+        "frames_per_s": round(len(ledger.delivered) / wall_s, 1),
+    }
+
+
+def sweep() -> Dict[str, List[Dict]]:
+    return {
+        "codec": [measure_codec(side) for side in FRAME_SIDES],
+        "backends": [measure_backend(b) for b in BACKENDS],
+    }
+
+
+def render(doc: Dict[str, List[Dict]]) -> None:
+    print(f"\nwire codec vs pickle ({CODEC_REPEATS} round trips each)")
+    print("  frame          bytes        codec       pickle")
+    for row in doc["codec"]:
+        print(f"  {row['frame']:<12} {row['wire_bytes']:>9}"
+              f"  {row['codec_mb_s']:7.1f} MB/s {row['pickle_mb_s']:7.1f} MB/s")
+    print(f"\ntcp vs processes ({FRAMES} frames, "
+          f"{FRAME_PERIOD_MS:.0f} ms period, quiet load)")
+    print("  backend     delivered   p50        p99        wall   throughput")
+    for row in doc["backends"]:
+        print(f"  {row['backend']:<10} {row['delivered']:>6}/{row['submitted']:<3}"
+              f"  {row['p50_ms']:7.1f} ms {row['p99_ms']:7.1f} ms"
+              f"  {row['wall_s']:5.2f} s {row['frames_per_s']:7.1f} f/s")
+
+
+def check_shape(doc: Dict[str, List[Dict]]) -> None:
+    """The qualitative contract the sweep must reproduce."""
+    for row in doc["codec"]:
+        # The wire image is tags + payload: tens of bytes over raw.
+        assert row["payload_bytes"] < row["wire_bytes"] \
+            < row["payload_bytes"] + 64
+        assert row["codec_mb_s"] > 0
+    # Both backends deliver the whole quiet stream, on deadline.
+    for row in doc["backends"]:
+        assert row["delivered"] == row["submitted"] == FRAMES
+        assert row["p99_ms"] <= DEADLINE_MS
+
+
+def test_network_bench(benchmark):
+    doc = run_once(benchmark, sweep)
+    render(doc)
+    check_shape(doc)
+    for row in doc["codec"]:
+        benchmark.extra_info[f"codec_{row['frame'].split()[0]}_mb_s"] = (
+            row["codec_mb_s"]
+        )
+    for row in doc["backends"]:
+        benchmark.extra_info[f"{row['backend']}_p99_ms"] = row["p99_ms"]
+        benchmark.extra_info[f"{row['backend']}_frames_per_s"] = (
+            row["frames_per_s"]
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wire-codec throughput and tcp-vs-processes overhead"
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the sweeps as a JSON document")
+    args = parser.parse_args(argv)
+    doc = sweep()
+    render(doc)
+    check_shape(doc)
+    if args.json:
+        document = {
+            "frames": FRAMES,
+            "frame_period_ms": FRAME_PERIOD_MS,
+            "deadline_ms": DEADLINE_MS,
+            "codec_repeats": CODEC_REPEATS,
+            **doc,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,19 +1,27 @@
 """Pluggable execution backends: one process-graph IR, many targets.
 
-The four built-in targets mirror the paper's Fig. 2 branches and extend
+The five built-in targets mirror the paper's Fig. 2 branches and extend
 them to real hardware:
 
 * ``emulate``   — sequential emulation of the program IR (the oracle);
 * ``simulate``  — discrete-event simulation on the modelled machine;
 * ``threads``   — generated executive on Python threads (GIL-bound);
-* ``processes`` — generated executive on OS processes (true parallelism).
+* ``processes`` — generated executive on OS processes (true parallelism);
+* ``tcp``       — generated executive on a TCP worker cluster
+  (the paper's network-of-workstations target).
 
 Use :func:`get_backend`/:func:`list_backends` to resolve targets at run
 time, or go through :func:`repro.pipeline.run` / the ``repro run`` CLI.
 """
 
 from .base import Backend, BackendError, report_from_blackboard
-from .registry import backend_names, get_backend, list_backends, register_backend
+from .registry import (
+    backend_capabilities,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 
 # Importing the modules registers the built-in backends.
 from .emulate_backend import EmulateBackend
@@ -22,6 +30,14 @@ from .thread_backend import ThreadBackend
 from .process_backend import ProcessBackend, default_start_method, run_multiprocess
 from .process_kernel import SHM_MIN_BYTES, ProcessKernel
 
+# A plain ``import`` (not ``from ... import``) registers the tcp backend
+# without requiring the class name to exist yet: when the import cycle
+# starts from ``repro.net`` itself, this module is reached while
+# ``repro.net.coordinator`` is still half-executed, and the statement is
+# then a sys.modules no-op — registration completes when the outer
+# import does.  Resolve the class via ``get_backend("tcp")``.
+import repro.net.coordinator  # noqa: E402,F401
+
 __all__ = [
     "Backend",
     "BackendError",
@@ -29,6 +45,7 @@ __all__ = [
     "get_backend",
     "list_backends",
     "backend_names",
+    "backend_capabilities",
     "report_from_blackboard",
     "EmulateBackend",
     "SimulateBackend",

@@ -39,12 +39,22 @@ class Backend:
             paths whose times are model-derived (or absent).
         needs_mapping: False for backends (sequential emulation) that run
             the program IR directly and ignore the placement.
+        supports_faults: honours ``fault_plan``/``fault_policy`` (runs
+            the fault supervisor).
+        supports_realtime: honours ``budget`` (runs the realtime
+            admission/delivery layer).
+        distributed: executes across more than one host boundary (the
+            tcp backend); the capability matrix in ``repro backends``
+            renders these three flags.
     """
 
     name: str = "?"
     description: str = ""
     real: bool = False
     needs_mapping: bool = True
+    supports_faults: bool = False
+    supports_realtime: bool = False
+    distributed: bool = False
 
     def run(
         self,

@@ -383,6 +383,8 @@ class ProcessBackend(Backend):
     name = "processes"
     description = "generated executive on OS processes (true parallelism)"
     real = True
+    supports_faults = True
+    supports_realtime = True
 
     def run(
         self,

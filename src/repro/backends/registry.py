@@ -12,7 +12,10 @@ from typing import Dict, List, Type
 
 from .base import Backend, BackendError
 
-__all__ = ["register_backend", "get_backend", "list_backends", "backend_names"]
+__all__ = [
+    "register_backend", "get_backend", "list_backends", "backend_names",
+    "backend_capabilities",
+]
 
 _REGISTRY: Dict[str, Type[Backend]] = {}
 
@@ -49,3 +52,22 @@ def backend_names() -> List[str]:
 def list_backends() -> Dict[str, str]:
     """Mapping of backend name -> one-line description."""
     return {name: _REGISTRY[name].description for name in backend_names()}
+
+
+def backend_capabilities() -> Dict[str, Dict[str, bool]]:
+    """Per-backend capability flags, in sorted-name order.
+
+    Keys per backend: ``real``, ``faults``, ``realtime``,
+    ``distributed`` — sourced from the registered class attributes, so
+    the ``repro backends`` matrix never drifts from the code.
+    """
+    out: Dict[str, Dict[str, bool]] = {}
+    for name in backend_names():
+        cls = _REGISTRY[name]
+        out[name] = {
+            "real": bool(cls.real),
+            "faults": bool(cls.supports_faults),
+            "realtime": bool(cls.supports_realtime),
+            "distributed": bool(cls.distributed),
+        }
+    return out

@@ -28,6 +28,8 @@ class SimulateBackend(Backend):
     name = "simulate"
     description = "discrete-event simulation on the modelled machine"
     real = False
+    supports_faults = True
+    supports_realtime = True
 
     def run(
         self,

@@ -32,6 +32,8 @@ class ThreadBackend(Backend):
     name = "threads"
     description = "generated executive on Python threads (GIL-bound)"
     real = True
+    supports_faults = True
+    supports_realtime = True
 
     def run(
         self,

@@ -14,6 +14,8 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro faults    --skeleton scm --backend processes
     python -m repro soak      --backend processes --frames 200 --seed 7
     python -m repro check     --backends simulate,threads --cases 50 --seed 7
+    python -m repro worker    --connect 127.0.0.1:7070
+    python -m repro run       spec.ml --functions app:TABLE --backend tcp --cluster 4
     python -m repro backends
 
 ``--functions`` names the application's sequential-function table as
@@ -28,6 +30,7 @@ from __future__ import annotations
 import argparse
 import ast
 import importlib
+import os
 import sys
 from typing import List, Optional
 
@@ -147,11 +150,19 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
+def ensure_parent_dir(path: str) -> None:
+    """Create the parent directory of an artifact path if missing."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
 def _write_trace(report: RunReport, path: str) -> None:
     if report.trace is None:
         print(f"warning: backend {report.backend!r} recorded no trace; "
               f"{path!r} not written", file=sys.stderr)
         return
+    ensure_parent_dir(path)
     with open(path, "w") as handle:
         handle.write(report.trace.to_chrome_json(indent=2))
     print(f"trace written to {path} (chrome://tracing / Perfetto)")
@@ -287,6 +298,10 @@ def _cmd_run(args) -> int:
     options.update(_load_budget(args))
     if args.start_method:
         options["start_method"] = args.start_method
+    if getattr(args, "cluster", None):
+        options["cluster_size"] = args.cluster
+    if getattr(args, "listen", None):
+        options["listen"] = args.listen
     try:
         report = built.run(
             backend=args.backend,
@@ -340,9 +355,29 @@ def _cmd_soak(args) -> int:
     return soak_main([])
 
 
+def _cmd_worker(args) -> int:
+    from .net.worker import worker_main
+
+    return worker_main(
+        args.connect,
+        retries=args.retries,
+        backoff_s=args.backoff_ms / 1000.0,
+    )
+
+
 def _cmd_backends(args) -> int:
-    for name, description in sorted(list_backends().items()):
-        print(f"  {name:<10} {description}")
+    from .backends import backend_capabilities
+
+    descriptions = list_backends()
+    capabilities = backend_capabilities()
+    flag = lambda on: "yes" if on else "-"  # noqa: E731
+    print(f"  {'backend':<10} {'faults':<7} {'realtime':<9} "
+          f"{'distributed':<12} description")
+    for name in sorted(descriptions):
+        caps = capabilities[name]
+        print(f"  {name:<10} {flag(caps['faults']):<7} "
+              f"{flag(caps['realtime']):<9} {flag(caps['distributed']):<12} "
+              f"{descriptions[name]}")
     return 0
 
 
@@ -432,6 +467,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--start-method", default=None,
                    choices=("fork", "spawn", "forkserver"),
                    help="multiprocessing start method (processes backend)")
+    p.add_argument("--cluster", type=int, default=None, metavar="N",
+                   help="tcp backend: spawn a private localhost cluster "
+                        "of N workers (default: shared 4-worker cluster)")
+    p.add_argument("--listen", metavar="HOST:PORT", default=None,
+                   help="tcp backend: bind there and wait for externally "
+                        "started `repro worker --connect` processes "
+                        "(--cluster gives the count to wait for)")
     p.add_argument("--gantt", action="store_true",
                    help="print a text Gantt chart of the run")
     p.add_argument("--gantt-width", type=int, default=72)
@@ -481,7 +523,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p.set_defaults(fn=_cmd_soak)
 
-    p = sub.add_parser("backends", help="list the execution backends")
+    p = sub.add_parser(
+        "worker",
+        help="serve a tcp-backend coordinator as a cluster worker",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's listening address")
+    p.add_argument("--retries", type=int, default=8,
+                   help="consecutive failed dials before giving up "
+                        "(default: 8)")
+    p.add_argument("--backoff-ms", type=float, default=50.0,
+                   help="initial reconnect backoff, doubled per failure "
+                        "(default: 50)")
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "backends",
+        help="list the execution backends and their capability matrix",
+    )
     p.set_defaults(fn=_cmd_backends)
 
     args = parser.parse_args(argv)

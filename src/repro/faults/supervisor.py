@@ -243,6 +243,11 @@ class SupervisedKernel:
         if self._processor is None:
             return True
         owner = self._topology.pid_to_processor.get(farm.owner_pid)
+        # ``processor`` may be one mapped processor (processes backend)
+        # or a set of them (a tcp worker hosting several): either way
+        # the supervisor runs where the farm's master lives.
+        if isinstance(self._processor, (set, frozenset)):
+            return owner in self._processor
         return owner == self._processor
 
     # -- plumbing --------------------------------------------------------------

@@ -1,0 +1,451 @@
+"""The kernel primitives over TCP: SKiPPER's network-of-workstations port.
+
+Third port of the primitive set (after ``ThreadKernel`` and
+``ProcessKernel``): the same generated executive runs across machines.
+One :class:`NetKernel` lives in each worker process and may host
+*several* mapped processors (the coordinator deals processors round-robin
+when the program is wider than the cluster); co-located processes use
+plain in-process queues, and only edges that actually cross workers
+become network channels.
+
+Flow control replaces the bounded ``multiprocessing.Queue``: each
+outgoing network edge holds ``queue_size`` credits, a send consumes one,
+and the consumer returns a CREDIT frame per dequeued value — so a slow
+consumer exerts exactly the same backpressure a full bounded queue
+would, and the supervisor's / realtime pump's ``put_nowait`` calls see
+``queue.Full`` just like on the other kernels.
+
+The shared stop event and both shared boards (heartbeats, stream
+counters) are mirrored over the same connection: local writes update the
+local copy and emit a frame; the coordinator relays to the other
+workers, which fold the update in monotonically.  A dead socket simply
+stops a worker's heartbeats — which is precisely the signal the fault
+supervisor's staleness scan is built on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import struct
+
+from ..codegen.kernel import Shutdown, Stop
+from ..machine.trace import Span
+from . import codec
+from .protocol import ConnectionClosed, Frame, Link, pack_edge, pack_run
+
+__all__ = [
+    "NetKernel", "NetStopEvent", "NetHealthBoard", "NetStreamBoard",
+    "RemoteStub",
+]
+
+_U32 = struct.Struct("!I")
+_SLOT_AGE = struct.Struct("!Id")
+_COUNT = struct.Struct("!Bd")
+
+
+class RemoteStub:
+    """Stand-in for an executive thread hosted by another worker."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        return None
+
+    def is_alive(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"<remote thread {self.name}>"
+
+
+class NetStopEvent:
+    """The run's stop flag, mirrored through the coordinator.
+
+    ``set()`` (reached through the supervisor's abandon path or an
+    executive error) raises the local flag *and* sends one STOPREQ so the
+    coordinator broadcasts STOPRUN to every worker — the distributed
+    equivalent of setting the shared multiprocessing event.
+    ``set_local()`` is the receive side: STOPRUN raises the flag without
+    echoing a request back.
+    """
+
+    def __init__(self, link: Link, run: int):
+        self._event = threading.Event()
+        self._link = link
+        self._run = run
+        self._requested = False
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def set_local(self) -> None:
+        self._event.set()
+
+    def set(self) -> None:
+        self._event.set()
+        if self._requested:
+            return
+        self._requested = True
+        try:
+            self._link.send(Frame.STOPREQ, pack_run(self._run))
+        except ConnectionClosed:
+            pass
+
+
+class NetHealthBoard:
+    """Heartbeat board mirrored as BEAT frames.
+
+    Local beats stamp the local slot and emit ``(slot, age=0)``; relayed
+    beats are applied as ``local_now - age`` (ages survive clock-domain
+    crossings; absolute stamps would not), folded in with ``max`` so a
+    reordered relay can never move a worker backwards in time.  A worker
+    whose socket dies goes silent, its slots age out, and the supervisor
+    quarantines it — no extra failure detector needed.
+    """
+
+    def __init__(self, n: int, link: Link, run: int):
+        self._slots = [0.0] * max(1, n)
+        self._link = link
+        self._run = run
+
+    def beat(self, slot: int) -> None:
+        self._slots[slot] = time.monotonic()
+        try:
+            self._link.send(
+                Frame.BEAT, pack_run(self._run), _SLOT_AGE.pack(slot, 0.0)
+            )
+        except ConnectionClosed:
+            pass
+
+    def last(self, slot: int) -> float:
+        return self._slots[slot]
+
+    def stale(self, slot: int, now: float, timeout: float) -> bool:
+        last = self._slots[slot]
+        return last > 0.0 and (now - last) > timeout
+
+    def apply(self, body: memoryview) -> None:
+        slot, age = _SLOT_AGE.unpack(body)
+        if 0 <= slot < len(self._slots):
+            stamp = time.monotonic() - age
+            if stamp > self._slots[slot]:
+                self._slots[slot] = stamp
+
+
+class NetStreamBoard:
+    """Released/delivered frame counters mirrored as COUNT frames.
+
+    Same single-writer discipline as the shared-memory ``StreamBoard``:
+    slot 0 is written only by the admission pump (one worker), slot 1
+    only by the delivery thread (one worker); everyone else holds a
+    monotonically-folded mirror.  The mirror lags by one relay hop, so
+    the pump's in-flight view errs on the *high* side — it can only
+    under-admit briefly, never overrun ``max_in_flight``.
+    """
+
+    def __init__(self, link: Link, run: int):
+        self._slots = [0.0, 0.0]
+        self._link = link
+        self._run = run
+
+    def _bump(self, slot: int) -> None:
+        self._slots[slot] += 1.0
+        try:
+            self._link.send(
+                Frame.COUNT, pack_run(self._run),
+                _COUNT.pack(slot, self._slots[slot]),
+            )
+        except ConnectionClosed:
+            pass
+
+    def note_released(self) -> None:
+        self._bump(0)
+
+    def note_delivered(self) -> None:
+        self._bump(1)
+
+    def released(self) -> int:
+        return int(self._slots[0])
+
+    def delivered(self) -> int:
+        return int(self._slots[1])
+
+    def in_flight(self) -> int:
+        return max(0, self.released() - self.delivered())
+
+    def apply(self, body: memoryview) -> None:
+        slot, value = _COUNT.unpack(body)
+        if 0 <= slot < 2 and value > self._slots[slot]:
+            self._slots[slot] = value
+
+
+class _NetOutChannel:
+    """Producer end of a network edge: credits + encoded DATA frames."""
+
+    __slots__ = ("_kernel", "edge", "_header", "_credits", "_cond")
+
+    def __init__(self, kernel: "NetKernel", edge: str, credits: int):
+        self._kernel = kernel
+        self.edge = edge
+        self._header = pack_edge(kernel.run_id, edge)
+        self._credits = credits
+        self._cond = threading.Condition()
+
+    def add_credit(self, n: int) -> None:
+        with self._cond:
+            self._credits += n
+            self._cond.notify_all()
+
+    def _take_credit(self, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._credits <= 0:
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise queue.Full
+                    self._cond.wait(remaining)
+            self._credits -= 1
+
+    def put(self, value: Any, timeout: Optional[float] = None) -> None:
+        self._take_credit(timeout)
+        self._transmit(value)
+
+    def put_nowait(self, value: Any) -> None:
+        with self._cond:
+            if self._credits <= 0:
+                raise queue.Full
+            self._credits -= 1
+        self._transmit(value)
+
+    def _transmit(self, value: Any) -> None:
+        buffers = codec.encode(value)
+        try:
+            self._kernel.link.send(Frame.DATA, self._header, *buffers)
+        except ConnectionClosed:
+            # Our uplink is gone: this run cannot finish here.  Unwind
+            # the executive thread quietly; the coordinator has already
+            # seen the dead socket and is driving recovery or teardown.
+            raise Shutdown
+
+
+class _NetInChannel:
+    """Consumer end of a network edge: raw inbox + credit grants.
+
+    The inbox itself is unbounded — boundedness lives on the producer
+    side as credits, granted back one per dequeue — so the link reader
+    thread never blocks on a slow consumer.
+    """
+
+    __slots__ = ("_kernel", "edge", "q")
+
+    def __init__(self, kernel: "NetKernel", edge: str):
+        self._kernel = kernel
+        self.edge = edge
+        self.q: "queue.Queue" = queue.Queue()
+
+    def push(self, payload: memoryview) -> None:
+        """Called by the link reader with the raw encoded value."""
+        self.q.put(payload)
+
+    def _settle(self, payload: memoryview) -> Any:
+        value = codec.decode(payload)
+        self._kernel.grant_credit(self.edge)
+        return value
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        return self._settle(self.q.get(timeout=timeout))
+
+    def get_nowait(self) -> Any:
+        return self._settle(self.q.get_nowait())
+
+
+class NetKernel:
+    """Kernel primitives for one worker process hosting N processors."""
+
+    def __init__(
+        self,
+        processors: Iterable[str],
+        *,
+        placement: Dict[str, str],
+        edges: Dict[str, Tuple[str, str]],
+        link: Link,
+        run_id: int,
+        stop_event: NetStopEvent,
+        queue_size: int = 4,
+        poll_s: float = 0.02,
+        epoch: float = 0.0,
+        record_spans: bool = True,
+    ):
+        self.processors: FrozenSet[str] = frozenset(processors)
+        #: Compatibility with code that prints/labels ``kernel.processor``.
+        self.processor = "+".join(sorted(self.processors))
+        self.placement = placement
+        self.link = link
+        self.run_id = run_id
+        self._stop_event = stop_event
+        self._queue_size = queue_size
+        self._poll_s = poll_s
+        self._epoch = epoch
+        self._record_spans = record_spans
+        self._local: Dict[str, "queue.Queue"] = {}
+        self._local_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self.stop_token = Stop()
+        self.blackboard: Dict[str, Any] = {}
+        self.compute_spans: List[Span] = []
+        self.transfer_spans: List[Span] = []
+        # Classify the program's inter-processor edges relative to this
+        # worker's processor set; edges fully inside or fully outside the
+        # set stay ordinary local queues / nothing at all.
+        self._out: Dict[str, _NetOutChannel] = {}
+        self.inboxes: Dict[str, _NetInChannel] = {}
+        for edge, (src_proc, dst_proc) in edges.items():
+            src_local = src_proc in self.processors
+            dst_local = dst_proc in self.processors
+            if src_local and not dst_local:
+                self._out[edge] = _NetOutChannel(self, edge, queue_size)
+            elif dst_local and not src_local:
+                self.inboxes[edge] = _NetInChannel(self, edge)
+
+    # -- uplink helpers --------------------------------------------------------
+
+    def grant_credit(self, edge: str, n: int = 1) -> None:
+        try:
+            self.link.send(
+                Frame.CREDIT, pack_edge(self.run_id, edge), _U32.pack(n)
+            )
+        except ConnectionClosed:
+            pass  # the run is dying; recv loops unwind via the stop flag
+
+    def add_credit(self, edge: str, n: int) -> None:
+        """A CREDIT frame arrived for one of our outgoing edges."""
+        channel = self._out.get(edge)
+        if channel is not None:
+            channel.add_credit(n)
+
+    # -- primitives ------------------------------------------------------------
+
+    def channel(self, edge: str):
+        out = self._out.get(edge)
+        if out is not None:
+            return out
+        inbox = self.inboxes.get(edge)
+        if inbox is not None:
+            return inbox
+        with self._local_lock:
+            q = self._local.get(edge)
+            if q is None:
+                q = self._local[edge] = queue.Queue(maxsize=self._queue_size)
+            return q
+
+    def spawn_(self, name: str, body: Callable[[], None]):
+        home = self.placement.get(name)
+        if home is not None and home not in self.processors:
+            return RemoteStub(name)
+
+        def runner() -> None:
+            try:
+                body()
+            except Shutdown:
+                pass
+
+        thread = threading.Thread(target=runner, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def send_(self, edge: str, value: Any) -> None:
+        channel = self.channel(edge)
+        remote = isinstance(channel, _NetOutChannel)
+        if remote:
+            start = time.perf_counter()
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                channel.put(value, timeout=self._poll_s)
+                break
+            except queue.Full:
+                continue
+        if remote and self._record_spans:
+            end = time.perf_counter()
+            self.transfer_spans.append(
+                Span(
+                    edge,
+                    threading.current_thread().name,
+                    (start - self._epoch) * 1e6,
+                    (end - self._epoch) * 1e6,
+                )
+            )
+
+    def recv_(self, edge: str) -> Any:
+        channel = self.channel(edge)
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            try:
+                return channel.get(timeout=self._poll_s)
+            except queue.Empty:
+                continue
+
+    def try_recv_(self, edge: str) -> Any:
+        if self._stop_event.is_set():
+            raise Shutdown
+        return self.channel(edge).get_nowait()
+
+    def stop_(self, edge: str) -> None:
+        self.send_(edge, self.stop_token)
+
+    def alt_(self, edges: List[str]) -> Tuple[str, Any]:
+        channels = [(edge, self.channel(edge)) for edge in edges]
+        while True:
+            if self._stop_event.is_set():
+                raise Shutdown
+            for edge, channel in channels:
+                try:
+                    return edge, channel.get_nowait()
+                except queue.Empty:
+                    continue
+            # Sub-millisecond poll, as on the other kernels: ALT latency
+            # directly gates farm throughput.
+            time.sleep(0.0002)
+
+    def call_(self, func: Callable, *args: Any) -> Any:
+        if not self._record_spans:
+            return func(*args)
+        name = threading.current_thread().name
+        resource = self.placement.get(name, self.processor)
+        start = time.perf_counter()
+        try:
+            return func(*args)
+        finally:
+            end = time.perf_counter()
+            self.compute_spans.append(
+                Span(
+                    resource,
+                    name,
+                    (start - self._epoch) * 1e6,
+                    (end - self._epoch) * 1e6,
+                )
+            )
+
+    def is_stop(self, value: Any) -> bool:
+        return isinstance(value, Stop)
+
+    # -- worker-side helpers ---------------------------------------------------
+
+    def local_threads(self) -> List[threading.Thread]:
+        return list(self._threads)

@@ -1,0 +1,178 @@
+"""Length-prefixed binary framing between coordinator and workers.
+
+Every frame is ``!IB`` (body length, kind byte) followed by the body.
+The *data plane* (DATA/CREDIT payloads) uses the pickle-free
+:mod:`~repro.net.codec`; the *control plane* (ASSIGN/DONE) carries
+pickles because it ships mapping-derived topologies and the function
+table — coordinator and workers are one trust domain (the operator
+starts both), exactly like the processes backend's spawn payloads.
+
+Run-scoped frames lead with a ``u32`` run id so a late frame from a
+finished run (a straggler heartbeat, a result racing teardown) is
+dropped instead of corrupting the next run on the same connection.
+
+:class:`Link` wraps one connected socket: ``send`` gather-writes a
+header plus any number of buffers under a lock (many executive threads
+share the worker's single uplink), ``recv`` is single-reader and returns
+``(kind, memoryview)`` over a fresh per-frame buffer, so views handed to
+inbox queues stay valid without copying.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any, List, Tuple
+
+__all__ = [
+    "ConnectionClosed", "Link", "Frame",
+    "pack_run", "split_run", "pack_edge", "split_edge",
+]
+
+_HEADER = struct.Struct("!IB")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+
+#: Refuse absurd frame lengths: a desynchronised stream would otherwise
+#: try to allocate gigabytes from four garbage header bytes.
+MAX_FRAME = 1 << 30
+
+
+class Frame:
+    """Frame kinds (one byte on the wire)."""
+
+    DEAD = 0      # synthetic, never sent: a reader thread saw EOF
+    HELLO = 1     # worker -> coord: codec {host, pid, version}
+    ASSIGN = 2    # coord -> worker: run + now + epoch + pickle payload
+    DATA = 3      # either way: run + edge + codec value (routed)
+    CREDIT = 4    # consumer -> producer via coord: run + edge + u32 n
+    BEAT = 5      # worker -> coord -> other workers: run + slot + age
+    COUNT = 6     # worker -> coord -> other workers: run + slot + value
+    SINKS = 7     # worker -> coord: run + codec [processor, ...]
+    DONE = 8      # worker -> coord: run + pickle result payload
+    ERROR = 9     # worker -> coord: run + codec {processor, traceback}
+    STOPRUN = 10  # coord -> worker: run (raise the run's stop event)
+    STOPREQ = 11  # worker -> coord: run (ask for a global stop)
+    RUNEND = 12   # coord -> worker: run (forget this run's state)
+    BYE = 13      # coord -> worker: exit cleanly
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer went away (EOF, reset, or a local close)."""
+
+
+def pack_run(run: int) -> bytes:
+    return _U32.pack(run)
+
+
+def split_run(body: memoryview) -> Tuple[int, memoryview]:
+    if len(body) < 4:
+        raise ConnectionClosed("truncated run header")
+    return _U32.unpack(body[:4])[0], body[4:]
+
+
+def pack_edge(run: int, edge: str) -> bytes:
+    blob = edge.encode("ascii")
+    return _U32.pack(run) + _U16.pack(len(blob)) + blob
+
+
+def split_edge(rest: memoryview) -> Tuple[str, memoryview]:
+    """Split the post-run-id part of a DATA/CREDIT body."""
+    if len(rest) < 2:
+        raise ConnectionClosed("truncated edge header")
+    n = _U16.unpack(rest[:2])[0]
+    if len(rest) < 2 + n:
+        raise ConnectionClosed("truncated edge name")
+    return str(rest[2:2 + n], "ascii"), rest[2 + n:]
+
+
+def _nbytes(buf: Any) -> int:
+    return buf.nbytes if isinstance(buf, memoryview) else len(buf)
+
+
+class Link:
+    """One framed, thread-safe-for-send connection."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP test doubles
+            pass
+
+    @property
+    def peer(self) -> str:
+        try:
+            host, port = self._sock.getpeername()[:2]
+            return f"{host}:{port}"
+        except OSError:
+            return "?"
+
+    def send(self, kind: int, *buffers: Any) -> None:
+        """Gather-send one frame (zero-copy for memoryview buffers)."""
+        total = sum(_nbytes(b) for b in buffers)
+        if total > MAX_FRAME:
+            raise ValueError(f"frame of {total} bytes exceeds MAX_FRAME")
+        parts: List[Any] = [_HEADER.pack(total, kind)]
+        parts.extend(buffers)
+        with self._send_lock:
+            try:
+                while parts:
+                    sent = self._sock.sendmsg(parts)
+                    parts = self._advance(parts, sent)
+            except (OSError, ValueError) as err:
+                raise ConnectionClosed(str(err) or "send failed") from None
+
+    @staticmethod
+    def _advance(parts: List[Any], sent: int) -> List[Any]:
+        """Drop/trim buffers covered by a partial ``sendmsg``."""
+        out: List[Any] = []
+        for i, buf in enumerate(parts):
+            n = _nbytes(buf)
+            if sent >= n:
+                sent -= n
+                continue
+            if sent:
+                view = buf if isinstance(buf, memoryview) else memoryview(buf)
+                out.append(view[sent:])
+                sent = 0
+            else:
+                out.append(buf)
+            out.extend(parts[i + 1:])
+            break
+        return out
+
+    def recv(self) -> Tuple[int, memoryview]:
+        """Read one frame; the view is over a fresh per-frame buffer."""
+        header = self._recv_exact(_HEADER.size)
+        length, kind = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise ConnectionClosed(f"oversized frame ({length} bytes)")
+        body = self._recv_exact(length) if length else bytearray()
+        return kind, memoryview(body)
+
+    def _recv_exact(self, n: int) -> bytearray:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            try:
+                chunk = self._sock.recv_into(view[got:])
+            except OSError as err:
+                raise ConnectionClosed(str(err) or "recv failed") from None
+            if chunk == 0:
+                raise ConnectionClosed("peer closed the connection")
+            got += chunk
+        return buf
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass

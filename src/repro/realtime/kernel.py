@@ -119,12 +119,18 @@ class RealtimeKernel:
         self._budget = budget
         self._board = board or StreamBoard.local()
         self._processor = processor
-        self._admission_active = (
-            processor is None or processor == topology.input_processor
-        )
-        self._delivery_active = (
-            processor is None or processor == topology.output_processor
-        )
+
+        def hosts(proc: str) -> bool:
+            # ``processor`` may be one mapped processor (processes
+            # backend) or a set of them (a tcp worker hosting several).
+            if processor is None:
+                return True
+            if isinstance(processor, (set, frozenset)):
+                return proc in processor
+            return processor == proc
+
+        self._admission_active = hosts(topology.input_processor)
+        self._delivery_active = hosts(topology.output_processor)
         self._edge_set = set(topology.admission_edges)
         self._n_edges = len(topology.admission_edges)
         # Overload injection shares the supervised kernel's matcher and

@@ -281,7 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "budget and prove frame conservation",
     )
     parser.add_argument("--backend", default="threads",
-                        choices=("threads", "processes"),
+                        choices=("threads", "processes", "tcp"),
                         help="execution backend (default: threads)")
     parser.add_argument("--seed", type=int, default=0,
                         help="chaos seed (default: 0)")
@@ -347,6 +347,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print()
     print(report.summary())
     if args.ledger:
+        from ..cli import ensure_parent_dir
+
+        ensure_parent_dir(args.ledger)
         with open(args.ledger, "w") as handle:
             json.dump(result.ledger_payload(), handle, indent=2)
             handle.write("\n")

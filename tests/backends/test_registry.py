@@ -18,14 +18,19 @@ from repro.backends.registry import register_backend
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert backend_names() == ["emulate", "processes", "simulate", "threads"]
+        assert backend_names() == [
+            "emulate", "processes", "simulate", "tcp", "threads",
+        ]
 
     def test_get_backend_returns_instances(self):
+        from repro.net import TcpBackend
+
         for name, cls in [
             ("emulate", EmulateBackend),
             ("simulate", SimulateBackend),
             ("threads", ThreadBackend),
             ("processes", ProcessBackend),
+            ("tcp", TcpBackend),
         ]:
             backend = get_backend(name)
             assert isinstance(backend, cls)
@@ -41,7 +46,7 @@ class TestRegistry:
         with pytest.raises(
             BackendError,
             match="unknown backend 'transputer'; available: "
-                  "emulate, processes, simulate, threads",
+                  "emulate, processes, simulate, tcp, threads",
         ):
             get_backend("transputer")
 
@@ -90,6 +95,24 @@ class TestRegistry:
         assert not get_backend("simulate").real
         assert get_backend("threads").real
         assert get_backend("processes").real
+        assert get_backend("tcp").real
+
+    def test_capability_matrix(self):
+        from repro.backends import backend_capabilities
+
+        caps = backend_capabilities()
+        assert list(caps) == backend_names()  # sorted, stable
+        assert all(
+            set(flags) == {"real", "faults", "realtime", "distributed"}
+            for flags in caps.values()
+        )
+        assert caps["emulate"] == {
+            "real": False, "faults": False,
+            "realtime": False, "distributed": False,
+        }
+        assert caps["processes"]["faults"]
+        assert caps["processes"]["realtime"]
+        assert [n for n, f in caps.items() if f["distributed"]] == ["tcp"]
 
     def test_emulate_needs_program(self):
         with pytest.raises(BackendError, match="program"):

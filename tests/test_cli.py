@@ -164,8 +164,21 @@ class TestBackendSelection:
     def test_backends_command(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("emulate", "simulate", "threads", "processes"):
+        for name in ("emulate", "simulate", "threads", "processes", "tcp"):
             assert name in out
+
+    def test_backends_capability_matrix(self, capsys):
+        assert main(["backends"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        header, rows = lines[0], lines[1:]
+        for column in ("backend", "faults", "realtime", "distributed",
+                       "description"):
+            assert column in header
+        by_name = {row.split()[0]: row.split() for row in rows}
+        assert list(by_name) == sorted(by_name)  # stable, sorted
+        assert by_name["emulate"][1:4] == ["-", "-", "-"]
+        assert by_name["processes"][1:4] == ["yes", "yes", "-"]
+        assert by_name["tcp"][1:4] == ["yes", "yes", "yes"]
 
     def test_run_threads_one_shot(self, workspace, capsys):
         assert main([
@@ -217,6 +230,20 @@ class TestBackendSelection:
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
         assert "trace written" in capsys.readouterr().out
 
+    def test_trace_out_creates_parent_dirs(self, workspace, capsys):
+        import json
+
+        import app_functions
+
+        app_functions._count["i"] = 0
+        assert main([
+            "simulate", "stream.ml", "--functions", "app_functions:TABLE",
+            "--arch", "ring:2",
+            "--trace-out", "artifacts/traces/run1.json",
+        ]) == 0
+        path = workspace / "artifacts" / "traces" / "run1.json"
+        assert json.loads(path.read_text())["traceEvents"]
+
 
 class TestProfileFlag:
     def test_simulate_with_profile(self, workspace, capsys):
@@ -241,3 +268,52 @@ class TestProfileFlag:
             "--arch", "ring:2", "--profile", "1",
         ]) == 0
         assert "deadlock-free" in capsys.readouterr().out
+
+
+# -- the distributed backend through the CLI ----------------------------------
+
+NET_TABLE_MODULE = '''
+from repro.core import FunctionTable
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+TABLE = FunctionTable()
+TABLE.register("square", ins=["int"], outs=["int"], cost=100.0)(square)
+TABLE.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(add)
+'''
+
+
+@pytest.fixture()
+def net_workspace(tmp_path, monkeypatch):
+    """A workspace whose table is module-level defs: tcp workers must be
+    able to import (and pickle) every registered function."""
+    (tmp_path / "spec.ml").write_text(SPEC)
+    (tmp_path / "net_functions.py").write_text(NET_TABLE_MODULE)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop("net_functions", None)
+    yield tmp_path
+    sys.modules.pop("net_functions", None)
+
+
+class TestDistributedCli:
+    def test_run_tcp_private_cluster(self, net_workspace, capsys):
+        assert main([
+            "run", "spec.ml", "--functions", "net_functions:TABLE",
+            "--arch", "ring:3", "--arg", "[1, 2, 3]",
+            "--backend", "tcp", "--cluster", "2", "--timeout", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend tcp" in out
+        assert "result[0] = 14" in out  # 1 + 4 + 9
+
+    def test_worker_rejects_bad_address(self, capsys):
+        assert main(["worker", "--connect", "7070"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
