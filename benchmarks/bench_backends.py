@@ -16,10 +16,13 @@ Run standalone with ``PYTHONPATH=src python benchmarks/bench_backends.py``.
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import time
+from typing import List, Optional
 
-from conftest import run_once
+from conftest import default_artifact, run_once
 
 from repro import FunctionTable, ProgramBuilder
 from repro.backends import get_backend
@@ -140,6 +143,26 @@ def test_df_processes_vs_threads(benchmark):
     ))
 
 
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="threads-vs-processes speedup on CPU-bound farms"
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        default=default_artifact("backends"),
+                        help="write the headline numbers as a JSON "
+                             "document (default: repo-root "
+                             "BENCH_backends.json)")
+    args = parser.parse_args(argv)
+    metrics: dict = {}
+    compare(scm_program, "scm", extra_info=metrics)
+    compare(df_program, "df", extra_info=metrics)
+    document = {"workers": WORKERS, "cores": os.cpu_count(), **metrics}
+    with open(args.json, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.json}")
+    return 0
+
+
 if __name__ == "__main__":
-    compare(scm_program, "scm")
-    compare(df_program, "df")
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ import time
 from typing import Dict, List, Optional
 
 import numpy as np
-from conftest import run_once
+from conftest import default_artifact, run_once
 
 from repro.net import decode, encode, encoded_size
 from repro.realtime.soak import run_soak
@@ -142,7 +142,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="wire-codec throughput and tcp-vs-processes overhead"
     )
     parser.add_argument("--json", metavar="FILE",
-                        help="also write the sweeps as a JSON document")
+                        default=default_artifact("network"),
+                        help="write the sweeps as a JSON document "
+                             "(default: repo-root BENCH_network.json)")
     args = parser.parse_args(argv)
     doc = sweep()
     render(doc)

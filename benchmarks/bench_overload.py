@@ -23,7 +23,7 @@ import argparse
 import json
 from typing import Dict, List, Optional
 
-from conftest import run_once
+from conftest import default_artifact, run_once
 
 from repro.realtime import OVERLOAD_POLICIES
 from repro.realtime.soak import run_soak
@@ -119,7 +119,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="overload-policy sweep (p50/p99 and shed rate vs load)"
     )
     parser.add_argument("--json", metavar="FILE",
-                        help="also write the sweep as a JSON document")
+                        default=default_artifact("overload"),
+                        help="write the sweep as a JSON document "
+                             "(default: repo-root BENCH_overload.json)")
     args = parser.parse_args(argv)
     rows = sweep()
     render(rows)

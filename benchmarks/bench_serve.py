@@ -1,0 +1,211 @@
+"""Serving-plane benchmark: compile-once payoff and multi-tenant scale.
+
+Two questions the ``repro serve`` daemon exists to answer:
+
+* **cold vs warm** — what does the compile cache buy a submit?  The
+  compile path (parse → types → expand → map → codegen) is measured
+  cold on fresh programs and warm on repeats, both as the pure build
+  stage and as end-to-end submit latency over a live worker pool;
+* **N-tenant throughput** — does one shared pool actually multiplex?
+  The same batch of runs is pushed through the scheduler sequentially
+  (one at a time) and concurrently (many tenants at once); their wall
+  times give the concurrency speedup the run slots provide.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_serve.py``;
+the JSON artifact lands at repo root as ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from typing import Dict, List, Optional
+
+from conftest import default_artifact, run_once
+
+from repro.serve import CompileCache, SkipperService
+from repro.serve.scheduler import RunRequest
+from repro.serve.soak import soak_source, soak_table
+from repro.syndex import ring
+
+COLD_PROGRAMS = 5          # distinct sources: every build is a miss
+WARM_REPEATS = 5           # repeats of one source: every build is a hit
+TENANTS = 6
+RUNS_PER_TENANT = 2
+FRAMES = 6                 # short stream: overheads dominate, on purpose
+
+
+def _sources(n: int) -> List[str]:
+    # Distinct frame counts give distinct token streams, hence distinct
+    # cache keys — each is a genuinely cold program.
+    return [soak_source(frames=FRAMES + i) for i in range(n)]
+
+
+def measure_build() -> Dict:
+    """The compile pipeline alone: cold misses vs warm cache hits."""
+    table = soak_table()
+    arch = ring(3)
+    cache = CompileCache()
+    cold_s = []
+    for source in _sources(COLD_PROGRAMS):
+        t0 = time.perf_counter()
+        build = cache.build(source, table, arch)
+        cold_s.append(time.perf_counter() - t0)
+        assert not build.hit
+    warm_source = _sources(1)[0]
+    warm_s = []
+    for _ in range(WARM_REPEATS):
+        t0 = time.perf_counter()
+        build = cache.build(warm_source, table, arch)
+        warm_s.append(time.perf_counter() - t0)
+        assert build.hit
+    cold_ms = statistics.median(cold_s) * 1000
+    warm_ms = statistics.median(warm_s) * 1000
+    return {
+        "build_cold_ms": round(cold_ms, 2),
+        "build_warm_ms": round(warm_ms, 4),
+        "build_speedup": round(cold_ms / warm_ms, 1) if warm_ms else None,
+    }
+
+
+def measure_submit(service: SkipperService) -> Dict:
+    """End-to-end submit latency (compile + schedule + run) cold/warm."""
+    table = soak_table()
+    arch = ring(3)
+    source = soak_source(frames=FRAMES, work_us=777)  # unique to this stage
+    # One unrelated run first: the cold number must price the compile,
+    # not the worker pool still dialling in.
+    warmup = service.run(RunRequest(
+        source=soak_source(frames=FRAMES, work_us=888), table=table,
+        arch=arch, tenant="bench-lat",
+    ))
+    assert warmup.status == "ok", warmup.error
+    latencies = []
+    for _ in range(1 + WARM_REPEATS):
+        t0 = time.perf_counter()
+        ticket = service.run(RunRequest(
+            source=source, table=table, arch=arch, tenant="bench-lat",
+        ))
+        latencies.append(time.perf_counter() - t0)
+        assert ticket.status == "ok", ticket.error
+    cold_ms = latencies[0] * 1000
+    warm_ms = statistics.median(latencies[1:]) * 1000
+    return {
+        "submit_cold_ms": round(cold_ms, 1),
+        "submit_warm_ms": round(warm_ms, 1),
+        "submit_warm_speedup": round(cold_ms / warm_ms, 2),
+    }
+
+
+def measure_tenancy(service: SkipperService) -> Dict:
+    """Sequential vs N-tenant-concurrent wall time for one batch."""
+    table = soak_table()
+    arch = ring(3)
+    source = soak_source(frames=FRAMES, work_us=555)  # unique to this stage
+    total = TENANTS * RUNS_PER_TENANT
+
+    def request(tenant):
+        return RunRequest(source=source, table=table, arch=arch,
+                          tenant=tenant)
+
+    service.run(request("bench-seq"))  # warm the cache out of the timing
+    t0 = time.perf_counter()
+    for _ in range(total):
+        ticket = service.run(request("bench-seq"))
+        assert ticket.status == "ok", ticket.error
+    seq_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tickets = [
+        service.submit(request(f"bench-c{i}"))
+        for i in range(TENANTS)
+        for _ in range(RUNS_PER_TENANT)
+    ]
+    for ticket in tickets:
+        ticket.wait(180.0)
+    conc_s = time.perf_counter() - t0
+    assert all(t.status == "ok" for t in tickets)
+    return {
+        "batch_runs": total,
+        "sequential_runs_per_s": round(total / seq_s, 2),
+        "concurrent_runs_per_s": round(total / conc_s, 2),
+        "concurrency_speedup": round(seq_s / conc_s, 2),
+    }
+
+
+def sweep() -> Dict:
+    doc = measure_build()
+    with SkipperService(cluster_size=4) as service:
+        doc.update(measure_submit(service))
+        doc.update(measure_tenancy(service))
+        doc["cache"] = service.cache.stats()
+    return doc
+
+
+def render(doc: Dict) -> None:
+    print(f"\ncompile cache: cold build {doc['build_cold_ms']:.2f} ms, "
+          f"warm lookup {doc['build_warm_ms']:.4f} ms "
+          f"({doc['build_speedup']:.0f}x)")
+    print(f"submit latency: cold {doc['submit_cold_ms']:.1f} ms, "
+          f"warm {doc['submit_warm_ms']:.1f} ms "
+          f"({doc['submit_warm_speedup']:.2f}x)")
+    print(f"{TENANTS} tenants x {RUNS_PER_TENANT} runs: "
+          f"{doc['sequential_runs_per_s']:.2f} runs/s sequential, "
+          f"{doc['concurrent_runs_per_s']:.2f} runs/s concurrent "
+          f"({doc['concurrency_speedup']:.2f}x)")
+
+
+def check_shape(doc: Dict) -> None:
+    """The qualitative contract: caching and multiplexing both pay."""
+    # A hit still pays the content fingerprints (tokenise + bytecode
+    # hashes) — that price is why the floor is 2x, not 100x.
+    assert doc["build_speedup"] > 2, (
+        "a cache hit must be clearly cheaper than a compile"
+    )
+    assert doc["submit_warm_speedup"] > 0.8, (
+        "a warm submit must not be slower than a cold one"
+    )
+    assert doc["concurrency_speedup"] > 1.0, (
+        "concurrent tenants must beat one-at-a-time on a multi-slot pool"
+    )
+
+
+def test_serve_bench(benchmark):
+    doc = run_once(benchmark, sweep)
+    render(doc)
+    check_shape(doc)
+    for key in ("build_speedup", "submit_warm_speedup",
+                "concurrency_speedup", "concurrent_runs_per_s"):
+        benchmark.extra_info[key] = doc[key]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-plane bench: cold/warm submits, N-tenant "
+                    "throughput"
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        default=default_artifact("serve"),
+                        help="write the numbers as a JSON document "
+                             "(default: repo-root BENCH_serve.json)")
+    args = parser.parse_args(argv)
+    doc = sweep()
+    render(doc)
+    check_shape(doc)
+    document = {
+        "tenants": TENANTS,
+        "runs_per_tenant": RUNS_PER_TENANT,
+        "frames": FRAMES,
+        **doc,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,19 @@ EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def default_artifact(name: str) -> str:
+    """Repo-root path of a benchmark's JSON artifact (``BENCH_<name>.json``).
+
+    The perf CI job runs each bench standalone, uploads these documents,
+    and gates them against ``benchmarks/baselines/``.
+    """
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, f"BENCH_{name}.json")
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,199 @@
+"""Perf regression gate: BENCH_*.json artifacts vs checked-in baselines.
+
+Every benchmark writes its headline numbers to a repo-root
+``BENCH_<name>.json`` document (see ``conftest.default_artifact``).
+Each file in ``benchmarks/baselines/`` names one such artifact and a
+list of gated metrics; the gate fails when a metric regresses more than
+its tolerance (default 25%) against the checked-in baseline value:
+
+* ``direction: max`` — bigger is better; fail when
+  ``value < baseline * (1 - tolerance)``;
+* ``direction: min`` — smaller is better; fail when
+  ``value > baseline * (1 + tolerance)``.
+
+A metric's ``path`` walks the JSON document: string keys index objects,
+integers index lists, and an object like ``{"policy": "block"}``
+selects the first element of a list whose fields all match — so rows
+keyed by content, not position, survive reordering.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py            # gate
+    PYTHONPATH=src python benchmarks/perf_gate.py --update   # re-baseline
+
+Baselines are deliberately set *below* healthy measurements (they are
+floors, not targets) so runner-to-runner noise does not flake the CI
+job; ``--update`` rewrites them from the current artifacts at an extra
+margin for when the workload itself changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from typing import Dict, List, Optional
+
+DEFAULT_TOLERANCE = 0.25
+#: ``--update`` headroom: new baselines sit 15% inside the measurement.
+UPDATE_MARGIN = 0.15
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_DIR = os.path.join(ROOT, "benchmarks", "baselines")
+
+
+def resolve(doc, path: List):
+    """Walk ``path`` through ``doc`` (keys, indices, match-objects)."""
+    cur = doc
+    for step in path:
+        if isinstance(step, dict):
+            try:
+                cur = next(
+                    el for el in cur
+                    if all(el.get(k) == v for k, v in step.items())
+                )
+            except StopIteration:
+                raise KeyError(f"no element matching {step!r}")
+        else:
+            cur = cur[step]
+    return cur
+
+
+def judge(metric: Dict, value: float) -> Dict:
+    """One metric against its baseline: the verdict row."""
+    baseline = float(metric["baseline"])
+    tolerance = float(metric.get("tolerance", DEFAULT_TOLERANCE))
+    direction = metric.get("direction", "max")
+    if direction == "max":
+        limit = baseline * (1.0 - tolerance)
+        ok = value >= limit
+    elif direction == "min":
+        limit = baseline * (1.0 + tolerance)
+        ok = value <= limit
+    else:
+        raise ValueError(f"bad direction {direction!r}")
+    return {
+        "name": metric["name"],
+        "value": value,
+        "baseline": baseline,
+        "limit": round(limit, 4),
+        "direction": direction,
+        "ok": ok,
+    }
+
+
+def gate_file(baseline_path: str, artifacts_dir: str) -> List[Dict]:
+    """All verdicts for one baseline file (artifact missing → all fail)."""
+    with open(baseline_path) as handle:
+        spec = json.load(handle)
+    artifact = os.path.join(artifacts_dir, spec["artifact"])
+    if not os.path.exists(artifact):
+        return [
+            {"name": m["name"], "value": None, "baseline": m["baseline"],
+             "limit": None, "direction": m.get("direction", "max"),
+             "ok": False, "error": f"missing artifact {spec['artifact']}"}
+            for m in spec["metrics"]
+        ]
+    with open(artifact) as handle:
+        doc = json.load(handle)
+    rows = []
+    for metric in spec["metrics"]:
+        try:
+            value = float(resolve(doc, metric["path"]))
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            rows.append({
+                "name": metric["name"], "value": None,
+                "baseline": metric["baseline"], "limit": None,
+                "direction": metric.get("direction", "max"),
+                "ok": False, "error": f"unresolvable path: {exc}",
+            })
+            continue
+        rows.append(judge(metric, value))
+    return rows
+
+
+def update_file(baseline_path: str, artifacts_dir: str) -> bool:
+    """Rewrite one baseline file from the current artifact (with margin)."""
+    with open(baseline_path) as handle:
+        spec = json.load(handle)
+    artifact = os.path.join(artifacts_dir, spec["artifact"])
+    if not os.path.exists(artifact):
+        print(f"  skip {os.path.basename(baseline_path)}: "
+              f"missing {spec['artifact']}")
+        return False
+    with open(artifact) as handle:
+        doc = json.load(handle)
+    for metric in spec["metrics"]:
+        value = float(resolve(doc, metric["path"]))
+        if metric.get("direction", "max") == "max":
+            metric["baseline"] = round(value * (1.0 - UPDATE_MARGIN), 4)
+        else:
+            metric["baseline"] = round(value * (1.0 + UPDATE_MARGIN), 4)
+    with open(baseline_path, "w") as handle:
+        json.dump(spec, handle, indent=2)
+        handle.write("\n")
+    print(f"  rebaselined {os.path.basename(baseline_path)}")
+    return True
+
+
+def render(group: str, rows: List[Dict]) -> None:
+    print(f"\n{group}")
+    for row in rows:
+        mark = "ok  " if row["ok"] else "FAIL"
+        if row.get("error"):
+            print(f"  {mark} {row['name']:<28} {row['error']}")
+            continue
+        op = ">=" if row["direction"] == "max" else "<="
+        print(f"  {mark} {row['name']:<28} {row['value']:>10.3f}  "
+              f"(need {op} {row['limit']:.3f}, baseline {row['baseline']})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate BENCH_*.json artifacts against checked-in "
+                    "baselines (fail on >25%% regression)"
+    )
+    parser.add_argument("--artifacts-dir", default=ROOT,
+                        help="directory holding the BENCH_*.json files "
+                             "(default: repo root)")
+    parser.add_argument("--baselines", default=BASELINE_DIR,
+                        help="directory of baseline specs")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="gate only these baseline files (stem match); "
+                             "repeatable")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current artifacts "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+
+    paths = sorted(glob.glob(os.path.join(args.baselines, "*.json")))
+    if args.only:
+        keep = set(args.only)
+        paths = [p for p in paths
+                 if os.path.splitext(os.path.basename(p))[0] in keep]
+    if not paths:
+        print("perf gate: no baseline specs found")
+        return 1
+
+    if args.update:
+        print("perf gate: rebaselining from current artifacts")
+        for path in paths:
+            update_file(path, args.artifacts_dir)
+        return 0
+
+    failed = total = 0
+    for path in paths:
+        rows = gate_file(path, args.artifacts_dir)
+        render(os.path.splitext(os.path.basename(path))[0], rows)
+        failed += sum(1 for row in rows if not row["ok"])
+        total += len(rows)
+    if failed:
+        print(f"\nperf gate: FAIL ({failed} metric(s) regressed)")
+        return 1
+    print(f"\nperf gate: PASS ({total} metrics within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

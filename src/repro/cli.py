@@ -16,6 +16,10 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro check     --backends simulate,threads --cases 50 --seed 7
     python -m repro worker    --connect 127.0.0.1:7070
     python -m repro run       spec.ml --functions app:TABLE --backend tcp --cluster 4
+    python -m repro serve     --listen 127.0.0.1:7460 --cluster 4
+    python -m repro submit    spec.ml --functions app:TABLE --connect 127.0.0.1:7460
+    python -m repro ps        --connect 127.0.0.1:7460
+    python -m repro stats     --connect 127.0.0.1:7460
     python -m repro backends
 
 ``--functions`` names the application's sequential-function table as
@@ -365,6 +369,99 @@ def _cmd_worker(args) -> int:
     )
 
 
+def _cmd_serve(args) -> int:
+    from .serve.server import serve_main
+
+    return serve_main(
+        args.listen,
+        cluster_size=args.cluster,
+        workers_per_run=args.workers_per_run,
+        cache_entries=args.cache_size,
+        max_concurrent=args.max_concurrent,
+        ready_file=args.ready_file,
+    )
+
+
+def _tenant_policy(args):
+    if getattr(args, "tenant_policy", None) is None:
+        return None
+    from .realtime import LatencyBudget
+
+    try:
+        return LatencyBudget(
+            deadline_ms=args.tenant_deadline_ms,
+            policy=args.tenant_policy,
+            max_in_flight=args.tenant_max_in_flight,
+            queue_depth=args.tenant_queue_depth,
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: bad tenant policy: {err}")
+
+
+def _cmd_submit(args) -> int:
+    from .serve.client import ServeClient
+
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    arch = parse_architecture(args.arch)
+    options = _load_fault_plan(args)
+    options.update(_load_budget(args))
+    with ServeClient(
+        args.connect, tenant=args.tenant, tenant_policy=_tenant_policy(args),
+    ) as client:
+        outcomes = [
+            client.submit(
+                source, table, arch,
+                entry=args.entry,
+                max_iterations=args.max_iterations,
+                args=_parse_run_args(args.arg),
+                timeout=args.timeout,
+                **options,
+            )
+            for _ in range(args.count)
+        ]
+        failures = 0
+        for idx, outcome in enumerate(outcomes):
+            doc = outcome.wait(args.timeout + 60.0)
+            label = f"[{idx}] " if args.count > 1 else ""
+            warm = "warm" if doc.get("cache_hit") else "cold"
+            if doc["status"] == "ok":
+                print(f"{label}ok ({warm} cache)")
+                _print_report(doc["report"], args)
+            else:
+                failures += 1
+                detail = doc.get("error", "").strip().splitlines()
+                print(f"{label}{doc['status']}"
+                      f"{': ' + detail[-1] if detail else ''}")
+    return 1 if failures else 0
+
+
+def _cmd_ps(args) -> int:
+    from .serve.client import ServeClient
+
+    with ServeClient(args.connect) as client:
+        rows = client.ps()
+    if not rows:
+        print("no live requests")
+        return 0
+    print(f"  {'id':>5} {'tenant':<12} {'state':<8} {'cache':<6} age")
+    for row in rows:
+        print(f"  {row['id']:>5} {row['tenant']:<12} {row['state']:<8} "
+              f"{'warm' if row['cache_hit'] else 'cold':<6} "
+              f"{row['age_s']:.1f}s")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from .serve.client import ServeClient
+
+    with ServeClient(args.connect) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_backends(args) -> int:
     from .backends import backend_capabilities
 
@@ -536,6 +633,67 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="initial reconnect backoff, doubled per failure "
                         "(default: 50)")
     p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compile-once/run-many service daemon",
+    )
+    p.add_argument("--listen", metavar="HOST:PORT", default="127.0.0.1:7460",
+                   help="bind the client-facing endpoint there "
+                        "(default: 127.0.0.1:7460; port 0 picks a free one)")
+    p.add_argument("--cluster", type=int, default=4, metavar="N",
+                   help="size of the persistent worker pool (default: 4)")
+    p.add_argument("--workers-per-run", type=int, default=1, metavar="N",
+                   help="workers checked out per run (default: 1)")
+    p.add_argument("--cache-size", type=int, default=64, metavar="N",
+                   help="compiled-artefact cache budget (default: 64)")
+    p.add_argument("--max-concurrent", type=int, default=None, metavar="N",
+                   help="run slots (default: pool size / workers-per-run)")
+    p.add_argument("--ready-file", metavar="FILE", default=None,
+                   help="write the bound address there once listening "
+                        "(for scripts)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a program to a running `repro serve` daemon",
+    )
+    common(p, arch=True)
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the daemon's client endpoint")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for admission control and accounting")
+    p.add_argument("--count", type=int, default=1, metavar="N",
+                   help="submit the request N times concurrently")
+    p.add_argument("--max-iterations", type=int, default=None)
+    p.add_argument("--arg", action="append", default=[], metavar="VALUE",
+                   help="one-shot input value (Python literal; repeatable)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-run deadline in seconds on the daemon")
+    p.add_argument("--tenant-policy", default=None,
+                   choices=("block", "shed-newest", "shed-oldest", "degrade"),
+                   help="admission policy when this tenant's request "
+                        "queue is full (default: the daemon's)")
+    p.add_argument("--tenant-deadline-ms", type=float, default=60_000.0,
+                   help="submit-to-result turnaround budget (default: 60s)")
+    p.add_argument("--tenant-queue-depth", type=int, default=8)
+    p.add_argument("--tenant-max-in-flight", type=int, default=2)
+    _add_fault_options(p)
+    _add_realtime_options(p)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "ps", help="list a serve daemon's live requests",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.set_defaults(fn=_cmd_ps)
+
+    p = sub.add_parser(
+        "stats",
+        help="print a serve daemon's cache/tenant/pool statistics",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
         "backends",

@@ -11,7 +11,9 @@ multi-process cluster with zero configuration.
 """
 
 from .codec import CodecError, decode, encode, encoded_size
-from .coordinator import TcpBackend, WorkerLink, run_distributed
+from .coordinator import (
+    TcpBackend, WorkerLink, assemble_run_report, run_distributed,
+)
 from .harness import ClusterHarness, shared_cluster
 from .kernel import NetHealthBoard, NetKernel, NetStopEvent, NetStreamBoard
 from .protocol import ConnectionClosed, Frame, Link
@@ -19,7 +21,7 @@ from .worker import WorkerSession, worker_main
 
 __all__ = [
     "CodecError", "decode", "encode", "encoded_size",
-    "TcpBackend", "WorkerLink", "run_distributed",
+    "TcpBackend", "WorkerLink", "assemble_run_report", "run_distributed",
     "ClusterHarness", "shared_cluster",
     "NetHealthBoard", "NetKernel", "NetStopEvent", "NetStreamBoard",
     "ConnectionClosed", "Frame", "Link",

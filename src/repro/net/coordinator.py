@@ -44,7 +44,8 @@ from ..backends.registry import register_backend
 from . import codec
 from .protocol import ConnectionClosed, Frame, Link, pack_run, split_edge, split_run
 
-__all__ = ["WorkerLink", "run_distributed", "TcpBackend"]
+__all__ = ["WorkerLink", "run_distributed", "assemble_run_report",
+           "TcpBackend"]
 
 _U32 = struct.Struct("!I")
 _DD = struct.Struct("!dd")
@@ -57,9 +58,16 @@ class WorkerLink:
     """A connected worker as the coordinator sees it.
 
     A dedicated reader thread drains the socket for the link's whole
-    life and hands frames to the current sink (the active run's event
-    queue, or nobody between runs).  EOF flips ``alive`` and emits one
-    synthetic :data:`Frame.DEAD` so the run learns about the loss
+    life and routes frames *by run id*: every worker→coordinator frame
+    after HELLO is run-scoped, so the link keeps a routing table from
+    run id to that run's sink (its event queue).  Routing by id — not by
+    "whoever registered last" — is what lets a persistent service keep
+    several runs' traffic apart on one socket fabric: a straggler from a
+    finished run has no route and is dropped by construction, never
+    misdelivered to the run that took its place.
+
+    EOF flips ``alive`` and emits one synthetic :data:`Frame.DEAD` to
+    *every* routed sink, so each concurrent run learns about the loss
     through the same queue as everything else.
     """
 
@@ -68,7 +76,8 @@ class WorkerLink:
         self.meta = meta
         self.id = next(_LINK_IDS)
         self.alive = True
-        self._sink: Optional[Callable] = None
+        self._routes: Dict[int, Callable] = {}
+        self._routes_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self._read_loop, name=f"worker-link-{self.id}", daemon=True
         )
@@ -79,8 +88,29 @@ class WorkerLink:
         """Stable display identity: hostname/pid from the HELLO."""
         return f"{self.meta.get('host', '?')}/{self.meta.get('pid', '?')}"
 
-    def set_sink(self, sink: Optional[Callable]) -> None:
-        self._sink = sink
+    # -- per-run routing ---------------------------------------------------
+
+    def route(self, run: int, sink: Callable) -> None:
+        """Deliver frames whose run id is ``run`` to ``sink``."""
+        with self._routes_lock:
+            self._routes[run] = sink
+        if not self.alive:
+            # The reader is already gone: deliver the death notice
+            # ourselves so a run attached to a corpse still unblocks.
+            sink(self, Frame.DEAD, memoryview(b""))
+
+    def unroute(self, run: int) -> None:
+        with self._routes_lock:
+            self._routes.pop(run, None)
+
+    def clear_routes(self) -> None:
+        with self._routes_lock:
+            self._routes.clear()
+
+    @property
+    def active_runs(self) -> List[int]:
+        with self._routes_lock:
+            return sorted(self._routes)
 
     def _read_loop(self) -> None:
         while True:
@@ -88,11 +118,16 @@ class WorkerLink:
                 kind, body = self.link.recv()
             except ConnectionClosed:
                 self.alive = False
-                sink = self._sink
-                if sink is not None:
+                with self._routes_lock:
+                    sinks = list(self._routes.values())
+                for sink in sinks:
                     sink(self, Frame.DEAD, memoryview(b""))
                 return
-            sink = self._sink
+            if len(body) < 4:
+                continue  # run-scoped frames always lead with the id
+            run = _U32.unpack(body[:4])[0]
+            with self._routes_lock:
+                sink = self._routes.get(run)
             if sink is not None:
                 sink(self, kind, body)
 
@@ -124,6 +159,7 @@ def run_distributed(
     fault_policy: Optional[Any] = None,
     budget: Optional[Any] = None,
     on_assign: Optional[Callable[[Dict[str, WorkerLink]], None]] = None,
+    source: Optional[str] = None,
 ) -> Tuple[Dict[str, Any], List, List, float, Any, Any, Dict[str, str]]:
     """Run the mapped program across ``workers``.
 
@@ -132,10 +168,16 @@ def run_distributed(
     the realtime row when the run had a latency budget).  ``on_assign``
     is a test hook called with the processor->link assignment right
     after ASSIGN is sent — chaos tests use it to pick a victim socket.
+
+    ``source`` supplies a pre-generated executive (it must come from
+    ``generate_python(mapping, max_iterations=...)`` with the same
+    arguments); the serving layer passes the cached artefact here so a
+    warm run performs zero codegen.
     """
     graph = mapping.graph
     fns = {spec.name: spec.fn for spec in table}
-    source = generate_python(mapping, max_iterations=max_iterations)
+    if source is None:
+        source = generate_python(mapping, max_iterations=max_iterations)
     placement = {
         thread_name(pid): proc for pid, proc in mapping.assignment.items()
     }
@@ -218,7 +260,7 @@ def run_distributed(
         inbox.put((w, kind, body))
 
     for w in used:
-        w.set_sink(sink)
+        w.route(run, sink)
 
     try:
         modules = b"".join(
@@ -410,7 +452,35 @@ def run_distributed(
                 fault_report, realtime_report, hosts)
     finally:
         for w in used:
-            w.set_sink(None)
+            w.unroute(run)
+
+
+def assemble_run_report(
+    result: Tuple[Dict[str, Any], List, List, float, Any, Any, Dict[str, str]],
+    *,
+    backend: str = "tcp",
+) -> RunReport:
+    """Turn a :func:`run_distributed` result tuple into a RunReport.
+
+    Shared by :class:`TcpBackend` and the serving scheduler (which calls
+    :func:`run_distributed` directly on checked-out pool workers).
+    """
+    (blackboard, compute, transfer, wall_us, fault_report,
+     realtime_report, hosts) = result
+    trace = Trace()
+    trace.compute = compute
+    trace.transfer = transfer
+    if fault_report is not None:
+        fault_report.annotate_trace(trace)
+    if realtime_report is not None:
+        realtime_report.annotate_trace(trace)
+    _tag_hosts(trace, hosts)
+    report = report_from_blackboard(
+        blackboard, makespan=wall_us, backend=backend, trace=trace
+    )
+    report.faults = fault_report
+    report.realtime = realtime_report
+    return report
 
 
 def _tag_hosts(trace: Trace, hosts: Dict[str, str]) -> None:
@@ -490,8 +560,7 @@ class TcpBackend(Backend):
         try:
             links = harness.checkout(timeout=60.0 if listen else 30.0)
             try:
-                (blackboard, compute, transfer, wall_us, fault_report,
-                 realtime_report, hosts) = run_distributed(
+                result = run_distributed(
                     mapping, table, links,
                     max_iterations=max_iterations,
                     args=args,
@@ -507,17 +576,4 @@ class TcpBackend(Backend):
         finally:
             if own is not None:
                 own.shutdown()
-        trace = Trace()
-        trace.compute = compute
-        trace.transfer = transfer
-        if fault_report is not None:
-            fault_report.annotate_trace(trace)
-        if realtime_report is not None:
-            realtime_report.annotate_trace(trace)
-        _tag_hosts(trace, hosts)
-        report = report_from_blackboard(
-            blackboard, makespan=wall_us, backend=self.name, trace=trace
-        )
-        report.faults = fault_report
-        report.realtime = realtime_report
-        return report
+        return assemble_run_report(result, backend=self.name)

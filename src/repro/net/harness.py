@@ -63,6 +63,7 @@ class ClusterHarness:
             respawn_limit if respawn_limit is not None else 2 * size
         )
         self._closing = False
+        self._closed = threading.Event()
         self._acceptor = threading.Thread(
             target=self._accept_loop, name="cluster-accept", daemon=True
         )
@@ -150,16 +151,35 @@ class ClusterHarness:
     def checkout(
         self, n: Optional[int] = None, timeout: float = 30.0
     ) -> List[WorkerLink]:
-        """Take ``n`` (default: all) live workers out of the pool."""
+        """Take ``n`` (default: all) live workers out of the pool.
+
+        Raises :class:`BackendError` when the request cannot be
+        satisfied — immediately when the cluster is shut down or has
+        provably no way to produce ``want`` workers (every subprocess
+        dead and the respawn budget exhausted), and after ``timeout``
+        otherwise, so a caller can never block forever on a cluster
+        that died underneath it.
+        """
         want = n if n is not None else self.size
         deadline = time.monotonic() + timeout
         with self._cond:
             while True:
+                if self._closing:
+                    raise BackendError(
+                        f"cluster at {self.address} is shut down"
+                    )
                 self._heal_locked()
                 if len(self._idle) >= want:
                     taken, self._idle = self._idle[:want], self._idle[want:]
                     self._out.extend(taken)
                     return taken
+                if self._hopeless_locked(want):
+                    raise BackendError(
+                        f"cluster at {self.address} cannot supply {want} "
+                        f"worker(s): {len(self._idle)} idle, "
+                        f"{len(self._out)} checked out, every worker "
+                        "subprocess dead and the respawn budget exhausted"
+                    )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise BackendError(
@@ -169,12 +189,26 @@ class ClusterHarness:
                     )
                 self._cond.wait(min(0.2, remaining))
 
+    def _hopeless_locked(self, want: int) -> bool:
+        """No future event can ever satisfy a checkout of ``want``.
+
+        Only a spawning harness can be hopeless: with externally started
+        workers (``spawn=False``) a new connection may always arrive.
+        ``_heal_locked`` ran just before, so ``_procs`` holds only live
+        subprocesses and the idle list only live links; checked-out
+        links may still be released back, so they count as potential.
+        """
+        if not self._spawn or self._respawns_left > 0:
+            return False
+        live_out = sum(1 for w in self._out if w.alive)
+        return len(self._idle) + live_out + len(self._procs) < want
+
     def release(self, links: List[WorkerLink]) -> None:
         with self._cond:
             for worker in links:
                 if worker in self._out:
                     self._out.remove(worker)
-                worker.set_sink(None)
+                worker.clear_routes()
                 if worker.alive:
                     self._idle.append(worker)
             self._cond.notify_all()
@@ -182,13 +216,24 @@ class ClusterHarness:
     # -- teardown --------------------------------------------------------------
 
     def shutdown(self) -> None:
+        """Tear the cluster down.  Idempotent and concurrency-safe: the
+        first caller does the work, every other caller (including one
+        racing the first) blocks until teardown is complete and then
+        returns — nobody ever observes a half-closed cluster."""
         with self._cond:
             if self._closing:
-                return
-            self._closing = True
+                self._cond.notify_all()
+                already = True
+            else:
+                self._closing = True
+                already = False
             everyone = self._idle + self._out
             self._idle = []
             self._out = []
+            self._cond.notify_all()
+        if already:
+            self._closed.wait()
+            return
         for worker in everyone:
             try:
                 worker.link.send(Frame.BYE)
@@ -209,6 +254,7 @@ class ClusterHarness:
                     proc.kill()
         for worker in everyone:
             worker.close()
+        self._closed.set()
 
     def __enter__(self) -> "ClusterHarness":
         return self
@@ -222,8 +268,13 @@ _shared_lock = threading.Lock()
 
 
 def _shutdown_shared() -> None:
+    """Tear down the process-wide cluster.  Safe to call repeatedly and
+    from concurrent threads: the reference is swapped out under the lock
+    (so a racing ``shared_cluster`` never hands out a dying harness) and
+    ``ClusterHarness.shutdown`` itself is idempotent."""
     global _shared
-    harness, _shared = _shared, None
+    with _shared_lock:
+        harness, _shared = _shared, None
     if harness is not None:
         harness.shutdown()
 

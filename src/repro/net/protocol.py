@@ -57,6 +57,15 @@ class Frame:
     RUNEND = 12   # coord -> worker: run (forget this run's state)
     BYE = 13      # coord -> worker: exit cleanly
 
+    # -- the serving plane (client <-> `repro serve` daemon) ---------------
+    # Requests are multiplexed over one client socket: every frame leads
+    # with a client-chosen u32 request id (reusing pack_run/split_run),
+    # so many submits can be in flight on one connection at once.
+    SUBMIT = 14   # client -> server: req + pickle {tenant, source, ...}
+    RESULT = 15   # server -> client: req + pickle {status, report | error}
+    QUERY = 16    # client -> server: req + codec {"what": "stats" | "ps"}
+    REPLY = 17    # server -> client: req + codec reply document
+
 
 class ConnectionClosed(ConnectionError):
     """The peer went away (EOF, reset, or a local close)."""

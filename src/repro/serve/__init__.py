@@ -1,0 +1,55 @@
+"""The serving layer: compile once, run many, share the cluster.
+
+SKiPPER's pitch is that a skeleton program is compiled *once* into a
+mapped process graph and then run repeatedly on live image streams —
+yet ``repro run`` re-parses, re-type-checks, re-expands and re-maps the
+program on every invocation, and a single run owns the whole cluster.
+:mod:`repro.serve` closes that gap with a long-lived daemon:
+
+* :class:`~repro.serve.cache.CompileCache` — content-addressed cache of
+  the whole compile pipeline (typed IR → process graph → mapping →
+  generated executive), keyed by a fingerprint of (source tokens,
+  function table, architecture), with hit/miss/eviction counters;
+* :class:`~repro.serve.tenancy.Tenant` — per-tenant admission control
+  reusing the :class:`~repro.realtime.budget.LatencyBudget` overload
+  policies on *requests* instead of frames, with a per-tenant
+  :class:`~repro.realtime.ledger.FrameLedger` proving request
+  conservation (delivered + shed + failed == submitted);
+* :class:`~repro.serve.scheduler.RunScheduler` — fair round-robin
+  dispatch of admitted requests onto a shared persistent
+  :class:`~repro.net.harness.ClusterHarness` worker pool;
+* :class:`~repro.serve.service.SkipperService` — the embeddable service
+  object (``repro serve`` wraps it in a TCP listener, tests drive it
+  in-process);
+* :class:`~repro.serve.server.ServeServer` /
+  :class:`~repro.serve.client.ServeClient` — the wire layer, speaking
+  the existing length-prefixed :mod:`repro.net.protocol` framing with
+  request-id multiplexing so many tenants share one socket fabric.
+"""
+
+from .cache import (
+    CompileCache,
+    arch_fingerprint,
+    source_fingerprint,
+    table_fingerprint,
+)
+from .client import ServeClient, SubmitOutcome
+from .scheduler import RunRequest, RunScheduler, Ticket
+from .server import ServeServer
+from .service import SkipperService
+from .tenancy import Tenant
+
+__all__ = [
+    "CompileCache",
+    "source_fingerprint",
+    "table_fingerprint",
+    "arch_fingerprint",
+    "Tenant",
+    "RunRequest",
+    "RunScheduler",
+    "Ticket",
+    "SkipperService",
+    "ServeServer",
+    "ServeClient",
+    "SubmitOutcome",
+]

@@ -1,0 +1,313 @@
+"""Content-addressed cache of compiled artefacts (compile once, run many).
+
+The compile pipeline has two architecture-independent stages (parse +
+type inference → IR, skeleton expansion → process graph) and two
+architecture-dependent ones (mapping, executive codegen).  The cache
+mirrors that split:
+
+* the **front** cache maps ``(source, table, entry)`` fingerprints to a
+  :class:`~repro.minicaml.compile.CompiledProgram` plus its expanded
+  :class:`~repro.pnt.graph.ProcessGraph` — shared by every architecture
+  the same program is submitted for;
+* the **mapped** cache maps ``(source, table, entry, architecture)``
+  fingerprints to the deadlock-checked
+  :class:`~repro.syndex.distribute.Mapping` and a per-``max_iterations``
+  table of generated executive sources, so a warm run performs zero
+  parse/typecheck/expand/map/codegen work.
+
+Fingerprints are *content* hashes, not identity hashes: the source is
+fingerprinted over its token stream (whitespace and comment changes
+still hit), the function table over each function's prototype,
+properties and bytecode (swapping an implementation misses), and the
+architecture over its processors and channels.
+
+Both caches are LRU with independent budgets; hits, misses and
+evictions are counted per stage and surfaced by :meth:`CompileCache.stats`
+(the ``repro stats`` endpoint).  All operations are thread-safe — the
+service compiles from many client reader threads at once, and holding
+the lock across a miss doubles as single-flight: two tenants racing the
+same cold program compile it once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..codegen.pygen import generate_python
+from ..core.functions import FunctionTable
+from ..minicaml.compile import CompiledProgram, compile_source
+from ..minicaml.errors import LexError
+from ..minicaml.lexer import tokenize
+from ..pipeline import expand, map_onto
+from ..pnt.graph import ProcessGraph
+from ..syndex.arch import Architecture
+from ..syndex.distribute import Mapping
+
+__all__ = [
+    "source_fingerprint",
+    "table_fingerprint",
+    "arch_fingerprint",
+    "CachedBuild",
+    "CompileCache",
+]
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def source_fingerprint(source: str) -> str:
+    """Hash of the token stream: layout and comments don't invalidate.
+
+    An unlexable source hashes its raw text — the compile stage will
+    report the real error, the cache just needs a stable key for it.
+    """
+    try:
+        tokens = tokenize(source)
+    except LexError:
+        return _digest("raw", source)
+    return _digest("tokens", *(f"{t.kind}\x1f{t.text}" for t in tokens))
+
+
+def _code_fingerprint(fn) -> str:
+    """Identity of one sequential function's *behaviour*, best effort.
+
+    Plain ``def`` functions hash their bytecode and constants, so editing
+    an implementation misses even when the name stays the same.  Objects
+    without a code object (builtins, callables) fall back to their
+    qualified name — stable, but blind to behaviour changes, which is the
+    same trust the pickle-based ASSIGN payload already extends.
+    """
+    code = getattr(fn, "__code__", None)
+    name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    if code is None:
+        return name
+    return _digest(
+        name,
+        code.co_code.hex(),
+        repr(code.co_consts),
+        repr(code.co_names),
+    )
+
+
+def table_fingerprint(table: FunctionTable) -> str:
+    """Hash of every registered function's prototype and implementation."""
+    rows = []
+    for spec in sorted(table, key=lambda s: s.name):
+        rows.append("\x1f".join((
+            spec.name,
+            ",".join(spec.ins),
+            ",".join(spec.outs),
+            ",".join(sorted(spec.properties)),
+            _code_fingerprint(spec.fn),
+        )))
+    return _digest("table", *rows)
+
+
+def arch_fingerprint(arch: Architecture) -> str:
+    """Hash of the machine description (processors + channels)."""
+    rows = [arch.name]
+    for pid in arch.processor_ids():
+        proc = arch.processors[pid]
+        rows.append(f"p\x1f{proc.id}\x1f{proc.speed!r}\x1f{proc.io}")
+    for cid in sorted(arch.channels):
+        chan = arch.channels[cid]
+        rows.append(
+            f"c\x1f{chan.id}\x1f{','.join(chan.ends)}\x1f"
+            f"{chan.bandwidth!r}\x1f{chan.latency!r}\x1f{chan.shared}"
+        )
+    return _digest("arch", *rows)
+
+
+@dataclass
+class _FrontEntry:
+    compiled: CompiledProgram
+    graph: ProcessGraph
+
+
+@dataclass
+class _MappedEntry:
+    front_key: str
+    mapping: Mapping
+    #: Generated executive source per max_iterations value.
+    sources: Dict[Optional[int], str] = field(default_factory=dict)
+
+
+@dataclass
+class CachedBuild:
+    """One cache lookup's result: the artefacts plus provenance."""
+
+    key: str                 # the (source, table, entry, arch) fingerprint
+    front_key: str           # the architecture-independent prefix
+    compiled: CompiledProgram
+    graph: ProcessGraph
+    mapping: Mapping
+    hit: bool                # True: zero compile work was performed
+    front_hit: bool          # True: parse/typecheck/expand were skipped
+
+
+class _Counters:
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class CompileCache:
+    """LRU cache over the whole compile pipeline.  Thread-safe."""
+
+    def __init__(self, max_entries: int = 64,
+                 max_front_entries: Optional[int] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.max_front_entries = max_front_entries or max_entries
+        self._front: "OrderedDict[str, _FrontEntry]" = OrderedDict()
+        self._mapped: "OrderedDict[str, _MappedEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._mapped_counts = _Counters()
+        self._front_counts = _Counters()
+        self._codegen_counts = _Counters()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mapped)
+
+    # -- the compile path --------------------------------------------------
+
+    def build(
+        self,
+        source: str,
+        table: FunctionTable,
+        arch: Architecture,
+        *,
+        entry: str = "main",
+    ) -> CachedBuild:
+        """Compile through the cache (or entirely from it, when warm)."""
+        front_key = _digest(
+            "front", source_fingerprint(source), table_fingerprint(table),
+            entry,
+        )
+        key = _digest("mapped", front_key, arch_fingerprint(arch))
+        with self._lock:
+            mapped = self._mapped.get(key)
+            if mapped is not None:
+                self._mapped.move_to_end(key)
+                if front_key in self._front:
+                    self._front.move_to_end(front_key)
+                self._mapped_counts.hits += 1
+                front = self._front.get(front_key)
+                compiled = front.compiled if front else None
+                graph = front.graph if front else None
+                if compiled is None:
+                    # The front entry was evicted under its own budget;
+                    # the mapped artefacts are still complete for runs.
+                    compiled, graph = self._recover_front(
+                        source, table, entry, front_key
+                    )
+                return CachedBuild(
+                    key, front_key, compiled, graph, mapped.mapping,
+                    hit=True, front_hit=True,
+                )
+
+            self._mapped_counts.misses += 1
+            front = self._front.get(front_key)
+            if front is not None:
+                self._front.move_to_end(front_key)
+                self._front_counts.hits += 1
+                front_hit = True
+            else:
+                self._front_counts.misses += 1
+                compiled = compile_source(source, table, entry=entry)
+                graph = expand(compiled.ir, table)
+                front = _FrontEntry(compiled, graph)
+                self._front[front_key] = front
+                self._evict_locked(self._front, self.max_front_entries,
+                                   self._front_counts)
+                front_hit = False
+            mapping = map_onto(front.graph, arch)
+            self._mapped[key] = _MappedEntry(front_key, mapping)
+            self._evict_locked(self._mapped, self.max_entries,
+                               self._mapped_counts)
+            return CachedBuild(
+                key, front_key, front.compiled, front.graph, mapping,
+                hit=False, front_hit=front_hit,
+            )
+
+    def _recover_front(self, source, table, entry, front_key):
+        """Re-admit an evicted front entry (counts as a front miss)."""
+        self._front_counts.misses += 1
+        compiled = compile_source(source, table, entry=entry)
+        graph = expand(compiled.ir, table)
+        self._front[front_key] = _FrontEntry(compiled, graph)
+        self._evict_locked(self._front, self.max_front_entries,
+                           self._front_counts)
+        return compiled, graph
+
+    def executive_source(
+        self, key: str, max_iterations: Optional[int] = None
+    ) -> Optional[str]:
+        """The generated executive for a cached mapping, cached per
+        ``max_iterations``.  Returns None for an unknown (evicted) key —
+        the caller falls back to generating from its own mapping."""
+        with self._lock:
+            entry = self._mapped.get(key)
+            if entry is None:
+                return None
+            self._mapped.move_to_end(key)
+            source = entry.sources.get(max_iterations)
+            if source is not None:
+                self._codegen_counts.hits += 1
+                return source
+            self._codegen_counts.misses += 1
+            source = generate_python(
+                entry.mapping, max_iterations=max_iterations
+            )
+            entry.sources[max_iterations] = source
+            return source
+
+    @staticmethod
+    def _evict_locked(store: OrderedDict, budget: int,
+                      counts: _Counters) -> None:
+        while len(store) > budget:
+            store.popitem(last=False)
+            counts.evictions += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def keys(self):
+        with self._lock:
+            return list(self._mapped)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._front.clear()
+            self._mapped.clear()
+
+    def stats(self) -> Dict:
+        """Counters for the stats endpoint.  Top-level hits/misses are
+        full-pipeline (mapped) lookups: ``hits`` counts submits that did
+        zero compile work."""
+        with self._lock:
+            return {
+                "entries": len(self._mapped),
+                "front_entries": len(self._front),
+                "max_entries": self.max_entries,
+                **self._mapped_counts.to_dict(),
+                "front": self._front_counts.to_dict(),
+                "codegen": self._codegen_counts.to_dict(),
+            }

@@ -1,0 +1,224 @@
+"""The thin client: ``repro submit`` / ``repro ps`` / ``repro stats``.
+
+A :class:`ServeClient` keeps one socket to the daemon and multiplexes
+any number of in-flight requests over it — each submit gets a fresh
+request id, a reader thread routes RESULT/REPLY frames back to the
+matching :class:`SubmitOutcome` by id.  The heavy artefacts (typed IR,
+process graph, mapping, executive source) never cross this socket: the
+client ships source text and the pickled function table, the daemon
+owns every compiled form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..backends.base import BackendError
+from ..core.functions import FunctionTable
+from ..machine.executive import RunReport
+from ..net import codec
+from ..net.protocol import ConnectionClosed, Frame, Link, pack_run, split_run
+from ..realtime.budget import LatencyBudget
+from ..syndex.arch import Architecture
+from .wire import table_payload
+
+__all__ = ["SubmitOutcome", "ServeClient"]
+
+
+class SubmitOutcome:
+    """One in-flight request's future result."""
+
+    def __init__(self, req_id: int):
+        self.req_id = req_id
+        self._event = threading.Event()
+        self._doc: Optional[Dict[str, Any]] = None
+
+    def _resolve(self, doc: Dict[str, Any]) -> None:
+        self._doc = doc
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The raw response document: status, cache_hit, report/error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.req_id} got no response")
+        assert self._doc is not None
+        return self._doc
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def report(self, timeout: Optional[float] = None) -> RunReport:
+        """The RunReport of a successful run; raises on shed/failure."""
+        doc = self.wait(timeout)
+        if doc["status"] != "ok":
+            raise BackendError(
+                f"submit {doc['status']}: {doc.get('error', '')}".strip()
+            )
+        return doc["report"]
+
+
+class ServeClient:
+    """One connection to a ``repro serve`` daemon."""
+
+    def __init__(self, address: str, *, tenant: str = "default",
+                 tenant_policy: Optional[LatencyBudget] = None,
+                 connect_timeout: float = 10.0):
+        from ..net.worker import parse_hostport
+
+        host, port = parse_hostport(address)
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=connect_timeout)
+        except OSError as err:
+            raise BackendError(
+                f"cannot reach repro serve at {address}: {err}"
+            ) from None
+        sock.settimeout(None)
+        self.tenant = tenant
+        self.tenant_policy = tenant_policy
+        self._link = Link(sock)
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, SubmitOutcome] = {}
+        self._lock = threading.Lock()
+        self._dead: Optional[str] = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="serve-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- the reader --------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, body = self._link.recv()
+                req, rest = split_run(body)
+                if kind == Frame.RESULT:
+                    doc = pickle.loads(bytes(rest))
+                elif kind == Frame.REPLY:
+                    doc = codec.decode(rest)
+                else:
+                    continue
+                with self._lock:
+                    outcome = self._pending.pop(req, None)
+                if outcome is not None:
+                    outcome._resolve(doc)
+        except (ConnectionClosed, codec.CodecError, pickle.PickleError,
+                EOFError) as err:
+            with self._lock:
+                self._dead = str(err) or "connection closed"
+                pending, self._pending = self._pending, {}
+            for outcome in pending.values():
+                outcome._resolve({
+                    "status": "failed",
+                    "cache_hit": False,
+                    "error": f"connection to the service lost: {self._dead}",
+                })
+
+    def _issue(self) -> Tuple[int, SubmitOutcome]:
+        with self._lock:
+            if self._dead is not None:
+                raise BackendError(
+                    f"connection to the service lost: {self._dead}"
+                )
+            req = next(self._ids)
+            outcome = SubmitOutcome(req)
+            self._pending[req] = outcome
+            return req, outcome
+
+    # -- requests ----------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        table: FunctionTable,
+        arch: Architecture,
+        *,
+        entry: str = "main",
+        max_iterations: Optional[int] = None,
+        args: Optional[Tuple] = None,
+        timeout: float = 120.0,
+        budget: Optional[LatencyBudget] = None,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
+        tenant: Optional[str] = None,
+        tenant_policy: Optional[LatencyBudget] = None,
+    ) -> SubmitOutcome:
+        """Fire one run request; returns immediately with its future."""
+        req, outcome = self._issue()
+        payload = {
+            "source": source,
+            "table": table_payload(table),
+            "arch": arch,
+            "tenant": tenant or self.tenant,
+            "entry": entry,
+            "max_iterations": max_iterations,
+            "args": args,
+            "timeout": timeout,
+            "budget": budget,
+            "fault_plan": fault_plan,
+            "fault_policy": fault_policy,
+            "tenant_policy": (tenant_policy if tenant_policy is not None
+                              else self.tenant_policy),
+        }
+        try:
+            blob = pickle.dumps(payload)
+        except Exception as err:
+            with self._lock:
+                self._pending.pop(req, None)
+            raise BackendError(
+                "submit payloads travel by pickle; this one is not "
+                f"picklable: {err}"
+            ) from err
+        self._send(Frame.SUBMIT, req, blob)
+        return outcome
+
+    def run(self, source: str, table: FunctionTable, arch: Architecture,
+            *, wait_timeout: float = 180.0, **options) -> RunReport:
+        """Submit and block for the report."""
+        return self.submit(source, table, arch, **options).report(
+            wait_timeout
+        )
+
+    def _query(self, what: str, timeout: float) -> Dict[str, Any]:
+        req, outcome = self._issue()
+        self._send(Frame.QUERY, req,
+                   *codec.encode({"what": what}))
+        return outcome.wait(timeout)
+
+    def stats(self, timeout: float = 10.0) -> Dict[str, Any]:
+        return self._query("stats", timeout)
+
+    def ps(self, timeout: float = 10.0):
+        return self._query("ps", timeout)["runs"]
+
+    def _send(self, kind: int, req: int, *buffers) -> None:
+        try:
+            self._link.send(kind, pack_run(req), *buffers)
+        except ConnectionClosed as err:
+            with self._lock:
+                self._pending.pop(req, None)
+                self._dead = str(err) or "connection closed"
+            raise BackendError(
+                f"connection to the service lost: {self._dead}"
+            ) from None
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._link.send(Frame.BYE)
+        except ConnectionClosed:
+            pass
+        self._link.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,233 @@
+"""The TCP front door of the service: ``repro serve``.
+
+The server reuses the :mod:`repro.net.protocol` framing — the same
+``!IB`` length-prefixed frames the worker plane speaks — with four
+client-plane kinds (SUBMIT/RESULT/QUERY/REPLY).  Every frame leads with
+a client-chosen u32 request id, so one client socket multiplexes any
+number of in-flight submits; responses land whenever their run
+completes, in completion order, tagged with the id they answer.
+
+SUBMIT bodies are pickles (they carry the function table and optional
+fault plans — the client and server are one trust domain, exactly like
+the worker plane's ASSIGN); QUERY/REPLY bodies use the restricted tag
+codec since they are plain JSON-able documents.
+
+A client connection dying with submits in flight is harmless: the runs
+complete server-side (their tenant accounting stands), only the RESULT
+frames are dropped on the closed socket.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..net import codec
+from ..net.protocol import ConnectionClosed, Frame, Link, pack_run, split_run
+from .scheduler import RunRequest, Ticket
+from .service import SkipperService
+
+__all__ = ["ServeServer", "serve_main"]
+
+
+def request_from_payload(payload: Dict[str, Any]) -> RunRequest:
+    """Build a RunRequest from an unpickled SUBMIT body."""
+    from ..realtime.budget import LatencyBudget
+    from .wire import table_from_rows
+
+    table = payload["table"]
+    if isinstance(table, list):
+        table = table_from_rows(table)
+    budget = payload.get("budget")
+    if isinstance(budget, dict):
+        budget = LatencyBudget.from_dict(budget)
+    tenant_policy = payload.get("tenant_policy")
+    if isinstance(tenant_policy, dict):
+        tenant_policy = LatencyBudget.from_dict(tenant_policy)
+    return RunRequest(
+        source=payload["source"],
+        table=table,
+        arch=payload["arch"],
+        tenant=payload.get("tenant", "default"),
+        entry=payload.get("entry", "main"),
+        max_iterations=payload.get("max_iterations"),
+        args=payload.get("args"),
+        timeout=payload.get("timeout", 120.0),
+        budget=budget,
+        fault_plan=payload.get("fault_plan"),
+        fault_policy=payload.get("fault_policy"),
+        tenant_policy=tenant_policy,
+    )
+
+
+class ServeServer:
+    """Accepts client connections and feeds a :class:`SkipperService`."""
+
+    def __init__(self, service: SkipperService, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closing = False
+        self._links: List[Link] = []
+        self._lock = threading.Lock()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        self._acceptor.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            link = Link(sock)
+            with self._lock:
+                self._links.append(link)
+            threading.Thread(
+                target=self._serve_client, args=(link,),
+                name="serve-client", daemon=True,
+            ).start()
+
+    # -- one client connection ---------------------------------------------
+
+    def _serve_client(self, link: Link) -> None:
+        try:
+            while True:
+                kind, body = link.recv()
+                if kind == Frame.BYE:
+                    return
+                req, rest = split_run(body)
+                if kind == Frame.SUBMIT:
+                    self._submit(link, req, rest)
+                elif kind == Frame.QUERY:
+                    self._query(link, req, rest)
+        except ConnectionClosed:
+            return
+        finally:
+            link.close()
+            with self._lock:
+                if link in self._links:
+                    self._links.remove(link)
+
+    def _submit(self, link: Link, req: int, rest: memoryview) -> None:
+        def respond(ticket: Ticket) -> None:
+            doc: Dict[str, Any] = {
+                "status": ticket.status,
+                "cache_hit": ticket.cache_hit,
+            }
+            if ticket.report is not None:
+                doc["report"] = ticket.report
+            if ticket.error:
+                doc["error"] = ticket.error
+            try:
+                blob = pickle.dumps(doc)
+            except Exception as err:
+                blob = pickle.dumps({
+                    "status": ticket.status,
+                    "cache_hit": ticket.cache_hit,
+                    "error": f"report is not picklable: {err}",
+                })
+            try:
+                link.send(Frame.RESULT, pack_run(req), blob)
+            except ConnectionClosed:
+                pass  # client gone; the run's accounting already stands
+
+        try:
+            request = request_from_payload(pickle.loads(bytes(rest)))
+        except Exception as err:
+            try:
+                link.send(Frame.RESULT, pack_run(req), pickle.dumps({
+                    "status": "failed",
+                    "cache_hit": False,
+                    "error": f"bad submit payload: {err}",
+                }))
+            except ConnectionClosed:
+                pass
+            return
+        self.service.submit(request, callback=respond)
+
+    def _query(self, link: Link, req: int, rest: memoryview) -> None:
+        try:
+            what = codec.decode(rest).get("what", "stats")
+        except codec.CodecError:
+            what = "stats"
+        if what == "ps":
+            doc: Any = {"runs": self.service.ps()}
+        else:
+            doc = self.service.stats()
+        try:
+            link.send(Frame.REPLY, pack_run(req), *codec.encode(doc))
+        except ConnectionClosed:
+            pass
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            links, self._links = self._links, []
+        for link in links:
+            link.close()
+
+    def __enter__(self) -> "ServeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_main(
+    listen: str,
+    *,
+    cluster_size: int = 4,
+    workers_per_run: int = 1,
+    cache_entries: int = 64,
+    max_concurrent: Optional[int] = None,
+    ready_file: Optional[str] = None,
+) -> int:
+    """Run the daemon until interrupted (the ``repro serve`` command)."""
+    from ..net.worker import parse_hostport
+
+    host, port = parse_hostport(listen, default_host="127.0.0.1")
+    service = SkipperService(
+        cluster_size=cluster_size,
+        workers_per_run=workers_per_run,
+        cache_entries=cache_entries,
+        max_concurrent=max_concurrent,
+    )
+    try:
+        server = ServeServer(service, host=host, port=port)
+    except OSError as err:
+        service.close()
+        print(f"error: cannot listen on {listen}: {err}", file=sys.stderr)
+        return 1
+    print(f"repro serve: listening on {server.address} "
+          f"({cluster_size}-worker pool, {service.scheduler.n_slots} "
+          f"run slot(s), cache budget {cache_entries})")
+    if ready_file:
+        with open(ready_file, "w") as handle:
+            handle.write(server.address + "\n")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.close()
+        service.close()
+    return 0

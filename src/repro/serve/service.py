@@ -1,0 +1,133 @@
+"""The embeddable service object behind ``repro serve``.
+
+``SkipperService`` ties the three serving pieces together — the
+:class:`~repro.serve.cache.CompileCache`, the shared persistent
+:class:`~repro.net.harness.ClusterHarness`, and the multi-tenant
+:class:`~repro.serve.scheduler.RunScheduler` — behind a small API:
+
+* :meth:`submit` — compile (through the cache), admit (through the
+  tenant's overload policy) and schedule one run; returns a
+  :class:`~repro.serve.scheduler.Ticket` immediately;
+* :meth:`run` — the synchronous convenience (submit + wait);
+* :meth:`stats` / :meth:`ps` — the JSON-able stats and live-run
+  documents the ``repro stats`` / ``repro ps`` endpoints serve.
+
+Tests drive a ``SkipperService`` in-process; the TCP front door is
+:class:`~repro.serve.server.ServeServer`.  The supervision, realtime
+and conformance stacks compose unchanged underneath: a submitted
+request may carry a fault plan and a stream latency budget exactly like
+a ``repro run`` invocation, and the resulting RunReport is the same
+object the tcp backend returns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from ..net.harness import ClusterHarness
+from ..realtime.budget import LatencyBudget
+from .cache import CompileCache
+from .scheduler import RunRequest, RunScheduler, Ticket
+
+__all__ = ["SkipperService"]
+
+
+class SkipperService:
+    """Compile-once / run-many skeleton-graph service."""
+
+    def __init__(
+        self,
+        *,
+        cluster: Optional[ClusterHarness] = None,
+        cluster_size: int = 4,
+        cache_entries: int = 64,
+        workers_per_run: int = 1,
+        max_concurrent: Optional[int] = None,
+        checkout_timeout: float = 30.0,
+        default_tenant_policy: Optional[LatencyBudget] = None,
+    ):
+        self._own_cluster = cluster is None
+        self.harness = cluster or ClusterHarness(size=cluster_size)
+        self.cache = CompileCache(max_entries=cache_entries)
+        self.scheduler = RunScheduler(
+            self.harness, self.cache,
+            workers_per_run=workers_per_run,
+            max_concurrent=max_concurrent,
+            checkout_timeout=checkout_timeout,
+            default_tenant_policy=default_tenant_policy,
+        )
+        self.started_s = time.monotonic()
+        self._lock = threading.Lock()
+        self._closing = False
+        self._compile_errors = 0
+
+    # -- the request path --------------------------------------------------
+
+    def submit(self, request: RunRequest, callback=None) -> Ticket:
+        """Compile through the cache, admit, schedule.  Never raises for
+        a bad *program* — compile errors come back as a failed ticket so
+        one tenant's typo cannot crash another tenant's service."""
+        try:
+            build = self.cache.build(
+                request.source, request.table, request.arch,
+                entry=request.entry,
+            )
+        except Exception:
+            with self._lock:
+                self._compile_errors += 1
+            ticket = Ticket(-1, request, None, callback)
+            ticket.finish("failed", error=traceback.format_exc())
+            return ticket
+        return self.scheduler.submit(request, build, callback)
+
+    def run(self, request: RunRequest, *,
+            timeout: Optional[float] = None) -> Ticket:
+        """Submit and wait for the terminal ticket."""
+        ticket = self.submit(request)
+        return ticket.wait(timeout if timeout is not None
+                           else request.timeout + 30.0)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            compile_errors = self._compile_errors
+        return {
+            "uptime_s": round(time.monotonic() - self.started_s, 3),
+            "cluster": {
+                "address": self.harness.address,
+                "size": self.harness.size,
+                "alive": self.harness.alive,
+            },
+            "slots": self.scheduler.n_slots,
+            "workers_per_run": self.scheduler.workers_per_run,
+            "cache": self.cache.stats(),
+            "compile_errors": compile_errors,
+            "tenants": self.scheduler.tenant_stats(),
+        }
+
+    def ps(self) -> List[Dict]:
+        return self.scheduler.ps()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        return self.scheduler.drain(timeout)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        self.scheduler.close()
+        if self._own_cluster:
+            self.harness.shutdown()
+
+    def __enter__(self) -> "SkipperService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

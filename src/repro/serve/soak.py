@@ -1,0 +1,303 @@
+"""Multi-tenant service soak: chaos on one tenant must not leak.
+
+``python -m repro.serve.soak`` stands up an in-process
+:class:`~repro.serve.service.SkipperService` over a real localhost
+worker pool and drives two tenants against it concurrently:
+
+* **steady** — a well-behaved tenant submitting runs one at a time
+  under the default ``block`` policy;
+* **surge** — a misbehaving tenant that bursts more submits than its
+  ``shed-newest`` admission window allows, every run of which carries
+  ``input-surge`` chaos (a seeded :class:`~repro.faults.plan.FaultPlan`
+  on the stream source) and a deliberately tight stream latency budget.
+
+The harness then proves tenant isolation the same way ``repro soak``
+proves stream robustness:
+
+* **per-tenant conservation** — delivered + shed + failed == submitted
+  on *both* tenants' request ledgers;
+* **isolation** — the steady tenant's ledger stays clean: nothing shed,
+  nothing failed, no deadline misses, every delivered frame of every
+  run matching the fault-free sequential oracle;
+* **admission** — the surge tenant was actually shed against its own
+  bounded queue (the chaos landed somewhere);
+* **cache** — every submit after the first did zero compile work.
+
+Every sequential function lives at module level in
+:mod:`repro.realtime.soak`, so the table survives the worker plane's
+pickle-by-reference transport.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import FunctionTable
+from ..faults.plan import FaultPlan, FaultSpec
+from ..realtime import soak as _soak
+from ..realtime.budget import LatencyBudget
+from ..realtime.topology import StreamTopology
+from ..syndex import ring
+from .scheduler import RunRequest, Ticket
+from .service import SkipperService
+
+__all__ = ["soak_source", "soak_table", "surge_plan",
+           "ServeSoakResult", "run_serve_soak", "main"]
+
+
+def soak_source(nproc: int = 3, frames: int = 25, pieces: int = 4,
+                work_us: int = 200) -> str:
+    """The stream-of-farms soak program as mini-ML source text.
+
+    Functionally the program :func:`repro.realtime.soak.make_soak`
+    builds through the IR API, but expressed the way a service client
+    ships it — source in, artefacts cached daemon-side.
+    """
+    return f"""
+    let nproc = {nproc};;
+    let loop (state, frame) =
+      let xs = shatter frame in
+      let total = df nproc crunch gather 0 xs in
+      pack state frame total;;
+    let main = itermem grab loop emit 0 ({frames}, {pieces}, {work_us});;
+    """
+
+
+def soak_table() -> FunctionTable:
+    """The soak functions under service-path prototypes.
+
+    Identical implementations to the ``repro soak`` table; only
+    ``grab``'s in-type differs (``int * int * int`` — the source tuple
+    appears literally in the mini-ML text instead of arriving through
+    ``ProgramBuilder.stream(source=...)``).
+    """
+    table = FunctionTable()
+    table.register("grab", ins=["int * int * int"], outs=["frame"],
+                   cost=10.0)(_soak.grab)
+    table.register("shatter", ins=["frame"], outs=["piece list"],
+                   cost=10.0)(_soak.shatter)
+    table.register("crunch", ins=["piece"], outs=["int"],
+                   cost=20.0)(_soak.crunch)
+    table.register(
+        "gather", ins=["int", "int"], outs=["int"], cost=5.0,
+        properties=["commutative", "associative"],
+    )(_soak.gather)
+    table.register("pack", ins=["int", "frame", "int"],
+                   outs=["int", "pair"], cost=10.0)(_soak.pack)
+    table.register("emit", ins=["pair"], cost=5.0)(_soak.emit)
+    return table
+
+
+def surge_plan(mapping, seed: int, *, n_surges: int = 3) -> FaultPlan:
+    """A seeded all-``input-surge`` plan against the stream source."""
+    import random
+
+    stream = StreamTopology.from_mapping(mapping)
+    assert stream is not None, "the soak program is a stream"
+    rng = random.Random(seed)
+    events = [
+        FaultSpec(
+            kind="input-surge",
+            process=stream.input_pid,
+            occurrence=rng.randint(0, 15),
+            count=rng.randint(3, 8),
+            factor=rng.choice((2.0, 3.0, 4.0)),
+        )
+        for _ in range(n_surges)
+    ]
+    return FaultPlan(events=events, seed=seed)
+
+
+@dataclass
+class ServeSoakResult:
+    """Everything the soak observed, plus its verdict."""
+
+    stats: Dict
+    steady_reports: List
+    surge_tickets: List[Ticket]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def payload(self) -> Dict:
+        """One JSON document (the CI artifact)."""
+        return {
+            "ok": self.ok,
+            "violations": self.violations,
+            "tenants": self.stats["tenants"],
+            "cache": self.stats["cache"],
+            "surge": [t.to_dict() for t in self.surge_tickets],
+        }
+
+
+def _tenant_row(stats: Dict, name: str) -> Dict:
+    for row in stats["tenants"]:
+        if row["tenant"] == name:
+            return row
+    raise KeyError(name)
+
+
+def run_serve_soak(
+    *,
+    seed: int = 0,
+    frames: int = 25,
+    pieces: int = 4,
+    work_us: int = 200,
+    steady_runs: int = 4,
+    surge_submits: int = 8,
+    cluster_size: int = 3,
+    workers_per_run: int = 1,
+    timeout: float = 120.0,
+    log=lambda msg: None,
+) -> ServeSoakResult:
+    """One multi-tenant soak; the result carries its verdict."""
+    source = soak_source(frames=frames, pieces=pieces, work_us=work_us)
+    table = soak_table()
+    arch = ring(3)
+    surge_policy = LatencyBudget(
+        deadline_ms=60_000.0, policy="shed-newest",
+        max_in_flight=1, queue_depth=2,
+    )
+    stream_budget = LatencyBudget(
+        deadline_ms=50.0, policy="shed-oldest", max_in_flight=3,
+    )
+
+    with SkipperService(
+        cluster_size=cluster_size, workers_per_run=workers_per_run,
+    ) as svc:
+        # Warm the cache once so the plan can target the stream input
+        # pid; every submit below must then be a full cache hit.
+        build = svc.cache.build(source, table, arch)
+        plan = surge_plan(build.mapping, seed)
+        log(f"pool up ({cluster_size} workers, "
+            f"{svc.scheduler.n_slots} slots); surge plan: "
+            f"{len(plan.events)} input-surge events")
+
+        surge_tickets = [
+            svc.submit(RunRequest(
+                source=source, table=table, arch=arch,
+                tenant="surge", tenant_policy=surge_policy,
+                fault_plan=plan, budget=stream_budget,
+                timeout=timeout,
+            ))
+            for _ in range(surge_submits)
+        ]
+        log(f"surge: burst of {surge_submits} submits in flight")
+
+        steady_reports = []
+        steady_failures: List[str] = []
+        for i in range(steady_runs):
+            ticket = svc.run(RunRequest(
+                source=source, table=table, arch=arch,
+                tenant="steady", timeout=timeout,
+            ), timeout=timeout + 30.0)
+            if ticket.status != "ok":
+                steady_failures.append(
+                    f"steady run {i}: {ticket.status}: "
+                    f"{ticket.error.splitlines()[-1] if ticket.error else ''}"
+                )
+            elif ticket.report is not None:
+                steady_reports.append(ticket.report)
+            log(f"steady: run {i + 1}/{steady_runs} "
+                f"{ticket.status} (cache_hit={ticket.cache_hit})")
+
+        for ticket in surge_tickets:
+            try:
+                ticket.wait(timeout + 30.0)
+            except TimeoutError:
+                steady_failures.append(
+                    f"surge ticket {ticket.id} never reached a terminal "
+                    "state"
+                )
+        stats = svc.stats()
+
+    violations = list(steady_failures)
+    steady = _tenant_row(stats, "steady")
+    surge = _tenant_row(stats, "surge")
+
+    for name, row in (("steady", steady), ("surge", surge)):
+        if not row["conserved"]:
+            violations.append(
+                f"conservation: tenant {name} leaked requests "
+                f"(delivered {row['delivered']} + shed {row['shed']} + "
+                f"failed {row['failed']} != submitted {row['submitted']})"
+            )
+    for key in ("shed", "failed", "deadline_misses"):
+        if steady[key]:
+            violations.append(
+                f"isolation: steady tenant has {key}={steady[key]} "
+                "while the surge tenant was under chaos"
+            )
+    if not surge["shed"]:
+        violations.append(
+            "admission: the surge burst was never shed — the bounded "
+            "queue did not engage, the soak proved nothing"
+        )
+    for report in steady_reports:
+        for k, value in report.outputs:
+            want = _soak.frame_value(k, pieces)
+            if value != want:
+                violations.append(
+                    f"value correctness: steady frame {k} delivered "
+                    f"{value}, the sequential semantics says {want}"
+                )
+    cache = stats["cache"]
+    total = steady_runs + surge_submits
+    if cache["hits"] < total:
+        violations.append(
+            f"cache: only {cache['hits']} of {total} submits did zero "
+            "compile work (expected every one after the warm-up)"
+        )
+    return ServeSoakResult(stats, steady_reports, surge_tickets, violations)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.soak",
+        description="multi-tenant service soak: chaos on one tenant "
+                    "must not leak into another's ledger",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--frames", type=int, default=25)
+    parser.add_argument("--steady-runs", type=int, default=4)
+    parser.add_argument("--surge-submits", type=int, default=8)
+    parser.add_argument("--cluster", type=int, default=3, metavar="N")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the verdict payload as JSON")
+    args = parser.parse_args(argv)
+
+    result = run_serve_soak(
+        seed=args.seed, frames=args.frames,
+        steady_runs=args.steady_runs, surge_submits=args.surge_submits,
+        cluster_size=args.cluster, timeout=args.timeout,
+        log=print,
+    )
+    for row in result.stats["tenants"]:
+        print(f"  {row['tenant']:>8}: submitted {row['submitted']}, "
+              f"delivered {row['delivered']}, shed {row['shed']}, "
+              f"failed {row['failed']}, "
+              f"deadline misses {row['deadline_misses']}")
+    cache = result.stats["cache"]
+    print(f"  cache: {cache['hits']} hits / {cache['misses']} misses / "
+          f"{cache['evictions']} evictions")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.payload(), handle, indent=2)
+        print(f"  payload written to {args.out}")
+    if result.ok:
+        print("serve soak: PASS")
+        return 0
+    for violation in result.violations:
+        print(f"serve soak: FAIL: {violation}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

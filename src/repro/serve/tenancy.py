@@ -1,0 +1,185 @@
+"""Per-tenant admission control: LatencyBudget policies over *requests*.
+
+A tenant is one traffic source sharing the service (one camera rig, one
+batch job, one test).  Each tenant carries a
+:class:`~repro.realtime.budget.LatencyBudget` whose knobs are read at
+the request granularity instead of the frame granularity:
+
+* ``deadline_ms`` — the submit→result turnaround budget; a request
+  completing later is a recorded deadline miss;
+* ``queue_depth`` / ``max_in_flight`` — how many requests may wait for
+  dispatch / execute at once;
+* ``policy`` — what happens to a submit that finds the queue full:
+  ``block`` queues it anyway (backpressure: latency grows, nothing is
+  lost), ``shed-newest`` refuses it, ``shed-oldest`` drops the stalest
+  queued request to make room, ``degrade`` admits only one request in
+  ``degrade_ratio`` until the backlog clears.
+
+Every submitted request lands in the tenant's
+:class:`~repro.realtime.ledger.FrameLedger` and reaches a terminal
+status, so per-tenant conservation — delivered + shed + failed ==
+submitted — holds for the service exactly as it does for a single
+stream run.  This is what keeps tenants isolated: an overloaded tenant
+sheds against *its own* bounded queue while a quiet tenant's requests
+flow past untouched.
+
+All mutating methods must be called under the scheduler's lock; the
+Tenant itself carries no locking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..realtime.budget import LatencyBudget
+from ..realtime.ledger import FrameLedger, FrameRecord, RealtimeRecord
+
+__all__ = ["DEFAULT_TENANT_POLICY", "Tenant"]
+
+#: Service-side default: never shed, generous per-request turnaround.
+DEFAULT_TENANT_POLICY = LatencyBudget(
+    deadline_ms=60_000.0, policy="block", max_in_flight=2, queue_depth=8,
+)
+
+
+class Tenant:
+    """One tenant's admission queue, in-flight window and ledger."""
+
+    def __init__(self, name: str, budget: Optional[LatencyBudget] = None):
+        self.name = name
+        self.budget = budget or DEFAULT_TENANT_POLICY
+        self.ledger = FrameLedger()
+        self.events: List[RealtimeRecord] = []
+        self.queue: Deque = deque()       # tickets awaiting dispatch
+        self.in_flight = 0                # tickets running on the pool
+        self.degraded = False
+        self._admit_counter = 0           # degrade-mode modulus counter
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, ticket, now_us: float) -> Tuple[bool, List, str]:
+        """Admit (or shed) one submitted request.
+
+        Returns ``(admitted, displaced, reason)`` where ``displaced``
+        lists tickets shed to make room (``shed-oldest`` / ``degrade``
+        overflow) — the caller owes each a shed response — and
+        ``reason`` explains a refusal of *this* ticket.
+        """
+        record = FrameRecord(frame=len(self.ledger.frames),
+                             admitted_us=now_us)
+        ticket.record = record
+        self.ledger.frames.append(record)
+        policy = self.budget.policy
+        depth = self.budget.admission_depth
+        displaced: List = []
+
+        if policy == "degrade":
+            if not self.degraded and len(self.queue) >= depth:
+                self.degraded = True
+                self._admit_counter = 0
+                self.events.append(RealtimeRecord(
+                    "degraded-enter", record.frame, now_us,
+                    detail=f"queue at {len(self.queue)}/{depth}",
+                ))
+            if self.degraded:
+                self._admit_counter += 1
+                if self._admit_counter % self.budget.degrade_ratio != 1:
+                    return False, displaced, self._shed(
+                        record, now_us, "degraded")
+            while len(self.queue) >= depth:
+                displaced.append(self._displace_oldest(now_us, "degraded"))
+        elif policy == "shed-newest":
+            if len(self.queue) >= depth:
+                return False, displaced, self._shed(
+                    record, now_us, "shed-newest")
+        elif policy == "shed-oldest":
+            while len(self.queue) >= depth:
+                displaced.append(self._displace_oldest(now_us, "shed-oldest"))
+        # ``block``: the queue is unbounded — latency is the cost.
+
+        self.queue.append(ticket)
+        return True, displaced, ""
+
+    def _shed(self, record: FrameRecord, now_us: float, why: str) -> str:
+        record.status = "shed"
+        record.reason = why
+        self.events.append(RealtimeRecord("shed", record.frame, now_us,
+                                          detail=why))
+        return why
+
+    def _displace_oldest(self, now_us: float, why: str):
+        victim = self.queue.popleft()
+        self._shed(victim.record, now_us, why)
+        return victim
+
+    # -- dispatch ----------------------------------------------------------
+
+    def take(self, now_us: float):
+        """The next dispatchable ticket, or None (empty / window full)."""
+        if self.in_flight >= self.budget.max_in_flight or not self.queue:
+            self._maybe_recover(now_us)
+            return None
+        ticket = self.queue.popleft()
+        ticket.record.released_us = now_us
+        self.in_flight += 1
+        self._maybe_recover(now_us)
+        return ticket
+
+    def _maybe_recover(self, now_us: float) -> None:
+        if self.degraded and not self.queue:
+            self.degraded = False
+            self.events.append(RealtimeRecord(
+                "degraded-exit", None, now_us, detail="backlog cleared"))
+
+    # -- completion --------------------------------------------------------
+
+    def complete(self, ticket, now_us: float, *, failed: bool = False,
+                 reason: str = "") -> None:
+        """Terminal accounting for a dispatched ticket."""
+        self.in_flight -= 1
+        record = ticket.record
+        record.delivered_us = now_us
+        record.status = "failed" if failed else "delivered"
+        if failed:
+            record.reason = reason or "run failed"
+        latency = record.latency_us
+        if latency is not None and latency > self.budget.deadline_us:
+            record.deadline_missed = True
+            self.events.append(RealtimeRecord(
+                "deadline-miss", record.frame, now_us,
+                detail=f"{latency / 1000:.1f} ms > "
+                       f"{self.budget.deadline_ms:.0f} ms",
+            ))
+
+    def fail_queued(self, ticket, now_us: float, reason: str) -> None:
+        """A still-queued ticket that can never run (service shutdown)."""
+        record = ticket.record
+        record.status = "failed"
+        record.delivered_us = now_us
+        record.reason = reason
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.ledger.deadline_misses
+
+    def to_dict(self) -> dict:
+        L = self.ledger
+        return {
+            "tenant": self.name,
+            "policy": self.budget.policy,
+            "deadline_ms": self.budget.deadline_ms,
+            "submitted": L.submitted,
+            "delivered": len(L.delivered),
+            "shed": len(L.shed),
+            "failed": len(L.failed),
+            "queued": len(self.queue),
+            "in_flight": self.in_flight,
+            "deadline_misses": L.deadline_misses,
+            "degraded": self.degraded,
+            "conserved": L.unaccounted() == len(self.queue) + self.in_flight,
+            "p50_ms": round(L.p50_us / 1000, 2),
+            "p99_ms": round(L.p99_us / 1000, 2),
+        }

@@ -1,0 +1,61 @@
+"""Wire form of a function table for the client<->daemon SUBMIT path.
+
+The worker plane ships only ``{name: fn}`` (see
+:func:`repro.net.coordinator.run_distributed`), but a service submit
+must carry the *whole* table — prototypes drive type inference, and
+properties drive the transformation rules.  A
+:class:`~repro.core.functions.FunctionTable` itself is rarely picklable
+because numeric costs are stored as ``constant_cost`` closures, so the
+client flattens each spec into a row and the daemon rebuilds the table.
+
+Cost models that do not survive pickling are dropped: the service path
+never simulates (workers execute the real functions), so costs only
+ever feed local tooling, never the daemon.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List
+
+from ..core.functions import FunctionSpec, FunctionTable
+
+__all__ = ["table_payload", "table_from_rows"]
+
+
+def table_payload(table: FunctionTable) -> List[Dict[str, Any]]:
+    """Flatten a table into picklable spec rows (functions by reference)."""
+    rows: List[Dict[str, Any]] = []
+    for spec in sorted(table, key=lambda s: s.name):
+        cost = spec.cost
+        if cost is not None:
+            try:
+                pickle.dumps(cost)
+            except Exception:
+                cost = None
+        rows.append({
+            "name": spec.name,
+            "fn": spec.fn,
+            "ins": tuple(spec.ins),
+            "outs": tuple(spec.outs),
+            "cost": cost,
+            "doc": spec.doc,
+            "properties": tuple(sorted(spec.properties)),
+        })
+    return rows
+
+
+def table_from_rows(rows: List[Dict[str, Any]]) -> FunctionTable:
+    """Rebuild the daemon-side table from :func:`table_payload` rows."""
+    table = FunctionTable()
+    for row in rows:
+        table.add(FunctionSpec(
+            row["name"],
+            row["fn"],
+            tuple(row["ins"]),
+            tuple(row["outs"]),
+            row.get("cost"),
+            row.get("doc", ""),
+            frozenset(row.get("properties", ())),
+        ))
+    return table

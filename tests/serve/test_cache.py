@@ -1,0 +1,131 @@
+"""Compile-cache keying: content hashes, not identity hashes."""
+
+from repro import FunctionTable
+from repro.serve.cache import (
+    CompileCache,
+    arch_fingerprint,
+    source_fingerprint,
+    table_fingerprint,
+)
+from repro.syndex import chain, ring
+
+
+SOURCE = """
+let n = 3;;
+let main xs = df n square add 0 xs;;
+"""
+
+#: Same token stream as SOURCE under different layout and comments.
+RESPACED = """(* reformatted, semantically identical *)
+let n      = 3;;
+let main xs =
+  df n square add 0 xs;;
+"""
+
+
+def make_table(square=lambda x: x * x):
+    table = FunctionTable()
+    table.register("square", ins=["int"], outs=["int"], cost=100.0)(square)
+    table.register("add", ins=["int", "int"], outs=["int"], cost=10.0)(
+        lambda a, b: a + b
+    )
+    return table
+
+
+class TestFingerprints:
+    def test_source_fingerprint_ignores_layout_and_comments(self):
+        assert source_fingerprint(SOURCE) == source_fingerprint(RESPACED)
+
+    def test_source_fingerprint_sees_token_changes(self):
+        assert source_fingerprint(SOURCE) != source_fingerprint(
+            SOURCE.replace("df n", "df 4")
+        )
+
+    def test_unlexable_source_still_fingerprints(self):
+        bad = 'let x = "unterminated'
+        assert source_fingerprint(bad) == source_fingerprint(bad)
+        assert source_fingerprint(bad) != source_fingerprint(SOURCE)
+
+    def test_table_fingerprint_sees_implementation_change(self):
+        assert table_fingerprint(make_table()) != table_fingerprint(
+            make_table(square=lambda x: x * x + 1)
+        )
+
+    def test_table_fingerprint_stable_across_rebuilds(self):
+        def square(x):
+            return x * x
+
+        assert table_fingerprint(make_table(square)) == table_fingerprint(
+            make_table(square)
+        )
+
+    def test_arch_fingerprint_distinguishes_machines(self):
+        assert arch_fingerprint(ring(3)) != arch_fingerprint(ring(4))
+        assert arch_fingerprint(ring(3)) != arch_fingerprint(chain(3))
+        assert arch_fingerprint(ring(3)) == arch_fingerprint(ring(3))
+
+
+class TestCacheKeying:
+    def test_two_architectures_two_entries_one_front(self):
+        cache = CompileCache()
+        table = make_table()
+        a = cache.build(SOURCE, table, ring(3))
+        b = cache.build(SOURCE, table, ring(4))
+        assert not a.hit and not b.hit
+        assert a.key != b.key
+        assert a.front_key == b.front_key
+        assert b.front_hit, "the parse/expand stages are arch-independent"
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["front_entries"] == 1
+        assert stats["front"]["hits"] == 1
+
+    def test_whitespace_only_change_hits(self):
+        cache = CompileCache()
+        table = make_table()
+        cold = cache.build(SOURCE, table, ring(3))
+        warm = cache.build(RESPACED, table, ring(3))
+        assert not cold.hit
+        assert warm.hit and warm.front_hit
+        assert warm.key == cold.key
+        assert cache.stats()["hits"] == 1
+
+    def test_function_table_change_misses(self):
+        cache = CompileCache()
+        cache.build(SOURCE, make_table(), ring(3))
+        changed = cache.build(
+            SOURCE, make_table(square=lambda x: x * x + 1), ring(3)
+        )
+        assert not changed.hit
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["misses"] == 2
+
+    def test_lru_eviction_under_small_budget(self):
+        cache = CompileCache(max_entries=2)
+        table = make_table()
+        k3 = cache.build(SOURCE, table, ring(3)).key
+        cache.build(SOURCE, table, ring(4))
+        cache.build(SOURCE, table, ring(3))       # refresh ring:3
+        cache.build(SOURCE, table, chain(3))      # evicts ring:4 (LRU)
+        assert cache.stats()["evictions"] == 1
+        keys = cache.keys()
+        assert k3 in keys and len(keys) == 2
+        assert cache.build(SOURCE, table, ring(3)).hit
+        assert not cache.build(SOURCE, table, ring(4)).hit, (
+            "the evicted entry must rebuild"
+        )
+
+    def test_codegen_cached_per_max_iterations(self):
+        cache = CompileCache()
+        build = cache.build(SOURCE, make_table(), ring(3))
+        first = cache.executive_source(build.key, None)
+        again = cache.executive_source(build.key, None)
+        other = cache.executive_source(build.key, 5)
+        assert first == again
+        assert isinstance(other, str)
+        stats = cache.stats()["codegen"]
+        assert stats == {"hits": 1, "misses": 2, "evictions": 0}
+
+    def test_executive_source_unknown_key(self):
+        assert CompileCache().executive_source("nope") is None

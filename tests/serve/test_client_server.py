@@ -1,0 +1,93 @@
+"""The serving plane over real sockets: ServeClient <-> ServeServer."""
+
+import pytest
+
+from repro.backends import BackendError
+from repro.serve import ServeClient, ServeServer, SkipperService
+from repro.serve.soak import soak_source, soak_table
+from repro.serve.wire import table_from_rows, table_payload
+from repro.syndex import ring
+
+
+@pytest.fixture(scope="module")
+def server():
+    with SkipperService(cluster_size=2) as service:
+        with ServeServer(service) as srv:
+            yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.address, tenant="tests") as c:
+        yield c
+
+
+SOURCE = soak_source(frames=6)
+
+
+class TestSubmitPath:
+    def test_submit_twice_cold_then_warm(self, client):
+        table = soak_table()
+        first = client.submit(SOURCE, table, ring(3)).wait(120.0)
+        second = client.submit(SOURCE, table, ring(3)).wait(120.0)
+        assert first["status"] == "ok", first.get("error")
+        assert second["status"] == "ok"
+        assert second["cache_hit"], "the daemon recompiled a warm submit"
+        assert second["report"].outputs == first["report"].outputs
+
+    def test_concurrent_submits_multiplex_one_socket(self, client):
+        table = soak_table()
+        outcomes = [client.submit(SOURCE, table, ring(3))
+                    for _ in range(4)]
+        reports = [o.report(120.0) for o in outcomes]
+        assert len({tuple(r.outputs) for r in reports}) == 1
+
+    def test_compile_error_returns_failed_doc(self, client):
+        doc = client.submit("let main = what;;", soak_table(),
+                            ring(3)).wait(60.0)
+        assert doc["status"] == "failed"
+        assert "error" in doc
+        with pytest.raises(BackendError):
+            client.submit("let main = what;;", soak_table(),
+                          ring(3)).report(60.0)
+
+    def test_run_convenience(self, client):
+        report = client.run(SOURCE, soak_table(), ring(3))
+        assert report.backend == "serve"
+        assert len(report.outputs) == 6
+
+
+class TestEndpoints:
+    def test_stats_document(self, client):
+        client.run(SOURCE, soak_table(), ring(3))
+        stats = client.stats()
+        assert stats["cluster"]["size"] == 2
+        assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 1
+        tenants = {row["tenant"] for row in stats["tenants"]}
+        assert "tests" in tenants
+
+    def test_ps_quiesces(self, client):
+        client.run(SOURCE, soak_table(), ring(3))
+        assert client.ps() == []
+
+    def test_unreachable_daemon_raises(self):
+        with pytest.raises(BackendError, match="cannot reach"):
+            ServeClient("127.0.0.1:9", connect_timeout=0.5)
+
+
+class TestWireTable:
+    def test_round_trip_drops_unpicklable_costs_only(self):
+        table = soak_table()
+        rebuilt = table_from_rows(table_payload(table))
+        for spec in table:
+            twin = rebuilt[spec.name]
+            assert twin.fn is spec.fn
+            assert tuple(twin.ins) == tuple(spec.ins)
+            assert tuple(twin.outs) == tuple(spec.outs)
+            assert twin.properties == spec.properties
+
+    def test_payload_pickles(self):
+        import pickle
+
+        blob = pickle.dumps(table_payload(soak_table()))
+        assert table_from_rows(pickle.loads(blob))["grab"]

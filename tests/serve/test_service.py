@@ -1,0 +1,146 @@
+"""SkipperService acceptance: compile-once, many tenants, isolation.
+
+Every test drives the embeddable service over a real localhost worker
+pool — the same path the ``repro serve`` daemon wraps in a socket.
+"""
+
+import threading
+
+import pytest
+
+from repro.net import ClusterHarness
+from repro.realtime import LatencyBudget
+from repro.serve import SkipperService
+from repro.serve.scheduler import RunRequest
+from repro.serve.soak import run_serve_soak, soak_source, soak_table
+from repro.syndex import ring
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with ClusterHarness(size=4) as harness:
+        yield harness
+
+
+def request(source, table, **kw):
+    return RunRequest(source=source, table=table, arch=ring(3),
+                      timeout=60.0, **kw)
+
+
+class TestCompileOnce:
+    def test_second_submit_does_zero_compile_work(self, cluster):
+        """The acceptance bar: an unchanged program's second submit is
+        answered entirely from the cache — counted, not inferred."""
+        source = soak_source(frames=6)
+        table = soak_table()
+        with SkipperService(cluster=cluster) as svc:
+            first = svc.run(request(source, table))
+            assert first.status == "ok", first.error
+            assert not first.cache_hit
+            second = svc.run(request(source, table))
+            assert second.status == "ok", second.error
+            assert second.cache_hit, "unchanged program must hit"
+            stats = svc.stats()["cache"]
+            assert stats["misses"] == 1, "only the cold submit compiled"
+            assert stats["hits"] == 1
+            assert stats["front"]["misses"] == 1
+            assert stats["codegen"]["misses"] == 1, (
+                "the warm run must reuse the generated executive too"
+            )
+            assert stats["codegen"]["hits"] == 1
+            assert second.report.outputs == first.report.outputs
+
+    def test_compile_error_is_a_failed_ticket_not_a_crash(self, cluster):
+        with SkipperService(cluster=cluster) as svc:
+            bad = svc.run(request("let main = garbage nonsense;;",
+                                  soak_table()))
+            assert bad.status == "failed"
+            assert bad.error
+            assert svc.stats()["compile_errors"] == 1
+            good = svc.run(request(soak_source(frames=4), soak_table()))
+            assert good.status == "ok", (
+                "a tenant's typo must not poison the service"
+            )
+
+
+class TestManyTenants:
+    def test_eight_tenants_share_one_pool(self, cluster):
+        """≥8 concurrent tenants against one pool: every request lands,
+        every tenant's ledger conserves."""
+        source = soak_source(frames=6)
+        table = soak_table()
+        n_tenants, per_tenant = 8, 2
+        with SkipperService(cluster=cluster) as svc:
+            tickets = []
+            lock = threading.Lock()
+
+            def tenant_traffic(name):
+                mine = [svc.submit(request(source, table, tenant=name))
+                        for _ in range(per_tenant)]
+                with lock:
+                    tickets.extend(mine)
+
+            threads = [
+                threading.Thread(target=tenant_traffic, args=(f"t{i}",))
+                for i in range(n_tenants)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30.0)
+            for ticket in tickets:
+                ticket.wait(120.0)
+
+            assert all(t.status == "ok" for t in tickets), [
+                (t.request.tenant, t.status, t.error) for t in tickets
+                if t.status != "ok"
+            ]
+            rows = {row["tenant"]: row for row in svc.stats()["tenants"]}
+            assert len(rows) == n_tenants
+            for name, row in rows.items():
+                assert row["submitted"] == per_tenant, name
+                assert row["delivered"] == per_tenant, name
+                assert row["conserved"], (
+                    f"tenant {name} leaked requests: {row}"
+                )
+            cache = svc.stats()["cache"]
+            assert cache["misses"] == 1, (
+                "16 submits of one program must compile it exactly once"
+            )
+            assert cache["hits"] == n_tenants * per_tenant - 1
+
+    def test_tenant_policy_sheds_only_its_own_traffic(self, cluster):
+        """A burst past one tenant's shed-newest window shed nothing
+        from the other tenant."""
+        source = soak_source(frames=6)
+        table = soak_table()
+        tight = LatencyBudget(deadline_ms=60_000.0, policy="shed-newest",
+                              max_in_flight=1, queue_depth=1)
+        with SkipperService(cluster=cluster) as svc:
+            noisy = [
+                svc.submit(request(source, table, tenant="noisy",
+                                   tenant_policy=tight))
+                for _ in range(6)
+            ]
+            quiet = [svc.submit(request(source, table, tenant="quiet"))
+                     for _ in range(2)]
+            for ticket in noisy + quiet:
+                ticket.wait(120.0)
+            assert any(t.status == "shed" for t in noisy)
+            assert all(t.status == "ok" for t in quiet)
+            rows = {row["tenant"]: row for row in svc.stats()["tenants"]}
+            assert rows["quiet"]["shed"] == 0
+            assert rows["noisy"]["shed"] >= 1
+            for row in rows.values():
+                assert row["conserved"]
+
+
+class TestChaosIsolation:
+    def test_surge_chaos_leaves_steady_tenant_clean(self):
+        """The soak harness end to end: input-surge chaos plus an
+        admission burst on one tenant, a clean ledger on the other."""
+        result = run_serve_soak(
+            seed=0, frames=12, steady_runs=2, surge_submits=6,
+            cluster_size=2,
+        )
+        assert result.ok, result.violations

@@ -1,0 +1,121 @@
+"""Tenant admission control: LatencyBudget policies over requests."""
+
+import pytest
+
+from repro.realtime import LatencyBudget
+from repro.serve.scheduler import RunRequest, Ticket
+from repro.serve.tenancy import DEFAULT_TENANT_POLICY, Tenant
+
+
+def ticket(n: int) -> Ticket:
+    return Ticket(n, RunRequest(source="", table=None, arch=None), None)
+
+
+def policy(kind: str, depth: int = 2, in_flight: int = 1,
+           deadline_ms: float = 60_000.0) -> LatencyBudget:
+    return LatencyBudget(deadline_ms=deadline_ms, policy=kind,
+                         max_in_flight=in_flight, queue_depth=depth)
+
+
+def conserved(tenant: Tenant) -> bool:
+    L = tenant.ledger
+    return L.unaccounted() == len(tenant.queue) + tenant.in_flight
+
+
+class TestAdmission:
+    def test_block_never_sheds(self):
+        tenant = Tenant("t", policy("block", depth=1))
+        for i in range(6):
+            admitted, displaced, _ = tenant.admit(ticket(i), float(i))
+            assert admitted and not displaced
+        assert len(tenant.queue) == 6
+        assert conserved(tenant)
+
+    def test_shed_newest_refuses_at_depth(self):
+        tenant = Tenant("t", policy("shed-newest", depth=2))
+        for i in range(2):
+            assert tenant.admit(ticket(i), 0.0)[0]
+        admitted, displaced, reason = tenant.admit(ticket(2), 1.0)
+        assert not admitted and not displaced
+        assert reason == "shed-newest"
+        assert len(tenant.ledger.shed) == 1
+        assert conserved(tenant)
+
+    def test_shed_oldest_displaces_stalest(self):
+        tenant = Tenant("t", policy("shed-oldest", depth=2))
+        first = ticket(0)
+        tenant.admit(first, 0.0)
+        tenant.admit(ticket(1), 1.0)
+        admitted, displaced, _ = tenant.admit(ticket(2), 2.0)
+        assert admitted
+        assert displaced == [first]
+        assert first.record.status == "shed"
+        assert [t.id for t in tenant.queue] == [1, 2]
+        assert conserved(tenant)
+
+    def test_degrade_thins_admission_until_backlog_clears(self):
+        tenant = Tenant("t", policy("degrade", depth=2))
+        for i in range(2):
+            assert tenant.admit(ticket(i), 0.0)[0]
+        verdicts = [tenant.admit(ticket(2 + i), float(i))[0]
+                    for i in range(4)]
+        assert not all(verdicts), "degraded mode must refuse some"
+        assert any(verdicts), "degraded mode must not refuse all"
+        assert tenant.degraded
+        assert any(e.kind == "degraded-enter" for e in tenant.events)
+        while tenant.take(10.0) is not None:
+            tenant.in_flight -= 1  # simulate instant completion drain
+        assert not tenant.degraded
+        assert any(e.kind == "degraded-exit" for e in tenant.events)
+
+
+class TestDispatchAndCompletion:
+    def test_take_respects_in_flight_window(self):
+        tenant = Tenant("t", policy("block", in_flight=1))
+        tenant.admit(ticket(0), 0.0)
+        tenant.admit(ticket(1), 0.0)
+        first = tenant.take(1.0)
+        assert first is not None and tenant.in_flight == 1
+        assert tenant.take(1.0) is None, "window of 1 is full"
+        tenant.complete(first, 2.0)
+        assert tenant.take(3.0) is not None
+
+    def test_completion_conserves_and_times(self):
+        tenant = Tenant("t", policy("block"))
+        tenant.admit(ticket(0), 0.0)
+        t = tenant.take(5.0)
+        tenant.complete(t, 10.0)
+        record = tenant.ledger.frames[0]
+        assert record.status == "delivered"
+        assert record.latency_us == 10.0
+        assert conserved(tenant)
+
+    def test_deadline_miss_recorded(self):
+        tenant = Tenant("t", policy("block", deadline_ms=0.001))
+        tenant.admit(ticket(0), 0.0)
+        t = tenant.take(0.0)
+        tenant.complete(t, 5_000.0)  # 5 ms turnaround, 1 us budget
+        assert tenant.deadline_misses == 1
+        assert any(e.kind == "deadline-miss" for e in tenant.events)
+
+    def test_failed_completion(self):
+        tenant = Tenant("t", policy("block"))
+        tenant.admit(ticket(0), 0.0)
+        t = tenant.take(0.0)
+        tenant.complete(t, 1.0, failed=True, reason="worker died")
+        assert len(tenant.ledger.failed) == 1
+        assert tenant.ledger.frames[0].reason == "worker died"
+        assert conserved(tenant)
+
+    def test_default_policy_blocks(self):
+        assert Tenant("t").budget is DEFAULT_TENANT_POLICY
+        assert DEFAULT_TENANT_POLICY.policy == "block"
+
+    def test_to_dict_round_numbers(self):
+        tenant = Tenant("t", policy("block"))
+        tenant.admit(ticket(0), 0.0)
+        tenant.complete(tenant.take(0.0), 1000.0)
+        row = tenant.to_dict()
+        assert row["submitted"] == 1 and row["delivered"] == 1
+        assert row["conserved"] is True
+        assert row["p50_ms"] == pytest.approx(1.0)

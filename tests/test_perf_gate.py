@@ -1,0 +1,128 @@
+"""Unit tests for the benchmark perf gate (benchmarks/perf_gate.py)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks")
+)
+
+from perf_gate import gate_file, judge, main, resolve  # noqa: E402
+
+
+class TestResolve:
+    def test_keys_and_indices(self):
+        doc = {"rows": [{"a": 1}, {"a": 2}]}
+        assert resolve(doc, ["rows", 1, "a"]) == 2
+
+    def test_match_object_selects_by_content(self):
+        doc = {"rows": [
+            {"policy": "block", "p99": 10.0},
+            {"policy": "shed-oldest", "p99": 4.0},
+        ]}
+        path = ["rows", {"policy": "shed-oldest"}, "p99"]
+        assert resolve(doc, path) == 4.0
+        # Reordering the rows must not change the answer.
+        doc["rows"].reverse()
+        assert resolve(doc, path) == 4.0
+
+    def test_match_object_multiple_fields(self):
+        doc = [{"p": "a", "w": 1, "v": 10}, {"p": "a", "w": 2, "v": 20}]
+        assert resolve(doc, [{"p": "a", "w": 2}, "v"]) == 20
+
+    def test_no_match_raises(self):
+        with pytest.raises(KeyError):
+            resolve({"rows": []}, ["rows", {"policy": "nope"}])
+
+
+class TestJudge:
+    def test_max_direction_floors(self):
+        metric = {"name": "x", "baseline": 2.0, "direction": "max",
+                  "tolerance": 0.25}
+        assert judge(metric, 1.6)["ok"]       # 20% down: inside tolerance
+        assert not judge(metric, 1.4)["ok"]   # 30% down: regression
+
+    def test_min_direction_ceilings(self):
+        metric = {"name": "x", "baseline": 10.0, "direction": "min",
+                  "tolerance": 0.25}
+        assert judge(metric, 12.0)["ok"]
+        assert not judge(metric, 13.0)["ok"]
+
+    def test_default_tolerance_is_25_percent(self):
+        metric = {"name": "x", "baseline": 100.0, "direction": "max"}
+        assert judge(metric, 76.0)["ok"]
+        assert not judge(metric, 74.0)["ok"]
+
+    def test_zero_tolerance_is_exact(self):
+        metric = {"name": "x", "baseline": 0.0, "direction": "min",
+                  "tolerance": 0.0}
+        assert judge(metric, 0.0)["ok"]
+        assert not judge(metric, 0.001)["ok"]
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            judge({"name": "x", "baseline": 1.0, "direction": "sideways"}, 1.0)
+
+
+class TestGateFile:
+    def _spec(self, tmp_path, metrics, artifact="BENCH_t.json"):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"artifact": artifact, "metrics": metrics}))
+        return str(path)
+
+    def test_missing_artifact_fails_every_metric(self, tmp_path):
+        spec = self._spec(tmp_path, [
+            {"name": "a", "path": ["a"], "baseline": 1.0},
+            {"name": "b", "path": ["b"], "baseline": 1.0},
+        ])
+        rows = gate_file(spec, str(tmp_path))
+        assert len(rows) == 2
+        assert all(not r["ok"] for r in rows)
+        assert all("missing artifact" in r["error"] for r in rows)
+
+    def test_unresolvable_path_fails_that_metric_only(self, tmp_path):
+        (tmp_path / "BENCH_t.json").write_text(json.dumps({"good": 5.0}))
+        spec = self._spec(tmp_path, [
+            {"name": "good", "path": ["good"], "baseline": 4.0},
+            {"name": "gone", "path": ["gone"], "baseline": 4.0},
+        ])
+        rows = gate_file(spec, str(tmp_path))
+        assert rows[0]["ok"]
+        assert not rows[1]["ok"] and "unresolvable" in rows[1]["error"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "BENCH_t.json").write_text(json.dumps({"m": 10.0}))
+        base = tmp_path / "baselines"
+        base.mkdir()
+        (base / "t.json").write_text(json.dumps({
+            "artifact": "BENCH_t.json",
+            "metrics": [{"name": "m", "path": ["m"], "baseline": 9.0}],
+        }))
+        argv = ["--artifacts-dir", str(tmp_path), "--baselines", str(base)]
+        assert main(argv) == 0
+        assert "perf gate: PASS" in capsys.readouterr().out
+        (base / "t.json").write_text(json.dumps({
+            "artifact": "BENCH_t.json",
+            "metrics": [{"name": "m", "path": ["m"], "baseline": 20.0}],
+        }))
+        assert main(argv) == 1
+        assert "perf gate: FAIL" in capsys.readouterr().out
+
+    def test_repo_baselines_are_wellformed(self):
+        """Every checked-in baseline spec parses and names real paths."""
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        base = os.path.join(root, "benchmarks", "baselines")
+        specs = [f for f in os.listdir(base) if f.endswith(".json")]
+        assert len(specs) >= 4
+        for name in specs:
+            with open(os.path.join(base, name)) as handle:
+                spec = json.load(handle)
+            assert spec["artifact"].startswith("BENCH_")
+            for metric in spec["metrics"]:
+                assert metric["name"]
+                assert isinstance(metric["path"], list)
+                assert metric.get("direction", "max") in ("max", "min")
+                float(metric["baseline"])
