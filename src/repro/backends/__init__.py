@@ -1,14 +1,18 @@
 """Pluggable execution backends: one process-graph IR, many targets.
 
-The five built-in targets mirror the paper's Fig. 2 branches and extend
-them to real hardware:
+The seven built-in targets mirror the paper's Fig. 2 branches and
+extend them to real hardware:
 
-* ``emulate``   — sequential emulation of the program IR (the oracle);
-* ``simulate``  — discrete-event simulation on the modelled machine;
-* ``threads``   — generated executive on Python threads (GIL-bound);
-* ``processes`` — generated executive on OS processes (true parallelism);
-* ``tcp``       — generated executive on a TCP worker cluster
-  (the paper's network-of-workstations target).
+* ``emulate``    — sequential emulation of the program IR (the oracle);
+* ``simulate``   — discrete-event simulation on the modelled machine;
+* ``threads``    — generated executive on Python threads (GIL-bound);
+* ``asyncio``    — generated coroutine executive on one event loop
+  (cheap massive concurrency for I/O-bound graphs);
+* ``processes``  — generated executive on OS processes (true parallelism);
+* ``tcp``        — generated executive on a TCP worker cluster
+  (the paper's network-of-workstations target);
+* ``standalone`` — emitted self-contained program (``repro emit``) run
+  in a clean subprocess with no repro import.
 
 Use :func:`get_backend`/:func:`list_backends` to resolve targets at run
 time, or go through :func:`repro.pipeline.run` / the ``repro run`` CLI.
@@ -27,8 +31,10 @@ from .registry import (
 from .emulate_backend import EmulateBackend
 from .simulate_backend import SimulateBackend
 from .thread_backend import ThreadBackend
+from .asyncio_backend import AsyncioBackend
 from .process_backend import ProcessBackend, default_start_method, run_multiprocess
 from .process_kernel import SHM_MIN_BYTES, ProcessKernel
+from .standalone_backend import StandaloneBackend, run_emitted
 
 # A plain ``import`` (not ``from ... import``) registers the tcp backend
 # without requiring the class name to exist yet: when the import cycle
@@ -50,8 +56,11 @@ __all__ = [
     "EmulateBackend",
     "SimulateBackend",
     "ThreadBackend",
+    "AsyncioBackend",
     "ProcessBackend",
     "ProcessKernel",
+    "StandaloneBackend",
+    "run_emitted",
     "run_multiprocess",
     "default_start_method",
     "SHM_MIN_BYTES",

@@ -1,0 +1,131 @@
+"""Asyncio-executive backend (generated coroutines on one event loop).
+
+The sixth registered execution backend: the ``asyncio`` codegen target
+emits the same skeleton bodies as ``async def`` coroutines, and this
+backend runs them on an :class:`~repro.codegen.async_kernel.AsyncioKernel`
+inside a private event loop.  Every mapped process is a Task and every
+channel a bounded :class:`asyncio.Queue`, so concurrency costs one
+object per process instead of one OS thread — the regime where
+I/O-bound graphs sustain thousands of concurrent streams in a single
+process.
+
+Realtime admission composes the way ``threads`` does, through
+:class:`~repro.realtime.async_kernel.AsyncRealtimeKernel` (the watchdog
+is a loop task).  Fault supervision does not: the supervisor's
+heartbeat thread and synchronous primitive hooks assume a thread
+kernel, so a fault plan is rejected rather than half-honoured (the
+capability matrix and the conformance oracle both read
+``supports_faults``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Optional, Tuple
+
+from ..codegen.async_kernel import AsyncioKernel, run_generated_async
+from ..codegen.pygen import thread_name
+from ..core.functions import FunctionTable
+from ..core.ir import Program
+from ..machine.costs import T9000, CostModel
+from ..machine.executive import RunReport
+from ..machine.trace import Trace
+from ..syndex.distribute import Mapping
+from .base import Backend, BackendError, report_from_blackboard
+from .registry import register_backend
+
+__all__ = ["AsyncioBackend"]
+
+
+@register_backend
+class AsyncioBackend(Backend):
+    """Run the generated coroutine executive on one event loop.
+
+    Cooperative concurrency: sequential functions run on the loop
+    thread, so a long CPU-bound function stalls every process — use
+    ``threads`` or ``processes`` for compute-heavy tables.  For graphs
+    dominated by waiting (sockets, sleeps, devices) this is the
+    cheapest concurrency the environment offers.
+    """
+
+    name = "asyncio"
+    description = "generated coroutine executive on one event loop"
+    real = True
+    supports_faults = False
+    supports_realtime = True
+
+    def run(
+        self,
+        mapping: Optional[Mapping],
+        table: FunctionTable,
+        *,
+        program: Optional[Program] = None,
+        costs: CostModel = T9000,
+        max_iterations: Optional[int] = None,
+        args: Optional[Tuple] = None,
+        real_time: bool = False,
+        record_trace: bool = False,
+        timeout: float = 120.0,
+        fault_plan: Optional[Any] = None,
+        fault_policy: Optional[Any] = None,
+        budget: Optional[Any] = None,
+        **options: Any,
+    ) -> RunReport:
+        if mapping is None:
+            raise BackendError("the asyncio backend needs a mapping")
+        if fault_plan is not None:
+            raise BackendError(
+                "the asyncio backend does not support fault injection "
+                "(the supervisor's primitives are thread-blocking); use "
+                "the threads or processes backend"
+            )
+        trace = Trace() if record_trace else None
+        placement = {
+            thread_name(pid): proc
+            for pid, proc in mapping.assignment.items()
+        }
+
+        async def drive() -> Any:
+            kernel: Any = AsyncioKernel(trace=trace, placement=placement)
+            realtime_kernel = None
+            if budget is not None:
+                from ..realtime.async_kernel import AsyncRealtimeKernel
+                from ..realtime.topology import StreamTopology
+
+                stream = StreamTopology.from_mapping(mapping)
+                if stream is None:
+                    raise BackendError(
+                        "a latency budget needs a stream program (no "
+                        "stream input/output in this mapping)"
+                    )
+                kernel = realtime_kernel = AsyncRealtimeKernel(
+                    kernel, stream, budget
+                )
+                kernel.start()
+            try:
+                blackboard = await run_generated_async(
+                    mapping, table,
+                    kernel=kernel,
+                    max_iterations=max_iterations,
+                    args=args,
+                    timeout=timeout,
+                )
+            finally:
+                if realtime_kernel is not None:
+                    await realtime_kernel.ashutdown()
+            return blackboard, realtime_kernel
+
+        start = time.perf_counter()
+        blackboard, realtime_kernel = asyncio.run(drive())
+        wall_us = (time.perf_counter() - start) * 1e6
+        realtime_report = None
+        if realtime_kernel is not None:
+            realtime_report = realtime_kernel.build_report()
+            if trace is not None:
+                realtime_report.annotate_trace(trace)
+        report = report_from_blackboard(
+            blackboard, makespan=wall_us, backend=self.name, trace=trace
+        )
+        report.realtime = realtime_report
+        return report

@@ -9,6 +9,8 @@ compiler and SynDEx; this module is the equivalent front door::
     python -m repro emulate   spec.ml --functions app:TABLE --max-iterations 5
     python -m repro simulate  spec.ml --functions app:TABLE --arch ring:8 --gantt
     python -m repro run       spec.ml --functions app:TABLE --arch ring:8 --backend processes
+    python -m repro run       spec.ml --functions app:TABLE --backend asyncio
+    python -m repro emit      spec.ml --functions app:TABLE --arch ring:4 -o deploy/
     python -m repro run       spec.ml --functions app:TABLE --faults plan.json
     python -m repro run       spec.ml --functions app:TABLE --deadline-ms 40 --overload-policy shed-oldest
     python -m repro faults    --skeleton scm --backend processes
@@ -34,11 +36,11 @@ from __future__ import annotations
 import argparse
 import ast
 import importlib
-import os
 import sys
 from typing import List, Optional
 
 from .backends import BackendError, backend_names, list_backends
+from .core.artifacts import ensure_parent_dir
 from .core.functions import FunctionTable
 from .machine.executive import RunReport
 from .minicaml.compile import compile_source, typecheck_source
@@ -132,16 +134,38 @@ def _cmd_compile(args) -> int:
         print(built.deadlock.render())
     elif args.emit == "dot":
         print(built.graph.to_dot())
-    elif args.emit == "macro":
-        from .codegen.macro import emit_all
+    else:
+        # Any registered codegen target renders to stdout.
+        from .codegen.targets import get_target
 
-        for proc, text in emit_all(built.mapping).items():
-            print(f"# ================ {proc} ================")
-            print(text)
-    elif args.emit == "python":
-        from .codegen.pygen import generate_python
+        print(get_target(args.emit).generate(built.mapping))
+    return 0
 
-        print(generate_python(built.mapping))
+
+def _cmd_emit(args) -> int:
+    from .codegen.targets import EmitError, get_target
+
+    try:
+        target = get_target(args.target)
+    except EmitError as err:
+        raise SystemExit(f"error: {err}")
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    built = build(
+        source, table, parse_architecture(args.arch), entry=args.entry,
+        profile_iterations=args.profile,
+    )
+    try:
+        files = target.emit(
+            built.mapping, table, args.out,
+            max_iterations=args.max_iterations,
+        )
+    except EmitError as err:
+        raise SystemExit(f"error: cannot emit {args.target!r}: {err}")
+    for rel in files:
+        print(f"  {args.out}/{rel}")
+    print(f"emitted {len(files)} file(s) ({args.target} target) "
+          f"to {args.out}")
     return 0
 
 
@@ -152,13 +176,6 @@ def _cmd_emulate(args) -> int:
     result = compiled.emulate(max_iterations=args.max_iterations)
     print(f"final memory: {result!r}")
     return 0
-
-
-def ensure_parent_dir(path: str) -> None:
-    """Create the parent directory of an artifact path if missing."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
 
 
 def _write_trace(report: RunReport, path: str) -> None:
@@ -522,10 +539,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("compile", help="compile, map, and emit artefacts")
     common(p, arch=True)
     p.add_argument(
-        "--emit", choices=("summary", "dot", "macro", "python"),
+        "--emit",
+        choices=("summary", "dot", "macro", "python", "asyncio"),
         default="summary",
     )
     p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser(
+        "emit",
+        help="emit a deployable program directory (repro emit -o dir/)",
+    )
+    common(p, arch=True)
+    p.add_argument("-o", "--out", required=True, metavar="DIR",
+                   help="output directory (created if missing)")
+    p.add_argument("--target", default="standalone",
+                   help="codegen target (default: standalone — a "
+                        "self-contained program with no repro import)")
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="bake a stream bound into the emitted executive")
+    p.set_defaults(fn=_cmd_emit)
 
     p = sub.add_parser("emulate", help="run the sequential emulation")
     common(p)

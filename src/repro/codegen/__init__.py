@@ -1,8 +1,25 @@
-"""Code generation: macro-code emission and the executable executive."""
+"""Code generation: macro-code emission and the executable executive.
 
+Emission is organised as a registry of codegen targets
+(:mod:`repro.codegen.targets`): ``python`` (thread executive),
+``asyncio`` (coroutine executive), ``macro`` (SynDEx m4 story) and
+``standalone`` (self-contained emitted program).  The historical
+entry points below remain the stable API for the common case.
+"""
+
+from .async_kernel import AsyncioKernel, run_generated_async, run_generated_asyncio
 from .kernel import KERNEL_PRIMITIVES, NO_PIECE, NoPiece, Shutdown, Stop, ThreadKernel
 from .macro import emit_all, emit_macro
 from .pygen import generate_python, load_executive, run_generated, thread_name
+from .targets import (
+    CodegenTarget,
+    EmitError,
+    get_target,
+    list_targets,
+    register_target,
+    target_capabilities,
+    target_names,
+)
 
 __all__ = [
     "KERNEL_PRIMITIVES",
@@ -11,10 +28,20 @@ __all__ = [
     "NO_PIECE",
     "Shutdown",
     "ThreadKernel",
+    "AsyncioKernel",
     "thread_name",
     "emit_macro",
     "emit_all",
     "generate_python",
     "load_executive",
     "run_generated",
+    "run_generated_async",
+    "run_generated_asyncio",
+    "CodegenTarget",
+    "EmitError",
+    "register_target",
+    "get_target",
+    "target_names",
+    "list_targets",
+    "target_capabilities",
 ]

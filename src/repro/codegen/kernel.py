@@ -15,6 +15,7 @@ different substrate means reimplementing exactly this class.
 
 from __future__ import annotations
 
+import inspect
 import queue
 import threading
 import time
@@ -184,12 +185,22 @@ class ThreadKernel:
             # throughput (one poll per collected packet).
             self._stop_event.wait(0.0002)
 
+    @staticmethod
+    def _resolve(result: Any) -> Any:
+        # Async-native table functions: each call drives its own loop on
+        # this thread, so awaited I/O still overlaps across threads.
+        if inspect.iscoroutine(result):
+            import asyncio
+
+            return asyncio.run(result)
+        return result
+
     def call_(self, func: Callable, *args: Any) -> Any:
         if self.trace is None:
-            return func(*args)
+            return self._resolve(func(*args))
         start = time.perf_counter()
         try:
-            return func(*args)
+            return self._resolve(func(*args))
         finally:
             end = time.perf_counter()
             name = threading.current_thread().name

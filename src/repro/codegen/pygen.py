@@ -2,13 +2,13 @@
 
 The SynDEx back end emits "processor-independent programs (m4
 macro-code, one per processor) which are finally transformed into
-compilable code by simply inlining a set of kernel primitives".  This
-module performs the equivalent transformation for the Python target:
-it *generates Python source text* — one ``proc_<id>_<process>`` thread
-body per process, grouped per processor — written purely against the
-kernel primitives of :mod:`repro.codegen.kernel`.  The generated module
-is self-contained: compile it with :func:`load_executive` and run it
-with any kernel implementation.
+compilable code by simply inlining a set of kernel primitives".  The
+equivalent transformation for the Python target lives in
+:mod:`repro.codegen.targets.python_target`; this module keeps the
+historical entry points (:func:`generate_python`, :func:`load_executive`,
+:func:`run_generated`, :func:`thread_name`) as thin veneers over the
+target registry, plus the executive *loader* shared by every runnable
+target.
 
 The generated executive is functionally equivalent to both the
 sequential emulation and the discrete-event simulation (the test suite
@@ -18,365 +18,75 @@ concurrently, on Python threads.
 
 from __future__ import annotations
 
-import textwrap
-from typing import Dict, List, Optional, Tuple
+import hashlib
+import sys
+import threading
+import types
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
-from ..pnt.graph import Edge, ProcessGraph, ProcessKind
+from ..pnt.graph import ProcessKind
 from ..syndex.distribute import Mapping
+from .targets.python_target import thread_name  # noqa: F401  (re-export)
 
-__all__ = ["generate_python", "load_executive", "run_generated", "thread_name"]
+__all__ = [
+    "generate_python",
+    "load_executive",
+    "run_generated",
+    "thread_name",
+    "MODULE_CACHE_SIZE",
+]
 
+#: Generated executives kept registered in ``sys.modules`` at once.  A
+#: long-lived serve daemon compiles many programs per process; without a
+#: bound every compile leaked a module (source + code objects) for the
+#: life of the interpreter.
+MODULE_CACHE_SIZE = 32
 
-def thread_name(pid: str) -> str:
-    """The executive thread name generated for process ``pid``."""
-    return "proc_" + pid.replace(".", "_").replace("-", "_")
-
-
-def _in_edges(graph: ProcessGraph, pid: str) -> List[Tuple[int, int]]:
-    """(dst_port, edge_index) pairs, sorted by port."""
-    out = []
-    for idx, e in enumerate(graph.edges):
-        if e.dst == pid:
-            out.append((e.dst_port, idx))
-    out.sort()
-    return out
-
-
-def _out_edges(graph: ProcessGraph, pid: str, port: int) -> List[int]:
-    return [
-        idx
-        for idx, e in enumerate(graph.edges)
-        if e.src == pid and e.src_port == port
-    ]
-
-
-def _send_all(indices: List[int], value_expr: str, indent: str) -> str:
-    return "".join(
-        f"{indent}kernel.send_('e{idx}', {value_expr})\n" for idx in indices
-    )
-
-
-def _stop_all(graph: ProcessGraph, pid: str, indent: str) -> str:
-    lines = ""
-    proc = graph[pid]
-    for port in range(proc.n_out):
-        for idx in _out_edges(graph, pid, port):
-            lines += f"{indent}kernel.stop_('e{idx}')\n"
-    return lines
-
-
-class _Generator:
-    def __init__(self, mapping: Mapping, max_iterations: Optional[int]):
-        self.mapping = mapping
-        self.graph = mapping.graph
-        self.max_iterations = max_iterations
-
-    # -- per-kind bodies ----------------------------------------------------
-
-    def gen_input(self, pid: str) -> str:
-        proc = self.graph[pid]
-        outs = _out_edges(self.graph, pid, 0)
-        if proc.func is None:  # one-shot parameter
-            param = proc.params.get("param", pid)
-            body = f"    value = kernel.blackboard['arg_{param}']\n"
-            body += _send_all(outs, "value", "    ")
-            body += _stop_all(self.graph, pid, "    ")
-            return body
-        source = repr(proc.params.get("source"))
-        body = "    iterations = 0\n"
-        body += "    while MAX_ITERATIONS is None or iterations < MAX_ITERATIONS:\n"
-        body += "        try:\n"
-        body += f"            value = kernel.call_(table[{proc.func!r}], {source})\n"
-        body += "        except EndOfStream:\n"
-        body += "            break\n"
-        body += _send_all(outs, "value", "        ")
-        body += "        iterations += 1\n"
-        body += _stop_all(self.graph, pid, "    ")
-        return body
-
-    def gen_const(self, pid: str) -> str:
-        proc = self.graph[pid]
-        outs = _out_edges(self.graph, pid, 0)
-        body = f"    value = {proc.params['value']!r}\n"
-        body += "    while True:\n"
-        body += _send_all(outs, "value", "        ")
-        return body
-
-    def gen_mem(self, pid: str) -> str:
-        proc = self.graph[pid]
-        outs = _out_edges(self.graph, pid, 0)
-        loop_in = _in_edges(self.graph, pid)[0][1]
-        if "init_func" in proc.params:
-            init = f"kernel.call_(table[{proc.params['init_func']!r}])"
-        else:
-            init = repr(proc.params["init_value"])
-        body = f"    state = {init}\n"
-        body += "    while True:\n"
-        body += _send_all(outs, "state", "        ")
-        body += f"        new = kernel.recv_('e{loop_in}')\n"
-        body += "        if kernel.is_stop(new):\n"
-        body += f"            kernel.blackboard['final_state'] = state\n"
-        body += "            break\n"
-        body += "        state = new\n"
-        return body
-
-    def gen_apply(self, pid: str) -> str:
-        proc = self.graph[pid]
-        ins = _in_edges(self.graph, pid)
-        body = "    while True:\n"
-        for port, idx in ins:
-            body += f"        in{port} = kernel.recv_('e{idx}')\n"
-        if ins:
-            stops = " or ".join(f"kernel.is_stop(in{port})" for port, _ in ins)
-            body += f"        if {stops}:\n"
-            body += _stop_all(self.graph, pid, "            ")
-            body += "            break\n"
-        # Nullary functions fire every iteration, throttled by the bounded
-        # channels (like constant sources); shutdown unwinds them.
-        args = ", ".join(f"in{port}" for port, _ in ins)
-        body += f"        result = kernel.call_(table[{proc.func!r}], {args})\n"
-        if proc.n_out == 1:
-            body += _send_all(_out_edges(self.graph, pid, 0), "result", "        ")
-        else:
-            for port in range(proc.n_out):
-                body += _send_all(
-                    _out_edges(self.graph, pid, port), f"result[{port}]", "        "
-                )
-        return body
-
-    def gen_worker(self, pid: str) -> str:
-        proc = self.graph[pid]
-        (_, in_idx), = _in_edges(self.graph, pid)
-        outs = _out_edges(self.graph, pid, 0)
-        body = "    while True:\n"
-        body += f"        x = kernel.recv_('e{in_idx}')\n"
-        body += "        if kernel.is_stop(x):\n"
-        body += _stop_all(self.graph, pid, "            ")
-        body += "            break\n"
-        body += "        if is_no_piece(x):\n"
-        body += _send_all(outs, "NO_PIECE", "            ")
-        body += "            continue\n"
-        body += f"        y = kernel.call_(table[{proc.func!r}], x)\n"
-        body += _send_all(outs, "y", "        ")
-        return body
-
-    def gen_router(self, pid: str) -> str:
-        (_, in_idx), = _in_edges(self.graph, pid)
-        outs = _out_edges(self.graph, pid, 0)
-        body = "    while True:\n"
-        body += f"        x = kernel.recv_('e{in_idx}')\n"
-        body += "        if kernel.is_stop(x):\n"
-        body += _stop_all(self.graph, pid, "            ")
-        body += "            break\n"
-        body += _send_all(outs, "x", "        ")
-        return body
-
-    def gen_split(self, pid: str) -> str:
-        proc = self.graph[pid]
-        degree = proc.params["degree"]
-        (_, in_idx), = _in_edges(self.graph, pid)
-        body = "    while True:\n"
-        body += f"        x = kernel.recv_('e{in_idx}')\n"
-        body += "        if kernel.is_stop(x):\n"
-        body += _stop_all(self.graph, pid, "            ")
-        body += "            break\n"
-        body += (
-            f"        pieces = kernel.call_(table[{proc.func!r}], {degree}, x)\n"
-        )
-        for i in range(degree):
-            piece = f"pieces[{i}] if {i} < len(pieces) else NO_PIECE"
-            body += _send_all(_out_edges(self.graph, pid, i), f"({piece})", "        ")
-        return body
-
-    def gen_merge(self, pid: str) -> str:
-        proc = self.graph[pid]
-        degree = proc.params["degree"]
-        ins = dict((port, idx) for port, idx in _in_edges(self.graph, pid))
-        body = "    while True:\n"
-        body += f"        x = kernel.recv_('e{ins[0]}')\n"
-        body += "        parts = []\n"
-        for i in range(degree):
-            body += f"        parts.append(kernel.recv_('e{ins[1 + i]}'))\n"
-        body += (
-            "        if kernel.is_stop(x) or any(kernel.is_stop(p) for p in parts):\n"
-        )
-        body += _stop_all(self.graph, pid, "            ")
-        body += "            break\n"
-        body += "        parts = [p for p in parts if not is_no_piece(p)]\n"
-        body += f"        y = kernel.call_(table[{proc.func!r}], x, parts)\n"
-        body += _send_all(_out_edges(self.graph, pid, 0), "y", "        ")
-        return body
-
-    def gen_master(self, pid: str) -> str:
-        proc = self.graph[pid]
-        degree = proc.params["degree"]
-        kind = proc.params["farm_kind"]
-        ins = dict(_in_edges(self.graph, pid))
-        # Port layout: in 0=z, 1=xs, 2+i=collect(i); out 0=result, 1+i=dispatch(i).
-        z_idx, xs_idx = ins[0], ins[1]
-        collect = {f"e{ins[2 + i]}": i for i in range(degree)}
-        dispatch = [
-            _out_edges(self.graph, pid, 1 + i)[0] for i in range(degree)
-        ]
-        result_edges = _out_edges(self.graph, pid, 0)
-        body = f"    collect = {collect!r}\n"
-        body += f"    dispatch = {['e%d' % d for d in dispatch]!r}\n"
-        body += "    while True:\n"
-        body += f"        z = kernel.recv_('e{z_idx}')\n"
-        body += f"        xs = kernel.recv_('e{xs_idx}')\n"
-        body += "        if kernel.is_stop(z) or kernel.is_stop(xs):\n"
-        body += _stop_all(self.graph, pid, "            ")
-        body += "            break\n"
-        body += "        acc = z\n"
-        body += "        work = list(xs)\n"
-        body += f"        busy = [False] * {degree}\n"
-        body += "        pending = 0\n"
-        body += f"        for i in range({degree}):\n"
-        body += "            if work and not busy[i]:\n"
-        body += "                kernel.send_(dispatch[i], work.pop(0))\n"
-        body += "                busy[i] = True\n"
-        body += "                pending += 1\n"
-        body += "        while pending:\n"
-        body += "            edge, y = kernel.alt_(list(collect))\n"
-        body += "            if kernel.is_stop(y):\n"
-        body += _stop_all(self.graph, pid, "                ")
-        body += "                return\n"
-        body += "            i = collect[edge]\n"
-        body += "            pending -= 1\n"
-        body += "            busy[i] = False\n"
-        if kind == "tf":
-            body += "            outcome = normalize_outcome(y)\n"
-            body += "            for r in outcome.results:\n"
-            body += (
-                f"                acc = kernel.call_(table[{proc.func!r}], acc, r)\n"
-            )
-            body += "            work.extend(outcome.subtasks)\n"
-        else:
-            body += (
-                f"            acc = kernel.call_(table[{proc.func!r}], acc, y)\n"
-            )
-        body += "            if work:\n"
-        body += "                kernel.send_(dispatch[i], work.pop(0))\n"
-        body += "                busy[i] = True\n"
-        body += "                pending += 1\n"
-        body += _send_all(result_edges, "acc", "        ")
-        return body
-
-    def gen_output(self, pid: str) -> str:
-        proc = self.graph[pid]
-        (_, in_idx), = _in_edges(self.graph, pid)
-        body = "    while True:\n"
-        body += f"        y = kernel.recv_('e{in_idx}')\n"
-        body += "        if kernel.is_stop(y):\n"
-        body += "            break\n"
-        if proc.params.get("discard"):
-            body += "        pass\n"
-        elif proc.func is not None:
-            body += f"        kernel.call_(table[{proc.func!r}], y)\n"
-            body += (
-                "        kernel.blackboard.setdefault('outputs', []).append(y)\n"
-            )
-        else:
-            index = proc.params.get("index", 0)
-            body += f"        kernel.blackboard['result_{index}'] = y\n"
-            body += "        break\n"
-        return body
-
-    # -- assembly ------------------------------------------------------------
-
-    _GENERATORS = {
-        ProcessKind.INPUT: gen_input,
-        ProcessKind.CONST: gen_const,
-        ProcessKind.MEM: gen_mem,
-        ProcessKind.APPLY: gen_apply,
-        ProcessKind.WORKER: gen_worker,
-        ProcessKind.ROUTER_MW: gen_router,
-        ProcessKind.ROUTER_WM: gen_router,
-        ProcessKind.SPLIT: gen_split,
-        ProcessKind.MERGE: gen_merge,
-        ProcessKind.MASTER: gen_master,
-        ProcessKind.OUTPUT: gen_output,
-    }
-
-    thread_name = staticmethod(thread_name)
-
-    def generate(self) -> str:
-        graph, mapping = self.graph, self.mapping
-        lines = [
-            '"""Distributed executive generated by repro.codegen.pygen.',
-            "",
-            f"Program: {graph.name!r}",
-            f"Architecture: {mapping.arch.name!r}",
-            "",
-            "Written against the kernel primitives only (see",
-            "repro.codegen.kernel.KERNEL_PRIMITIVES); do not edit by hand.",
-            '"""',
-            "",
-            "from repro.core.semantics import EndOfStream, TaskOutcome",
-            "from repro.codegen.kernel import NO_PIECE, NoPiece",
-            "",
-            f"MAX_ITERATIONS = {self.max_iterations!r}",
-            "",
-            "",
-            "def is_no_piece(x):",
-            "    # isinstance, not identity: tokens may cross OS processes.",
-            "    return isinstance(x, NoPiece)",
-            "",
-            "",
-            "def normalize_outcome(y):",
-            "    if isinstance(y, TaskOutcome):",
-            "        return y",
-            "    results, subtasks = y",
-            "    return TaskOutcome(results=list(results), subtasks=list(subtasks))",
-            "",
-            "",
-            "def build_executive(kernel, table):",
-            '    """Spawn every executive thread; returns (threads, sinks)."""',
-            "    threads = []",
-            "    sinks = []",
-        ]
-        # Group processes per processor, as the m4 story demands.
-        for proc_id in mapping.arch.processor_ids():
-            members = mapping.processes_on(proc_id)
-            if not members:
-                continue
-            lines.append("")
-            lines.append(f"    # ==== processor {proc_id} ====")
-            for pid in members:
-                process = graph[pid]
-                gen = self._GENERATORS[process.kind]
-                body = gen(self, pid)
-                name = self.thread_name(pid)
-                lines.append("")
-                lines.append(f"    def {name}():")
-                lines.append(f'        """{process.kind} process {pid!r}."""')
-                lines.extend(
-                    ("    " + line) if line.strip() else line
-                    for line in body.rstrip("\n").split("\n")
-                )
-                lines.append(f"    _t = kernel.spawn_({name.__repr__()}, {name})")
-                lines.append("    threads.append(_t)")
-                is_sink = process.kind == ProcessKind.OUTPUT and not process.params.get(
-                    "discard"
-                )
-                if is_sink or process.kind == ProcessKind.MEM:
-                    lines.append("    sinks.append(_t)")
-        lines.append("")
-        lines.append("    return threads, sinks")
-        lines.append("")
-        return "\n".join(lines)
+_MODULE_PREFIX = "repro_executive_"
+_modules_lock = threading.Lock()
+_modules: "OrderedDict[str, types.ModuleType]" = OrderedDict()
 
 
 def generate_python(mapping: Mapping, *, max_iterations: Optional[int] = None) -> str:
-    """Generate the Python executive source for a mapped program."""
-    return _Generator(mapping, max_iterations).generate()
+    """Generate the Python (thread-dialect) executive source."""
+    from .targets import get_target
+
+    return get_target("python").generate(mapping, max_iterations=max_iterations)
+
+
+def executive_module_name(source: str) -> str:
+    """The ``sys.modules`` name a generated source loads under."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    return _MODULE_PREFIX + digest
 
 
 def load_executive(source: str):
-    """Compile generated executive source; returns its module namespace."""
-    namespace: Dict[str, object] = {}
-    exec(compile(source, "<generated-executive>", "exec"), namespace)
-    return namespace
+    """Compile generated executive source; returns its module namespace.
+
+    The source is executed as a real module registered in ``sys.modules``
+    under a content-addressed name, so functions defined by the executive
+    have a resolvable ``__module__`` (tracebacks, pickling by reference).
+    Registrations are bounded: at most :data:`MODULE_CACHE_SIZE` stay
+    registered (least-recently-loaded evicted first), and re-loading the
+    same source evicts the stale module and executes a fresh one — the
+    caller always gets pristine module globals, never a previous run's.
+    """
+    name = executive_module_name(source)
+    module = types.ModuleType(name)
+    module.__dict__["__file__"] = f"<generated-executive {name}>"
+    exec(compile(source, f"<generated-executive {name}>", "exec"), module.__dict__)
+    with _modules_lock:
+        stale = _modules.pop(name, None)
+        if stale is not None and sys.modules.get(name) is stale:
+            del sys.modules[name]
+        sys.modules[name] = module
+        _modules[name] = module
+        while len(_modules) > MODULE_CACHE_SIZE:
+            old_name, old_module = _modules.popitem(last=False)
+            if sys.modules.get(old_name) is old_module:
+                del sys.modules[old_name]
+    return module.__dict__
 
 
 def run_generated(

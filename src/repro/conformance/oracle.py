@@ -125,6 +125,11 @@ def run_case(
         backend = get_backend(name)
         options: Dict[str, Any] = {}
         if plan is not None:
+            if not backend.supports_faults:
+                # A fault case still exercises every other backend; a
+                # backend that cannot inject (asyncio, standalone) just
+                # skips the fault legs rather than failing them.
+                continue
             options["fault_plan"] = fault_plan_of(spec)  # fresh matcher state
             if backend.real:
                 options["fault_policy"] = CHECK_POLICY

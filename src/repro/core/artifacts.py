@@ -1,0 +1,21 @@
+"""Filesystem helpers shared by every artifact writer.
+
+Traces, frame ledgers, soak verdicts, benchmark documents and emitted
+executives all end up as files the user named on a command line; this
+module is the one place that makes their parent directories exist, so
+``repro run --trace-out artifacts/t.json`` and ``repro emit -o dir/``
+behave identically on a fresh checkout.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ensure_parent_dir"]
+
+
+def ensure_parent_dir(path: str) -> None:
+    """Create the parent directory of an artifact path if missing."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)

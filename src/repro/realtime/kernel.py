@@ -30,6 +30,7 @@ where the seeded ``burst`` / ``input-surge`` overload faults fire.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import deque
@@ -113,6 +114,7 @@ class RealtimeKernel:
         *,
         board: Optional[StreamBoard] = None,
         processor: Optional[str] = None,
+        start_watchdog: bool = True,
     ):
         self._inner = inner
         self._topo = topology
@@ -162,7 +164,10 @@ class RealtimeKernel:
         # daemon thread parked inside a shared semaphore at process exit
         # poisons it for every other process (see the heartbeat thread).
         self._watchdog_stop = threading.Event()
-        if self._admission_active:
+        # A coroutine-kernel wrapper passes start_watchdog=False and runs
+        # the same tick from an event-loop task instead (an OS thread
+        # must not touch loop-confined asyncio queues).
+        if self._admission_active and start_watchdog:
             self._watchdog = threading.Thread(
                 target=self._watch_loop, name="rt-watchdog", daemon=True
             )
@@ -208,6 +213,26 @@ class RealtimeKernel:
 
     def _pace(self) -> None:
         """Pre-grab: fire overload faults, then hold to the frame period."""
+        period = self._pace_setup()
+        if period is None:
+            return
+        now = time.perf_counter()
+        while now < self._next_due:
+            if self._stopped():
+                raise Shutdown
+            time.sleep(min(0.002, self._next_due - now))
+            now = time.perf_counter()
+        self._next_due = max(self._next_due + period, now - period)
+
+    def _pace_setup(self) -> Optional[float]:
+        """Fire overload faults; returns this frame's effective period.
+
+        ``None`` means no pacing wait applies (no period configured, or
+        a burst fault releases the frame back-to-back); otherwise
+        ``_next_due`` is primed and the caller sleeps up to it — in
+        whatever way suits its substrate (``time.sleep`` for threads,
+        ``asyncio.sleep`` for the coroutine wrapper).
+        """
         if self._matcher is not None:
             specs = self._matcher.fire(
                 process=self._topo.input_pid,
@@ -232,24 +257,18 @@ class RealtimeKernel:
                                              spec.factor)
         period = self._budget.frame_period_s
         if period <= 0:
-            return
+            return None
         if self._pace_boost > 0:
             self._pace_boost -= 1
-            return  # burst: release this frame immediately
+            return None  # burst: release this frame immediately
         if self._surge_left > 0:
             self._surge_left -= 1
             period = period / self._surge_factor
             if self._surge_left == 0:
                 self._surge_factor = 1.0
-        now = time.perf_counter()
         if self._next_due == 0.0:
-            self._next_due = now
-        while now < self._next_due:
-            if self._stopped():
-                raise Shutdown
-            time.sleep(min(0.002, self._next_due - now))
-            now = time.perf_counter()
-        self._next_due = max(self._next_due + period, now - period)
+            self._next_due = time.perf_counter()
+        return period
 
     # -- admission (the grabber thread) ------------------------------------
 
@@ -272,15 +291,21 @@ class RealtimeKernel:
         return self._inner.send_(edge, value)
 
     def _admit(self, value: Any) -> None:
-        budget = self._budget
-        if budget.policy == "block":
-            while True:
-                with self._lock:
-                    if len(self._pending) < budget.admission_depth:
-                        break
+        if self._budget.policy == "block":
+            while not self._admit_has_room():
                 if self._stopped():
                     raise Shutdown
                 time.sleep(0.001)
+        return self._admit_locked(value)
+
+    def _admit_has_room(self) -> bool:
+        """Block-policy gate: buffer below the admission depth?"""
+        with self._lock:
+            return len(self._pending) < self._budget.admission_depth
+
+    def _admit_locked(self, value: Any) -> None:
+        """Admission decision for one frame (takes ``_lock`` itself)."""
+        budget = self._budget
         with self._lock:
             frame = len(self._frames)
             record = FrameRecord(frame=frame, admitted_us=self._now_us())
@@ -359,7 +384,7 @@ class RealtimeKernel:
         try:
             put(value)
             return True
-        except queue.Full:
+        except (queue.Full, asyncio.QueueFull):
             return False
 
     def _drain(self) -> None:
@@ -393,13 +418,16 @@ class RealtimeKernel:
         return True
 
     def _watch_loop(self) -> None:
-        budget = self._budget
-        interval = budget.watchdog_interval_s
+        interval = self._budget.watchdog_interval_s
         while not self._watchdog_stop.wait(interval):
-            with self._lock:
-                self._drain()
-                self._scan_deadlines()
-                self._maybe_exit_degraded()
+            self._watch_tick()
+
+    def _watch_tick(self) -> None:
+        """One watchdog round: pump, deadline scan, degrade hysteresis."""
+        with self._lock:
+            self._drain()
+            self._scan_deadlines()
+            self._maybe_exit_degraded()
 
     def _scan_deadlines(self) -> None:
         """Flag frames over budget *while still in flight* (lock held)."""
@@ -442,24 +470,34 @@ class RealtimeKernel:
 
     def _flush_on_stop(self) -> None:
         """Blocking-release every buffered frame before Stop propagates."""
+        if not self._begin_flush():
+            return
+        while not self._flush_step():
+            time.sleep(0.001)
+
+    def _begin_flush(self) -> bool:
+        """Claim the (one-shot) flush; False when already flushed."""
         with self._lock:
             if self._flushed:
-                return
+                return False
             self._flushed = True
             self._stopping = True
-        while True:
-            if self._stopped():
-                with self._lock:
-                    for entry in self._pending:
-                        entry.record.status = "failed"
-                        entry.record.reason = "aborted at teardown"
-                    self._pending.clear()
-                return
+            return True
+
+    def _flush_step(self) -> bool:
+        """One flush round; returns True when flushing is finished."""
+        if self._stopped():
             with self._lock:
-                if not self._pending:
-                    return
-                self._pump_step()
-            time.sleep(0.001)
+                for entry in self._pending:
+                    entry.record.status = "failed"
+                    entry.record.reason = "aborted at teardown"
+                self._pending.clear()
+            return True
+        with self._lock:
+            if not self._pending:
+                return True
+            self._pump_step()
+        return False
 
     # -- delivery (the output thread) --------------------------------------
 

@@ -35,9 +35,9 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
-from ..codegen.pygen import generate_python
+from ..codegen.targets import get_target
 from ..core.functions import FunctionTable
 from ..minicaml.compile import CompiledProgram, compile_source
 from ..minicaml.errors import LexError
@@ -137,8 +137,13 @@ class _FrontEntry:
 class _MappedEntry:
     front_key: str
     mapping: Mapping
-    #: Generated executive source per max_iterations value.
-    sources: Dict[Optional[int], str] = field(default_factory=dict)
+    #: Generated executive source per (target, max_iterations) pair: a
+    #: service process can hand the same cached mapping to the threads
+    #: backend (``python`` target) and the asyncio backend without
+    #: regenerating either.
+    sources: Dict[Tuple[str, Optional[int]], str] = field(
+        default_factory=dict
+    )
 
 
 @dataclass
@@ -259,25 +264,27 @@ class CompileCache:
         return compiled, graph
 
     def executive_source(
-        self, key: str, max_iterations: Optional[int] = None
+        self, key: str, max_iterations: Optional[int] = None,
+        target: str = "python",
     ) -> Optional[str]:
         """The generated executive for a cached mapping, cached per
-        ``max_iterations``.  Returns None for an unknown (evicted) key —
-        the caller falls back to generating from its own mapping."""
+        ``(target, max_iterations)``.  Returns None for an unknown
+        (evicted) key — the caller falls back to generating from its own
+        mapping."""
         with self._lock:
             entry = self._mapped.get(key)
             if entry is None:
                 return None
             self._mapped.move_to_end(key)
-            source = entry.sources.get(max_iterations)
+            source = entry.sources.get((target, max_iterations))
             if source is not None:
                 self._codegen_counts.hits += 1
                 return source
             self._codegen_counts.misses += 1
-            source = generate_python(
+            source = get_target(target).generate(
                 entry.mapping, max_iterations=max_iterations
             )
-            entry.sources[max_iterations] = source
+            entry.sources[(target, max_iterations)] = source
             return source
 
     @staticmethod

@@ -210,7 +210,7 @@ class RunScheduler:
     def _execute(self, ticket: Ticket) -> None:
         request = ticket.request
         source = self.cache.executive_source(
-            ticket.build.key, request.max_iterations
+            ticket.build.key, request.max_iterations, target="python"
         )
         try:
             links = self.harness.checkout(

@@ -3,11 +3,13 @@
 import pytest
 
 from repro.backends import (
+    AsyncioBackend,
     Backend,
     BackendError,
     EmulateBackend,
     ProcessBackend,
     SimulateBackend,
+    StandaloneBackend,
     ThreadBackend,
     backend_names,
     get_backend,
@@ -19,7 +21,8 @@ from repro.backends.registry import register_backend
 class TestRegistry:
     def test_builtin_backends_registered(self):
         assert backend_names() == [
-            "emulate", "processes", "simulate", "tcp", "threads",
+            "asyncio", "emulate", "processes", "simulate", "standalone",
+            "tcp", "threads",
         ]
 
     def test_get_backend_returns_instances(self):
@@ -29,7 +32,9 @@ class TestRegistry:
             ("emulate", EmulateBackend),
             ("simulate", SimulateBackend),
             ("threads", ThreadBackend),
+            ("asyncio", AsyncioBackend),
             ("processes", ProcessBackend),
+            ("standalone", StandaloneBackend),
             ("tcp", TcpBackend),
         ]:
             backend = get_backend(name)
@@ -46,7 +51,8 @@ class TestRegistry:
         with pytest.raises(
             BackendError,
             match="unknown backend 'transputer'; available: "
-                  "emulate, processes, simulate, tcp, threads",
+                  "asyncio, emulate, processes, simulate, standalone, "
+                  "tcp, threads",
         ):
             get_backend("transputer")
 
@@ -94,7 +100,9 @@ class TestRegistry:
         assert not get_backend("emulate").real
         assert not get_backend("simulate").real
         assert get_backend("threads").real
+        assert get_backend("asyncio").real
         assert get_backend("processes").real
+        assert get_backend("standalone").real
         assert get_backend("tcp").real
 
     def test_capability_matrix(self):
@@ -112,6 +120,9 @@ class TestRegistry:
         }
         assert caps["processes"]["faults"]
         assert caps["processes"]["realtime"]
+        assert caps["asyncio"]["realtime"]
+        assert not caps["asyncio"]["faults"]
+        assert not caps["standalone"]["faults"]
         assert [n for n, f in caps.items() if f["distributed"]] == ["tcp"]
 
     def test_emulate_needs_program(self):
