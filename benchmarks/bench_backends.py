@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import multiprocessing
 import os
 import time
 from typing import List, Optional
@@ -28,6 +29,7 @@ from conftest import default_artifact, run_once
 from repro import FunctionTable, ProgramBuilder
 from repro.backends import get_backend
 from repro.pnt import expand_program
+from repro.shm import BatchPolicy, RingChannel, create_ring
 from repro.syndex import distribute, ring
 
 WORKERS = 4
@@ -194,6 +196,173 @@ def compare_io(extra_info=None):
     return io_speedup
 
 
+# -- E13: the intra-host transport data plane (ring vs mp.Queue) --------------
+#
+# Two legs.  The *pump* measures raw packet throughput: one producer
+# process streams PUMP_PACKETS df-style small payloads through a single
+# channel while the parent drains it — the pattern where the ring's
+# preallocated slots and batched frames replace a per-packet
+# pickle/pipe/lock cycle.  The *farm* leg runs the same small-payload
+# df program end-to-end under both transports; its dispatch protocol
+# keeps one packet in flight per worker, so batching cannot engage and
+# parity (not speedup) is the honest expectation there.
+
+PUMP_PACKETS = 20000
+#: A typical df dispatch: a tag, a sequence number, a small value.
+PUMP_PAYLOAD = ("pkt", 1234, [1, 2, 3])
+PUMP_STOP = ("stop",)
+FARM_ITEMS = 1200
+
+
+def bump(x):
+    return x + 1
+
+
+def make_farm_table():
+    table = FunctionTable()
+    table.register("bump", ins=["int"], outs=["int"], cost=1.0)(bump)
+    table.register(
+        "add", ins=["int", "int"], outs=["int"],
+        properties=["commutative", "associative"],
+    )(add)
+    return table
+
+
+def farm_program(table, degree):
+    b = ProgramBuilder("bench_transport", table)
+    (xs,) = b.params("xs")
+    r = b.df(degree, comp="bump", acc="add", z=b.const(0), xs=xs)
+    return b.returns(r)
+
+
+def _pump_queue(channel, ready, go):
+    ready.set()
+    go.wait()
+    for _ in range(PUMP_PACKETS):
+        channel.put(PUMP_PAYLOAD)
+    channel.put(PUMP_STOP)
+
+
+def _pump_ring(channel, ready, go):
+    ready.set()
+    go.wait()
+    for _ in range(PUMP_PACKETS):
+        channel.put(PUMP_PAYLOAD, timeout=60.0)
+    channel.put(PUMP_STOP, timeout=60.0)
+    while channel.has_pending:
+        if channel.try_flush():
+            break
+        time.sleep(0.0002)
+    channel.close()
+
+
+def _drain(channel):
+    got = 0
+    while True:
+        value = channel.get(timeout=30.0)
+        if value == PUMP_STOP:
+            return got
+        got += 1
+
+
+def measure_pump(kind):
+    """Seconds to stream PUMP_PACKETS through one ``kind`` channel."""
+    ctx = multiprocessing.get_context()
+    ready, go = ctx.Event(), ctx.Event()
+    if kind == "queue":
+        channel = ctx.Queue(maxsize=64)
+        producer = ctx.Process(target=_pump_queue,
+                               args=(channel, ready, go))
+    else:
+        channel = RingChannel(create_ring(64, 16384),
+                              policy=BatchPolicy(), label="bench-pump")
+        producer = ctx.Process(target=_pump_ring,
+                               args=(channel, ready, go))
+    producer.start()
+    try:
+        if not ready.wait(30.0):
+            raise RuntimeError("pump producer never came up")
+        go.set()
+        start = time.perf_counter()
+        got = _drain(channel)
+        elapsed = time.perf_counter() - start
+    finally:
+        producer.join(10.0)
+        if producer.is_alive():  # pragma: no cover - wedged producer
+            producer.terminate()
+        if kind == "ring":
+            channel.destroy()
+    assert got == PUMP_PACKETS, f"lost packets: {got}/{PUMP_PACKETS}"
+    return elapsed
+
+
+def measure_farm(transport):
+    """Wall-clock seconds of the small-payload df farm end to end."""
+    table = make_farm_table()
+    prog = farm_program(table, WORKERS)
+    mapping = distribute(expand_program(prog, table), ring(WORKERS + 1))
+    args = (list(range(FARM_ITEMS)),)
+    start = time.perf_counter()
+    report = get_backend("processes").run(
+        mapping, table, args=args, timeout=300.0, transport=transport,
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, report.one_shot_results
+
+
+def compare_transport(extra_info=None):
+    queue_pump_s = measure_pump("queue")
+    ring_pump_s = measure_pump("ring")
+    pump_speedup = (
+        queue_pump_s / ring_pump_s if ring_pump_s > 0 else float("inf")
+    )
+    queue_farm_s, queue_result = measure_farm("queue")
+    ring_farm_s, ring_result = measure_farm("ring")
+    assert queue_result == ring_result, "transports disagree on the result"
+    farm_speedup = (
+        queue_farm_s / ring_farm_s if ring_farm_s > 0 else float("inf")
+    )
+    transfers = 2 * FARM_ITEMS  # one dispatch + one collect per item
+    print(f"\nE13 transport pump: {PUMP_PACKETS} small packets, "
+          "one producer process")
+    print(f"  mp.Queue  {queue_pump_s * 1000:8.1f} ms   "
+          f"({PUMP_PACKETS / queue_pump_s / 1000:6.1f} kpps)")
+    print(f"  ring      {ring_pump_s * 1000:8.1f} ms   "
+          f"({PUMP_PACKETS / ring_pump_s / 1000:6.1f} kpps, "
+          f"{pump_speedup:.2f}x)")
+    print(f"E13 transport farm: {WORKERS}-worker df, "
+          f"{FARM_ITEMS} one-int packets")
+    print(f"  mp.Queue  {queue_farm_s * 1000:8.1f} ms")
+    print(f"  ring      {ring_farm_s * 1000:8.1f} ms   "
+          f"({farm_speedup:.2f}x)")
+    if extra_info is not None:
+        extra_info["transport_queue_ms"] = round(queue_pump_s * 1000, 1)
+        extra_info["transport_ring_ms"] = round(ring_pump_s * 1000, 1)
+        extra_info["transport_speedup"] = round(pump_speedup, 2)
+        extra_info["transport_ring_kpps"] = round(
+            PUMP_PACKETS / ring_pump_s / 1000, 1)
+        extra_info["transport_farm_queue_ms"] = round(queue_farm_s * 1000, 1)
+        extra_info["transport_farm_ring_ms"] = round(ring_farm_s * 1000, 1)
+        extra_info["transport_farm_speedup"] = round(farm_speedup, 2)
+        extra_info["transport_farm_ring_kpps"] = round(
+            transfers / ring_farm_s / 1000, 1)
+    # The data plane is where the preallocated slots + batching pay off;
+    # the farm leg must simply never lose to the queue badly (its
+    # packet protocol is one-in-flight, so parity is the ceiling).
+    assert pump_speedup >= 1.5, (
+        f"ring should clearly beat mp.Queue on packet throughput, "
+        f"got {pump_speedup:.2f}x"
+    )
+    return pump_speedup
+
+
+def transport_document():
+    metrics: dict = {}
+    compare_transport(extra_info=metrics)
+    return {"pump_packets": PUMP_PACKETS, "farm_items": FARM_ITEMS,
+            "cores": os.cpu_count(), **metrics}
+
+
 def test_scm_processes_vs_threads(benchmark):
     run_once(benchmark, lambda: compare(
         scm_program, "scm", extra_info=benchmark.extra_info,
@@ -212,6 +381,12 @@ def test_io_asyncio_vs_threads(benchmark):
     ))
 
 
+def test_transport_ring_vs_queue(benchmark):
+    run_once(benchmark, lambda: compare_transport(
+        extra_info=benchmark.extra_info,
+    ))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="threads-vs-processes speedup on CPU-bound farms"
@@ -221,7 +396,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the headline numbers as a JSON "
                              "document (default: repo-root "
                              "BENCH_backends.json)")
+    parser.add_argument("--shm-json", metavar="FILE",
+                        default=default_artifact("shm"),
+                        help="write the transport (ring vs queue) "
+                             "numbers as a JSON document (default: "
+                             "repo-root BENCH_shm.json)")
+    parser.add_argument("--transport-only", action="store_true",
+                        help="run only the E13 transport legs (the shm "
+                             "CI job's fast path)")
     args = parser.parse_args(argv)
+    shm_document = transport_document()
+    with open(args.shm_json, "w") as handle:
+        json.dump(shm_document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.shm_json}")
+    if args.transport_only:
+        return 0
     metrics: dict = {}
     compare(scm_program, "scm", extra_info=metrics)
     compare(df_program, "df", extra_info=metrics)

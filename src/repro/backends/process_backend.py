@@ -33,6 +33,14 @@ from ..machine.costs import T9000, CostModel
 from ..machine.executive import RunReport
 from ..machine.trace import Trace
 from ..pnt.graph import ProcessKind
+from ..shm.batch import BatchPolicy
+from ..shm.flag import StopFlag
+from ..shm.registry import (
+    DEFAULT_TRANSPORT,
+    TRANSPORT_ENV,
+    EdgeSpec,
+    build_channels,
+)
 from ..syndex.distribute import Mapping
 from .base import Backend, BackendError, report_from_blackboard
 from .process_kernel import SHM_MIN_BYTES, ProcessKernel
@@ -148,8 +156,17 @@ def _worker_main(payload: Dict[str, Any]) -> None:
                 pass
 
 
-def _collect(results, deadline: float, workers) -> Tuple:
-    """Next control message, or raise on timeout / silently-dead worker."""
+def _collect(results, deadline: float, workers, *,
+             lost: Optional[set] = None, expendable=frozenset()) -> Tuple:
+    """Next control message, or raise on timeout / silently-dead worker.
+
+    Under fault supervision a dead *non-sink* worker is survivable: the
+    supervisor quarantines it on heartbeat staleness and the master
+    re-dispatches its outstanding work, so the run completes without a
+    control message from the corpse.  Such processors are recorded in
+    ``lost`` instead of raising; a dead sink owner still aborts the run
+    (nobody else can complete its sinks).
+    """
     while True:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
@@ -161,11 +178,16 @@ def _collect(results, deadline: float, workers) -> Tuple:
             return results.get(timeout=min(0.2, remaining))
         except queue.Empty:
             for worker in workers:
-                if worker.exitcode not in (None, 0):
-                    raise BackendError(
-                        f"worker {worker.name!r} died with exit code "
-                        f"{worker.exitcode}"
-                    )
+                if worker.exitcode in (None, 0):
+                    continue
+                processor = worker.name[len("repro-"):]
+                if lost is not None and processor in expendable:
+                    lost.add(processor)
+                    continue
+                raise BackendError(
+                    f"worker {worker.name!r} died with exit code "
+                    f"{worker.exitcode}"
+                )
 
 
 def run_multiprocess(
@@ -183,6 +205,8 @@ def run_multiprocess(
     fault_plan: Optional[Any] = None,
     fault_policy: Optional[Any] = None,
     budget: Optional[Any] = None,
+    transport: Optional[str] = None,
+    transport_options: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[str, Any], List, List, float, Any, Any]:
     """Run the mapped program on OS processes.
 
@@ -216,12 +240,35 @@ def run_multiprocess(
     for process, value in zip(inputs, args or ()):
         seed[f"arg_{process.params.get('param')}"] = value
 
-    remote: Dict[str, Any] = {}
-    for idx, edge in enumerate(graph.edges):
-        if mapping.processor_of(edge.src) != mapping.processor_of(edge.dst):
-            remote[f"e{idx}"] = ctx.Queue(maxsize=queue_size)
+    # One channel per inter-processor edge, built by the requested
+    # transport (``queue`` is the historical path; ``ring`` moves the
+    # data plane onto preallocated shared-memory rings with batching).
+    transport_name = (
+        transport or os.environ.get(TRANSPORT_ENV) or DEFAULT_TRANSPORT
+    )
+    edge_specs = [
+        EdgeSpec(
+            f"e{idx}", edge.src, edge.dst,
+            mapping.processor_of(edge.src), mapping.processor_of(edge.dst),
+        )
+        for idx, edge in enumerate(graph.edges)
+        if mapping.processor_of(edge.src) != mapping.processor_of(edge.dst)
+    ]
+    topts = dict(transport_options or {})
+    if budget is not None and "batch_policy" not in topts:
+        # A latency budget forbids Nagle-style holds: flush on every
+        # append, coalesce only under backpressure.
+        topts["batch_policy"] = BatchPolicy(eager=True)
+    channel_set = build_channels(
+        transport_name, edge_specs, ctx,
+        queue_size=queue_size, options=topts,
+    )
+    remote = channel_set.channels
 
-    stop_event = ctx.Event()
+    # A shared-memory byte, not ctx.Event(): a worker SIGKILLed while
+    # inside the Event's semaphore would poison it and wedge the
+    # parent's own set() — the chaos suite kills workers exactly there.
+    stop_event = StopFlag()
     participating = [
         p for p in mapping.arch.processor_ids() if mapping.processes_on(p)
     ]
@@ -322,14 +369,25 @@ def run_multiprocess(
         elif tag == "error":
             error = (message[1], message[2])
 
+    # Under supervision a dead non-sink worker is survivable (the
+    # supervisor re-dispatches its work); a dead sink owner is not.
+    lost: set = set()
+    expendable = (
+        frozenset(p for p in participating if p not in sink_procs)
+        if faults is not None else frozenset()
+    )
+
     stop_raised = False
     try:
         while waiting_sinks and error is None:
-            absorb(_collect(results, deadline, workers))
+            absorb(_collect(results, deadline, workers,
+                            lost=lost, expendable=expendable))
         stop_event.set()
         stop_raised = True
-        while len(done) < len(participating) and error is None:
-            absorb(_collect(results, deadline, workers))
+        while (len(set(done) | lost) < len(participating)
+               and error is None):
+            absorb(_collect(results, deadline, workers,
+                            lost=lost, expendable=expendable))
     finally:
         if not stop_raised:
             stop_event.set()
@@ -339,6 +397,10 @@ def run_multiprocess(
             if worker.is_alive():  # pragma: no cover - deadlock path
                 worker.terminate()
                 worker.join(1.0)
+        # The parent created the channels, the parent unlinks them —
+        # only after every worker is gone (rings are mapped memory).
+        channel_set.destroy()
+        stop_event.unlink()
     wall_us = (time.perf_counter() - epoch) * 1e6
 
     if error is not None:
@@ -373,11 +435,16 @@ class ProcessBackend(Backend):
     """Run the generated executive with one OS process per processor.
 
     True parallelism for CPU-bound sequential functions (each worker has
-    its own interpreter and GIL); inter-processor edges are bounded
-    multiprocessing queues, with shared-memory transfer for large numpy
-    payloads.  Options: ``start_method`` (``fork``/``spawn``/
+    its own interpreter and GIL); inter-processor edges are built by the
+    selected *transport* — ``queue`` (bounded multiprocessing queues,
+    with shared-memory transfer for large numpy payloads) or ``ring``
+    (preallocated shared-memory rings with packet batching; see
+    :mod:`repro.shm`).  Options: ``start_method`` (``fork``/``spawn``/
     ``forkserver``; default from ``REPRO_MP_START_METHOD`` or ``fork``
-    where available), ``queue_size``, ``shm_threshold``.
+    where available), ``queue_size``, ``shm_threshold``, ``transport``
+    (default from ``REPRO_TRANSPORT`` or ``queue``),
+    ``transport_options`` (``ring_slots``, ``ring_slot_bytes``,
+    ``batch_policy``).
     """
 
     name = "processes"
@@ -404,6 +471,8 @@ class ProcessBackend(Backend):
         fault_plan: Optional[Any] = None,
         fault_policy: Optional[Any] = None,
         budget: Optional[Any] = None,
+        transport: Optional[str] = None,
+        transport_options: Optional[Dict[str, Any]] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -420,6 +489,8 @@ class ProcessBackend(Backend):
             fault_plan=fault_plan,
             fault_policy=fault_policy,
             budget=budget,
+            transport=transport,
+            transport_options=transport_options,
         )
         trace = Trace()
         trace.compute = compute

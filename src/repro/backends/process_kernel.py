@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..codegen.kernel import Shutdown, Stop
 from ..machine.trace import Span
+from ..shm.channel import RingChannel
 
 try:  # numpy is a hard dependency of the repo, but stay import-safe.
     import numpy as _np
@@ -206,6 +207,11 @@ class ProcessKernel:
                 body()
             except Shutdown:
                 pass
+            finally:
+                # A one-shot thread may exit right after a send that the
+                # ring channel merely *accepted into its pending batch*;
+                # drain it now or the packet would be stranded forever.
+                self._drain_thread_pending()
 
         thread = threading.Thread(target=runner, name=name, daemon=True)
         self._threads.append(thread)
@@ -216,7 +222,11 @@ class ProcessKernel:
         channel = self.channel(edge)
         remote = edge in self._remote
         if remote:
-            value = _shm_pack(value, self._shm_threshold, self._owned_shm)
+            if not isinstance(channel, RingChannel):
+                # Ring channels skip the _ShmRef detour: the tag codec
+                # writes arrays straight into the slot (or the overflow
+                # side-channel), so packing here would only add a copy.
+                value = _shm_pack(value, self._shm_threshold, self._owned_shm)
             start = time.perf_counter()
         while True:
             if self._stop_event.is_set():
@@ -225,6 +235,7 @@ class ProcessKernel:
                 channel.put(value, timeout=self._poll_s)
                 break
             except queue.Full:
+                self._flush_thread_pending()
                 continue
         if remote and self._record_spans:
             end = time.perf_counter()
@@ -239,12 +250,18 @@ class ProcessKernel:
 
     def recv_(self, edge: str) -> Any:
         channel = self.channel(edge)
+        # About to wait: whatever this thread still holds in pending
+        # batches (a router receives on one edge and sends on others)
+        # must go out *before* blocking — flushing only after the first
+        # timeout would hold every reply hostage for a full poll tick.
+        self._flush_thread_pending()
         while True:
             if self._stop_event.is_set():
                 raise Shutdown
             try:
                 return _shm_unpack(channel.get(timeout=self._poll_s))
             except queue.Empty:
+                self._flush_thread_pending()
                 continue
 
     def try_recv_(self, edge: str) -> Any:
@@ -256,6 +273,7 @@ class ProcessKernel:
         """
         if self._stop_event.is_set():
             raise Shutdown
+        self._flush_thread_pending()
         return _shm_unpack(self.channel(edge).get_nowait())
 
     def stop_(self, edge: str) -> None:
@@ -263,6 +281,7 @@ class ProcessKernel:
 
     def alt_(self, edges: List[str]) -> Tuple[str, Any]:
         """Wait for a message on any of ``edges`` (the Transputer ALT)."""
+        self._flush_thread_pending()  # publish before polling, as in recv_
         while True:
             if self._stop_event.is_set():
                 raise Shutdown
@@ -271,6 +290,7 @@ class ProcessKernel:
                     return edge, _shm_unpack(self.channel(edge).get_nowait())
                 except queue.Empty:
                     continue
+            self._flush_thread_pending()
             # Sub-millisecond poll, as in ThreadKernel: ALT latency
             # directly gates farm throughput.
             time.sleep(0.0002)
@@ -295,6 +315,39 @@ class ProcessKernel:
     def is_stop(self, value: Any) -> bool:
         return isinstance(value, Stop)
 
+    # -- batching back-stops ---------------------------------------------------
+    #
+    # A ring channel may *accept* a small packet into a process-local
+    # pending batch instead of writing it through (Nagle-flavoured
+    # coalescing).  These sweeps are the residency bound: every blocking
+    # point flushes what the current thread still holds, and a thread
+    # drains completely before it exits.  Only the owning thread ever
+    # touches a channel's pending batch — the rings are strictly SPSC.
+
+    def _thread_ring_channels(self) -> List[RingChannel]:
+        ident = threading.get_ident()
+        return [
+            channel for channel in self._remote.values()
+            if isinstance(channel, RingChannel)
+            and channel.pending_owner == ident
+        ]
+
+    def _flush_thread_pending(self) -> None:
+        """Best-effort flush of this thread's pending batches."""
+        for channel in self._thread_ring_channels():
+            if channel.has_pending:
+                channel.try_flush()
+
+    def _drain_thread_pending(self) -> None:
+        """Blocking flush at thread exit; bails only on a raised stop."""
+        for channel in self._thread_ring_channels():
+            while channel.has_pending:
+                if channel.try_flush():
+                    break
+                if self._stop_event.is_set():
+                    return
+                time.sleep(0.0002)
+
     # -- worker-side helpers ---------------------------------------------------
 
     def local_threads(self) -> List[threading.Thread]:
@@ -309,6 +362,12 @@ class ProcessKernel:
         receiver never attached — it crashed, or the run stopped first —
         would otherwise outlive the interpreter in ``/dev/shm``.
         """
+        # Ring channels park oversized payloads in one-shot segments
+        # with the same transfer-of-ownership contract: reclaim the
+        # unclaimed ones too.
+        for channel in self._remote.values():
+            if isinstance(channel, RingChannel):
+                channel.release()
         if _shared_memory is None:
             return
         names, self._owned_shm = self._owned_shm, set()

@@ -319,6 +319,8 @@ def _cmd_run(args) -> int:
     options.update(_load_budget(args))
     if args.start_method:
         options["start_method"] = args.start_method
+    if getattr(args, "transport", None):
+        options["transport"] = args.transport
     if getattr(args, "cluster", None):
         options["cluster_size"] = args.cluster
     if getattr(args, "listen", None):
@@ -479,6 +481,22 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_transports(args) -> int:
+    from .shm import list_transports, transport_capabilities
+
+    descriptions = list_transports()
+    capabilities = transport_capabilities()
+    flag = lambda on: "yes" if on else "-"  # noqa: E731
+    print(f"  {'transport':<10} {'shm':<5} {'batching':<9} "
+          f"{'prealloc':<9} description")
+    for name in sorted(descriptions):
+        caps = capabilities[name]
+        print(f"  {name:<10} {flag(caps['shared_memory']):<5} "
+              f"{flag(caps['batching']):<9} {flag(caps['preallocated']):<9} "
+              f"{descriptions[name]}")
+    return 0
+
+
 def _cmd_backends(args) -> int:
     from .backends import backend_capabilities
 
@@ -596,6 +614,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--start-method", default=None,
                    choices=("fork", "spawn", "forkserver"),
                    help="multiprocessing start method (processes backend)")
+    p.add_argument("--transport", default=None, metavar="NAME",
+                   help="intra-host transport for the processes backend "
+                        "(queue|ring; default from REPRO_TRANSPORT)")
     p.add_argument("--cluster", type=int, default=None, metavar="N",
                    help="tcp backend: spawn a private localhost cluster "
                         "of N workers (default: shared 4-worker cluster)")
@@ -732,6 +753,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="list the execution backends and their capability matrix",
     )
     p.set_defaults(fn=_cmd_backends)
+
+    p = sub.add_parser(
+        "transports",
+        help="list the intra-host transports of the processes backend",
+    )
+    p.set_defaults(fn=_cmd_transports)
 
     args = parser.parse_args(argv)
     return args.fn(args)

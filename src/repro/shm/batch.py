@@ -1,0 +1,156 @@
+"""Packet batching: coalesce small packets into one framed ring slot.
+
+A batched frame is a flat byte string::
+
+    u32 count | ( u8 flags | u32 length | payload )*
+
+:func:`frame_entries` and :func:`split_entries` are exact inverses on
+any sequence of ``(flags, payload)`` entries — the property suite in
+``tests/shm/test_batch.py`` fuzzes that round trip byte-for-byte, and
+strict framing (truncation, trailing garbage, oversized counts) raises
+:class:`BatchError` instead of yielding a short read.
+
+:class:`BatchPolicy` is the *flush policy* of a batching producer:
+
+* ``eager`` — try to flush after every append; packets only coalesce
+  while the ring is full (backpressure batching).  Zero added latency;
+  the default wherever a latency budget is attached.
+* non-eager (Nagle-flavoured) — hold small packets until the pending
+  batch reaches ``max_bytes`` or ``max_packets`` or ages past
+  ``max_delay_s``; the kernel additionally flushes at every blocking
+  point (and when a producer thread exits), which is what bounds the
+  residency of a held packet.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "BatchError",
+    "BatchPolicy",
+    "ENTRY_OVERHEAD",
+    "BATCH_OVERHEAD",
+    "frame_entries",
+    "split_entries",
+    "framed_size",
+]
+
+_U32 = struct.Struct("<I")
+_ENTRY = struct.Struct("<BI")  # flags u8, length u32
+
+#: Per-entry framing cost inside a batch.
+ENTRY_OVERHEAD = _ENTRY.size
+#: Fixed framing cost of a batch (the entry count).
+BATCH_OVERHEAD = _U32.size
+
+
+class BatchError(ValueError):
+    """A batch frame is structurally invalid (truncated, oversized...)."""
+
+
+class BatchPolicy:
+    """When a batching producer flushes its pending packets.
+
+    ``small_max`` bounds which packets batch at all: anything larger is
+    written to its own slot (after flushing what is pending, so order
+    is preserved).  ``max_bytes`` / ``max_packets`` / ``max_delay_s``
+    are the flush triggers; ``eager`` makes every append attempt a
+    flush, so coalescing only happens under backpressure.
+    """
+
+    __slots__ = ("small_max", "max_bytes", "max_packets", "max_delay_s",
+                 "eager")
+
+    def __init__(
+        self,
+        *,
+        small_max: int = 1024,
+        max_bytes: int = 8192,
+        max_packets: int = 32,
+        max_delay_s: float = 0.002,
+        eager: bool = False,
+    ):
+        if small_max <= 0 or max_bytes <= 0 or max_packets <= 0:
+            raise ValueError("batch policy limits must be positive")
+        self.small_max = small_max
+        self.max_bytes = max_bytes
+        self.max_packets = max_packets
+        self.max_delay_s = max_delay_s
+        self.eager = eager
+
+    def should_flush(self, pending_bytes: int, pending_count: int,
+                     age_s: float) -> bool:
+        return (
+            self.eager
+            or pending_bytes >= self.max_bytes
+            or pending_count >= self.max_packets
+            or age_s >= self.max_delay_s
+        )
+
+    def __getstate__(self):
+        return (self.small_max, self.max_bytes, self.max_packets,
+                self.max_delay_s, self.eager)
+
+    def __setstate__(self, state):
+        (self.small_max, self.max_bytes, self.max_packets,
+         self.max_delay_s, self.eager) = state
+
+    def __repr__(self) -> str:
+        mode = "eager" if self.eager else f"delay<={self.max_delay_s*1e3}ms"
+        return (f"<BatchPolicy small<={self.small_max}B "
+                f"flush@{self.max_bytes}B/{self.max_packets}pkt {mode}>")
+
+
+def framed_size(sizes: Iterable[int]) -> int:
+    """Byte length of a batch frame holding payloads of ``sizes``."""
+    total = BATCH_OVERHEAD
+    for size in sizes:
+        total += ENTRY_OVERHEAD + size
+    return total
+
+
+def frame_entries(entries: Sequence[Tuple[int, bytes]]) -> bytes:
+    """Coalesce ``(flags, payload)`` entries into one batch frame."""
+    parts = [_U32.pack(len(entries))]
+    for flags, payload in entries:
+        if not 0 <= flags <= 0xFF:
+            raise BatchError(f"entry flags {flags} do not fit one byte")
+        parts.append(_ENTRY.pack(flags, len(payload)))
+        parts.append(bytes(payload))
+    return b"".join(parts)
+
+
+def split_entries(data) -> List[Tuple[int, bytes]]:
+    """Split a batch frame back into its ``(flags, payload)`` entries."""
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if len(view) < BATCH_OVERHEAD:
+        raise BatchError(f"batch frame of {len(view)} byte(s) has no header")
+    count = _U32.unpack_from(view, 0)[0]
+    if count * ENTRY_OVERHEAD > len(view) - BATCH_OVERHEAD:
+        raise BatchError(
+            f"batch count {count} impossible in {len(view)} byte(s)"
+        )
+    pos = BATCH_OVERHEAD
+    out: List[Tuple[int, bytes]] = []
+    for index in range(count):
+        if pos + ENTRY_OVERHEAD > len(view):
+            raise BatchError(
+                f"truncated batch: entry {index} header past the frame end"
+            )
+        flags, length = _ENTRY.unpack_from(view, pos)
+        pos += ENTRY_OVERHEAD
+        if pos + length > len(view):
+            raise BatchError(
+                f"truncated batch: entry {index} wants {length} byte(s), "
+                f"{len(view) - pos} left"
+            )
+        out.append((flags, bytes(view[pos:pos + length])))
+        pos += length
+    if pos != len(view):
+        raise BatchError(
+            f"trailing garbage: {len(view) - pos} byte(s) after the last "
+            "batch entry"
+        )
+    return out

@@ -1,0 +1,348 @@
+"""The shared-memory SPSC ring buffer: preallocated slots, seqlock stamps.
+
+One :class:`Ring` is a single POSIX shared-memory segment laid out as a
+small header plus a power-of-two array of fixed-size slots:
+
+.. code-block:: text
+
+    offset 0     +--------------------------------------------------+
+                 | head counter (u64, consumer-owned)   | 56B pad   |
+    offset 64    | tail counter (u64, producer-owned)   | 56B pad   |
+    offset 128   | slot 0: seq0 u64 | len u32 | flags u32 | payload |
+                 |         ...                            | seq1 u64 |
+                 | slot 1: ...                                      |
+                 +--------------------------------------------------+
+
+Head and tail are free-running modulo 2**64 counters (the slot index is
+``counter % slots``, which is why ``slots`` must be a power of two: the
+rotation stays aligned across the counter wrap).  The ring is *empty*
+when ``head == tail`` and *full* when ``tail - head == slots``.
+
+The publish protocol is seqlock-flavoured single-producer /
+single-consumer:
+
+* the **producer** owns ``tail``: it stamps ``seq0 = tail + 1``, writes
+  the payload, length and flags, stamps ``seq1 = tail + 1``, and only
+  then advances ``tail`` — the tail store is the publish, so a producer
+  killed mid-write leaves an *invisible* slot, never a torn one;
+* the **consumer** owns ``head``: it reads the slot, copies the payload
+  out, verifies ``seq0 == seq1 == head + 1`` (a mismatch raises
+  :class:`TornRead`), and only then advances ``head`` — the head store
+  is what releases the slot for reuse.
+
+Counter and stamp stores are single aligned 8-byte writes through a
+``memoryview`` (one C ``memcpy``), the same lock-free single-writer
+assumption the fault supervisor's ``HealthBoard`` already relies on.
+The stamps cannot trip in a *correct* SPSC exchange; they exist to turn
+protocol violations — a second producer, a reader that releases a slot
+before copying it, stray writes through the raw buffer — into loud
+:class:`TornRead` errors instead of silent corruption, and the stress
+suite in ``tests/shm/`` provokes exactly those violations.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Optional, Tuple
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shared_memory = None
+
+__all__ = [
+    "RingError",
+    "RingFull",
+    "TornRead",
+    "RingHandle",
+    "Ring",
+    "HEADER_BYTES",
+    "SLOT_OVERHEAD",
+    "DEFAULT_SLOTS",
+    "DEFAULT_SLOT_BYTES",
+]
+
+#: Header: one cache line per counter so producer and consumer stores
+#: never share a line (false sharing would not break correctness, only
+#: throughput, but cache lines are cheap).
+_HEAD_OFF = 0
+_TAIL_OFF = 64
+HEADER_BYTES = 128
+
+#: Per-slot metadata: seq0 u64 + length u32 + flags u32 before the
+#: payload, seq1 u64 after it.
+_SLOT_META = 16
+_SLOT_FOOT = 8
+SLOT_OVERHEAD = _SLOT_META + _SLOT_FOOT
+
+DEFAULT_SLOTS = 64
+DEFAULT_SLOT_BYTES = 16384
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+_MASK64 = (1 << 64) - 1
+
+
+class RingError(RuntimeError):
+    """A structural ring failure (bad geometry, corrupt header...)."""
+
+
+class RingFull(RingError):
+    """Internal marker; the public API returns False / raises queue.Full."""
+
+
+class TornRead(RingError):
+    """A slot's seqlock stamps do not match the expected cycle.
+
+    In a correct single-producer/single-consumer exchange this cannot
+    happen — the tail store publishes a fully written slot and the head
+    store releases a fully read one.  Seeing it means the protocol was
+    violated: two producers raced a slot, a reader released a slot
+    before copying it (the fault-injected slow reader of the stress
+    suite), or something scribbled on the segment.
+    """
+
+
+def _check_geometry(slots: int, slot_bytes: int) -> None:
+    if slots <= 0 or slots & (slots - 1):
+        raise RingError(
+            f"slot count must be a power of two (got {slots}): the slot "
+            "index is counter % slots and must stay aligned across the "
+            "u64 counter wrap"
+        )
+    if slot_bytes < 64:
+        raise RingError(f"slot payload must be >= 64 bytes (got {slot_bytes})")
+
+
+class RingHandle:
+    """Picklable descriptor of a ring segment (name + geometry).
+
+    Crossing a process boundary ships only this; each process attaches
+    its own mapping lazily.  The *creator* of the segment is responsible
+    for the final :meth:`unlink`.
+    """
+
+    __slots__ = ("name", "slots", "slot_bytes")
+
+    def __init__(self, name: str, slots: int, slot_bytes: int):
+        self.name = name
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+
+    def __getstate__(self):
+        return (self.name, self.slots, self.slot_bytes)
+
+    def __setstate__(self, state):
+        self.name, self.slots, self.slot_bytes = state
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES + self.slots * (SLOT_OVERHEAD + self.slot_bytes)
+
+    def unlink(self) -> None:
+        """Remove the segment (idempotent; survives a vanished name)."""
+        if _shared_memory is None:  # pragma: no cover
+            return
+        try:
+            segment = _shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:
+            return
+        # No explicit untrack here: attach registered the name with the
+        # resource tracker and unlink() unregisters it — balanced.
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - lost the race
+            pass
+
+    def __repr__(self) -> str:
+        return (f"<ring {self.name} {self.slots}x{self.slot_bytes}B>")
+
+
+def create_ring(
+    slots: int = DEFAULT_SLOTS, slot_bytes: int = DEFAULT_SLOT_BYTES
+) -> RingHandle:
+    """Allocate a zeroed ring segment; the caller owns the unlink.
+
+    The creating process does not keep a mapping — endpoints (possibly
+    including the creator) attach their own via :class:`Ring`.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise RingError("POSIX shared memory is unavailable on this host")
+    _check_geometry(slots, slot_bytes)
+    handle = RingHandle("?", slots, slot_bytes)
+    segment = _shared_memory.SharedMemory(create=True, size=handle.nbytes)
+    handle.name = segment.name
+    # The segment stays registered with the (tree-wide, deduplicating)
+    # resource tracker until the creator's eventual unlink unregisters
+    # it; explicit per-process unregistration is a race — two processes
+    # attaching and untracking concurrently double-remove from the
+    # tracker's set and flood stderr with KeyError tracebacks.
+    # ftruncate zero-fills: head == tail == 0, every stamp 0 (cycle
+    # stamps start at 1, so a never-written slot can never verify).
+    segment.close()
+    return handle
+
+
+class Ring:
+    """One process's attached view of a ring segment.
+
+    All methods assume the caller respects the SPSC contract: exactly
+    one thread (in one process) pushes, exactly one pops.  The low-level
+    ``read_slot`` / ``advance_head`` / ``force_counters`` entry points
+    exist for the stress suite, which deliberately breaks the contract
+    to prove the stamps catch it.
+    """
+
+    def __init__(self, handle: RingHandle):
+        if _shared_memory is None:  # pragma: no cover
+            raise RingError("POSIX shared memory is unavailable on this host")
+        self.handle = handle
+        self._segment = _shared_memory.SharedMemory(name=handle.name)
+        self._buf = self._segment.buf
+        self._slots = handle.slots
+        self._slot_bytes = handle.slot_bytes
+        self._stride = SLOT_OVERHEAD + handle.slot_bytes
+
+    # -- counters --------------------------------------------------------------
+
+    def _load(self, off: int) -> int:
+        return _U64.unpack_from(self._buf, off)[0]
+
+    def _store(self, off: int, value: int) -> None:
+        _U64.pack_into(self._buf, off, value & _MASK64)
+
+    @property
+    def head(self) -> int:
+        return self._load(_HEAD_OFF)
+
+    @property
+    def tail(self) -> int:
+        return self._load(_TAIL_OFF)
+
+    def __len__(self) -> int:
+        """Occupied slots (consumer-visible)."""
+        return (self.tail - self.head) & _MASK64
+
+    @property
+    def capacity(self) -> int:
+        return self._slots
+
+    @property
+    def slot_bytes(self) -> int:
+        return self._slot_bytes
+
+    def force_counters(self, head: int, tail: int) -> None:
+        """Test hook: park the counters anywhere (e.g. near the u64 wrap)."""
+        self._store(_HEAD_OFF, head)
+        self._store(_TAIL_OFF, tail)
+
+    # -- producer --------------------------------------------------------------
+
+    def try_push(self, buffers: List[Any], length: int, flags: int) -> bool:
+        """Publish one slot from ``buffers`` (written back to back).
+
+        Returns False when the ring is full.  ``length`` must equal the
+        total byte length of ``buffers`` and fit the slot payload.
+        """
+        if length > self._slot_bytes:
+            raise RingError(
+                f"payload of {length} byte(s) exceeds the {self._slot_bytes}"
+                "-byte slot; route it through the overflow side-channel"
+            )
+        tail = self._load(_TAIL_OFF)
+        if ((tail - self._load(_HEAD_OFF)) & _MASK64) >= self._slots:
+            return False
+        base = HEADER_BYTES + (tail % self._slots) * self._stride
+        cycle = (tail + 1) & _MASK64
+        _U64.pack_into(self._buf, base, cycle)
+        pos = base + _SLOT_META
+        for part in buffers:
+            view = part if isinstance(part, memoryview) else memoryview(part)
+            if view.format != "B" or view.ndim != 1:
+                view = view.cast("B")
+            n = view.nbytes
+            if n:
+                self._buf[pos:pos + n] = view
+            pos += n
+        if pos - (base + _SLOT_META) != length:
+            raise RingError(
+                f"declared length {length} != written "
+                f"{pos - (base + _SLOT_META)} byte(s)"
+            )
+        _U32.pack_into(self._buf, base + 8, length)
+        _U32.pack_into(self._buf, base + 12, flags)
+        _U64.pack_into(self._buf, base + _SLOT_META + self._slot_bytes, cycle)
+        # The publish: a producer killed anywhere above this line leaves
+        # the slot invisible to the consumer.
+        self._store(_TAIL_OFF, tail + 1)
+        return True
+
+    # -- consumer --------------------------------------------------------------
+
+    def read_slot(self, counter: int) -> Tuple[int, int, int, bytes, int]:
+        """Raw slot contents at ``counter`` — no verification, no release.
+
+        Returns ``(seq0, length, flags, payload_bytes, seq1)`` with the
+        payload truncated to the slot size when the length field is
+        corrupt (the caller verifies).  Stress-suite building block.
+        """
+        base = HEADER_BYTES + (counter % self._slots) * self._stride
+        seq0 = _U64.unpack_from(self._buf, base)[0]
+        length = _U32.unpack_from(self._buf, base + 8)[0]
+        flags = _U32.unpack_from(self._buf, base + 12)[0]
+        safe_len = min(length, self._slot_bytes)
+        payload = bytes(self._buf[base + _SLOT_META:
+                                  base + _SLOT_META + safe_len])
+        seq1 = _U64.unpack_from(
+            self._buf, base + _SLOT_META + self._slot_bytes
+        )[0]
+        return seq0, length, flags, payload, seq1
+
+    def verify_slot(
+        self, counter: int, seq0: int, length: int, seq1: int
+    ) -> None:
+        """Raise :class:`TornRead` unless a read of ``counter`` was clean."""
+        cycle = (counter + 1) & _MASK64
+        if seq0 != cycle or seq1 != cycle:
+            raise TornRead(
+                f"slot {counter % self._slots}: stamps ({seq0}, {seq1}) != "
+                f"cycle {cycle} — the slot was rewritten during the read"
+            )
+        if length > self._slot_bytes:
+            raise TornRead(
+                f"slot {counter % self._slots}: corrupt length {length} > "
+                f"slot size {self._slot_bytes}"
+            )
+
+    def advance_head(self) -> None:
+        """Release the head slot for reuse (consumer-owned store)."""
+        self._store(_HEAD_OFF, self._load(_HEAD_OFF) + 1)
+
+    def try_pop(self) -> Optional[Tuple[int, bytes]]:
+        """The safe consumer read: ``(flags, payload)`` or None when empty.
+
+        Copy first, verify the stamps, and only then release the slot —
+        the release is what lets the producer overwrite it, so a clean
+        verify proves the copy was not torn.
+        """
+        head = self._load(_HEAD_OFF)
+        if head == self._load(_TAIL_OFF):
+            return None
+        seq0, length, flags, payload, seq1 = self.read_slot(head)
+        self.verify_slot(head, seq0, length, seq1)
+        self._store(_HEAD_OFF, head + 1)
+        return flags, payload
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._buf = None
+            self._segment.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def __repr__(self) -> str:
+        return (f"<Ring {self.handle.name} {len(self)}/{self._slots} "
+                f"slots of {self._slot_bytes}B>")

@@ -1,0 +1,262 @@
+"""Seeded multi-process stress driver for the shared-memory ring.
+
+Two scenarios, both deterministic in ``seed``:
+
+* ``exchange`` — a producer *process* pushes a seeded mix of payload
+  sizes (empty, batchable-small, slot-sized, and overflow-large) through
+  a :class:`~repro.shm.channel.RingChannel` while the consumer drains
+  and re-derives every payload from the seed — any reorder, drop,
+  duplicate or corruption fails the checksum.  The ring is deliberately
+  tiny so the exchange wraps the slot array hundreds of times.
+* ``slow_reader`` — a fault-injected consumer that *violates* the SPSC
+  contract: it releases the head slot before copying it, dawdles, and
+  only then verifies the seqlock stamps.  With a fast producer the slot
+  is rewritten in the window, and the verdict counts how many times
+  :class:`~repro.shm.ring.TornRead` fired — the stress suite asserts it
+  does, i.e. the stamps actually catch torn reads.
+
+Runnable standalone (CI uses this under fork *and* spawn)::
+
+    python -m repro.shm.stress --scenario exchange --seed 7 --packets 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import queue
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from .batch import BatchPolicy
+from .channel import RingChannel
+from .ring import Ring, TornRead, create_ring
+
+__all__ = ["payload_for", "run_exchange", "run_slow_reader", "main"]
+
+_SIZE_BUCKETS = (0, 1, 17, 200, 900, 4000, 16384, 16385, 70000)
+
+
+def payload_for(seed: int, index: int, size: int) -> bytes:
+    """The deterministic payload both endpoints can derive independently."""
+    out = bytearray()
+    counter = 0
+    stamp = f"{seed}:{index}:{size}".encode()
+    while len(out) < size:
+        out += hashlib.sha256(stamp + counter.to_bytes(4, "little")).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+def _plan_sizes(seed: int, packets: int) -> List[int]:
+    """Seeded size schedule; hits every bucket including overflow."""
+    sizes = []
+    state = seed & 0xFFFFFFFF or 1
+    for _ in range(packets):
+        # xorshift32: tiny, deterministic, no random-module state leaks.
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        sizes.append(_SIZE_BUCKETS[state % len(_SIZE_BUCKETS)])
+    return sizes
+
+
+def _producer_main(channel: RingChannel, seed: int, packets: int) -> None:
+    for index, size in enumerate(_plan_sizes(seed, packets)):
+        value = (index, payload_for(seed, index, size))
+        while True:
+            try:
+                channel.put(value, timeout=5.0)
+                break
+            except queue.Full:
+                continue
+        # A short stall every so often lets the consumer race ahead and
+        # exercises the empty boundary, not just the full one.
+        if index % 97 == 96:
+            time.sleep(0.001)
+    deadline = time.monotonic() + 30.0
+    while channel.has_pending:
+        if channel.try_flush():
+            break
+        if time.monotonic() >= deadline:
+            raise RuntimeError("producer could not drain its pending batch")
+        time.sleep(0.0005)
+    # No release() here: in-flight overflow descriptors still sit in
+    # unconsumed slots, and the consumer asserts it drains everything.
+    channel.close()
+
+
+def run_exchange(
+    seed: int = 7,
+    packets: int = 400,
+    *,
+    slots: int = 8,
+    slot_bytes: int = 512,
+    start_method: Optional[str] = None,
+    eager: bool = False,
+) -> Dict[str, Any]:
+    """Producer process vs consumer (this process) over a tiny ring."""
+    ctx = (multiprocessing.get_context(start_method)
+           if start_method else multiprocessing.get_context())
+    policy = BatchPolicy(small_max=min(256, slot_bytes // 2), eager=eager)
+    channel = RingChannel(slots=slots, slot_bytes=slot_bytes, policy=policy,
+                          label="stress")
+    verdict: Dict[str, Any] = {
+        "scenario": "exchange",
+        "seed": seed,
+        "packets": packets,
+        "slots": slots,
+        "slot_bytes": slot_bytes,
+        "start_method": ctx.get_start_method(),
+        "received": 0,
+        "mismatches": 0,
+        "torn": 0,
+        "ok": False,
+    }
+    proc = ctx.Process(
+        target=_producer_main, args=(channel, seed, packets),
+        name="repro-shm-stress-producer", daemon=True,
+    )
+    proc.start()
+    sizes = _plan_sizes(seed, packets)
+    try:
+        for index, size in enumerate(sizes):
+            try:
+                got = channel.get(timeout=30.0)
+            except queue.Empty:
+                verdict["error"] = f"timed out waiting for packet {index}"
+                return verdict
+            except TornRead as exc:
+                verdict["torn"] += 1
+                verdict["error"] = str(exc)
+                return verdict
+            verdict["received"] += 1
+            expect = (index, payload_for(seed, index, size))
+            if got != expect:
+                verdict["mismatches"] += 1
+        proc.join(timeout=30.0)
+        verdict["producer_exitcode"] = proc.exitcode
+        verdict["ring_occupancy_after"] = len(channel.ring)
+        verdict["ok"] = (
+            verdict["mismatches"] == 0
+            and verdict["received"] == packets
+            and proc.exitcode == 0
+            and len(channel.ring) == 0
+        )
+        # Wraparound proof: the head counter must have lapped the slot
+        # array many times for the run to mean anything.
+        verdict["laps"] = channel.ring.head // slots
+        return verdict
+    finally:
+        if proc.is_alive():  # pragma: no cover - failure path
+            proc.terminate()
+            proc.join(timeout=5.0)
+        channel.close()
+        channel.destroy()
+
+
+def _fast_producer_main(handle, packets: int) -> None:
+    ring = Ring(handle)
+    payload = b"\xAB" * 48
+    pushed = 0
+    while pushed < packets:
+        if ring.try_push([payload], len(payload), 1):
+            pushed += 1
+        # No backoff: the point is to rewrite slots as fast as possible.
+    ring.close()
+
+
+def run_slow_reader(
+    seed: int = 7,
+    packets: int = 5000,
+    *,
+    slots: int = 4,
+    slot_bytes: int = 64,
+    start_method: Optional[str] = None,
+    dawdle_s: float = 0.0005,
+) -> Dict[str, Any]:
+    """Fault-injected reader: release-before-copy must trip TornRead."""
+    ctx = (multiprocessing.get_context(start_method)
+           if start_method else multiprocessing.get_context())
+    handle = create_ring(slots, slot_bytes)
+    verdict: Dict[str, Any] = {
+        "scenario": "slow_reader",
+        "seed": seed,
+        "packets": packets,
+        "slots": slots,
+        "start_method": ctx.get_start_method(),
+        "reads": 0,
+        "torn": 0,
+        "ok": False,
+    }
+    proc = ctx.Process(
+        target=_fast_producer_main, args=(handle, packets),
+        name="repro-shm-stress-writer", daemon=True,
+    )
+    ring = Ring(handle)
+    proc.start()
+    try:
+        deadline = time.monotonic() + 30.0
+        while ring.head < packets and time.monotonic() < deadline:
+            head = ring.head
+            if head == ring.tail:
+                continue
+            # THE VIOLATION: release the slot first, then dawdle, then
+            # read and verify.  The producer is free to rewrite the slot
+            # inside the dawdle window, so the stamps must mismatch.
+            ring.advance_head()
+            time.sleep(dawdle_s)
+            seq0, length, _flags, _payload, seq1 = ring.read_slot(head)
+            verdict["reads"] += 1
+            try:
+                ring.verify_slot(head, seq0, length, seq1)
+            except TornRead:
+                verdict["torn"] += 1
+        proc.join(timeout=10.0)
+        verdict["ok"] = verdict["torn"] > 0
+        return verdict
+    finally:
+        if proc.is_alive():  # pragma: no cover - failure path
+            proc.terminate()
+            proc.join(timeout=5.0)
+        ring.close()
+        handle.unlink()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shm.stress",
+        description="seeded multi-process stress driver for the ring",
+    )
+    parser.add_argument("--scenario", choices=("exchange", "slow_reader"),
+                        default="exchange")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--packets", type=int, default=400)
+    parser.add_argument("--slots", type=int, default=8)
+    parser.add_argument("--slot-bytes", type=int, default=512)
+    parser.add_argument("--start-method", default=None,
+                        choices=(None, "fork", "spawn", "forkserver"))
+    parser.add_argument("--eager", action="store_true",
+                        help="eager batch policy (flush every append)")
+    args = parser.parse_args(argv)
+    if args.scenario == "exchange":
+        verdict = run_exchange(
+            args.seed, args.packets, slots=args.slots,
+            slot_bytes=args.slot_bytes, start_method=args.start_method,
+            eager=args.eager,
+        )
+    else:
+        verdict = run_slow_reader(
+            args.seed, max(args.packets, 1000), slots=4, slot_bytes=64,
+            start_method=args.start_method,
+        )
+    json.dump(verdict, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""FrameLedger conservation over the ring transport with batching.
+
+Batching coalesces several df/tf packets into one ring slot, so a
+single physical transfer can carry pieces of several frames.  The
+ledger must not care: every submitted frame still ends in exactly one
+terminal state (delivered, shed, or failed), shed frames are counted
+exactly once, and deadline accounting stays consistent — whether the
+batcher is eager (the default whenever a budget is attached) or holds
+packets up to its flush window.
+"""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.conformance.invariants import (
+    check_deadline_accounting,
+    check_frame_conservation,
+)
+from repro.machine import FAST_TEST
+from repro.realtime import LatencyBudget
+from repro.realtime.soak import frame_value, make_soak
+from repro.shm import BatchPolicy
+
+
+def run_ring_soak(budget, *, frames=10, pieces=4, work_us=300.0,
+                  transport_options=None, timeout=90.0):
+    prog, table, mapping = make_soak(
+        nproc=3, frames=frames, pieces=pieces, work_us=work_us,
+    )
+    return get_backend("processes").run(
+        mapping, table, program=prog, costs=FAST_TEST, timeout=timeout,
+        budget=budget, transport="ring",
+        transport_options=transport_options,
+    )
+
+
+def assert_conserved_once(report):
+    rt = report.realtime
+    assert rt is not None
+    violations = (
+        check_frame_conservation(report) + check_deadline_accounting(report)
+    )
+    assert violations == [], violations
+    assert rt.ledger.conserved()
+    # Exactly-once: no frame may reach two terminal states, and no shed
+    # frame may be recorded twice (a batched re-transfer would do that
+    # if the framer re-admitted an entry).
+    terminal = [f.frame for f in rt.ledger.frames
+                if f.status in ("delivered", "shed", "failed")]
+    assert len(terminal) == len(set(terminal))
+    shed = [rec.frame for rec in rt.ledger.shed]
+    assert len(shed) == len(set(shed))
+
+
+class TestLedgerOverRingBatching:
+    def test_block_policy_delivers_every_frame(self):
+        """Eager batching (auto-selected under a budget): no frame lost."""
+        budget = LatencyBudget(deadline_ms=10_000.0, policy="block",
+                               max_in_flight=2)
+        report = run_ring_soak(budget, frames=10)
+        rt = report.realtime
+        assert rt.ledger.submitted == 10
+        assert len(rt.ledger.delivered) == 10
+        assert rt.ledger.shed == []
+        assert_conserved_once(report)
+        for k, value in report.outputs:
+            assert value == frame_value(k, 4)
+
+    def test_shedding_conserves_frames_over_ring(self):
+        """Overload with batched transfers: every refusal counted once."""
+        budget = LatencyBudget(deadline_ms=10_000.0, policy="shed-oldest",
+                               max_in_flight=1, queue_depth=1)
+        report = run_ring_soak(budget, frames=12, work_us=2_000.0)
+        rt = report.realtime
+        assert rt.ledger.submitted == 12
+        assert rt.ledger.shed, "overload never triggered shedding"
+        assert_conserved_once(report)
+        for k, value in report.outputs:
+            assert value == frame_value(k, 4)
+
+    def test_holding_batcher_still_conserves(self):
+        """A non-eager policy may delay packets, never drop them."""
+        budget = LatencyBudget(deadline_ms=10_000.0, policy="block",
+                               max_in_flight=2)
+        report = run_ring_soak(
+            budget, frames=8,
+            transport_options={
+                "batch_policy": BatchPolicy(
+                    small_max=1024, max_bytes=4096,
+                    max_packets=8, max_delay_s=0.005,
+                ),
+            },
+        )
+        rt = report.realtime
+        assert len(rt.ledger.delivered) == 8
+        assert_conserved_once(report)
+
+    def test_eager_policy_is_injected_under_budget(self):
+        """The backend must not Nagle a latency-budgeted stream."""
+        prog, table, mapping = make_soak(
+            nproc=3, frames=4, pieces=4, work_us=300.0,
+        )
+        captured = {}
+        import repro.backends.process_backend as pb
+        original = pb.build_channels
+
+        def spy(name, specs, ctx, *, queue_size, options):
+            captured.update(options or {})
+            return original(name, specs, ctx, queue_size=queue_size,
+                            options=options)
+
+        pb.build_channels = spy
+        try:
+            get_backend("processes").run(
+                mapping, table, program=prog, costs=FAST_TEST,
+                timeout=60.0, transport="ring",
+                budget=LatencyBudget(deadline_ms=10_000.0, policy="block",
+                                     max_in_flight=2),
+            )
+        finally:
+            pb.build_channels = original
+        policy = captured.get("batch_policy")
+        assert isinstance(policy, BatchPolicy)
+        assert policy.eager

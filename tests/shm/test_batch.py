@@ -1,0 +1,114 @@
+"""Property tests for the batching framer.
+
+The load-bearing property: *any* packet sequence survives
+coalesce→split byte-identically, flags included.  Everything else is
+strictness — truncation, trailing garbage, and impossible counts must
+raise :class:`BatchError`, never yield a short read.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shm.batch import (
+    BATCH_OVERHEAD,
+    ENTRY_OVERHEAD,
+    BatchError,
+    BatchPolicy,
+    frame_entries,
+    framed_size,
+    split_entries,
+)
+
+entries = st.lists(
+    st.tuples(st.integers(0, 255), st.binary(max_size=200)),
+    max_size=40,
+)
+
+
+class TestRoundTrip:
+    @given(entries)
+    @settings(max_examples=200, deadline=None)
+    def test_split_inverts_frame_exactly(self, packets):
+        frame = frame_entries(packets)
+        assert split_entries(frame) == packets
+        assert len(frame) == framed_size(len(p) for _f, p in packets)
+
+    @given(entries)
+    @settings(max_examples=50, deadline=None)
+    def test_frame_is_canonical(self, packets):
+        """Framing the split of a frame reproduces the frame bytes."""
+        frame = frame_entries(packets)
+        assert frame_entries(split_entries(frame)) == frame
+
+    def test_empty_batch(self):
+        assert split_entries(frame_entries([])) == []
+
+    def test_memoryview_input(self):
+        frame = frame_entries([(1, b"abc"), (2, b"")])
+        assert split_entries(memoryview(frame)) == [(1, b"abc"), (2, b"")]
+
+
+class TestStrictness:
+    def test_flags_must_fit_one_byte(self):
+        with pytest.raises(BatchError, match="fit one byte"):
+            frame_entries([(256, b"x")])
+        with pytest.raises(BatchError, match="fit one byte"):
+            frame_entries([(-1, b"x")])
+
+    def test_headerless_frame(self):
+        with pytest.raises(BatchError, match="no header"):
+            split_entries(b"\x01")
+
+    @given(entries.filter(bool), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_truncation_raises(self, packets, data):
+        """Chopping any suffix off a non-empty frame must be loud."""
+        frame = frame_entries(packets)
+        cut = data.draw(st.integers(1, len(frame)))
+        with pytest.raises(BatchError):
+            split_entries(frame[:-cut] if cut < len(frame) else b"")
+
+    @given(entries, st.binary(min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_trailing_garbage_raises(self, packets, garbage):
+        frame = frame_entries(packets)
+        with pytest.raises(BatchError):
+            split_entries(frame + garbage)
+
+    def test_impossible_count_raises_before_looping(self):
+        # Claims 2**32-1 entries in a 10-byte frame: the guard must
+        # refuse up front, not iterate four billion times.
+        bogus = (0xFFFFFFFF).to_bytes(4, "little") + b"\0" * 6
+        with pytest.raises(BatchError, match="impossible"):
+            split_entries(bogus)
+
+
+class TestPolicy:
+    def test_limits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(small_max=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_packets=-1)
+
+    def test_eager_always_flushes(self):
+        policy = BatchPolicy(eager=True)
+        assert policy.should_flush(1, 1, 0.0)
+
+    def test_triggers(self):
+        policy = BatchPolicy(max_bytes=100, max_packets=4, max_delay_s=0.5)
+        assert not policy.should_flush(10, 1, 0.0)
+        assert policy.should_flush(100, 1, 0.0)     # size
+        assert policy.should_flush(10, 4, 0.0)      # count
+        assert policy.should_flush(10, 1, 0.5)      # age
+        assert not policy.should_flush(99, 3, 0.49)
+
+    def test_policy_pickles(self):
+        import pickle
+
+        policy = BatchPolicy(small_max=7, eager=True)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone.small_max == 7 and clone.eager
+
+    def test_overheads_are_what_the_docs_say(self):
+        assert ENTRY_OVERHEAD == 5 and BATCH_OVERHEAD == 4

@@ -1,0 +1,48 @@
+"""Conformance oracle over the ring transport.
+
+The same certification every backend got: fuzzed programs (all four
+skeletons, nesting, fault plans) run on the ``processes`` backend with
+``REPRO_TRANSPORT=ring`` and must match sequential emulation exactly.
+The oracle itself is untouched — the env var is the whole enablement,
+which is the point: the transport is invisible above the kernel.
+
+CI runs the full-size campaign (``repro check``) in the ``shm`` job;
+this in-tree leg keeps a smaller always-on sample.
+"""
+
+import pytest
+
+from repro.conformance import generate_case, run_case, run_conformance
+
+
+@pytest.fixture(autouse=True)
+def ring_transport(monkeypatch):
+    monkeypatch.setenv("REPRO_TRANSPORT", "ring")
+
+
+class TestConformanceOverRing:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_fuzzed_cases_conform(self, seed):
+        failure = run_case(generate_case(seed), ["processes"], timeout=30.0)
+        assert failure is None, failure.describe()
+
+    def test_faulted_cases_conform(self):
+        checked = 0
+        for seed in range(20):
+            spec = generate_case(seed, allow_faults=True)
+            if not spec.faults:
+                continue
+            checked += 1
+            failure = run_case(spec, ["processes"], timeout=30.0)
+            assert failure is None, (spec.to_dict(), failure.describe())
+            if checked >= 3:
+                break
+        assert checked >= 3
+
+    def test_campaign_runs_clean(self):
+        report = run_conformance(
+            backends=["processes"], cases=4, seed=2026, faults=True,
+            shrink=False, timeout=30.0,
+        )
+        assert report.cases_run == 4
+        assert report.ok, report.summary()

@@ -1,0 +1,189 @@
+"""Unit tests for the SPSC ring: boundaries, wraparound, torn reads.
+
+Lock-free rings fail at the edges — full, empty, the slot-array wrap,
+and the (astronomically distant but cheap-to-test) u64 counter wrap —
+so every edge gets a dedicated test, plus direct provocations of the
+seqlock stamps through the raw ``read_slot``/``advance_head``/
+``force_counters`` hooks.
+"""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.shm.ring import (
+    HEADER_BYTES,
+    Ring,
+    RingError,
+    RingHandle,
+    TornRead,
+    create_ring,
+)
+
+U64_WRAP = 1 << 64
+
+
+@pytest.fixture
+def ring():
+    handle = create_ring(8, 128)
+    r = Ring(handle)
+    yield r
+    r.close()
+    handle.unlink()
+
+
+def push(r, payload, flags=1):
+    return r.try_push([payload], len(payload), flags)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("slots", [0, -4, 3, 6, 12, 100])
+    def test_non_power_of_two_slots_rejected(self, slots):
+        with pytest.raises(RingError, match="power of two"):
+            create_ring(slots, 128)
+
+    def test_tiny_slots_rejected(self):
+        with pytest.raises(RingError, match=">= 64"):
+            create_ring(8, 16)
+
+    def test_segment_size_accounts_for_overhead(self, ring):
+        assert ring.handle.nbytes == HEADER_BYTES + 8 * (128 + 24)
+
+    def test_oversized_payload_rejected_loudly(self, ring):
+        with pytest.raises(RingError, match="overflow side-channel"):
+            push(ring, b"x" * 129)
+
+
+class TestFullEmptyBoundary:
+    def test_fresh_ring_is_empty(self, ring):
+        assert len(ring) == 0
+        assert ring.try_pop() is None
+
+    def test_fills_to_exactly_capacity(self, ring):
+        for i in range(8):
+            assert push(ring, bytes([i]) * 10)
+        assert len(ring) == 8
+        assert not push(ring, b"overflowing")  # full: refused, not torn
+        assert ring.try_pop() == (1, bytes([0]) * 10)
+        assert push(ring, b"fits-again")  # one pop frees one slot
+
+    def test_fifo_order_with_flags(self, ring):
+        for i in range(5):
+            push(ring, bytes([i]), flags=i + 10)
+        got = [ring.try_pop() for _ in range(5)]
+        assert got == [(i + 10, bytes([i])) for i in range(5)]
+        assert ring.try_pop() is None
+
+    def test_empty_payload_slot(self, ring):
+        assert push(ring, b"", flags=7)
+        assert ring.try_pop() == (7, b"")
+
+    def test_scattered_buffers_written_back_to_back(self, ring):
+        assert ring.try_push([b"ab", memoryview(b"cd"), b"", b"e"], 5, 1)
+        assert ring.try_pop() == (1, b"abcde")
+
+    def test_buffer_length_mismatch_is_loud(self, ring):
+        with pytest.raises(RingError, match="declared length"):
+            ring.try_push([b"abc"], 2, 1)
+
+
+class TestWraparound:
+    def test_many_laps_of_the_slot_array(self, ring):
+        """Streaming 10x capacity exercises slot reuse on every lap."""
+        sent = 0
+        received = 0
+        while received < 80:
+            while sent < 80 and push(ring, sent.to_bytes(4, "little")):
+                sent += 1
+            item = ring.try_pop()
+            if item is not None:
+                flags, payload = item
+                assert int.from_bytes(payload, "little") == received
+                received += 1
+        assert ring.head == ring.tail == 80
+
+    def test_u64_counter_wrap(self, ring):
+        """Counters are free-running mod 2**64; push/pop must survive
+        the wrap because slots (a power of two) divides 2**64."""
+        start = U64_WRAP - 3  # three pushes before the wrap
+        ring.force_counters(start, start)
+        for i in range(8):  # crosses the wrap mid-sequence
+            assert push(ring, bytes([i]) * 3)
+        assert len(ring) == 8
+        assert not push(ring, b"full")
+        for i in range(8):
+            assert ring.try_pop() == (1, bytes([i]) * 3)
+        assert ring.try_pop() is None
+        assert ring.head == ring.tail == (start + 8) % U64_WRAP
+
+    def test_full_detection_across_the_wrap(self, ring):
+        ring.force_counters(U64_WRAP - 1, U64_WRAP - 1)
+        for i in range(8):
+            assert push(ring, b"x")
+        assert not push(ring, b"y")
+        assert len(ring) == 8
+
+
+class TestTornReadDetection:
+    def test_release_before_copy_is_caught(self, ring):
+        """The slow-reader protocol violation, distilled: release the
+        slot, let the producer overwrite it, then verify the stamps."""
+        push(ring, b"first")
+        head = ring.head
+        ring.advance_head()              # released before copying!
+        assert push(ring, b"second")     # free slot... 8 slots: not same
+        # Overwrite the *same* physical slot: push seven more so the
+        # tail laps back onto the released slot.
+        for i in range(7):
+            assert push(ring, bytes([i]))
+        seq0, length, flags, payload, seq1 = ring.read_slot(head)
+        with pytest.raises(TornRead, match="rewritten during the read"):
+            ring.verify_slot(head, seq0, length, seq1)
+
+    def test_clean_read_verifies(self, ring):
+        push(ring, b"payload")
+        head = ring.head
+        seq0, length, flags, payload, seq1 = ring.read_slot(head)
+        ring.verify_slot(head, seq0, length, seq1)  # no raise
+        assert payload[:length] == b"payload"
+
+    def test_never_written_slot_cannot_verify(self, ring):
+        """Cycle stamps start at 1; a zeroed slot always mismatches."""
+        seq0, length, _flags, _payload, seq1 = ring.read_slot(0)
+        assert seq0 == seq1 == 0
+        with pytest.raises(TornRead):
+            ring.verify_slot(0, seq0, length, seq1)
+
+    def test_corrupt_length_field_is_caught(self, ring):
+        push(ring, b"ok")
+        with pytest.raises(TornRead, match="corrupt length"):
+            ring.verify_slot(ring.head, 1, 10_000, 1)
+
+    def test_scribble_on_the_stamp_is_caught(self, ring):
+        """A stray write through the raw buffer trips verification."""
+        push(ring, b"target")
+        base = HEADER_BYTES  # slot 0 seq0 stamp
+        struct.pack_into("<Q", ring._buf, base, 999)
+        with pytest.raises(TornRead):
+            ring.try_pop()
+
+
+class TestHandle:
+    def test_handle_pickles_to_name_and_geometry(self, ring):
+        clone = pickle.loads(pickle.dumps(ring.handle))
+        assert (clone.name, clone.slots, clone.slot_bytes) == (
+            ring.handle.name, 8, 128
+        )
+        # The clone attaches to the same memory.
+        push(ring, b"shared")
+        other = Ring(clone)
+        try:
+            assert other.try_pop() == (1, b"shared")
+        finally:
+            other.close()
+
+    def test_unlink_is_idempotent(self):
+        handle = create_ring(4, 64)
+        handle.unlink()
+        handle.unlink()  # second unlink: silent no-op

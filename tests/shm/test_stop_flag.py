@@ -1,0 +1,124 @@
+"""The lock-free shared-memory stop flag.
+
+The whole point of :class:`repro.shm.flag.StopFlag` is surviving what
+kills a ``multiprocessing.Event``: a process dying (even SIGKILLed)
+at any instruction never blocks anyone else, because there is no lock.
+The chaos suite proves the integrated claim; these are the unit facts.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.shm import StopFlag
+
+START_METHODS = [
+    m for m in ("fork", "spawn")
+    if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _set_and_exit(flag):
+    flag.set()
+
+
+def _spin_until_set(flag):
+    while not flag.is_set():
+        time.sleep(0.001)
+
+
+class TestLocal:
+    def test_starts_clear(self):
+        flag = StopFlag()
+        try:
+            assert not flag.is_set()
+        finally:
+            flag.unlink()
+
+    def test_set_is_sticky(self):
+        flag = StopFlag()
+        try:
+            flag.set()
+            assert flag.is_set()
+            flag.set()  # idempotent
+            assert flag.is_set()
+        finally:
+            flag.unlink()
+
+    def test_wait_timeout_and_success(self):
+        flag = StopFlag()
+        try:
+            assert flag.wait(timeout=0.01) is False
+            flag.set()
+            assert flag.wait(timeout=0.01) is True
+            assert flag.wait() is True  # already set: returns at once
+        finally:
+            flag.unlink()
+
+    def test_pickle_round_trip_attaches_same_byte(self):
+        flag = StopFlag()
+        try:
+            clone = pickle.loads(pickle.dumps(flag))
+            assert not clone.is_set()
+            flag.set()
+            assert clone.is_set()
+        finally:
+            flag.unlink()
+
+    def test_unlink_is_idempotent_and_vanished_reads_as_set(self):
+        flag = StopFlag()
+        clone = pickle.loads(pickle.dumps(flag))
+        flag.unlink()
+        flag.unlink()
+        # A vanished flag means the run is over: late pollers stop.
+        assert clone.is_set()
+        clone.set()  # and a late set() stays silent
+
+
+class TestAcrossProcesses:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_child_set_is_seen_by_parent(self, start_method):
+        ctx = multiprocessing.get_context(start_method)
+        flag = StopFlag()
+        try:
+            child = ctx.Process(target=_set_and_exit, args=(flag,))
+            child.start()
+            child.join(30.0)
+            assert child.exitcode == 0
+            assert flag.is_set()
+        finally:
+            flag.unlink()
+
+    def test_parent_set_releases_spinning_child(self):
+        ctx = multiprocessing.get_context()
+        flag = StopFlag()
+        try:
+            child = ctx.Process(target=_spin_until_set, args=(flag,))
+            child.start()
+            time.sleep(0.05)
+            flag.set()
+            child.join(30.0)
+            assert child.exitcode == 0
+        finally:
+            flag.unlink()
+
+    def test_sigkilled_reader_never_wedges_set(self):
+        """The scenario that deadlocks multiprocessing.Event."""
+        ctx = multiprocessing.get_context()
+        flag = StopFlag()
+        try:
+            child = ctx.Process(target=_spin_until_set, args=(flag,))
+            child.start()
+            time.sleep(0.05)  # child is mid-is_set() polling
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(10.0)
+            start = time.monotonic()
+            flag.set()  # must not block on anything the child held
+            assert time.monotonic() - start < 1.0
+            assert flag.is_set()
+        finally:
+            flag.unlink()

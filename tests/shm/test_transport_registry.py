@@ -1,0 +1,129 @@
+"""The transport registry: lookup, capabilities, per-edge fallback."""
+
+import multiprocessing
+
+import pytest
+
+from repro.shm import (
+    ChannelSet,
+    EdgeSpec,
+    RingChannel,
+    Transport,
+    TransportError,
+    build_channels,
+    get_transport,
+    list_transports,
+    transport_capabilities,
+    transport_names,
+)
+from repro.shm.registry import _REGISTRY, register_transport
+
+
+def spec(edge="e0", src="a", dst="b"):
+    return EdgeSpec(edge, src, dst, "p0", "p1")
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert transport_names() == ["queue", "ring"]
+
+    def test_descriptions(self):
+        described = list_transports()
+        assert set(described) == {"queue", "ring"}
+        assert all(described.values())
+
+    def test_capabilities_matrix(self):
+        caps = transport_capabilities()
+        assert not caps["queue"]["shared_memory"]
+        assert caps["ring"]["shared_memory"]
+        assert caps["ring"]["batching"]
+        assert caps["ring"]["preallocated"]
+
+    def test_unknown_transport_is_loud(self):
+        with pytest.raises(TransportError, match="unknown transport"):
+            get_transport("carrier-pigeon")
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe(Transport):
+            name = "ring"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_transport(Dupe)
+
+    def test_nameless_registration_rejected(self):
+        class NoName(Transport):
+            pass
+
+        with pytest.raises(ValueError, match="has no name"):
+            register_transport(NoName)
+
+
+class TestBuildChannels:
+    def test_queue_transport_builds_queues(self):
+        ctx = multiprocessing.get_context()
+        built = build_channels("queue", [spec("e0"), spec("e1")], ctx)
+        assert set(built.channels) == {"e0", "e1"}
+        assert built.by_transport == {"e0": "queue", "e1": "queue"}
+        built.destroy()
+
+    def test_ring_transport_builds_rings(self):
+        ctx = multiprocessing.get_context()
+        built = build_channels(
+            "ring", [spec("e0")], ctx,
+            options={"ring_slots": 4, "ring_slot_bytes": 128},
+        )
+        try:
+            channel = built.channels["e0"]
+            assert isinstance(channel, RingChannel)
+            assert channel.handle.slots == 4
+            assert channel.handle.slot_bytes == 128
+            assert built.by_transport["e0"] == "ring"
+        finally:
+            built.destroy()
+
+    def test_declined_edges_fall_back_to_queue(self):
+        """A transport may refuse an edge; the chain must complete it."""
+        @register_transport
+        class Picky(Transport):
+            name = "picky-test-transport"
+            description = "declines every edge except e1"
+
+            def channel_for(self, spec, ctx, *, queue_size, options):
+                if spec.edge != "e1":
+                    return None
+                return ctx.Queue(maxsize=queue_size)
+
+        try:
+            ctx = multiprocessing.get_context()
+            built = build_channels(
+                "picky-test-transport", [spec("e0"), spec("e1")], ctx
+            )
+            assert built.by_transport == {
+                "e0": "queue", "e1": "picky-test-transport",
+            }
+            built.destroy()
+        finally:
+            del _REGISTRY["picky-test-transport"]
+
+    def test_channel_set_destroy_unlinks_rings(self):
+        ctx = multiprocessing.get_context()
+        built = build_channels("ring", [spec("e0")], ctx)
+        handle = built.channels["e0"].handle
+        built.destroy()
+        # A second destroy (and a stale unlink) must stay silent.
+        built.destroy()
+        handle.unlink()
+
+    def test_bad_batch_policy_option_is_loud(self):
+        ctx = multiprocessing.get_context()
+        with pytest.raises(TypeError, match="BatchPolicy"):
+            build_channels(
+                "ring", [spec("e0")], ctx,
+                options={"batch_policy": "eager"},
+            )
+
+    def test_empty_edge_list(self):
+        ctx = multiprocessing.get_context()
+        built = build_channels("ring", [], ctx)
+        assert isinstance(built, ChannelSet)
+        assert built.channels == {}
