@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from conftest import default_artifact, run_once
 
+from repro.health import HealthPolicy
 from repro.realtime import OVERLOAD_POLICIES
 from repro.realtime.soak import run_soak
 
@@ -74,6 +75,57 @@ def sweep() -> List[Dict]:
     ]
 
 
+#: Mid-sweep load for the hedging-overhead A/B: under saturation, so the
+#: latency difference is the defense layer's bookkeeping, not queueing.
+HEDGE_LOAD_US = 1_500.0
+
+
+def measure_hedging() -> Dict:
+    """Cost of the armed gray-failure defense on a *healthy* farm.
+
+    Runs the same fault-free load twice — defense layer fully off vs the
+    default armed policy (scoring, demotion and hedged re-dispatch all
+    live) — and reports the p99 ratio.  On a healthy farm the adaptive
+    hedge threshold should essentially never trip, so the overhead is
+    the per-completion scoring plus the overdue scan, and the ratio
+    stays close to 1.
+    """
+    arms = {}
+    for label, health in (
+        ("off", HealthPolicy(enabled=False)),
+        ("on", None),  # None = the default armed policy
+    ):
+        result = run_soak(
+            "threads",
+            seed=0,
+            frames=FRAMES,
+            pieces=PIECES,
+            work_us=HEDGE_LOAD_US,
+            deadline_ms=DEADLINE_MS,
+            policy="block",
+            max_in_flight=2,
+            frame_period_ms=FRAME_PERIOD_MS,
+            chaos=False,
+            timeout=120.0,
+            health=health,
+        )
+        assert result.ok, result.violations
+        ledger = result.report.realtime.ledger
+        faults = result.report.faults
+        arms[label] = {
+            "p50_ms": round(ledger.p50_us / 1000, 2),
+            "p99_ms": round(ledger.p99_us / 1000, 2),
+            "hedges": getattr(faults, "hedges", 0) if faults else 0,
+        }
+    return {
+        "work_us": HEDGE_LOAD_US,
+        "off": arms["off"],
+        "on": arms["on"],
+        "overhead_ratio": round(
+            arms["on"]["p99_ms"] / max(arms["off"]["p99_ms"], 1e-9), 3),
+    }
+
+
 def render(rows: List[Dict]) -> None:
     print(f"\nE16: offered load vs policy ({FRAMES} frames, "
           f"{FRAME_PERIOD_MS:.0f} ms period, {DEADLINE_MS:.0f} ms deadline)")
@@ -85,6 +137,16 @@ def render(rows: List[Dict]) -> None:
             f"  {row['shed_rate']:8.0%}"
             f"  {row['p50_ms']:7.1f} ms {row['p99_ms']:7.1f} ms"
         )
+
+
+def render_hedging(hedging: Dict) -> None:
+    print(f"\n  hedging overhead (healthy farm, "
+          f"{hedging['work_us']:.0f} us/pkt, block policy)")
+    for label in ("off", "on"):
+        arm = hedging[label]
+        print(f"  defense {label:<4} p50 {arm['p50_ms']:6.1f} ms  "
+              f"p99 {arm['p99_ms']:6.1f} ms  hedges {arm['hedges']}")
+    print(f"  p99 overhead ratio: {hedging['overhead_ratio']:.3f}x")
 
 
 def check_shape(rows: List[Dict]) -> None:
@@ -112,6 +174,10 @@ def test_overload_sweep(benchmark):
         key = f"{row['policy']}_{row['work_us']:.0f}us"
         benchmark.extra_info[f"{key}_p99_ms"] = row["p99_ms"]
         benchmark.extra_info[f"{key}_shed_rate"] = row["shed_rate"]
+    hedging = measure_hedging()
+    render_hedging(hedging)
+    benchmark.extra_info["hedging_overhead_ratio"] = (
+        hedging["overhead_ratio"])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -126,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     rows = sweep()
     render(rows)
     check_shape(rows)
+    hedging = measure_hedging()
+    render_hedging(hedging)
     if args.json:
         document = {
             "frames": FRAMES,
@@ -133,6 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "frame_period_ms": FRAME_PERIOD_MS,
             "offered_loads_us": list(OFFERED_LOADS_US),
             "rows": rows,
+            "hedging": hedging,
         }
         with open(args.json, "w") as handle:
             json.dump(document, handle, indent=2)

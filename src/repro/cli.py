@@ -200,6 +200,16 @@ def _print_report(report: RunReport, args) -> None:
         print(f"  outputs: {shown!r}{tail}")
     for proc, frac in sorted(report.utilisation().items()):
         print(f"  {proc}: {100 * frac:5.1f}% busy")
+    health_rows = (report.faults.health_rows()
+                   if getattr(report.faults, "health_rows", None) else [])
+    if health_rows:
+        print(f"  {'worker':<24} {'state':<8} {'score':>9} "
+              f"{'flagged':>7} {'restored':>8}")
+        for row in health_rows:
+            score = (f"{row['score_ms']:.2f}ms"
+                     if row["score_ms"] is not None else "-")
+            print(f"  {row['worker']:<24} {row['state']:<8} {score:>9} "
+                  f"{row['flagged']:>7} {row['restored']:>8}")
     if getattr(args, "gantt", False) and report.trace is not None:
         from .machine.trace import render_gantt
 
@@ -236,6 +246,13 @@ def _add_fault_options(p) -> None:
     p.add_argument("--fault-timeout", type=float, default=None, metavar="S",
                    help="per-packet dispatch deadline in seconds "
                         "(real backends; heartbeat deadline is S/2)")
+    p.add_argument("--no-hedge", action="store_true",
+                   help="disable hedged re-dispatch (keep limplock "
+                        "detection and health-weighted dispatch) — for "
+                        "A/B runs against the gray-failure defense")
+    p.add_argument("--no-health", action="store_true",
+                   help="disable the whole gray-failure defense layer "
+                        "(limplock detection, demotion and hedging)")
 
 
 def _add_realtime_options(p) -> None:
@@ -287,11 +304,20 @@ def _load_fault_plan(args) -> dict:
     except (OSError, PlanError) as err:
         raise SystemExit(f"error: cannot load fault plan: {err}")
     options = {"fault_plan": plan}
+    policy_kwargs = {}
     if getattr(args, "fault_timeout", None):
-        options["fault_policy"] = FaultPolicy(
+        policy_kwargs.update(
             packet_timeout_s=args.fault_timeout,
             heartbeat_timeout_s=args.fault_timeout / 2,
         )
+    if getattr(args, "no_health", False):
+        from .health import HealthPolicy
+        policy_kwargs["health"] = HealthPolicy(enabled=False)
+    elif getattr(args, "no_hedge", False):
+        from .health import HealthPolicy
+        policy_kwargs["health"] = HealthPolicy(hedge_enabled=False)
+    if policy_kwargs:
+        options["fault_policy"] = FaultPolicy(**policy_kwargs)
     return options
 
 
@@ -459,15 +485,27 @@ def _cmd_ps(args) -> int:
     from .serve.client import ServeClient
 
     with ServeClient(args.connect) as client:
-        rows = client.ps()
+        doc = client.ps_doc()
+    rows = doc.get("runs", [])
     if not rows:
         print("no live requests")
-        return 0
-    print(f"  {'id':>5} {'tenant':<12} {'state':<8} {'cache':<6} age")
-    for row in rows:
-        print(f"  {row['id']:>5} {row['tenant']:<12} {row['state']:<8} "
-              f"{'warm' if row['cache_hit'] else 'cold':<6} "
-              f"{row['age_s']:.1f}s")
+    else:
+        print(f"  {'id':>5} {'tenant':<12} {'state':<8} {'cache':<6} age")
+        for row in rows:
+            print(f"  {row['id']:>5} {row['tenant']:<12} {row['state']:<8} "
+                  f"{'warm' if row['cache_hit'] else 'cold':<6} "
+                  f"{row['age_s']:.1f}s")
+    health = doc.get("health", {})
+    if health:
+        print("worker health (last supervised run per tenant):")
+        print(f"  {'tenant':<12} {'worker':<24} {'state':<8} "
+              f"{'score':>9} {'flagged':>7}")
+        for tenant, entries in sorted(health.items()):
+            for row in entries:
+                score = (f"{row['score_ms']:.2f}ms"
+                         if row.get("score_ms") is not None else "-")
+                print(f"  {tenant:<12} {row['worker']:<24} "
+                      f"{row['state']:<8} {score:>9} {row['flagged']:>7}")
     return 0
 
 

@@ -21,8 +21,9 @@ from ..core import FunctionTable, ProgramBuilder, TaskOutcome
 from ..machine import FAST_TEST
 from ..pnt import ProcessKind, expand_program
 from ..syndex import distribute, ring
-from .plan import FaultPlan, PlanError
+from .plan import EDGE_KINDS, FaultPlan, PlanError
 from .policy import FaultPolicy
+from .topology import FaultTopology
 
 __all__ = ["main", "make_demo", "worker_pids"]
 
@@ -136,7 +137,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution backend (default: threads)",
     )
     parser.add_argument(
-        "--kind", choices=("crash", "stall", "delay"), default="crash",
+        "--kind",
+        choices=("crash", "stall", "delay", "limplock",
+                 "partial-partition", "credit-starvation"),
+        default="crash",
         help="fault kind for the generated plan (default: crash)",
     )
     parser.add_argument(
@@ -171,9 +175,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (OSError, PlanError) as err:
             raise SystemExit(f"error: cannot load plan: {err}")
     else:
+        edges = None
+        if args.kind in EDGE_KINDS:
+            topo = FaultTopology.from_mapping(mapping)
+            edges = [
+                w.dispatch_edge
+                for farm in topo.farms for w in farm.workers
+                if w.dispatch_edge
+            ]
         plan = FaultPlan.random(
             args.seed, workers=workers, kinds=(args.kind,),
-            delay_us=5_000.0,
+            delay_us=5_000.0, max_count=3, factor=8.0, edges=edges,
         )
     if args.save_plan:
         plan.save(args.save_plan)
@@ -183,7 +195,13 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"({len(workers)} workers: {', '.join(workers)})")
     print(f"backend : {args.backend}")
     for event in plan.events:
-        extra = f" (+{event.delay_us:.0f} us)" if event.kind == "delay" else ""
+        extra = ""
+        if event.kind in ("delay", "slow-worker"):
+            extra = f" (+{event.delay_us:.0f} us)"
+        elif event.kind == "limplock":
+            extra = f" (x{event.factor:g} for the rest of the run)"
+        elif event.count > 1:
+            extra = f" (window of {event.count})"
         print(f"fault   : {event.kind} on {event.target} "
               f"(occurrence {event.occurrence}){extra}")
 

@@ -22,6 +22,7 @@ PLAN.json``)::
 
 from __future__ import annotations
 
+import difflib
 import json
 import random
 import threading
@@ -31,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 __all__ = [
     "FAULT_KINDS",
     "OVERLOAD_KINDS",
+    "EDGE_KINDS",
+    "PERSISTENT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "PlanMatcher",
@@ -53,12 +56,32 @@ __all__ = [
 #:   frames back-to-back, ignoring its pacing period;
 #: * ``input-surge``  — the stream source runs at ``factor`` times its
 #:   configured rate for ``count`` frames.
+#:
+#: Gray-failure kinds (the limplock model of :mod:`repro.health`):
+#:
+#: * ``limplock``          — from its ``occurrence``-th firing on, the
+#:   target's every computation takes ``factor`` times longer, for the
+#:   rest of the run (a slow-but-alive worker that keeps heartbeating);
+#: * ``partial-partition`` — the target edge silently loses the
+#:   ``count`` messages starting at ``occurrence`` (one direction of a
+#:   link stalls; the reverse direction stays up);
+#: * ``credit-starvation`` — from its ``occurrence``-th receive on, the
+#:   target process stops consuming (and therefore stops returning flow
+#:   -control credits), backing up every queue feeding it.
 FAULT_KINDS = ("crash", "stall", "delay", "drop",
-               "slow-worker", "burst", "input-surge")
+               "slow-worker", "burst", "input-surge",
+               "limplock", "partial-partition", "credit-starvation")
 
 #: Kinds that fire over a window of ``count`` occurrences (the classic
 #: kinds keep their fire-exactly-once contract via the default count=1).
-OVERLOAD_KINDS = ("slow-worker", "burst", "input-surge")
+OVERLOAD_KINDS = ("slow-worker", "burst", "input-surge",
+                  "partial-partition")
+
+#: Kinds that target an edge rather than a process/processor.
+EDGE_KINDS = ("drop", "partial-partition")
+
+#: Kinds that latch on first firing and persist to the end of the run.
+PERSISTENT_KINDS = ("limplock", "credit-starvation")
 
 
 class PlanError(ValueError):
@@ -95,22 +118,53 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}"
             )
+        for name in ("occurrence", "count"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise PlanError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+        for name in ("delay_us", "factor"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise PlanError(
+                    f"{name} must be a number, got {value!r}"
+                )
         targets = [t for t in (self.process, self.processor, self.edge) if t]
         if len(targets) != 1:
             raise PlanError(
                 f"fault {self.kind!r} must name exactly one of process/"
                 f"processor/edge, got {targets!r}"
             )
-        if self.kind == "drop" and self.edge is None:
-            raise PlanError("drop faults target an edge")
-        if self.kind != "drop" and self.edge is not None:
+        if self.kind in EDGE_KINDS and self.edge is None:
+            raise PlanError(f"{self.kind!r} faults target an edge")
+        if self.kind not in EDGE_KINDS and self.edge is not None:
             raise PlanError(f"{self.kind!r} faults target a process/processor")
         if self.occurrence < 0:
             raise PlanError("occurrence must be >= 0")
         if self.count < 1:
             raise PlanError("count must be >= 1")
+        if self.delay_us < 0:
+            raise PlanError(
+                f"delay_us must be >= 0, got {self.delay_us!r}"
+            )
+        if self.kind in ("delay", "slow-worker") and self.delay_us <= 0:
+            raise PlanError(
+                f"{self.kind!r} faults need a positive delay_us, got "
+                f"{self.delay_us!r}"
+            )
+        if self.kind not in ("delay", "slow-worker") and self.delay_us > 0:
+            raise PlanError(
+                f"delay_us is meaningless for {self.kind!r} faults "
+                f"(only 'delay' and 'slow-worker' use it)"
+            )
         if self.factor <= 0:
             raise PlanError("factor must be positive")
+        if self.kind == "limplock" and self.factor <= 1.0:
+            raise PlanError(
+                f"'limplock' needs a slowdown factor > 1, got "
+                f"{self.factor!r}"
+            )
 
     @property
     def target(self) -> str:
@@ -126,7 +180,7 @@ class FaultSpec:
             out["delay_us"] = self.delay_us
         if self.count != 1:
             out["count"] = self.count
-        if self.kind == "input-surge":
+        if self.kind in ("input-surge", "limplock"):
             out["factor"] = self.factor
         return out
 
@@ -136,7 +190,15 @@ class FaultSpec:
                  "delay_us", "count", "factor"}
         unknown = set(data) - known
         if unknown:
-            raise PlanError(f"unknown fault-event field(s) {sorted(unknown)}")
+            hints = []
+            for name in sorted(unknown):
+                close = difflib.get_close_matches(name, known, n=1)
+                hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)"
+                                            if close else ""))
+            raise PlanError(
+                f"unknown fault-event field(s) {', '.join(hints)}; "
+                f"known fields: {sorted(known)}"
+            )
         if "kind" not in data:
             raise PlanError("fault event is missing 'kind'")
         return cls(**data)
@@ -213,12 +275,15 @@ class FaultPlan:
         max_occurrence: int = 0,
         delay_us: float = 5_000.0,
         max_count: int = 1,
+        factor: float = 2.0,
+        edges: Optional[Sequence[str]] = None,
     ) -> "FaultPlan":
         """A deterministic seeded plan over the given worker processes.
 
         The same ``(seed, workers, kinds, n_events)`` always yields the
         same plan, so chaos scenarios are replayable from one integer.
-        ``max_count`` bounds the window length drawn for overload kinds.
+        ``max_count`` bounds the window length drawn for overload kinds;
+        edge-targeted kinds draw from ``edges`` (required if chosen).
         """
         rng = random.Random(seed)
         events = []
@@ -227,14 +292,25 @@ class FaultPlan:
             count = 1
             if kind in OVERLOAD_KINDS:
                 count = rng.randint(1, max(1, max_count))
+            target: Dict[str, str] = {}
+            if kind in EDGE_KINDS:
+                if not edges:
+                    raise PlanError(
+                        f"{kind!r} targets an edge: pass edges= to random()"
+                    )
+                target["edge"] = rng.choice(list(edges))
+            else:
+                target["process"] = rng.choice(list(workers))
             events.append(
                 FaultSpec(
                     kind=kind,
-                    process=rng.choice(list(workers)),
                     occurrence=rng.randint(0, max_occurrence),
                     delay_us=delay_us if kind in ("delay", "slow-worker")
                     else 0.0,
                     count=count,
+                    factor=max(factor, 1.5) if kind == "limplock"
+                    else factor,
+                    **target,
                 )
             )
         return cls(events=events, seed=seed)

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from ..health.policy import HealthPolicy
 
 __all__ = ["FaultPolicy"]
 
@@ -51,6 +54,15 @@ class FaultPolicy:
     #: it is dropped from the pending list and the packet times out
     #: again through the normal path (bounds the `queue.Full` retry).
     max_flush_attempts: int = 400
+    #: Gray-failure defense knobs (limplock detection, health-weighted
+    #: dispatch, hedged re-dispatch).  ``None`` means the defaults of
+    #: :class:`~repro.health.policy.HealthPolicy`; pass one with
+    #: ``enabled=False`` / ``hedge_enabled=False`` to switch the layer
+    #: off for A/B comparisons.
+    health: Optional[HealthPolicy] = None
+
+    def health_policy(self) -> HealthPolicy:
+        return self.health if self.health is not None else HealthPolicy()
 
     def deadline_s(self, attempts: int) -> float:
         """Packet timeout for the given (0-based) dispatch attempt."""

@@ -29,6 +29,11 @@ CATEGORIES = (
     "probe",       # the circuit breaker sent a probation packet
     "readmit",     # a quarantined worker proved alive and rejoined
     "overflow",    # a queued re-dispatch overran its flush budget
+    "limping",     # a worker was flagged slow-but-alive (gray failure)
+    "restored",    # a limping worker recovered its standing
+    "hedge",       # an overdue packet was speculatively duplicated
+    "hedge-win",   # the speculative duplicate answered first
+    "health",      # periodic per-worker health score sample (counter)
 )
 
 
@@ -44,12 +49,13 @@ class FaultRecord:
     seq: Optional[int] = None  # supervised-packet sequence number
     attempts: Optional[int] = None
     latency_us: Optional[float] = None  # recovery latency for redispatches
+    value: Optional[float] = None  # numeric sample (health score counters)
     note: str = ""
 
     def to_dict(self) -> Dict:
         out = {"category": self.category, "kind": self.kind,
                "target": self.target, "time_us": self.time_us}
-        for key in ("processor", "seq", "attempts", "latency_us"):
+        for key in ("processor", "seq", "attempts", "latency_us", "value"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -106,6 +112,58 @@ class FaultReport:
         return len(self.by_category("duplicate"))
 
     @property
+    def hedges(self) -> int:
+        return len(self.by_category("hedge"))
+
+    @property
+    def hedge_wins(self) -> int:
+        return len(self.by_category("hedge-win"))
+
+    @property
+    def limping(self) -> List[str]:
+        """Targets ever flagged limping, ``process@processor`` order."""
+        out = []
+        for r in self.by_category("limping"):
+            tag = f"{r.target}@{r.processor}" if r.processor else r.target
+            if tag not in out:
+                out.append(tag)
+        return out
+
+    def health_rows(self) -> List[Dict]:
+        """Latest per-worker health sample, one row per worker.
+
+        Built from the periodic ``health`` records the supervisor emits;
+        a worker's row carries its most recent state and EWMA score (ms)
+        plus lifetime limp/restore counts.  This is what ``repro stats``
+        and the serve plane display.
+        """
+        latest: Dict[str, FaultRecord] = {}
+        flagged: Dict[str, int] = {}
+        restored: Dict[str, int] = {}
+        for r in self.records:
+            if r.category == "health":
+                prev = latest.get(r.target)
+                if prev is None or r.time_us >= prev.time_us:
+                    latest[r.target] = r
+            elif r.category == "limping":
+                flagged[r.target] = flagged.get(r.target, 0) + 1
+            elif r.category == "restored":
+                restored[r.target] = restored.get(r.target, 0) + 1
+        rows = []
+        for target in sorted(set(latest) | set(flagged) | set(restored)):
+            r = latest.get(target)
+            rows.append({
+                "worker": target,
+                "state": r.kind if r is not None else "limping",
+                "score_ms": (round(r.value, 3)
+                             if r is not None and r.value is not None
+                             else None),
+                "flagged": flagged.get(target, 0),
+                "restored": restored.get(target, 0),
+            })
+        return rows
+
+    @property
     def quarantined(self) -> List[str]:
         """Quarantined targets, ``process@processor``, in detection order."""
         out = []
@@ -128,19 +186,42 @@ class FaultReport:
         worst = f", worst recovery {max(latencies) / 1000:.1f} ms" \
             if latencies else ""
         quarantined = ", ".join(self.quarantined) or "none"
+        hedged = ""
+        if self.hedges:
+            hedged = (f"; {self.hedges} hedge(s), "
+                      f"{self.hedge_wins} won")
+        limping = ""
+        if self.limping:
+            limping = f"; limping: {', '.join(self.limping)}"
         return (
             f"faults: {len(self.injected)} injected, "
             f"{len(self.detected)} detected, "
             f"{self.redispatches} re-dispatch(es){worst}; "
             f"quarantined: {quarantined}; "
             f"{self.duplicates} duplicate(s) discarded"
+            f"{hedged}{limping}"
         )
 
     # -- projections -------------------------------------------------------
 
     def annotate_trace(self, trace) -> None:
-        """Add one instant event per record to a machine trace."""
+        """Add one instant event per record to a machine trace.
+
+        Periodic ``health`` samples become Chrome *counter* series
+        (``health:<worker>``) instead of instants, so a worker's score
+        renders as a continuous curve above the Gantt rows.
+        """
+        add_counter = getattr(trace, "add_counter", None)
         for r in self.records:
+            if r.category == "health":
+                if add_counter is not None and r.value is not None:
+                    add_counter(
+                        f"health:{r.target}", r.processor or r.target,
+                        r.time_us, {"score_ms": r.value,
+                                    "limping": 1.0 if r.kind == "limping"
+                                    else 0.0},
+                    )
+                continue
             detail = f"{r.kind} {r.target}"
             if r.latency_us is not None:
                 detail += f" (recovery {r.latency_us:.0f} us)"

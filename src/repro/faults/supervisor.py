@@ -35,6 +35,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..codegen.kernel import Shutdown
+from ..health import FarmHealth, HealthPolicy, HedgeClock, LIMPING
 from .plan import FaultPlan, PlanMatcher
 from .policy import FaultPolicy
 from .report import FaultReport
@@ -125,7 +126,7 @@ class _InFlight:
     """One dispatched, not-yet-answered packet."""
 
     __slots__ = ("seq", "value", "origin_slot", "assigned", "sent_at",
-                 "attempts", "redispatch_record")
+                 "attempts", "redispatch_record", "sends", "hedges")
 
     def __init__(self, seq: int, value: Any, origin_slot: int,
                  assigned: int, sent_at: float):
@@ -136,6 +137,34 @@ class _InFlight:
         self.sent_at = sent_at
         self.attempts = 0
         self.redispatch_record = None  # FaultRecord awaiting its latency
+        #: worker index -> when this packet was sent to it (dispatch,
+        #: re-dispatch, hedge, probe); attributes each answer's service
+        #: time to the worker that actually produced it.
+        self.sends: Dict[int, float] = {assigned: sent_at}
+        #: Speculative duplicates issued for this packet.
+        self.hedges = 0
+
+
+class _Suspect:
+    """A worker that lost a hedge race and still owes its answer.
+
+    First-result-wins means a rescued packet leaves the in-flight table
+    before the classic timeout can pass judgement on the worker that
+    failed to answer it.  The suspect entry keeps that judgement alive:
+    the worker clears itself by answering *anything*, or is convicted —
+    detected, quarantined, and the winning hedge retroactively recorded
+    as the packet's re-dispatch — when its silence outlives the normal
+    crash/stall deadlines (or the run ends first).
+    """
+
+    __slots__ = ("seq", "since", "win_latency_us", "rescued_by")
+
+    def __init__(self, seq: int, since: float, win_latency_us: float,
+                 rescued_by: FarmWorker):
+        self.seq = seq
+        self.since = since  # monotonic time of the unanswered send
+        self.win_latency_us = win_latency_us
+        self.rescued_by = rescued_by
 
 
 class _Breaker:
@@ -157,10 +186,15 @@ class _Breaker:
         self.probes = 0
 
 
+#: Settled send maps remembered for late-answer service-time attribution.
+_RECENT_SENDS = 512
+
+
 class _FarmState:
     """Supervisor-side state of one farm (lives in the owner process)."""
 
-    def __init__(self, farm: Farm):
+    def __init__(self, farm: Farm, health_policy: Optional[HealthPolicy]
+                 = None):
         self.farm = farm
         self.lock = threading.Lock()
         self.next_seq = 0
@@ -168,6 +202,21 @@ class _FarmState:
         #: seq -> origin slot, kept only for re-dispatched packets so a
         #: late answer from a falsely-suspected worker is discarded.
         self.satisfied: Dict[int, int] = {}
+        #: Gray-failure defense: per-worker scores + the hedge clock.
+        hp = health_policy or HealthPolicy()
+        self.health = FarmHealth(len(farm.workers), hp)
+        self.hedge = HedgeClock(hp)
+        #: Seqs that ever received a speculative duplicate (labels the
+        #: loser's late arrival as hedge waste rather than a mystery).
+        self.hedged: set = set()
+        #: seq -> send map of settled packets (bounded), so a late
+        #: answer still updates the answering worker's score — that is
+        #: how a limping worker's trickle earns its recovery.
+        self.recent_sends: Dict[int, Dict[int, float]] = {}
+        #: worker index -> outstanding hedge-race loss (see _Suspect).
+        self.suspects: Dict[int, _Suspect] = {}
+        #: Monotonic time of the last periodic health sample.
+        self.last_sample_at = 0.0
         self.quarantined: set = set()
         #: worker index -> probation state (created at quarantine).
         self.breakers: Dict[int, _Breaker] = {}
@@ -207,6 +256,9 @@ class SupervisedKernel:
         self._topology = topology
         self._matcher = PlanMatcher(plan) if plan else None
         self._policy = policy or FaultPolicy()
+        self._hp = self._policy.health_policy()
+        #: Latched persistent slowdowns: pid/processor -> factor.
+        self._limp_factors: Dict[str, float] = {}
         self.fault_report = report if report is not None else FaultReport()
         self._board = board or HealthBoard.local(topology.n_slots)
         #: None = single-process kernel (owns every farm); otherwise the
@@ -224,7 +276,7 @@ class SupervisedKernel:
         for farm in topology.farms:
             if not farm.supervised or not self._owns(farm):
                 continue
-            state = _FarmState(farm)
+            state = _FarmState(farm, self._hp)
             self._states[farm.sid] = state
             for worker in farm.workers:
                 self._dispatch[worker.dispatch_edge] = (state, worker)
@@ -295,17 +347,39 @@ class SupervisedKernel:
         if beater is not None:
             beater.join(1.0)
 
+    # -- introspection ---------------------------------------------------------
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Per-farm worker health + hedge clock, for stats surfaces."""
+        out: Dict[str, Any] = {}
+        for sid, state in self._states.items():
+            with state.lock:
+                workers = []
+                for w in state.farm.workers:
+                    row = state.health.workers[w.index].to_row()
+                    row["worker"] = w.pid
+                    if w.index in state.quarantined:
+                        row["state"] = "quarantined"
+                    workers.append(row)
+                out[sid] = {"workers": workers,
+                            "hedge": state.hedge.to_dict()}
+        return out
+
     # -- injection -------------------------------------------------------------
 
     def _maybe_drop(self, edge: str) -> bool:
         if self._matcher is None:
             return False
-        specs = self._matcher.fire(edge=edge, kinds=("drop",))
+        specs = self._matcher.fire(
+            edge=edge, kinds=("drop", "partial-partition")
+        )
         for spec in specs:
             pid, proc = self._identity()
             self.fault_report.add(
-                "injected", "drop", edge, self._now_us(), processor=proc,
-                note=f"sent by {pid or 'unknown'}",
+                "injected", spec.kind, edge, self._now_us(), processor=proc,
+                note=f"sent by {pid or 'unknown'}"
+                + (" (link stalled one direction)"
+                   if spec.kind == "partial-partition" else ""),
             )
         return bool(specs)
 
@@ -313,12 +387,22 @@ class SupervisedKernel:
         pid, proc = self._identity()
         specs = self._matcher.fire(
             process=pid, processor=proc,
-            kinds=("crash", "stall", "delay", "slow-worker"),
+            kinds=("crash", "stall", "delay", "slow-worker", "limplock"),
         )
         if not specs:
             return
         for spec in specs:
-            if spec.kind in ("delay", "slow-worker"):
+            if spec.kind == "limplock":
+                # Latch: from here on *every* computation by this target
+                # runs ``factor`` times slower (see call_), while its
+                # heartbeat stays perfectly fresh — the gray failure.
+                self._limp_factors[pid or spec.target] = spec.factor
+                self.fault_report.add(
+                    "injected", "limplock", pid or spec.target,
+                    self._now_us(), processor=proc,
+                    note=f"x{spec.factor:g} slowdown latched",
+                )
+            elif spec.kind in ("delay", "slow-worker"):
                 self.fault_report.add(
                     "injected", spec.kind, pid or spec.target,
                     self._now_us(),
@@ -358,9 +442,27 @@ class SupervisedKernel:
         return thread
 
     def call_(self, func: Callable, *args: Any) -> Any:
-        if self._matcher is not None:
-            self._inject_compute()
-        return self._base.call_(func, *args)
+        if self._matcher is None:
+            return self._base.call_(func, *args)
+        self._inject_compute()
+        factor = None
+        if self._limp_factors:
+            pid, proc = self._identity()
+            factor = self._limp_factors.get(pid) or (
+                self._limp_factors.get(proc) if proc else None
+            )
+        if factor is None:
+            return self._base.call_(func, *args)
+        # A limping worker: the computation itself is untouched (results
+        # stay bit-identical), but its *service time* is multiplied —
+        # measured, not guessed, so the slowdown scales with real work.
+        start = time.monotonic()
+        try:
+            return self._base.call_(func, *args)
+        finally:
+            stretch = (time.monotonic() - start) * (factor - 1.0)
+            if stretch > 0:
+                time.sleep(stretch)
 
     def send_(self, edge: str, value: Any) -> None:
         entry = self._dispatch.get(edge)
@@ -382,6 +484,9 @@ class SupervisedKernel:
         if self._base.is_stop(value):
             with state.lock:
                 state.stopping = True
+                if state.suspects:
+                    self._judge_suspects(state, time.monotonic(),
+                                         at_stop=True)
                 if state.inflight or state.pending_sends:
                     # Workers exit on Stop; keep them alive until every
                     # in-flight packet is answered or re-dispatched.
@@ -399,6 +504,21 @@ class SupervisedKernel:
                 if target is None:
                     self._abandon(state, None)
                 assigned, out_edge = target.index, target.dispatch_edge
+            elif (self._hp.enabled
+                    and not state.health.keeps(worker.index, seq)):
+                # Health-weighted dispatch: a limping worker keeps only
+                # a demoted fraction of the packets addressed to it (it
+                # still gets a trickle — that is how its score recovers
+                # and it earns readmission); the rest reroute to the
+                # healthiest peer, transparently to the master.
+                alive = [w.index for w in state.farm.workers
+                         if w.index not in state.quarantined]
+                demoted = state.health.pick_healthy(
+                    seq, exclude={worker.index}, alive=alive
+                )
+                if demoted is not None:
+                    target = state.farm.workers[demoted]
+                    assigned, out_edge = target.index, target.dispatch_edge
             state.inflight[seq] = _InFlight(
                 seq, value, worker.index, assigned, time.monotonic()
             )
@@ -407,6 +527,8 @@ class SupervisedKernel:
         return self._base.send_(out_edge, Packet(seq, value))
 
     def recv_(self, edge: str) -> Any:
+        if self._matcher is not None:
+            self._inject_starvation(edge)
         entry = self._collect.get(edge)
         if entry is not None:
             return self._recv_collect(entry[0], entry[1])
@@ -417,6 +539,29 @@ class SupervisedKernel:
                 return value.value
             return value  # Stop (or plain value) passes through
         return self._base.recv_(edge)
+
+    def _inject_starvation(self, edge: str) -> None:
+        """``credit-starvation``: the consumer parks *before* dequeuing.
+
+        Nothing is consumed from this edge again, so the queue backs up
+        and — on the tcp backend, where credits are granted per dequeue
+        — no flow-control credit ever returns to the senders.  The
+        worker's heartbeat thread keeps beating throughout: upstream
+        sees BEAT fresh, COUNT flat, the textbook gray failure.
+        """
+        pid, proc = self._identity()
+        specs = self._matcher.fire(
+            process=pid, processor=proc, kinds=("credit-starvation",)
+        )
+        if not specs:
+            return
+        self.fault_report.add(
+            "injected", "credit-starvation", pid or specs[0].target,
+            self._now_us(), processor=proc,
+            note=f"consumer stopped draining {edge}",
+        )
+        self._base._stop_event.wait()
+        raise Shutdown
 
     def stop_(self, edge: str) -> None:
         self.send_(edge, self._base.stop_token)
@@ -445,7 +590,9 @@ class SupervisedKernel:
                         # Any answer from a quarantined worker — probe
                         # or stale original — proves it alive.
                         self._readmit(state, entry[1])
-                    status, _origin, value = self._accept(state, raw)
+                    status, _origin, value = self._accept(
+                        state, raw, entry[1] if entry else None
+                    )
                     if status == "dup":
                         continue
                     return edge, value
@@ -467,7 +614,7 @@ class SupervisedKernel:
                     continue
                 if isinstance(raw, Result):
                     self._readmit(state, w)
-                    status, origin, value = self._accept(state, raw)
+                    status, origin, value = self._accept(state, raw, w)
                     if status == "dup":
                         continue
                 elif self._base.is_stop(raw):
@@ -493,26 +640,94 @@ class SupervisedKernel:
                 rec.origin_slot == slot for rec in state.inflight.values()
             )
 
-    def _accept(self, state: _FarmState,
-                result: Result) -> Tuple[str, int, Any]:
-        """Dedupe and settle one arriving result envelope."""
+    def _accept(self, state: _FarmState, result: Result,
+                arrival: Optional[FarmWorker]) -> Tuple[str, int, Any]:
+        """Dedupe and settle one arriving result envelope.
+
+        ``arrival`` is the worker whose collect edge the envelope
+        physically came in on: its service time (send-to-it -> now) is
+        what feeds the health scores — including on the dup path, so a
+        limping worker's late answers still move its EWMA and let it
+        recover.  Dedup happens *here*, below the realtime layer, which
+        is what keeps FrameLedger conservation exact under hedging: the
+        collector sees each seq exactly once, whatever raced.
+        """
         now_us = self._now_us()
+        now = time.monotonic()
         with state.lock:
+            if arrival is not None:
+                # Answering anything clears an outstanding suspicion.
+                state.suspects.pop(arrival.index, None)
             rec = state.inflight.pop(result.seq, None)
             if rec is None:
+                self._observe(state, arrival,
+                              state.recent_sends.get(result.seq), now)
                 origin = state.satisfied.get(result.seq, -1)
                 self.fault_report.add(
-                    "duplicate", "late-result", state.farm.sid, now_us,
-                    seq=result.seq,
+                    "duplicate",
+                    "hedge-waste" if result.seq in state.hedged
+                    else "late-result",
+                    state.farm.sid, now_us, seq=result.seq,
                 )
+                if result.seq in state.hedged:
+                    state.hedge.wasted += 1
                 return "dup", origin, None
-            if rec.attempts > 0:
+            self._observe(state, arrival, rec.sends, now)
+            state.recent_sends[result.seq] = rec.sends
+            while len(state.recent_sends) > _RECENT_SENDS:
+                state.recent_sends.pop(next(iter(state.recent_sends)))
+            if rec.hedges > 0 and arrival is not None \
+                    and arrival.index != rec.assigned:
+                state.hedge.won += 1
+                win_latency_us = (
+                    now - rec.sends.get(arrival.index, now)
+                ) * 1e6
+                self.fault_report.add(
+                    "hedge-win", "overdue", arrival.pid, now_us,
+                    processor=arrival.processor, seq=result.seq,
+                    latency_us=win_latency_us,
+                )
+                if rec.assigned not in state.quarantined:
+                    state.suspects[rec.assigned] = _Suspect(
+                        result.seq,
+                        rec.sends.get(rec.assigned, rec.sent_at),
+                        win_latency_us, arrival,
+                    )
+            if rec.attempts > 0 or rec.hedges > 0:
                 state.satisfied[result.seq] = rec.origin_slot
                 if rec.redispatch_record is not None:
                     rec.redispatch_record.latency_us = (
                         now_us - rec.redispatch_record.time_us
                     )
             return "ok", rec.origin_slot, result.value
+
+    def _observe(self, state: _FarmState, arrival: Optional[FarmWorker],
+                 sends: Optional[Dict[int, float]], now: float) -> None:
+        """Feed one answer's service time into the health machinery.
+
+        Called with ``state.lock`` held.  Attribution needs to know when
+        the packet was sent *to the answering worker* — a re-dispatched
+        or hedged packet has one send time per worker it visited.
+        """
+        if not self._hp.enabled or arrival is None or sends is None:
+            return
+        sent_at = sends.get(arrival.index)
+        if sent_at is None:
+            return
+        service = now - sent_at
+        event = state.health.observe(arrival.index, service, now)
+        if state.health.state(arrival.index) != LIMPING:
+            # Only healthy answers calibrate the hedge threshold: letting
+            # a limping worker's stretched services into the percentile
+            # window inflates the threshold until hedging self-disables
+            # (the clock must answer "how long would a healthy worker
+            # take", not "how long do packets take lately").
+            state.hedge.record(service)
+        if event is not None:
+            self.fault_report.add(
+                "restored", "stuck", arrival.pid, self._now_us(),
+                processor=arrival.processor,
+            )
 
     def _supervise(self, state: _FarmState) -> None:
         """One scan: flush queued re-sends, time out overdue packets."""
@@ -530,6 +745,8 @@ class SupervisedKernel:
                 elif elapsed > deadline * policy.stall_factor:
                     kind = "stall"  # alive-but-silent, or a lost message
                 else:
+                    self._maybe_flag_stuck(state, rec, worker, elapsed, now)
+                    self._maybe_hedge(state, rec, elapsed, now)
                     continue
                 self._quarantine(state, worker, kind, seq)
                 if rec.attempts >= policy.max_redispatch:
@@ -540,6 +757,7 @@ class SupervisedKernel:
                 rec.assigned = target.index
                 rec.attempts += 1
                 rec.sent_at = now
+                rec.sends[target.index] = now
                 rec.redispatch_record = self.fault_report.add(
                     "redispatch", kind, target.pid, self._now_us(),
                     processor=target.processor, seq=seq,
@@ -549,6 +767,8 @@ class SupervisedKernel:
                 state.pending_sends.append(
                     (target.dispatch_edge, Packet(seq, rec.value), 0)
                 )
+            self._judge_suspects(state, now)
+            self._evaluate_health(state, now)
             self._probe_quarantined(state, now)
             if (state.stopping and not state.inflight
                     and not state.pending_sends and state.held_stops):
@@ -557,6 +777,145 @@ class SupervisedKernel:
                     (edge, self._base.stop_token, 0) for edge in edges
                 )
         self._flush_sends(state)
+
+    def _maybe_flag_stuck(self, state: _FarmState, rec: _InFlight,
+                          worker: FarmWorker, elapsed: float,
+                          now: float) -> None:
+        """BEAT fresh, COUNT flat: the beats-but-never-progresses case.
+
+        Called with ``state.lock`` held.  The worker holds a packet well
+        past the stuck threshold, its heartbeat is perfectly fresh (so
+        the crash path will never fire) and it has completed *nothing*
+        since this packet was dispatched — flag it limping long before
+        the much slower stall timeout would.
+        """
+        if not self._hp.enabled or elapsed <= self._hp.stuck_after_s:
+            return
+        if self._board.stale(worker.slot, now,
+                             self._policy.heartbeat_timeout_s):
+            return  # dead, not limping: the crash path owns this
+        health = state.health.workers[rec.assigned]
+        if (health.last_done_at is not None
+                and health.last_done_at >= rec.sent_at):
+            return  # it finished something since: slow, not stuck
+        event = state.health.mark_stuck(rec.assigned)
+        if event is not None:
+            self.fault_report.add(
+                "limping", "stuck", worker.pid, self._now_us(),
+                processor=worker.processor, seq=rec.seq,
+                note=f"BEAT fresh, no completion for {elapsed * 1e3:.0f} ms",
+            )
+
+    def _maybe_hedge(self, state: _FarmState, rec: _InFlight,
+                     elapsed: float, now: float) -> None:
+        """Speculatively duplicate an overdue packet to a healthy worker.
+
+        Called with ``state.lock`` held.  The threshold is adaptive —
+        a multiple of a high percentile of *observed* service times —
+        so hedging self-tunes to the workload instead of needing a
+        configured timeout.  First result wins; :meth:`_accept` already
+        discards the loser, which is exactly the dedup contract the
+        breaker's probation packets rely on.
+        """
+        if state.stopping or rec.hedges >= self._hp.max_hedges_per_packet:
+            return
+        if not state.hedge.overdue(elapsed):
+            return
+        alive = [w.index for w in state.farm.workers
+                 if w.index not in state.quarantined]
+        target_index = state.health.pick_healthy(
+            rec.seq, exclude=set(rec.sends), alive=alive
+        )
+        if target_index is None:
+            return
+        target = state.farm.workers[target_index]
+        rec.hedges += 1
+        rec.sends[target_index] = now
+        state.hedged.add(rec.seq)
+        state.hedge.issued += 1
+        threshold = state.hedge.threshold_s() or 0.0
+        self.fault_report.add(
+            "hedge", "overdue", target.pid, self._now_us(),
+            processor=target.processor, seq=rec.seq,
+            note=f"in-flight {elapsed * 1e3:.0f} ms > "
+                 f"threshold {threshold * 1e3:.0f} ms; duplicated off "
+                 f"{state.farm.workers[rec.assigned].pid}",
+        )
+        state.pending_sends.append(
+            (target.dispatch_edge, Packet(rec.seq, rec.value), 0)
+        )
+
+    def _judge_suspects(self, state: _FarmState, now: float,
+                        at_stop: bool = False) -> None:
+        """Pass verdict on workers that lost a hedge race and stayed silent.
+
+        Called with ``state.lock`` held.  The deadlines are the same
+        crash/stall rules the in-flight scan applies; ``at_stop`` means
+        the run is ending, so silence-so-far is all the evidence there
+        will ever be and the verdict is immediate.
+        """
+        policy = self._policy
+        for index, susp in list(state.suspects.items()):
+            if index in state.quarantined:
+                state.suspects.pop(index)
+                continue
+            worker = state.farm.workers[index]
+            stale = self._board.stale(worker.slot, now,
+                                      policy.heartbeat_timeout_s)
+            elapsed = now - susp.since
+            deadline = policy.deadline_s(0)
+            if at_stop:
+                kind = "crash" if stale else "stall"
+            elif elapsed > deadline and stale:
+                kind = "crash"
+            elif elapsed > deadline * policy.stall_factor:
+                kind = "stall"
+            else:
+                continue
+            state.suspects.pop(index)
+            self._quarantine(state, worker, kind, susp.seq)
+            # The winning hedge was this packet's re-dispatch; now that
+            # the original worker is convicted, record it as such, with
+            # the duplicate's real recovery latency.
+            self.fault_report.add(
+                "redispatch", kind, susp.rescued_by.pid, self._now_us(),
+                processor=susp.rescued_by.processor, seq=susp.seq,
+                attempts=1, latency_us=max(susp.win_latency_us, 1.0),
+                note=f"hedged duplicate of packet #{susp.seq} off "
+                     f"{worker.pid} confirmed by {kind} verdict",
+            )
+
+    def _evaluate_health(self, state: _FarmState, now: float) -> None:
+        """Re-apply the score-outlier rule; emit transition + sample records.
+
+        Called with ``state.lock`` held.
+        """
+        if not self._hp.enabled:
+            return
+        for index, new_state, reason in state.health.evaluate():
+            worker = state.farm.workers[index]
+            category = "limping" if new_state == LIMPING else "restored"
+            score = state.health.workers[index].score or 0.0
+            median = state.health.median() or 0.0
+            self.fault_report.add(
+                category, reason, worker.pid, self._now_us(),
+                processor=worker.processor,
+                note=f"score {score * 1e3:.1f} ms vs farm median "
+                     f"{median * 1e3:.1f} ms",
+            )
+        if now - state.last_sample_at < self._hp.sample_interval_s:
+            return
+        state.last_sample_at = now
+        now_us = self._now_us()
+        for w in state.farm.workers:
+            health = state.health.workers[w.index]
+            if health.score is None and health.state != LIMPING:
+                continue  # nothing measured yet: no counter point
+            self.fault_report.add(
+                "health", health.state, w.pid, now_us,
+                processor=w.processor,
+                value=(health.score or 0.0) * 1e3,
+            )
 
     def _probe_quarantined(self, state: _FarmState, now: float) -> None:
         """Circuit breaker: offer quarantined workers probation packets.
@@ -579,6 +938,7 @@ class SupervisedKernel:
                 continue  # permanently retired
             worker = state.farm.workers[index]
             rec = min(state.inflight.values(), key=lambda r: r.seq)
+            rec.sends.setdefault(worker.index, now)
             breaker.probes += 1
             breaker.next_probe_at = now + policy.probe_delay_s(
                 breaker.probes
@@ -627,12 +987,19 @@ class SupervisedKernel:
     def _pick_survivor(self, state: _FarmState,
                        seq: int) -> Optional[FarmWorker]:
         survivors = [
-            w for w in state.farm.workers
+            w.index for w in state.farm.workers
             if w.index not in state.quarantined
         ]
         if not survivors:
             return None
-        return survivors[seq % len(survivors)]
+        if self._hp.enabled:
+            # Prefer fully healthy survivors: re-dispatching a packet
+            # onto a limping worker just schedules the next timeout.
+            index = state.health.pick_healthy(seq, exclude=set(),
+                                              alive=survivors)
+            if index is not None:
+                return state.farm.workers[index]
+        return state.farm.workers[survivors[seq % len(survivors)]]
 
     def _abandon(self, state: _FarmState, seq: Optional[int]) -> None:
         """Out of retries or survivors: fail the run instead of hanging."""

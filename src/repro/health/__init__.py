@@ -1,0 +1,35 @@
+"""Gray-failure defense: limplock detection, health scoring, hedging.
+
+The supervision stack of :mod:`repro.faults` knows binary liveness — a
+worker that stops heartbeating is quarantined.  This package adds the
+third state in between: *limping*.  A limping worker keeps beating (so
+the crash path never fires) while serving packets far slower than its
+peers, and one such worker is enough to drag a whole farm's p99 down —
+the limplock scenario.
+
+Three cooperating pieces, all deterministic and dependency-free:
+
+* :class:`HealthPolicy` — the tuning knobs (EWMA smoothing, the outlier
+  rule, hedge thresholds), frozen and picklable so they travel to
+  worker OS processes alongside :class:`~repro.faults.policy.FaultPolicy`.
+* :class:`FarmHealth` — per-worker EWMA service-time scores with a
+  robust outlier rule (score > k x farm median) and the
+  beats-but-never-progresses detector (BEAT fresh, COUNT flat).
+* :class:`HedgeClock` — the adaptive percentile threshold that decides
+  when an in-flight packet has been waiting long enough to justify a
+  speculative duplicate on a healthy worker (first result wins; the
+  envelope layer deduplicates, so ledger conservation is untouched).
+"""
+
+from .hedge import HedgeClock
+from .policy import HealthPolicy
+from .score import HEALTHY, LIMPING, FarmHealth, WorkerHealth
+
+__all__ = [
+    "HEALTHY",
+    "LIMPING",
+    "HealthPolicy",
+    "WorkerHealth",
+    "FarmHealth",
+    "HedgeClock",
+]

@@ -1,0 +1,169 @@
+"""Per-worker health scoring: EWMA service times + a robust outlier rule.
+
+Two independent detectors feed the *limping* state:
+
+* **Score outlier** — each completed packet updates the answering
+  worker's EWMA service time; a worker whose score exceeds
+  ``limp_factor`` x the farm median (computed only over workers with
+  enough samples) is limping.  The median makes the rule robust: one
+  slow worker cannot drag the baseline up after itself, and a uniformly
+  loaded farm (every worker equally slow) flags nobody.
+* **Stuck** — a worker holding an in-flight packet whose heartbeat is
+  fresh but which has completed *nothing* since the dispatch (BEAT
+  fresh, COUNT flat) is limping too, even before any score exists.
+  This state clears on the worker's next completion, not on the median
+  rule, because a stuck worker's score is by definition not moving.
+
+State transitions are returned to the caller (the supervisor) as
+events, so every flip becomes a :class:`~repro.faults.report.FaultRecord`
+and shows up in traces and ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from .policy import HealthPolicy
+
+__all__ = ["HEALTHY", "LIMPING", "WorkerHealth", "FarmHealth"]
+
+HEALTHY = "healthy"
+LIMPING = "limping"
+
+
+class WorkerHealth:
+    """One worker's scoring state (times in seconds)."""
+
+    __slots__ = ("index", "score", "samples", "completed", "state",
+                 "reason", "last_done_at")
+
+    def __init__(self, index: int, window: int):
+        self.index = index
+        self.score: Optional[float] = None  # EWMA service time
+        self.samples: Deque[float] = deque(maxlen=window)
+        self.completed = 0
+        self.state = HEALTHY
+        self.reason = ""  # "slow" (score outlier) or "stuck" (no progress)
+        self.last_done_at: Optional[float] = None
+
+    def observe(self, service_s: float, alpha: float, now: float) -> None:
+        self.samples.append(service_s)
+        self.completed += 1
+        self.last_done_at = now
+        if self.score is None:
+            self.score = service_s
+        else:
+            self.score = alpha * service_s + (1.0 - alpha) * self.score
+
+    def to_row(self) -> Dict:
+        return {
+            "worker": self.index,
+            "state": self.state,
+            "reason": self.reason,
+            "score_ms": (round(self.score * 1e3, 3)
+                         if self.score is not None else None),
+            "completed": self.completed,
+        }
+
+
+class FarmHealth:
+    """Health view of one farm's workers (owner-process only, unlocked:
+    the supervisor already serialises access under the farm lock)."""
+
+    def __init__(self, n_workers: int, policy: Optional[HealthPolicy] = None):
+        self.policy = policy or HealthPolicy()
+        self.workers = [WorkerHealth(i, self.policy.window)
+                        for i in range(max(1, n_workers))]
+
+    # -- feeding -----------------------------------------------------------
+
+    def observe(self, index: int, service_s: float,
+                now: float) -> Optional[Tuple[int, str, str]]:
+        """One completed packet; returns a ``restored`` event if the
+        completion clears a *stuck* flag."""
+        w = self.workers[index]
+        w.observe(service_s, self.policy.ewma_alpha, now)
+        if w.state == LIMPING and w.reason == "stuck":
+            # Progress resumed; the score rule takes over from here.
+            w.state, w.reason = HEALTHY, ""
+            return (index, "restored", "stuck")
+        return None
+
+    def mark_stuck(self, index: int) -> Optional[Tuple[int, str, str]]:
+        """BEAT fresh, COUNT flat: flag without waiting for a score."""
+        w = self.workers[index]
+        if w.state == LIMPING:
+            return None
+        w.state, w.reason = LIMPING, "stuck"
+        return (index, LIMPING, "stuck")
+
+    def evaluate(self) -> List[Tuple[int, str, str]]:
+        """Re-apply the score-outlier rule; returns state transitions
+        as ``(worker index, new state, reason)`` tuples."""
+        if not self.policy.enabled:
+            return []
+        median = self.median()
+        if median is None or median <= 0.0:
+            return []
+        events: List[Tuple[int, str, str]] = []
+        for w in self.workers:
+            if w.score is None or w.completed < self.policy.min_samples:
+                continue
+            if w.state == HEALTHY:
+                if w.score > self.policy.limp_factor * median:
+                    w.state, w.reason = LIMPING, "slow"
+                    events.append((w.index, LIMPING, "slow"))
+            elif w.reason == "slow":
+                if w.score < self.policy.clear_factor * median:
+                    w.state, w.reason = HEALTHY, ""
+                    events.append((w.index, "restored", "slow"))
+        return events
+
+    # -- queries -----------------------------------------------------------
+
+    def median(self) -> Optional[float]:
+        scores = [w.score for w in self.workers
+                  if w.score is not None
+                  and w.completed >= self.policy.min_samples]
+        if not scores:
+            return None
+        return statistics.median(scores)
+
+    def state(self, index: int) -> str:
+        return self.workers[index].state
+
+    def limping(self) -> Set[int]:
+        return {w.index for w in self.workers if w.state == LIMPING}
+
+    def keeps(self, index: int, seq: int) -> bool:
+        """Does a limping worker keep this addressed packet?
+
+        Demotion, not quarantine: the worker keeps every
+        ``keep_stride``-th packet (deterministic in ``seq``), the rest
+        are rerouted to healthy peers.  Keeping a trickle flowing is
+        what lets the score recover and the worker earn its way back.
+        """
+        if self.workers[index].state != LIMPING:
+            return True
+        return seq % self.policy.keep_stride() == 0
+
+    def pick_healthy(self, seq: int, *, exclude: Set[int],
+                     alive: List[int]) -> Optional[int]:
+        """Deterministic rotation over the healthiest candidates.
+
+        ``alive`` is the non-quarantined index list; prefers fully
+        healthy workers, falls back to limping ones (a limping worker
+        still beats a dead one), and never returns an excluded index.
+        """
+        pool = [i for i in alive
+                if i not in exclude and self.workers[i].state == HEALTHY]
+        if not pool:
+            pool = [i for i in alive if i not in exclude]
+        if not pool:
+            return None
+        return pool[seq % len(pool)]
+
+    def rows(self) -> List[Dict]:
+        return [w.to_row() for w in self.workers]

@@ -250,6 +250,31 @@ class Executive:
         self._dead_pids: set = set()
         self._scm_quarantined: Dict[str, set] = {}
 
+        # Gray-failure model: limplock factors latch per worker pid and
+        # every farm carries a virtual HedgeClock fed with simulated
+        # service times, so the hedged-vs-unhedged verdict of the real
+        # kernels reproduces in virtual time (same threshold logic).
+        self._limp_factors: Dict[str, float] = {}
+        self._limp_flagged: set = set()
+        self._limp_offers: Dict[str, int] = {}
+        self._hp = None
+        self._hedge_clocks: Dict[str, Any] = {}
+        self._worker_farm: Dict[str, Tuple[Any, Any]] = {}
+        self._master_farm: Dict[str, Any] = {}
+        if self._fault_policy is not None:
+            from ..health import HedgeClock
+
+            self._hp = self._fault_policy.health_policy()
+            for farm in self._fault_topology.farms:
+                # Clocks run in virtual µs, floorless: simulated service
+                # times carry no measurement noise to guard against.
+                self._hedge_clocks[farm.sid] = HedgeClock(self._hp,
+                                                          floor=0.0)
+                if farm.kind == "farm":
+                    self._master_farm[farm.owner_pid] = farm
+                for w in farm.workers:
+                    self._worker_farm[w.pid] = (farm, w)
+
         # Machine state.
         self._proc_free: Dict[str, float] = {}
         self._proc_busy_total: Dict[str, float] = {}
@@ -431,7 +456,8 @@ class Executive:
                 return
             specs = self._matcher.fire(
                 process=pid, processor=self._processor_of(pid),
-                kinds=("crash", "stall", "delay", "slow-worker"),
+                kinds=("crash", "stall", "delay", "slow-worker",
+                       "limplock", "credit-starvation"),
             )
             for spec in specs:
                 if spec.kind in ("delay", "slow-worker"):
@@ -441,11 +467,24 @@ class Executive:
                         processor=self._processor_of(pid),
                         note=f"{spec.delay_us:.0f} us",
                     )
+                elif spec.kind == "limplock":
+                    # Persistent gray failure: every subsequent firing of
+                    # this worker is stretched by the latched factor.
+                    self._limp_factors[pid] = spec.factor
+                    self.fault_report.add(
+                        "injected", "limplock", pid, self._now,
+                        processor=self._processor_of(pid),
+                        note=f"x{spec.factor:g} slowdown latched",
+                    )
             fatal = next(
-                (s for s in specs if s.kind in ("crash", "stall")), None
+                (s for s in specs
+                 if s.kind in ("crash", "stall", "credit-starvation")),
+                None,
             )
             if fatal is not None:
-                # The worker consumed the packet and will never answer.
+                # The worker consumed the packet and will never answer
+                # (a starved worker keeps beating but stops dequeuing —
+                # to the master both look like eternal silence).
                 self.fault_report.add(
                     "injected", fatal.kind, pid, self._now,
                     processor=self._processor_of(pid),
@@ -454,10 +493,103 @@ class Executive:
                 self._fault_recover(pid, fatal.kind, x, self._now)
                 return
         spec = self.table[process.func]
-        end = self._compute(
-            pid, self._now, self._func_cost(process.func, x) + delay_us
-        )
-        self._send(pid, 0, self._call(pid, spec, x), end)
+        base = self._func_cost(process.func, x)
+        cost = base + delay_us
+        factor = self._limp_factors.get(pid)
+        if factor is not None:
+            cost = base * factor + delay_us
+        end = self._compute(pid, self._now, cost)
+        result = self._call(pid, spec, x)
+        if factor is not None and pid not in self._limp_flagged:
+            self._limp_flagged.add(pid)
+            self.fault_report.add(
+                "limping", "slow", pid, self._now,
+                processor=self._processor_of(pid),
+                note=f"x{factor:g} service-time stretch",
+            )
+        if not self._observe_service(pid, base, end, result):
+            self._send(pid, 0, result, end)
+
+    def _observe_service(self, pid: str, base_cost: float, end: float,
+                         result: Any) -> bool:
+        """Feed the farm's virtual HedgeClock; maybe win a virtual hedge.
+
+        When hedging is enabled and this worker's in-flight time crosses
+        the clock's adaptive threshold, a healthy farm-mate recomputes
+        the packet speculatively and delivers straight to the owner
+        (sequential functions are deterministic, so first-result-wins is
+        exact); the loser's late copy is the discarded duplicate, so the
+        caller must not send it — a True return means "already
+        delivered".  Both CPUs are charged for the race: hedging buys
+        latency with spare capacity, never for free.
+        """
+        entry = self._worker_farm.get(pid)
+        if entry is None or self._hp is None or not self._hp.enabled:
+            return False
+        farm, worker = entry
+        clock = self._hedge_clocks[farm.sid]
+        start = self._now
+        elapsed = end - start
+        threshold = clock.threshold_s()  # virtual µs (floorless clock)
+        delivered = False
+        effective = end
+        if (self._hp.hedge_enabled and farm.supervised
+                and threshold is not None and elapsed > threshold):
+            survivor = next(
+                (w for w in farm.workers
+                 if w.pid != pid and w.pid not in self._dead_pids
+                 and w.pid not in self._limp_factors),
+                None,
+            )
+            if survivor is not None:
+                issue_at = start + threshold
+                clock.issued += 1
+                self.fault_report.add(
+                    "hedge", "limplock", pid, issue_at,
+                    processor=worker.processor,
+                    note=(f"in-flight {elapsed:.0f} us > "
+                          f"{threshold:.0f} us"),
+                )
+                h_end = self._compute(
+                    survivor.pid, issue_at + self.costs.master_dispatch,
+                    base_cost,
+                )
+                if h_end < end:
+                    # The duplicate answers first, via the *survivor's*
+                    # side of the machine (the loser's own result would
+                    # queue behind its limping processor).
+                    clock.won += 1
+                    self.fault_report.add(
+                        "hedge-win", "limplock", survivor.pid, h_end,
+                        processor=survivor.processor,
+                        latency_us=h_end - start,
+                    )
+                    port = (2 + worker.index if farm.kind == "farm"
+                            else 1 + worker.index)
+                    self._schedule(
+                        h_end + self.costs.local_delivery, "arrive",
+                        farm.owner_pid, port, result, False,
+                    )
+                    clock.wasted += 1
+                    self.fault_report.add(
+                        "duplicate", "hedge-waste", pid, end,
+                        processor=worker.processor,
+                        note="late loser of the hedge race discarded",
+                    )
+                    delivered = True
+                    effective = h_end
+                else:
+                    clock.wasted += 1
+                    self.fault_report.add(
+                        "duplicate", "hedge-waste", survivor.pid, h_end,
+                        processor=survivor.processor,
+                    )
+        if pid not in self._limp_factors:
+            # Only healthy services calibrate the threshold (limped
+            # samples would inflate the percentile until hedging
+            # self-disables — mirrors the real supervisor).
+            clock.record(effective - start)
+        return delivered
 
     def _fire_split(self, pid: str, inputs: Dict[int, Any]) -> None:
         process = self.graph[pid]
@@ -585,6 +717,8 @@ class Executive:
                 break
             if farm.busy[i] or i in farm.quarantined:
                 continue
+            if self._health_demoted(pid, i):
+                continue
             packet = farm.queue.pop(0)
             farm.busy[i] = True
             farm.pending += 1
@@ -596,23 +730,47 @@ class Executive:
 
     # -- fault model -------------------------------------------------------------
 
+    def _health_demoted(self, master_pid: str, index: int) -> bool:
+        """Health-weighted dispatch: keep a flagged-limping worker on a
+        1-in-``keep_stride`` packet trickle while a healthy farm-mate
+        exists (matches ``FarmHealth.keeps`` on the real kernels — the
+        trickle lets its score recover rather than freezing it)."""
+        if self._hp is None or not self._hp.enabled:
+            return False
+        farm = self._master_farm.get(master_pid)
+        if farm is None:
+            return False
+        worker = next((w for w in farm.workers if w.index == index), None)
+        if worker is None or worker.pid not in self._limp_flagged:
+            return False
+        if not any(w.pid not in self._limp_factors
+                   and w.pid not in self._dead_pids
+                   for w in farm.workers):
+            return False  # nobody healthy left: better limping than idle
+        offers = self._limp_offers.get(worker.pid, 0)
+        self._limp_offers[worker.pid] = offers + 1
+        return offers % self._hp.keep_stride() != 0
+
     def _drop(self, edge_idx: int, value: Any, time: float) -> bool:
         """Lose one planned message; arrange recovery on farm edges."""
         name = f"e{edge_idx}"
-        specs = self._matcher.fire(edge=name, kinds=("drop",))
+        specs = self._matcher.fire(edge=name,
+                                   kinds=("drop", "partial-partition"))
         if not specs:
             return False
-        self.fault_report.add("injected", "drop", name, time)
+        kind = specs[0].kind
+        self.fault_report.add("injected", kind, name, time)
         topo = self._fault_topology
         entry = topo.dispatch_edges.get(name) or topo.work_in_edges.get(name)
         if entry is not None and not isinstance(value, _NoPiece):
-            # A dropped dispatch packet times out at the supervisor and
-            # is re-sent; the carrying worker is not quarantined.
+            # A lost dispatch packet times out at the supervisor and is
+            # re-sent; the carrying worker is not quarantined (a
+            # partial partition stalls the link, not the worker).
             farm, worker = entry
             handler = "fault_scm" if farm.kind == "scm" else "fault_farm"
             self._schedule(
                 time + self._fault_policy.detect_us, handler,
-                farm, worker.index, "drop", value, time, True, False,
+                farm, worker.index, kind, value, time, True, False,
             )
         return True
 
@@ -635,7 +793,7 @@ class Executive:
         self._schedule(
             inject_time + delay, handler,
             farm, worker.index, kind, packet, inject_time, detected,
-            kind in ("crash", "stall"),
+            kind in ("crash", "stall", "credit-starvation"),
         )
 
     def _handle_fault_farm(self, farm, index: int, kind: str, packet: Any,
@@ -663,7 +821,7 @@ class Executive:
         # busy flag stays set, so it is skipped — as on real kernels).
         state.pending -= 1
         state.queue.insert(0, packet)
-        if kind == "drop":
+        if kind in ("drop", "partial-partition"):
             # The worker is healthy — the packet was lost on the way to
             # it — so its slot is free for the re-dispatch.
             state.busy[index] = False

@@ -15,7 +15,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Span", "Instant", "Trace", "render_gantt", "busy_statistics"]
+__all__ = ["Span", "Instant", "CounterSample", "Trace", "render_gantt",
+           "busy_statistics"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,22 @@ class Instant:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class CounterSample:
+    """One point of a counter series (Chrome ``ph="C"`` events).
+
+    Counter series render as stacked area charts above the Gantt rows —
+    the per-worker health scores (``health:<worker>``) use them so
+    degradation is visible as a rising curve rather than a flurry of
+    instant markers.
+    """
+
+    name: str  # series name, e.g. "health:df0.worker3"
+    resource: str  # trace row the series is attached to
+    time: float  # µs
+    values: Dict[str, float] = field(default_factory=dict)
+
+
 @dataclass
 class Trace:
     """A recorded run: compute spans + transfer spans + instants."""
@@ -54,6 +71,7 @@ class Trace:
     compute: List[Span] = field(default_factory=list)
     transfer: List[Span] = field(default_factory=list)
     instants: List[Instant] = field(default_factory=list)
+    counters: List[CounterSample] = field(default_factory=list)
 
     def add_compute(self, resource: str, owner: str, start: float, end: float) -> None:
         if end > start:
@@ -67,6 +85,13 @@ class Trace:
         self, name: str, resource: str, time: float, detail: str = ""
     ) -> None:
         self.instants.append(Instant(name, resource, time, detail))
+
+    def add_counter(
+        self, name: str, resource: str, time: float,
+        values: Dict[str, float],
+    ) -> None:
+        self.counters.append(CounterSample(name, resource, time,
+                                           dict(values)))
 
     @property
     def makespan(self) -> float:
@@ -92,6 +117,7 @@ class Trace:
             {s.resource for s in self.compute}
             | {s.resource for s in self.transfer}
             | {i.resource for i in self.instants}
+            | {c.resource for c in self.counters}
         )
         row = {resource: i + 1 for i, resource in enumerate(resources)}
         events: List[Dict] = [
@@ -126,6 +152,16 @@ class Trace:
                 "tid": 0,
                 "s": "p",  # process-scoped marker
                 "args": {"detail": instant.detail},
+            })
+        for counter in self.counters:
+            events.append({
+                "ph": "C",
+                "name": counter.name,
+                "cat": "health",
+                "ts": counter.time,
+                "pid": row[counter.resource],
+                "tid": 0,
+                "args": counter.values,
             })
         return json.dumps(
             {"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent

@@ -493,6 +493,20 @@ def _tag_hosts(trace: Trace, hosts: Dict[str, str]) -> None:
             inst = Instant(inst.name, inst.resource, inst.time, detail)
         tagged.append(inst)
     trace.instants = tagged
+    # Health counter series get the owning host in the series name, so a
+    # multi-host trace shows which machine a limping score belongs to.
+    from ..machine.trace import CounterSample
+
+    stamped: List[CounterSample] = []
+    for sample in trace.counters:
+        host = hosts.get(sample.resource)
+        if host:
+            sample = CounterSample(
+                f"{sample.name}@{host}", sample.resource,
+                sample.time, dict(sample.values),
+            )
+        stamped.append(sample)
+    trace.counters = stamped
 
 
 @register_backend

@@ -40,14 +40,15 @@ from ..core import EndOfStream, FunctionTable, ProgramBuilder
 from ..faults.demo import worker_pids
 from ..faults.plan import FaultPlan, FaultSpec, PlanError
 from ..faults.policy import FaultPolicy
+from ..health import HealthPolicy
 from ..machine import FAST_TEST
 from ..pnt import expand_program
 from ..syndex import distribute, ring
 from .budget import OVERLOAD_POLICIES, LatencyBudget
 from .topology import StreamTopology
 
-__all__ = ["make_soak", "soak_plan", "frame_value", "run_soak",
-           "SoakResult", "main"]
+__all__ = ["make_soak", "soak_plan", "limplock_plan", "frame_value",
+           "run_soak", "SoakResult", "main"]
 
 
 # -- module-level sequential functions (spawn-picklable) ----------------------
@@ -135,6 +136,22 @@ def make_soak(nproc: int = 3, frames: int = 100, pieces: int = 6,
     )
     mapping = distribute(expand_program(prog, table), ring(arch_size))
     return prog, table, mapping
+
+
+def limplock_plan(mapping, *, worker: int = 0,
+                  factor: float = 10.0) -> FaultPlan:
+    """One persistent gray failure: the n-th farm worker limps forever.
+
+    The canonical chaos-proof scenario — every computation by the chosen
+    worker takes ``factor`` times longer from its first firing on, while
+    its heartbeat stays perfectly fresh — used by the limplock soak leg
+    and the hedging A/B comparisons (``--limplock`` vs ``--no-hedge``).
+    """
+    workers = worker_pids(mapping)
+    target = workers[worker % len(workers)]
+    return FaultPlan([FaultSpec(
+        kind="limplock", process=target, occurrence=0, factor=factor,
+    )])
 
 
 def soak_plan(seed: int, mapping, *, n_faults: int = 6,
@@ -239,22 +256,32 @@ def run_soak(
     frame_period_ms: float = 2.0,
     n_faults: int = 6,
     chaos: bool = True,
+    plan: Optional[FaultPlan] = None,
+    health: Optional[HealthPolicy] = None,
     timeout: float = 120.0,
     **options,
 ) -> SoakResult:
-    """One chaos-soak run; the returned result carries its verdict."""
+    """One chaos-soak run; the returned result carries its verdict.
+
+    ``plan`` overrides the seeded chaos mix with an explicit fault plan
+    (e.g. :func:`limplock_plan`); ``health`` overrides the gray-failure
+    defense knobs — pass ``HealthPolicy(hedge_enabled=False)`` for the
+    unhedged arm of an A/B comparison, ``HealthPolicy(enabled=False)``
+    to switch the whole defense layer off.
+    """
     prog, table, mapping = make_soak(
         nproc=nproc, frames=frames, pieces=pieces, work_us=work_us,
     )
-    plan = soak_plan(seed, mapping, n_faults=n_faults) if chaos \
-        else FaultPlan(seed=seed)
+    if plan is None:
+        plan = soak_plan(seed, mapping, n_faults=n_faults) if chaos \
+            else FaultPlan(seed=seed)
     budget = LatencyBudget(
         deadline_ms=deadline_ms, policy=policy,
         max_in_flight=max_in_flight, frame_period_ms=frame_period_ms,
     )
     fault_policy = FaultPolicy(
         packet_timeout_s=0.3, heartbeat_timeout_s=0.15, poll_s=0.002,
-        probe_after_s=0.2,
+        probe_after_s=0.2, health=health,
     )
     report = get_backend(backend).run(
         mapping, table, program=prog, costs=FAST_TEST,
@@ -307,6 +334,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="chaos events in the seeded plan (default: 6)")
     parser.add_argument("--no-chaos", action="store_true",
                         help="run the same load without injected faults")
+    parser.add_argument("--limplock", type=float, default=None,
+                        metavar="FACTOR",
+                        help="replace the chaos mix with one persistent "
+                             "limplock: the worker named by --limp-worker "
+                             "runs FACTOR times slower for the whole run")
+    parser.add_argument("--limp-worker", type=int, default=0, metavar="N",
+                        help="worker index the --limplock fault targets "
+                             "(default: 0)")
+    parser.add_argument("--no-hedge", action="store_true",
+                        help="disable hedged re-dispatch (the unhedged arm "
+                             "of a limplock A/B comparison)")
+    parser.add_argument("--no-health", action="store_true",
+                        help="disable the whole gray-failure defense layer "
+                             "(scoring, demotion and hedging)")
     parser.add_argument("--ledger", metavar="FILE", default=None,
                         help="write the frame ledger JSON to FILE")
     parser.add_argument("--start-method", default=None,
@@ -318,6 +359,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = {}
     if args.start_method:
         options["start_method"] = args.start_method
+    health = None
+    if args.no_health:
+        health = HealthPolicy(enabled=False)
+    elif args.no_hedge:
+        health = HealthPolicy(hedge_enabled=False)
+    plan = None
+    if args.limplock is not None:
+        prog, table, mapping = make_soak(
+            nproc=args.nproc, frames=args.frames, pieces=args.pieces,
+            work_us=args.work_us,
+        )
+        plan = limplock_plan(mapping, worker=args.limp_worker,
+                             factor=args.limplock)
     try:
         result = run_soak(
             args.backend, seed=args.seed, frames=args.frames,
@@ -326,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_in_flight=args.max_in_flight,
             frame_period_ms=args.frame_period_ms,
             n_faults=args.n_faults, chaos=not args.no_chaos,
+            plan=plan, health=health,
             **options,
         )
     except (BackendError, PlanError, ValueError) as err:
@@ -338,6 +393,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         extra = ""
         if event.kind in ("delay", "slow-worker"):
             extra = f" (+{event.delay_us:.0f} us x{event.count})"
+        elif event.kind == "limplock":
+            extra = f" (x{event.factor:g} for the rest of the run)"
         elif event.kind == "input-surge":
             extra = f" (x{event.factor:g} rate for {event.count})"
         elif event.kind == "burst":

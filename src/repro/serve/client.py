@@ -197,6 +197,14 @@ class ServeClient:
     def ps(self, timeout: float = 10.0):
         return self._query("ps", timeout)["runs"]
 
+    def ps_doc(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """The full ps document: live runs plus per-tenant worker health."""
+        return self._query("ps", timeout)
+
+    def health(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Per-tenant worker-health rows of the last supervised runs."""
+        return self._query("ps", timeout).get("health", {})
+
     def _send(self, kind: int, req: int, *buffers) -> None:
         try:
             self._link.send(kind, pack_run(req), *buffers)

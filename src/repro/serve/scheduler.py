@@ -130,6 +130,9 @@ class RunScheduler:
         self.tenants: Dict[str, Tenant] = {}
         self._rr: List[str] = []          # tenant rotation order
         self._live: Dict[int, Ticket] = {}
+        #: Worker-health rows of each tenant's most recent supervised
+        #: run (``repro stats`` / ``repro ps`` surface these).
+        self._last_health: Dict[str, List[Dict]] = {}
         self._cond = threading.Condition()
         self._closing = False
         self._slots = [
@@ -243,6 +246,11 @@ class RunScheduler:
             return
         finally:
             self.harness.release(links)
+        rows = (report.faults.health_rows()
+                if getattr(report.faults, "health_rows", None) else [])
+        if rows:
+            with self._cond:
+                self._last_health[request.tenant] = rows
         self._complete(ticket, failed=False)
         ticket.finish("ok", report=report)
 
@@ -266,6 +274,12 @@ class RunScheduler:
         with self._cond:
             return [self.tenants[name].to_dict()
                     for name in sorted(self.tenants)]
+
+    def health_stats(self) -> Dict[str, List[Dict]]:
+        """Per-tenant worker-health rows of the last supervised run."""
+        with self._cond:
+            return {tenant: list(rows)
+                    for tenant, rows in sorted(self._last_health.items())}
 
     def ledger(self, tenant: str):
         """The tenant's FrameLedger (tests assert conservation on it)."""

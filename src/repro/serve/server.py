@@ -164,7 +164,8 @@ class ServeServer:
         except codec.CodecError:
             what = "stats"
         if what == "ps":
-            doc: Any = {"runs": self.service.ps()}
+            doc: Any = {"runs": self.service.ps(),
+                        "health": self.service.health()}
         else:
             doc = self.service.stats()
         try:

@@ -107,10 +107,15 @@ class SkipperService:
             "cache": self.cache.stats(),
             "compile_errors": compile_errors,
             "tenants": self.scheduler.tenant_stats(),
+            "health": self.scheduler.health_stats(),
         }
 
     def ps(self) -> List[Dict]:
         return self.scheduler.ps()
+
+    def health(self) -> Dict[str, List[Dict]]:
+        """Per-tenant worker-health rows of the last supervised runs."""
+        return self.scheduler.health_stats()
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -192,6 +192,104 @@ class TestOverloadKinds:
                 assert event.delay_us == 750.0
 
 
+class TestGrayFailureKinds:
+    def test_validation(self):
+        FaultSpec(kind="limplock", process="w", factor=5.0)
+        FaultSpec(kind="partial-partition", edge="e2", count=3)
+        FaultSpec(kind="credit-starvation", process="w", occurrence=4)
+
+    def test_limplock_needs_a_real_slowdown(self):
+        # factor <= 1 is "not actually limping": reject it loudly rather
+        # than silently running a no-op chaos scenario.
+        with pytest.raises(PlanError, match="slowdown factor > 1"):
+            FaultSpec(kind="limplock", process="w", factor=1.0)
+        with pytest.raises(PlanError, match="factor must be positive"):
+            FaultSpec(kind="limplock", process="w", factor=-2.0)
+
+    def test_partial_partition_targets_an_edge(self):
+        with pytest.raises(PlanError, match="target an edge"):
+            FaultSpec(kind="partial-partition", process="w")
+
+    def test_credit_starvation_targets_a_process(self):
+        with pytest.raises(PlanError, match="process/processor"):
+            FaultSpec(kind="credit-starvation", edge="e1")
+
+    def test_round_trip_keeps_gray_fields(self):
+        plan = FaultPlan([
+            FaultSpec(kind="limplock", process="w", factor=7.5),
+            FaultSpec(kind="partial-partition", edge="e3", occurrence=2,
+                      count=4),
+            FaultSpec(kind="credit-starvation", process="w2"),
+        ])
+        again = FaultPlan.loads(plan.dumps())
+        assert again.events == plan.events
+        assert again.events[0].factor == 7.5
+        assert again.events[1].count == 4
+
+
+class TestValidationErrorPaths:
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(PlanError, match="delay_us must be >= 0"):
+            FaultSpec(kind="delay", process="w", delay_us=-5.0)
+
+    def test_delay_kinds_need_a_positive_delay(self):
+        with pytest.raises(PlanError, match="positive delay_us"):
+            FaultSpec(kind="delay", process="w")
+        with pytest.raises(PlanError, match="positive delay_us"):
+            FaultSpec(kind="slow-worker", process="w", delay_us=0.0)
+
+    def test_delay_is_meaningless_elsewhere(self):
+        with pytest.raises(PlanError, match="meaningless"):
+            FaultSpec(kind="crash", process="w", delay_us=100.0)
+        with pytest.raises(PlanError, match="meaningless"):
+            FaultSpec(kind="limplock", process="w", factor=2.0,
+                      delay_us=100.0)
+
+    def test_non_integer_counters_are_rejected(self):
+        with pytest.raises(PlanError, match="occurrence must be an integer"):
+            FaultSpec(kind="crash", process="w", occurrence="3")
+        with pytest.raises(PlanError, match="count must be an integer"):
+            FaultSpec(kind="crash", process="w", count=True)
+
+    def test_non_numeric_factor_is_rejected(self):
+        with pytest.raises(PlanError, match="factor must be a number"):
+            FaultSpec(kind="limplock", process="w", factor="fast")
+
+    def test_unknown_field_suggests_the_close_match(self):
+        with pytest.raises(PlanError, match="did you mean 'process'"):
+            FaultPlan.from_dict(
+                {"events": [{"kind": "crash", "proces": "w"}]}
+            )
+
+    def test_unknown_field_without_a_close_match(self):
+        with pytest.raises(PlanError, match="known fields"):
+            FaultPlan.from_dict(
+                {"events": [{"kind": "crash", "process": "w",
+                             "zzqqy": 1}]}
+            )
+
+    def test_random_limplock_draws_real_factors(self):
+        plan = FaultPlan.random(
+            3, workers=["w0", "w1"], kinds=("limplock",), n_events=5,
+        )
+        for event in plan.events:
+            assert event.kind == "limplock"
+            assert event.factor >= 1.5
+
+    def test_random_edge_kinds_need_edges(self):
+        with pytest.raises(PlanError, match="pass edges"):
+            FaultPlan.random(
+                0, workers=["w0"], kinds=("partial-partition",),
+            )
+        plan = FaultPlan.random(
+            0, workers=["w0"], kinds=("partial-partition",),
+            edges=["e1", "e2"], n_events=4, max_count=3,
+        )
+        for event in plan.events:
+            assert event.edge in ("e1", "e2")
+            assert 1 <= event.count <= 3
+
+
 class TestRandomPlans:
     def test_same_seed_same_plan(self):
         workers = ["df0.worker0", "df0.worker1", "df0.worker2"]

@@ -111,6 +111,56 @@ class TestDrop:
         assert faults.quarantined == []
 
 
+class TestGrayFailureKinds:
+    def test_limplock_stretches_service_not_results(self):
+        clean = run_simulated("df")
+        plan = FaultPlan([FaultSpec(
+            kind="limplock", process="df0.worker1", occurrence=0,
+            factor=5.0,
+        )])
+        limped = run_simulated("df", plan)
+        assert limped.one_shot_results == clean.one_shot_results
+        # The latch persists: every firing after the occurrence is 5x,
+        # so the virtual makespan stretches well past one delay's worth.
+        assert limped.makespan > clean.makespan * 1.5
+        faults = limped.faults
+        assert len(faults.injected) == 1
+        assert "slowdown latched" in faults.injected[0].note
+        # Limping is a third state: detected and demoted, never
+        # quarantined (the worker is slow, not dead).
+        assert any("df0.worker1" in tag for tag in faults.limping)
+        assert faults.quarantined == []
+
+    def test_partial_partition_drops_a_window(self):
+        _prog, _table, _args, mapping = make_demo("df")
+        topo = FaultTopology.from_mapping(mapping)
+        edge = topo.farms[0].workers[1].dispatch_edge
+        plan = FaultPlan([FaultSpec(
+            kind="partial-partition", edge=edge, occurrence=0, count=2,
+        )])
+        report = run_simulated("df", plan)
+        assert report.one_shot_results == reference("df").one_shot_results
+        faults = report.faults
+        assert len(faults.injected) >= 1
+        assert faults.injected[0].kind == "partial-partition"
+        assert faults.redispatches >= 1
+        # One direction of a link stalled; the worker itself is healthy.
+        assert faults.quarantined == []
+
+    def test_credit_starvation_quarantines_the_consumer(self):
+        plan = FaultPlan([FaultSpec(
+            kind="credit-starvation", process="df0.worker2", occurrence=0,
+        )])
+        report = run_simulated("df", plan)
+        assert report.one_shot_results == reference("df").one_shot_results
+        faults = report.faults
+        assert len(faults.injected) == 1
+        assert faults.redispatches >= 1
+        # A consumer that stops draining is indistinguishable from a
+        # dead one to the rest of the farm: quarantine is correct.
+        assert any("df0.worker2" in tag for tag in faults.quarantined)
+
+
 class TestReporting:
     def test_trace_instants(self):
         plan = FaultPlan([FaultSpec(
