@@ -126,7 +126,7 @@ def _cmd_compile(args) -> int:
     table = load_table(args.functions)
     built = build(
         source, table, parse_architecture(args.arch), entry=args.entry,
-        profile_iterations=args.profile,
+        profile_iterations=args.profile, scheduler=args.scheduler,
     )
     if args.emit == "summary":
         print(built.graph.summary())
@@ -153,7 +153,7 @@ def _cmd_emit(args) -> int:
     table = load_table(args.functions)
     built = build(
         source, table, parse_architecture(args.arch), entry=args.entry,
-        profile_iterations=args.profile,
+        profile_iterations=args.profile, scheduler=args.scheduler,
     )
     try:
         files = target.emit(
@@ -166,6 +166,74 @@ def _cmd_emit(args) -> int:
         print(f"  {args.out}/{rel}")
     print(f"emitted {len(files)} file(s) ({args.target} target) "
           f"to {args.out}")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    """Score every registered scheduling policy's mapping of one program."""
+    import json
+
+    from .pipeline import expand, profile as profile_stage
+    from .sched import get_scheduler, list_schedulers, predict
+
+    source = _read_source(args.spec)
+    table = load_table(args.functions)
+    arch = parse_architecture(args.arch)
+    compiled = compile_source(source, table, entry=args.entry)
+    graph = expand(compiled.ir, table)
+    durations = edge_bytes = None
+    if args.profile:
+        prof = profile_stage(graph, table, max_iterations=args.profile)
+        durations, edge_bytes = prof.durations(), prof.edge_bytes
+    criteria = dict(
+        durations=durations, edge_bytes=edge_bytes, items_hint=args.items,
+        latency_budget_us=args.latency_budget_us,
+        throughput_target_hz=args.throughput_target_hz,
+    )
+    rows = []
+    for info in list_schedulers():
+        mapping = get_scheduler(info["name"]).place(graph, arch, **criteria)
+        estimate = predict(
+            mapping, durations=durations, edge_bytes=edge_bytes,
+            items_hint=args.items,
+        )
+        rows.append({
+            "policy": info["name"],
+            "description": info["description"],
+            "estimate": estimate.to_dict(),
+            "assignment": dict(sorted(mapping.assignment.items())),
+        })
+
+    costs = "measured costs" if durations else "structural weights"
+    print(f"candidate mappings of {graph.name!r} onto {arch.name!r} "
+          f"({costs}, items hint {args.items}):")
+    print(f"  {'policy':<12} {'latency':>12} {'period':>12} "
+          f"{'throughput':>12} {'reliability':>12}")
+    for row in rows:
+        e = row["estimate"]
+        print(f"  {row['policy']:<12} {e['latency_us']:>10.1f}us "
+              f"{e['period_us']:>10.1f}us {e['throughput_hz']:>10.1f}/s "
+              f"{e['reliability']:>12.9f}")
+    for label, key, best in (
+        ("latency", "latency_us", min),
+        ("throughput", "period_us", min),
+        ("reliability", "reliability", max),
+    ):
+        winner = best(rows, key=lambda r: r["estimate"][key])
+        print(f"  best {label}: {winner['policy']}")
+    if args.json:
+        ensure_parent_dir(args.json)
+        with open(args.json, "w") as handle:
+            json.dump({
+                "program": graph.name,
+                "arch": arch.name,
+                "items_hint": args.items,
+                "latency_budget_us": args.latency_budget_us,
+                "throughput_target_hz": args.throughput_target_hz,
+                "policies": rows,
+            }, handle, indent=2)
+            handle.write("\n")
+        print(f"mappings written to {args.json}")
     return 0
 
 
@@ -223,7 +291,7 @@ def _cmd_simulate(args) -> int:
     table = load_table(args.functions)
     built = build(
         source, table, parse_architecture(args.arch), entry=args.entry,
-        profile_iterations=args.profile,
+        profile_iterations=args.profile, scheduler=args.scheduler,
     )
     record = args.gantt or bool(args.trace_out)
     report = built.run(
@@ -338,11 +406,15 @@ def _cmd_run(args) -> int:
     table = load_table(args.functions)
     built = build(
         source, table, parse_architecture(args.arch), entry=args.entry,
-        profile_iterations=args.profile,
+        profile_iterations=args.profile, scheduler=args.scheduler,
     )
     record = args.gantt or bool(args.trace_out)
     options = _load_fault_plan(args)
     options.update(_load_budget(args))
+    if args.backend == "tcp" and args.scheduler:
+        # The same policy also drives the coordinator's processor->worker
+        # assignment half.
+        options["scheduler"] = args.scheduler
     if args.start_method:
         options["start_method"] = args.start_method
     if getattr(args, "transport", None):
@@ -587,6 +659,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "measured costs for placement (AAA adequation); "
                      "note: consumes N stream items",
             )
+            p.add_argument(
+                "--scheduler", default=None, metavar="POLICY",
+                help="placement policy (round-robin, aaa, bicriteria; "
+                     "default: the AAA heuristic — see `repro map`)",
+            )
 
     p = sub.add_parser("typecheck", help="infer and print top-level types")
     common(p)
@@ -614,6 +691,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--max-iterations", type=int, default=None,
                    help="bake a stream bound into the emitted executive")
     p.set_defaults(fn=_cmd_emit)
+
+    p = sub.add_parser(
+        "map",
+        help="score every scheduling policy's mapping (latency / "
+             "throughput / reliability)",
+    )
+    common(p, arch=True)
+    p.add_argument("--items", type=int, default=8,
+                   help="items per farm iteration the cost model assumes "
+                        "(default: 8)")
+    p.add_argument("--latency-budget-us", type=float, default=None,
+                   metavar="US",
+                   help="bi-criteria mode: maximise throughput subject to "
+                        "this latency budget")
+    p.add_argument("--throughput-target-hz", type=float, default=None,
+                   metavar="HZ",
+                   help="bi-criteria mode: minimise latency subject to "
+                        "this throughput target")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the candidate mappings as JSON to FILE")
+    p.set_defaults(fn=_cmd_map)
 
     p = sub.add_parser("emulate", help="run the sequential emulation")
     common(p)

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..health.policy import HealthPolicy
+from ..sched.remap import RemapPolicy
 
 __all__ = ["FaultPolicy"]
 
@@ -60,9 +61,18 @@ class FaultPolicy:
     #: ``enabled=False`` / ``hedge_enabled=False`` to switch the layer
     #: off for A/B comparisons.
     health: Optional[HealthPolicy] = None
+    #: Online re-mapping knobs (migrate processors off workers that stay
+    #: limping, count-based so the simulator reproduces every decision
+    #: in virtual time).  ``None`` means re-mapping is off and the
+    #: demotion/hedging defenses stand alone.
+    remap: Optional[RemapPolicy] = None
 
     def health_policy(self) -> HealthPolicy:
         return self.health if self.health is not None else HealthPolicy()
+
+    def remap_policy(self) -> RemapPolicy:
+        return self.remap if self.remap is not None \
+            else RemapPolicy(enabled=False)
 
     def deadline_s(self, attempts: int) -> float:
         """Packet timeout for the given (0-based) dispatch attempt."""

@@ -34,6 +34,7 @@ CATEGORIES = (
     "hedge",       # an overdue packet was speculatively duplicated
     "hedge-win",   # the speculative duplicate answered first
     "health",      # periodic per-worker health score sample (counter)
+    "remap",       # a confirmed-limping worker was migrated off entirely
 )
 
 
@@ -120,6 +121,16 @@ class FaultReport:
         return len(self.by_category("hedge-win"))
 
     @property
+    def remaps(self) -> List[str]:
+        """Targets ever migrated by the re-mapper, in decision order."""
+        out = []
+        for r in self.by_category("remap"):
+            tag = f"{r.target}@{r.processor}" if r.processor else r.target
+            if tag not in out:
+                out.append(tag)
+        return out
+
+    @property
     def limping(self) -> List[str]:
         """Targets ever flagged limping, ``process@processor`` order."""
         out = []
@@ -193,6 +204,8 @@ class FaultReport:
         limping = ""
         if self.limping:
             limping = f"; limping: {', '.join(self.limping)}"
+        if self.remaps:
+            limping += f"; re-mapped: {', '.join(self.remaps)}"
         return (
             f"faults: {len(self.injected)} injected, "
             f"{len(self.detected)} detected, "

@@ -35,7 +35,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..codegen.kernel import Shutdown
-from ..health import FarmHealth, HealthPolicy, HedgeClock, LIMPING
+from ..health import HEALTHY, FarmHealth, HealthPolicy, HedgeClock, LIMPING
 from .plan import FaultPlan, PlanMatcher
 from .policy import FaultPolicy
 from .report import FaultReport
@@ -231,6 +231,16 @@ class _FarmState:
         #: flight: releasing Stop early would let a survivor exit before
         #: a re-dispatched packet reaches it.
         self.held_stops: List[str] = []
+        #: Online re-mapping: workers migrated out of the rotation.
+        #: Stronger than a demotion (no trickle — full dispatch
+        #: exclusion), weaker than quarantine (restoration is expected).
+        self.migrated: set = set()
+        #: worker index -> farm completions observed while the worker
+        #: stayed continuously limping (the count-based migrate trigger).
+        self.remap_counts: Dict[int, int] = {}
+        #: migrated worker index -> farm completions since its last
+        #: probation duplicate (the count-based probe cadence).
+        self.remap_probe_gap: Dict[int, int] = {}
 
 
 class SupervisedKernel:
@@ -257,6 +267,7 @@ class SupervisedKernel:
         self._matcher = PlanMatcher(plan) if plan else None
         self._policy = policy or FaultPolicy()
         self._hp = self._policy.health_policy()
+        self._rp = self._policy.remap_policy()
         #: Latched persistent slowdowns: pid/processor -> factor.
         self._limp_factors: Dict[str, float] = {}
         self.fault_report = report if report is not None else FaultReport()
@@ -360,6 +371,8 @@ class SupervisedKernel:
                     row["worker"] = w.pid
                     if w.index in state.quarantined:
                         row["state"] = "quarantined"
+                    elif w.index in state.migrated:
+                        row["state"] = "migrated"
                     workers.append(row)
                 out[sid] = {"workers": workers,
                             "hedge": state.hedge.to_dict()}
@@ -497,9 +510,11 @@ class SupervisedKernel:
             seq = state.next_seq
             state.next_seq += 1
             assigned, out_edge = worker.index, edge
-            if worker.index in state.quarantined:
-                # The dispatcher still addresses the dead worker's port;
-                # reroute transparently so its full queue cannot block us.
+            if (worker.index in state.quarantined
+                    or worker.index in state.migrated):
+                # The dispatcher still addresses the dead (or migrated)
+                # worker's port; reroute transparently so its full queue
+                # cannot block us.
                 target = self._pick_survivor(state, seq)
                 if target is None:
                     self._abandon(state, None)
@@ -512,7 +527,8 @@ class SupervisedKernel:
                 # and it earns readmission); the rest reroute to the
                 # healthiest peer, transparently to the master.
                 alive = [w.index for w in state.farm.workers
-                         if w.index not in state.quarantined]
+                         if w.index not in state.quarantined
+                         and w.index not in state.migrated]
                 demoted = state.health.pick_healthy(
                     seq, exclude={worker.index}, alive=alive
                 )
@@ -673,6 +689,8 @@ class SupervisedKernel:
                     state.hedge.wasted += 1
                 return "dup", origin, None
             self._observe(state, arrival, rec.sends, now)
+            if self._rp.enabled:
+                self._note_completion(state)
             state.recent_sends[result.seq] = rec.sends
             while len(state.recent_sends) > _RECENT_SENDS:
                 state.recent_sends.pop(next(iter(state.recent_sends)))
@@ -769,6 +787,7 @@ class SupervisedKernel:
                 )
             self._judge_suspects(state, now)
             self._evaluate_health(state, now)
+            self._apply_remap(state, now)
             self._probe_quarantined(state, now)
             if (state.stopping and not state.inflight
                     and not state.pending_sends and state.held_stops):
@@ -822,7 +841,8 @@ class SupervisedKernel:
         if not state.hedge.overdue(elapsed):
             return
         alive = [w.index for w in state.farm.workers
-                 if w.index not in state.quarantined]
+                 if w.index not in state.quarantined
+                 and w.index not in state.migrated]
         target_index = state.health.pick_healthy(
             rec.seq, exclude=set(rec.sends), alive=alive
         )
@@ -917,6 +937,138 @@ class SupervisedKernel:
                 value=(health.score or 0.0) * 1e3,
             )
 
+    def _note_completion(self, state: _FarmState) -> None:
+        """Advance the count-based re-map clocks on one farm completion.
+
+        Called with ``state.lock`` held, from :meth:`_accept`'s settle
+        path.  Counting *completions* rather than seconds keeps every
+        re-map decision unit-free: the same packet sequence produces the
+        same decision sequence whether time is wall-clock or the
+        simulator's virtual microseconds.
+        """
+        limping = state.health.limping()
+        for index in list(state.remap_counts):
+            if index not in limping or index in state.migrated:
+                # The streak must be continuous: recovery (or migration)
+                # resets the confirmation count.
+                state.remap_counts.pop(index)
+        for index in limping:
+            if index in state.migrated or index in state.quarantined:
+                continue
+            state.remap_counts[index] = state.remap_counts.get(index, 0) + 1
+        for index in state.migrated:
+            state.remap_probe_gap[index] = (
+                state.remap_probe_gap.get(index, 0) + 1
+            )
+
+    def _apply_remap(self, state: _FarmState, now: float) -> None:
+        """Migrate confirmed-limping workers out; restore recovered ones.
+
+        Called with ``state.lock`` held.  Migration is the escalation
+        above demotion: the worker leaves the dispatch rotation entirely
+        and its in-flight packets drain to healthy survivors through the
+        normal re-dispatch path (attempt counters and ledger
+        conservation intact).  Restoration requires measured evidence —
+        the probation duplicates must pull the worker's EWMA score back
+        under the health layer's clear hysteresis — never mere liveness.
+        """
+        if not self._rp.enabled or not self._hp.enabled:
+            return
+        # 1. Restore migrated workers whose score recovered (HEALTHY is
+        # only reachable through the clear_factor hysteresis).
+        for index in sorted(state.migrated):
+            if state.health.state(index) != HEALTHY:
+                continue
+            state.migrated.discard(index)
+            state.remap_probe_gap.pop(index, None)
+            worker = state.farm.workers[index]
+            self.fault_report.add(
+                "restored", "remap", worker.pid, self._now_us(),
+                processor=worker.processor,
+                note="score recovered; rejoining dispatch rotation",
+            )
+        # 2. Migrate workers that stayed limping past the confirmation
+        # count — but only while enough healthy capacity remains.
+        for index in sorted(state.remap_counts):
+            if state.remap_counts[index] < self._rp.confirm_completions:
+                continue
+            if index in state.migrated or index in state.quarantined:
+                state.remap_counts.pop(index, None)
+                continue
+            active = [w.index for w in state.farm.workers
+                      if w.index not in state.quarantined
+                      and w.index not in state.migrated
+                      and w.index != index]
+            healthy = [i for i in active
+                       if state.health.state(i) == HEALTHY]
+            if len(active) < self._rp.min_active or not healthy:
+                continue  # nobody to migrate onto; demotion keeps covering
+            state.remap_counts.pop(index, None)
+            state.migrated.add(index)
+            state.remap_probe_gap[index] = 0
+            worker = state.farm.workers[index]
+            score = state.health.workers[index].score or 0.0
+            median = state.health.median() or 0.0
+            self.fault_report.add(
+                "remap", "limping", worker.pid, self._now_us(),
+                processor=worker.processor,
+                note=f"migrated after {self._rp.confirm_completions} farm "
+                     f"completions limping (score {score * 1e3:.1f} ms vs "
+                     f"median {median * 1e3:.1f} ms)",
+            )
+            if self._rp.drain:
+                self._drain_migrated(state, worker, now)
+        # 3. Probation duplicates pace the migrated worker's way back.
+        if state.stopping or not state.inflight:
+            return
+        for index in sorted(state.migrated):
+            if state.remap_probe_gap.get(index, 0) < self._rp.probe_stride:
+                continue
+            state.remap_probe_gap[index] = 0
+            worker = state.farm.workers[index]
+            rec = min(state.inflight.values(), key=lambda r: r.seq)
+            rec.sends.setdefault(worker.index, now)
+            self.fault_report.add(
+                "probe", "remap", worker.pid, self._now_us(),
+                processor=worker.processor, seq=rec.seq,
+                note=f"probation duplicate of packet #{rec.seq} "
+                     f"(migrated worker)",
+            )
+            state.pending_sends.append(
+                (worker.dispatch_edge, Packet(rec.seq, rec.value), 0)
+            )
+
+    def _drain_migrated(self, state: _FarmState, worker: FarmWorker,
+                        now: float) -> None:
+        """Coordinated drain: re-home the migrated worker's in-flight load.
+
+        Called with ``state.lock`` held.  Each packet still assigned to
+        the migrated worker is re-dispatched to a survivor immediately
+        instead of waiting for its timeout; the worker's own late answer
+        (it is slow, not dead) settles as a discarded duplicate — and
+        still feeds its health score, which is part of how it recovers.
+        """
+        for seq, rec in sorted(state.inflight.items()):
+            if rec.assigned != worker.index:
+                continue
+            if rec.attempts >= self._policy.max_redispatch:
+                continue  # let the timeout path pass final judgement
+            target = self._pick_survivor(state, seq)
+            if target is None or target.index == worker.index:
+                continue
+            rec.assigned = target.index
+            rec.attempts += 1
+            rec.sent_at = now
+            rec.sends[target.index] = now
+            rec.redispatch_record = self.fault_report.add(
+                "redispatch", "remap", target.pid, self._now_us(),
+                processor=target.processor, seq=seq, attempts=rec.attempts,
+                note=f"drain: packet #{seq} migrated off {worker.pid}",
+            )
+            state.pending_sends.append(
+                (target.dispatch_edge, Packet(seq, rec.value), 0)
+            )
+
     def _probe_quarantined(self, state: _FarmState, now: float) -> None:
         """Circuit breaker: offer quarantined workers probation packets.
 
@@ -989,7 +1141,15 @@ class SupervisedKernel:
         survivors = [
             w.index for w in state.farm.workers
             if w.index not in state.quarantined
+            and w.index not in state.migrated
         ]
+        if not survivors:
+            # A migrated worker is slow, not dead: better it than
+            # abandoning the packet when nothing else survives.
+            survivors = [
+                w.index for w in state.farm.workers
+                if w.index not in state.quarantined
+            ]
         if not survivors:
             return None
         if self._hp.enabled:

@@ -258,6 +258,11 @@ class Executive:
         self._limp_flagged: set = set()
         self._limp_offers: Dict[str, int] = {}
         self._hp = None
+        # Online re-mapping twin: the same count-based decisions the
+        # supervised kernels make, replayed in virtual time.
+        self._rp = None
+        self._remap_migrated: set = set()
+        self._remap_counts: Dict[str, int] = {}
         self._hedge_clocks: Dict[str, Any] = {}
         self._worker_farm: Dict[str, Tuple[Any, Any]] = {}
         self._master_farm: Dict[str, Any] = {}
@@ -265,6 +270,7 @@ class Executive:
             from ..health import HedgeClock
 
             self._hp = self._fault_policy.health_policy()
+            self._rp = self._fault_policy.remap_policy()
             for farm in self._fault_topology.farms:
                 # Clocks run in virtual µs, floorless: simulated service
                 # times carry no measurement noise to guard against.
@@ -669,6 +675,7 @@ class Executive:
         worker_index = port - 2
         farm.pending -= 1
         farm.busy[worker_index] = False
+        self._note_virtual_completion(pid)
         spec = self.table[process.func]  # the accumulator
         if process.params["farm_kind"] == "tf":
             outcome = value
@@ -730,6 +737,49 @@ class Executive:
 
     # -- fault model -------------------------------------------------------------
 
+    def _note_virtual_completion(self, master_pid: str) -> None:
+        """The simulator's re-map clock: one tick per farm completion.
+
+        Mirrors ``SupervisedKernel._note_completion`` + ``_apply_remap``
+        in virtual time: every settled packet advances the count of each
+        farm-mate that is currently flagged limping, and a worker whose
+        continuous streak reaches ``confirm_completions`` is migrated
+        (full dispatch exclusion) while a healthy mate exists.  Counting
+        completions rather than microseconds is what makes the decision
+        sequence identical to the wall-clock kernels'.
+        """
+        if (self._rp is None or not self._rp.enabled
+                or self._hp is None or not self._hp.enabled):
+            return
+        farm = self._master_farm.get(master_pid)
+        if farm is None:
+            return
+        for w in farm.workers:
+            if w.pid in self._remap_migrated or w.pid in self._dead_pids:
+                continue
+            if w.pid not in self._limp_flagged:
+                self._remap_counts.pop(w.pid, None)
+                continue
+            count = self._remap_counts.get(w.pid, 0) + 1
+            self._remap_counts[w.pid] = count
+            if count < self._rp.confirm_completions:
+                continue
+            active = [m for m in farm.workers
+                      if m.pid != w.pid and m.pid not in self._dead_pids
+                      and m.pid not in self._remap_migrated]
+            healthy = [m for m in active
+                       if m.pid not in self._limp_factors]
+            if len(active) < self._rp.min_active or not healthy:
+                continue
+            self._remap_counts.pop(w.pid, None)
+            self._remap_migrated.add(w.pid)
+            self.fault_report.add(
+                "remap", "limping", w.pid, self._now,
+                processor=w.processor,
+                note=f"migrated after {self._rp.confirm_completions} farm "
+                     f"completions limping",
+            )
+
     def _health_demoted(self, master_pid: str, index: int) -> bool:
         """Health-weighted dispatch: keep a flagged-limping worker on a
         1-in-``keep_stride`` packet trickle while a healthy farm-mate
@@ -741,7 +791,18 @@ class Executive:
         if farm is None:
             return False
         worker = next((w for w in farm.workers if w.index == index), None)
-        if worker is None or worker.pid not in self._limp_flagged:
+        if worker is None:
+            return False
+        if worker.pid in self._remap_migrated:
+            # Migrated by the re-mapper: no trickle at all while any
+            # healthy farm-mate remains (the limp factor is latched for
+            # the whole simulated run, so restoration never applies).
+            if any(w.pid not in self._limp_factors
+                   and w.pid not in self._dead_pids
+                   and w.pid not in self._remap_migrated
+                   for w in farm.workers):
+                return True
+        if worker.pid not in self._limp_flagged:
             return False
         if not any(w.pid not in self._limp_factors
                    and w.pid not in self._dead_pids

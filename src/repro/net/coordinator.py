@@ -160,6 +160,8 @@ def run_distributed(
     budget: Optional[Any] = None,
     on_assign: Optional[Callable[[Dict[str, WorkerLink]], None]] = None,
     source: Optional[str] = None,
+    scheduler: Optional[str] = None,
+    durations: Optional[Dict[str, float]] = None,
 ) -> Tuple[Dict[str, Any], List, List, float, Any, Any, Dict[str, str]]:
     """Run the mapped program across ``workers``.
 
@@ -168,6 +170,12 @@ def run_distributed(
     the realtime row when the run had a latency budget).  ``on_assign``
     is a test hook called with the processor->link assignment right
     after ASSIGN is sent — chaos tests use it to pick a victim socket.
+
+    ``scheduler`` names the registered policy whose ``assign`` half
+    deals mapped processors over the live workers (default: the
+    registry's default — cost-aware LPT; ``"round-robin"`` restores the
+    historical dealing).  ``durations`` optionally feeds measured
+    per-process costs into that decision.
 
     ``source`` supplies a pre-generated executive (it must come from
     ``generate_python(mapping, max_iterations=...)`` with the same
@@ -212,9 +220,11 @@ def run_distributed(
             "the tcp backend has no live workers (start some with "
             "`repro worker --connect HOST:PORT`)"
         )
-    assignment = {
-        proc: live[i % len(live)] for i, proc in enumerate(participating)
-    }
+    from ..sched.registry import resolve_scheduler
+
+    assignment = resolve_scheduler(scheduler).assign(
+        mapping, participating, live, durations=durations,
+    )
     used: List[WorkerLink] = []
     for w in assignment.values():
         if w not in used:
@@ -551,6 +561,7 @@ class TcpBackend(Backend):
         cluster_size: Optional[int] = None,
         listen: Optional[str] = None,
         on_assign: Optional[Callable] = None,
+        scheduler: Optional[str] = None,
         **options: Any,
     ) -> RunReport:
         if mapping is None:
@@ -584,6 +595,7 @@ class TcpBackend(Backend):
                     fault_policy=fault_policy,
                     budget=budget,
                     on_assign=on_assign,
+                    scheduler=scheduler,
                 )
             finally:
                 harness.release(links)

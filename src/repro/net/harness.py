@@ -146,6 +146,32 @@ class ClusterHarness:
             self._respawns_left -= 1
             self._spawn_worker()
 
+    def scale_to(self, n: int) -> int:
+        """Grow the pool to ``n`` workers (elastic scale-up; up-only).
+
+        Spawns the extra subprocesses immediately (when the harness owns
+        its workers) and extends the respawn budget proportionally, so a
+        scaled-up cluster self-heals at its new size.  Shrinking is
+        deliberately unsupported — see
+        :class:`repro.sched.elastic.ElasticController` — so a target at
+        or below the current size is a no-op.  Returns the (new) size.
+        """
+        with self._cond:
+            if self._closing:
+                raise BackendError(
+                    f"cluster at {self.address} is shut down"
+                )
+            grown = n - self.size
+            if grown <= 0:
+                return self.size
+            self.size = n
+            self._respawns_left += 2 * grown
+            if self._spawn:
+                for _ in range(grown):
+                    self._spawn_worker()
+            self._cond.notify_all()
+            return self.size
+
     # -- the pool --------------------------------------------------------------
 
     def checkout(

@@ -82,6 +82,9 @@ def map_onto(
     profile: Optional[Profile] = None,
     comm_factor: float = 1.0,
     check: bool = True,
+    scheduler: Optional[str] = None,
+    latency_budget_us: Optional[float] = None,
+    throughput_target_hz: Optional[float] = None,
 ) -> Mapping:
     """Distribute the process graph onto the architecture.
 
@@ -89,12 +92,28 @@ def map_onto(
     measured compute times and transfer costs (the AAA adequation loop);
     without one it falls back to structural weights.  ``check`` verifies
     deadlock freedom and raises on violation.
+
+    ``scheduler`` selects a registered placement policy by name
+    (``aaa``, ``bicriteria``, ``round-robin``; see
+    :mod:`repro.sched.registry`) instead of calling the AAA heuristic
+    directly; the bi-criteria search honours ``latency_budget_us`` /
+    ``throughput_target_hz`` as its constrained criterion.
     """
     kwargs: Dict[str, Any] = {"comm_factor": comm_factor}
     if profile is not None:
         kwargs["edge_bytes"] = profile.edge_bytes
         kwargs["durations"] = profile.durations()
-    mapping = distribute(graph, arch, **kwargs)
+    if scheduler is None:
+        mapping = distribute(graph, arch, **kwargs)
+    else:
+        from .sched.registry import get_scheduler
+
+        mapping = get_scheduler(scheduler).place(
+            graph, arch,
+            latency_budget_us=latency_budget_us,
+            throughput_target_hz=throughput_target_hz,
+            **kwargs,
+        )
     if check:
         report = check_deadlock_freedom(mapping)
         if not report.ok:
@@ -213,6 +232,7 @@ def build(
     comm_factor: float = 1.0,
     entry: str = "main",
     cache: Optional[Any] = None,
+    scheduler: Optional[str] = None,
 ) -> BuiltApplication:
     """Compile, expand, (optionally) profile, map and verify in one call.
 
@@ -230,6 +250,7 @@ def build(
         and profile_iterations == 0
         and profile_args is None
         and comm_factor == 1.0
+        and scheduler is None
     ):
         cached = cache.build(source, table, arch, entry=entry)
         report = check_deadlock_freedom(cached.mapping)
@@ -248,6 +269,7 @@ def build(
             args=profile_args,
             rewind=rewind,
         )
-    mapping = map_onto(graph, arch, profile=prof, comm_factor=comm_factor)
+    mapping = map_onto(graph, arch, profile=prof, comm_factor=comm_factor,
+                       scheduler=scheduler)
     report = check_deadlock_freedom(mapping)
     return BuiltApplication(compiled, graph, mapping, report, prof, table, costs)

@@ -42,6 +42,7 @@ from ..faults.plan import FaultPlan, FaultSpec, PlanError
 from ..faults.policy import FaultPolicy
 from ..health import HealthPolicy
 from ..machine import FAST_TEST
+from ..sched.remap import RemapPolicy
 from ..pnt import expand_program
 from ..syndex import distribute, ring
 from .budget import OVERLOAD_POLICIES, LatencyBudget
@@ -258,6 +259,7 @@ def run_soak(
     chaos: bool = True,
     plan: Optional[FaultPlan] = None,
     health: Optional[HealthPolicy] = None,
+    remap: Optional[RemapPolicy] = None,
     timeout: float = 120.0,
     **options,
 ) -> SoakResult:
@@ -267,7 +269,9 @@ def run_soak(
     (e.g. :func:`limplock_plan`); ``health`` overrides the gray-failure
     defense knobs — pass ``HealthPolicy(hedge_enabled=False)`` for the
     unhedged arm of an A/B comparison, ``HealthPolicy(enabled=False)``
-    to switch the whole defense layer off.
+    to switch the whole defense layer off.  ``remap`` arms the online
+    re-mapper (count-based migration off confirmed-limping workers);
+    ``None`` leaves it off, matching the pre-re-mapping behaviour.
     """
     prog, table, mapping = make_soak(
         nproc=nproc, frames=frames, pieces=pieces, work_us=work_us,
@@ -281,7 +285,7 @@ def run_soak(
     )
     fault_policy = FaultPolicy(
         packet_timeout_s=0.3, heartbeat_timeout_s=0.15, poll_s=0.002,
-        probe_after_s=0.2, health=health,
+        probe_after_s=0.2, health=health, remap=remap,
     )
     report = get_backend(backend).run(
         mapping, table, program=prog, costs=FAST_TEST,
@@ -348,6 +352,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-health", action="store_true",
                         help="disable the whole gray-failure defense layer "
                              "(scoring, demotion and hedging)")
+    parser.add_argument("--remap", action="store_true",
+                        help="arm the online re-mapper: migrate the farm "
+                             "share of confirmed-limping workers to healthy "
+                             "survivors mid-stream")
     parser.add_argument("--ledger", metavar="FILE", default=None,
                         help="write the frame ledger JSON to FILE")
     parser.add_argument("--start-method", default=None,
@@ -381,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             frame_period_ms=args.frame_period_ms,
             n_faults=args.n_faults, chaos=not args.no_chaos,
             plan=plan, health=health,
+            remap=RemapPolicy() if args.remap else None,
             **options,
         )
     except (BackendError, PlanError, ValueError) as err:

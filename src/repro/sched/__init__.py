@@ -1,0 +1,58 @@
+"""repro.sched — bi-criteria adaptive mapping over the whole stack.
+
+The planning layer the toolchain was missing: a :class:`Scheduler`
+interface with registered policies (``round-robin`` baseline, ``aaa``
+greedy, ``bicriteria`` Pareto search) routing *both* placement halves —
+processes onto processors, mapped processors onto tcp workers — plus
+the online side: a count-based :class:`RemapPolicy` migrating work off
+degraded workers mid-stream (see
+:class:`~repro.faults.supervisor.SupervisedKernel`) and an
+:class:`ElasticController` growing the worker pool under sustained
+overload.
+
+Static criteria and the calibrated cost model live in
+:mod:`repro.sched.costmodel`; the Pareto search in
+:mod:`repro.sched.mapper`.  ``repro map`` prints every registered
+policy's predicted latency / throughput / reliability for a program.
+"""
+
+from .costmodel import (
+    MappingEstimate,
+    predict,
+    processor_loads,
+    speeds_from_report,
+)
+from .elastic import ElasticController, ElasticDecision, ElasticPolicy
+from .mapper import Candidate, bicriteria_map, bicriteria_search, pareto_front
+from .registry import (
+    DEFAULT_SCHEDULER,
+    Scheduler,
+    get_scheduler,
+    list_schedulers,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_names,
+)
+from .remap import RemapPolicy
+
+__all__ = [
+    "MappingEstimate",
+    "predict",
+    "processor_loads",
+    "speeds_from_report",
+    "ElasticController",
+    "ElasticDecision",
+    "ElasticPolicy",
+    "Candidate",
+    "bicriteria_map",
+    "bicriteria_search",
+    "pareto_front",
+    "DEFAULT_SCHEDULER",
+    "Scheduler",
+    "get_scheduler",
+    "list_schedulers",
+    "register_scheduler",
+    "resolve_scheduler",
+    "scheduler_names",
+    "RemapPolicy",
+]

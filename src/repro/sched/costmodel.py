@@ -1,0 +1,236 @@
+"""The calibrated cost model behind every scheduling decision.
+
+One mapping, three criteria — the bi-criteria (then tri-criteria)
+recipe of Benoit–Robert et al. ("Bi-criteria Pipeline Mappings for
+Parallel Image Processing", "Multi-criteria scheduling of pipeline
+workflows"):
+
+* **latency** — critical-path time of one iteration, straight from the
+  static analysis (:func:`repro.syndex.analysis.estimate_latency`);
+* **throughput** — the pipeline interval: with every stage of every
+  frame in flight at once, the farm sustains one frame per *period*,
+  where the period is the busiest processor's per-iteration compute
+  time (comm on the hub rides under it for the graphs we map);
+* **reliability** — the probability one iteration survives processor
+  failures.  A farm's workers are replicas of a stateless stage: the
+  stage fails only when *every* processor hosting one of its workers
+  fails, so spreading workers over more processors is the replication
+  the third criterion rewards.  Singleton (stateful) stages fail with
+  their processor.
+
+Costs come from syndex durations (or the default kind weights) and can
+be *calibrated* with measured per-worker EWMA service times from
+:mod:`repro.health`: :func:`speeds_from_report` turns a run's health
+samples into per-processor speed multipliers, so a processor that
+measured 3x slower than the farm median is charged 3x its static cost
+on the next mapping decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..pnt.graph import ProcessGraph, ProcessKind
+from ..syndex.analysis import estimate_latency
+from ..syndex.distribute import Mapping, _DEFAULT_WEIGHTS
+from ..syndex.route import route_mapping
+
+__all__ = ["MappingEstimate", "predict", "processor_loads",
+           "speeds_from_report"]
+
+#: Default per-processor failure probability per iteration.  The value
+#: only ranks mappings (more worker spread -> higher reliability); it is
+#: not a fleet measurement.
+DEFAULT_FAILURE_RATE = 1e-3
+
+
+@dataclass
+class MappingEstimate:
+    """Predicted (latency, throughput, reliability) of one mapping."""
+
+    latency_us: float
+    period_us: float
+    reliability: float
+    #: Per-processor busy time per iteration (µs), the period's input.
+    loads: Dict[str, float] = field(default_factory=dict)
+    #: Worker-replica count per farm skeleton (distinct processors).
+    replication: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_hz(self) -> float:
+        return 1e6 / self.period_us if self.period_us > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "latency_us": round(self.latency_us, 3),
+            "period_us": round(self.period_us, 3),
+            "throughput_hz": round(self.throughput_hz, 3),
+            "reliability": round(self.reliability, 9),
+            "loads": {p: round(v, 3) for p, v in self.loads.items()},
+            "replication": dict(self.replication),
+        }
+
+
+def _duration_of(graph: ProcessGraph, pid: str,
+                 durations: Optional[Dict[str, float]]) -> float:
+    if durations and pid in durations:
+        return durations[pid]
+    return _DEFAULT_WEIGHTS[graph[pid].kind]
+
+
+def _firings_per_iteration(graph: ProcessGraph, pid: str,
+                           items_hint: int) -> float:
+    """How many times one process fires per pipeline iteration.
+
+    Mirrors the balanced-farm approximation of the static analysis: a
+    worker computes ``ceil(items / degree)`` packets per iteration and
+    the master touches every item once (dispatch + accumulate).
+    """
+    process = graph[pid]
+    if process.kind == ProcessKind.WORKER:
+        degree = _farm_degree(graph, process.skeleton)
+        return float(max(1, -(-items_hint // max(degree, 1))))
+    if process.kind == ProcessKind.MASTER:
+        return float(max(1, items_hint))
+    return 1.0
+
+
+def _farm_degree(graph: ProcessGraph, skeleton: Optional[str]) -> int:
+    if skeleton is None:
+        return 1
+    return sum(
+        1 for p in graph.processes.values()
+        if p.skeleton == skeleton and p.kind == ProcessKind.WORKER
+    )
+
+
+def processor_loads(
+    mapping: Mapping,
+    *,
+    durations: Optional[Dict[str, float]] = None,
+    items_hint: int = 8,
+    worker_speeds: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """Per-processor busy time per iteration (µs), speed-corrected.
+
+    ``worker_speeds`` multiplies each processor's nominal speed with a
+    measured health factor (see :func:`speeds_from_report`): a limping
+    processor's load inflates accordingly.
+    """
+    graph = mapping.graph
+    loads: Dict[str, float] = {p: 0.0 for p in mapping.arch.processor_ids()}
+    for pid, proc in mapping.assignment.items():
+        work = (_duration_of(graph, pid, durations)
+                * _firings_per_iteration(graph, pid, items_hint))
+        speed = mapping.arch.processors[proc].speed
+        if worker_speeds:
+            speed *= max(worker_speeds.get(proc, 1.0), 1e-9)
+        loads[proc] += work / speed
+    return loads
+
+
+def _replication(mapping: Mapping) -> Dict[str, int]:
+    """Distinct processors hosting each farm skeleton's workers."""
+    spread: Dict[str, set] = {}
+    for pid, process in mapping.graph.processes.items():
+        if process.kind == ProcessKind.WORKER and process.skeleton:
+            spread.setdefault(process.skeleton, set()).add(
+                mapping.assignment[pid]
+            )
+    return {skeleton: len(procs) for skeleton, procs in spread.items()}
+
+
+def predict(
+    mapping: Mapping,
+    *,
+    durations: Optional[Dict[str, float]] = None,
+    edge_bytes: Optional[Dict[int, int]] = None,
+    items_hint: int = 8,
+    failure_rate: float = DEFAULT_FAILURE_RATE,
+    worker_speeds: Optional[Dict[str, float]] = None,
+) -> MappingEstimate:
+    """Score one mapping on all three criteria."""
+    # Every process gets a duration — measured when available, else the
+    # structural kind weight — so latency stays comparable to the period
+    # even without a profile (an all-zero critical path would let the
+    # search trade real throughput for meaningless latency wins).
+    graph = mapping.graph
+    effective = {
+        pid: _duration_of(graph, pid, durations) for pid in graph.processes
+    }
+    if worker_speeds:
+        # Calibration: a processor measured k-times slower serves every
+        # process placed on it k-times slower.
+        for pid, proc in mapping.assignment.items():
+            mult = worker_speeds.get(proc, 1.0)
+            if mult != 1.0:
+                effective[pid] = effective[pid] / max(mult, 1e-9)
+    routing = route_mapping(mapping)
+    static = estimate_latency(
+        mapping, routing, effective, edge_bytes, items_hint=items_hint,
+    )
+    loads = processor_loads(
+        mapping, durations=durations, items_hint=items_hint,
+        worker_speeds=worker_speeds,
+    )
+    period = max(loads.values()) if loads else 0.0
+
+    # Reliability: replicated (farm-worker) stages survive unless every
+    # hosting processor fails; everything else fails with its processor.
+    p = min(max(failure_rate, 0.0), 1.0)
+    replication = _replication(mapping)
+    # Routers ride with their worker and share its branch's fate (the
+    # supervisor reroutes around a lost branch), so only genuinely
+    # stateful/singleton processes pin reliability to their processor.
+    branch_kinds = (ProcessKind.WORKER, ProcessKind.ROUTER_MW,
+                    ProcessKind.ROUTER_WM)
+    singleton_procs = {
+        mapping.assignment[pid]
+        for pid, proc in mapping.graph.processes.items()
+        if not (proc.kind in branch_kinds and proc.skeleton)
+    }
+    reliability = (1.0 - p) ** len(singleton_procs)
+    for replicas in replication.values():
+        reliability *= 1.0 - p ** max(replicas, 1)
+
+    return MappingEstimate(
+        latency_us=static.latency,
+        period_us=period,
+        reliability=reliability,
+        loads=loads,
+        replication=replication,
+    )
+
+
+def speeds_from_report(fault_report: Any) -> Dict[str, float]:
+    """Measured per-processor speed multipliers from health samples.
+
+    Reads the periodic ``health`` records a supervised run emits (EWMA
+    score in ms per worker) and returns ``processor -> median/score``:
+    1.0 for a processor tracking the farm median, < 1 for one measured
+    slower.  Feed the result to :func:`predict` (``worker_speeds``) to
+    close the measure→map loop.
+    """
+    if fault_report is None:
+        return {}
+    latest: Dict[str, float] = {}
+    when: Dict[str, float] = {}
+    for record in fault_report.by_category("health"):
+        proc = record.processor or record.target
+        if record.value is None:
+            continue
+        if proc not in when or record.time_us >= when[proc]:
+            latest[proc] = record.value
+            when[proc] = record.time_us
+    scores = sorted(latest.values())
+    if not scores:
+        return {}
+    median = scores[len(scores) // 2]
+    if median <= 0:
+        return {}
+    return {
+        proc: median / score if score > 0 else 1.0
+        for proc, score in latest.items()
+    }

@@ -1,0 +1,111 @@
+"""Elastic scale-up: grow the worker pool when admission pressure says so.
+
+The realtime layer already *sheds* frames under ``input-surge`` overload
+(bounded queues, ``shed-oldest``/``shed-newest`` policies) — capacity
+protection, not capacity.  The elastic controller adds the capacity:
+feed it pressure observations (shed counts, queue depth) and it grows a
+:class:`~repro.net.harness.ClusterHarness` via ``scale_to`` when the
+overload sustains, with hysteresis so one burst never flaps the pool.
+
+The controller is deliberately duck-typed over "anything with
+``size`` and ``scale_to(n)``" and takes observations by explicit call —
+no sampling thread of its own — so it is trivially testable and the
+caller decides the cadence (a soak loop per frame batch, the serve
+plane per stats tick).  Scaling is up-only: workers are cheap to keep
+and tearing them down mid-stream would re-create the very latency spike
+the controller exists to absorb.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["ElasticPolicy", "ElasticDecision", "ElasticController"]
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """When sustained overload buys new workers."""
+
+    #: Hard ceiling on pool size (the budget).
+    max_workers: int = 8
+    #: Pressure above this counts as an overloaded observation.  The
+    #: unit is the caller's (shed frames since last observation, queued
+    #: tickets, ...); zero means "any pressure at all".
+    surge_threshold: float = 0.0
+    #: Consecutive overloaded observations before scaling (hysteresis).
+    sustain: int = 2
+    #: Workers added per scale-up step.
+    step: int = 1
+    #: Seconds between scale-ups (cool-down against flapping).
+    cooldown_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+
+
+@dataclass
+class ElasticDecision:
+    """One scale-up the controller performed."""
+
+    at: float
+    pressure: float
+    size_before: int
+    size_after: int
+
+
+class ElasticController:
+    """Turns pressure observations into ``harness.scale_to`` calls."""
+
+    def __init__(self, harness: Any, policy: Optional[ElasticPolicy] = None,
+                 *, clock=time.monotonic):
+        self.harness = harness
+        self.policy = policy or ElasticPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._overloaded_streak = 0
+        self._last_scale_at: Optional[float] = None
+        self.decisions: List[ElasticDecision] = []
+
+    @property
+    def size(self) -> int:
+        return self.harness.size
+
+    def observe(self, pressure: float) -> Optional[ElasticDecision]:
+        """One pressure sample; returns the scale-up it triggered, if any.
+
+        ``pressure`` is whatever overload signal the caller owns —
+        frames shed since the last call, current queue depth, in-flight
+        backlog.  Anything above the policy threshold extends the
+        overloaded streak; anything at/below it resets the streak.
+        """
+        with self._lock:
+            if pressure > self.policy.surge_threshold:
+                self._overloaded_streak += 1
+            else:
+                self._overloaded_streak = 0
+                return None
+            if self._overloaded_streak < self.policy.sustain:
+                return None
+            now = self._clock()
+            if (self._last_scale_at is not None
+                    and now - self._last_scale_at < self.policy.cooldown_s):
+                return None
+            before = self.harness.size
+            target = min(before + self.policy.step, self.policy.max_workers)
+            if target <= before:
+                return None  # at the ceiling
+            self.harness.scale_to(target)
+            self._last_scale_at = now
+            self._overloaded_streak = 0
+            decision = ElasticDecision(now, pressure, before, target)
+            self.decisions.append(decision)
+            return decision

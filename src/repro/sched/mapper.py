@@ -1,0 +1,196 @@
+"""Static bi-criteria mapping: Pareto search seeded by the AAA heuristic.
+
+The AAA list-scheduler (:func:`repro.syndex.distribute.distribute`)
+minimises one scalar — load plus separation penalty.  This module turns
+its result into the *seed* of a local search over the true criteria
+(latency, throughput period, reliability — see
+:mod:`repro.sched.costmodel`) in the style of Benoit–Robert et al.'s
+bi-criteria pipeline mappings: enumerate single-group moves, keep the
+Pareto front, and pick the front point that best answers the caller's
+actual question — "fastest mapping under this latency budget" or
+"lowest latency at this throughput target".
+
+Constraints are inherited from the seed and never violated by a move:
+pinned processes (stream endpoints, farm masters) stay put, and a
+colocation group (a worker and the routers riding with it) moves as one
+unit, so every candidate passes ``Mapping.validate()`` by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..pnt.graph import ProcessGraph, ProcessKind
+from ..syndex.arch import Architecture
+from ..syndex.distribute import Mapping, _PINNED_KINDS, distribute
+from .costmodel import MappingEstimate, predict
+
+__all__ = ["Candidate", "bicriteria_map", "bicriteria_search",
+           "pareto_front"]
+
+
+@dataclass
+class Candidate:
+    """One evaluated placement."""
+
+    mapping: Mapping
+    estimate: MappingEstimate
+
+    def dominated_by(self, other: "Candidate") -> bool:
+        """Pareto dominance over (latency, period, reliability)."""
+        a, b = self.estimate, other.estimate
+        no_worse = (
+            b.latency_us <= a.latency_us
+            and b.period_us <= a.period_us
+            and b.reliability >= a.reliability
+        )
+        better = (
+            b.latency_us < a.latency_us
+            or b.period_us < a.period_us
+            or b.reliability > a.reliability
+        )
+        return no_worse and better
+
+
+def pareto_front(candidates: List[Candidate]) -> List[Candidate]:
+    """The non-dominated subset, in (latency, period) order."""
+    front = [
+        c for c in candidates
+        if not any(c.dominated_by(other) for other in candidates)
+    ]
+    front.sort(key=lambda c: (c.estimate.latency_us, c.estimate.period_us,
+                              -c.estimate.reliability))
+    # One representative per criteria point (different assignments can
+    # score identically; the front is about trade-offs, not aliases).
+    unique: List[Candidate] = []
+    seen = set()
+    for c in front:
+        key = (round(c.estimate.latency_us, 6),
+               round(c.estimate.period_us, 6),
+               round(c.estimate.reliability, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(c)
+    return unique
+
+
+def _move_groups(graph: ProcessGraph) -> List[List[str]]:
+    """Movable units: colocation groups rooted at a non-pinned anchor.
+
+    Pinned kinds (stream endpoints, MEM) and farm masters keep the
+    seed's placement — they are the stateful spine the executive pins to
+    the I/O processor.  Everything else moves with its transitive
+    colocation group.
+    """
+    def root_of(pid: str) -> str:
+        seen = set()
+        while graph[pid].colocate_with is not None:
+            if pid in seen:  # defensive: validate() would reject anyway
+                break
+            seen.add(pid)
+            pid = graph[pid].colocate_with
+        return pid
+
+    groups: Dict[str, List[str]] = {}
+    for pid in sorted(graph.processes):
+        groups.setdefault(root_of(pid), []).append(pid)
+    movable = []
+    for root, members in sorted(groups.items()):
+        kind = graph[root].kind
+        if kind in _PINNED_KINDS or kind == ProcessKind.MASTER:
+            continue
+        movable.append(members)
+    return movable
+
+
+def _objective(
+    estimate: MappingEstimate,
+    latency_budget_us: Optional[float],
+    throughput_target_hz: Optional[float],
+) -> Tuple:
+    """Totally ordered score (smaller is better) for the caller's ask."""
+    if latency_budget_us is not None:
+        feasible = estimate.latency_us <= latency_budget_us
+        return (0 if feasible else 1,
+                estimate.period_us if feasible else estimate.latency_us,
+                -estimate.reliability, estimate.latency_us)
+    if throughput_target_hz is not None and throughput_target_hz > 0:
+        period_cap = 1e6 / throughput_target_hz
+        feasible = estimate.period_us <= period_cap
+        return (0 if feasible else 1,
+                estimate.latency_us if feasible else estimate.period_us,
+                -estimate.reliability, estimate.period_us)
+    return (estimate.latency_us * max(estimate.period_us, 1e-9),
+            -estimate.reliability, estimate.latency_us)
+
+
+def bicriteria_search(
+    graph: ProcessGraph,
+    arch: Architecture,
+    *,
+    durations: Optional[Dict[str, float]] = None,
+    edge_bytes: Optional[Dict[int, int]] = None,
+    comm_factor: float = 1.0,
+    items_hint: int = 8,
+    latency_budget_us: Optional[float] = None,
+    throughput_target_hz: Optional[float] = None,
+    worker_speeds: Optional[Dict[str, float]] = None,
+    max_rounds: int = 8,
+) -> Tuple[Candidate, List[Candidate]]:
+    """Run the full search; return (best candidate, Pareto front).
+
+    Deterministic: the seed is the deterministic AAA placement, moves
+    are enumerated in sorted order, and ties break toward the incumbent.
+    """
+    def score(mapping: Mapping) -> MappingEstimate:
+        return predict(
+            mapping, durations=durations, edge_bytes=edge_bytes,
+            items_hint=items_hint, worker_speeds=worker_speeds,
+        )
+
+    seed = distribute(
+        graph, arch, durations=durations, edge_bytes=edge_bytes,
+        comm_factor=comm_factor,
+    )
+    incumbent = Candidate(seed, score(seed))
+    evaluated: List[Candidate] = [incumbent]
+    objective = lambda c: _objective(  # noqa: E731 - local shorthand
+        c.estimate, latency_budget_us, throughput_target_hz
+    )
+    groups = _move_groups(graph)
+    procs = arch.processor_ids()
+
+    for _ in range(max_rounds):
+        best_move: Optional[Candidate] = None
+        for members in groups:
+            current = incumbent.mapping.assignment[members[0]]
+            for proc in procs:
+                if proc == current:
+                    continue
+                assignment = dict(incumbent.mapping.assignment)
+                for pid in members:
+                    assignment[pid] = proc
+                moved = Mapping(graph, arch, assignment)
+                candidate = Candidate(moved, score(moved))
+                evaluated.append(candidate)
+                if best_move is None or \
+                        objective(candidate) < objective(best_move):
+                    best_move = candidate
+        if best_move is None or not objective(best_move) < objective(incumbent):
+            break
+        incumbent = best_move
+
+    return incumbent, pareto_front(evaluated)
+
+
+def bicriteria_map(
+    graph: ProcessGraph,
+    arch: Architecture,
+    **criteria,
+) -> Mapping:
+    """The Pareto-best mapping for the given budget/target (see
+    :func:`bicriteria_search` for the keyword criteria)."""
+    best, _front = bicriteria_search(graph, arch, **criteria)
+    best.mapping.validate()
+    return best.mapping

@@ -1,0 +1,70 @@
+"""Online re-mapping policy: migrate work off degraded workers mid-stream.
+
+The gray-failure layer (:mod:`repro.health`) *demotes* a limping worker
+to a packet trickle; re-mapping goes one step further and **migrates**
+the worker's share of the farm entirely: its in-flight packets drain to
+healthy survivors through the supervisor's existing re-dispatch path
+(so :class:`~repro.realtime.ledger.FrameLedger` conservation is
+preserved exactly — dedup happens at the envelope layer, below the
+ledger) and the dispatch rotation excludes it until measured evidence
+says it recovered.
+
+Every threshold here is **count-based** (completions, not seconds), so
+the identical decision sequence reproduces deterministically in the
+discrete-event simulator's virtual time — the property the virtual-time
+parity test locks in.  The decision inputs are the signals the
+supervisor already collects: BEAT/COUNT heartbeats and the
+``FarmHealth`` limping verdicts derived from them.
+
+Restoration is evidence-based, not optimistic: a migrated worker keeps
+receiving probation duplicates of live packets (cadenced by
+``probe_stride``), and only rejoins the rotation once those answers
+pull its EWMA score back under the health layer's ``clear_factor``
+hysteresis — deliberately stricter than the crash-quarantine rule
+("any answer readmits"), because a limping worker answers *eventually*
+by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RemapPolicy"]
+
+
+@dataclass(frozen=True)
+class RemapPolicy:
+    """When the supervisor migrates processors off a degraded worker.
+
+    Carried by :class:`~repro.faults.policy.FaultPolicy` in its
+    ``remap`` slot; ``None`` there means re-mapping is off and the
+    demotion/hedging defenses stand alone.  Plain frozen data so it
+    pickles into worker OS processes like every other policy.
+    """
+
+    #: Master switch (an instance with ``enabled=False`` is what
+    #: ``FaultPolicy.remap_policy()`` returns when no policy is set).
+    enabled: bool = True
+    #: Farm-wide completions observed while a worker stays continuously
+    #: limping before it is migrated.  Count-based on purpose: the same
+    #: rule is exact in wall-clock and virtual time.
+    confirm_completions: int = 8
+    #: Never migrate below this many active (non-quarantined,
+    #: non-migrated) workers; at least one healthy survivor is also
+    #: required, whatever this says.
+    min_active: int = 1
+    #: Every n-th farm completion after migration sends the migrated
+    #: worker one probation duplicate of a live packet (its path back).
+    probe_stride: int = 32
+    #: Re-dispatch the migrated worker's in-flight packets immediately
+    #: (off: they drain through the normal timeout/hedge paths).
+    drain: bool = True
+
+    def __post_init__(self):
+        if self.confirm_completions < 1:
+            raise ValueError("confirm_completions must be >= 1")
+        if self.min_active < 1:
+            raise ValueError("min_active must be >= 1 "
+                             "(a farm cannot run on zero workers)")
+        if self.probe_stride < 1:
+            raise ValueError("probe_stride must be >= 1")

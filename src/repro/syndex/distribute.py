@@ -224,17 +224,38 @@ def distribute(
             key = (process.skeleton, best_proc)
             skel_count[key] = skel_count.get(key, 0) + 1
 
-    # 3. Colocated processes follow their anchor.
+    # 3. Colocated processes follow their anchor.  Anchors may
+    # themselves be deferred (colocate-with chains: a router riding a
+    # worker riding something else), so each chain is walked to its
+    # first *placed* ancestor — every member of the chain resolves to
+    # the same processor whatever order the deferred list visits them.
     for pid in deferred:
-        anchor = graph[pid].colocate_with
-        assert anchor is not None
-        if anchor not in assignment:
-            raise ValueError(f"{pid!r} colocated with unplaced {anchor!r}")
-        place(pid, assignment[anchor])
+        place(pid, assignment[_resolve_anchor(graph, pid)])
 
     mapping = Mapping(graph, arch, assignment)
     mapping.validate()
     return mapping
+
+
+def _resolve_anchor(graph: ProcessGraph, pid: str) -> str:
+    """First placed-able ancestor of a colocation chain (cycle-checked).
+
+    The chain terminates at a process with no ``colocate_with`` of its
+    own — which steps 1/2 always place — so walking it is total unless
+    the graph declares a colocation cycle, which is a real error.
+    """
+    seen = [pid]
+    anchor = graph[pid].colocate_with
+    while anchor is not None and graph[anchor].colocate_with is not None:
+        if anchor in seen:
+            raise ValueError(
+                "colocation cycle: " + " -> ".join(seen + [anchor])
+            )
+        seen.append(anchor)
+        anchor = graph[anchor].colocate_with
+    if anchor is None:
+        raise ValueError(f"{pid!r} colocated with nothing placeable")
+    return anchor
 
 
 def round_robin(graph: ProcessGraph, arch: Architecture) -> Mapping:
@@ -257,7 +278,7 @@ def round_robin(graph: ProcessGraph, arch: Architecture) -> Mapping:
             assignment[pid] = procs[i % len(procs)]
             i += 1
     for pid in deferred:
-        assignment[pid] = assignment[graph[pid].colocate_with]
+        assignment[pid] = assignment[_resolve_anchor(graph, pid)]
     mapping = Mapping(graph, arch, assignment)
     mapping.validate()
     return mapping

@@ -1,0 +1,122 @@
+"""Elastic scale-up: sustained-overload hysteresis onto scale_to."""
+
+import pytest
+
+from repro.sched.elastic import ElasticController, ElasticPolicy
+
+
+class FakeHarness:
+    def __init__(self, size=2):
+        self.size = size
+        self.calls = []
+
+    def scale_to(self, n):
+        self.calls.append(n)
+        self.size = n
+        return n
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def controller(policy, size=2):
+    harness = FakeHarness(size)
+    clock = FakeClock()
+    return ElasticController(harness, policy, clock=clock), harness, clock
+
+
+class TestHysteresis:
+    def test_one_burst_never_scales(self):
+        ctl, harness, _ = controller(ElasticPolicy(sustain=2))
+        assert ctl.observe(5.0) is None
+        assert ctl.observe(0.0) is None  # calm resets the streak
+        assert ctl.observe(5.0) is None
+        assert harness.calls == []
+
+    def test_sustained_overload_scales_by_step(self):
+        ctl, harness, _ = controller(
+            ElasticPolicy(sustain=2, step=2, max_workers=8)
+        )
+        assert ctl.observe(5.0) is None
+        decision = ctl.observe(5.0)
+        assert decision is not None
+        assert (decision.size_before, decision.size_after) == (2, 4)
+        assert harness.calls == [4]
+        assert ctl.size == 4
+
+    def test_threshold_is_strictly_greater_than(self):
+        ctl, harness, _ = controller(
+            ElasticPolicy(sustain=1, surge_threshold=3.0)
+        )
+        assert ctl.observe(3.0) is None  # at threshold: calm
+        assert ctl.observe(3.1) is not None
+        assert harness.size == 3
+
+    def test_streak_resets_after_scaling(self):
+        ctl, harness, clock = controller(
+            ElasticPolicy(sustain=2, cooldown_s=0.0)
+        )
+        ctl.observe(5.0)
+        assert ctl.observe(5.0) is not None
+        # The next scale-up needs a fresh sustained streak.
+        assert ctl.observe(5.0) is None
+        assert ctl.observe(5.0) is not None
+        assert harness.calls == [3, 4]
+
+
+class TestCooldownAndCeiling:
+    def test_cooldown_blocks_back_to_back_scaling(self):
+        ctl, harness, clock = controller(
+            ElasticPolicy(sustain=1, cooldown_s=2.0)
+        )
+        assert ctl.observe(5.0) is not None
+        clock.now = 1.0
+        assert ctl.observe(5.0) is None  # still cooling down
+        clock.now = 2.5
+        assert ctl.observe(5.0) is not None
+        assert harness.calls == [3, 4]
+
+    def test_max_workers_is_a_hard_ceiling(self):
+        ctl, harness, _ = controller(
+            ElasticPolicy(sustain=1, cooldown_s=0.0, max_workers=3, step=2)
+        )
+        first = ctl.observe(5.0)
+        assert (first.size_before, first.size_after) == (2, 3)  # clamped
+        assert ctl.observe(5.0) is None  # at the ceiling: no-op
+        assert harness.calls == [3]
+
+    def test_decisions_accumulate_in_order(self):
+        ctl, _, _ = controller(ElasticPolicy(sustain=1, cooldown_s=0.0,
+                                             max_workers=4))
+        ctl.observe(1.0)
+        ctl.observe(2.0)
+        assert [d.size_after for d in ctl.decisions] == [3, 4]
+        assert [d.pressure for d in ctl.decisions] == [1.0, 2.0]
+
+
+class TestPolicyValidation:
+    def test_rejects_nonsense_knobs(self):
+        with pytest.raises(ValueError):
+            ElasticPolicy(max_workers=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(sustain=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(step=0)
+
+
+class TestRealHarness:
+    def test_scale_to_grows_a_live_pool(self):
+        from repro.net.harness import ClusterHarness
+
+        harness = ClusterHarness(size=2, spawn=False)
+        try:
+            assert harness.scale_to(4) == 4
+            assert harness.scale_to(3) == 4  # up-only: shrink is a no-op
+            assert harness.size == 4
+        finally:
+            harness.shutdown()

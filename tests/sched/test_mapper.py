@@ -1,0 +1,196 @@
+"""The bi-criteria Pareto search and its calibrated cost model."""
+
+from repro.core import FunctionTable, ProgramBuilder
+from repro.pnt import expand_program
+from repro.sched.costmodel import predict, processor_loads, speeds_from_report
+from repro.sched.mapper import (
+    Candidate,
+    bicriteria_map,
+    bicriteria_search,
+    pareto_front,
+)
+from repro.syndex import distribute, ring, round_robin
+
+
+def farm_table():
+    table = FunctionTable()
+    table.register("feed", ins=["unit"], outs=["'a list"])(lambda _: [])
+    table.register("comp", ins=["'a"], outs=["'b"])(lambda x: x)
+    table.register("acc", ins=["'c", "'b"], outs=["'c"])(lambda c, y: c)
+    table.register("step", ins=["'c", "'a list"], outs=["'c", "'d"])(
+        lambda s, xs: (s, None)
+    )
+    table.register("emit", ins=["'d"])(lambda y: None)
+    return table
+
+
+def df_stream_graph(degree=4):
+    table = farm_table()
+    b = ProgramBuilder("app", table)
+    state, item = b.params("state", "item")
+    total = b.df(degree, comp="comp", acc="acc", z=state, xs=item)
+    s2, y = b.apply("step", total, item)
+    prog = b.stream(s2, y, inp="feed", out="emit", init_value=0, source=None)
+    return expand_program(prog, table)
+
+
+def heterogeneous_durations(graph):
+    """Per-process costs that punish naive dealing: one worker is 8x
+    heavier than its siblings, and the post-farm step is heavy too."""
+    durations = {}
+    for pid, process in graph.processes.items():
+        durations[pid] = 100.0
+        if pid.endswith("worker0"):
+            durations[pid] = 800.0
+        elif ".worker" in pid:
+            durations[pid] = 100.0
+        elif pid.startswith("step"):
+            durations[pid] = 600.0
+    return durations
+
+
+class TestCostModel:
+    def test_loads_cover_every_processor(self):
+        graph = df_stream_graph(4)
+        mapping = distribute(graph, ring(4))
+        loads = processor_loads(mapping)
+        assert set(loads) == set(mapping.arch.processor_ids())
+        assert all(v >= 0.0 for v in loads.values())
+
+    def test_worker_speeds_inflate_the_slow_processor(self):
+        graph = df_stream_graph(4)
+        mapping = distribute(graph, ring(4))
+        base = processor_loads(mapping)
+        slow_proc = mapping.processor_of("df0.worker0")
+        slowed = processor_loads(mapping, worker_speeds={slow_proc: 0.25})
+        assert slowed[slow_proc] > base[slow_proc] * 3.9
+        for proc, load in base.items():
+            if proc != slow_proc:
+                assert slowed[proc] == load
+
+    def test_more_replicas_means_higher_reliability(self):
+        graph = df_stream_graph(4)
+        spread = predict(distribute(graph, ring(5)))
+        packed = predict(distribute(graph, ring(2)))
+        assert spread.replication["df0"] > packed.replication["df0"]
+        assert spread.reliability > packed.reliability
+
+    def test_speeds_from_report_scores_against_the_median(self):
+        class Rec:
+            def __init__(self, target, value, time_us, processor=None):
+                self.target = target
+                self.value = value
+                self.time_us = time_us
+                self.processor = processor
+
+        class Report:
+            def by_category(self, name):
+                assert name == "health"
+                return [
+                    Rec("p1", 10.0, 1.0),
+                    Rec("p2", 10.0, 1.0),
+                    Rec("p3", 40.0, 1.0),
+                    Rec("p3", 30.0, 2.0),  # later sample wins
+                ]
+
+        speeds = speeds_from_report(Report())
+        assert speeds["p1"] == 1.0
+        assert abs(speeds["p3"] - 10.0 / 30.0) < 1e-12
+        assert speeds_from_report(None) == {}
+
+
+class TestParetoFront:
+    def cand(self, latency, period, rel):
+        class E:
+            latency_us = latency
+            period_us = period
+            reliability = rel
+
+        return Candidate(mapping=None, estimate=E())
+
+    def test_dominated_points_drop_out(self):
+        good = self.cand(10.0, 5.0, 0.99)
+        worse = self.cand(12.0, 6.0, 0.98)
+        tradeoff = self.cand(8.0, 9.0, 0.99)
+        front = pareto_front([good, worse, tradeoff])
+        assert worse not in front
+        assert good in front and tradeoff in front
+
+    def test_criteria_aliases_collapse_to_one_point(self):
+        a = self.cand(10.0, 5.0, 0.99)
+        b = self.cand(10.0, 5.0, 0.99)
+        assert len(pareto_front([a, b])) == 1
+
+
+class TestBicriteriaSearch:
+    def test_beats_round_robin_on_heterogeneous_costs(self):
+        graph = df_stream_graph(4)
+        arch = ring(4)
+        durations = heterogeneous_durations(graph)
+        best = predict(
+            bicriteria_map(graph, arch, durations=durations),
+            durations=durations,
+        )
+        naive = predict(round_robin(graph, arch), durations=durations)
+        assert best.period_us < naive.period_us
+        assert best.latency_us <= naive.latency_us
+
+    def test_never_worse_than_the_aaa_seed(self):
+        graph = df_stream_graph(4)
+        arch = ring(4)
+        durations = heterogeneous_durations(graph)
+        seed = predict(distribute(graph, arch, durations=durations),
+                       durations=durations)
+        best, front = bicriteria_search(graph, arch, durations=durations)
+        assert best.estimate.latency_us * best.estimate.period_us <= \
+            seed.latency_us * seed.period_us + 1e-9
+        assert front  # the seed itself is always evaluated
+
+    def test_search_is_deterministic(self):
+        graph = df_stream_graph(4)
+        arch = ring(4)
+        durations = heterogeneous_durations(graph)
+        first, _ = bicriteria_search(graph, arch, durations=durations)
+        second, _ = bicriteria_search(graph, arch, durations=durations)
+        assert first.mapping.assignment == second.mapping.assignment
+
+    def test_front_is_mutually_non_dominated(self):
+        graph = df_stream_graph(4)
+        _, front = bicriteria_search(
+            graph, ring(4), durations=heterogeneous_durations(graph)
+        )
+        for c in front:
+            assert not any(c.dominated_by(other) for other in front)
+
+    def test_latency_budget_prefers_throughput_inside_it(self):
+        graph = df_stream_graph(4)
+        arch = ring(4)
+        durations = heterogeneous_durations(graph)
+        unconstrained, _ = bicriteria_search(graph, arch,
+                                             durations=durations)
+        budget = unconstrained.estimate.latency_us * 4
+        constrained, _ = bicriteria_search(
+            graph, arch, durations=durations, latency_budget_us=budget
+        )
+        assert constrained.estimate.latency_us <= budget
+        assert constrained.estimate.period_us <= \
+            unconstrained.estimate.period_us + 1e-9
+
+    def test_throughput_target_keeps_the_period_under_the_cap(self):
+        graph = df_stream_graph(4)
+        arch = ring(4)
+        durations = heterogeneous_durations(graph)
+        loose, _ = bicriteria_search(graph, arch, durations=durations)
+        cap_hz = loose.estimate.throughput_hz / 2  # easily feasible
+        targeted, _ = bicriteria_search(
+            graph, arch, durations=durations, throughput_target_hz=cap_hz
+        )
+        assert targeted.estimate.period_us <= 1e6 / cap_hz
+
+    def test_every_candidate_validates(self):
+        graph = df_stream_graph(4)
+        mapping = bicriteria_map(
+            graph, ring(3), durations=heterogeneous_durations(graph)
+        )
+        mapping.validate()
+        assert set(mapping.assignment) == set(graph.processes)

@@ -1,0 +1,115 @@
+"""Edge cases of the static distribution heuristics.
+
+These exercise the corners the farm programs never hit: colocate-with
+chains (a process riding a process that itself rides an anchor),
+deferred anchors visited *after* their dependents, one-processor
+architectures, and the pinned-kind handling of the round-robin
+baseline.
+"""
+
+import pytest
+
+from repro.pnt import ProcessKind
+from repro.pnt.graph import Edge, Process, ProcessGraph
+from repro.syndex import distribute, ring, round_robin
+
+
+def graph_with(processes, edges=()):
+    g = ProcessGraph("edgecases")
+    for p in processes:
+        g.add_process(p)
+    for e in edges:
+        g.add_edge(*e) if isinstance(e, tuple) else g.edges.append(e)
+    return g
+
+
+def plain(pid, **kw):
+    kw.setdefault("kind", ProcessKind.APPLY)
+    kw.setdefault("func", "f")
+    return Process(pid, **kw)
+
+
+class TestColocationChains:
+    def chain_graph(self):
+        # c rides b rides a; the placement order visits heavy kinds
+        # first, so both b and c are deferred and their anchors resolve
+        # transitively.
+        return graph_with([
+            plain("a"),
+            plain("b", colocate_with="a"),
+            plain("c", colocate_with="b"),
+            plain("other"),
+        ])
+
+    def test_distribute_resolves_chains(self):
+        mapping = distribute(self.chain_graph(), ring(3))
+        assert (mapping.processor_of("a")
+                == mapping.processor_of("b")
+                == mapping.processor_of("c"))
+        mapping.validate()
+
+    def test_round_robin_resolves_chains(self):
+        mapping = round_robin(self.chain_graph(), ring(3))
+        assert (mapping.processor_of("a")
+                == mapping.processor_of("b")
+                == mapping.processor_of("c"))
+        mapping.validate()
+
+    def test_anchor_placed_after_dependent(self):
+        # The dependent sorts *before* its anchor in placement order
+        # (WORKER outweighs APPLY, and ids break ties), so the deferred
+        # list holds the dependent before the anchor is placed.
+        g = graph_with([
+            Process("w", ProcessKind.WORKER, func="f", skeleton="s"),
+            plain("z_anchor"),
+            Process("a_rider", ProcessKind.ROUTER_MW, skeleton="s",
+                    colocate_with="z_anchor"),
+        ])
+        for build in (distribute, round_robin):
+            mapping = build(g, ring(2))
+            assert (mapping.processor_of("a_rider")
+                    == mapping.processor_of("z_anchor"))
+
+    def test_colocation_cycle_raises(self):
+        g = graph_with([
+            plain("a", colocate_with="b"),
+            plain("b", colocate_with="a"),
+        ])
+        with pytest.raises(ValueError, match="colocation cycle"):
+            distribute(g, ring(2))
+        with pytest.raises(ValueError, match="colocation cycle"):
+            round_robin(g, ring(2))
+
+
+class TestSingleProcessor:
+    def test_everything_lands_on_the_only_processor(self):
+        g = graph_with([
+            Process("in", ProcessKind.INPUT, func="read", n_in=0),
+            plain("work"),
+            plain("rider", colocate_with="work"),
+            Process("out", ProcessKind.OUTPUT, func="emit", n_out=0),
+        ])
+        for build in (distribute, round_robin):
+            mapping = build(g, ring(1))
+            assert set(mapping.assignment.values()) == {"p0"}
+            mapping.validate()
+
+
+class TestRoundRobinPinning:
+    def test_pinned_kinds_go_to_io_processor(self):
+        g = graph_with([
+            Process("in", ProcessKind.INPUT, func="read", n_in=0),
+            Process("out", ProcessKind.OUTPUT, func="emit", n_out=0),
+            Process("mem", ProcessKind.MEM),
+            Process("boss", ProcessKind.MASTER, func="acc"),
+            plain("w1"),
+            plain("w2"),
+            plain("w3"),
+        ])
+        mapping = round_robin(g, ring(3))
+        io = mapping.arch.io_processor()
+        for pid in ("in", "out", "mem", "boss"):
+            assert mapping.processor_of(pid) == io
+        # The unpinned processes deal over every processor in turn.
+        dealt = [mapping.processor_of(p) for p in ("w1", "w2", "w3")]
+        assert dealt == ["p0", "p1", "p2"]
